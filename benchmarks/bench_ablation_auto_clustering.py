@@ -1,0 +1,71 @@
+"""Ablation A6 (§7 future work): dynamic clustering-method selection.
+
+The paper's future work asks for "techniques for choosing the best
+clustering method dynamically". AutoClustering picks per query among
+k-means / agglomerative / bisecting by silhouette; this ablation checks
+whether the dynamic choice tracks the best fixed backend's Eq. 1 score.
+"""
+
+import numpy as np
+
+from repro.cluster.agglomerative import AgglomerativeClustering
+from repro.cluster.bisecting import BisectingKMeans
+from repro.cluster.selection import AutoClustering
+from repro.core.expander import ClusterQueryExpander
+from repro.core.iskr import ISKR
+from repro.datasets.queries import query_by_id
+from repro.eval.reporting import format_table
+
+from benchmarks.conftest import emit_artifact
+
+QIDS = ("QW2", "QW5", "QW6", "QW8", "QW9", "QS1", "QS4")
+
+
+def test_ablation_auto_clustering(benchmark, suite):
+    def expand_with(clusterer_factory) -> dict:
+        scores = {}
+        for qid in QIDS:
+            query = query_by_id(qid)
+            engine = suite.engine(query.dataset)
+            config = suite.config_for(query)
+            clusterer = clusterer_factory(query.n_clusters)
+            report = ClusterQueryExpander(
+                engine, ISKR(), config, clusterer=clusterer
+            ).expand(query.text)
+            scores[qid] = report.score
+        return scores
+
+    auto_scores = benchmark.pedantic(
+        lambda: expand_with(lambda k: AutoClustering(n_clusters=k, seed=0)),
+        rounds=1,
+        iterations=1,
+    )
+    kmeans_scores = expand_with(lambda k: None)  # expander default
+    agglo_scores = expand_with(lambda k: AgglomerativeClustering(n_clusters=k))
+    bisect_scores = expand_with(lambda k: BisectingKMeans(n_clusters=k, seed=0))
+
+    rows = [
+        [qid, kmeans_scores[qid], agglo_scores[qid], bisect_scores[qid], auto_scores[qid]]
+        for qid in QIDS
+    ]
+    emit_artifact(
+        "ablation_auto_clustering",
+        format_table(
+            ["query", "k-means", "agglomerative", "bisecting", "auto (silhouette)"],
+            rows,
+            title="Ablation A6: dynamic clustering selection (ISKR Eq. 1 scores)",
+        ),
+    )
+
+    means = {
+        "kmeans": float(np.mean(list(kmeans_scores.values()))),
+        "agglo": float(np.mean(list(agglo_scores.values()))),
+        "bisect": float(np.mean(list(bisect_scores.values()))),
+        "auto": float(np.mean(list(auto_scores.values()))),
+    }
+    # The dynamic choice should at least match the WORST fixed backend and
+    # land within 0.1 of the best fixed backend on average.
+    worst_fixed = min(means["kmeans"], means["agglo"], means["bisect"])
+    best_fixed = max(means["kmeans"], means["agglo"], means["bisect"])
+    assert means["auto"] >= worst_fixed - 1e-9
+    assert means["auto"] >= best_fixed - 0.1

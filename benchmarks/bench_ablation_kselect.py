@@ -1,0 +1,78 @@
+"""Ablation: fixed user granularity k vs silhouette-chosen k (<= bound).
+
+§1 of the paper specifies k as an *upper bound* on the number of clusters.
+This probe compares the fixed-k pipeline (always use the bound) against
+:class:`~repro.cluster.kselect.AdaptiveKClusterer`, which sweeps k in
+[2, bound] and keeps the silhouette-best labeling. We report the chosen k
+against the query's sense count and the resulting Eq. 1 scores.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.kselect import AdaptiveKClusterer
+from repro.core.expander import ClusterQueryExpander
+from repro.core.iskr import ISKR
+from repro.datasets.queries import query_by_id
+from repro.eval.reporting import format_table
+
+from benchmarks.conftest import emit_artifact
+
+QIDS = ("QW1", "QW2", "QW6", "QW7", "QW8", "QW9")
+BOUND = 5
+
+
+def test_ablation_kselect(benchmark, suite):
+    def run():
+        out = {}
+        for qid in QIDS:
+            query = query_by_id(qid)
+            engine = suite.engine(query.dataset)
+            config = suite.config_for(query)
+
+            fixed = ClusterQueryExpander(engine, ISKR(), config)
+            fixed_report = fixed.expand(query.text)
+
+            from dataclasses import replace
+
+            bounded = replace(config, n_clusters=BOUND)
+            clusterer = AdaptiveKClusterer(max_k=BOUND, seed=0)
+            adaptive = ClusterQueryExpander(
+                engine, ISKR(), bounded, clusterer=clusterer
+            )
+            adaptive_report = adaptive.expand(query.text)
+            out[qid] = (
+                query.n_clusters,
+                fixed_report.score,
+                clusterer.selection.k,
+                adaptive_report.score,
+            )
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [
+            qid,
+            results[qid][0],
+            f"{results[qid][1]:.3f}",
+            results[qid][2],
+            f"{results[qid][3]:.3f}",
+        ]
+        for qid in QIDS
+    ]
+    emit_artifact(
+        "ablation_kselect",
+        format_table(
+            ["query", "paper k", "fixed-k Eq.1", "chosen k", "adaptive Eq.1"],
+            rows,
+            title=f"Granularity as an upper bound: fixed k vs silhouette sweep (<= {BOUND})",
+        ),
+    )
+    for qid in QIDS:
+        paper_k, _, chosen_k, adaptive_score = results[qid]
+        assert 2 <= chosen_k <= BOUND
+        assert 0.0 <= adaptive_score <= 1.0
+    # The sweep should land near the annotated sense counts on average.
+    mean_gap = sum(
+        abs(results[q][2] - results[q][0]) for q in QIDS
+    ) / len(QIDS)
+    assert mean_gap <= 2.0

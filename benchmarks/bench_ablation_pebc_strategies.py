@@ -1,0 +1,106 @@
+"""Ablation A1: PEBC's three sample-query strategies (§4.1-4.3).
+
+The paper argues §4.1 (fixed order) cannot steer toward a target
+percentage and §4.2 (random subset) has a slim chance of a good subset,
+motivating §4.3 (single result). This ablation measures both the
+elimination-target accuracy and the final Eq. 1 quality per strategy.
+"""
+
+import numpy as np
+
+from repro.core.pebc import PEBC
+from repro.core.strategies import make_strategy
+from repro.datasets.queries import query_by_id
+from repro.eval.reporting import format_table
+
+from benchmarks.conftest import emit_artifact
+
+STRATEGIES = ("single-result", "fixed-order", "random-subset")
+TARGETS = (0.25, 0.5, 0.75)
+
+
+def _tasks_for(suite, qid):
+    from repro.core.expander import ClusterQueryExpander
+    from repro.core.iskr import ISKR
+
+    query = query_by_id(qid)
+    engine = suite.engine(query.dataset)
+    pipeline = ClusterQueryExpander(engine, ISKR(), suite.config_for(query))
+    results = pipeline.retrieve(query.text)
+    labels = pipeline.cluster(results)
+    universe = pipeline.build_universe(results)
+    seed_terms = tuple(engine.parse(query.text))
+    return pipeline.tasks(universe, labels, seed_terms)
+
+
+def test_ablation_target_accuracy(benchmark, suite):
+    """Mean |achieved - target| elimination share per strategy: §4.3 should
+    track targets at least as well as §4.1 on average."""
+    tasks = _tasks_for(suite, "QW2")
+
+    def accuracy(name: str) -> float:
+        strategy = make_strategy(name)
+        errors = []
+        for seed in range(5):
+            rng = np.random.default_rng(seed)
+            for task in tasks:
+                for target in TARGETS:
+                    sq = strategy.generate(task, target, rng)
+                    errors.append(abs(sq.eliminated_share - target))
+        return float(np.mean(errors))
+
+    single = benchmark.pedantic(
+        lambda: accuracy("single-result"), rounds=1, iterations=1
+    )
+    fixed = accuracy("fixed-order")
+    subset = accuracy("random-subset")
+
+    emit_artifact(
+        "ablation_pebc_target_accuracy",
+        format_table(
+            ["strategy", "mean |achieved - target|"],
+            [
+                ["single-result (§4.3)", single],
+                ["fixed-order (§4.1)", fixed],
+                ["random-subset (§4.2)", subset],
+            ],
+            title="Ablation A1a: elimination-target accuracy (QW2, lower is better)",
+        ),
+    )
+    assert single <= fixed + 0.05
+
+
+def test_ablation_final_quality(benchmark, suite):
+    """Eq. 1 quality of full PEBC per strategy, across several queries."""
+    from repro.core.metrics import eq1_score
+
+    qids = ("QW2", "QW6", "QS1", "QS7")
+    rows = []
+    scores = {}
+    task_sets = {qid: _tasks_for(suite, qid) for qid in qids}
+
+    def run_strategy(name: str) -> dict:
+        out = {}
+        for qid, tasks in task_sets.items():
+            pebc = PEBC(strategy=name, seed=0)
+            out[qid] = eq1_score([pebc.expand(t).fmeasure for t in tasks])
+        return out
+
+    scores["single-result"] = benchmark.pedantic(
+        lambda: run_strategy("single-result"), rounds=1, iterations=1
+    )
+    for name in ("fixed-order", "random-subset"):
+        scores[name] = run_strategy(name)
+
+    for qid in qids:
+        rows.append([qid] + [scores[s][qid] for s in STRATEGIES])
+    emit_artifact(
+        "ablation_pebc_quality",
+        format_table(
+            ["query"] + list(STRATEGIES),
+            rows,
+            title="Ablation A1b: PEBC Eq. 1 score per sample-query strategy",
+        ),
+    )
+    mean = {s: float(np.mean(list(scores[s].values()))) for s in STRATEGIES}
+    assert mean["single-result"] >= mean["random-subset"] - 0.1

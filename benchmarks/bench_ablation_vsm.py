@@ -1,0 +1,64 @@
+"""Ablation A7 (§7 future work): vector-space retrieval model.
+
+Compares AND-semantics ISKR against the ranked-retrieval
+VectorSpaceRefinement per cluster. VSM's adaptive cutoff sidesteps the
+keyword-co-occurrence constraint, so it should never trail ISKR by much
+and should win where cluster vocabulary does not co-occur.
+"""
+
+import numpy as np
+
+from repro.core.iskr import ISKR
+from repro.core.metrics import eq1_score
+from repro.core.vsm import VectorSpaceRefinement
+from repro.datasets.queries import query_by_id
+from repro.eval.reporting import format_table
+
+from benchmarks.conftest import emit_artifact
+
+QIDS = ("QW2", "QW6", "QW7", "QW9", "QS1", "QS7")
+
+
+def _tasks_for(suite, qid):
+    from repro.core.expander import ClusterQueryExpander
+
+    query = query_by_id(qid)
+    engine = suite.engine(query.dataset)
+    pipeline = ClusterQueryExpander(engine, ISKR(), suite.config_for(query))
+    results = pipeline.retrieve(query.text)
+    labels = pipeline.cluster(results)
+    universe = pipeline.build_universe(results)
+    return pipeline.tasks(universe, labels, tuple(engine.parse(query.text)))
+
+
+def test_ablation_vector_space(benchmark, suite):
+    task_sets = {qid: _tasks_for(suite, qid) for qid in QIDS}
+
+    def run_vsm() -> dict:
+        return {
+            qid: eq1_score(
+                [VectorSpaceRefinement().expand(t).fmeasure for t in tasks]
+            )
+            for qid, tasks in task_sets.items()
+        }
+
+    vsm_scores = benchmark.pedantic(run_vsm, rounds=1, iterations=1)
+    iskr_scores = {
+        qid: eq1_score([ISKR().expand(t).fmeasure for t in tasks])
+        for qid, tasks in task_sets.items()
+    }
+
+    rows = [[qid, iskr_scores[qid], vsm_scores[qid]] for qid in QIDS]
+    emit_artifact(
+        "ablation_vsm",
+        format_table(
+            ["query", "ISKR (AND)", "VSM (ranked)"],
+            rows,
+            title="Ablation A7: AND-semantics vs vector-space retrieval (Eq. 1)",
+        ),
+    )
+    assert all(0.0 <= v <= 1.0 for v in vsm_scores.values())
+    # Ranked retrieval with adaptive cutoff should be competitive overall.
+    assert float(np.mean(list(vsm_scores.values()))) >= (
+        float(np.mean(list(iskr_scores.values()))) - 0.15
+    )

@@ -1,0 +1,58 @@
+"""Ablation A3: ranked (weighted) vs unweighted expansion (§2).
+
+With ranking weights the algorithms prioritize high-ranked results when
+choosing keywords — weighted and unweighted runs may legitimately pick
+different expanded queries. Each variant is evaluated under its own
+metric; the ablation verifies both modes work and reports the deltas.
+"""
+
+import numpy as np
+
+from repro.core.config import ExpansionConfig
+from repro.core.expander import ClusterQueryExpander
+from repro.core.iskr import ISKR
+from repro.datasets.queries import query_by_id
+from repro.eval.reporting import format_table
+
+from benchmarks.conftest import emit_artifact
+
+QIDS = ("QW1", "QW6", "QW8", "QS1", "QS4", "QS7")
+
+
+def test_ablation_ranking_weights(benchmark, suite):
+    def run(use_weights: bool) -> dict:
+        scores = {}
+        for qid in QIDS:
+            query = query_by_id(qid)
+            engine = suite.engine(query.dataset)
+            base = suite.config_for(query)
+            config = ExpansionConfig(
+                n_clusters=base.n_clusters,
+                top_k_results=base.top_k_results,
+                use_ranking_weights=use_weights,
+                cluster_seed=base.cluster_seed,
+            )
+            report = ClusterQueryExpander(engine, ISKR(), config).expand(query.text)
+            scores[qid] = report.score
+        return scores
+
+    weighted = benchmark.pedantic(lambda: run(True), rounds=1, iterations=1)
+    unweighted = run(False)
+
+    rows = [[qid, weighted[qid], unweighted[qid]] for qid in QIDS]
+    emit_artifact(
+        "ablation_weights",
+        format_table(
+            ["query", "weighted Eq.1", "unweighted Eq.1"],
+            rows,
+            title="Ablation A3: ranking-weighted vs unweighted expansion (ISKR)",
+        ),
+    )
+    for qid in QIDS:
+        assert 0.0 <= weighted[qid] <= 1.0
+        assert 0.0 <= unweighted[qid] <= 1.0
+    # Both modes must stay in the same quality regime on average.
+    assert abs(
+        float(np.mean(list(weighted.values())))
+        - float(np.mean(list(unweighted.values())))
+    ) < 0.4

@@ -1,0 +1,49 @@
+"""§5.3 (text): average clustering time per dataset.
+
+The paper reports 0.02s on shopping and 0.35s on Wikipedia. Absolute
+numbers depend on hardware; the reproduced shape is that clustering is a
+small fraction of the perceived response time and that the (larger-
+universe) shopping clustering is not dramatically slower than Wikipedia's
+30-result clustering.
+"""
+
+import numpy as np
+
+from repro.eval.reporting import format_table
+
+from benchmarks.conftest import emit_artifact
+
+
+def test_clustering_time(benchmark, suite, experiments):
+    shopping = [
+        e.clustering_seconds for e in experiments if e.query.dataset == "shopping"
+    ]
+    wikipedia = [
+        e.clustering_seconds for e in experiments if e.query.dataset == "wikipedia"
+    ]
+    emit_artifact(
+        "clustering_time",
+        format_table(
+            ["dataset", "avg clustering (s)", "max clustering (s)"],
+            [
+                ["shopping", float(np.mean(shopping)), float(np.max(shopping))],
+                ["wikipedia", float(np.mean(wikipedia)), float(np.max(wikipedia))],
+            ],
+            title="§5.3: Average Result-Clustering Time",
+        ),
+    )
+
+    # Benchmark one representative clustering run.
+    from repro.core.config import ExpansionConfig
+    from repro.core.expander import ClusterQueryExpander
+    from repro.core.iskr import ISKR
+
+    engine = suite.engine("wikipedia")
+    pipeline = ClusterQueryExpander(
+        engine, ISKR(), ExpansionConfig(n_clusters=3, top_k_results=30)
+    )
+    results = pipeline.retrieve("columbia")
+    benchmark(lambda: pipeline.cluster(results))
+
+    assert np.mean(shopping) < 5.0
+    assert np.mean(wikipedia) < 5.0

@@ -1,0 +1,70 @@
+"""Figures 3-4: simulated user study, collective ratings of each system's
+expanded-query *set*.
+
+Figure 3: collective score (1-5) per system.
+Figure 4: percentage choosing (A) not comprehensive & not diverse,
+(B) one of the two missing, (C) comprehensive and diverse.
+
+Reproduction target (shape): ISKR/PEBC consistently high (their queries
+cover different clusters with little overlap); Data Clouds and CS lower;
+the query-log baseline mixed (popular but sometimes not diverse — QW8).
+"""
+
+from repro.eval.reporting import format_bar_chart, format_table
+from repro.eval.user_study import UserStudySimulator
+
+from benchmarks.conftest import emit_artifact
+
+SYSTEM_ORDER = ("ISKR", "PEBC", "CS", "QueryLog", "DataClouds")
+
+
+def test_fig3_collective_scores(benchmark, experiments):
+    study = benchmark.pedantic(
+        lambda: UserStudySimulator(n_users=45, seed=7).evaluate(experiments),
+        rounds=1,
+        iterations=1,
+    )
+    items = [(s, study.collective_scores[s]) for s in SYSTEM_ORDER]
+    emit_artifact(
+        "fig3_collective_scores",
+        format_bar_chart(
+            items, max_value=5.0,
+            title="Figure 3: Collective Query Score per System (simulated panel, 1-5)",
+        ),
+    )
+    scores = study.collective_scores
+    for good in ("ISKR", "PEBC"):
+        assert scores[good] > scores["DataClouds"]
+
+
+def test_fig4_collective_options(benchmark, experiments):
+    study = benchmark.pedantic(
+        lambda: UserStudySimulator(n_users=45, seed=7).evaluate(experiments),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [
+            s,
+            study.collective_options[s]["A"],
+            study.collective_options[s]["B"],
+            study.collective_options[s]["C"],
+        ]
+        for s in SYSTEM_ORDER
+    ]
+    emit_artifact(
+        "fig4_collective_options",
+        format_table(
+            [
+                "system",
+                "% (A) neither",
+                "% (B) one missing",
+                "% (C) compr.+diverse",
+            ],
+            rows,
+            title="Figure 4: Rater Option Percentages, Query Sets",
+        ),
+    )
+    opts = study.collective_options
+    for good in ("ISKR", "PEBC"):
+        assert opts[good]["C"] >= opts["DataClouds"]["C"]

@@ -1,0 +1,46 @@
+"""Figure 7: scalability over the number of results (QW2 "columbia",
+100-500 results; time includes clustering + query generation).
+
+Reproduction target (shape): both ISKR and PEBC grow roughly linearly and
+stay interactive at 500 results.
+"""
+
+import numpy as np
+
+from repro.eval.reporting import format_table
+from repro.eval.scalability import run_scalability
+
+from benchmarks.conftest import emit_artifact
+
+SIZES = (100, 200, 300, 400, 500)
+
+
+def test_fig7_scalability(benchmark):
+    points = benchmark.pedantic(
+        lambda: run_scalability(sizes=SIZES, seed=0), rounds=1, iterations=1
+    )
+
+    rows = [
+        [p.n_results, p.iskr_seconds, p.pebc_seconds] for p in points
+    ]
+    emit_artifact(
+        "fig7_scalability",
+        format_table(
+            ["results", "ISKR (s)", "PEBC (s)"],
+            rows,
+            title="Figure 7: Scalability over Number of Results (clustering + expansion)",
+        ),
+    )
+
+    assert [p.n_results for p in points] == list(SIZES)
+    # Shape: time grows with result count; superlinear blowup would show as
+    # the 500-point being far more than 5x the 100-point (allow 12x slack
+    # for constant factors and quadratic clustering terms).
+    iskr = [p.iskr_seconds for p in points]
+    pebc = [p.pebc_seconds for p in points]
+    assert iskr[-1] >= iskr[0] * 0.8
+    assert pebc[-1] >= pebc[0] * 0.8
+    assert iskr[-1] <= max(iskr[0], 1e-3) * 60
+    # Correlation with size should be strongly positive.
+    assert np.corrcoef(SIZES, iskr)[0, 1] > 0.7
+    assert np.corrcoef(SIZES, pebc)[0, 1] > 0.7

@@ -1,0 +1,46 @@
+"""Shared benchmark fixtures.
+
+The full experiment grid (20 benchmark queries × 6 systems on the
+paper-scale corpora) is computed once per session and reused by every
+figure benchmark. Each benchmark writes its reproduced artifact to
+``benchmarks/results/<name>.txt`` and prints it (visible with ``-s``).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.eval.experiment import ExperimentSuite
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def suite() -> ExperimentSuite:
+    """Paper-scale corpora (shopping ~1400 products, wiki 40 docs/sense)."""
+    return ExperimentSuite(seed=0)
+
+
+@pytest.fixture(scope="session")
+def experiments(suite):
+    """All 20 queries × all 6 systems, computed once."""
+    return suite.run_all()
+
+
+@pytest.fixture(scope="session")
+def shopping_experiments(experiments):
+    return [e for e in experiments if e.query.dataset == "shopping"]
+
+
+@pytest.fixture(scope="session")
+def wikipedia_experiments(experiments):
+    return [e for e in experiments if e.query.dataset == "wikipedia"]
+
+
+def emit_artifact(name: str, text: str) -> None:
+    """Print a reproduced figure/table and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    print(f"\n{'=' * 72}\n{text}\n{'=' * 72}")

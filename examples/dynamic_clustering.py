@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Dynamic clustering-method selection (§7 future work).
+
+The paper's conclusions ask for "techniques for choosing the best
+clustering method dynamically". AutoClustering runs k-means, average-link
+agglomerative and bisecting k-means over the result vectors and keeps the
+labeling with the best cosine silhouette. This example shows the selection
+happening per query and its effect on expansion quality.
+
+Run:  python examples/dynamic_clustering.py
+"""
+
+from repro import (
+    Analyzer,
+    AutoClustering,
+    ClusterQueryExpander,
+    ExpansionConfig,
+    ISKR,
+    SearchEngine,
+    build_wikipedia_corpus,
+)
+
+QUERIES = [("java", 3), ("rockets", 3), ("columbia", 3)]
+
+
+def main() -> None:
+    analyzer = Analyzer(use_stemming=False)
+    corpus = build_wikipedia_corpus(seed=0, analyzer=analyzer)
+    engine = SearchEngine(corpus, analyzer)
+
+    for query, k in QUERIES:
+        config = ExpansionConfig(n_clusters=k, top_k_results=30)
+
+        baseline = ClusterQueryExpander(engine, ISKR(), config).expand(query)
+
+        auto = AutoClustering(n_clusters=k, seed=0)
+        dynamic = ClusterQueryExpander(
+            engine, ISKR(), config, clusterer=auto
+        ).expand(query)
+
+        print(f"=== {query!r}")
+        print(f"  fixed k-means     : score {baseline.score:.3f}")
+        sils = ", ".join(f"{n}={s:.2f}" for n, s in sorted(auto.scores.items()))
+        print(f"  dynamic selection : score {dynamic.score:.3f} "
+              f"(chose {auto.chosen}; silhouettes {sils})")
+        for eq in dynamic.expanded:
+            print(f"      {eq.display()}   [F={eq.fmeasure:.2f}]")
+        print()
+
+
+if __name__ == "__main__":
+    main()

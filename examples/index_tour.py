@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Tour of the retrieval substrate: boolean queries, phrases, disk indexes.
+
+The expansion algorithms sit on a from-scratch search engine. This example
+exercises its deeper layers directly:
+
+1. the boolean query language (AND/OR/NOT, parentheses, phrases);
+2. the positional index behind phrase and proximity queries;
+3. posting-list compression (varint and Elias gamma) and the binary
+   on-disk index format, round-tripped through a temporary file.
+
+Run:  python examples/index_tour.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import Analyzer, build_wikipedia_corpus
+from repro.index.compression import encode_postings
+from repro.index.diskindex import DiskIndex, write_index
+from repro.index.inverted_index import InvertedIndex
+from repro.index.positional import PositionalIndex
+from repro.index.queryparser import evaluate_query
+
+
+def build_sentence_corpus(sentences, analyzer):
+    from repro.data.corpus import Corpus
+    from repro.data.documents import make_text_document
+
+    return Corpus(
+        make_text_document(f"s{i}", text, analyzer=analyzer)
+        for i, text in enumerate(sentences)
+    )
+
+
+def main() -> None:
+    analyzer = Analyzer(use_stemming=False)
+    corpus = build_wikipedia_corpus(
+        seed=0, docs_per_sense=10, terms=["java", "rockets"], analyzer=analyzer
+    )
+    index = InvertedIndex(corpus)
+    print(f"corpus: {len(corpus)} documents, {index.num_terms} terms")
+
+    # 1. Boolean query language -------------------------------------------
+    for query in (
+        "java AND island",
+        "java (compiler OR syntax) NOT island",
+        "java NOT (compiler OR syntax)",
+    ):
+        matches = evaluate_query(query, index)
+        print(f"  {query!r:45s} -> {len(matches)} documents")
+
+    # 2. Positional index: phrases and proximity ---------------------------
+    # Positions come from token order, so phrase search needs real text;
+    # a handful of sentences stand in for a positional corpus.
+    sentences = [
+        "san jose is a city in northern california",
+        "the sharks play hockey in san jose",
+        "jose moved from san diego to san jose",
+        "san francisco is north of san jose",
+    ]
+    sentence_index = InvertedIndex(
+        build_sentence_corpus(sentences, analyzer)
+    )
+    positional = PositionalIndex([s.split() for s in sentences])
+    phrase = evaluate_query(
+        '"san jose"', sentence_index, positional=positional
+    )
+    near = positional.within_query(["san", "diego"], slop=0)
+    print(f"  phrase \"san jose\" -> documents {phrase}")
+    print(f"  phrase \"san diego\" -> documents {near}")
+
+    # 3. Compression and the disk format ------------------------------------
+    term = max(index.vocabulary(), key=index.document_frequency)
+    plist = index.postings(term)
+    doc_ids = [p.doc for p in plist]
+    tfs = [p.tf for p in plist]
+    raw = 8 * len(doc_ids)
+    for codec in ("varint", "gamma"):
+        blob = encode_postings(doc_ids, tfs, codec=codec)
+        print(
+            f"  {term!r} postings ({len(doc_ids)} entries): "
+            f"{raw}B raw -> {len(blob)}B {codec}"
+        )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "wiki.qecx"
+        size = write_index(index, path, codec="varint")
+        loaded = DiskIndex.load(path)
+        same = loaded.and_query(["java"]) == index.and_query(["java"])
+        print(
+            f"  disk index: {size} bytes, reload consistent with memory: {same}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Bring your own data: build documents, persist them, expand over them.
+
+Shows the full data-model API — text documents, structured documents with
+feature triplets, JSONL round-tripping — on a tiny hand-written corpus,
+then runs cluster-based expansion on it.
+
+Run:  python examples/persistence_and_custom_data.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import (
+    Analyzer,
+    ClusterQueryExpander,
+    Corpus,
+    ExpansionConfig,
+    Feature,
+    ISKR,
+    SearchEngine,
+    make_structured_document,
+    make_text_document,
+)
+from repro.data.io import load_corpus_jsonl, save_corpus_jsonl
+
+
+def build_corpus(analyzer: Analyzer) -> Corpus:
+    corpus = Corpus()
+    # Text documents: two senses of "jaguar".
+    cars = [
+        "jaguar coupe engine horsepower sedan british luxury",
+        "jaguar xk engine convertible leather coupe speed",
+        "jaguar dealership sedan warranty engine test drive",
+    ]
+    cats = [
+        "jaguar jungle predator cat habitat amazon spotted",
+        "jaguar cat prey rainforest territory spotted jungle",
+        "jaguar conservation habitat species cat endangered",
+    ]
+    for i, text in enumerate(cars + cats):
+        corpus.add(make_text_document(f"doc-{i}", text, analyzer))
+    # A structured document, for flavor: features are first-class terms.
+    corpus.add(
+        make_structured_document(
+            "prod-1",
+            [
+                Feature("car", "brand", "jaguar"),
+                Feature("car", "model", "xj"),
+            ],
+            analyzer,
+            title="jaguar xj sedan",
+        )
+    )
+    return corpus
+
+
+def main() -> None:
+    analyzer = Analyzer(use_stemming=False)
+    corpus = build_corpus(analyzer)
+
+    # Persist and reload: the term bags round-trip exactly.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "jaguar.jsonl"
+        save_corpus_jsonl(corpus, path)
+        corpus = load_corpus_jsonl(path)
+        print(f"reloaded {len(corpus)} documents from {path.name}")
+
+    engine = SearchEngine(corpus, analyzer)
+    config = ExpansionConfig(
+        n_clusters=2, top_k_results=None, min_candidates=8
+    )
+    report = ClusterQueryExpander(engine, ISKR(), config).expand("jaguar")
+    print(f"\nexpanded queries for 'jaguar' (score {report.score:.3f}):")
+    for eq in report.expanded:
+        print(f"    {eq.display()}   [F={eq.fmeasure:.2f}]")
+
+
+if __name__ == "__main__":
+    main()

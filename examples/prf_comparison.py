@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Pseudo-relevance feedback vs cluster-based expansion on an ambiguous query.
+
+The paper's related-work argument (§F): PRF builds its expansion from the
+top-ranked results, which reflect only the *dominant* interpretation of an
+ambiguous query — so its suggestions are redundant variations on one sense.
+Cluster-based expansion generates one query per sense instead.
+
+This example runs the three classic PRF term-selection schemes the paper
+cites (Rocchio [24], KLD [7], Robertson [20]) and ISKR on the ambiguous
+query "java", and reports comprehensiveness (F-based cluster coverage) and
+diversity (1 - overlap of the suggestions' result sets).
+
+Run:  python examples/prf_comparison.py
+"""
+
+from repro import (
+    Analyzer,
+    KLDivergencePRF,
+    RobertsonPRF,
+    RocchioPRF,
+    SearchEngine,
+    build_wikipedia_corpus,
+)
+from repro.prf.comparison import compare_suggesters
+
+
+def main() -> None:
+    analyzer = Analyzer(use_stemming=False)
+    corpus = build_wikipedia_corpus(seed=0, analyzer=analyzer)
+    engine = SearchEngine(corpus, analyzer)
+
+    prf_schemes = [
+        RocchioPRF(n_feedback=10, n_queries=3),
+        KLDivergencePRF(n_feedback=10, n_queries=3),
+        RobertsonPRF(n_feedback=10, n_queries=3),
+    ]
+    comparisons = compare_suggesters(
+        engine, "java", prf_schemes, n_clusters=3, top_k_results=30, seed=0
+    )
+
+    print("system      coverage  diversity  suggestions")
+    print("-" * 100)
+    for comp in comparisons:
+        suggestions = " | ".join(", ".join(q) for q in comp.queries)
+        print(
+            f"{comp.system:<11} {comp.coverage:>8.3f}  {comp.diversity:>9.3f}"
+            f"  {suggestions}"
+        )
+    print()
+    print(
+        "Note how every PRF scheme suggests variations of the dominant\n"
+        "'server' sense (high overlap, partial coverage) while ISKR's\n"
+        "per-cluster queries span all senses of 'java'."
+    )
+
+
+if __name__ == "__main__":
+    main()

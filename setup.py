@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` needs ``wheel`` for PEP 517 editable installs; this
+offline environment lacks it, so ``python setup.py develop`` (or this shim
+via legacy pip) provides the editable install instead. Configuration lives
+in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

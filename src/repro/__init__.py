@@ -1,0 +1,142 @@
+"""repro — reproduction of "Query Expansion Based on Clustered Results".
+
+Liu, Natarajan, Chen. PVLDB 4(6):350-361, 2011.
+
+The library generates, for an ambiguous or exploratory keyword query, a set
+of expanded queries that *classifies* the original query's results: results
+are clustered, and one expanded query is generated per cluster so that its
+result set matches the cluster as closely as possible (maximum F-measure).
+
+Quickstart
+----------
+>>> from repro import (Analyzer, ClusterQueryExpander, ExpansionConfig,
+...                    ISKR, SearchEngine, build_wikipedia_corpus)
+>>> analyzer = Analyzer(use_stemming=False)
+>>> corpus = build_wikipedia_corpus(seed=0, analyzer=analyzer)
+>>> engine = SearchEngine(corpus, analyzer)
+>>> expander = ClusterQueryExpander(engine, ISKR(), ExpansionConfig(n_clusters=3))
+>>> report = expander.expand("java")
+>>> len(report.expanded) >= 2
+True
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every reproduced table and figure.
+"""
+
+from repro.baselines import (
+    ClusterSummarization,
+    DataClouds,
+    QueryLog,
+    QueryLogSuggester,
+)
+from repro.cluster import (
+    AdaptiveKClusterer,
+    AgglomerativeClustering,
+    AutoClustering,
+    BisectingKMeans,
+    CosineKMeans,
+    KMedoids,
+    TfVectorizer,
+)
+from repro.core import (
+    ClusterQueryExpander,
+    InterleavedExpander,
+    DeltaFMeasureRefinement,
+    ExhaustiveOptimalExpansion,
+    ExpandedQuery,
+    ExpansionConfig,
+    ExpansionReport,
+    ExpansionTask,
+    ISKR,
+    PEBC,
+    ResultUniverse,
+    VectorSpaceRefinement,
+    eq1_score,
+    fmeasure,
+    precision_recall_f,
+)
+from repro.data import Corpus, Document, Feature, make_structured_document, make_text_document
+from repro.datasets import (
+    BenchmarkQuery,
+    all_queries,
+    build_query_log,
+    build_shopping_corpus,
+    build_wikipedia_corpus,
+    query_by_id,
+)
+from repro.errors import (
+    ClusteringError,
+    ConfigError,
+    DataError,
+    ExpansionError,
+    IndexingError,
+    QueryError,
+    ReproError,
+)
+from repro.eval import ExperimentSuite, UserStudySimulator, run_scalability
+from repro.index import BM25Scorer, InvertedIndex, SearchEngine, SearchResult
+from repro.prf import KLDivergencePRF, RobertsonPRF, RocchioPRF
+from repro.text import Analyzer, PorterStemmer, tokenize
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptiveKClusterer",
+    "AgglomerativeClustering",
+    "Analyzer",
+    "AutoClustering",
+    "BM25Scorer",
+    "BenchmarkQuery",
+    "BisectingKMeans",
+    "ClusterQueryExpander",
+    "ClusterSummarization",
+    "ClusteringError",
+    "ConfigError",
+    "Corpus",
+    "CosineKMeans",
+    "DataClouds",
+    "DataError",
+    "DeltaFMeasureRefinement",
+    "Document",
+    "ExhaustiveOptimalExpansion",
+    "ExpandedQuery",
+    "ExpansionConfig",
+    "ExpansionError",
+    "ExpansionReport",
+    "ExpansionTask",
+    "ExperimentSuite",
+    "Feature",
+    "ISKR",
+    "IndexingError",
+    "InterleavedExpander",
+    "InvertedIndex",
+    "KLDivergencePRF",
+    "KMedoids",
+    "PEBC",
+    "PorterStemmer",
+    "QueryError",
+    "QueryLog",
+    "QueryLogSuggester",
+    "ReproError",
+    "ResultUniverse",
+    "RobertsonPRF",
+    "RocchioPRF",
+    "SearchEngine",
+    "SearchResult",
+    "TfVectorizer",
+    "UserStudySimulator",
+    "VectorSpaceRefinement",
+    "all_queries",
+    "build_query_log",
+    "build_shopping_corpus",
+    "build_wikipedia_corpus",
+    "eq1_score",
+    "fmeasure",
+    "make_structured_document",
+    "make_text_document",
+    "precision_recall_f",
+    "query_by_id",
+    "run_scalability",
+    "tokenize",
+    "__version__",
+]

@@ -1,0 +1,27 @@
+"""Comparison systems from the paper's evaluation (§5.1, appendix C).
+
+- :class:`~repro.baselines.dataclouds.DataClouds` — popular words over the
+  ranked result list, no clustering [15].
+- :class:`~repro.baselines.cluster_summarization.ClusterSummarization` —
+  TF-ICF cluster labels used as queries [6].
+- :class:`~repro.baselines.querylog.QueryLogSuggester` — suggestions mined
+  from a query log; stand-in for the paper's Google baseline (see
+  DESIGN.md §4 substitutions).
+
+All baselines emit :class:`~repro.baselines.base.BaselineSuggestions`, which
+carries the suggested queries plus (when cluster-based) per-cluster
+F-measures so the experiment harness can score them with Eq. 1.
+"""
+
+from repro.baselines.base import BaselineSuggestions
+from repro.baselines.cluster_summarization import ClusterSummarization
+from repro.baselines.dataclouds import DataClouds
+from repro.baselines.querylog import QueryLog, QueryLogSuggester
+
+__all__ = [
+    "BaselineSuggestions",
+    "ClusterSummarization",
+    "DataClouds",
+    "QueryLog",
+    "QueryLogSuggester",
+]

@@ -1,0 +1,102 @@
+"""Cluster Summarization (CS) baseline [6]: TF-ICF cluster labels as queries.
+
+"It first clusters the results, then generates a label for each cluster.
+The label of a cluster is selected based on the term frequency (tf) and
+inverse cluster frequency (icf) of the words in the cluster." (§C)
+
+CS ignores keyword *interaction*: its label terms individually have high
+TF-ICF but need not co-occur in any result, so using the label as an AND
+query often retrieves few results — the low-recall failure the paper
+dissects (§5.2.2, e.g. QW9 "mouse, technique, wheel, interface").
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.baselines.base import BaselineSuggestions
+from repro.core.metrics import precision_recall_f
+from repro.core.universe import ResultUniverse
+from repro.index.search import SearchEngine, SearchResult
+
+
+class ClusterSummarization:
+    """TF-ICF labels per cluster, used verbatim as expanded queries."""
+
+    name = "CS"
+
+    def __init__(self, label_terms: int = 3) -> None:
+        if label_terms < 1:
+            raise ValueError(f"label_terms must be >= 1, got {label_terms}")
+        self._label_terms = label_terms
+
+    def suggest(
+        self,
+        engine: SearchEngine,
+        seed_query: str,
+        results: Sequence[SearchResult],
+        labels: np.ndarray,
+        universe: ResultUniverse | None = None,
+        max_queries: int = 5,
+    ) -> BaselineSuggestions:
+        """Label each cluster by top TF-ICF terms; score with Eq. 1 inputs.
+
+        ``labels`` is the cluster assignment over ``results`` (same
+        clustering the main algorithms use, so Eq. 1 scores are comparable).
+        """
+        seed_terms = tuple(engine.parse(seed_query))
+        seed = set(seed_terms)
+        uni = universe or ResultUniverse([r.document for r in results])
+        cluster_ids = sorted(set(int(l) for l in labels))
+        n_clusters = len(cluster_ids)
+
+        # Cluster frequency: in how many clusters does each term occur?
+        cluster_terms: dict[int, set[str]] = {}
+        for cid in cluster_ids:
+            members = [r.document for r, l in zip(results, labels) if int(l) == cid]
+            terms: set[str] = set()
+            for doc in members:
+                terms.update(doc.terms)
+            cluster_terms[cid] = terms
+        cf: dict[str, int] = {}
+        for terms in cluster_terms.values():
+            for t in terms:
+                cf[t] = cf.get(t, 0) + 1
+
+        ordered = sorted(
+            cluster_ids,
+            key=lambda c: -sum(1 for l in labels if int(l) == c),
+        )[:max_queries]
+
+        queries: list[tuple[str, ...]] = []
+        fmeasures: list[float] = []
+        for cid in ordered:
+            members = [r.document for r, l in zip(results, labels) if int(l) == cid]
+            tf: dict[str, int] = {}
+            for doc in members:
+                for term, count in doc.terms.items():
+                    if term in seed:
+                        continue
+                    tf[term] = tf.get(term, 0) + count
+            scored = [
+                (count * math.log(1.0 + n_clusters / cf[term]), term)
+                for term, count in tf.items()
+            ]
+            scored.sort(key=lambda item: (-item[0], item[1]))
+            label = tuple(term for _, term in scored[: self._label_terms])
+            query = seed_terms + label
+            queries.append(query)
+            mask = uni.results_mask(query)
+            cluster_mask = np.array([int(l) == cid for l in labels], dtype=bool)
+            _, _, f = precision_recall_f(uni, mask, cluster_mask)
+            fmeasures.append(f)
+
+        return BaselineSuggestions(
+            system=self.name,
+            seed_query=seed_query,
+            queries=tuple(queries),
+            fmeasures=tuple(fmeasures),
+        )

@@ -1,0 +1,55 @@
+"""Data Clouds baseline [15]: popular words over the ranked results.
+
+"Data Clouds takes a set of ranked results, and returns the top-k important
+words in the results. The importance of a word is measured by its term
+frequency in the results it appears, inverse document frequency, as well as
+the ranking score of the results that contain the word." (§C)
+
+Each of the top words, appended to the seed query, forms one expanded
+query. No clustering is involved — which is exactly why the paper's Eq. 1
+score does not apply to it and why its suggestions can lack comprehensiveness
+and diversity (§5.2.1).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.baselines.base import BaselineSuggestions
+from repro.index.search import SearchEngine, SearchResult
+
+
+class DataClouds:
+    """Top-k important words over ranked results, one query per word."""
+
+    name = "DataClouds"
+
+    def __init__(self, n_queries: int = 3) -> None:
+        self._n_queries = n_queries
+
+    def suggest(
+        self,
+        engine: SearchEngine,
+        seed_query: str,
+        results: Sequence[SearchResult],
+    ) -> BaselineSuggestions:
+        """Score every non-seed term by tf × idf × rank weight; keep top-k."""
+        seed_terms = tuple(engine.parse(seed_query))
+        seed = set(seed_terms)
+        n_docs = max(engine.index.num_documents, 1)
+        scores: dict[str, float] = {}
+        for result in results:
+            rank_weight = max(result.score, 1e-9)
+            for term, tf in result.document.terms.items():
+                if term in seed:
+                    continue
+                df = max(engine.index.document_frequency(term), 1)
+                idf = math.log(1.0 + n_docs / df)
+                scores[term] = scores.get(term, 0.0) + tf * idf * rank_weight
+        ranked = sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))
+        top = [term for term, _ in ranked[: self._n_queries]]
+        queries = tuple(seed_terms + (term,) for term in top)
+        return BaselineSuggestions(
+            system=self.name, seed_query=seed_query, queries=queries
+        )

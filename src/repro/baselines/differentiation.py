@@ -1,0 +1,130 @@
+"""Result differentiation comparator ([18], the authors' prior work).
+
+[18] differentiates a set of user-selected results by choosing feature
+*types* — ``(entity, attribute)`` pairs shared by all results — whose
+values (or value distributions) differ across the results. The paper's
+related-work section explains why that technique does not transfer to
+query expansion:
+
+* a differentiating feature type is chosen because its *values* differ,
+  but the type keyword itself retrieves every result ("both stores can be
+  retrieved by keyword 'outwear'") — no classification power;
+* it requires feature types *shared by all results*, which ambiguous
+  queries with heterogeneous result schemas do not have — "generally
+  inapplicable".
+
+This module implements the technique faithfully enough to exhibit both
+failure modes on the harness's shared axes.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Sequence
+
+from repro.baselines.base import BaselineSuggestions
+from repro.data.documents import Document
+from repro.errors import ConfigError
+
+
+def shared_feature_types(documents: Sequence[Document]) -> list[str]:
+    """Feature types (``entity:attribute`` keys) present in *every* result.
+
+    Empty for any result list containing a plain text document — the
+    inapplicability case.
+    """
+    if not documents:
+        return []
+    shared: set[str] | None = None
+    for doc in documents:
+        keys = set(doc.fields)
+        shared = keys if shared is None else (shared & keys)
+        if not shared:
+            return []
+    return sorted(shared or set())
+
+
+def value_entropy(documents: Sequence[Document], key: str) -> float:
+    """Shannon entropy (bits) of the value distribution of ``key``.
+
+    The differentiation criterion: higher entropy = results differ more on
+    this feature type. Documents lacking the key contribute nothing (the
+    caller restricts to shared keys anyway).
+    """
+    counts = Counter(
+        " ".join(str(doc.fields[key]).lower().split())
+        for doc in documents
+        if key in doc.fields
+    )
+    total = sum(counts.values())
+    if total == 0:
+        return 0.0
+    entropy = 0.0
+    for count in counts.values():
+        p = count / total
+        entropy -= p * math.log2(p)
+    return entropy
+
+
+class ResultDifferentiation:
+    """[18] as a query-expansion baseline: differentiating types as queries.
+
+    Ranks the shared feature types by value entropy and emits one query
+    per top type: the seed terms plus the attribute-name keyword (the
+    form a user would type). Because every result *has* the attribute,
+    each such query retrieves (nearly) the whole result set — the
+    precision failure the paper describes.
+    """
+
+    name = "Differentiation"
+
+    def __init__(self, n_queries: int = 3) -> None:
+        if n_queries < 1:
+            raise ConfigError(f"n_queries must be >= 1, got {n_queries}")
+        self._n_queries = n_queries
+
+    def differentiating_types(
+        self, documents: Sequence[Document]
+    ) -> list[tuple[str, float]]:
+        """Shared feature types with entropies, most differentiating first."""
+        shared = shared_feature_types(documents)
+        scored = [(key, value_entropy(documents, key)) for key in shared]
+        scored = [(k, e) for k, e in scored if e > 0.0]
+        scored.sort(key=lambda ke: (-ke[1], ke[0]))
+        return scored
+
+    def suggest(
+        self,
+        engine,
+        seed_query: str,
+        documents: Sequence[Document],
+    ) -> BaselineSuggestions:
+        """Emit type-keyword queries for the top differentiating types.
+
+        ``engine`` supplies query parsing (the analyzer); suggestion terms
+        are the analyzed attribute names so they match indexed tokens.
+        """
+        seed_terms = tuple(engine.parse(seed_query))
+        scored = self.differentiating_types(documents)
+        queries: list[tuple[str, ...]] = []
+        seen: set[tuple[str, ...]] = set()
+        for key, _ in scored:
+            attribute = key.split(":", 1)[1]
+            tokens = tuple(engine.analyzer.analyze(attribute))
+            if not tokens:
+                continue
+            query = seed_terms + tuple(
+                t for t in tokens if t not in seed_terms
+            )
+            if query in seen or query == seed_terms:
+                continue
+            seen.add(query)
+            queries.append(query)
+            if len(queries) == self._n_queries:
+                break
+        return BaselineSuggestions(
+            system=self.name,
+            seed_query=seed_query,
+            queries=tuple(queries),
+        )

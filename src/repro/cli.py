@@ -1,0 +1,367 @@
+"""Command-line interface: search, expand, and reproduce from a shell.
+
+Subcommands
+-----------
+search       run a keyword query over a synthetic corpus
+expand       generate expanded queries for a seed query
+interleave   §7 future work: alternate clustering and expansion
+prf          compare pseudo-relevance-feedback schemes against ISKR
+facets       faceted-search comparator over a seed query's results
+experiment   run benchmark queries through the evaluation systems
+scalability  the Figure-7 sweep
+userstudy    the simulated rater panel over selected queries
+
+Example::
+
+    repro-qec expand --dataset wikipedia --query java --algorithm iskr -k 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.config import ExpansionConfig
+from repro.core.expander import ClusterQueryExpander
+from repro.core.fmeasure import DeltaFMeasureRefinement
+from repro.core.iskr import ISKR
+from repro.core.pebc import PEBC
+from repro.core.vsm import VectorSpaceRefinement
+from repro.datasets.queries import all_queries, query_by_id
+from repro.datasets.shopping import build_shopping_corpus
+from repro.datasets.wikipedia import build_wikipedia_corpus
+from repro.errors import ReproError
+from repro.eval.experiment import ALL_SYSTEMS, ExperimentSuite
+from repro.eval.reporting import format_bar_chart, format_grouped_series, format_table
+from repro.eval.scalability import run_scalability
+from repro.eval.user_study import UserStudySimulator
+from repro.index.search import SearchEngine
+from repro.snippets import generate_snippet
+from repro.text.analyzer import Analyzer
+
+_ALGORITHMS = {
+    "iskr": lambda seed: ISKR(),
+    "pebc": lambda seed: PEBC(seed=seed),
+    "fmeasure": lambda seed: DeltaFMeasureRefinement(),
+    "vsm": lambda seed: VectorSpaceRefinement(),
+}
+
+
+def _build_engine(dataset: str, seed: int, scoring: str) -> SearchEngine:
+    analyzer = Analyzer(use_stemming=False)
+    if dataset == "shopping":
+        corpus = build_shopping_corpus(seed=seed, analyzer=analyzer)
+    elif dataset == "wikipedia":
+        corpus = build_wikipedia_corpus(seed=seed, analyzer=analyzer)
+    else:
+        raise ReproError(f"unknown dataset {dataset!r}")
+    return SearchEngine(corpus, analyzer, scoring=scoring)
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    engine = _build_engine(args.dataset, args.seed, args.scoring)
+    results = engine.search(args.query, top_k=args.top)
+    query_terms = tuple(engine.parse(args.query))
+    rows = []
+    for i, r in enumerate(results):
+        last = (
+            generate_snippet(r.document, query_terms, idf=engine.scorer.idf)[:70]
+            if args.snippets
+            else r.document.title[:60]
+        )
+        rows.append([i + 1, r.document.doc_id, f"{r.score:.4f}", last])
+    print(
+        format_table(
+            ["rank", "doc", "score", "snippet" if args.snippets else "title"],
+            rows,
+            title=f"{len(results)} results for {args.query!r} on {args.dataset}",
+        )
+    )
+    return 0
+
+
+def _cmd_expand(args: argparse.Namespace) -> int:
+    engine = _build_engine(args.dataset, args.seed, args.scoring)
+    algorithm = _ALGORITHMS[args.algorithm](args.seed)
+    top_k = args.top if args.top > 0 else None
+    config = ExpansionConfig(
+        n_clusters=args.k, top_k_results=top_k, cluster_seed=args.seed
+    )
+    report = ClusterQueryExpander(engine, algorithm, config).expand(args.query)
+    if args.show_results:
+        from repro.eval.presentation import render_expansion_report
+
+        print(render_expansion_report(report, idf=engine.scorer.idf))
+        return 0
+    print(
+        f"query={args.query!r} algorithm={algorithm.name} "
+        f"results={report.n_results} clusters={report.n_clusters} "
+        f"score={report.score:.3f}"
+    )
+    for eq in report.expanded:
+        print(
+            f"  [cluster {eq.cluster_id}, {eq.cluster_size} results, "
+            f"F={eq.fmeasure:.3f}] {eq.display()}"
+        )
+    return 0
+
+
+def _cmd_interleave(args: argparse.Namespace) -> int:
+    from repro.core.interleaved import InterleavedExpander
+
+    engine = _build_engine(args.dataset, args.seed, args.scoring)
+    algorithm = _ALGORITHMS[args.algorithm](args.seed)
+    top_k = args.top if args.top > 0 else None
+    config = ExpansionConfig(
+        n_clusters=args.k, top_k_results=top_k, cluster_seed=args.seed
+    )
+    report = InterleavedExpander(
+        engine, algorithm, config, max_rounds=args.rounds
+    ).expand(args.query)
+    print(
+        f"query={args.query!r} rounds={len(report.rounds)} "
+        f"converged={report.converged} initial={report.initial_score:.3f} "
+        f"final={report.final_score:.3f} ({report.improvement:+.3f})"
+    )
+    for rnd in report.rounds:
+        marker = " *" if rnd.round_index == report.best_round else ""
+        print(
+            f"  round {rnd.round_index}: score={rnd.score:.3f} "
+            f"moved={rnd.n_moved}{marker}"
+        )
+    for text in report.queries():
+        print(f"  {text}")
+    return 0
+
+
+def _cmd_prf(args: argparse.Namespace) -> int:
+    from repro.prf.comparison import compare_suggesters
+    from repro.prf.kld import KLDivergencePRF
+    from repro.prf.robertson import RobertsonPRF
+    from repro.prf.rocchio import RocchioPRF
+
+    engine = _build_engine(args.dataset, args.seed, args.scoring)
+    prf = [
+        RocchioPRF(n_feedback=args.feedback, n_queries=args.k),
+        KLDivergencePRF(n_feedback=args.feedback, n_queries=args.k),
+        RobertsonPRF(n_feedback=args.feedback, n_queries=args.k),
+    ]
+    top_k = args.top if args.top > 0 else None
+    comparisons = compare_suggesters(
+        engine, args.query, prf, n_clusters=args.k, top_k_results=top_k,
+        seed=args.seed,
+    )
+    rows = [
+        [c.system, f"{c.coverage:.3f}", f"{c.diversity:.3f}",
+         " | ".join(", ".join(q) for q in c.queries)]
+        for c in comparisons
+    ]
+    print(
+        format_table(
+            ["system", "coverage", "diversity", "suggestions"],
+            rows,
+            title=f"PRF vs ISKR for {args.query!r} on {args.dataset}",
+        )
+    )
+    return 0
+
+
+def _cmd_facets(args: argparse.Namespace) -> int:
+    from repro.core.iskr import ISKR as _ISKR
+    from repro.facets.comparator import FacetedSearchComparator
+
+    engine = _build_engine(args.dataset, args.seed, args.scoring)
+    top_k = args.top if args.top > 0 else None
+    config = ExpansionConfig(
+        n_clusters=args.k, top_k_results=top_k, cluster_seed=args.seed
+    )
+    pipeline = ClusterQueryExpander(engine, _ISKR(), config)
+    results = pipeline.retrieve(args.query)
+    labels = pipeline.cluster(results)
+    universe = pipeline.build_universe(results)
+    seed_terms = tuple(engine.parse(args.query))
+    tasks = pipeline.tasks(universe, labels, seed_terms)
+    out = FacetedSearchComparator().suggest(
+        seed_terms, universe, [t.cluster_mask for t in tasks]
+    )
+    if out.is_empty:
+        print(f"no facets extractable from the results of {args.query!r}")
+        return 0
+    print(
+        f"best facet: {out.facet_key}  Eq.1={out.score:.3f} "
+        f"coverage={out.coverage:.3f}"
+    )
+    for query, f in zip(out.queries, out.fmeasures):
+        print(f"  [F={f:.3f}] {', '.join(query)}")
+    return 0
+
+
+def _resolve_queries(qids: list[str]):
+    if not qids:
+        return all_queries()
+    return tuple(query_by_id(qid) for qid in qids)
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    suite = ExperimentSuite(seed=args.seed)
+    queries = _resolve_queries(args.queries)
+    systems = tuple(args.systems) if args.systems else ALL_SYSTEMS
+    experiments = suite.run_all(systems=systems, queries=queries)
+    labels = [e.query.qid for e in experiments]
+    score_series = {
+        s: [
+            e.runs[s].score if e.runs[s].score is not None else float("nan")
+            for e in experiments
+        ]
+        for s in systems
+        if any(e.runs[s].score is not None for e in experiments)
+    }
+    if score_series:
+        print(format_grouped_series(labels, score_series, title="Eq. 1 scores"))
+    time_series = {s: [e.runs[s].seconds for e in experiments] for s in systems}
+    print()
+    print(format_grouped_series(labels, time_series, title="expansion time (s)"))
+    if args.show_queries:
+        for e in experiments:
+            print(f"\n{e.query.qid} ({e.query.text!r}):")
+            for s in systems:
+                for text in e.runs[s].display_queries():
+                    print(f"  {s:10s} {text}")
+    return 0
+
+
+def _cmd_scalability(args: argparse.Namespace) -> int:
+    points = run_scalability(sizes=tuple(args.sizes), seed=args.seed)
+    rows = [[p.n_results, p.iskr_seconds, p.pebc_seconds] for p in points]
+    print(
+        format_table(
+            ["results", "ISKR (s)", "PEBC (s)"],
+            rows,
+            title="scalability (clustering + expansion)",
+        )
+    )
+    return 0
+
+
+def _cmd_userstudy(args: argparse.Namespace) -> int:
+    suite = ExperimentSuite(seed=args.seed)
+    queries = _resolve_queries(args.queries)
+    experiments = suite.run_all(queries=queries)
+    study = UserStudySimulator(n_users=args.users, seed=args.seed).evaluate(
+        experiments
+    )
+    print(
+        format_bar_chart(
+            sorted(study.individual_scores.items()),
+            max_value=5.0,
+            title="individual query scores (1-5)",
+        )
+    )
+    print()
+    print(
+        format_bar_chart(
+            sorted(study.collective_scores.items()),
+            max_value=5.0,
+            title="collective query scores (1-5)",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-qec",
+        description="Query Expansion Based on Clustered Results (VLDB 2011) — reproduction CLI",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="global RNG seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("search", help="run a keyword query")
+    p.add_argument("--dataset", choices=("shopping", "wikipedia"), required=True)
+    p.add_argument("--query", required=True)
+    p.add_argument("--top", type=int, default=10)
+    p.add_argument("--scoring", choices=("tfidf", "bm25", "lm"), default="tfidf")
+    p.add_argument(
+        "--snippets", action="store_true",
+        help="show query-biased snippets instead of titles",
+    )
+    p.set_defaults(func=_cmd_search)
+
+    p = sub.add_parser("expand", help="generate expanded queries")
+    p.add_argument("--dataset", choices=("shopping", "wikipedia"), required=True)
+    p.add_argument("--query", required=True)
+    p.add_argument("--algorithm", choices=sorted(_ALGORITHMS), default="iskr")
+    p.add_argument("-k", type=int, default=3, help="cluster granularity")
+    p.add_argument(
+        "--top", type=int, default=30,
+        help="results to expand over (0 = all results)",
+    )
+    p.add_argument("--scoring", choices=("tfidf", "bm25", "lm"), default="tfidf")
+    p.add_argument(
+        "--show-results", action="store_true",
+        help="render each cluster's top results with query-biased snippets",
+    )
+    p.set_defaults(func=_cmd_expand)
+
+    p = sub.add_parser(
+        "interleave", help="alternate clustering and expansion (§7 future work)"
+    )
+    p.add_argument("--dataset", choices=("shopping", "wikipedia"), required=True)
+    p.add_argument("--query", required=True)
+    p.add_argument("--algorithm", choices=sorted(_ALGORITHMS), default="iskr")
+    p.add_argument("-k", type=int, default=3)
+    p.add_argument("--top", type=int, default=30)
+    p.add_argument("--rounds", type=int, default=4)
+    p.add_argument("--scoring", choices=("tfidf", "bm25", "lm"), default="tfidf")
+    p.set_defaults(func=_cmd_interleave)
+
+    p = sub.add_parser("prf", help="compare PRF schemes against ISKR")
+    p.add_argument("--dataset", choices=("shopping", "wikipedia"), required=True)
+    p.add_argument("--query", required=True)
+    p.add_argument("-k", type=int, default=3)
+    p.add_argument("--top", type=int, default=30)
+    p.add_argument("--feedback", type=int, default=10)
+    p.add_argument("--scoring", choices=("tfidf", "bm25", "lm"), default="tfidf")
+    p.set_defaults(func=_cmd_prf)
+
+    p = sub.add_parser("facets", help="faceted-search comparator")
+    p.add_argument("--dataset", choices=("shopping", "wikipedia"), required=True)
+    p.add_argument("--query", required=True)
+    p.add_argument("-k", type=int, default=3)
+    p.add_argument("--top", type=int, default=0)
+    p.add_argument("--scoring", choices=("tfidf", "bm25", "lm"), default="tfidf")
+    p.set_defaults(func=_cmd_facets)
+
+    p = sub.add_parser("experiment", help="run benchmark queries through the systems")
+    p.add_argument("--queries", nargs="*", default=[], help="query ids (default: all 20)")
+    p.add_argument(
+        "--systems", nargs="*", default=[], choices=list(ALL_SYSTEMS),
+        help="systems to run (default: all)",
+    )
+    p.add_argument("--show-queries", action="store_true")
+    p.set_defaults(func=_cmd_experiment)
+
+    p = sub.add_parser("scalability", help="Figure-7 sweep")
+    p.add_argument("--sizes", nargs="+", type=int, default=[100, 200, 300, 400, 500])
+    p.set_defaults(func=_cmd_scalability)
+
+    p = sub.add_parser("userstudy", help="simulated rater panel")
+    p.add_argument("--queries", nargs="*", default=[])
+    p.add_argument("--users", type=int, default=45)
+    p.set_defaults(func=_cmd_userstudy)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

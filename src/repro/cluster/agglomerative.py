@@ -1,0 +1,57 @@
+"""Average-link agglomerative clustering under cosine similarity.
+
+An alternative clustering backend, supporting the paper's future-work
+question ("how different clustering methods affect the expanded queries",
+§7). Starts from singletons and repeatedly merges the pair of clusters with
+the highest average pairwise cosine similarity until ``n_clusters`` remain.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.similarity import cosine_similarity_matrix
+from repro.errors import ClusteringError
+
+
+class AgglomerativeClustering:
+    """Average-link agglomerative clustering to exactly ``n_clusters``.
+
+    O(n^3) worst case, fine for the paper's scale (tens to hundreds of
+    results per expansion task).
+    """
+
+    def __init__(self, n_clusters: int) -> None:
+        if n_clusters < 1:
+            raise ClusteringError(f"n_clusters must be >= 1, got {n_clusters}")
+        self._k = n_clusters
+
+    def fit_predict(self, matrix: np.ndarray) -> np.ndarray:
+        """Return labels (0..m-1) for the rows of ``matrix``."""
+        if matrix.ndim != 2 or matrix.shape[0] == 0:
+            raise ClusteringError("matrix must be a non-empty 2-D array")
+        n = matrix.shape[0]
+        k = min(self._k, n)
+        sims = cosine_similarity_matrix(matrix)
+        clusters: dict[int, list[int]] = {i: [i] for i in range(n)}
+        while len(clusters) > k:
+            best_pair: tuple[int, int] | None = None
+            best_sim = -np.inf
+            ids = sorted(clusters)
+            for ai in range(len(ids)):
+                for bi in range(ai + 1, len(ids)):
+                    a, b = ids[ai], ids[bi]
+                    block = sims[np.ix_(clusters[a], clusters[b])]
+                    avg = float(block.mean())
+                    if avg > best_sim:
+                        best_sim = avg
+                        best_pair = (a, b)
+            assert best_pair is not None
+            a, b = best_pair
+            clusters[a].extend(clusters[b])
+            del clusters[b]
+        labels = np.zeros(n, dtype=np.int64)
+        for new_id, (_, members) in enumerate(sorted(clusters.items())):
+            for m in members:
+                labels[m] = new_id
+        return labels

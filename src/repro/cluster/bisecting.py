@@ -1,0 +1,82 @@
+"""Bisecting k-means: repeated 2-way spherical splits.
+
+A third clustering backend for the paper's future-work study (§7). Starts
+with one cluster and repeatedly bisects the cluster with the largest
+cosine inertia using 2-means, until ``n_clusters`` clusters exist.
+Bisecting k-means is known to produce more balanced, hierarchical-like
+partitions than plain k-means on text data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.kmeans import CosineKMeans
+from repro.errors import ClusteringError
+
+
+class BisectingKMeans:
+    """Top-down spherical clustering to at most ``n_clusters`` clusters."""
+
+    def __init__(self, n_clusters: int, seed: int = 0, n_init: int = 3) -> None:
+        if n_clusters < 1:
+            raise ClusteringError(f"n_clusters must be >= 1, got {n_clusters}")
+        self._k = n_clusters
+        self._seed = seed
+        self._n_init = n_init
+
+    def fit_predict(self, matrix: np.ndarray) -> np.ndarray:
+        if matrix.ndim != 2 or matrix.shape[0] == 0:
+            raise ClusteringError("matrix must be a non-empty 2-D array")
+        n = matrix.shape[0]
+        k = min(self._k, n)
+        labels = np.zeros(n, dtype=np.int64)
+        inertias = {0: self._inertia(matrix)}
+        frozen: set[int] = set()  # clusters 2-means could not split
+        next_id = 1
+        round_no = 0
+        while len(inertias) < k:
+            round_no += 1
+            # Split the cluster with the largest inertia that is splittable.
+            splittable = [
+                cid for cid, _ in sorted(inertias.items(), key=lambda kv: -kv[1])
+                if cid not in frozen and int((labels == cid).sum()) >= 2
+            ]
+            if not splittable:
+                break
+            target = splittable[0]
+            rows = np.flatnonzero(labels == target)
+            sub = matrix[rows]
+            result = CosineKMeans(
+                n_clusters=2,
+                seed=self._seed + round_no,
+                n_init=self._n_init,
+            ).fit(sub)
+            if result.n_clusters < 2:
+                # Coincident points: cannot split; never try again.
+                frozen.add(target)
+                continue
+            moved = rows[result.labels == 1]
+            labels[moved] = next_id
+            inertias[target] = self._inertia(matrix[labels == target])
+            inertias[next_id] = self._inertia(matrix[labels == next_id])
+            next_id += 1
+        return self._compact(labels)
+
+    @staticmethod
+    def _inertia(rows: np.ndarray) -> float:
+        """Total cosine dissimilarity of rows to their normalized mean."""
+        if rows.shape[0] == 0:
+            return 0.0
+        mean = rows.mean(axis=0)
+        norm = np.linalg.norm(mean)
+        if norm == 0.0:
+            return float(rows.shape[0])
+        centroid = mean / norm
+        return float(rows.shape[0] - (rows @ centroid).sum())
+
+    @staticmethod
+    def _compact(labels: np.ndarray) -> np.ndarray:
+        used = sorted(set(int(l) for l in labels))
+        remap = {old: new for new, old in enumerate(used)}
+        return np.array([remap[int(l)] for l in labels], dtype=np.int64)

@@ -1,0 +1,157 @@
+"""Spherical k-means: k-means over L2-normalized TF vectors (cosine).
+
+This is the clustering method of the paper's experimental setup (§C):
+"We adopt k-means for result clustering ... the similarity of two results is
+the cosine similarity of the vectors." With unit-norm inputs, maximizing
+cosine similarity to the centroid equals minimizing Euclidean distance, and
+re-normalizing centroids each round yields the classic spherical k-means.
+
+``k`` is an *upper bound* on the number of clusters, mirroring §1 ("k is an
+upper bound specified by the user"): empty clusters are dropped, so the
+result may have fewer clusters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ClusteringError
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """Outcome of a k-means run.
+
+    ``labels[i]`` is the cluster id of point i (ids are 0..n_clusters-1 with
+    no gaps); ``centroids`` has one unit-norm row per surviving cluster;
+    ``inertia`` is the total cosine dissimilarity (n - sum of similarities);
+    ``iterations`` is the number of Lloyd rounds performed.
+    """
+
+    labels: np.ndarray
+    centroids: np.ndarray
+    inertia: float
+    iterations: int
+
+    @property
+    def n_clusters(self) -> int:
+        return self.centroids.shape[0]
+
+    def members(self, cluster_id: int) -> list[int]:
+        """Point indices belonging to ``cluster_id``."""
+        return [int(i) for i in np.flatnonzero(self.labels == cluster_id)]
+
+    def clusters(self) -> list[list[int]]:
+        """All clusters as lists of point indices."""
+        return [self.members(c) for c in range(self.n_clusters)]
+
+
+class CosineKMeans:
+    """Spherical k-means with k-means++-style seeding.
+
+    Parameters
+    ----------
+    n_clusters:
+        Upper bound k on the number of clusters.
+    max_iter:
+        Maximum Lloyd iterations per restart.
+    n_init:
+        Number of seeded restarts; the run with lowest inertia wins.
+    seed:
+        RNG seed; identical inputs and seed give identical output.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int,
+        max_iter: int = 50,
+        n_init: int = 4,
+        seed: int = 0,
+    ) -> None:
+        if n_clusters < 1:
+            raise ClusteringError(f"n_clusters must be >= 1, got {n_clusters}")
+        if max_iter < 1:
+            raise ClusteringError(f"max_iter must be >= 1, got {max_iter}")
+        if n_init < 1:
+            raise ClusteringError(f"n_init must be >= 1, got {n_init}")
+        self._k = n_clusters
+        self._max_iter = max_iter
+        self._n_init = n_init
+        self._seed = seed
+
+    def fit(self, matrix: np.ndarray) -> KMeansResult:
+        """Cluster the rows of ``matrix`` (assumed L2-normalized)."""
+        if matrix.ndim != 2 or matrix.shape[0] == 0:
+            raise ClusteringError("matrix must be a non-empty 2-D array")
+        n = matrix.shape[0]
+        k = min(self._k, n)
+        rng = np.random.default_rng(self._seed)
+        best: KMeansResult | None = None
+        for _ in range(self._n_init):
+            result = self._run_once(matrix, k, rng)
+            if best is None or result.inertia < best.inertia:
+                best = result
+        assert best is not None
+        return best
+
+    # -- internals --------------------------------------------------------
+
+    @staticmethod
+    def _seed_centroids(matrix: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+        """k-means++ seeding adapted to cosine dissimilarity (1 - sim)."""
+        n = matrix.shape[0]
+        chosen = [int(rng.integers(n))]
+        dissim = 1.0 - matrix @ matrix[chosen[0]]
+        dissim = np.clip(dissim, 0.0, None)
+        while len(chosen) < k:
+            total = float(dissim.sum())
+            if total <= 1e-12:
+                # All points coincide with a centroid; pick uniformly.
+                candidates = [i for i in range(n) if i not in set(chosen)]
+                chosen.append(int(rng.choice(candidates)))
+            else:
+                probs = dissim / total
+                chosen.append(int(rng.choice(n, p=probs)))
+            new_d = 1.0 - matrix @ matrix[chosen[-1]]
+            dissim = np.minimum(dissim, np.clip(new_d, 0.0, None))
+        return matrix[chosen].copy()
+
+    def _run_once(
+        self, matrix: np.ndarray, k: int, rng: np.random.Generator
+    ) -> KMeansResult:
+        centroids = self._seed_centroids(matrix, k, rng)
+        labels = np.zeros(matrix.shape[0], dtype=np.int64)
+        iterations = 0
+        for iterations in range(1, self._max_iter + 1):
+            sims = matrix @ centroids.T
+            new_labels = np.argmax(sims, axis=1)
+            new_centroids = centroids.copy()
+            for c in range(k):
+                members = matrix[new_labels == c]
+                if members.shape[0] == 0:
+                    continue
+                mean = members.mean(axis=0)
+                norm = np.linalg.norm(mean)
+                if norm > 0:
+                    new_centroids[c] = mean / norm
+            if np.array_equal(new_labels, labels) and iterations > 1:
+                centroids = new_centroids
+                break
+            labels = new_labels
+            centroids = new_centroids
+        labels, centroids = _compact(labels, centroids)
+        sims = matrix @ centroids.T
+        inertia = float(matrix.shape[0] - sims[np.arange(matrix.shape[0]), labels].sum())
+        return KMeansResult(
+            labels=labels, centroids=centroids, inertia=inertia, iterations=iterations
+        )
+
+
+def _compact(labels: np.ndarray, centroids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Drop empty clusters and renumber labels to 0..m-1."""
+    used = np.unique(labels)
+    remap = {int(old): new for new, old in enumerate(used)}
+    new_labels = np.array([remap[int(l)] for l in labels], dtype=np.int64)
+    return new_labels, centroids[used]

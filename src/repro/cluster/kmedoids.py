@@ -1,0 +1,132 @@
+"""K-medoids clustering with cluster representatives (related work [1]).
+
+[1] ("Using Trees to Depict a Forest") generates one *representative* per
+cluster using k-medoids — an actual member of the cluster rather than a
+synthetic centroid. For query expansion this matters twice: the medoid is
+a presentable exemplar of the cluster, and medoid-based clustering is
+robust to the outlier results that ambiguous queries drag in.
+
+The implementation is a deterministic PAM-style alternation over cosine
+distance: assign every point to its nearest medoid, then move each medoid
+to the member minimizing the within-cluster distance sum, until fixed
+point or ``max_iter``. Initialization is k-means++-style D² seeding with
+an explicit RNG seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.similarity import cosine_similarity_matrix
+from repro.errors import ClusteringError
+
+
+@dataclass(frozen=True)
+class KMedoidsResult:
+    """Labels plus the medoid row index of each cluster."""
+
+    labels: np.ndarray
+    medoids: tuple[int, ...]
+    inertia: float  # total point-to-medoid cosine distance
+    n_iter: int
+
+
+class KMedoids:
+    """PAM-style k-medoids over cosine distance.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of clusters (>= 1); capped at the point count on ``fit``.
+    seed:
+        RNG seed for the D² initialization.
+    max_iter:
+        Upper bound on assign/update alternations.
+    """
+
+    def __init__(self, n_clusters: int, seed: int = 0, max_iter: int = 50) -> None:
+        if n_clusters < 1:
+            raise ClusteringError(f"n_clusters must be >= 1, got {n_clusters}")
+        if max_iter < 1:
+            raise ClusteringError(f"max_iter must be >= 1, got {max_iter}")
+        self._k = n_clusters
+        self._seed = seed
+        self._max_iter = max_iter
+
+    def fit(self, matrix: np.ndarray) -> KMedoidsResult:
+        """Cluster the rows of ``matrix`` (n_points x n_features)."""
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[0] == 0:
+            raise ClusteringError(f"bad matrix shape {matrix.shape}")
+        n = matrix.shape[0]
+        k = min(self._k, n)
+        distances = 1.0 - cosine_similarity_matrix(matrix)
+        np.fill_diagonal(distances, 0.0)
+        np.clip(distances, 0.0, None, out=distances)
+
+        medoids = self._init_medoids(distances, n, k)
+        labels = np.argmin(distances[:, medoids], axis=1)
+        n_iter = 0
+        for n_iter in range(1, self._max_iter + 1):
+            new_medoids = list(medoids)
+            for ci in range(k):
+                members = np.nonzero(labels == ci)[0]
+                if members.size == 0:
+                    continue
+                within = distances[np.ix_(members, members)].sum(axis=1)
+                new_medoids[ci] = int(members[int(np.argmin(within))])
+            new_medoids_arr = np.array(sorted(set(new_medoids)), dtype=np.int64)
+            if new_medoids_arr.size < k:
+                # Two clusters collapsed onto one medoid; keep the old set.
+                new_medoids_arr = np.asarray(medoids)
+            new_labels = np.argmin(distances[:, new_medoids_arr], axis=1)
+            if (
+                new_medoids_arr.shape == np.asarray(medoids).shape
+                and np.array_equal(new_medoids_arr, medoids)
+                and np.array_equal(new_labels, labels)
+            ):
+                break
+            medoids = new_medoids_arr
+            labels = new_labels
+        inertia = float(
+            distances[np.arange(n), np.asarray(medoids)[labels]].sum()
+        )
+        return KMedoidsResult(
+            labels=labels.astype(np.int64),
+            medoids=tuple(int(m) for m in medoids),
+            inertia=inertia,
+            n_iter=n_iter,
+        )
+
+    def fit_predict(self, matrix: np.ndarray) -> np.ndarray:
+        """Clustering-backend interface: labels only."""
+        return self.fit(matrix).labels
+
+    def _init_medoids(
+        self, distances: np.ndarray, n: int, k: int
+    ) -> np.ndarray:
+        """k-means++-style D² seeding over the distance matrix."""
+        rng = np.random.default_rng(self._seed)
+        first = int(rng.integers(n))
+        medoids = [first]
+        while len(medoids) < k:
+            closest = distances[:, medoids].min(axis=1)
+            total = closest.sum()
+            if total <= 0.0:
+                # All remaining points coincide with a medoid: pick the
+                # lowest unused index for determinism.
+                unused = [i for i in range(n) if i not in medoids]
+                medoids.append(unused[0])
+                continue
+            probs = closest / total
+            medoids.append(int(rng.choice(n, p=probs)))
+        return np.array(sorted(set(medoids)), dtype=np.int64)
+
+
+def cluster_representatives(
+    result: KMedoidsResult,
+) -> dict[int, int]:
+    """Map cluster label → medoid row index (the [1]-style representative)."""
+    return {ci: m for ci, m in enumerate(result.medoids)}

@@ -1,0 +1,108 @@
+"""Dynamic choice of the cluster count k (paper §1: k is an *upper bound*).
+
+"we propose to first cluster the results into k clusters using one of the
+existing clustering methods, where k is an upper bound specified by the
+user" — the system is free to use fewer clusters when the data supports
+fewer interpretations. :func:`choose_k` sweeps k from 2 to the bound and
+keeps the labeling with the best mean-cosine silhouette; a corpus with two
+senses then yields two expanded queries even if the user allowed five.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.cluster.kmeans import CosineKMeans
+from repro.cluster.quality import silhouette_score
+from repro.errors import ClusteringError
+
+
+@dataclass(frozen=True)
+class KSelection:
+    """Outcome of the k sweep."""
+
+    k: int
+    labels: np.ndarray
+    silhouettes: dict[int, float]  # k -> score, for every k tried
+
+
+def choose_k(
+    matrix: np.ndarray,
+    max_k: int,
+    seed: int = 0,
+    backend_factory: Callable[[int], object] | None = None,
+) -> KSelection:
+    """Pick the best k in ``[2, max_k]`` by silhouette score.
+
+    Parameters
+    ----------
+    matrix:
+        Row-per-result feature matrix.
+    max_k:
+        The user's granularity upper bound (>= 2). Values above the point
+        count are clamped.
+    backend_factory:
+        ``k -> clustering backend`` with ``fit_predict``; defaults to
+        spherical k-means with the given seed. Every candidate k uses a
+        fresh backend.
+
+    Single-point inputs cannot be split: a :class:`ClusteringError` is
+    raised (the caller should skip expansion for singleton result sets).
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2 or matrix.shape[0] == 0:
+        raise ClusteringError(f"bad matrix shape {matrix.shape}")
+    if max_k < 2:
+        raise ClusteringError(f"max_k must be >= 2, got {max_k}")
+    n = matrix.shape[0]
+    if n < 2:
+        raise ClusteringError("cannot choose k for fewer than 2 points")
+    if backend_factory is None:
+        backend_factory = lambda k: CosineKMeans(n_clusters=k, seed=seed)
+
+    best_k = 2
+    best_score = -np.inf
+    best_labels: np.ndarray | None = None
+    silhouettes: dict[int, float] = {}
+    for k in range(2, min(max_k, n) + 1):
+        backend = backend_factory(k)
+        labels = np.asarray(_fit(backend, matrix), dtype=np.int64)
+        if len(set(labels.tolist())) < 2:
+            score = -1.0
+        else:
+            score = silhouette_score(matrix, labels)
+        silhouettes[k] = score
+        if score > best_score:
+            best_k, best_score, best_labels = k, score, labels
+    assert best_labels is not None
+    return KSelection(k=best_k, labels=best_labels, silhouettes=silhouettes)
+
+
+def _fit(backend, matrix: np.ndarray) -> np.ndarray:
+    """Run a backend that exposes either fit_predict or fit().labels."""
+    if hasattr(backend, "fit_predict"):
+        return backend.fit_predict(matrix)
+    return backend.fit(matrix).labels
+
+
+class AdaptiveKClusterer:
+    """Pipeline-compatible clusterer that picks k <= the configured bound.
+
+    Plugs into :class:`~repro.core.expander.ClusterQueryExpander` as the
+    ``clusterer`` argument; exposes the chosen :class:`KSelection` after
+    each ``fit_predict`` call.
+    """
+
+    def __init__(self, max_k: int, seed: int = 0) -> None:
+        if max_k < 2:
+            raise ClusteringError(f"max_k must be >= 2, got {max_k}")
+        self._max_k = max_k
+        self._seed = seed
+        self.selection: KSelection | None = None
+
+    def fit_predict(self, matrix: np.ndarray) -> np.ndarray:
+        self.selection = choose_k(matrix, self._max_k, seed=self._seed)
+        return self.selection.labels

@@ -1,0 +1,101 @@
+"""Clustering-quality measures: purity, NMI (external), silhouette
+(internal).
+
+Used by tests and benchmarks to check that the synthetic corpora cluster the
+way the paper's data does (near-separable shopping categories, noisier
+Wikipedia senses), and by the dynamic clustering selector (§7 future work)
+to pick a backend without ground truth.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Sequence
+
+import numpy as np
+
+from repro.cluster.similarity import cosine_similarity_matrix
+
+
+def purity(labels: Sequence[int], truth: Sequence[int]) -> float:
+    """Fraction of points whose cluster's majority truth class matches theirs."""
+    if len(labels) != len(truth):
+        raise ValueError("labels and truth must have equal length")
+    if not labels:
+        raise ValueError("purity of an empty clustering is undefined")
+    by_cluster: dict[int, Counter] = {}
+    for lab, t in zip(labels, truth):
+        by_cluster.setdefault(lab, Counter())[t] += 1
+    correct = sum(counts.most_common(1)[0][1] for counts in by_cluster.values())
+    return correct / len(labels)
+
+
+def normalized_mutual_information(labels: Sequence[int], truth: Sequence[int]) -> float:
+    """NMI with arithmetic-mean normalization; 1.0 for identical partitions.
+
+    Returns 1.0 when both partitions are single-cluster (zero entropy on both
+    sides means they trivially agree), and 0.0 when exactly one side has zero
+    entropy.
+    """
+    if len(labels) != len(truth):
+        raise ValueError("labels and truth must have equal length")
+    n = len(labels)
+    if n == 0:
+        raise ValueError("NMI of an empty clustering is undefined")
+    joint: Counter = Counter(zip(labels, truth))
+    left: Counter = Counter(labels)
+    right: Counter = Counter(truth)
+
+    def entropy(counts: Counter) -> float:
+        h = 0.0
+        for c in counts.values():
+            p = c / n
+            h -= p * math.log(p)
+        return h
+
+    h_left = entropy(left)
+    h_right = entropy(right)
+    if h_left == 0.0 and h_right == 0.0:
+        return 1.0
+    if h_left == 0.0 or h_right == 0.0:
+        return 0.0
+    mi = 0.0
+    for (a, b), c in joint.items():
+        p_ab = c / n
+        mi += p_ab * math.log(p_ab / ((left[a] / n) * (right[b] / n)))
+    return mi / ((h_left + h_right) / 2.0)
+
+
+def silhouette_score(matrix: np.ndarray, labels: Sequence[int]) -> float:
+    """Mean silhouette coefficient under cosine distance (1 - similarity).
+
+    For each point: a = mean distance to its own cluster's other members,
+    b = lowest mean distance to another cluster; s = (b - a) / max(a, b).
+    Singleton clusters contribute s = 0 (scikit-learn's convention). A
+    single-cluster labeling is undefined and raises ValueError.
+    """
+    labels_arr = np.asarray(labels, dtype=np.int64)
+    if matrix.ndim != 2 or matrix.shape[0] != labels_arr.shape[0]:
+        raise ValueError("matrix rows and labels must align")
+    cluster_ids = sorted(set(int(l) for l in labels_arr))
+    if len(cluster_ids) < 2:
+        raise ValueError("silhouette needs at least 2 clusters")
+    dist = 1.0 - cosine_similarity_matrix(matrix)
+    scores = np.zeros(matrix.shape[0])
+    members = {c: np.flatnonzero(labels_arr == c) for c in cluster_ids}
+    for i in range(matrix.shape[0]):
+        own = members[int(labels_arr[i])]
+        if own.size <= 1:
+            scores[i] = 0.0
+            continue
+        a = float(dist[i, own].sum() / (own.size - 1))  # excludes self (0)
+        b = math.inf
+        for c in cluster_ids:
+            if c == int(labels_arr[i]):
+                continue
+            other = members[c]
+            b = min(b, float(dist[i, other].mean()))
+        denom = max(a, b)
+        scores[i] = 0.0 if denom == 0.0 else (b - a) / denom
+    return float(scores.mean())

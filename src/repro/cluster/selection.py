@@ -1,0 +1,85 @@
+"""Dynamic clustering-method selection (§7 future work).
+
+"In the future, we would like to investigate how different clustering
+methods affect the expanded queries, and design techniques for choosing
+the best clustering method dynamically."
+
+:class:`AutoClustering` is such a technique: it runs several clustering
+backends over the result vectors and keeps the labeling with the best
+internal quality (mean cosine silhouette). It exposes the standard
+``fit_predict`` interface, so it plugs straight into
+:class:`~repro.core.expander.ClusterQueryExpander` as the ``clusterer``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.agglomerative import AgglomerativeClustering
+from repro.cluster.bisecting import BisectingKMeans
+from repro.cluster.kmeans import CosineKMeans
+from repro.cluster.quality import silhouette_score
+from repro.errors import ClusteringError
+
+
+class _KMeansAdapter:
+    """fit_predict facade over CosineKMeans."""
+
+    def __init__(self, n_clusters: int, seed: int) -> None:
+        self._impl = CosineKMeans(n_clusters=n_clusters, seed=seed)
+
+    def fit_predict(self, matrix: np.ndarray) -> np.ndarray:
+        return self._impl.fit(matrix).labels
+
+
+def default_backends(n_clusters: int, seed: int = 0) -> dict[str, object]:
+    """The three clustering methods shipped with this library."""
+    return {
+        "kmeans": _KMeansAdapter(n_clusters, seed),
+        "agglomerative": AgglomerativeClustering(n_clusters=n_clusters),
+        "bisecting": BisectingKMeans(n_clusters=n_clusters, seed=seed),
+    }
+
+
+class AutoClustering:
+    """Choose the best backend per input by silhouette score.
+
+    After :meth:`fit_predict`, ``chosen`` holds the winning backend's name
+    and ``scores`` the silhouette per backend (single-cluster labelings
+    score ``-1``: they carry no classification signal for expansion).
+    """
+
+    def __init__(
+        self,
+        n_clusters: int,
+        seed: int = 0,
+        backends: dict[str, object] | None = None,
+    ) -> None:
+        if n_clusters < 1:
+            raise ClusteringError(f"n_clusters must be >= 1, got {n_clusters}")
+        if backends is None:
+            backends = default_backends(n_clusters, seed)
+        if not backends:
+            raise ClusteringError("AutoClustering needs at least one backend")
+        self._backends = backends
+        self.chosen: str = ""
+        self.scores: dict[str, float] = {}
+
+    def fit_predict(self, matrix: np.ndarray) -> np.ndarray:
+        best_name = ""
+        best_score = -np.inf
+        best_labels: np.ndarray | None = None
+        self.scores = {}
+        for name in sorted(self._backends):
+            backend = self._backends[name]
+            labels = np.asarray(backend.fit_predict(matrix), dtype=np.int64)
+            if len(set(labels.tolist())) < 2:
+                score = -1.0
+            else:
+                score = silhouette_score(matrix, labels)
+            self.scores[name] = score
+            if score > best_score:
+                best_name, best_score, best_labels = name, score, labels
+        assert best_labels is not None
+        self.chosen = best_name
+        return best_labels

@@ -1,0 +1,30 @@
+"""Cosine similarity helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """Cosine similarity of two 1-D vectors; 0.0 if either is a zero vector."""
+    na = float(np.linalg.norm(a))
+    nb = float(np.linalg.norm(b))
+    if na == 0.0 or nb == 0.0:
+        return 0.0
+    return float(np.dot(a, b) / (na * nb))
+
+
+def cosine_similarity_matrix(matrix: np.ndarray) -> np.ndarray:
+    """Pairwise cosine similarity of the rows of ``matrix``.
+
+    Zero rows yield zero similarity with everything (including themselves).
+    """
+    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+    safe = norms.copy()
+    safe[safe == 0.0] = 1.0
+    unit = matrix / safe
+    sims = unit @ unit.T
+    zero = (norms == 0.0).ravel()
+    sims[zero, :] = 0.0
+    sims[:, zero] = 0.0
+    return sims

@@ -1,0 +1,65 @@
+"""TF vector-space model over a set of documents.
+
+Each result is modeled as a vector whose components are the features/terms
+in the results, weighted by term frequency (§C). Vectors are L2-normalized
+so that dot products are cosine similarities.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.documents import Document
+from repro.errors import ClusteringError
+
+
+class TfVectorizer:
+    """Builds the term-frequency matrix for a fixed list of documents.
+
+    The vocabulary is the union of the documents' terms, in sorted order for
+    determinism. ``matrix()`` returns an ``(n_docs, n_terms)`` float array of
+    L2-normalized TF weights.
+    """
+
+    def __init__(self, documents: list[Document], sublinear_tf: bool = False) -> None:
+        if not documents:
+            raise ClusteringError("cannot vectorize an empty document list")
+        self._documents = documents
+        self._sublinear = sublinear_tf
+        vocab = sorted({t for doc in documents for t in doc.terms})
+        self._vocab = vocab
+        self._term_index = {t: i for i, t in enumerate(vocab)}
+        self._matrix = self._build()
+
+    def _build(self) -> np.ndarray:
+        mat = np.zeros((len(self._documents), len(self._vocab)), dtype=np.float64)
+        for row, doc in enumerate(self._documents):
+            for term, tf in doc.terms.items():
+                weight = 1.0 + np.log(tf) if self._sublinear else float(tf)
+                mat[row, self._term_index[term]] = weight
+        norms = np.linalg.norm(mat, axis=1, keepdims=True)
+        norms[norms == 0.0] = 1.0
+        return mat / norms
+
+    @property
+    def vocabulary(self) -> list[str]:
+        return list(self._vocab)
+
+    @property
+    def documents(self) -> list[Document]:
+        return list(self._documents)
+
+    def matrix(self) -> np.ndarray:
+        """The (n_docs, n_terms) L2-normalized TF matrix (a copy)."""
+        return self._matrix.copy()
+
+    def vector(self, row: int) -> np.ndarray:
+        """The normalized TF vector of document ``row`` (a copy)."""
+        return self._matrix[row].copy()
+
+    def term_column(self, term: str) -> int:
+        """Column index of ``term``; raises if the term is not in vocabulary."""
+        try:
+            return self._term_index[term]
+        except KeyError:
+            raise ClusteringError(f"term not in vectorizer vocabulary: {term!r}") from None

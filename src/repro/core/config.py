@@ -1,0 +1,68 @@
+"""Configuration for the end-to-end expansion pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ExpansionConfig:
+    """Knobs of the experimental setup (§C) with the paper's defaults.
+
+    Attributes
+    ----------
+    n_clusters:
+        Upper bound k on the number of result clusters (user-specified
+        granularity, §1).
+    top_k_results:
+        How many top-ranked seed-query results to expand over (the paper
+        uses 30 on Wikipedia; ``None`` = all results).
+    max_expanded_queries:
+        At most this many expanded queries are returned (paper: 5). When the
+        clustering yields more clusters, the largest-weight clusters win.
+    candidate_fraction:
+        Fraction of result terms (by TF-IDF) considered as candidate
+        expansion keywords (paper: 0.2).
+    min_candidates:
+        Floor on the candidate count for small universes.
+    use_ranking_weights:
+        Weighted precision/recall using the seed query's TF-IDF ranking
+        scores (§2); False gives the unweighted metrics.
+    semantics:
+        ``"and"`` (paper default) or ``"or"`` (paper appendix).
+    cluster_seed:
+        RNG seed for the clustering backend.
+    """
+
+    n_clusters: int = 3
+    top_k_results: int | None = 30
+    max_expanded_queries: int = 5
+    candidate_fraction: float = 0.2
+    min_candidates: int = 10
+    use_ranking_weights: bool = True
+    semantics: str = "and"
+    cluster_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_clusters < 1:
+            raise ConfigError(f"n_clusters must be >= 1, got {self.n_clusters}")
+        if self.top_k_results is not None and self.top_k_results < 1:
+            raise ConfigError(
+                f"top_k_results must be >= 1 or None, got {self.top_k_results}"
+            )
+        if self.max_expanded_queries < 1:
+            raise ConfigError(
+                f"max_expanded_queries must be >= 1, got {self.max_expanded_queries}"
+            )
+        if not 0.0 < self.candidate_fraction <= 1.0:
+            raise ConfigError(
+                f"candidate_fraction must be in (0, 1], got {self.candidate_fraction}"
+            )
+        if self.min_candidates < 1:
+            raise ConfigError(
+                f"min_candidates must be >= 1, got {self.min_candidates}"
+            )
+        if self.semantics not in ("and", "or"):
+            raise ConfigError(f"semantics must be 'and' or 'or', got {self.semantics!r}")

@@ -1,0 +1,235 @@
+"""End-to-end pipeline: search → cluster → one expanded query per cluster.
+
+This is the library's main entry point. Given a search engine, a seed
+query, and a granularity k, it retrieves the (optionally top-k) results,
+clusters them with a pluggable backend (k-means over TF vectors by default,
+§C), builds one :class:`~repro.core.universe.ExpansionTask` per cluster, and
+runs the configured expansion algorithm on each.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from repro.cluster.kmeans import CosineKMeans
+from repro.cluster.vectorizer import TfVectorizer
+from repro.core.config import ExpansionConfig
+from repro.core.keyword_stats import select_candidates
+from repro.core.metrics import eq1_score
+from repro.core.universe import ExpansionOutcome, ExpansionTask, ResultUniverse
+from repro.errors import ExpansionError
+from repro.index.search import SearchEngine, SearchResult
+
+
+class ExpansionAlgorithm(Protocol):
+    """Anything with a ``name`` and an ``expand(task) -> ExpansionOutcome``."""
+
+    name: str
+
+    def expand(self, task: ExpansionTask) -> ExpansionOutcome:  # pragma: no cover
+        ...
+
+
+class ClusteringBackend(Protocol):
+    """Anything that maps a row matrix to integer labels."""
+
+    def fit_predict(self, matrix: np.ndarray) -> np.ndarray:  # pragma: no cover
+        ...
+
+
+class _KMeansBackend:
+    """Default backend: spherical k-means (§C)."""
+
+    def __init__(self, n_clusters: int, seed: int) -> None:
+        self._kmeans = CosineKMeans(n_clusters=n_clusters, seed=seed)
+
+    def fit_predict(self, matrix: np.ndarray) -> np.ndarray:
+        return self._kmeans.fit(matrix).labels
+
+
+@dataclass(frozen=True)
+class ExpandedQuery:
+    """One expanded query with its per-cluster quality measures."""
+
+    terms: tuple[str, ...]
+    cluster_id: int
+    cluster_size: int
+    fmeasure: float
+    precision: float
+    recall: float
+    outcome: ExpansionOutcome
+
+    def display(self) -> str:
+        """Human-readable form, feature triplets kept verbatim."""
+        return ", ".join(self.terms)
+
+
+@dataclass(frozen=True)
+class ExpansionReport:
+    """Everything produced for one seed query."""
+
+    seed_query: str
+    seed_terms: tuple[str, ...]
+    expanded: tuple[ExpandedQuery, ...]
+    score: float  # Eq. 1 over the returned expanded queries
+    n_results: int
+    n_clusters: int
+    cluster_labels: tuple[int, ...]
+    clustering_seconds: float
+    expansion_seconds: float
+    results: tuple[SearchResult, ...] = field(default_factory=tuple, repr=False)
+
+    def queries(self) -> list[str]:
+        return [eq.display() for eq in self.expanded]
+
+
+class ClusterQueryExpander:
+    """Cluster-then-expand query expansion (the paper's framework).
+
+    Parameters
+    ----------
+    engine:
+        The search substrate over the corpus.
+    algorithm:
+        The per-cluster expansion algorithm (ISKR, PEBC, or the delta-F
+        variant). Defaults to ISKR.
+    config:
+        Pipeline knobs; see :class:`~repro.core.config.ExpansionConfig`.
+    clusterer:
+        Optional clustering backend override (must provide ``fit_predict``).
+    """
+
+    def __init__(
+        self,
+        engine: SearchEngine,
+        algorithm: ExpansionAlgorithm,
+        config: ExpansionConfig | None = None,
+        clusterer: ClusteringBackend | None = None,
+    ) -> None:
+        self._engine = engine
+        self._algorithm = algorithm
+        self._config = config or ExpansionConfig()
+        self._clusterer = clusterer
+
+    @property
+    def config(self) -> ExpansionConfig:
+        return self._config
+
+    @property
+    def algorithm(self) -> ExpansionAlgorithm:
+        return self._algorithm
+
+    # -- pipeline steps ------------------------------------------------------
+
+    def retrieve(self, query: str) -> list[SearchResult]:
+        """Step 1: run the seed query (AND semantics, ranked, top-k)."""
+        return self._engine.search(query, top_k=self._config.top_k_results)
+
+    def cluster(self, results: Sequence[SearchResult]) -> np.ndarray:
+        """Step 2: cluster results into <= k clusters over TF vectors."""
+        docs = [r.document for r in results]
+        matrix = TfVectorizer(docs).matrix()
+        backend = self._clusterer or _KMeansBackend(
+            self._config.n_clusters, self._config.cluster_seed
+        )
+        labels = np.asarray(backend.fit_predict(matrix), dtype=np.int64)
+        if labels.shape != (len(docs),):
+            raise ExpansionError(
+                f"clusterer returned labels of shape {labels.shape} "
+                f"for {len(docs)} results"
+            )
+        return labels
+
+    def build_universe(self, results: Sequence[SearchResult]) -> ResultUniverse:
+        """Step 3: the result universe, weighted by ranking if configured."""
+        docs = [r.document for r in results]
+        if self._config.use_ranking_weights:
+            # Guard against zero scores (can happen only for degenerate
+            # scorers); shift into positive territory.
+            raw = np.array([r.score for r in results], dtype=np.float64)
+            floor = raw[raw > 0.0].min() * 0.5 if np.any(raw > 0.0) else 1.0
+            weights = np.maximum(raw, floor)
+            return ResultUniverse(docs, weights)
+        return ResultUniverse(docs)
+
+    def tasks(
+        self,
+        universe: ResultUniverse,
+        labels: np.ndarray,
+        seed_terms: tuple[str, ...],
+    ) -> list[ExpansionTask]:
+        """Step 4: one task per cluster, largest-weight clusters first."""
+        candidates = select_candidates(
+            self._engine.index,
+            universe,
+            seed_terms,
+            fraction=self._config.candidate_fraction,
+            min_candidates=self._config.min_candidates,
+        )
+        cluster_ids = sorted(set(int(l) for l in labels))
+        tasks = []
+        for cid in cluster_ids:
+            mask = labels == cid
+            tasks.append(
+                ExpansionTask(
+                    universe=universe,
+                    cluster_mask=mask,
+                    seed_terms=seed_terms,
+                    candidates=candidates,
+                    semantics=self._config.semantics,
+                    cluster_id=cid,
+                )
+            )
+        tasks.sort(key=lambda t: -t.cluster_weight())
+        return tasks[: self._config.max_expanded_queries]
+
+    # -- the whole thing ------------------------------------------------------
+
+    def expand(self, query: str) -> ExpansionReport:
+        """Run the full pipeline for ``query``."""
+        results = self.retrieve(query)
+        if not results:
+            raise ExpansionError(f"seed query {query!r} retrieved no results")
+        seed_terms = tuple(self._engine.parse(query))
+
+        t0 = time.perf_counter()
+        labels = self.cluster(results)
+        t_cluster = time.perf_counter() - t0
+
+        universe = self.build_universe(results)
+
+        t0 = time.perf_counter()
+        tasks = self.tasks(universe, labels, seed_terms)
+        expanded: list[ExpandedQuery] = []
+        for task in tasks:
+            outcome = self._algorithm.expand(task)
+            expanded.append(
+                ExpandedQuery(
+                    terms=outcome.terms,
+                    cluster_id=task.cluster_id,
+                    cluster_size=int(task.cluster_mask.sum()),
+                    fmeasure=outcome.fmeasure,
+                    precision=outcome.precision,
+                    recall=outcome.recall,
+                    outcome=outcome,
+                )
+            )
+        t_expand = time.perf_counter() - t0
+
+        score = eq1_score([eq.fmeasure for eq in expanded])
+        return ExpansionReport(
+            seed_query=query,
+            seed_terms=seed_terms,
+            expanded=tuple(expanded),
+            score=score,
+            n_results=len(results),
+            n_clusters=len(set(int(l) for l in labels)),
+            cluster_labels=tuple(int(l) for l in labels),
+            clustering_seconds=t_cluster,
+            expansion_seconds=t_expand,
+            results=tuple(results),
+        )

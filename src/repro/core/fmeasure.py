@@ -1,0 +1,125 @@
+"""The delta-F-measure refinement variant (comparison system of §5).
+
+Identical control flow to ISKR but a keyword's value is the *exact change in
+F-measure* caused by adding/removing it. This measures keyword worth
+perfectly, so its quality is the same or slightly better than ISKR's — but
+every change to q invalidates every keyword's delta-F (F depends on R(q) as
+a whole), so all values are recomputed each iteration (§5.3, Figure 6).
+
+This is deliberately the *straightforward* implementation the paper
+compares against: per candidate, the result set R(q ∪ {k}) is re-derived
+from the documents' term sets and the weighted precision/recall computed
+from scratch — no incidence-matrix precomputation, no incremental
+maintenance. ISKR's §3 machinery (maintainable benefit/cost, affected-
+keyword updates) exists precisely to avoid this work; giving the baseline
+that machinery would erase the effect the paper measures in Figure 6.
+"""
+
+from __future__ import annotations
+
+from repro.core.metrics import precision_recall_f
+from repro.core.universe import AND, ExpansionOutcome, ExpansionTask
+from repro.errors import ExpansionError
+
+
+class DeltaFMeasureRefinement:
+    """ISKR's control loop with delta-F-measure keyword values."""
+
+    name = "F-measure"
+
+    def __init__(self, max_iterations: int = 100, epsilon: float = 1e-12) -> None:
+        if max_iterations < 1:
+            raise ExpansionError(f"max_iterations must be >= 1, got {max_iterations}")
+        self._max_iterations = max_iterations
+        self._epsilon = epsilon
+
+    def expand(self, task: ExpansionTask) -> ExpansionOutcome:
+        if task.semantics != AND:
+            raise ExpansionError("the delta-F variant supports AND semantics only")
+        uni = task.universe
+        docs = uni.documents
+        weights = [float(x) for x in uni.weights]
+        in_cluster = [bool(b) for b in task.cluster_mask]
+        s_cluster = sum(w for w, c in zip(weights, in_cluster) if c)
+
+        def evaluate(result_rows: list[int]) -> float:
+            """F-measure of a result set, computed from scratch."""
+            s_r = sum(weights[i] for i in result_rows)
+            s_inter = sum(weights[i] for i in result_rows if in_cluster[i])
+            if s_r <= 0.0 or s_inter <= 0.0:
+                return 0.0
+            precision = s_inter / s_r
+            recall = s_inter / s_cluster
+            return 2.0 * precision * recall / (precision + recall)
+
+        def retrieve(terms: tuple[str, ...]) -> list[int]:
+            """R(terms) over the universe, via document term-set membership."""
+            return [
+                i for i, doc in enumerate(docs)
+                if all(t in doc.terms for t in terms)
+            ]
+
+        added: list[str] = []
+        current_rows = retrieve(task.seed_terms)
+        current_f = evaluate(current_rows)
+
+        trace: list[str] = []
+        seen_states: set[frozenset[str]] = {frozenset()}
+        iterations = 0
+        value_updates = 0
+
+        while iterations < self._max_iterations:
+            best_kind = ""
+            best_kw = ""
+            best_f = current_f
+            best_rows: list[int] | None = None
+            # Additions: every candidate, one full retrieval + F evaluation.
+            for kw in task.candidates:
+                if kw in added:
+                    continue
+                rows = [i for i in current_rows if kw in docs[i].terms]
+                f = evaluate(rows)
+                value_updates += 1
+                if f > best_f + self._epsilon or (
+                    f > best_f - self._epsilon
+                    and f > current_f + self._epsilon
+                    and kw < best_kw
+                ):
+                    best_kind, best_kw, best_f, best_rows = "add", kw, f, rows
+            # Removals: every previously added keyword, full re-retrieval.
+            for kw in added:
+                rest = tuple(k for k in added if k != kw)
+                rows = retrieve(tuple(task.seed_terms) + rest)
+                f = evaluate(rows)
+                value_updates += 1
+                if f > best_f + self._epsilon:
+                    best_kind, best_kw, best_f, best_rows = "remove", kw, f, rows
+            if best_rows is None or best_f <= current_f + self._epsilon:
+                break
+            if best_kind == "add":
+                new_added = added + [best_kw]
+            else:
+                new_added = [k for k in added if k != best_kw]
+            state = frozenset(new_added)
+            if state in seen_states:
+                break
+            seen_states.add(state)
+            added = new_added
+            current_rows = best_rows
+            current_f = best_f
+            iterations += 1
+            trace.append(("+" if best_kind == "add" else "-") + best_kw)
+
+        final_terms = tuple(task.seed_terms) + tuple(added)
+        mask = uni.results_mask(final_terms)
+        precision, recall, f = precision_recall_f(uni, mask, task.cluster_mask)
+        return ExpansionOutcome(
+            terms=final_terms,
+            fmeasure=f,
+            precision=precision,
+            recall=recall,
+            iterations=iterations,
+            value_updates=value_updates,
+            trace=tuple(trace),
+            cluster_id=task.cluster_id,
+        )

@@ -1,0 +1,160 @@
+"""Adversarial QEC instances from the hardness reduction's structure.
+
+The paper proves QEC APX-hard by reduction from set-cover-style problems
+(the proof is in the technical report [17]; the structural connection is
+visible in §4.1's discussion of weighted partial set cover). This module
+generates instances that exhibit that structure, so the heuristics can be
+stress-tested against the exhaustive optimum:
+
+* :func:`greedy_trap_task` — a deterministic instance where the highest
+  benefit/cost keyword is a *trap*: adding it first blocks the disjoint
+  pair of keywords forming the true optimum. Single-keyword greedy without
+  removal provably lands in a local optimum here.
+* :func:`random_setcover_task` — random keyword/elimination incidence with
+  tunable density, the generic hard case.
+* :func:`hardness_suite` — a seeded batch of random instances for
+  benchmarks.
+
+All generators return :class:`~repro.core.universe.ExpansionTask` objects
+small enough for :class:`~repro.core.exact.ExhaustiveOptimalExpansion`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.universe import ExpansionTask, ResultUniverse
+from repro.data.documents import Document
+from repro.errors import ExpansionError
+
+SEED_TERM = "q0"
+
+
+def _docs_from_incidence(
+    n_results: int,
+    keywords: list[str],
+    contains: dict[str, set[int]],
+    prefix: str,
+) -> list[Document]:
+    """Build documents where keyword k occurs in positions contains[k].
+
+    Every document carries the seed term plus a unique filler term (so no
+    document is empty besides the seed and documents stay distinct).
+    """
+    docs = []
+    for pos in range(n_results):
+        terms = {SEED_TERM: 1, f"{prefix}filler{pos}": 1}
+        for kw in keywords:
+            if pos in contains[kw]:
+                terms[kw] = 1
+        docs.append(Document(doc_id=f"{prefix}{pos}", terms=terms))
+    return docs
+
+
+def greedy_trap_task() -> ExpansionTask:
+    """A deterministic local-optimum trap for benefit/cost greedy.
+
+    Layout: cluster C = positions 0..3 with ranking weights (1, 1, 1, 3);
+    other results U = positions 4..11, weight 1 each.
+
+    ========  ============  ===============
+    keyword   occurs in C   occurs in U
+    ========  ============  ===============
+    trap      0, 1          none
+    left      0, 1, 2       4, 5, 6, 7
+    right     0, 1, 2       8, 9, 10, 11
+    ========  ============  ===============
+
+    Initial values: ``trap`` eliminates all of U (benefit 8) and the C
+    results {2, 3} (cost 1 + 3 = 4) → value 2. ``left``/``right`` each
+    eliminate half of U (benefit 4) at the cost of the heavy result 3
+    (cost 3) → value 4/3. Greedy therefore adds ``trap``; afterwards every
+    addition has value 0 and removing ``trap`` has value 0.5, so ISKR
+    stops at F = 0.5 (retrieving only {0, 1}).
+
+    The optimum is {left, right}: together they eliminate all of U while
+    keeping {0, 1, 2} — F = 2/3. The instance also defeats the delta-F
+    variant, which refuses every single addition (each lowers F from the
+    empty query's 0.6) and stops at F = 0.6 < 2/3: reaching the optimum
+    requires a *pair* of individually-bad keywords, the set-cover
+    interaction at the heart of the hardness proof.
+    """
+    n = 12
+    cluster_positions = set(range(4))
+    contains = {
+        "trap": {0, 1},
+        "left": {0, 1, 2, 4, 5, 6, 7},
+        "right": {0, 1, 2, 8, 9, 10, 11},
+    }
+    docs = _docs_from_incidence(n, list(contains), contains, "trap-")
+    weights = [1.0, 1.0, 1.0, 3.0] + [1.0] * 8
+    universe = ResultUniverse(docs, weights)
+    mask = np.array([pos in cluster_positions for pos in range(n)])
+    return ExpansionTask(
+        universe=universe,
+        cluster_mask=mask,
+        seed_terms=(SEED_TERM,),
+        candidates=("trap", "left", "right"),
+    )
+
+
+def random_setcover_task(
+    n_cluster: int = 6,
+    n_other: int = 10,
+    n_keywords: int = 8,
+    density: float = 0.45,
+    seed: int = 0,
+) -> ExpansionTask:
+    """A random set-cover-structured instance.
+
+    Each keyword occurs in a random ``density`` fraction of the cluster
+    and a random (1 - density) fraction of U, giving elimination sets with
+    overlapping, conflicting coverage — the regime where greedy choices
+    interact badly. All sizes are validated to stay within the exhaustive
+    solver's budget.
+    """
+    if n_cluster < 1 or n_other < 1:
+        raise ExpansionError("need at least one result on each side")
+    if n_keywords < 1 or n_keywords > 16:
+        raise ExpansionError(f"n_keywords must be in [1, 16], got {n_keywords}")
+    if not 0.0 < density < 1.0:
+        raise ExpansionError(f"density must be in (0, 1), got {density}")
+    rng = np.random.default_rng(seed)
+    n = n_cluster + n_other
+    keywords = [f"k{i:02d}" for i in range(n_keywords)]
+    contains: dict[str, set[int]] = {}
+    for kw in keywords:
+        in_c = {
+            pos for pos in range(n_cluster) if rng.random() < density
+        }
+        in_u = {
+            n_cluster + pos
+            for pos in range(n_other)
+            if rng.random() < (1.0 - density)
+        }
+        contains[kw] = in_c | in_u
+    docs = _docs_from_incidence(n, keywords, contains, f"sc{seed}-")
+    universe = ResultUniverse(docs)
+    mask = np.array([pos < n_cluster for pos in range(n)])
+    return ExpansionTask(
+        universe=universe,
+        cluster_mask=mask,
+        seed_terms=(SEED_TERM,),
+        candidates=tuple(keywords),
+    )
+
+
+def hardness_suite(
+    count: int = 10,
+    seed: int = 0,
+    n_keywords: int = 8,
+) -> list[ExpansionTask]:
+    """``count`` random adversarial tasks plus the deterministic trap."""
+    if count < 1:
+        raise ExpansionError(f"count must be >= 1, got {count}")
+    tasks = [greedy_trap_task()]
+    for i in range(count - 1):
+        tasks.append(
+            random_setcover_task(seed=seed + i, n_keywords=n_keywords)
+        )
+    return tasks

@@ -1,0 +1,201 @@
+"""Interleaved clustering and query expansion (§7 future work).
+
+The paper's conclusion lists "the possibility of interweaving the
+clustering and query expansion process" as future work. The idea: the
+clustering that expansion is asked to classify may itself be imperfect
+(§5.2.1 blames "imperfect clustering" for some low user scores), but the
+expanded queries reveal where it is wrong — a result that an expanded
+query of *another* cluster retrieves cleanly probably belongs there.
+
+:class:`InterleavedExpander` alternates:
+
+1. expand: one query per cluster (any expansion algorithm);
+2. reassign: move every result to the cluster whose expanded query
+   (a) retrieves it and (b) has the highest F-measure — the strongest
+   classifier claiming the result. Results no query retrieves keep their
+   current cluster.
+
+The loop stops when the labeling reaches a fixed point, the Eq. 1 score
+stops improving, or ``max_rounds`` is hit. The best round (by Eq. 1) is
+returned, so interleaving can only match or improve the single-pass
+score on the metric it optimizes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.config import ExpansionConfig
+from repro.core.expander import ClusterQueryExpander, ExpansionAlgorithm
+from repro.core.metrics import eq1_score
+from repro.core.universe import ExpansionOutcome, ExpansionTask, ResultUniverse
+from repro.errors import ExpansionError
+from repro.index.search import SearchEngine
+
+
+@dataclass(frozen=True)
+class InterleavedRound:
+    """One expand-reassign round."""
+
+    round_index: int
+    labels: tuple[int, ...]
+    queries: tuple[tuple[str, ...], ...]
+    fmeasures: tuple[float, ...]
+    score: float
+    n_moved: int  # results reassigned after this round's expansion
+
+
+@dataclass(frozen=True)
+class InterleavedReport:
+    """Outcome of the interleaved process for one seed query."""
+
+    seed_query: str
+    seed_terms: tuple[str, ...]
+    rounds: tuple[InterleavedRound, ...]
+    best_round: int
+    converged: bool  # labeling reached a fixed point
+    seconds: float
+    initial_score: float
+
+    @property
+    def final_score(self) -> float:
+        return self.rounds[self.best_round].score
+
+    @property
+    def improvement(self) -> float:
+        return self.final_score - self.initial_score
+
+    def queries(self) -> list[str]:
+        return [", ".join(q) for q in self.rounds[self.best_round].queries]
+
+
+class InterleavedExpander:
+    """Alternating cluster refinement and query expansion.
+
+    Parameters
+    ----------
+    engine / algorithm / config / clusterer:
+        As in :class:`~repro.core.expander.ClusterQueryExpander`, which
+        performs retrieval and the *initial* clustering.
+    max_rounds:
+        Upper bound on expand-reassign rounds (>= 1; 1 reproduces the
+        plain single-pass pipeline).
+    """
+
+    def __init__(
+        self,
+        engine: SearchEngine,
+        algorithm: ExpansionAlgorithm,
+        config: ExpansionConfig | None = None,
+        clusterer=None,
+        max_rounds: int = 4,
+    ) -> None:
+        if max_rounds < 1:
+            raise ExpansionError(f"max_rounds must be >= 1, got {max_rounds}")
+        self._pipeline = ClusterQueryExpander(
+            engine, algorithm, config, clusterer
+        )
+        self._engine = engine
+        self._algorithm = algorithm
+        self._config = self._pipeline.config
+        self._max_rounds = max_rounds
+
+    # -- one round ---------------------------------------------------------
+
+    def _expand_clusters(
+        self,
+        universe: ResultUniverse,
+        labels: np.ndarray,
+        seed_terms: tuple[str, ...],
+    ) -> tuple[list[ExpansionTask], list[ExpansionOutcome]]:
+        tasks = self._pipeline.tasks(universe, labels, seed_terms)
+        outcomes = [self._algorithm.expand(task) for task in tasks]
+        return tasks, outcomes
+
+    @staticmethod
+    def _reassign(
+        universe: ResultUniverse,
+        labels: np.ndarray,
+        tasks: Sequence[ExpansionTask],
+        outcomes: Sequence[ExpansionOutcome],
+    ) -> tuple[np.ndarray, int]:
+        """Move each result to the best-F query that retrieves it.
+
+        Returns the new labels and the number of moved results. Results
+        outside every query's result set keep their labels; so do results
+        of clusters that were truncated away by ``max_expanded_queries``.
+        """
+        new_labels = labels.copy()
+        order = sorted(
+            range(len(tasks)),
+            key=lambda i: -outcomes[i].fmeasure,
+        )
+        claimed = universe.empty_mask()
+        for i in order:
+            mask = universe.results_mask(
+                outcomes[i].terms, semantics=tasks[i].semantics
+            )
+            take = mask & ~claimed
+            new_labels[take] = tasks[i].cluster_id
+            claimed |= mask
+        moved = int((new_labels != labels).sum())
+        return new_labels, moved
+
+    # -- the loop ------------------------------------------------------------
+
+    def expand(self, query: str) -> InterleavedReport:
+        """Run the interleaved process for ``query``."""
+        t0 = time.perf_counter()
+        results = self._pipeline.retrieve(query)
+        if not results:
+            raise ExpansionError(f"seed query {query!r} retrieved no results")
+        seed_terms = tuple(self._engine.parse(query))
+        labels = np.asarray(self._pipeline.cluster(results), dtype=np.int64)
+        universe = self._pipeline.build_universe(results)
+
+        rounds: list[InterleavedRound] = []
+        seen_labelings = {tuple(int(l) for l in labels)}
+        converged = False
+        for round_index in range(self._max_rounds):
+            tasks, outcomes = self._expand_clusters(
+                universe, labels, seed_terms
+            )
+            score = eq1_score([o.fmeasure for o in outcomes])
+            new_labels, moved = self._reassign(
+                universe, labels, tasks, outcomes
+            )
+            rounds.append(
+                InterleavedRound(
+                    round_index=round_index,
+                    labels=tuple(int(l) for l in labels),
+                    queries=tuple(o.terms for o in outcomes),
+                    fmeasures=tuple(o.fmeasure for o in outcomes),
+                    score=score,
+                    n_moved=moved,
+                )
+            )
+            if moved == 0:
+                converged = True
+                break
+            key = tuple(int(l) for l in new_labels)
+            if key in seen_labelings:
+                # A labeling cycle: further rounds would repeat.
+                converged = True
+                break
+            seen_labelings.add(key)
+            labels = new_labels
+
+        best_round = max(range(len(rounds)), key=lambda i: rounds[i].score)
+        return InterleavedReport(
+            seed_query=query,
+            seed_terms=seed_terms,
+            rounds=tuple(rounds),
+            best_round=best_round,
+            converged=converged,
+            seconds=time.perf_counter() - t0,
+            initial_score=rounds[0].score,
+        )

@@ -1,0 +1,84 @@
+"""Quality measures of §2: weighted precision, recall, F-measure, Eq. 1.
+
+With the cluster C as ground truth and R = R(q) the expanded query's
+results (both masks over the universe)::
+
+    precision(q) = S(R ∩ C) / S(R)
+    recall(q)    = S(R ∩ C) / S(C)
+    F(q)         = 2 P R / (P + R)
+
+and the overall score of a set of expanded queries (one per cluster) is the
+harmonic mean of their F-measures (Eq. 1). Unweighted metrics are the
+special case of unit weights.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.universe import ResultUniverse
+
+
+def precision_recall_f(
+    universe: ResultUniverse,
+    result_mask: np.ndarray,
+    cluster_mask: np.ndarray,
+) -> tuple[float, float, float]:
+    """Weighted (precision, recall, F-measure) of a result set vs a cluster.
+
+    Conventions for empty sets: an empty R(q) has precision 0 and recall 0
+    (the paper's formulas are undefined there; any query retrieving nothing
+    is maximally bad, and F = 0 follows). ``cluster_mask`` must be non-empty.
+    """
+    s_r = universe.weight_of(result_mask)
+    s_c = universe.weight_of(cluster_mask)
+    if s_c <= 0.0:
+        raise ValueError("cluster must have positive total weight")
+    s_inter = universe.weight_of(result_mask & cluster_mask)
+    precision = s_inter / s_r if s_r > 0.0 else 0.0
+    recall = s_inter / s_c
+    f = fmeasure(precision, recall)
+    return precision, recall, f
+
+
+def fmeasure(precision: float, recall: float) -> float:
+    """Harmonic mean of precision and recall; 0.0 when both are 0."""
+    if precision < 0.0 or recall < 0.0:
+        raise ValueError("precision and recall must be non-negative")
+    if precision + recall == 0.0:
+        return 0.0
+    return 2.0 * precision * recall / (precision + recall)
+
+
+def harmonic_mean(values: Sequence[float]) -> float:
+    """Harmonic mean; 0.0 if any value is 0 (the limit of Eq. 1)."""
+    if not values:
+        raise ValueError("harmonic mean of no values is undefined")
+    if any(v < 0.0 for v in values):
+        raise ValueError("values must be non-negative")
+    if any(v == 0.0 for v in values):
+        return 0.0
+    return len(values) / sum(1.0 / v for v in values)
+
+
+def eq1_score(fmeasures: Iterable[float]) -> float:
+    """Eq. 1: overall score of a set of expanded queries.
+
+    ``score(q_1..q_k) = k / (1/F(q_1) + ... + 1/F(q_k))`` — the harmonic
+    mean of the per-cluster F-measures.
+    """
+    return harmonic_mean(list(fmeasures))
+
+
+def query_fmeasure(
+    universe: ResultUniverse,
+    query_terms: Sequence[str],
+    cluster_mask: np.ndarray,
+    semantics: str = "and",
+) -> float:
+    """Convenience: F-measure of the query ``terms`` against a cluster."""
+    mask = universe.results_mask(tuple(query_terms), semantics=semantics)
+    _, _, f = precision_recall_f(universe, mask, cluster_mask)
+    return f

@@ -1,0 +1,289 @@
+"""Partial-elimination strategies for PEBC sample-query generation (§4).
+
+Given a target x% — the share of U's weight to eliminate — build a query
+(seed + keywords) that eliminates as close to x% of U as possible while
+maximizing what is retained of C. Three strategies from the paper:
+
+* :class:`FixedOrderStrategy` (§4.1) — always pick the globally best
+  benefit/cost keyword. Inherently produces prefix queries of one fixed
+  keyword order, so it cannot steer toward a target percentage (the paper's
+  argument for why this is infeasible). Kept as an ablation baseline.
+* :class:`RandomSubsetStrategy` (§4.2) — randomly select a subset of U
+  worth ~x%, then greedily cover it; eliminating unselected results counts
+  as cost. Quality depends heavily on the drawn subset.
+* :class:`SingleResultStrategy` (§4.3) — the paper's choice: repeatedly
+  pick one random not-yet-eliminated U result and the best-value keyword
+  that eliminates it (ties → the keyword eliminating fewer results).
+
+All strategies implement the stop rule of §4.3: once the target is crossed,
+the last keyword is kept only if that leaves the eliminated share closer to
+the target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.keyword_stats import value_ratio
+from repro.core.universe import AND, ExpansionTask
+from repro.errors import ExpansionError
+
+
+@dataclass(frozen=True)
+class SampleQuery:
+    """A generated sample query and its elimination bookkeeping."""
+
+    terms: tuple[str, ...]  # seed + selected keywords
+    selected: tuple[str, ...]  # the non-seed keywords, in selection order
+    result_mask: np.ndarray  # R(terms) over the universe
+    eliminated_share: float  # achieved share of S(U) eliminated, in [0, 1]
+
+
+class _EliminationState:
+    """Shared bookkeeping: current R(q) and elimination accounting."""
+
+    def __init__(self, task: ExpansionTask) -> None:
+        if task.semantics != AND:
+            raise ExpansionError("partial elimination is defined for AND semantics")
+        self.task = task
+        self.uni = task.universe
+        self.selected: list[str] = []
+        self.mask = self.uni.results_mask(task.seed_terms, semantics=AND)
+        self.total_u = task.other_weight()
+
+    def eliminated_weight(self) -> float:
+        """Weight of U results no longer retrieved."""
+        remaining = self.uni.weight_of(self.mask & self.task.other_mask)
+        return self.total_u - remaining
+
+    def share(self) -> float:
+        if self.total_u <= 0.0:
+            return 0.0
+        return self.eliminated_weight() / self.total_u
+
+    def add(self, keyword: str) -> None:
+        self.selected.append(keyword)
+        self.mask = self.mask & self.uni.has_mask(keyword)
+
+    def undo_last(self) -> None:
+        last = self.selected.pop()
+        terms = tuple(self.task.seed_terms) + tuple(self.selected)
+        self.mask = self.uni.results_mask(terms, semantics=AND)
+        del last
+
+    def finish(self) -> SampleQuery:
+        return SampleQuery(
+            terms=tuple(self.task.seed_terms) + tuple(self.selected),
+            selected=tuple(self.selected),
+            result_mask=self.mask.copy(),
+            eliminated_share=self.share(),
+        )
+
+    def benefit_cost(self, keyword: str) -> tuple[float, float, int]:
+        """(benefit, cost, #eliminated) of adding ``keyword`` now (§3 defs)."""
+        elim = self.mask & ~self.uni.has_mask(keyword)
+        benefit = self.uni.weight_of(elim & self.task.other_mask)
+        cost = self.uni.weight_of(elim & self.task.cluster_mask)
+        return benefit, cost, int(elim.sum())
+
+    def apply_stop_rule(self, target_share: float, before_share: float) -> bool:
+        """Keep the last keyword only if it lands closer to the target (§4.3).
+
+        Returns True if the last keyword was undone.
+        """
+        after_share = self.share()
+        if abs(before_share - target_share) < abs(after_share - target_share):
+            self.undo_last()
+            return True
+        return False
+
+
+class SingleResultStrategy:
+    """§4.3: select one random uneliminated U result, then the best keyword
+    that eliminates it.
+
+    The per-step keyword scan is vectorized over the candidate incidence
+    matrix: one boolean-matrix pass computes every candidate's benefit,
+    cost and elimination count against the current R(q).
+    """
+
+    name = "single-result"
+
+    def generate(
+        self, task: ExpansionTask, target_share: float, rng: np.random.Generator
+    ) -> SampleQuery:
+        state = _EliminationState(task)
+        if target_share <= 0.0 or state.total_u <= 0.0:
+            return state.finish()
+        target_share = min(target_share, 1.0)
+        uni = task.universe
+        candidates = task.candidates
+        not_h = ~uni.incidence_rows(list(candidates))  # row k: E(k)
+        weights = uni.weights
+        other = task.other_mask
+        cluster = task.cluster_mask
+        name_rank = np.argsort(np.argsort(np.array(candidates)))
+        selected_rows = np.zeros(len(candidates), dtype=bool)
+
+        blocked: set[int] = set()  # U results no candidate can eliminate
+        guard = 0
+        max_steps = len(candidates) + uni.n + 1
+        while state.share() < target_share and guard < max_steps:
+            guard += 1
+            remaining = np.flatnonzero(state.mask & task.other_mask)
+            pickable = [int(i) for i in remaining if int(i) not in blocked]
+            if not pickable:
+                break
+            r = int(rng.choice(np.asarray(pickable)))
+            eligible = not_h[:, r] & ~selected_rows
+            if not eligible.any():
+                blocked.add(r)
+                continue
+            elim = not_h & state.mask[None, :]
+            benefits = (elim & other[None, :]) @ weights
+            costs = (elim & cluster[None, :]) @ weights
+            counts = elim.sum(axis=1)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                values = np.where(
+                    benefits <= 0.0,
+                    0.0,
+                    np.where(costs <= 0.0, np.inf, benefits / costs),
+                )
+            values = np.where(eligible, values, -np.inf)
+            order = np.lexsort((name_rank, counts, -values))
+            row = int(order[0])
+            if values[row] == -np.inf:
+                blocked.add(r)
+                continue
+            before = state.share()
+            state.add(candidates[row])
+            selected_rows[row] = True
+            if state.share() >= target_share:
+                if state.apply_stop_rule(target_share, before):
+                    selected_rows[row] = False
+                break
+        return state.finish()
+
+
+class FixedOrderStrategy:
+    """§4.1: repeatedly take the globally best benefit/cost keyword.
+
+    Deterministic; the rng argument is accepted for interface uniformity.
+    """
+
+    name = "fixed-order"
+
+    def generate(
+        self, task: ExpansionTask, target_share: float, rng: np.random.Generator
+    ) -> SampleQuery:
+        del rng
+        state = _EliminationState(task)
+        if target_share <= 0.0 or state.total_u <= 0.0:
+            return state.finish()
+        target_share = min(target_share, 1.0)
+        while state.share() < target_share:
+            best_kw = ""
+            best_key: tuple[float, int, str] | None = None
+            for kw in task.candidates:
+                if kw in state.selected:
+                    continue
+                benefit, cost, n_elim = state.benefit_cost(kw)
+                if benefit <= 0.0:
+                    continue  # eliminates nothing from U: useless here
+                key = (-value_ratio(benefit, cost), n_elim, kw)
+                if best_key is None or key < best_key:
+                    best_key, best_kw = key, kw
+            if best_key is None:
+                break
+            before = state.share()
+            state.add(best_kw)
+            if state.share() >= target_share:
+                state.apply_stop_rule(target_share, before)
+                break
+        return state.finish()
+
+
+class RandomSubsetStrategy:
+    """§4.2: draw a random ~x% subset S of U, then greedily cover S.
+
+    Keyword score is covered-weight of S divided by cost, where cost counts
+    both eliminated C results and eliminated U results *outside* S (the
+    benefit/cost adjustment illustrated in Example 4.3).
+    """
+
+    name = "random-subset"
+
+    def generate(
+        self, task: ExpansionTask, target_share: float, rng: np.random.Generator
+    ) -> SampleQuery:
+        state = _EliminationState(task)
+        if target_share <= 0.0 or state.total_u <= 0.0:
+            return state.finish()
+        target_share = min(target_share, 1.0)
+        subset = self._draw_subset(task, target_share, rng)
+        guard = 0
+        while state.share() < target_share and guard <= len(task.candidates):
+            guard += 1
+            to_cover = state.mask & subset
+            if not to_cover.any():
+                break
+            best_kw = ""
+            best_key: tuple[float, int, str] | None = None
+            for kw in task.candidates:
+                if kw in state.selected:
+                    continue
+                elim = state.mask & ~task.universe.has_mask(kw)
+                covered = task.universe.weight_of(elim & subset)
+                if covered <= 0.0:
+                    continue
+                stray = task.universe.weight_of(elim & task.other_mask & ~subset)
+                cost = task.universe.weight_of(elim & task.cluster_mask) + stray
+                key = (-value_ratio(covered, cost), int(elim.sum()), kw)
+                if best_key is None or key < best_key:
+                    best_key, best_kw = key, kw
+            if best_key is None:
+                break
+            before = state.share()
+            state.add(best_kw)
+            if state.share() >= target_share:
+                state.apply_stop_rule(target_share, before)
+                break
+        return state.finish()
+
+    @staticmethod
+    def _draw_subset(
+        task: ExpansionTask, target_share: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Randomly accumulate U results until ~target_share of S(U)."""
+        uni = task.universe
+        u_positions = np.flatnonzero(task.other_mask)
+        order = rng.permutation(u_positions)
+        total = task.other_weight()
+        target_w = target_share * total
+        subset = uni.empty_mask()
+        acc = 0.0
+        for pos in order:
+            if acc >= target_w:
+                break
+            subset[pos] = True
+            acc += float(uni.weights[pos])
+        return subset
+
+
+STRATEGIES = {
+    SingleResultStrategy.name: SingleResultStrategy,
+    FixedOrderStrategy.name: FixedOrderStrategy,
+    RandomSubsetStrategy.name: RandomSubsetStrategy,
+}
+
+
+def make_strategy(name: str):
+    """Instantiate a strategy by its paper-section name."""
+    try:
+        return STRATEGIES[name]()
+    except KeyError:
+        raise ExpansionError(
+            f"unknown strategy {name!r}; choose from {sorted(STRATEGIES)}"
+        ) from None

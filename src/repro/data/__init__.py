@@ -1,0 +1,27 @@
+"""Data model: documents, feature triplets, corpora, persistence.
+
+The paper (§2) models a text document as a set of words and a structured
+document as a set of ``(entity:attribute:value)`` feature triplets [13].
+Both are unified here under :class:`~repro.data.documents.Document`, whose
+``terms`` bag is what every downstream subsystem consumes.
+"""
+
+from repro.data.corpus import Corpus
+from repro.data.documents import Document, Feature, make_structured_document, make_text_document
+from repro.data.io import load_corpus_jsonl, save_corpus_jsonl
+from repro.data.stats import CorpusStats, corpus_stats
+from repro.data.xml_ingest import corpus_from_xml, document_from_xml
+
+__all__ = [
+    "Corpus",
+    "CorpusStats",
+    "Document",
+    "Feature",
+    "corpus_from_xml",
+    "corpus_stats",
+    "document_from_xml",
+    "load_corpus_jsonl",
+    "make_structured_document",
+    "make_text_document",
+    "save_corpus_jsonl",
+]

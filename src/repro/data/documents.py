@@ -1,0 +1,163 @@
+"""Document model: text documents and structured documents.
+
+A *result* in the paper is a text document or a fragment of a structured
+document that contains all query keywords (§2). We represent every document
+as a bag of terms plus optional metadata:
+
+* text documents: terms come from analyzing the body text;
+* structured documents: terms come from analyzing the title/category plus
+  one canonical term per feature triplet (``entity:attribute:value``), so a
+  query can contain either plain words or whole triplets — exactly the two
+  query styles visible in the paper's Figures 8-9.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.errors import DataError
+from repro.text.analyzer import Analyzer
+
+
+@dataclass(frozen=True, order=True)
+class Feature:
+    """An ``entity:attribute:value`` triplet, e.g. ``product:name:iPad``.
+
+    Features are the unit of structure for shopping-style data [13]. The
+    canonical term form (:meth:`as_term`) is what gets indexed and what a
+    structured expanded query contains.
+    """
+
+    entity: str
+    attribute: str
+    value: str
+
+    def __post_init__(self) -> None:
+        for part_name in ("entity", "attribute", "value"):
+            part = getattr(self, part_name)
+            if not part or not str(part).strip():
+                raise DataError(f"Feature {part_name} must be non-empty")
+
+    def as_term(self) -> str:
+        """Canonical indexed form: lowercased, colon-joined, spaces squeezed."""
+
+        def norm(s: str) -> str:
+            return " ".join(str(s).lower().split())
+
+        return f"{norm(self.entity)}:{norm(self.attribute)}:{norm(self.value)}"
+
+    @classmethod
+    def from_term(cls, term: str) -> "Feature":
+        """Parse a canonical term back into a Feature.
+
+        Raises :class:`DataError` if the term does not have exactly three
+        colon-separated parts.
+        """
+        parts = term.split(":")
+        if len(parts) != 3:
+            raise DataError(f"not a feature term: {term!r}")
+        return cls(*parts)
+
+
+@dataclass(frozen=True)
+class Document:
+    """A retrievable unit: id, term bag, optional metadata.
+
+    ``terms`` maps each normalized term to its frequency in the document.
+    ``kind`` is ``"text"`` or ``"structured"``. ``title`` and ``fields`` are
+    presentation metadata (used by examples and reporting, never by the
+    algorithms, which only see ``terms``).
+    """
+
+    doc_id: str
+    terms: Mapping[str, int]
+    kind: str = "text"
+    title: str = ""
+    fields: Mapping[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.doc_id:
+            raise DataError("doc_id must be non-empty")
+        if self.kind not in ("text", "structured"):
+            raise DataError(f"unknown document kind: {self.kind!r}")
+        if not self.terms:
+            raise DataError(f"document {self.doc_id!r} has no terms")
+        for term, count in self.terms.items():
+            if not term:
+                raise DataError(f"document {self.doc_id!r} has an empty term")
+            if count <= 0:
+                raise DataError(
+                    f"document {self.doc_id!r} term {term!r} has count {count}"
+                )
+
+    @property
+    def term_set(self) -> frozenset[str]:
+        """The distinct terms of the document."""
+        return frozenset(self.terms)
+
+    def contains_all(self, terms: Iterable[str]) -> bool:
+        """AND semantics: True if every term occurs in this document."""
+        return all(t in self.terms for t in terms)
+
+    def contains_any(self, terms: Iterable[str]) -> bool:
+        """OR semantics: True if at least one term occurs in this document."""
+        return any(t in self.terms for t in terms)
+
+    def length(self) -> int:
+        """Total number of term occurrences (bag size)."""
+        return sum(self.terms.values())
+
+
+def make_text_document(
+    doc_id: str,
+    text: str,
+    analyzer: Analyzer | None = None,
+    title: str = "",
+) -> Document:
+    """Build a text :class:`Document` by analyzing ``text``."""
+    analyzer = analyzer or Analyzer()
+    counts = analyzer.term_counts(text)
+    if title:
+        counts.update(analyzer.analyze(title))
+    if not counts:
+        raise DataError(f"document {doc_id!r} analyzed to zero terms")
+    return Document(doc_id=doc_id, terms=dict(counts), kind="text", title=title)
+
+
+def make_structured_document(
+    doc_id: str,
+    features: Iterable[Feature],
+    analyzer: Analyzer | None = None,
+    title: str = "",
+    extra_text: str = "",
+) -> Document:
+    """Build a structured :class:`Document` from feature triplets.
+
+    Each feature contributes (a) its canonical triplet term and (b) the
+    analyzed tokens of its value, so that both query styles of the paper
+    ("Memory: category: harddrive" and plain "harddrive") retrieve it.
+    """
+    analyzer = analyzer or Analyzer()
+    counts: Counter[str] = Counter()
+    feats = list(features)
+    if not feats:
+        raise DataError(f"structured document {doc_id!r} needs >= 1 feature")
+    fields: dict[str, str] = {}
+    for feat in feats:
+        counts[feat.as_term()] += 1
+        counts.update(analyzer.analyze(feat.value))
+        counts.update(analyzer.analyze(feat.attribute))
+        fields[f"{feat.entity}:{feat.attribute}"] = feat.value
+    if title:
+        counts.update(analyzer.analyze(title))
+    if extra_text:
+        counts.update(analyzer.analyze(extra_text))
+    return Document(
+        doc_id=doc_id,
+        terms=dict(counts),
+        kind="structured",
+        title=title,
+        fields=fields,
+    )

@@ -1,0 +1,73 @@
+"""JSONL persistence for corpora.
+
+One JSON object per line, schema::
+
+    {"doc_id": ..., "kind": "text"|"structured", "title": ...,
+     "terms": {term: count, ...}, "fields": {entity:attribute: value, ...}}
+
+The term bag is persisted (not the raw text) so a corpus round-trips exactly
+regardless of analyzer configuration.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.data.corpus import Corpus
+from repro.data.documents import Document
+from repro.errors import DataError
+
+PathLike = Union[str, Path]
+
+
+def document_to_record(doc: Document) -> dict:
+    """Serialize a document to a plain dict."""
+    return {
+        "doc_id": doc.doc_id,
+        "kind": doc.kind,
+        "title": doc.title,
+        "terms": dict(doc.terms),
+        "fields": dict(doc.fields),
+    }
+
+
+def document_from_record(record: dict) -> Document:
+    """Deserialize a document from a dict produced by :func:`document_to_record`."""
+    try:
+        return Document(
+            doc_id=record["doc_id"],
+            terms={str(t): int(c) for t, c in record["terms"].items()},
+            kind=record.get("kind", "text"),
+            title=record.get("title", ""),
+            fields=dict(record.get("fields", {})),
+        )
+    except KeyError as exc:
+        raise DataError(f"record missing field {exc}") from exc
+
+
+def save_corpus_jsonl(corpus: Corpus, path: PathLike) -> None:
+    """Write ``corpus`` to ``path`` as JSON Lines."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as fh:
+        for doc in corpus:
+            fh.write(json.dumps(document_to_record(doc), sort_keys=True))
+            fh.write("\n")
+
+
+def load_corpus_jsonl(path: PathLike) -> Corpus:
+    """Load a corpus previously written by :func:`save_corpus_jsonl`."""
+    path = Path(path)
+    corpus = Corpus()
+    with path.open("r", encoding="utf-8") as fh:
+        for line_no, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise DataError(f"{path}:{line_no}: invalid JSON") from exc
+            corpus.add(document_from_record(record))
+    return corpus

@@ -1,0 +1,98 @@
+"""Corpus statistics: vocabulary growth and term-frequency distributions.
+
+Sanity instruments for the synthetic corpora (and any user corpus): real
+text obeys Zipf's law (rank × frequency ≈ constant) and Heaps' law
+(vocabulary ≈ K · tokens^β with β < 1). The dataset tests use these to
+check that the generators produce text-like statistics rather than
+uniform noise — which matters because TF-IDF, clustering, and the
+candidate-keyword selection all assume a skewed term distribution.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.corpus import Corpus
+from repro.errors import DataError
+
+
+@dataclass(frozen=True)
+class CorpusStats:
+    """Aggregate statistics of a corpus."""
+
+    n_documents: int
+    n_tokens: int
+    vocabulary_size: int
+    mean_doc_length: float
+    zipf_slope: float  # log-log slope of the rank/frequency curve
+    heaps_beta: float  # vocabulary-growth exponent
+
+    @property
+    def type_token_ratio(self) -> float:
+        return self.vocabulary_size / max(self.n_tokens, 1)
+
+
+def term_frequencies(corpus: Corpus) -> Counter:
+    """Collection frequency of every term."""
+    counts: Counter[str] = Counter()
+    for doc in corpus:
+        for term, tf in doc.terms.items():
+            counts[term] += tf
+    return counts
+
+
+def zipf_slope(frequencies: Counter, top_n: int = 200) -> float:
+    """Least-squares slope of log(freq) vs log(rank) over the top terms.
+
+    Zipfian text gives a slope near -1; uniform term usage gives ~0. At
+    least 5 distinct terms are required.
+    """
+    freqs = sorted(frequencies.values(), reverse=True)[:top_n]
+    if len(freqs) < 5:
+        raise DataError(f"need >= 5 distinct terms, got {len(freqs)}")
+    ranks = np.arange(1, len(freqs) + 1, dtype=np.float64)
+    x = np.log(ranks)
+    y = np.log(np.asarray(freqs, dtype=np.float64))
+    slope, _ = np.polyfit(x, y, 1)
+    return float(slope)
+
+
+def heaps_beta(corpus: Corpus) -> float:
+    """Vocabulary-growth exponent β from V(n) ≈ K n^β.
+
+    Estimated by regressing log V against log n at document boundaries.
+    Sub-linear growth (β < 1) is the text-like regime; β ≈ 1 means every
+    document brings mostly new vocabulary (no reuse).
+    """
+    if len(corpus) < 3:
+        raise DataError("need >= 3 documents for Heaps estimation")
+    seen: set[str] = set()
+    tokens = 0
+    xs: list[float] = []
+    ys: list[float] = []
+    for doc in corpus:
+        tokens += doc.length()
+        seen.update(doc.terms)
+        xs.append(np.log(tokens))
+        ys.append(np.log(len(seen)))
+    beta, _ = np.polyfit(np.asarray(xs), np.asarray(ys), 1)
+    return float(beta)
+
+
+def corpus_stats(corpus: Corpus) -> CorpusStats:
+    """All statistics in one pass-and-a-bit."""
+    if len(corpus) == 0:
+        raise DataError("cannot compute statistics of an empty corpus")
+    freqs = term_frequencies(corpus)
+    n_tokens = sum(freqs.values())
+    return CorpusStats(
+        n_documents=len(corpus),
+        n_tokens=n_tokens,
+        vocabulary_size=len(freqs),
+        mean_doc_length=n_tokens / len(corpus),
+        zipf_slope=zipf_slope(freqs),
+        heaps_beta=heaps_beta(corpus),
+    )

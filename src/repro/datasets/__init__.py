@@ -1,0 +1,35 @@
+"""Synthetic datasets standing in for the paper's corpora (DESIGN.md §4).
+
+- :mod:`~repro.datasets.shopping` — electronics catalog shaped like the
+  paper's circuitcity.com crawl (structured documents with feature
+  triplets).
+- :mod:`~repro.datasets.wikipedia` — multi-sense documents for the ten
+  ambiguous Wikipedia query terms (text documents).
+- :mod:`~repro.datasets.querylog_data` — a synthetic query log powering the
+  Google-stand-in baseline.
+- :mod:`~repro.datasets.queries` — the 20 benchmark queries of Table 1.
+
+All generators are deterministic given their seed.
+"""
+
+from repro.datasets.queries import (
+    BenchmarkQuery,
+    SHOPPING_QUERIES,
+    WIKIPEDIA_QUERIES,
+    all_queries,
+    query_by_id,
+)
+from repro.datasets.querylog_data import build_query_log
+from repro.datasets.shopping import build_shopping_corpus
+from repro.datasets.wikipedia import build_wikipedia_corpus
+
+__all__ = [
+    "BenchmarkQuery",
+    "SHOPPING_QUERIES",
+    "WIKIPEDIA_QUERIES",
+    "all_queries",
+    "build_query_log",
+    "build_shopping_corpus",
+    "build_wikipedia_corpus",
+    "query_by_id",
+]

@@ -1,0 +1,67 @@
+"""The 20 benchmark queries of Table 1, with per-query granularity k.
+
+k follows the number of expanded queries the paper shows per query in
+Figures 8-9 (2 for QW1/QS4/QS5/QS9/QS10, 3 otherwise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DataError
+
+
+@dataclass(frozen=True)
+class BenchmarkQuery:
+    """One test query: id, text, owning dataset, cluster granularity."""
+
+    qid: str
+    text: str
+    dataset: str  # "wikipedia" | "shopping"
+    n_clusters: int
+
+    def __post_init__(self) -> None:
+        if self.dataset not in ("wikipedia", "shopping"):
+            raise DataError(f"unknown dataset {self.dataset!r}")
+        if self.n_clusters < 1:
+            raise DataError("n_clusters must be >= 1")
+
+
+WIKIPEDIA_QUERIES: tuple[BenchmarkQuery, ...] = (
+    BenchmarkQuery("QW1", "san jose", "wikipedia", 2),
+    BenchmarkQuery("QW2", "columbia", "wikipedia", 3),
+    BenchmarkQuery("QW3", "cvs", "wikipedia", 3),
+    BenchmarkQuery("QW4", "domino", "wikipedia", 3),
+    BenchmarkQuery("QW5", "eclipse", "wikipedia", 3),
+    BenchmarkQuery("QW6", "java", "wikipedia", 3),
+    BenchmarkQuery("QW7", "cell", "wikipedia", 3),
+    BenchmarkQuery("QW8", "rockets", "wikipedia", 3),
+    BenchmarkQuery("QW9", "mouse", "wikipedia", 3),
+    BenchmarkQuery("QW10", "sportsman williams", "wikipedia", 3),
+)
+
+SHOPPING_QUERIES: tuple[BenchmarkQuery, ...] = (
+    BenchmarkQuery("QS1", "canon products", "shopping", 3),
+    BenchmarkQuery("QS2", "networking products", "shopping", 3),
+    BenchmarkQuery("QS3", "networking products routers", "shopping", 3),
+    BenchmarkQuery("QS4", "tv", "shopping", 2),
+    BenchmarkQuery("QS5", "tv plasma", "shopping", 2),
+    BenchmarkQuery("QS6", "hp products", "shopping", 3),
+    BenchmarkQuery("QS7", "memory", "shopping", 3),
+    BenchmarkQuery("QS8", "memory 8gb", "shopping", 3),
+    BenchmarkQuery("QS9", "memory internal", "shopping", 2),
+    BenchmarkQuery("QS10", "printer", "shopping", 2),
+)
+
+
+def all_queries() -> tuple[BenchmarkQuery, ...]:
+    """All 20 queries, shopping then Wikipedia (paper order: Table 1)."""
+    return SHOPPING_QUERIES + WIKIPEDIA_QUERIES
+
+
+def query_by_id(qid: str) -> BenchmarkQuery:
+    """Look up a query by its Table 1 id (e.g. ``"QW2"``)."""
+    for q in all_queries():
+        if q.qid == qid:
+            return q
+    raise DataError(f"unknown query id: {qid!r}")

@@ -1,0 +1,104 @@
+"""Synthetic query log powering the Google-stand-in baseline.
+
+For every benchmark query the log contains popular refinements. They mix
+(a) corpus-grounded refinements (a sense word that actually occurs in the
+results — "java island"), and (b) popular-but-absent refinements modeled on
+the paper's observations ("sony products" suggested for "canon products";
+all QW8 suggestions being about space rockets). Popularity counts define
+the suggestion order, exactly like log-frequency ranking in [2, 9].
+"""
+
+from __future__ import annotations
+
+from repro.baselines.querylog import QueryLog
+
+# (logged query, popularity count). Order is irrelevant; counts decide.
+_LOG_ENTRIES: tuple[tuple[str, int], ...] = (
+    # QW1 san jose — one corpus sense + popular travel refinements.
+    ("san jose sharks hockey", 90),
+    ("san jose attractions", 80),
+    ("san jose costa rica", 70),
+    # QW2 columbia
+    ("columbia university", 95),
+    ("columbia records album", 60),
+    ("columbia country", 55),
+    # QW3 cvs
+    ("cvs pharmacy store", 90),
+    ("cvs caremark", 70),
+    ("cvs careers", 65),
+    # QW4 domino
+    ("domino pizza", 95),
+    ("domino game", 60),
+    ("domino movie", 50),
+    # QW5 eclipse
+    ("eclipse mitsubishi car", 80),
+    ("eclipse solar", 75),
+    ("eclipse ide software", 55),
+    # QW6 java — the paper's good case: popular AND meaningful.
+    ("java tutorials", 95),
+    ("java games", 70),
+    ("java island indonesia", 50),
+    # QW7 cell
+    ("cell biology", 85),
+    ("cell theory", 65),
+    ("cell animal", 55),
+    # QW8 rockets — paper: all Google suggestions are space rockets,
+    # none about the NBA team (not diverse).
+    ("model rockets", 90),
+    ("space rockets launch", 85),
+    ("bottle rockets", 70),
+    # QW9 mouse
+    ("mouse pictures", 80),
+    ("mouse breaker", 60),
+    ("mouse cartoon", 50),
+    # QW10 sportsman williams
+    ("sportsman williams football", 70),
+    ("sportsman williams baseball", 60),
+    ("sportsman williams news", 50),
+    # QS1 canon products — paper: Google suggests "Sony, products".
+    ("canon products camera", 85),
+    ("sony products", 75),
+    ("canon products printer", 60),
+    # QS2 networking products
+    ("social networking products", 80),
+    ("computer networking products routers", 60),
+    ("networking products price", 50),
+    # QS3 networking products routers
+    ("networking products routers wireless", 70),
+    ("networking products routers cisco", 60),
+    ("networking products routers wood", 40),
+    # QS4 tv
+    ("tv guide", 90),
+    ("tv plasma", 70),
+    ("tv samsung lcd", 60),
+    # QS5 tv plasma
+    ("tv plasma vs lcd", 80),
+    ("tv plasma panasonic", 60),
+    ("tv plasma bestbuy", 50),
+    # QS6 hp products
+    ("hp products printer", 85),
+    ("hp products laptop", 70),
+    ("hp products corporation", 60),
+    # QS7 memory
+    ("human memory", 90),
+    ("memory game", 75),
+    ("computer memory ddr3", 55),
+    # QS8 memory 8gb
+    ("memory 8gb flashmemory card", 80),
+    ("memory 8gb laptop", 65),
+    ("memory 8gb ddr3", 55),
+    # QS9 memory internal
+    ("memory internal harddrive", 70),
+    ("memory internal dell", 55),
+    # QS10 printer
+    ("printer canon", 85),
+    ("printer hp laser", 75),
+    ("printer wireless", 60),
+)
+
+
+def build_query_log() -> QueryLog:
+    """The synthetic log used by all experiments."""
+    log = QueryLog()
+    log.record_many(_LOG_ENTRIES)
+    return log

@@ -1,0 +1,144 @@
+"""Synthetic shopping corpus: the circuitcity.com-crawl stand-in.
+
+Each product is a structured document with a title, a category, and feature
+triplets (§C: "Each product has a title, a category, and a set of
+features"). Product counts per category are skewed so the benchmark queries
+return result sets shaped like the paper's: most QS queries get tens of
+results, while QS8-like "memory 8gb" workloads get hundreds (the paper's
+QS8 has 557 results and 464 distinct keywords in its largest cluster).
+
+Every product document contains the token ``products`` (via its boilerplate
+text) so queries like "Canon Products" work under AND semantics, and the
+token of its category and brand, so the expanded queries the paper shows —
+feature triplets like ``canonproducts:category:camcorders`` or plain words
+— are both reachable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.corpus import Corpus
+from repro.data.documents import Feature, make_structured_document
+from repro.datasets.vocab import SHOPPING_ATTRIBUTES, SHOPPING_BRANDS, model_families
+from repro.text.analyzer import Analyzer
+
+# Products generated per (category, brand). Tuned so that:
+#  - "canon products" → ~60 results in 3 category clusters (QS1)
+#  - "memory 8gb"     → hundreds of results (QS8's heavy workload)
+#  - every QS query retrieves enough results to cluster meaningfully.
+_COUNTS_PER_BRAND: dict[str, int] = {
+    "camera": 18,
+    "printer": 16,
+    "camcorder": 12,
+    "tv": 16,
+    "routers": 14,
+    "switches": 10,
+    "firewalls": 8,
+    "laptop": 12,
+    "battery": 10,
+    "flashmemory": 80,
+    "harddrive": 60,
+    "ddr3": 60,
+    "ddr2": 30,
+}
+
+# Categories whose products belong to the "memory" entity group.
+_MEMORY_CATEGORIES = frozenset({"flashmemory", "harddrive", "ddr3", "ddr2"})
+_NETWORKING_CATEGORIES = frozenset({"routers", "switches", "firewalls"})
+
+
+def _entity_for(category: str, brand: str) -> str:
+    """The feature-entity name, echoing the paper's triplets.
+
+    The paper shows entities like ``canonproducts``, ``networking products``
+    and ``memory`` — brand-group or category-group oriented. We keep one
+    deterministic rule: memory categories share the ``memory`` entity,
+    networking categories share ``networking products``, everything else is
+    ``<brand>products``.
+    """
+    if category in _MEMORY_CATEGORIES:
+        return "memory"
+    if category in _NETWORKING_CATEGORIES:
+        return "networking products"
+    return f"{brand}products"
+
+
+def _category_feature_value(category: str) -> str:
+    return category
+
+
+def _boilerplate(category: str, brand: str) -> str:
+    """Tokens shared by large product groups, enabling the QS queries."""
+    words = ["electronics", "products", brand, category]
+    if category in _MEMORY_CATEGORIES:
+        words.append("memory")
+        if category == "harddrive":
+            words.extend(["internal", "storage", "drive"])
+        if category in ("ddr3", "ddr2"):
+            words.extend(["module", "internal"])
+        if category == "flashmemory":
+            words.extend(["flash", "card"])
+    if category in _NETWORKING_CATEGORIES:
+        words.append("networking")
+    if category == "tv":
+        words.append("television")
+    if category == "printer":
+        words.append("printing")
+    return " ".join(words)
+
+
+def build_shopping_corpus(
+    seed: int = 0,
+    scale: float = 1.0,
+    analyzer: Analyzer | None = None,
+) -> Corpus:
+    """Generate the shopping corpus.
+
+    Parameters
+    ----------
+    seed:
+        RNG seed; the corpus is a pure function of (seed, scale).
+    scale:
+        Multiplies the per-(category, brand) product counts; 1.0 gives
+        ~1400 products.
+    analyzer:
+        Analyzer used for title/value tokenization (share it with the
+        search engine).
+    """
+    rng = np.random.default_rng(seed)
+    analyzer = analyzer or Analyzer()
+    corpus = Corpus()
+    serial = 0
+    for category in sorted(_COUNTS_PER_BRAND):
+        brands = SHOPPING_BRANDS[category]
+        count = max(int(round(_COUNTS_PER_BRAND[category] * scale)), 1)
+        attrs = SHOPPING_ATTRIBUTES[category]
+        for brand in brands:
+            families = model_families(category, brand)
+            for _ in range(count):
+                serial += 1
+                family = families[int(rng.integers(len(families)))]
+                model_no = f"{family}-{int(rng.integers(100, 9999))}"
+                entity = _entity_for(category, brand)
+                features = [
+                    Feature(entity, "category", _category_feature_value(category)),
+                    Feature(entity, "brand", brand),
+                ]
+                for attribute, values in sorted(attrs.items()):
+                    # Most attributes always present; a few dropped at random
+                    # so feature sets are not perfectly uniform.
+                    if rng.random() < 0.15:
+                        continue
+                    value = values[int(rng.integers(len(values)))]
+                    features.append(Feature(category, attribute, value))
+                title = f"{brand} {family} {model_no} {category}"
+                doc = make_structured_document(
+                    doc_id=f"shop-{serial:05d}",
+                    features=features,
+                    analyzer=analyzer,
+                    title=title,
+                    extra_text=_boilerplate(category, brand),
+                )
+                corpus.add(doc)
+    return corpus

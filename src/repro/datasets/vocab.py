@@ -1,0 +1,323 @@
+"""Vocabulary pools for the synthetic corpora.
+
+The Wikipedia stand-in needs, per ambiguous query term, several *senses*
+with partially overlapping vocabularies plus a shared noise pool — that mix
+is what makes clustering imperfect and recall hard, the two effects the
+paper attributes to its Wikipedia data (§5.2). Words are chosen to survive
+the stopword filter and to echo the expanded queries visible in the paper's
+Figures 8-9 (e.g. *java* → server/code/island, *rockets* → nba/space).
+"""
+
+from __future__ import annotations
+
+# Generic encyclopedia filler; none of these are stopwords. Sense documents
+# mix these in so that no sense is trivially separable by vocabulary alone.
+NOISE_WORDS: tuple[str, ...] = (
+    "article", "history", "world", "name", "known", "early", "late", "called",
+    "include", "including", "major", "part", "found", "used", "following",
+    "area", "large", "small", "several", "became", "made", "years", "work",
+    "life", "time", "people", "group", "system", "based", "developed",
+    "released", "published", "popular", "important", "common", "general",
+    "public", "national", "international", "local", "original", "second",
+    "third", "first", "number", "list", "page", "reference", "external",
+    "link", "source", "information", "example", "related", "section",
+    "century", "modern", "form", "version", "official",
+    "center", "north", "east", "west", "main", "total", "high", "long",
+    "open", "free", "service", "member", "state", "country", "city",
+)
+
+# sense vocabularies per ambiguous Wikipedia term. Keys are query ids QW1-10.
+# Each sense: (sense_name, core_words). Core words are sampled with high
+# frequency inside the sense's documents; a little cross-sense bleed is added
+# by the generator.
+WIKIPEDIA_SENSES: dict[str, tuple[tuple[str, tuple[str, ...]], ...]] = {
+    "san jose": (
+        ("city", (
+            "california", "downtown", "valley", "silicon", "population",
+            "neighborhood", "location", "municipal", "mission", "guadalupe",
+            "mayor", "county", "gold", "war",
+        )),
+        ("sports", (
+            "player", "hockey", "shark", "team", "season", "arena", "league",
+            "playoff", "scorer", "coach", "sabercat", "game", "goal",
+        )),
+    ),
+    "columbia": (
+        ("university", (
+            "university", "college", "research", "campus", "student",
+            "professor", "faculty", "school", "degree", "library",
+            "manhattan", "academic",
+        )),
+        ("records", (
+            "album", "record", "music", "artist", "release", "label",
+            "studio", "song", "singer", "band", "essential", "producer",
+        )),
+        ("british", (
+            "british", "mountain", "river", "canada", "province",
+            "vancouver", "pacific", "basin", "glacier", "yakama", "plateau",
+        )),
+    ),
+    "cvs": (
+        ("pharmacy", (
+            "pharmacy", "store", "prescription", "health", "retail",
+            "caremark", "drug", "shop", "customer", "prince", "household",
+            "chain",
+        )),
+        ("software", (
+            "code", "repository", "software", "developer", "commit",
+            "branch", "revision", "concurrent", "community", "project",
+            "server", "gnuplot",
+        )),
+        ("settlement", (
+            "township", "county", "settlement", "indiana", "webster",
+            "southwest", "rural", "creek", "station", "road",
+        )),
+    ),
+    "domino": (
+        ("pizza", (
+            "pizza", "restaurant", "food", "delivery", "franchise", "store",
+            "menu", "chain", "order",
+        )),
+        ("album", (
+            "album", "vocal", "music", "song", "record", "fats", "singer",
+            "produce", "brand", "label",
+        )),
+        ("game", (
+            "game", "tile", "player", "rule", "queen", "set", "bone",
+            "spinner", "score", "effect",
+        )),
+    ),
+    "eclipse": (
+        ("software", (
+            "software", "plugin", "ide", "model", "code", "platform",
+            "core", "environment", "automate", "project", "tool",
+            "framework",
+        )),
+        ("astronomy", (
+            "solar", "lunar", "moon", "sun", "greek", "ancient", "shadow",
+            "athenian", "march", "totality", "orbit", "observation",
+        )),
+        ("car", (
+            "mitsubishi", "car", "engine", "coupe", "turbo", "drive",
+            "wheel", "motor", "speed", "role", "video",
+        )),
+    ),
+    "java": (
+        ("server", (
+            "server", "web", "application", "enterprise", "bean",
+            "deployment", "container", "servlet", "platform", "blog",
+        )),
+        ("language", (
+            "code", "language", "syntax", "compiler", "class", "method",
+            "object", "virtual", "machine", "aspectj", "microsoft", "tool",
+        )),
+        ("island", (
+            "island", "indonesia", "sea", "volcanic", "western", "south",
+            "jakarta", "coffee", "molucca", "parallel", "coast",
+        )),
+    ),
+    "cell": (
+        ("biology", (
+            "biological", "organism", "membrane", "protein", "nucleus",
+            "tissue", "multicellular", "kinase", "division", "placent",
+            "mosaic",
+        )),
+        ("battery", (
+            "battery", "electrical", "voltage", "energy", "charge",
+            "electrode", "chemical", "lithium", "power", "fuel",
+        )),
+        ("processor", (
+            "processor", "express", "data", "computing", "architecture",
+            "broadband", "chip", "playstation", "core", "bit",
+        )),
+    ),
+    "rockets": (
+        ("nba", (
+            "nba", "basketball", "houston", "player", "season", "playoff",
+            "guard", "maxwell", "vernon", "coach", "team", "point",
+        )),
+        ("space", (
+            "launch", "space", "orbit", "propulsion", "missile", "engine",
+            "fuel", "satellite", "stage", "dome", "israel", "anti",
+        )),
+        ("school", (
+            "school", "team", "iowa", "football", "built", "rhode",
+            "interior", "singer", "target", "cincinnati", "district",
+        )),
+    ),
+    "mouse": (
+        ("device", (
+            "technique", "wheel", "interface", "button", "computer",
+            "optical", "cursor", "scroll", "usb", "pointer",
+        )),
+        ("animal", (
+            "scientific", "species", "rodent", "fossil", "birch",
+            "hesperian", "habitat", "genus", "tail", "laboratory",
+        )),
+        ("cartoon", (
+            "cartoon", "television", "animation", "character", "adventure",
+            "mickey", "series", "episode", "mystery", "laugh",
+        )),
+    ),
+    "sportsman williams": (
+        ("football", (
+            "football", "quarterback", "league", "smith", "point",
+            "touchdown", "draft", "receiver", "club", "fire",
+        )),
+        ("baseball", (
+            "baseball", "pitcher", "season", "launch", "inning", "batter",
+            "stadium", "pennant", "boston", "salem",
+        )),
+        ("music", (
+            "piano", "american", "barker", "stuart", "alliance", "youth",
+            "gamebook", "highway", "kick", "high",
+        )),
+    ),
+}
+
+def rare_word_pool(size: int = 4000) -> tuple[str, ...]:
+    """A deterministic pool of distinct plausible rare words ("jargon").
+
+    Real encyclopedia articles are bursty: each contains a handful of
+    article-specific terms (entity names, technical jargon) repeated several
+    times — the paper's "multicellular" for QW7, "sabercat", "gnuplot".
+    Popular-word summarizers like Data Clouds are drawn to such terms
+    (high TF in one result × high IDF), which is why their suggestions can
+    be "too specific" (§5.2.1).
+
+    Words are composed from three syllable lists by mixed-radix indexing,
+    so every word in the pool is unique by construction (up to the radix
+    product, 16^3 = 4096).
+    """
+    first = ("ba", "ce", "di", "fo", "gu", "ka", "le", "mi",
+             "no", "pu", "ra", "se", "ti", "vo", "zu", "bra")
+    second = ("lan", "rem", "sit", "dox", "nul", "gar", "vex", "pol",
+              "tur", "min", "cas", "ben", "rof", "lix", "dam", "kor")
+    third = ("ia", "um", "or", "ex", "an", "is", "el", "on",
+             "ar", "us", "it", "em", "ol", "ax", "en", "ur")
+    limit = len(first) * len(second) * len(third)
+    if size > limit:
+        raise ValueError(f"pool size {size} exceeds {limit} unique words")
+    words = []
+    for i in range(size):
+        a = first[i % len(first)]
+        b = second[(i // len(first)) % len(second)]
+        c = third[(i // (len(first) * len(second))) % len(third)]
+        words.append(a + b + c)
+    return tuple(words)
+
+
+# --- shopping pools ---------------------------------------------------------
+
+SHOPPING_BRANDS: dict[str, tuple[str, ...]] = {
+    "camera": ("canon", "sony", "panasonic", "nikon"),
+    "printer": ("canon", "hp", "epson"),
+    "camcorder": ("canon", "sony", "panasonic"),
+    "tv": ("toshiba", "lg", "samsung", "panasonic"),
+    "routers": ("cisco", "netgear", "linksys", "d-link"),
+    "switches": ("d-link", "cisco", "netgear"),
+    "firewalls": ("d-link", "sonicwall", "cisco"),
+    "laptop": ("hp", "dell", "toshiba"),
+    "battery": ("hp", "dell"),
+    "flashmemory": ("sandisk", "kingston", "transcend", "cavalry"),
+    "harddrive": ("seagate", "hitachi", "cavalry", "transcend"),
+    "ddr3": ("kingston", "transcend", "corsair"),
+    "ddr2": ("kingston", "corsair"),
+}
+
+# Per-category attribute pools: attribute -> candidate values. The generator
+# assigns each product one value per attribute (some attributes optional).
+SHOPPING_ATTRIBUTES: dict[str, dict[str, tuple[str, ...]]] = {
+    "camera": {
+        "image resolution": ("10 mp", "12 mp", "14 mp", "4752 x 3168"),
+        "optical zoom": ("4x", "10x", "12x"),
+        "shutter speed": ("15 - 13,200 sec.", "30 - 1/2000 sec."),
+    },
+    "printer": {
+        "printmethod": ("laser", "inkjet"),
+        "condition": ("new", "refurbished"),
+        "print speed": ("22 ppm", "30 ppm"),
+    },
+    "camcorder": {
+        "optical zoom": ("20x", "32x", "41x"),
+        "media format": ("flash card", "hard disc", "mini dv"),
+    },
+    "tv": {
+        "displaytype": ("plasma", "lcd hdtv"),
+        "displayarea": ('26"', '42"', '50"'),
+        "resolution": ("720p", "1080p"),
+    },
+    "routers": {
+        "rj-45 ports": ("4", "8"),
+        "features": ("mac filtering", "vpn passthrough", "qos"),
+        "wireless": ("802.11g", "802.11n"),
+    },
+    "switches": {
+        "ports": ("8", "16", "24"),
+        "speed": ("10/100", "gigabit"),
+    },
+    "firewalls": {
+        "vlans": ("portshield", "tagged"),
+        "form factor": ("desktop", "rack-mount"),
+    },
+    "laptop": {
+        "cpu": ("core 2 duo", "turion", "atom"),
+        "ram": ("2gb", "4gb"),
+    },
+    "battery": {
+        "compatible models": ("pavilion", "inspiron", "presario"),
+        "cells": ("6-cell", "9-cell"),
+    },
+    "flashmemory": {
+        "memory size": ("4gb", "8gb", "16gb"),
+        "format": ("sdhc", "compactflash", "usb drive"),
+    },
+    "harddrive": {
+        "capacity": ("320gb", "500gb", "1tb"),
+        "cache": ("8gb", "16mb", "32mb"),
+        "interface": ("sata", "ide"),
+    },
+    "ddr3": {
+        "memory size": ("2gb", "4gb", "8gb"),
+        "speed": ("1066mhz", "1333mhz"),
+    },
+    "ddr2": {
+        "memory size": ("1gb", "2gb", "8gb"),
+        "speed": ("667mhz", "800mhz"),
+    },
+}
+
+# Model-name families used in product titles (paper: pixma, imageclass,
+# rangemax, integr...). Keyed by (category, brand); fallback key (category, "*").
+SHOPPING_MODEL_FAMILIES: dict[tuple[str, str], tuple[str, ...]] = {
+    ("printer", "canon"): ("pixma", "imageclass"),
+    ("printer", "hp"): ("laserjet", "officejet"),
+    ("printer", "epson"): ("stylus",),
+    ("camera", "canon"): ("powershot", "eos"),
+    ("camera", "sony"): ("cybershot", "alpha"),
+    ("camera", "panasonic"): ("lumix",),
+    ("camera", "nikon"): ("coolpix",),
+    ("camcorder", "canon"): ("vixia",),
+    ("camcorder", "sony"): ("handycam",),
+    ("camcorder", "panasonic"): ("palmcorder",),
+    ("routers", "cisco"): ("integr", "1841"),
+    ("routers", "netgear"): ("rangemax",),
+    ("routers", "linksys"): ("wrt",),
+    ("routers", "d-link"): ("dir",),
+    ("tv", "*"): ("viera", "bravia", "regza", "42lg70"),
+    ("flashmemory", "*"): ("ultra", "extreme"),
+    ("harddrive", "*"): ("barracuda", "deskstar"),
+    ("ddr3", "*"): ("hyperx", "valueram"),
+    ("ddr2", "*"): ("hyperx",),
+    ("switches", "*"): ("des", "catalyst"),
+    ("firewalls", "*"): ("vpn", "tz"),
+    ("laptop", "*"): ("pavilion", "satellite", "inspiron"),
+    ("battery", "*"): ("li-ion",),
+}
+
+
+def model_families(category: str, brand: str) -> tuple[str, ...]:
+    """Model-name family pool for a (category, brand) pair."""
+    return SHOPPING_MODEL_FAMILIES.get(
+        (category, brand), SHOPPING_MODEL_FAMILIES.get((category, "*"), ("series",))
+    )

@@ -1,0 +1,43 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class. Subclasses are grouped by subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class DataError(ReproError):
+    """A document, feature, or corpus was malformed."""
+
+
+class IndexError_(ReproError):
+    """An index operation failed (unknown document, frozen index, ...).
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`IndexError`; exported as ``repro.IndexingError``.
+    """
+
+
+class QueryError(ReproError):
+    """A query was empty or referenced unknown terms where that is illegal."""
+
+
+class ClusteringError(ReproError):
+    """Clustering could not be performed (e.g. k larger than point count)."""
+
+
+class ExpansionError(ReproError):
+    """Query expansion failed (e.g. empty cluster, inconsistent universe)."""
+
+
+# Public aliases with friendlier names.
+IndexingError = IndexError_

@@ -1,0 +1,43 @@
+"""Evaluation harness: experiments, user-study simulation, reporting.
+
+Maps one-to-one onto the paper's §5:
+
+- :mod:`~repro.eval.experiment` — runs all six systems on the 20 benchmark
+  queries, recording Eq. 1 scores (Fig. 5), wall times (Fig. 6) and the
+  generated expanded queries (Figs. 8-9).
+- :mod:`~repro.eval.user_study` — the simulated AMT panel (Figs. 1-4).
+- :mod:`~repro.eval.scalability` — time vs result-count sweep (Fig. 7).
+- :mod:`~repro.eval.reporting` — ASCII tables and bar charts used by the
+  benchmark harness to print paper-shaped artifacts.
+- :mod:`~repro.eval.timing` — measurement helpers.
+"""
+
+from repro.eval.experiment import ExperimentSuite, QueryExperiment, SystemRun
+from repro.eval.presentation import render_expansion_report
+from repro.eval.reporting import format_bar_chart, format_table
+from repro.eval.scalability import ScalabilityPoint, run_scalability
+from repro.eval.significance import (
+    SignificanceResult,
+    paired_bootstrap,
+    randomization_test,
+)
+from repro.eval.timing import Timer, measure_seconds
+from repro.eval.user_study import UserStudyResult, UserStudySimulator
+
+__all__ = [
+    "ExperimentSuite",
+    "QueryExperiment",
+    "ScalabilityPoint",
+    "SignificanceResult",
+    "SystemRun",
+    "Timer",
+    "UserStudyResult",
+    "UserStudySimulator",
+    "format_bar_chart",
+    "format_table",
+    "measure_seconds",
+    "paired_bootstrap",
+    "randomization_test",
+    "render_expansion_report",
+    "run_scalability",
+]

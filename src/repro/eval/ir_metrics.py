@@ -1,0 +1,237 @@
+"""Classic IR effectiveness metrics plus suggestion-set quality measures.
+
+Two groups:
+
+* **Ranked-list metrics** (``precision_at_k``, ``average_precision``,
+  ``reciprocal_rank``, ``ndcg_at_k``, ``mean_over_queries``) — standard
+  textbook definitions, used to evaluate the retrieval substrate and the
+  PRF baselines against sense-labeled ground truth.
+* **Suggestion-set metrics** (``cluster_coverage``, ``sense_coverage``,
+  ``pairwise_overlap``, ``distinct_result_fraction``) — quantify the two
+  properties the paper's user study says a good set of expanded queries
+  must have (§5.2.1 Part 3): *comprehensiveness* (the suggestions cover all
+  interpretations / clusters of the original results) and *diversity*
+  (their result sets have little overlap). These are the measurable
+  counterparts of the study's options (A)/(B)/(C).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence, Set
+
+from repro.errors import ConfigError
+
+# --------------------------------------------------------------------------
+# Ranked-list metrics
+# --------------------------------------------------------------------------
+
+
+def precision_at_k(ranked: Sequence[str], relevant: Set[str], k: int) -> float:
+    """Fraction of the top-``k`` ranked ids that are relevant.
+
+    ``k`` larger than the list length treats missing positions as
+    non-relevant (the conventional padded definition).
+    """
+    if k < 1:
+        raise ConfigError(f"k must be >= 1, got {k}")
+    if not relevant:
+        return 0.0
+    hits = sum(1 for doc_id in ranked[:k] if doc_id in relevant)
+    return hits / k
+
+
+def recall_at_k(ranked: Sequence[str], relevant: Set[str], k: int) -> float:
+    """Fraction of the relevant set found in the top-``k``."""
+    if k < 1:
+        raise ConfigError(f"k must be >= 1, got {k}")
+    if not relevant:
+        return 0.0
+    hits = sum(1 for doc_id in ranked[:k] if doc_id in relevant)
+    return hits / len(relevant)
+
+
+def average_precision(ranked: Sequence[str], relevant: Set[str]) -> float:
+    """Average of precision@rank over the ranks of relevant documents.
+
+    Unretrieved relevant documents contribute 0, so the value is the
+    standard (uninterpolated) AP used in MAP.
+    """
+    if not relevant:
+        return 0.0
+    hits = 0
+    total = 0.0
+    for rank, doc_id in enumerate(ranked, start=1):
+        if doc_id in relevant:
+            hits += 1
+            total += hits / rank
+    return total / len(relevant)
+
+
+def reciprocal_rank(ranked: Sequence[str], relevant: Set[str]) -> float:
+    """1 / rank of the first relevant document; 0 if none is retrieved."""
+    for rank, doc_id in enumerate(ranked, start=1):
+        if doc_id in relevant:
+            return 1.0 / rank
+    return 0.0
+
+
+def dcg_at_k(gains: Sequence[float], k: int) -> float:
+    """Discounted cumulative gain with log2 discounts (position 1 undiscounted)."""
+    if k < 1:
+        raise ConfigError(f"k must be >= 1, got {k}")
+    total = 0.0
+    for i, gain in enumerate(gains[:k], start=1):
+        if gain < 0.0:
+            raise ConfigError(f"gains must be >= 0, got {gain}")
+        total += gain / math.log2(i + 1)
+    return total
+
+
+def ndcg_at_k(ranked: Sequence[str], relevance: dict[str, float], k: int) -> float:
+    """Normalized DCG@k against graded relevance (missing ids grade 0)."""
+    gains = [relevance.get(doc_id, 0.0) for doc_id in ranked]
+    ideal = sorted(relevance.values(), reverse=True)
+    denom = dcg_at_k(ideal, k)
+    if denom == 0.0:
+        return 0.0
+    return dcg_at_k(gains, k) / denom
+
+
+def mean_over_queries(values: Iterable[float]) -> float:
+    """Arithmetic mean, 0.0 for an empty iterable (e.g. MAP, mean nDCG)."""
+    vals = list(values)
+    if not vals:
+        return 0.0
+    return sum(vals) / len(vals)
+
+
+# --------------------------------------------------------------------------
+# Suggestion-set metrics (comprehensiveness & diversity)
+# --------------------------------------------------------------------------
+
+
+def cluster_coverage(
+    suggestion_results: Sequence[Set[int]],
+    cluster_members: Sequence[Set[int]],
+    min_recall: float = 0.2,
+) -> float:
+    """Fraction of clusters "covered" by at least one suggestion.
+
+    A cluster counts as covered when some suggestion retrieves at least
+    ``min_recall`` of its members. This is the comprehensiveness axis of the
+    user study: a suggestion set that only reflects the dominant sense
+    leaves the minority clusters uncovered.
+    """
+    if not 0.0 < min_recall <= 1.0:
+        raise ConfigError(f"min_recall must be in (0, 1], got {min_recall}")
+    if not cluster_members:
+        return 0.0
+    covered = 0
+    for members in cluster_members:
+        if not members:
+            continue
+        for retrieved in suggestion_results:
+            if len(retrieved & members) / len(members) >= min_recall:
+                covered += 1
+                break
+    return covered / len(cluster_members)
+
+
+def cluster_coverage_f(
+    suggestion_results: Sequence[Set[int]],
+    cluster_members: Sequence[Set[int]],
+    min_f: float = 0.5,
+) -> float:
+    """Fraction of clusters matched by some suggestion with F-measure ≥ ``min_f``.
+
+    Stricter than :func:`cluster_coverage`: a suggestion only covers a
+    cluster if its result set *classifies* it — both retrieving the members
+    (recall) and not drowning them in other results (precision). This is
+    the per-cluster quality notion of the paper's Definition 2.2 turned
+    into a coverage measure, so a near-universal suggestion ("seed + very
+    common word") covers nothing small.
+    """
+    if not 0.0 < min_f <= 1.0:
+        raise ConfigError(f"min_f must be in (0, 1], got {min_f}")
+    if not cluster_members:
+        return 0.0
+    covered = 0
+    for members in cluster_members:
+        if not members:
+            continue
+        for retrieved in suggestion_results:
+            if not retrieved:
+                continue
+            inter = len(retrieved & members)
+            if inter == 0:
+                continue
+            precision = inter / len(retrieved)
+            recall = inter / len(members)
+            f = 2 * precision * recall / (precision + recall)
+            if f >= min_f:
+                covered += 1
+                break
+    return covered / len(cluster_members)
+
+
+def sense_coverage(
+    suggestion_results: Sequence[Set[int]],
+    sense_of: dict[int, str],
+) -> float:
+    """Fraction of ground-truth senses hit by at least one suggestion.
+
+    ``sense_of`` maps result position → sense label (dataset ground truth).
+    A sense is hit if any suggestion retrieves at least one result of that
+    sense. Stricter than :func:`cluster_coverage` in that it uses dataset
+    truth rather than the clustering.
+    """
+    senses = set(sense_of.values())
+    if not senses:
+        return 0.0
+    hit: set[str] = set()
+    for retrieved in suggestion_results:
+        for pos in retrieved:
+            label = sense_of.get(pos)
+            if label is not None:
+                hit.add(label)
+    return len(hit & senses) / len(senses)
+
+
+def pairwise_overlap(suggestion_results: Sequence[Set[int]]) -> float:
+    """Mean Jaccard overlap between all suggestion result-set pairs.
+
+    0 means perfectly diverse suggestions (disjoint result sets); 1 means
+    every suggestion retrieves the same results. Pairs of empty sets count
+    as overlap 0 (they are vacuously diverse). Fewer than two suggestions
+    → 0.0 by convention.
+    """
+    n = len(suggestion_results)
+    if n < 2:
+        return 0.0
+    total = 0.0
+    pairs = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            a, b = suggestion_results[i], suggestion_results[j]
+            union = a | b
+            total += (len(a & b) / len(union)) if union else 0.0
+            pairs += 1
+    return total / pairs
+
+
+def distinct_result_fraction(
+    suggestion_results: Sequence[Set[int]],
+    universe_size: int,
+) -> float:
+    """Fraction of the universe retrieved by at least one suggestion.
+
+    A combined comprehensiveness measure: the union of the suggestions'
+    result sets over the seed query's result count.
+    """
+    if universe_size < 1:
+        raise ConfigError(f"universe_size must be >= 1, got {universe_size}")
+    union: set[int] = set()
+    for retrieved in suggestion_results:
+        union |= retrieved
+    return len(union) / universe_size

@@ -1,0 +1,64 @@
+"""Rendering expansion reports for humans: queries, clusters, snippets.
+
+The expansion pipeline returns structured data; search UIs show text.
+:func:`render_expansion_report` produces the full presentation the paper's
+framework implies: each expanded query with its cluster statistics, plus
+query-biased snippets ([13]) of the cluster's top-ranked results, so the
+user can judge which interpretation each suggestion captures.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.expander import ExpansionReport
+from repro.errors import ConfigError
+from repro.snippets import generate_snippet
+
+
+def render_expansion_report(
+    report: ExpansionReport,
+    max_results_per_cluster: int = 3,
+    snippet_width: int = 72,
+    idf: Callable[[str], float] | None = None,
+) -> str:
+    """Multi-line text rendering of an :class:`ExpansionReport`.
+
+    Results inside each cluster keep their ranking order; ``idf`` (when
+    provided, typically ``engine.scorer.idf``) sharpens the structured
+    snippets' feature selection.
+    """
+    if max_results_per_cluster < 1:
+        raise ConfigError(
+            f"max_results_per_cluster must be >= 1, got {max_results_per_cluster}"
+        )
+    if snippet_width < 10:
+        raise ConfigError(f"snippet_width must be >= 10, got {snippet_width}")
+    lines: list[str] = []
+    lines.append(
+        f"seed query {report.seed_query!r}: {report.n_results} results in "
+        f"{report.n_clusters} clusters, Eq.1 score {report.score:.3f}"
+    )
+    # cluster_labels is aligned with the retrieval order of report.results.
+    members_by_cluster: dict[int, list[int]] = {}
+    for idx, label in enumerate(report.cluster_labels):
+        members_by_cluster.setdefault(int(label), []).append(idx)
+
+    for eq in report.expanded:
+        lines.append("")
+        lines.append(
+            f"[cluster {eq.cluster_id}] {eq.display()}  "
+            f"(F={eq.fmeasure:.3f}, P={eq.precision:.3f}, "
+            f"R={eq.recall:.3f}, {eq.cluster_size} results)"
+        )
+        members = members_by_cluster.get(eq.cluster_id, [])
+        for shown, result_idx in enumerate(members):
+            if shown >= max_results_per_cluster:
+                lines.append(f"    ... and {len(members) - shown} more")
+                break
+            result = report.results[result_idx]
+            snippet = generate_snippet(
+                result.document, eq.terms, idf=idf
+            )[:snippet_width]
+            lines.append(f"    {result.document.doc_id}: {snippet}")
+    return "\n".join(lines)

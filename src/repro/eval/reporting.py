@@ -1,0 +1,88 @@
+"""ASCII rendering of paper-shaped tables and bar charts.
+
+The benchmark harness prints every reproduced figure/table through these
+helpers, so running ``pytest benchmarks/ --benchmark-only -s`` shows the
+same rows/series the paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """A plain aligned ASCII table. Floats are rendered with 3 decimals."""
+    def cell(v: object) -> str:
+        if isinstance(v, float):
+            return f"{v:.3f}"
+        return str(v)
+
+    str_rows = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+        for i, v in enumerate(row):
+            widths[i] = max(widths[i], len(v))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_bar_chart(
+    items: Sequence[tuple[str, float]],
+    width: int = 40,
+    max_value: float | None = None,
+    unit: str = "",
+    title: str = "",
+) -> str:
+    """Horizontal text bars, one per (label, value)."""
+    if not items:
+        raise ValueError("bar chart needs at least one item")
+    peak = max_value if max_value is not None else max(v for _, v in items)
+    peak = max(peak, 1e-12)
+    label_w = max(len(label) for label, _ in items)
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for label, value in items:
+        n = int(round(width * min(value, peak) / peak))
+        lines.append(f"{label.ljust(label_w)} | {'#' * n} {value:.3f}{unit}")
+    return "\n".join(lines)
+
+
+def format_grouped_series(
+    row_labels: Sequence[str],
+    series: dict[str, Sequence[float]],
+    title: str = "",
+) -> str:
+    """A table with one row per label and one column per named series.
+
+    Used for the per-query figures (Fig. 5, Fig. 6): rows are QS1..QW10,
+    columns are systems.
+    """
+    headers = ["query"] + list(series)
+    rows = []
+    for i, label in enumerate(row_labels):
+        row: list[object] = [label]
+        for name in series:
+            values = series[name]
+            if len(values) != len(row_labels):
+                raise ValueError(
+                    f"series {name!r} has {len(values)} values "
+                    f"for {len(row_labels)} rows"
+                )
+            row.append(values[i])
+        rows.append(row)
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,64 @@
+"""Scalability experiment (Figure 7): time vs number of results.
+
+The paper uses QW2 "columbia" and varies the result count from 100 to 500;
+reported times include both clustering and query generation, and grow
+roughly linearly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import ExpansionConfig
+from repro.core.expander import ClusterQueryExpander
+from repro.core.iskr import ISKR
+from repro.core.pebc import PEBC
+from repro.datasets.vocab import WIKIPEDIA_SENSES
+from repro.datasets.wikipedia import build_wikipedia_corpus
+from repro.index.search import SearchEngine
+from repro.text.analyzer import Analyzer
+
+
+@dataclass(frozen=True)
+class ScalabilityPoint:
+    """Times (clustering + expansion, seconds) at one result count."""
+
+    n_results: int
+    iskr_seconds: float
+    pebc_seconds: float
+
+
+def run_scalability(
+    sizes: tuple[int, ...] = (100, 200, 300, 400, 500),
+    term: str = "columbia",
+    seed: int = 0,
+    n_clusters: int = 3,
+) -> list[ScalabilityPoint]:
+    """Run the Fig. 7 sweep and return one point per requested size."""
+    analyzer = Analyzer(use_stemming=False)
+    n_senses = len(WIKIPEDIA_SENSES[term])
+    points: list[ScalabilityPoint] = []
+    for size in sizes:
+        docs_per_sense = -(-size // n_senses)  # ceil division
+        corpus = build_wikipedia_corpus(
+            seed=seed,
+            docs_per_sense=docs_per_sense,
+            terms=[term],
+            analyzer=analyzer,
+        )
+        engine = SearchEngine(corpus, analyzer)
+        config = ExpansionConfig(
+            n_clusters=n_clusters, top_k_results=size, cluster_seed=seed
+        )
+        iskr_report = ClusterQueryExpander(engine, ISKR(), config).expand(term)
+        pebc_report = ClusterQueryExpander(engine, PEBC(seed=seed), config).expand(term)
+        points.append(
+            ScalabilityPoint(
+                n_results=iskr_report.n_results,
+                iskr_seconds=iskr_report.clustering_seconds
+                + iskr_report.expansion_seconds,
+                pebc_seconds=pebc_report.clustering_seconds
+                + pebc_report.expansion_seconds,
+            )
+        )
+    return points

@@ -1,0 +1,110 @@
+"""Statistical significance testing for paired system comparisons.
+
+Standard IR evaluation practice: when system A beats system B on mean
+score over a query set, check that the difference is not noise. Two
+classic paired tests, both exact-by-resampling and seeded:
+
+* :func:`randomization_test` — Fisher's paired randomization (permutation)
+  test: under H0 the per-query (a_i, b_i) labels are exchangeable, so the
+  observed mean difference is compared against random sign flips.
+* :func:`paired_bootstrap` — bootstrap resampling of queries; reports the
+  probability that A fails to beat B on a resampled query set.
+
+Both return conservative two-sided or one-sided p-values suitable for the
+small query sets of this reproduction (n = 10 or 20).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class SignificanceResult:
+    """Outcome of a paired test between two systems."""
+
+    mean_a: float
+    mean_b: float
+    delta: float  # mean_a - mean_b
+    p_value: float
+    n_queries: int
+    method: str
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        return self.p_value < alpha
+
+
+def _validate(a: Sequence[float], b: Sequence[float], rounds: int) -> None:
+    if len(a) != len(b):
+        raise ConfigError(f"paired lists differ in length: {len(a)} vs {len(b)}")
+    if len(a) < 2:
+        raise ConfigError("need at least 2 paired observations")
+    if rounds < 100:
+        raise ConfigError(f"rounds must be >= 100, got {rounds}")
+
+
+def randomization_test(
+    a: Sequence[float],
+    b: Sequence[float],
+    rounds: int = 10000,
+    seed: int = 0,
+    two_sided: bool = True,
+) -> SignificanceResult:
+    """Paired randomization (sign-flip permutation) test.
+
+    p = fraction of random sign assignments whose |mean difference| is at
+    least the observed one (with the +1/+1 smoothing that keeps p > 0).
+    """
+    _validate(a, b, rounds)
+    diffs = np.asarray(a, dtype=np.float64) - np.asarray(b, dtype=np.float64)
+    observed = float(diffs.mean())
+    rng = np.random.default_rng(seed)
+    signs = rng.choice((-1.0, 1.0), size=(rounds, diffs.size))
+    samples = (signs * diffs).mean(axis=1)
+    if two_sided:
+        hits = int((np.abs(samples) >= abs(observed) - 1e-15).sum())
+    else:
+        hits = int((samples >= observed - 1e-15).sum())
+    p = (hits + 1) / (rounds + 1)
+    return SignificanceResult(
+        mean_a=float(np.mean(a)),
+        mean_b=float(np.mean(b)),
+        delta=observed,
+        p_value=float(p),
+        n_queries=diffs.size,
+        method="randomization",
+    )
+
+
+def paired_bootstrap(
+    a: Sequence[float],
+    b: Sequence[float],
+    rounds: int = 10000,
+    seed: int = 0,
+) -> SignificanceResult:
+    """One-sided paired bootstrap: P(A does not beat B on a resample).
+
+    Queries are resampled with replacement; the p-value is the smoothed
+    fraction of resamples where the mean difference is <= 0.
+    """
+    _validate(a, b, rounds)
+    diffs = np.asarray(a, dtype=np.float64) - np.asarray(b, dtype=np.float64)
+    rng = np.random.default_rng(seed)
+    n = diffs.size
+    idx = rng.integers(0, n, size=(rounds, n))
+    samples = diffs[idx].mean(axis=1)
+    hits = int((samples <= 0.0).sum())
+    p = (hits + 1) / (rounds + 1)
+    return SignificanceResult(
+        mean_a=float(np.mean(a)),
+        mean_b=float(np.mean(b)),
+        delta=float(diffs.mean()),
+        p_value=float(p),
+        n_queries=n,
+        method="bootstrap",
+    )

@@ -1,0 +1,39 @@
+"""Wall-clock measurement helpers."""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+
+class Timer:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    >>> with Timer() as t:
+    ...     _ = sum(range(100))
+    >>> t.seconds >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.seconds = time.perf_counter() - self._start
+
+
+def measure_seconds(fn: Callable[[], object], repeat: int = 1) -> float:
+    """Best-of-``repeat`` wall time of calling ``fn`` with no arguments."""
+    if repeat < 1:
+        raise ValueError(f"repeat must be >= 1, got {repeat}")
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best

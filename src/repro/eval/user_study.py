@@ -1,0 +1,162 @@
+"""Simulated user study (Figures 1-4).
+
+The paper ran 45 Amazon Mechanical Turk raters; we cannot. Part 3 of the
+study records what those raters said they value: *individually*, an
+expanded query should be related to the search and retrieve useful results;
+*collectively*, a set of expanded queries should be comprehensive (cover
+the meanings of the original query) and diverse (little result overlap).
+
+The simulator encodes exactly those stated preferences as a noisy utility
+model over signals measured by the experiment harness:
+
+* individual utility  = max(grounded, familiarity_weight × popularity),
+  where *grounded* is the suggestion's best F-measure against any result
+  cluster and *popularity* is its query-log frequency (known only for the
+  log-based system). A rater finds a suggestion useful either because it
+  retrieves a coherent slice of the results or because it is a familiar,
+  popular query — the paper's Google observation ("generally very popular
+  with the users" even when the keywords do not occur in the results);
+* collective utility = 0.5 × coverage + 0.5 × diversity (the two
+  properties Part 3 of the study says users want).
+
+Each simulated rater perturbs the utility with Gaussian noise, maps it to
+the 1-5 scale, and picks the option (A)/(B)/(C) by thresholds. Absolute
+levels are synthetic; the reproduced artifact is the *ranking* of systems
+(see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.eval.experiment import QueryExperiment
+
+# Figure 2 options (individual): (A) related & helpful, (B) related but
+# better exists, (C) not related.
+INDIVIDUAL_OPTIONS = ("A", "B", "C")
+# Figure 4 options (collective): (A) not comprehensive & not diverse,
+# (B) either missing, (C) comprehensive and diverse.
+COLLECTIVE_OPTIONS = ("A", "B", "C")
+
+
+@dataclass(frozen=True)
+class UserStudyResult:
+    """Aggregated panel outcome across all queries and raters."""
+
+    individual_scores: dict[str, float]  # system -> mean 1-5 (Fig. 1)
+    individual_options: dict[str, dict[str, float]]  # system -> option -> % (Fig. 2)
+    collective_scores: dict[str, float]  # Fig. 3
+    collective_options: dict[str, dict[str, float]]  # Fig. 4
+
+
+class UserStudySimulator:
+    """A reproducible panel of simulated raters."""
+
+    def __init__(
+        self,
+        n_users: int = 45,
+        seed: int = 7,
+        noise_sd: float = 0.12,
+        familiarity_weight: float = 0.85,
+    ) -> None:
+        if n_users < 1:
+            raise ValueError(f"n_users must be >= 1, got {n_users}")
+        self._n_users = n_users
+        self._seed = seed
+        self._noise_sd = noise_sd
+        self._familiarity = familiarity_weight
+
+    # -- utility signals -----------------------------------------------------
+
+    def individual_utility(self, best_f: float, popularity: float) -> float:
+        """Noise-free utility of one suggested query, in [0, 1]."""
+        return float(
+            np.clip(max(best_f, self._familiarity * popularity), 0.0, 1.0)
+        )
+
+    @staticmethod
+    def collective_utility(coverage: float, diversity: float) -> float:
+        """Noise-free utility of a suggestion *set*, in [0, 1]."""
+        return float(np.clip(0.5 * coverage + 0.5 * diversity, 0.0, 1.0))
+
+    # -- panel ------------------------------------------------------------------
+
+    def evaluate(self, experiments: list[QueryExperiment]) -> UserStudyResult:
+        """Run the panel over the experiments' outputs."""
+        if not experiments:
+            raise ValueError("need at least one experiment to rate")
+        rng = np.random.default_rng(self._seed)
+        systems = sorted({s for e in experiments for s in e.runs})
+        ind_scores: dict[str, list[float]] = {s: [] for s in systems}
+        ind_options: dict[str, dict[str, int]] = {
+            s: {o: 0 for o in INDIVIDUAL_OPTIONS} for s in systems
+        }
+        col_scores: dict[str, list[float]] = {s: [] for s in systems}
+        col_options: dict[str, dict[str, int]] = {
+            s: {o: 0 for o in COLLECTIVE_OPTIONS} for s in systems
+        }
+
+        for exp in experiments:
+            for system in systems:
+                run = exp.runs.get(system)
+                if run is None:
+                    continue
+                utilities = [
+                    self.individual_utility(f, p)
+                    for f, p in zip(run.best_f_per_query, run.popularity)
+                ]
+                cutil = self.collective_utility(run.coverage, run.diversity)
+                for _ in range(self._n_users):
+                    for u in utilities:
+                        noisy = float(
+                            np.clip(u + rng.normal(0.0, self._noise_sd), 0.0, 1.0)
+                        )
+                        ind_scores[system].append(1.0 + 4.0 * noisy)
+                        ind_options[system][_individual_option(noisy)] += 1
+                    noisy_c = float(
+                        np.clip(cutil + rng.normal(0.0, self._noise_sd), 0.0, 1.0)
+                    )
+                    col_scores[system].append(1.0 + 4.0 * noisy_c)
+                    col_options[system][_collective_option(noisy_c)] += 1
+
+        return UserStudyResult(
+            individual_scores={
+                s: float(np.mean(v)) for s, v in ind_scores.items() if v
+            },
+            individual_options={
+                s: _percentages(counts) for s, counts in ind_options.items()
+            },
+            collective_scores={
+                s: float(np.mean(v)) for s, v in col_scores.items() if v
+            },
+            collective_options={
+                s: _percentages(counts) for s, counts in col_options.items()
+            },
+        )
+
+
+def _individual_option(utility: float) -> str:
+    """(A) highly related & helpful / (B) related, better exists / (C) unrelated."""
+    if utility > 0.75:
+        return "A"
+    if utility > 0.45:
+        return "B"
+    return "C"
+
+
+def _collective_option(utility: float) -> str:
+    """(C) comprehensive & diverse / (B) one missing / (A) neither."""
+    if utility > 0.8:
+        return "C"
+    if utility > 0.5:
+        return "B"
+    return "A"
+
+
+def _percentages(counts: dict[str, int]) -> dict[str, float]:
+    total = sum(counts.values())
+    if total == 0:
+        return {o: 0.0 for o in counts}
+    return {o: 100.0 * c / total for o, c in counts.items()}

@@ -1,0 +1,35 @@
+"""Faceted search comparator (related work: [8], [14], [16]).
+
+The paper argues cluster-based query expansion beats faceted navigation in
+two situations: "(1) when it is difficult to extract facets, such as
+searching text documents; and (2) when the query is ambiguous", because
+results of different senses "may have completely different facets".
+
+This subpackage implements the comparator needed to reproduce that
+argument:
+
+- :mod:`repro.facets.extraction` — facet discovery over structured query
+  results (attribute → value histogram, with coverage filters). Text
+  results expose no attributes, so extraction degrades exactly as the
+  paper describes.
+- :mod:`repro.facets.navigation` — an expected-navigation-cost model in
+  the spirit of FACeTOR [14]: facets are ranked by how cheaply a user can
+  reach a target result through them.
+- :mod:`repro.facets.comparator` — converts the chosen facet's values
+  into expanded queries (feature-triplet terms) so the harness can score
+  a faceted interface on the same Eq. 1 / coverage / diversity axes as
+  the expansion systems.
+"""
+
+from repro.facets.comparator import FacetedSearchComparator
+from repro.facets.extraction import Facet, FacetValue, extract_facets
+from repro.facets.navigation import expected_navigation_cost, rank_facets
+
+__all__ = [
+    "Facet",
+    "FacetValue",
+    "FacetedSearchComparator",
+    "expected_navigation_cost",
+    "extract_facets",
+    "rank_facets",
+]

@@ -1,0 +1,112 @@
+"""Facet extraction from structured query results.
+
+A facet is an attribute key shared by many results (``memory:category``,
+``tv:brand``); its values partition the results. Facets come from the
+``fields`` metadata of structured documents — plain text documents carry no
+fields, so a text result list yields no facets, which is precisely the
+degradation the paper attributes to faceted search on text data.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.data.documents import Document
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class FacetValue:
+    """One value of a facet with the positions of results carrying it."""
+
+    value: str
+    positions: frozenset[int]
+
+    @property
+    def count(self) -> int:
+        return len(self.positions)
+
+
+@dataclass(frozen=True)
+class Facet:
+    """An attribute key and its value histogram over the result list."""
+
+    key: str  # "entity:attribute"
+    values: tuple[FacetValue, ...]  # sorted by descending count
+    coverage: float  # fraction of results having this attribute
+
+    @property
+    def n_values(self) -> int:
+        return len(self.values)
+
+    def positions_for(self, value: str) -> frozenset[int]:
+        for fv in self.values:
+            if fv.value == value:
+                return fv.positions
+        return frozenset()
+
+
+def extract_facets(
+    documents: Sequence[Document],
+    min_coverage: float = 0.3,
+    max_values: int = 10,
+    min_values: int = 2,
+) -> list[Facet]:
+    """Discover facets over ``documents``.
+
+    Parameters
+    ----------
+    documents:
+        The query results (text documents contribute nothing).
+    min_coverage:
+        Keep only attributes present in at least this fraction of results.
+    max_values:
+        Keep only attributes with at most this many distinct values (an
+        attribute where every result has a unique value — a serial number —
+        navigates nowhere).
+    min_values:
+        Require at least this many distinct values (a constant attribute
+        cannot partition anything).
+
+    Returns facets sorted by descending coverage, then key.
+    """
+    if not 0.0 < min_coverage <= 1.0:
+        raise ConfigError(f"min_coverage must be in (0, 1], got {min_coverage}")
+    if min_values < 2:
+        raise ConfigError(f"min_values must be >= 2, got {min_values}")
+    if max_values < min_values:
+        raise ConfigError(
+            f"max_values ({max_values}) must be >= min_values ({min_values})"
+        )
+    if not documents:
+        return []
+    value_positions: dict[str, dict[str, set[int]]] = defaultdict(
+        lambda: defaultdict(set)
+    )
+    present: Counter[str] = Counter()
+    for pos, doc in enumerate(documents):
+        for key, value in doc.fields.items():
+            normalized = " ".join(str(value).lower().split())
+            if not normalized:
+                continue
+            value_positions[key][normalized].add(pos)
+            present[key] += 1
+    n = len(documents)
+    facets: list[Facet] = []
+    for key, by_value in value_positions.items():
+        coverage = present[key] / n
+        if coverage < min_coverage:
+            continue
+        if not min_values <= len(by_value) <= max_values:
+            continue
+        values = tuple(
+            FacetValue(value=v, positions=frozenset(ps))
+            for v, ps in sorted(
+                by_value.items(), key=lambda kv: (-len(kv[1]), kv[0])
+            )
+        )
+        facets.append(Facet(key=key, values=values, coverage=coverage))
+    facets.sort(key=lambda f: (-f.coverage, f.key))
+    return facets

@@ -1,0 +1,59 @@
+"""Expected navigation cost of a faceted interface (FACeTOR-style [14]).
+
+The cost model: a user looking for one uniformly-random target result first
+scans the facet's value list (cost = number of values x ``scan_cost``),
+clicks the value their target carries, and then reads the narrowed result
+list (cost = its size x ``read_cost``). Results not covered by the facet
+must be read from the full list. Lower is better; a facet whose values
+split the results evenly into small buckets wins.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ConfigError
+from repro.facets.extraction import Facet
+
+
+def expected_navigation_cost(
+    facet: Facet,
+    n_results: int,
+    scan_cost: float = 0.2,
+    read_cost: float = 1.0,
+) -> float:
+    """Expected cost to reach a uniformly-random target via ``facet``.
+
+    ``E[cost] = V*scan + Σ_v (|v|/N) * |v|*read + (uncovered/N) * N*read``
+
+    where V is the number of facet values. Overlapping values (a result
+    listed under two values) are charged per-value, matching a user who
+    clicks the value their target actually carries.
+    """
+    if n_results < 1:
+        raise ConfigError(f"n_results must be >= 1, got {n_results}")
+    if scan_cost < 0.0 or read_cost <= 0.0:
+        raise ConfigError("scan_cost must be >= 0 and read_cost > 0")
+    covered: set[int] = set()
+    partition_term = 0.0
+    for fv in facet.values:
+        covered |= fv.positions
+        partition_term += (fv.count / n_results) * fv.count * read_cost
+    uncovered = n_results - len(covered & set(range(n_results)))
+    fallback_term = (uncovered / n_results) * n_results * read_cost
+    return facet.n_values * scan_cost + partition_term + fallback_term
+
+
+def rank_facets(
+    facets: Sequence[Facet],
+    n_results: int,
+    scan_cost: float = 0.2,
+    read_cost: float = 1.0,
+) -> list[tuple[Facet, float]]:
+    """Facets with their expected costs, cheapest first (ties by key)."""
+    scored = [
+        (f, expected_navigation_cost(f, n_results, scan_cost, read_cost))
+        for f in facets
+    ]
+    scored.sort(key=lambda fc: (fc[1], fc[0].key))
+    return scored

@@ -1,0 +1,39 @@
+"""Search substrate: inverted index, boolean retrieval, TF-IDF ranking.
+
+This is the retrieval engine behind ``R(q)`` in the paper: a result of a
+query is the document (or structured fragment) containing all query keywords
+(AND semantics, §2); OR semantics is supported per the paper's appendix.
+Seed-query results are ranked by TF-IDF cosine score, which supplies the
+ranking weights used by the weighted precision/recall of §2.
+"""
+
+from repro.index.bm25 import BM25Scorer
+from repro.index.compression import decode_postings, encode_postings
+from repro.index.diskindex import DiskIndex, write_index
+from repro.index.dynamic import DynamicIndex
+from repro.index.inverted_index import InvertedIndex
+from repro.index.lm import LMDirichletScorer
+from repro.index.positional import PositionalIndex
+from repro.index.postings import Posting, PostingList
+from repro.index.queryparser import evaluate_query, parse_query
+from repro.index.scoring import TfIdfScorer
+from repro.index.search import SearchEngine, SearchResult
+
+__all__ = [
+    "BM25Scorer",
+    "DiskIndex",
+    "DynamicIndex",
+    "InvertedIndex",
+    "LMDirichletScorer",
+    "PositionalIndex",
+    "Posting",
+    "PostingList",
+    "SearchEngine",
+    "SearchResult",
+    "TfIdfScorer",
+    "decode_postings",
+    "encode_postings",
+    "evaluate_query",
+    "parse_query",
+    "write_index",
+]

@@ -1,0 +1,53 @@
+"""Okapi BM25 scoring: an alternative ranker to TF-IDF.
+
+The paper ranks with TF-IDF (§C); BM25 is the standard stronger baseline
+and exercises the pipeline's scorer pluggability. Same interface as
+:class:`~repro.index.scoring.TfIdfScorer`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from repro.index.inverted_index import InvertedIndex
+
+
+class BM25Scorer:
+    """Okapi BM25 with the conventional k1/b parameterization."""
+
+    def __init__(self, index: InvertedIndex, k1: float = 1.2, b: float = 0.75) -> None:
+        if k1 < 0.0:
+            raise ValueError(f"k1 must be >= 0, got {k1}")
+        if not 0.0 <= b <= 1.0:
+            raise ValueError(f"b must be in [0, 1], got {b}")
+        self._index = index
+        self._k1 = k1
+        self._b = b
+        n = max(index.num_documents, 1)
+        total_len = sum(index.doc_length(i) for i in range(index.num_documents))
+        self._avg_len = (total_len / n) if n else 1.0
+        self._n = n
+
+    def idf(self, term: str) -> float:
+        """BM25 idf: ``log(1 + (N - df + 0.5) / (df + 0.5))`` (never negative)."""
+        df = self._index.document_frequency(term)
+        return math.log(1.0 + (self._n - df + 0.5) / (df + 0.5))
+
+    def score(self, doc_pos: int, terms: Iterable[str]) -> float:
+        doc = self._index.corpus[doc_pos]
+        dl = max(self._index.doc_length(doc_pos), 1)
+        norm = self._k1 * (1.0 - self._b + self._b * dl / max(self._avg_len, 1e-9))
+        total = 0.0
+        for term in terms:
+            tf = doc.terms.get(term, 0)
+            if tf:
+                total += self.idf(term) * tf * (self._k1 + 1.0) / (tf + norm)
+        return total
+
+    def rank(self, doc_positions: list[int], terms: Iterable[str]) -> list[tuple[int, float]]:
+        """(doc, score) sorted by descending score, position tie-break."""
+        term_list = list(terms)
+        scored = [(pos, self.score(pos, term_list)) for pos in doc_positions]
+        scored.sort(key=lambda item: (-item[1], item[0]))
+        return scored

@@ -1,0 +1,238 @@
+"""Posting-list compression: delta gaps + variable-byte and Elias-gamma codes.
+
+The disk index (:mod:`repro.index.diskindex`) stores each posting list as
+delta-encoded document gaps compressed with one of two classic schemes:
+
+* **Variable-byte (varint)** — each integer is split into 7-bit groups,
+  low-order first; the high bit of a byte marks the last group. Byte
+  aligned, fast, the default.
+* **Elias gamma** — unary length prefix followed by the binary offset.
+  Bit-packed, denser for small gaps, slower to decode; offered for the
+  compression micro-benchmarks.
+
+All encoders work on *positive* integers (gaps of a strictly increasing
+doc-id sequence, term frequencies shifted by 0 since tf >= 1).
+"""
+
+from __future__ import annotations
+
+from repro.errors import IndexingError
+
+# --------------------------------------------------------------------------
+# Delta (gap) transform
+# --------------------------------------------------------------------------
+
+
+def to_gaps(doc_ids: list[int]) -> list[int]:
+    """Strictly increasing doc ids → first id + 1, then successive gaps.
+
+    Every emitted value is >= 1 (ids start at 0, so the first value is
+    ``doc_ids[0] + 1``), which is what the positive-integer codes need.
+    """
+    gaps: list[int] = []
+    prev = -1
+    for doc in doc_ids:
+        if doc <= prev:
+            raise IndexingError(f"doc ids not strictly increasing at {doc}")
+        gaps.append(doc - prev)
+        prev = doc
+    return gaps
+
+
+def from_gaps(gaps: list[int]) -> list[int]:
+    """Inverse of :func:`to_gaps`."""
+    doc_ids: list[int] = []
+    prev = -1
+    for gap in gaps:
+        if gap < 1:
+            raise IndexingError(f"gap must be >= 1, got {gap}")
+        prev += gap
+        doc_ids.append(prev)
+    return doc_ids
+
+
+# --------------------------------------------------------------------------
+# Variable-byte code
+# --------------------------------------------------------------------------
+
+
+def varint_encode(values: list[int]) -> bytes:
+    """Encode positive integers with the byte-aligned variable-byte code."""
+    out = bytearray()
+    for value in values:
+        if value < 1:
+            raise IndexingError(f"varint values must be >= 1, got {value}")
+        chunks = []
+        v = value
+        while True:
+            chunks.append(v & 0x7F)
+            v >>= 7
+            if v == 0:
+                break
+        for chunk in chunks[:-1]:
+            out.append(chunk)
+        out.append(chunks[-1] | 0x80)  # high bit marks the final byte
+    return bytes(out)
+
+
+def varint_decode(data: bytes) -> list[int]:
+    """Decode a :func:`varint_encode` byte string."""
+    values: list[int] = []
+    current = 0
+    shift = 0
+    for byte in data:
+        current |= (byte & 0x7F) << shift
+        if byte & 0x80:
+            values.append(current)
+            current = 0
+            shift = 0
+        else:
+            shift += 7
+    if shift != 0:
+        raise IndexingError("truncated varint stream")
+    return values
+
+
+# --------------------------------------------------------------------------
+# Elias gamma code
+# --------------------------------------------------------------------------
+
+
+class _BitWriter:
+    """Accumulates bits MSB-first into a byte string."""
+
+    def __init__(self) -> None:
+        self._bytes = bytearray()
+        self._bit_pos = 0  # bits used in the final byte
+
+    def write_bit(self, bit: int) -> None:
+        if self._bit_pos == 0:
+            self._bytes.append(0)
+        if bit:
+            self._bytes[-1] |= 1 << (7 - self._bit_pos)
+        self._bit_pos = (self._bit_pos + 1) % 8
+
+    def write_bits(self, value: int, width: int) -> None:
+        for i in range(width - 1, -1, -1):
+            self.write_bit((value >> i) & 1)
+
+    def getvalue(self) -> bytes:
+        return bytes(self._bytes)
+
+
+class _BitReader:
+    """Reads bits MSB-first from a byte string."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0  # absolute bit position
+
+    @property
+    def exhausted(self) -> bool:
+        return self._pos >= len(self._data) * 8
+
+    def read_bit(self) -> int:
+        if self.exhausted:
+            raise IndexingError("truncated gamma stream")
+        byte = self._data[self._pos // 8]
+        bit = (byte >> (7 - self._pos % 8)) & 1
+        self._pos += 1
+        return bit
+
+    def read_bits(self, width: int) -> int:
+        value = 0
+        for _ in range(width):
+            value = (value << 1) | self.read_bit()
+        return value
+
+
+def gamma_encode(values: list[int]) -> bytes:
+    """Encode positive integers with the Elias gamma code.
+
+    gamma(x) = unary(len) ++ offset, where len = floor(log2 x) and offset is
+    the low ``len`` bits of x. The stream is padded with zero bits to a byte
+    boundary; trailing zero padding cannot be confused with a value because
+    every gamma code starts with a 1-terminated unary prefix read as
+    "count zeros then expect a 1".
+    """
+    writer = _BitWriter()
+    for value in values:
+        if value < 1:
+            raise IndexingError(f"gamma values must be >= 1, got {value}")
+        length = value.bit_length() - 1
+        for _ in range(length):
+            writer.write_bit(0)
+        writer.write_bit(1)
+        if length:
+            writer.write_bits(value & ((1 << length) - 1), length)
+    return writer.getvalue()
+
+
+def gamma_decode(data: bytes, count: int) -> list[int]:
+    """Decode ``count`` gamma-coded integers from ``data``.
+
+    The explicit ``count`` disambiguates the zero-bit padding at the end of
+    the stream (the on-disk format stores the posting count anyway).
+    """
+    reader = _BitReader(data)
+    values: list[int] = []
+    for _ in range(count):
+        length = 0
+        while reader.read_bit() == 0:
+            length += 1
+        offset = reader.read_bits(length) if length else 0
+        values.append((1 << length) | offset if length else 1)
+    return values
+
+
+# --------------------------------------------------------------------------
+# Posting-list codecs (doc gaps interleaved with tf values)
+# --------------------------------------------------------------------------
+
+VARINT = "varint"
+GAMMA = "gamma"
+CODECS = (VARINT, GAMMA)
+
+
+def encode_postings(
+    doc_ids: list[int], tfs: list[int], codec: str = VARINT
+) -> bytes:
+    """Compress parallel (doc_ids, tfs) lists into one byte string.
+
+    The layout interleaves each doc gap with its tf: ``g1 t1 g2 t2 ...``.
+    Term frequencies are >= 1 so they need no shifting.
+    """
+    if len(doc_ids) != len(tfs):
+        raise IndexingError(
+            f"doc/tf length mismatch: {len(doc_ids)} vs {len(tfs)}"
+        )
+    interleaved: list[int] = []
+    for gap, tf in zip(to_gaps(doc_ids), tfs):
+        if tf < 1:
+            raise IndexingError(f"tf must be >= 1, got {tf}")
+        interleaved.append(gap)
+        interleaved.append(tf)
+    if codec == VARINT:
+        return varint_encode(interleaved)
+    if codec == GAMMA:
+        return gamma_encode(interleaved)
+    raise IndexingError(f"unknown codec {codec!r}; use one of {CODECS}")
+
+
+def decode_postings(
+    data: bytes, count: int, codec: str = VARINT
+) -> tuple[list[int], list[int]]:
+    """Inverse of :func:`encode_postings`; ``count`` is the posting count."""
+    if codec == VARINT:
+        interleaved = varint_decode(data)
+        if len(interleaved) != 2 * count:
+            raise IndexingError(
+                f"expected {2 * count} varint values, got {len(interleaved)}"
+            )
+    elif codec == GAMMA:
+        interleaved = gamma_decode(data, 2 * count)
+    else:
+        raise IndexingError(f"unknown codec {codec!r}; use one of {CODECS}")
+    gaps = interleaved[0::2]
+    tfs = interleaved[1::2]
+    return from_gaps(gaps), tfs

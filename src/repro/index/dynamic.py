@@ -1,0 +1,104 @@
+"""Dynamic index: documents can be appended after construction.
+
+The base :class:`~repro.index.inverted_index.InvertedIndex` is built once
+from a frozen corpus — the right model for the paper's experiments. A
+search deployment also needs ingestion, so :class:`DynamicIndex` keeps
+the same retrieval surface (postings / boolean queries / doc lengths)
+while accepting appends, with per-term posting lists grown in place.
+
+Scoring objects (TF-IDF/BM25/LM) snapshot collection statistics at
+construction; create them *after* the bulk load, or refresh them when
+enough documents have arrived — the ``generation`` counter tells callers
+when the index has changed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.data.corpus import Corpus
+from repro.data.documents import Document
+from repro.errors import IndexingError
+from repro.index.postings import Posting, PostingList, intersect_all, union_all
+
+
+class DynamicIndex:
+    """Append-friendly inverted index over an internal corpus.
+
+    Documents keep their append order; the integer position is the doc id,
+    as everywhere else in the library. Duplicate ``doc_id`` strings are
+    rejected by the underlying corpus.
+    """
+
+    def __init__(self, documents: Iterable[Document] = ()) -> None:
+        self._corpus = Corpus()
+        self._postings: dict[str, PostingList] = {}
+        self._doc_lengths: list[int] = []
+        self._generation = 0
+        for doc in documents:
+            self.add(doc)
+
+    # -- ingestion -----------------------------------------------------------
+
+    def add(self, doc: Document) -> int:
+        """Append ``doc``; return its position."""
+        pos = self._corpus.add(doc)
+        self._doc_lengths.append(doc.length())
+        for term in sorted(doc.terms):
+            self._postings.setdefault(term, PostingList()).append(
+                Posting(pos, doc.terms[term])
+            )
+        self._generation += 1
+        return pos
+
+    def add_all(self, documents: Iterable[Document]) -> list[int]:
+        return [self.add(doc) for doc in documents]
+
+    @property
+    def generation(self) -> int:
+        """Monotone change counter; bump = stats snapshots are stale."""
+        return self._generation
+
+    # -- retrieval surface (matches InvertedIndex) -----------------------------
+
+    @property
+    def corpus(self) -> Corpus:
+        return self._corpus
+
+    @property
+    def num_documents(self) -> int:
+        return len(self._corpus)
+
+    @property
+    def num_terms(self) -> int:
+        return len(self._postings)
+
+    def __contains__(self, term: object) -> bool:
+        return term in self._postings
+
+    def vocabulary(self) -> list[str]:
+        return sorted(self._postings)
+
+    def postings(self, term: str) -> PostingList:
+        return self._postings.get(term, PostingList())
+
+    def document_frequency(self, term: str) -> int:
+        return len(self._postings.get(term, ()))  # type: ignore[arg-type]
+
+    def doc_length(self, pos: int) -> int:
+        return self._doc_lengths[pos]
+
+    def and_query(self, terms: Iterable[str]) -> list[int]:
+        term_list = list(terms)
+        if not term_list:
+            raise IndexingError("AND query needs at least one term")
+        lists = [self.postings(t) for t in term_list]
+        if any(not pl for pl in lists):
+            return []
+        return intersect_all(lists).doc_ids()
+
+    def or_query(self, terms: Iterable[str]) -> list[int]:
+        term_list = list(terms)
+        if not term_list:
+            raise IndexingError("OR query needs at least one term")
+        return union_all([self.postings(t) for t in term_list]).doc_ids()

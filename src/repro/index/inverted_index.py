@@ -1,0 +1,82 @@
+"""Inverted index over a corpus."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.data.corpus import Corpus
+from repro.errors import IndexingError
+from repro.index.postings import Posting, PostingList, intersect_all, union_all
+
+
+class InvertedIndex:
+    """Term → posting-list map built from a :class:`~repro.data.Corpus`.
+
+    Documents are addressed by corpus position. The index is built once from
+    the corpus and is read-only afterwards.
+    """
+
+    def __init__(self, corpus: Corpus) -> None:
+        self._corpus = corpus
+        self._postings: dict[str, PostingList] = {}
+        self._doc_lengths: list[int] = []
+        for pos, doc in enumerate(corpus):
+            self._doc_lengths.append(doc.length())
+            for term in sorted(doc.terms):
+                self._postings.setdefault(term, PostingList()).append(
+                    Posting(pos, doc.terms[term])
+                )
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def corpus(self) -> Corpus:
+        return self._corpus
+
+    @property
+    def num_documents(self) -> int:
+        return len(self._corpus)
+
+    @property
+    def num_terms(self) -> int:
+        return len(self._postings)
+
+    def __contains__(self, term: object) -> bool:
+        return term in self._postings
+
+    def vocabulary(self) -> list[str]:
+        """All indexed terms, sorted."""
+        return sorted(self._postings)
+
+    def postings(self, term: str) -> PostingList:
+        """The posting list for ``term`` (empty list if unseen)."""
+        return self._postings.get(term, PostingList())
+
+    def document_frequency(self, term: str) -> int:
+        return len(self._postings.get(term, ()))  # type: ignore[arg-type]
+
+    def doc_length(self, pos: int) -> int:
+        return self._doc_lengths[pos]
+
+    # -- boolean retrieval -------------------------------------------------
+
+    def and_query(self, terms: Iterable[str]) -> list[int]:
+        """Corpus positions of documents containing *all* ``terms``.
+
+        An empty term list is an error: the paper's queries always contain at
+        least the seed keywords.
+        """
+        term_list = list(terms)
+        if not term_list:
+            raise IndexingError("AND query needs at least one term")
+        lists = [self.postings(t) for t in term_list]
+        if any(not pl for pl in lists):
+            return []
+        return intersect_all(lists).doc_ids()
+
+    def or_query(self, terms: Iterable[str]) -> list[int]:
+        """Corpus positions of documents containing *any* of ``terms``."""
+        term_list = list(terms)
+        if not term_list:
+            raise IndexingError("OR query needs at least one term")
+        return union_all([self.postings(t) for t in term_list]).doc_ids()

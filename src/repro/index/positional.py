@@ -1,0 +1,148 @@
+"""Positional index: term → (doc, positions) map with phrase/proximity search.
+
+The base :class:`~repro.index.inverted_index.InvertedIndex` stores only
+(doc, tf); phrase queries ("san jose") and proximity constraints need the
+token positions. The positional index is built from raw token streams
+(analyzer output order), so it is constructed alongside the corpus rather
+than from :class:`~repro.data.documents.Document` bags, which have already
+discarded order.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Iterable, Sequence
+
+from repro.errors import IndexingError, QueryError
+
+
+class PositionalPostings:
+    """For one term: sorted doc ids, each with its sorted position list."""
+
+    __slots__ = ("_docs", "_positions")
+
+    def __init__(self) -> None:
+        self._docs: list[int] = []
+        self._positions: list[list[int]] = []
+
+    def add(self, doc: int, position: int) -> None:
+        """Record an occurrence; docs and positions must arrive in order."""
+        if self._docs and doc < self._docs[-1]:
+            raise IndexingError(
+                f"positional postings out of order: doc {doc} after {self._docs[-1]}"
+            )
+        if not self._docs or doc != self._docs[-1]:
+            self._docs.append(doc)
+            self._positions.append([])
+        plist = self._positions[-1]
+        if plist and position <= plist[-1]:
+            raise IndexingError(
+                f"positions out of order in doc {doc}: {position} after {plist[-1]}"
+            )
+        plist.append(position)
+
+    def __len__(self) -> int:
+        return len(self._docs)
+
+    def __bool__(self) -> bool:
+        return bool(self._docs)
+
+    def doc_ids(self) -> list[int]:
+        return list(self._docs)
+
+    def positions(self, doc: int) -> list[int]:
+        """Positions of the term in ``doc`` (empty if absent)."""
+        i = bisect_left(self._docs, doc)
+        if i < len(self._docs) and self._docs[i] == doc:
+            return list(self._positions[i])
+        return []
+
+
+class PositionalIndex:
+    """Positional inverted index over tokenized documents.
+
+    Parameters
+    ----------
+    token_streams:
+        One token sequence per document, in corpus order. Token position is
+        the index within the stream.
+    """
+
+    def __init__(self, token_streams: Iterable[Sequence[str]]) -> None:
+        self._postings: dict[str, PositionalPostings] = {}
+        self._num_docs = 0
+        for doc, stream in enumerate(token_streams):
+            self._num_docs += 1
+            for position, token in enumerate(stream):
+                if not token:
+                    raise IndexingError(f"empty token at doc {doc} pos {position}")
+                self._postings.setdefault(token, PositionalPostings()).add(
+                    doc, position
+                )
+
+    @property
+    def num_documents(self) -> int:
+        return self._num_docs
+
+    def __contains__(self, term: object) -> bool:
+        return term in self._postings
+
+    def vocabulary(self) -> list[str]:
+        return sorted(self._postings)
+
+    def postings(self, term: str) -> PositionalPostings:
+        return self._postings.get(term, PositionalPostings())
+
+    # -- phrase and proximity queries ----------------------------------------
+
+    def phrase_query(self, terms: Sequence[str]) -> list[int]:
+        """Documents containing ``terms`` as a contiguous phrase, in order.
+
+        A single-term "phrase" degenerates to a term lookup. Empty phrases
+        are an error.
+        """
+        return self.within_query(terms, slop=0)
+
+    def within_query(self, terms: Sequence[str], slop: int = 0) -> list[int]:
+        """Documents where terms appear in order with <= ``slop`` extra gaps.
+
+        ``slop=0`` is an exact phrase; ``slop=2`` allows up to two
+        intervening tokens between each adjacent pair.
+        """
+        term_list = list(terms)
+        if not term_list:
+            raise QueryError("phrase query needs at least one term")
+        if slop < 0:
+            raise QueryError(f"slop must be >= 0, got {slop}")
+        lists = [self.postings(t) for t in term_list]
+        if any(not pl for pl in lists):
+            return []
+        candidates = set(lists[0].doc_ids())
+        for pl in lists[1:]:
+            candidates &= set(pl.doc_ids())
+        matches = []
+        for doc in sorted(candidates):
+            if self._doc_matches(lists, doc, slop):
+                matches.append(doc)
+        return matches
+
+    @staticmethod
+    def _doc_matches(
+        lists: list[PositionalPostings], doc: int, slop: int
+    ) -> bool:
+        """Ordered-window check: each term within ``1 + slop`` of the previous."""
+        starts = lists[0].positions(doc)
+        rest = [pl.positions(doc) for pl in lists[1:]]
+        for start in starts:
+            prev = start
+            ok = True
+            for positions in rest:
+                # Smallest position in (prev, prev + 1 + slop].
+                i = bisect_left(positions, prev + 1)
+                if i == len(positions) or positions[i] > prev + 1 + slop:
+                    ok = False
+                    break
+                prev = positions[i]
+            if ok:
+                return True
+        return False

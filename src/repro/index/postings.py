@@ -1,0 +1,147 @@
+"""Posting lists: sorted (doc, tf) sequences with merge operations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True, order=True)
+class Posting:
+    """One occurrence record: document position and term frequency."""
+
+    doc: int
+    tf: int
+
+
+class PostingList:
+    """A sorted-by-doc list of postings supporting boolean merges.
+
+    Doc ids are integer corpus positions; lists are append-only and must be
+    appended in nondecreasing doc order (the index builder guarantees this).
+    """
+
+    __slots__ = ("_postings",)
+
+    def __init__(self, postings: Iterable[Posting] = ()) -> None:
+        self._postings: list[Posting] = []
+        for p in postings:
+            self.append(p)
+
+    def append(self, posting: Posting) -> None:
+        if self._postings and posting.doc <= self._postings[-1].doc:
+            raise ValueError(
+                f"postings out of order: {posting.doc} after {self._postings[-1].doc}"
+            )
+        self._postings.append(posting)
+
+    def __len__(self) -> int:
+        return len(self._postings)
+
+    def __iter__(self) -> Iterator[Posting]:
+        return iter(self._postings)
+
+    def __bool__(self) -> bool:
+        return bool(self._postings)
+
+    def doc_ids(self) -> list[int]:
+        return [p.doc for p in self._postings]
+
+    def document_frequency(self) -> int:
+        return len(self._postings)
+
+    def intersect(self, other: "PostingList") -> "PostingList":
+        """Documents present in both lists (tf taken from ``self``)."""
+        out = PostingList()
+        i = j = 0
+        a, b = self._postings, other._postings
+        while i < len(a) and j < len(b):
+            if a[i].doc == b[j].doc:
+                out.append(a[i])
+                i += 1
+                j += 1
+            elif a[i].doc < b[j].doc:
+                i += 1
+            else:
+                j += 1
+        return out
+
+    def intersect_skip(self, other: "PostingList") -> "PostingList":
+        """Skip-pointer intersection (tf taken from ``self``).
+
+        Classic IR optimization: virtual skip pointers every ``sqrt(n)``
+        postings let the merge leap over runs that cannot match. Produces
+        exactly the same result as :meth:`intersect`; it wins when the two
+        lists have very different lengths (the common case of one rare and
+        one frequent keyword).
+        """
+        out = PostingList()
+        a, b = self._postings, other._postings
+        skip_a = max(int(len(a) ** 0.5), 1)
+        skip_b = max(int(len(b) ** 0.5), 1)
+        i = j = 0
+        while i < len(a) and j < len(b):
+            if a[i].doc == b[j].doc:
+                out.append(a[i])
+                i += 1
+                j += 1
+            elif a[i].doc < b[j].doc:
+                while i + skip_a < len(a) and a[i + skip_a].doc <= b[j].doc:
+                    i += skip_a
+                if a[i].doc != b[j].doc:
+                    i += 1
+            else:
+                while j + skip_b < len(b) and b[j + skip_b].doc <= a[i].doc:
+                    j += skip_b
+                if b[j].doc != a[i].doc:
+                    j += 1
+        return out
+
+    def union(self, other: "PostingList") -> "PostingList":
+        """Documents present in either list (tf summed when in both)."""
+        out = PostingList()
+        i = j = 0
+        a, b = self._postings, other._postings
+        while i < len(a) and j < len(b):
+            if a[i].doc == b[j].doc:
+                out.append(Posting(a[i].doc, a[i].tf + b[j].tf))
+                i += 1
+                j += 1
+            elif a[i].doc < b[j].doc:
+                out.append(a[i])
+                i += 1
+            else:
+                out.append(b[j])
+                j += 1
+        for p in a[i:]:
+            out.append(p)
+        for p in b[j:]:
+            out.append(p)
+        return out
+
+
+def intersect_all(lists: list[PostingList]) -> PostingList:
+    """Intersect posting lists, shortest-first for efficiency.
+
+    An empty input list yields an empty posting list (the caller decides what
+    an empty query means).
+    """
+    if not lists:
+        return PostingList()
+    ordered = sorted(lists, key=len)
+    result = ordered[0]
+    for plist in ordered[1:]:
+        if not result:
+            break
+        result = result.intersect(plist)
+    return result
+
+
+def union_all(lists: list[PostingList]) -> PostingList:
+    """Union posting lists pairwise."""
+    if not lists:
+        return PostingList()
+    result = lists[0]
+    for plist in lists[1:]:
+        result = result.union(plist)
+    return result

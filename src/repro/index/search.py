@@ -1,0 +1,186 @@
+"""Search engine facade: parse query, retrieve, rank, truncate to top-k."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.corpus import Corpus
+from repro.data.documents import Document
+from repro.errors import QueryError
+from repro.index.inverted_index import InvertedIndex
+from repro.index.scoring import TfIdfScorer
+from repro.text.analyzer import Analyzer
+
+AND = "and"
+OR = "or"
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """One ranked result: the document, its corpus position, and its score."""
+
+    position: int
+    document: Document
+    score: float
+
+
+class SearchEngine:
+    """Keyword search over a corpus with AND (default) or OR semantics.
+
+    This is the substrate that evaluates both the user's seed query and every
+    candidate expanded query. Expanded-query evaluation inside the expansion
+    algorithms themselves uses the vectorized
+    :class:`~repro.core.universe.ResultUniverse` instead, restricted to the
+    seed query's results — matching the paper, where expanded queries
+    classify the *original* result set.
+    """
+
+    def __init__(
+        self,
+        corpus: Corpus,
+        analyzer: Analyzer | None = None,
+        scoring: str = "tfidf",
+    ) -> None:
+        self._corpus = corpus
+        self._analyzer = analyzer or Analyzer()
+        self._index = InvertedIndex(corpus)
+        if scoring == "tfidf":
+            self._scorer = TfIdfScorer(self._index)
+        elif scoring == "bm25":
+            from repro.index.bm25 import BM25Scorer
+
+            self._scorer = BM25Scorer(self._index)
+        elif scoring == "lm":
+            from repro.index.lm import LMDirichletScorer
+
+            self._scorer = LMDirichletScorer(self._index)
+        else:
+            raise QueryError(
+                f"unknown scoring {scoring!r}; use 'tfidf', 'bm25' or 'lm'"
+            )
+
+    @property
+    def corpus(self) -> Corpus:
+        return self._corpus
+
+    @property
+    def index(self) -> InvertedIndex:
+        return self._index
+
+    @property
+    def analyzer(self) -> Analyzer:
+        return self._analyzer
+
+    @property
+    def scorer(self) -> TfIdfScorer:
+        return self._scorer
+
+    def parse(self, query: str) -> list[str]:
+        """Normalize a raw query string into distinct query terms."""
+        terms = self._analyzer.keep_distinct(self._analyzer.analyze_query(query))
+        if not terms:
+            raise QueryError(f"query {query!r} normalized to zero terms")
+        return terms
+
+    def search(
+        self,
+        query: str,
+        top_k: int | None = None,
+        semantics: str = AND,
+    ) -> list[SearchResult]:
+        """Run ``query`` and return ranked results.
+
+        Parameters
+        ----------
+        query:
+            Raw keyword query; terms may include feature triplets.
+        top_k:
+            Keep only the ``top_k`` highest-scored results (None = all).
+            The paper uses top-30 on Wikipedia data (§C).
+        semantics:
+            ``"and"`` (paper default) or ``"or"`` (paper appendix).
+        """
+        terms = self.parse(query)
+        return self.search_terms(terms, top_k=top_k, semantics=semantics)
+
+    def boolean_search(
+        self,
+        query: str,
+        top_k: int | None = None,
+    ) -> list[SearchResult]:
+        """Evaluate a boolean-language query (AND/OR/NOT, parens, triplets).
+
+        Matching documents are ranked by the engine's scorer against the
+        query's *positive* words (every word outside a NOT); documents
+        matching only via negations get score 0 but are still returned.
+        Phrases are not supported here — the engine has no positional
+        index; use :class:`~repro.index.positional.PositionalIndex` with
+        :func:`~repro.index.queryparser.evaluate_query` directly for those.
+        """
+        from repro.index.queryparser import evaluate_query, parse_query
+        from repro.index.queryparser import NotNode, PhraseNode, TermNode
+
+        def normalize(word: str) -> str | None:
+            terms = self._analyzer.analyze_query(word)
+            return terms[0] if terms else None
+
+        node = parse_query(query)
+        positions = evaluate_query(
+            query, self._index, normalize=normalize
+        )
+
+        def positive_words(n, negated: bool) -> list[str]:
+            if isinstance(n, TermNode):
+                return [] if negated else [n.term]
+            if isinstance(n, PhraseNode):
+                raise QueryError(
+                    "phrase queries need a positional index; "
+                    "use evaluate_query() with one"
+                )
+            if isinstance(n, NotNode):
+                return positive_words(n.child, not negated)
+            out: list[str] = []
+            for child in n.children:
+                out.extend(positive_words(child, negated))
+            return out
+
+        words = []
+        for word in positive_words(node, False):
+            term = normalize(word)
+            if term and term not in words:
+                words.append(term)
+        ranked = self._scorer.rank(positions, words)
+        if top_k is not None:
+            ranked = ranked[: max(top_k, 0)]
+        return [
+            SearchResult(position=pos, document=self._corpus[pos], score=score)
+            for pos, score in ranked
+        ]
+
+    def search_terms(
+        self,
+        terms: list[str],
+        top_k: int | None = None,
+        semantics: str = AND,
+    ) -> list[SearchResult]:
+        """Like :meth:`search` but with pre-normalized terms."""
+        if semantics == AND:
+            positions = self._index.and_query(terms)
+        elif semantics == OR:
+            positions = self._index.or_query(terms)
+        else:
+            raise QueryError(f"unknown semantics: {semantics!r}")
+        if top_k is not None:
+            from repro.index.scoring import top_k_ranked
+
+            ranked = top_k_ranked(
+                positions,
+                lambda pos: self._scorer.score(pos, terms),
+                max(top_k, 0),
+            )
+        else:
+            ranked = self._scorer.rank(positions, terms)
+        return [
+            SearchResult(position=pos, document=self._corpus[pos], score=score)
+            for pos, score in ranked
+        ]

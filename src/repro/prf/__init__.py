@@ -1,0 +1,33 @@
+"""Pseudo-relevance-feedback query expansion baselines.
+
+The paper's related-work section (§F) positions cluster-based expansion
+against the classic corpus-driven PRF family: "the pseudo feedback approach
+assumes that relevant documents are similar to each other ... thus relevance
+feedback approach is not suitable for ambiguous or exploratory queries". To
+reproduce that comparison we implement the three canonical term-selection
+schemes the paper cites:
+
+- :class:`~repro.prf.rocchio.RocchioPRF` — vector-space Rocchio feedback in
+  the spirit of local analysis [24] (Xu & Croft).
+- :class:`~repro.prf.kld.KLDivergencePRF` — the information-theoretic
+  Kullback-Leibler term scoring of [7] (Carpineto et al.).
+- :class:`~repro.prf.robertson.RobertsonPRF` — Robertson's offer weight /
+  relevance-weight term selection [20].
+
+All three share the :class:`~repro.prf.base.PRFSuggester` skeleton: take the
+top-R ranked results as the pseudo-relevant set, score every candidate term,
+and emit one expanded query per top-scored term (the same suggestion shape
+as Data Clouds, so the harness can compare them on equal footing).
+"""
+
+from repro.prf.base import PRFSuggester
+from repro.prf.kld import KLDivergencePRF
+from repro.prf.robertson import RobertsonPRF
+from repro.prf.rocchio import RocchioPRF
+
+__all__ = [
+    "KLDivergencePRF",
+    "PRFSuggester",
+    "RobertsonPRF",
+    "RocchioPRF",
+]

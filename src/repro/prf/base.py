@@ -1,0 +1,111 @@
+"""Shared skeleton for pseudo-relevance-feedback suggesters.
+
+A PRF suggester sees the ranked results of the seed query, treats the top-R
+of them as pseudo-relevant, scores every non-seed term by a scheme-specific
+weight, and suggests expanded queries built from the best terms. Because
+the pseudo-relevant set is dominated by the highest-ranked interpretation
+of an ambiguous query, every suggester in this family inherits the ranking
+bias the paper's introduction describes — which is exactly the behaviour
+the comparison benchmark measures.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Mapping, Sequence
+
+from repro.baselines.base import BaselineSuggestions
+from repro.errors import ConfigError
+from repro.index.search import SearchEngine, SearchResult
+
+
+class PRFSuggester(ABC):
+    """Template for PRF baselines: pseudo-relevant top-R, score, suggest.
+
+    Parameters
+    ----------
+    n_feedback:
+        Size R of the pseudo-relevant set (top-ranked results).
+    n_queries:
+        Number of expanded queries to emit.
+    terms_per_query:
+        Number of expansion terms added to the seed per suggestion. 1 gives
+        Data-Clouds-shaped suggestions ("seed + word"); larger values emit
+        the top terms in score order, chunked.
+    """
+
+    name = "PRF"
+
+    def __init__(
+        self,
+        n_feedback: int = 10,
+        n_queries: int = 3,
+        terms_per_query: int = 1,
+    ) -> None:
+        if n_feedback < 1:
+            raise ConfigError(f"n_feedback must be >= 1, got {n_feedback}")
+        if n_queries < 1:
+            raise ConfigError(f"n_queries must be >= 1, got {n_queries}")
+        if terms_per_query < 1:
+            raise ConfigError(
+                f"terms_per_query must be >= 1, got {terms_per_query}"
+            )
+        self._n_feedback = n_feedback
+        self._n_queries = n_queries
+        self._terms_per_query = terms_per_query
+
+    @property
+    def n_feedback(self) -> int:
+        return self._n_feedback
+
+    @property
+    def n_queries(self) -> int:
+        return self._n_queries
+
+    # -- scheme-specific hook -------------------------------------------------
+
+    @abstractmethod
+    def score_terms(
+        self,
+        engine: SearchEngine,
+        seed_terms: tuple[str, ...],
+        relevant: Sequence[SearchResult],
+    ) -> Mapping[str, float]:
+        """Score every candidate term over the pseudo-relevant set.
+
+        Implementations must not score seed terms; the driver filters them
+        anyway as a safety net.
+        """
+
+    # -- shared driver ---------------------------------------------------------
+
+    def suggest(
+        self,
+        engine: SearchEngine,
+        seed_query: str,
+        results: Sequence[SearchResult],
+    ) -> BaselineSuggestions:
+        """Emit expanded queries from the top-R pseudo-relevant results."""
+        seed_terms = tuple(engine.parse(seed_query))
+        relevant = list(results[: self._n_feedback])
+        if relevant:
+            raw = self.score_terms(engine, seed_terms, relevant)
+        else:
+            raw = {}
+        seed = set(seed_terms)
+        ranked = sorted(
+            ((t, s) for t, s in raw.items() if t not in seed and s > 0.0),
+            key=lambda kv: (-kv[1], kv[0]),
+        )
+        needed = self._n_queries * self._terms_per_query
+        top = [t for t, _ in ranked[:needed]]
+        queries: list[tuple[str, ...]] = []
+        for i in range(0, len(top), self._terms_per_query):
+            chunk = tuple(top[i : i + self._terms_per_query])
+            if chunk:
+                queries.append(seed_terms + chunk)
+        return BaselineSuggestions(
+            system=self.name,
+            seed_query=seed_query,
+            queries=tuple(queries[: self._n_queries]),
+        )

@@ -1,0 +1,108 @@
+"""Harness comparing PRF suggesters against cluster-based expansion.
+
+Reproduces the paper's related-work claim (§F): pseudo-relevance feedback
+"is not suitable for ambiguous or exploratory queries" because the
+pseudo-relevant set (top-ranked results) reflects only the dominant
+interpretation. The harness runs each PRF scheme and ISKR on the same
+seed-query results and measures comprehensiveness (cluster coverage) and
+diversity (pairwise result-set overlap) of the suggestion sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.config import ExpansionConfig
+from repro.core.expander import ClusterQueryExpander
+from repro.core.iskr import ISKR
+from repro.core.universe import ResultUniverse
+from repro.eval.ir_metrics import cluster_coverage_f, pairwise_overlap
+from repro.index.search import SearchEngine
+from repro.prf.base import PRFSuggester
+
+
+@dataclass(frozen=True)
+class SuggesterComparison:
+    """Coverage/diversity of one system's suggestions on one seed query."""
+
+    system: str
+    seed_query: str
+    queries: tuple[tuple[str, ...], ...]
+    coverage: float  # fraction of result clusters covered (comprehensiveness)
+    overlap: float  # mean pairwise Jaccard of result sets (lower = diverse)
+    n_clusters: int
+
+    @property
+    def diversity(self) -> float:
+        return 1.0 - self.overlap
+
+
+def _mask_positions(mask: np.ndarray) -> set[int]:
+    return set(int(p) for p in np.nonzero(mask)[0])
+
+
+def _suggestion_sets(
+    universe: ResultUniverse, queries: Sequence[tuple[str, ...]]
+) -> list[set[int]]:
+    return [_mask_positions(universe.results_mask(q)) for q in queries]
+
+
+def compare_suggesters(
+    engine: SearchEngine,
+    seed_query: str,
+    prf_suggesters: Sequence[PRFSuggester],
+    n_clusters: int = 3,
+    top_k_results: int | None = 30,
+    min_f: float = 0.5,
+    seed: int = 0,
+) -> list[SuggesterComparison]:
+    """Run ISKR and each PRF suggester on ``seed_query``; measure both axes.
+
+    All systems see the same retrieval; cluster ground truth comes from the
+    shared k-means clustering that the ISKR pipeline uses (the paper's
+    setup: comprehensiveness is judged against the classification of the
+    original result set).
+    """
+    config = ExpansionConfig(
+        n_clusters=n_clusters, top_k_results=top_k_results, cluster_seed=seed
+    )
+    pipeline = ClusterQueryExpander(engine, ISKR(), config)
+    results = pipeline.retrieve(seed_query)
+    labels = pipeline.cluster(results)
+    universe = pipeline.build_universe(results)
+    seed_terms = tuple(engine.parse(seed_query))
+    tasks = pipeline.tasks(universe, labels, seed_terms)
+    members = [_mask_positions(t.cluster_mask) for t in tasks]
+
+    comparisons: list[SuggesterComparison] = []
+
+    iskr_queries = tuple(ISKR().expand(t).terms for t in tasks)
+    iskr_sets = _suggestion_sets(universe, iskr_queries)
+    comparisons.append(
+        SuggesterComparison(
+            system="ISKR",
+            seed_query=seed_query,
+            queries=iskr_queries,
+            coverage=cluster_coverage_f(iskr_sets, members, min_f=min_f),
+            overlap=pairwise_overlap(iskr_sets),
+            n_clusters=len(members),
+        )
+    )
+
+    for suggester in prf_suggesters:
+        suggestions = suggester.suggest(engine, seed_query, results)
+        sets = _suggestion_sets(universe, suggestions.queries)
+        comparisons.append(
+            SuggesterComparison(
+                system=suggester.name,
+                seed_query=seed_query,
+                queries=suggestions.queries,
+                coverage=cluster_coverage_f(sets, members, min_f=min_f),
+                overlap=pairwise_overlap(sets),
+                n_clusters=len(members),
+            )
+        )
+    return comparisons

@@ -1,0 +1,62 @@
+"""Information-theoretic PRF term scoring [7] (Carpineto et al.).
+
+Terms are scored by their contribution to the Kullback-Leibler divergence
+between the language model of the pseudo-relevant set and the language
+model of the whole corpus::
+
+    score(t) = p(t | R) * log( p(t | R) / p(t | Corpus) )
+
+Terms that are much more likely in the feedback set than in the collection
+get high scores. Corpus probabilities use Laplace smoothing so unseen-in-
+corpus terms (impossible here, but cheap to guard) never divide by zero.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Mapping, Sequence
+
+from repro.index.search import SearchEngine, SearchResult
+from repro.prf.base import PRFSuggester
+
+
+class KLDivergencePRF(PRFSuggester):
+    """KLD term scoring over the pseudo-relevant set."""
+
+    name = "KLD"
+
+    def score_terms(
+        self,
+        engine: SearchEngine,
+        seed_terms: tuple[str, ...],
+        relevant: Sequence[SearchResult],
+    ) -> Mapping[str, float]:
+        seed = set(seed_terms)
+        rel_counts: Counter[str] = Counter()
+        for result in relevant:
+            for term, tf in result.document.terms.items():
+                if term not in seed:
+                    rel_counts[term] += tf
+        rel_total = sum(rel_counts.values())
+        if rel_total == 0:
+            return {}
+
+        corpus = engine.corpus
+        corpus_counts: Counter[str] = Counter()
+        for doc in corpus:
+            for term, tf in doc.terms.items():
+                corpus_counts[term] += tf
+        corpus_total = sum(corpus_counts.values())
+        vocab_size = max(len(corpus_counts), 1)
+
+        scores: dict[str, float] = {}
+        for term, count in rel_counts.items():
+            p_rel = count / rel_total
+            p_corpus = (corpus_counts.get(term, 0) + 1.0) / (
+                corpus_total + vocab_size
+            )
+            ratio = p_rel / p_corpus
+            if ratio > 1.0:
+                scores[term] = p_rel * math.log(ratio)
+        return scores

@@ -1,0 +1,63 @@
+"""Robertson term selection for query expansion [20].
+
+Robertson's classic result: rank candidate expansion terms by the *offer
+weight* ``r * RW``, where ``r`` is the number of (pseudo-)relevant documents
+containing the term and ``RW`` is the Robertson/Sparck-Jones relevance
+weight::
+
+    RW(t) = log( (r + 0.5) (N - n - R + r + 0.5)
+               / ((n - r + 0.5) (R - r + 0.5)) )
+
+with ``N`` collection size, ``n`` document frequency of ``t``, ``R`` the
+pseudo-relevant set size. The +0.5 terms are the standard point-5 smoothing.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from repro.index.search import SearchEngine, SearchResult
+from repro.prf.base import PRFSuggester
+
+
+def relevance_weight(r: int, n: int, big_r: int, big_n: int) -> float:
+    """Robertson/Sparck-Jones relevance weight with point-5 smoothing.
+
+    Arguments follow the traditional naming: ``r`` relevant docs containing
+    the term, ``n`` total docs containing the term, ``big_r`` relevant set
+    size, ``big_n`` collection size.
+    """
+    numerator = (r + 0.5) * (big_n - n - big_r + r + 0.5)
+    denominator = (n - r + 0.5) * (big_r - r + 0.5)
+    if numerator <= 0.0 or denominator <= 0.0:
+        return 0.0
+    return math.log(numerator / denominator)
+
+
+class RobertsonPRF(PRFSuggester):
+    """Offer-weight term selection: ``score(t) = r(t) * RW(t)``."""
+
+    name = "Robertson"
+
+    def score_terms(
+        self,
+        engine: SearchEngine,
+        seed_terms: tuple[str, ...],
+        relevant: Sequence[SearchResult],
+    ) -> Mapping[str, float]:
+        seed = set(seed_terms)
+        big_n = max(engine.index.num_documents, 1)
+        big_r = len(relevant)
+        r_counts: dict[str, int] = {}
+        for result in relevant:
+            for term in result.document.terms:
+                if term not in seed:
+                    r_counts[term] = r_counts.get(term, 0) + 1
+        scores: dict[str, float] = {}
+        for term, r in r_counts.items():
+            n = engine.index.document_frequency(term)
+            rw = relevance_weight(r, n, big_r, big_n)
+            if rw > 0.0:
+                scores[term] = r * rw
+        return scores

@@ -1,0 +1,92 @@
+"""Rocchio-style pseudo-relevance feedback [24].
+
+Classic vector-space feedback: move the query vector toward the centroid of
+the pseudo-relevant documents (and, with ``gamma > 0``, away from the
+centroid of the lowest-ranked results, the usual pseudo-non-relevant
+stand-in). Candidate terms are then scored by their weight in the updated
+query vector. With AND semantics the suggested queries are the seed terms
+plus the heaviest feedback terms.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Mapping, Sequence
+
+from repro.errors import ConfigError
+from repro.index.search import SearchEngine, SearchResult
+from repro.prf.base import PRFSuggester
+
+
+class RocchioPRF(PRFSuggester):
+    """Rocchio term scoring: ``beta * mean tfidf(rel) - gamma * mean tfidf(nonrel)``.
+
+    ``alpha`` (the original-query component) does not influence term
+    *selection* — seed terms are always kept — so only ``beta`` and
+    ``gamma`` matter here. ``n_nonrelevant`` lowest-ranked results form the
+    pseudo-non-relevant set when ``gamma > 0``.
+    """
+
+    name = "Rocchio"
+
+    def __init__(
+        self,
+        n_feedback: int = 10,
+        n_queries: int = 3,
+        terms_per_query: int = 1,
+        beta: float = 0.75,
+        gamma: float = 0.0,
+        n_nonrelevant: int = 5,
+    ) -> None:
+        super().__init__(n_feedback, n_queries, terms_per_query)
+        if beta <= 0.0:
+            raise ConfigError(f"beta must be > 0, got {beta}")
+        if gamma < 0.0:
+            raise ConfigError(f"gamma must be >= 0, got {gamma}")
+        if n_nonrelevant < 0:
+            raise ConfigError(f"n_nonrelevant must be >= 0, got {n_nonrelevant}")
+        self._beta = beta
+        self._gamma = gamma
+        self._n_nonrelevant = n_nonrelevant
+        self._all_results: Sequence[SearchResult] = ()
+
+    def suggest(self, engine, seed_query, results):
+        # Stash the full ranked list so score_terms can see the tail (the
+        # pseudo-non-relevant set) even though the driver slices the head.
+        self._all_results = list(results)
+        return super().suggest(engine, seed_query, results)
+
+    def _centroid(
+        self,
+        engine: SearchEngine,
+        docs: Sequence[SearchResult],
+        seed: set[str],
+    ) -> dict[str, float]:
+        acc: dict[str, float] = defaultdict(float)
+        if not docs:
+            return acc
+        scorer = engine.scorer
+        for result in docs:
+            for term, tf in result.document.terms.items():
+                if term in seed:
+                    continue
+                acc[term] += scorer.tf_weight(tf) * scorer.idf(term)
+        inv = 1.0 / len(docs)
+        return {t: w * inv for t, w in acc.items()}
+
+    def score_terms(
+        self,
+        engine: SearchEngine,
+        seed_terms: tuple[str, ...],
+        relevant: Sequence[SearchResult],
+    ) -> Mapping[str, float]:
+        seed = set(seed_terms)
+        positive = self._centroid(engine, relevant, seed)
+        scores = {t: self._beta * w for t, w in positive.items()}
+        if self._gamma > 0.0 and self._n_nonrelevant > 0:
+            tail = self._all_results[len(relevant) :]
+            negative_docs = tail[-self._n_nonrelevant :] if tail else []
+            negative = self._centroid(engine, negative_docs, seed)
+            for term, w in negative.items():
+                scores[term] = scores.get(term, 0.0) - self._gamma * w
+        return scores

@@ -1,0 +1,60 @@
+"""Query-biased snippet generation ([13], the paper's document model source).
+
+The paper models structured documents as sets of ``entity:attribute:value``
+triplets following [13] ("Query Biased Snippet Generation in XML Search").
+When an expansion system presents its expanded queries, each cluster's
+results need a short, query-biased preview — this subpackage provides it
+for both document kinds:
+
+- :mod:`repro.snippets.text` — classic sliding-window snippets over raw
+  text: the window with the best query-term coverage (ties: earliest) is
+  selected and ellipsized.
+- :mod:`repro.snippets.structured` — feature selection for structured
+  results: query-matching features first, then the rarest (most
+  informative) remaining features, mirroring [13]'s query-biased feature
+  ranking.
+
+:func:`generate_snippet` dispatches on the document kind.
+"""
+
+from repro.snippets.structured import feature_snippet, rank_features
+from repro.snippets.text import best_window, text_snippet
+
+from repro.data.documents import Document
+
+
+def generate_snippet(
+    document: Document,
+    query_terms: tuple[str, ...],
+    raw_text: str = "",
+    max_features: int = 3,
+    window_size: int = 12,
+    idf=None,
+) -> str:
+    """Render a query-biased snippet for any document.
+
+    Structured documents use feature selection; text documents use the
+    best raw-text window when ``raw_text`` is supplied, falling back to a
+    term-cloud of the matched query terms plus the document title.
+    """
+    if document.kind == "structured":
+        parts = feature_snippet(
+            document, query_terms, max_features=max_features, idf=idf
+        )
+        return "; ".join(parts)
+    if raw_text:
+        return text_snippet(raw_text, query_terms, window_size=window_size)
+    matched = [t for t in query_terms if t in document.terms]
+    title = document.title or document.doc_id
+    if matched:
+        return f"{title} — matches: {', '.join(matched)}"
+    return title
+
+
+__all__ = [
+    "best_window",
+    "feature_snippet",
+    "generate_snippet",
+    "rank_features",
+    "text_snippet",
+]

@@ -1,0 +1,62 @@
+"""Query-biased feature selection for structured documents ([13]).
+
+A structured result can have dozens of feature triplets; a snippet shows
+the few that matter: features the query actually matches come first, the
+rest are ranked by informativeness (inverse document frequency of their
+value tokens, when an idf function is available, else value specificity).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.data.documents import Document
+from repro.errors import ConfigError
+
+
+def rank_features(
+    document: Document,
+    query_terms: tuple[str, ...],
+    idf: Callable[[str], float] | None = None,
+) -> list[tuple[str, str, float]]:
+    """Rank ``document.fields`` for query-biased display.
+
+    Returns ``(key, value, score)`` sorted best-first. A feature scores
+    the count of query terms matching its key or value tokens (strongly
+    weighted), plus a tie-breaking informativeness component: mean idf of
+    its value tokens if ``idf`` is given, else a mild specificity prior
+    (longer values are more specific). Deterministic: ties break on key.
+    """
+    wanted = {t.lower() for t in query_terms}
+    ranked: list[tuple[str, str, float]] = []
+    for key, value in sorted(document.fields.items()):
+        key_tokens = set(key.lower().replace(":", " ").split())
+        value_tokens = value.lower().split()
+        matches = len(wanted & (key_tokens | set(value_tokens)))
+        # Feature-triplet query terms ("memory:category:harddrive") match
+        # the whole feature.
+        for term in wanted:
+            if ":" in term:
+                entity_attr, _, qvalue = term.rpartition(":")
+                if entity_attr == key.lower() and qvalue in value_tokens:
+                    matches += 2
+        if idf is not None and value_tokens:
+            info = sum(idf(t) for t in value_tokens) / len(value_tokens)
+        else:
+            info = min(len(value_tokens), 5) * 0.01
+        ranked.append((key, value, matches * 10.0 + info))
+    ranked.sort(key=lambda kvs: (-kvs[2], kvs[0]))
+    return ranked
+
+
+def feature_snippet(
+    document: Document,
+    query_terms: tuple[str, ...],
+    max_features: int = 3,
+    idf: Callable[[str], float] | None = None,
+) -> list[str]:
+    """The top features rendered as ``key: value`` strings."""
+    if max_features < 1:
+        raise ConfigError(f"max_features must be >= 1, got {max_features}")
+    ranked = rank_features(document, query_terms, idf=idf)
+    return [f"{key}: {value}" for key, value, _ in ranked[:max_features]]

@@ -1,0 +1,56 @@
+"""Sliding-window query-biased snippets for raw text."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+
+def best_window(
+    tokens: list[str],
+    query_terms: tuple[str, ...],
+    window_size: int = 12,
+) -> tuple[int, int, int]:
+    """The window of ``window_size`` tokens with the best query coverage.
+
+    Coverage counts *distinct* query terms inside the window (a window
+    mentioning two different query words beats one repeating the same word
+    five times). Returns ``(start, end, coverage)`` with ``end`` exclusive;
+    ties go to the earliest window. Empty token lists return ``(0, 0, 0)``.
+    """
+    if window_size < 1:
+        raise ConfigError(f"window_size must be >= 1, got {window_size}")
+    if not tokens:
+        return (0, 0, 0)
+    lowered = [t.lower() for t in tokens]
+    wanted = {t.lower() for t in query_terms}
+    n = len(lowered)
+    size = min(window_size, n)
+    best = (0, size, 0)
+    for start in range(0, n - size + 1):
+        window = lowered[start : start + size]
+        coverage = len(wanted & set(window))
+        if coverage > best[2]:
+            best = (start, start + size, coverage)
+            if coverage == len(wanted):
+                break  # earliest full-coverage window wins
+    return best
+
+
+def text_snippet(
+    text: str,
+    query_terms: tuple[str, ...],
+    window_size: int = 12,
+) -> str:
+    """Ellipsized best window of ``text`` for the query.
+
+    Tokenization is whitespace splitting — the snippet must show the
+    original words, not analyzer output; matching is case-insensitive on
+    whole tokens.
+    """
+    tokens = text.split()
+    start, end, _ = best_window(tokens, query_terms, window_size=window_size)
+    if not tokens:
+        return ""
+    prefix = "... " if start > 0 else ""
+    suffix = " ..." if end < len(tokens) else ""
+    return prefix + " ".join(tokens[start:end]) + suffix

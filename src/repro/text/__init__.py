@@ -1,0 +1,27 @@
+"""Text analysis substrate: tokenization, stopwords, stemming, pipelines.
+
+The search engine, the clustering layer, and the expansion algorithms all
+consume the output of an :class:`~repro.text.analyzer.Analyzer`, which turns
+raw text into a normalized list of terms.
+
+Public API
+----------
+- :func:`tokenize` — split raw text into lowercase word tokens.
+- :data:`STOPWORDS` / :func:`is_stopword` — the default English stopword set.
+- :class:`PorterStemmer` / :func:`stem` — from-scratch Porter (1980) stemmer.
+- :class:`Analyzer` — configurable pipeline (tokenize → stop → stem).
+"""
+
+from repro.text.analyzer import Analyzer
+from repro.text.porter import PorterStemmer, stem
+from repro.text.stopwords import STOPWORDS, is_stopword
+from repro.text.tokenizer import tokenize
+
+__all__ = [
+    "Analyzer",
+    "PorterStemmer",
+    "STOPWORDS",
+    "is_stopword",
+    "stem",
+    "tokenize",
+]

@@ -1,0 +1,215 @@
+"""A from-scratch implementation of the Porter stemming algorithm.
+
+M.F. Porter, "An algorithm for suffix stripping", Program 14(3), 1980.
+
+The implementation follows the original paper's five steps and uses the
+standard *measure* ``m`` (the number of VC sequences in the ``[C](VC)^m[V]``
+decomposition of a word). Only lowercase ASCII words are expected; anything
+containing non-letters (e.g. "wp-dc26", feature triplets) is returned
+unchanged by :func:`stem`, which keeps structured-data terms stable.
+"""
+
+from __future__ import annotations
+
+_VOWELS = "aeiou"
+
+
+def _is_consonant(word: str, i: int) -> bool:
+    """Return True if ``word[i]`` is a consonant in Porter's sense.
+
+    'y' is a consonant when it starts the word or follows a vowel-position
+    consonant, i.e. it is a vowel iff the preceding letter is a consonant.
+    """
+    ch = word[i]
+    if ch in _VOWELS:
+        return False
+    if ch == "y":
+        return i == 0 or not _is_consonant(word, i - 1)
+    return True
+
+
+def _measure(stem_: str) -> int:
+    """Porter's measure m: the number of VC sequences in ``stem_``."""
+    m = 0
+    prev_vowel = False
+    for i in range(len(stem_)):
+        vowel = not _is_consonant(stem_, i)
+        if prev_vowel and not vowel:
+            m += 1
+        prev_vowel = vowel
+    return m
+
+
+def _contains_vowel(stem_: str) -> bool:
+    return any(not _is_consonant(stem_, i) for i in range(len(stem_)))
+
+
+def _ends_double_consonant(word: str) -> bool:
+    return (
+        len(word) >= 2
+        and word[-1] == word[-2]
+        and _is_consonant(word, len(word) - 1)
+    )
+
+
+def _ends_cvc(word: str) -> bool:
+    """True if ``word`` ends consonant-vowel-consonant, last not in 'wxy'."""
+    if len(word) < 3:
+        return False
+    return (
+        _is_consonant(word, len(word) - 3)
+        and not _is_consonant(word, len(word) - 2)
+        and _is_consonant(word, len(word) - 1)
+        and word[-1] not in "wxy"
+    )
+
+
+class PorterStemmer:
+    """Stateless Porter stemmer; instances exist for API symmetry."""
+
+    def stem(self, word: str) -> str:
+        """Return the Porter stem of a lowercase alphabetic ``word``.
+
+        Words shorter than 3 characters are returned unchanged, as in the
+        original algorithm.
+        """
+        if len(word) <= 2:
+            return word
+        word = self._step1a(word)
+        word = self._step1b(word)
+        word = self._step1c(word)
+        word = self._step2(word)
+        word = self._step3(word)
+        word = self._step4(word)
+        word = self._step5a(word)
+        word = self._step5b(word)
+        return word
+
+    # -- step 1: plurals and -ed / -ing ---------------------------------
+
+    @staticmethod
+    def _step1a(w: str) -> str:
+        if w.endswith("sses"):
+            return w[:-2]
+        if w.endswith("ies"):
+            return w[:-2]
+        if w.endswith("ss"):
+            return w
+        if w.endswith("s"):
+            return w[:-1]
+        return w
+
+    def _step1b(self, w: str) -> str:
+        if w.endswith("eed"):
+            if _measure(w[:-3]) > 0:
+                return w[:-1]
+            return w
+        flag = False
+        if w.endswith("ed") and _contains_vowel(w[:-2]):
+            w = w[:-2]
+            flag = True
+        elif w.endswith("ing") and _contains_vowel(w[:-3]):
+            w = w[:-3]
+            flag = True
+        if flag:
+            if w.endswith(("at", "bl", "iz")):
+                return w + "e"
+            if _ends_double_consonant(w) and w[-1] not in "lsz":
+                return w[:-1]
+            if _measure(w) == 1 and _ends_cvc(w):
+                return w + "e"
+        return w
+
+    @staticmethod
+    def _step1c(w: str) -> str:
+        if w.endswith("y") and _contains_vowel(w[:-1]):
+            return w[:-1] + "i"
+        return w
+
+    # -- steps 2-4: suffix tables ----------------------------------------
+
+    _STEP2 = (
+        ("ational", "ate"), ("tional", "tion"), ("enci", "ence"),
+        ("anci", "ance"), ("izer", "ize"), ("abli", "able"),
+        ("alli", "al"), ("entli", "ent"), ("eli", "e"), ("ousli", "ous"),
+        ("ization", "ize"), ("ation", "ate"), ("ator", "ate"),
+        ("alism", "al"), ("iveness", "ive"), ("fulness", "ful"),
+        ("ousness", "ous"), ("aliti", "al"), ("iviti", "ive"),
+        ("biliti", "ble"),
+    )
+
+    _STEP3 = (
+        ("icate", "ic"), ("ative", ""), ("alize", "al"), ("iciti", "ic"),
+        ("ical", "ic"), ("ful", ""), ("ness", ""),
+    )
+
+    _STEP4 = (
+        "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+        "ment", "ent", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+    )
+
+    @classmethod
+    def _step2(cls, w: str) -> str:
+        for suffix, repl in cls._STEP2:
+            if w.endswith(suffix):
+                base = w[: -len(suffix)]
+                if _measure(base) > 0:
+                    return base + repl
+                return w
+        return w
+
+    @classmethod
+    def _step3(cls, w: str) -> str:
+        for suffix, repl in cls._STEP3:
+            if w.endswith(suffix):
+                base = w[: -len(suffix)]
+                if _measure(base) > 0:
+                    return base + repl
+                return w
+        return w
+
+    @classmethod
+    def _step4(cls, w: str) -> str:
+        for suffix in cls._STEP4:
+            if w.endswith(suffix):
+                base = w[: -len(suffix)]
+                if _measure(base) > 1:
+                    return base
+                return w
+        if w.endswith("ion"):
+            base = w[:-3]
+            if base and base[-1] in "st" and _measure(base) > 1:
+                return base
+        return w
+
+    # -- step 5: final -e and double l ------------------------------------
+
+    @staticmethod
+    def _step5a(w: str) -> str:
+        if w.endswith("e"):
+            base = w[:-1]
+            m = _measure(base)
+            if m > 1 or (m == 1 and not _ends_cvc(base)):
+                return base
+        return w
+
+    @staticmethod
+    def _step5b(w: str) -> str:
+        if w.endswith("ll") and _measure(w) > 1:
+            return w[:-1]
+        return w
+
+
+_DEFAULT = PorterStemmer()
+
+
+def stem(token: str) -> str:
+    """Stem ``token`` if it is purely alphabetic; otherwise return it as-is.
+
+    Mixed alphanumeric tokens (model numbers such as ``wp-dc26``) and
+    structured feature terms (``memory:category:ddr3``) must stay stable, so
+    only ``str.isalpha`` tokens go through the Porter algorithm.
+    """
+    if token.isalpha():
+        return _DEFAULT.stem(token)
+    return token

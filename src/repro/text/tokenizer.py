@@ -1,0 +1,41 @@
+"""Tokenization of raw text into word tokens.
+
+The tokenizer is intentionally simple and deterministic: it lowercases,
+splits on non-word characters, and keeps alphanumeric tokens. Feature
+triplets (``entity:attribute:value``) used by structured documents are *not*
+produced here — they are first-class terms created by
+:meth:`repro.data.documents.Feature.as_term` and injected directly into a
+document's term bag, bypassing tokenization.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator
+
+# Word characters plus internal hyphens/apostrophes ("wp-dc26", "o'brien").
+_TOKEN_RE = re.compile(r"[a-z0-9]+(?:[-'][a-z0-9]+)*")
+
+# Tokens longer than this are almost certainly junk (base64 blobs, URLs).
+MAX_TOKEN_LENGTH = 48
+
+
+def iter_tokens(text: str) -> Iterator[str]:
+    """Yield lowercase tokens from ``text`` in order of appearance.
+
+    >>> list(iter_tokens("Canon WP-DC26 Underwater Case!"))
+    ['canon', 'wp-dc26', 'underwater', 'case']
+    """
+    for match in _TOKEN_RE.finditer(text.lower()):
+        token = match.group(0)
+        if len(token) <= MAX_TOKEN_LENGTH:
+            yield token
+
+
+def tokenize(text: str) -> list[str]:
+    """Return the list of lowercase tokens in ``text``.
+
+    This is the list form of :func:`iter_tokens`; use the iterator form when
+    streaming large documents.
+    """
+    return list(iter_tokens(text))

@@ -1,0 +1,127 @@
+"""Shared fixtures: tiny corpora and the paper's running examples."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.universe import ExpansionTask, ResultUniverse
+from repro.data.corpus import Corpus
+from repro.data.documents import Document
+from repro.index.search import SearchEngine
+from repro.text.analyzer import Analyzer
+
+
+def make_doc(doc_id: str, terms: list[str] | set[str] | dict[str, int]) -> Document:
+    """A document with unit term counts (or explicit counts)."""
+    if isinstance(terms, dict):
+        bag = dict(terms)
+    else:
+        bag = {t: 1 for t in terms}
+    return Document(doc_id=doc_id, terms=bag)
+
+
+def build_task(
+    cluster_docs: dict[str, set[str]],
+    other_docs: dict[str, set[str]],
+    seed_terms: tuple[str, ...],
+    candidates: tuple[str, ...],
+    weights: list[float] | None = None,
+) -> ExpansionTask:
+    """An ExpansionTask from explicit term sets (cluster docs first)."""
+    docs = [make_doc(d, t | set(seed_terms)) for d, t in cluster_docs.items()]
+    docs += [make_doc(d, t | set(seed_terms)) for d, t in other_docs.items()]
+    universe = ResultUniverse(docs, weights)
+    mask = np.array(
+        [True] * len(cluster_docs) + [False] * len(other_docs), dtype=bool
+    )
+    return ExpansionTask(
+        universe=universe,
+        cluster_mask=mask,
+        seed_terms=seed_terms,
+        candidates=candidates,
+    )
+
+
+@pytest.fixture
+def example_31_task() -> ExpansionTask:
+    """Paper Example 3.1: query "apple", C = R1..R8, U = R'1..R'10.
+
+    Keyword elimination sets (E(k) ∩ C, E(k) ∩ U) from the example's table:
+    job      R1..R6   R'1..R'8
+    store    R1..R4   R'1..R'4, R'9
+    location R2..R5   R'5..R'8, R'10
+    fruit    R1..R3   R'2..R'4
+    A keyword is *present* in exactly the results it cannot eliminate.
+    """
+    keywords = ("job", "store", "location", "fruit")
+    elim_c = {
+        "job": {1, 2, 3, 4, 5, 6},
+        "store": {1, 2, 3, 4},
+        "location": {2, 3, 4, 5},
+        "fruit": {1, 2, 3},
+    }
+    elim_u = {
+        "job": {1, 2, 3, 4, 5, 6, 7, 8},
+        "store": {1, 2, 3, 4, 9},
+        "location": {5, 6, 7, 8, 10},
+        "fruit": {2, 3, 4},
+    }
+    cluster = {
+        f"R{i}": {k for k in keywords if i not in elim_c[k]} for i in range(1, 9)
+    }
+    other = {
+        f"R'{i}": {k for k in keywords if i not in elim_u[k]} for i in range(1, 11)
+    }
+    return build_task(cluster, other, seed_terms=("apple",), candidates=keywords)
+
+
+@pytest.fixture
+def example_42_task() -> ExpansionTask:
+    """Paper Example 4.2: U = R1..R10, keywords k1..k4.
+
+    benefit(k1) = {R1..R4},        cost 2
+    benefit(k2) = {R5..R10},       cost 6
+    benefit(k3) = {R3, R4, R8},    cost 1
+    benefit(k4) = {R4, R5, R6, R7}, cost 4
+    Cost sets in C are pairwise disjoint, so C has 13 results, each
+    eliminated by exactly one keyword.
+    """
+    keywords = ("k1", "k2", "k3", "k4")
+    elim_u = {
+        "k1": {1, 2, 3, 4},
+        "k2": {5, 6, 7, 8, 9, 10},
+        "k3": {3, 4, 8},
+        "k4": {4, 5, 6, 7},
+    }
+    costs = {"k1": 2, "k2": 6, "k3": 1, "k4": 4}
+    other = {
+        f"R{i}": {k for k in keywords if i not in elim_u[k]} for i in range(1, 11)
+    }
+    cluster: dict[str, set[str]] = {}
+    cid = 0
+    for kw in keywords:
+        for _ in range(costs[kw]):
+            cid += 1
+            # Eliminated only by `kw`: contains every other keyword.
+            cluster[f"c{cid}"] = {k for k in keywords if k != kw}
+    return build_task(cluster, other, seed_terms=("q0",), candidates=keywords)
+
+
+@pytest.fixture
+def tiny_corpus() -> Corpus:
+    """Six tiny documents about two senses of "apple"."""
+    docs = [
+        make_doc("d1", {"apple", "iphone", "store", "company"}),
+        make_doc("d2", {"apple", "mac", "store", "company"}),
+        make_doc("d3", {"apple", "iphone", "company", "job"}),
+        make_doc("d4", {"apple", "fruit", "tree", "orchard"}),
+        make_doc("d5", {"apple", "fruit", "pie", "recipe"}),
+        make_doc("d6", {"banana", "fruit", "tree"}),
+    ]
+    return Corpus(docs)
+
+
+@pytest.fixture
+def tiny_engine(tiny_corpus: Corpus) -> SearchEngine:
+    return SearchEngine(tiny_corpus, Analyzer(use_stemming=False))

@@ -1,0 +1,65 @@
+"""Tests for repro.cluster.agglomerative."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.agglomerative import AgglomerativeClustering
+from repro.errors import ClusteringError
+from tests.test_kmeans import two_blobs
+
+
+class TestAgglomerative:
+    def test_recovers_two_blobs(self):
+        m, truth = two_blobs(10)
+        labels = AgglomerativeClustering(n_clusters=2).fit_predict(m)
+        for c in set(labels.tolist()):
+            members = truth[labels == c]
+            assert len(set(members.tolist())) == 1
+
+    def test_exact_cluster_count(self):
+        m, _ = two_blobs(10)
+        labels = AgglomerativeClustering(n_clusters=4).fit_predict(m)
+        assert len(set(labels.tolist())) == 4
+
+    def test_k_clipped_to_n(self):
+        m = np.eye(3)
+        labels = AgglomerativeClustering(n_clusters=10).fit_predict(m)
+        assert len(set(labels.tolist())) == 3
+
+    def test_singletons_when_k_equals_n(self):
+        m = np.eye(4)
+        labels = AgglomerativeClustering(n_clusters=4).fit_predict(m)
+        assert sorted(labels.tolist()) == [0, 1, 2, 3]
+
+    def test_single_cluster(self):
+        m, _ = two_blobs(5)
+        labels = AgglomerativeClustering(n_clusters=1).fit_predict(m)
+        assert set(labels.tolist()) == {0}
+
+    def test_labels_compact_from_zero(self):
+        m, _ = two_blobs(6)
+        labels = AgglomerativeClustering(n_clusters=3).fit_predict(m)
+        assert set(labels.tolist()) == {0, 1, 2}
+
+    def test_deterministic(self):
+        m, _ = two_blobs(8)
+        a = AgglomerativeClustering(n_clusters=3).fit_predict(m)
+        b = AgglomerativeClustering(n_clusters=3).fit_predict(m)
+        assert np.array_equal(a, b)
+
+    def test_invalid_k(self):
+        with pytest.raises(ClusteringError):
+            AgglomerativeClustering(n_clusters=0)
+
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(ClusteringError):
+            AgglomerativeClustering(n_clusters=2).fit_predict(np.zeros((0, 2)))
+
+    def test_merges_closest_first(self):
+        # Three points: two nearly parallel, one orthogonal. With k=2 the
+        # parallel pair must merge.
+        m = np.array([[1.0, 0.0], [0.99, 0.14], [0.0, 1.0]])
+        m /= np.linalg.norm(m, axis=1, keepdims=True)
+        labels = AgglomerativeClustering(n_clusters=2).fit_predict(m)
+        assert labels[0] == labels[1]
+        assert labels[0] != labels[2]

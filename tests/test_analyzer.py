@@ -1,0 +1,84 @@
+"""Tests for repro.text.analyzer."""
+
+from collections import Counter
+
+from repro.text.analyzer import Analyzer, normalize_feature_term
+
+
+class TestAnalyze:
+    def test_default_pipeline(self):
+        analyzer = Analyzer()
+        # "the" is a stopword; "printers" stems to "printer".
+        assert analyzer.analyze("The Printers") == ["printer"]
+
+    def test_no_stemming(self):
+        analyzer = Analyzer(use_stemming=False)
+        assert analyzer.analyze("printers running") == ["printers", "running"]
+
+    def test_no_stopwords(self):
+        analyzer = Analyzer(use_stopwords=False, use_stemming=False)
+        assert analyzer.analyze("the cat") == ["the", "cat"]
+
+    def test_min_token_length(self):
+        analyzer = Analyzer(min_token_length=3, use_stemming=False)
+        assert analyzer.analyze("tv 4k ddr3") == ["ddr3"]
+
+    def test_min_length_default_keeps_tv(self):
+        analyzer = Analyzer(use_stemming=False)
+        assert analyzer.analyze("tv x") == ["tv"]
+
+    def test_custom_stopwords(self):
+        analyzer = Analyzer(stopwords=frozenset({"foo"}), use_stemming=False)
+        assert analyzer.analyze("foo bar the") == ["bar", "the"]
+
+    def test_term_counts(self):
+        analyzer = Analyzer(use_stemming=False)
+        assert analyzer.term_counts("cat dog cat") == Counter(
+            {"cat": 2, "dog": 1}
+        )
+
+    def test_is_frozen_dataclass(self):
+        analyzer = Analyzer()
+        try:
+            analyzer.use_stemming = False  # type: ignore[misc]
+        except AttributeError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("Analyzer should be immutable")
+
+
+class TestAnalyzeQuery:
+    def test_plain_terms(self):
+        analyzer = Analyzer(use_stemming=False)
+        assert analyzer.analyze_query("canon products") == ["canon", "products"]
+
+    def test_feature_triplet_passthrough(self):
+        analyzer = Analyzer()
+        assert analyzer.analyze_query("TV:brand:Toshiba") == ["tv:brand:toshiba"]
+
+    def test_mixed_query(self):
+        analyzer = Analyzer(use_stemming=False)
+        assert analyzer.analyze_query("memory memory:category:ddr3") == [
+            "memory",
+            "memory:category:ddr3",
+        ]
+
+    def test_stopwords_still_filtered_for_plain_terms(self):
+        analyzer = Analyzer(use_stemming=False)
+        assert analyzer.analyze_query("the java") == ["java"]
+
+
+class TestHelpers:
+    def test_keep_distinct_preserves_order(self):
+        assert Analyzer.keep_distinct(["b", "a", "b", "c", "a"]) == ["b", "a", "c"]
+
+    def test_keep_distinct_empty(self):
+        assert Analyzer.keep_distinct([]) == []
+
+    def test_normalize_feature_term(self):
+        assert (
+            normalize_feature_term("TV : Brand : Toshiba") == "tv:brand:toshiba"
+        )
+
+    def test_normalize_feature_term_drops_empty_parts(self):
+        assert normalize_feature_term("a::b") == "a:b"

@@ -1,0 +1,71 @@
+"""Tests for bisecting k-means."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.bisecting import BisectingKMeans
+from repro.errors import ClusteringError
+from tests.test_kmeans import two_blobs
+
+
+class TestBisectingKMeans:
+    def test_recovers_two_blobs(self):
+        m, truth = two_blobs(15)
+        labels = BisectingKMeans(n_clusters=2, seed=0).fit_predict(m)
+        for c in set(labels.tolist()):
+            members = truth[labels == c]
+            assert len(set(members.tolist())) == 1
+
+    def test_reaches_requested_k(self):
+        m, _ = two_blobs(15)
+        labels = BisectingKMeans(n_clusters=4, seed=0).fit_predict(m)
+        assert len(set(labels.tolist())) == 4
+
+    def test_k_clipped_to_n(self):
+        m = np.eye(3)
+        labels = BisectingKMeans(n_clusters=10, seed=0).fit_predict(m)
+        assert len(set(labels.tolist())) <= 3
+
+    def test_single_cluster(self):
+        m, _ = two_blobs(5)
+        labels = BisectingKMeans(n_clusters=1, seed=0).fit_predict(m)
+        assert set(labels.tolist()) == {0}
+
+    def test_labels_compact(self):
+        m, _ = two_blobs(10)
+        labels = BisectingKMeans(n_clusters=3, seed=0).fit_predict(m)
+        assert set(labels.tolist()) == set(range(len(set(labels.tolist()))))
+
+    def test_deterministic(self):
+        m, _ = two_blobs(12)
+        a = BisectingKMeans(n_clusters=3, seed=7).fit_predict(m)
+        b = BisectingKMeans(n_clusters=3, seed=7).fit_predict(m)
+        assert np.array_equal(a, b)
+
+    def test_coincident_points_dont_loop(self):
+        m = np.ones((6, 3)) / np.sqrt(3)
+        labels = BisectingKMeans(n_clusters=4, seed=0).fit_predict(m)
+        assert labels.shape == (6,)
+
+    def test_invalid_k(self):
+        with pytest.raises(ClusteringError):
+            BisectingKMeans(n_clusters=0)
+
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(ClusteringError):
+            BisectingKMeans(n_clusters=2).fit_predict(np.zeros((0, 2)))
+
+    def test_splits_highest_inertia_first(self):
+        """Two tight blobs plus one loose blob: with k=2 the partition must
+        isolate structure, and with k=3 the loose blob's split reduces total
+        spread; labels stay a valid partition at each k."""
+        rng = np.random.default_rng(0)
+        tight_a = np.abs(rng.normal(0, 0.01, (8, 4))) + np.array([1, 0, 0, 0.0])
+        tight_b = np.abs(rng.normal(0, 0.01, (8, 4))) + np.array([0, 1, 0, 0.0])
+        loose = np.abs(rng.normal(0, 0.4, (8, 4))) + np.array([0, 0, 1, 0.0])
+        m = np.vstack([tight_a, tight_b, loose])
+        m /= np.linalg.norm(m, axis=1, keepdims=True)
+        labels = BisectingKMeans(n_clusters=3, seed=0).fit_predict(m)
+        assert len(set(labels.tolist())) == 3
+        # The two tight blobs must not be merged with each other.
+        assert len({labels[0], labels[8]}) == 2

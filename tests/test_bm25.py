@@ -1,0 +1,94 @@
+"""Tests for the BM25 scorer and scorer pluggability."""
+
+import pytest
+
+from repro.data.corpus import Corpus
+from repro.errors import QueryError
+from repro.index.bm25 import BM25Scorer
+from repro.index.inverted_index import InvertedIndex
+from repro.index.search import SearchEngine
+from repro.text.analyzer import Analyzer
+from tests.conftest import make_doc
+
+
+@pytest.fixture
+def index() -> InvertedIndex:
+    corpus = Corpus(
+        [
+            make_doc("d0", {"apple": 5, "fruit": 1}),
+            make_doc("d1", {"apple": 1}),
+            make_doc("d2", {"common": 1, "rare": 2}),
+            make_doc("d3", {"common": 1}),
+            make_doc("d4", {"common": 1, "apple": 1, "pad": 30}),
+        ]
+    )
+    return InvertedIndex(corpus)
+
+
+class TestBM25Scorer:
+    def test_idf_decreases_with_df(self, index):
+        scorer = BM25Scorer(index)
+        assert scorer.idf("rare") > scorer.idf("common")
+        assert scorer.idf("common") > scorer.idf("ghost") * 0  # positive
+
+    def test_idf_never_negative(self, index):
+        scorer = BM25Scorer(index)
+        for term in ("apple", "common", "rare", "ghost"):
+            assert scorer.idf(term) >= 0.0
+
+    def test_tf_saturation(self, index):
+        """BM25's hallmark: doubling tf gains less than double the score."""
+        scorer = BM25Scorer(index)
+        s1 = scorer.score(1, ["apple"])  # tf 1
+        s5 = scorer.score(0, ["apple"])  # tf 5 (similar length docs)
+        assert s5 > s1
+        assert s5 < 5 * s1
+
+    def test_length_normalization(self, index):
+        """Same tf in a much longer document scores lower with b > 0."""
+        scorer = BM25Scorer(index, b=0.75)
+        short = scorer.score(1, ["apple"])  # doc length 1
+        long_ = scorer.score(4, ["apple"])  # doc length 32
+        assert short > long_
+
+    def test_b_zero_ignores_length(self, index):
+        scorer = BM25Scorer(index, b=0.0)
+        assert scorer.score(1, ["apple"]) == pytest.approx(
+            scorer.score(4, ["apple"])
+        )
+
+    def test_nonmatching_scores_zero(self, index):
+        assert BM25Scorer(index).score(3, ["apple"]) == 0.0
+
+    def test_rank_descending(self, index):
+        ranked = BM25Scorer(index).rank([0, 1, 3, 4], ["apple"])
+        scores = [s for _, s in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_invalid_params(self, index):
+        with pytest.raises(ValueError):
+            BM25Scorer(index, k1=-1.0)
+        with pytest.raises(ValueError):
+            BM25Scorer(index, b=1.5)
+
+
+class TestEnginePluggability:
+    def test_bm25_engine(self, tiny_corpus):
+        engine = SearchEngine(
+            tiny_corpus, Analyzer(use_stemming=False), scoring="bm25"
+        )
+        results = engine.search("apple")
+        assert len(results) == 5
+        assert all(r.score > 0 for r in results)
+
+    def test_same_result_set_different_order_possible(self, tiny_corpus):
+        analyzer = Analyzer(use_stemming=False)
+        tfidf = SearchEngine(tiny_corpus, analyzer, scoring="tfidf")
+        bm25 = SearchEngine(tiny_corpus, analyzer, scoring="bm25")
+        a = {r.document.doc_id for r in tfidf.search("apple")}
+        b = {r.document.doc_id for r in bm25.search("apple")}
+        assert a == b  # boolean matching identical; only ranking differs
+
+    def test_unknown_scoring_rejected(self, tiny_corpus):
+        with pytest.raises(QueryError):
+            SearchEngine(tiny_corpus, scoring="pagerank")

@@ -1,0 +1,143 @@
+"""Tests for SearchEngine.boolean_search and query-parser roundtripping."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QueryError
+from repro.index.queryparser import (
+    AndNode,
+    NotNode,
+    OrNode,
+    TermNode,
+    parse_query,
+)
+
+
+class TestBooleanSearch:
+    def test_and_matches_plain_search(self, tiny_engine):
+        plain = tiny_engine.search("apple fruit")
+        boolean = tiny_engine.boolean_search("apple AND fruit")
+        assert [r.position for r in boolean] == [r.position for r in plain]
+        assert [r.score for r in boolean] == [r.score for r in plain]
+
+    def test_or_query(self, tiny_engine):
+        results = tiny_engine.boolean_search("iphone OR banana")
+        ids = {r.document.doc_id for r in results}
+        assert ids == {"d1", "d3", "d6"}
+
+    def test_not_query(self, tiny_engine):
+        results = tiny_engine.boolean_search("apple NOT fruit")
+        ids = {r.document.doc_id for r in results}
+        assert ids == {"d1", "d2", "d3"}
+
+    def test_nested(self, tiny_engine):
+        results = tiny_engine.boolean_search("(fruit OR company) NOT banana")
+        ids = {r.document.doc_id for r in results}
+        assert ids == {"d1", "d2", "d3", "d4", "d5"}
+
+    def test_negation_only_results_score_zero(self, tiny_engine):
+        results = tiny_engine.boolean_search("NOT banana")
+        assert results
+        assert all(r.score == 0.0 for r in results)
+
+    def test_ranking_uses_positive_words(self, tiny_engine):
+        results = tiny_engine.boolean_search("apple NOT banana")
+        assert results[0].score >= results[-1].score
+        assert results[0].score > 0.0
+
+    def test_top_k(self, tiny_engine):
+        full = tiny_engine.boolean_search("apple")
+        top = tiny_engine.boolean_search("apple", top_k=2)
+        assert [r.position for r in top] == [r.position for r in full][:2]
+
+    def test_phrase_rejected(self, tiny_engine):
+        with pytest.raises(QueryError):
+            tiny_engine.boolean_search('"apple fruit"')
+
+    def test_malformed_query(self, tiny_engine):
+        with pytest.raises(QueryError):
+            tiny_engine.boolean_search("(apple")
+
+
+# -- parser roundtrip property ------------------------------------------------
+
+words = st.text(
+    alphabet=st.sampled_from("abcdefgxyz"), min_size=1, max_size=6
+).filter(lambda w: w.upper() not in ("AND", "OR", "NOT"))
+
+
+@st.composite
+def ast(draw, depth: int = 0):
+    if depth >= 3:
+        return TermNode(draw(words))
+    kind = draw(st.sampled_from(["term", "and", "or", "not"]))
+    if kind == "term":
+        return TermNode(draw(words))
+    if kind == "not":
+        return NotNode(draw(ast(depth + 1)))
+    children = tuple(
+        draw(ast(depth + 1))
+        for _ in range(draw(st.integers(min_value=2, max_value=3)))
+    )
+    return AndNode(children) if kind == "and" else OrNode(children)
+
+
+def render(node) -> str:
+    """Fully-parenthesized rendering: parses back to the same tree."""
+    if isinstance(node, TermNode):
+        return node.term
+    if isinstance(node, NotNode):
+        return f"NOT ({render(node.child)})"
+    joiner = " AND " if isinstance(node, AndNode) else " OR "
+    return "(" + joiner.join(f"({render(c)})" for c in node.children) + ")"
+
+
+@settings(max_examples=80, deadline=None)
+@given(ast())
+def test_parse_render_roundtrip(node):
+    rendered = render(node)
+    reparsed = parse_query(rendered)
+
+    # Parenthesized single children parse to the child itself and nested
+    # same-type boolean nodes may flatten, so compare by evaluated
+    # semantics over every possible document (term subset), not by
+    # structural identity.
+    import itertools
+
+    terms = sorted(
+        {t.term for t in _collect_terms(node)} | {"filler"}
+    )[:6]
+    universes = []
+    for r in range(len(terms) + 1):
+        for combo in itertools.combinations(terms, r):
+            universes.append(frozenset(combo))
+
+    class FakeContext:
+        def __init__(self, docs):
+            self._docs = docs
+
+        def all_docs(self):
+            return set(range(len(self._docs)))
+
+        def docs_with_term(self, word):
+            w = word.lower()
+            return {i for i, d in enumerate(self._docs) if w in d}
+
+        def docs_with_phrase(self, wordseq):  # pragma: no cover
+            raise AssertionError("no phrases generated")
+
+    context = FakeContext(universes)
+    assert node.evaluate(context) == reparsed.evaluate(context)
+
+
+def _collect_terms(node):
+    if isinstance(node, TermNode):
+        yield node
+    elif isinstance(node, NotNode):
+        yield from _collect_terms(node.child)
+    else:
+        for child in node.children:
+            yield from _collect_terms(child)

@@ -1,0 +1,183 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_expand_defaults(self):
+        args = build_parser().parse_args(
+            ["expand", "--dataset", "wikipedia", "--query", "java"]
+        )
+        assert args.algorithm == "iskr"
+        assert args.k == 3
+        assert args.top == 30
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["expand", "--dataset", "wikipedia", "--query", "x",
+                 "--algorithm", "magic"]
+            )
+
+
+class TestSearchCommand:
+    def test_search_shopping(self, capsys):
+        rc = main(
+            ["search", "--dataset", "shopping", "--query", "canon products",
+             "--top", "5"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "results for 'canon products'" in out
+        assert "shop-" in out
+
+    def test_search_bm25(self, capsys):
+        rc = main(
+            ["search", "--dataset", "wikipedia", "--query", "java",
+             "--top", "3", "--scoring", "bm25"]
+        )
+        assert rc == 0
+        assert "wiki-" in capsys.readouterr().out
+
+
+class TestExpandCommand:
+    @pytest.mark.parametrize("algorithm", ["iskr", "pebc", "fmeasure", "vsm"])
+    def test_expand_all_algorithms(self, capsys, algorithm):
+        rc = main(
+            ["expand", "--dataset", "wikipedia", "--query", "java",
+             "--algorithm", algorithm, "-k", "3"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "score=" in out
+        assert out.count("cluster") >= 2
+
+    def test_expand_all_results(self, capsys):
+        rc = main(
+            ["expand", "--dataset", "shopping", "--query", "tv",
+             "--top", "0", "-k", "2"]
+        )
+        assert rc == 0
+        assert "score=" in capsys.readouterr().out
+
+
+class TestExperimentCommand:
+    def test_two_queries_two_systems(self, capsys):
+        rc = main(
+            ["experiment", "--queries", "QW6", "QS4",
+             "--systems", "ISKR", "CS"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Eq. 1 scores" in out
+        assert "QW6" in out and "QS4" in out
+
+    def test_show_queries(self, capsys):
+        rc = main(
+            ["experiment", "--queries", "QW8",
+             "--systems", "ISKR", "--show-queries"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "rockets" in out
+
+    def test_unknown_query_id_fails_cleanly(self, capsys):
+        rc = main(["experiment", "--queries", "QX99"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestOtherCommands:
+    def test_scalability_small(self, capsys):
+        rc = main(["scalability", "--sizes", "30", "60"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "ISKR (s)" in out
+
+    def test_userstudy_small(self, capsys):
+        rc = main(["userstudy", "--queries", "QW6", "--users", "3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "individual query scores" in out
+        assert "collective query scores" in out
+
+
+class TestSnippetsFlag:
+    def test_search_snippets_structured(self, capsys):
+        rc = main(
+            ["search", "--dataset", "shopping", "--query", "canon products",
+             "--top", "3", "--snippets"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "snippet" in out
+        assert ":" in out  # feature-style snippets
+
+    def test_search_snippets_text(self, capsys):
+        rc = main(
+            ["search", "--dataset", "wikipedia", "--query", "java",
+             "--top", "3", "--snippets"]
+        )
+        assert rc == 0
+        assert "snippet" in capsys.readouterr().out
+
+
+class TestInterleaveCommand:
+    def test_interleave_wikipedia(self, capsys):
+        rc = main(
+            ["interleave", "--dataset", "wikipedia", "--query", "java",
+             "--rounds", "2"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "converged=" in out
+        assert "round 0" in out
+
+    def test_interleave_no_results(self, capsys):
+        rc = main(
+            ["interleave", "--dataset", "wikipedia", "--query", "zzzzmissing"]
+        )
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestPrfCommand:
+    def test_prf_table(self, capsys):
+        rc = main(["prf", "--dataset", "wikipedia", "--query", "java"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Rocchio" in out and "KLD" in out and "Robertson" in out
+        assert "ISKR" in out
+
+
+class TestFacetsCommand:
+    def test_facets_shopping(self, capsys):
+        rc = main(["facets", "--dataset", "shopping", "--query", "canon products"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "best facet:" in out
+
+    def test_facets_wikipedia_none(self, capsys):
+        rc = main(["facets", "--dataset", "wikipedia", "--query", "java",
+                   "--top", "30"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "no facets extractable" in out
+
+
+class TestShowResultsFlag:
+    def test_expand_show_results(self, capsys):
+        rc = main(
+            ["expand", "--dataset", "shopping", "--query", "canon products",
+             "--top", "0", "--show-results"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "[cluster" in out
+        assert "shop-" in out  # snippets of actual results

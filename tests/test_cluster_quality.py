@@ -1,0 +1,70 @@
+"""Tests for repro.cluster.quality (purity, NMI)."""
+
+import pytest
+
+from repro.cluster.quality import normalized_mutual_information, purity
+
+
+class TestPurity:
+    def test_perfect_clustering(self):
+        assert purity([0, 0, 1, 1], [5, 5, 7, 7]) == 1.0
+
+    def test_worst_case_half(self):
+        assert purity([0, 0, 0, 0], [1, 1, 2, 2]) == 0.5
+
+    def test_majority_counting(self):
+        # Cluster 0: {a, a, b} -> 2 correct; cluster 1: {b} -> 1 correct.
+        assert purity([0, 0, 0, 1], ["a", "a", "b", "b"]) == pytest.approx(3 / 4)
+
+    def test_singletons_always_pure(self):
+        assert purity([0, 1, 2], [9, 9, 9]) == 1.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            purity([0], [0, 1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            purity([], [])
+
+
+class TestNMI:
+    def test_identical_partitions(self):
+        assert normalized_mutual_information([0, 0, 1, 1], [1, 1, 0, 0]) == (
+            pytest.approx(1.0)
+        )
+
+    def test_independent_partitions(self):
+        # Truth split orthogonally to labels -> zero mutual information.
+        labels = [0, 0, 1, 1]
+        truth = [0, 1, 0, 1]
+        assert normalized_mutual_information(labels, truth) == pytest.approx(
+            0.0, abs=1e-12
+        )
+
+    def test_single_cluster_vs_split(self):
+        assert normalized_mutual_information([0, 0, 0, 0], [0, 0, 1, 1]) == 0.0
+
+    def test_both_single_cluster(self):
+        assert normalized_mutual_information([0, 0], [3, 3]) == 1.0
+
+    def test_symmetric(self):
+        a = [0, 0, 1, 1, 2, 2]
+        b = [0, 1, 1, 2, 2, 0]
+        assert normalized_mutual_information(a, b) == pytest.approx(
+            normalized_mutual_information(b, a)
+        )
+
+    def test_bounded(self):
+        a = [0, 1, 0, 1, 2, 0]
+        b = [2, 2, 1, 1, 0, 0]
+        nmi = normalized_mutual_information(a, b)
+        assert 0.0 <= nmi <= 1.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            normalized_mutual_information([0], [0, 1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            normalized_mutual_information([], [])

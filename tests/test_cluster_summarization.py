@@ -1,0 +1,116 @@
+"""Tests for the Cluster Summarization (CS) baseline [6]."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cluster_summarization import ClusterSummarization
+from repro.core.universe import ResultUniverse
+from repro.index.search import SearchEngine
+
+
+def apple_setup(tiny_engine: SearchEngine):
+    results = tiny_engine.search("apple")
+    # Stable "true" clustering: company docs vs fruit docs.
+    labels = np.array(
+        [0 if "company" in r.document.terms else 1 for r in results]
+    )
+    universe = ResultUniverse([r.document for r in results])
+    return results, labels, universe
+
+
+class TestClusterSummarization:
+    def test_one_query_per_cluster(self, tiny_engine):
+        results, labels, universe = apple_setup(tiny_engine)
+        out = ClusterSummarization().suggest(
+            tiny_engine, "apple", results, labels, universe
+        )
+        assert len(out.queries) == 2
+        assert len(out.fmeasures) == 2
+        assert out.system == "CS"
+
+    def test_queries_start_with_seed(self, tiny_engine):
+        results, labels, universe = apple_setup(tiny_engine)
+        out = ClusterSummarization().suggest(
+            tiny_engine, "apple", results, labels, universe
+        )
+        for q in out.queries:
+            assert q[0] == "apple"
+
+    def test_label_terms_limit(self, tiny_engine):
+        results, labels, universe = apple_setup(tiny_engine)
+        out = ClusterSummarization(label_terms=1).suggest(
+            tiny_engine, "apple", results, labels, universe
+        )
+        for q in out.queries:
+            assert len(q) == 2  # seed + 1 label term
+
+    def test_tficf_prefers_cluster_distinctive_terms(self, tiny_engine):
+        """Terms occurring in only one cluster (icf high) must be chosen
+        over terms spread across clusters."""
+        results, labels, universe = apple_setup(tiny_engine)
+        out = ClusterSummarization(label_terms=2).suggest(
+            tiny_engine, "apple", results, labels, universe
+        )
+        flat = {t for q in out.queries for t in q[1:]}
+        # Cluster-distinctive vocabulary, never the seed term.
+        assert "apple" not in flat
+        assert flat & {"company", "store", "iphone", "fruit", "tree", "pie"}
+
+    def test_fmeasures_in_range(self, tiny_engine):
+        results, labels, universe = apple_setup(tiny_engine)
+        out = ClusterSummarization().suggest(
+            tiny_engine, "apple", results, labels, universe
+        )
+        assert all(0.0 <= f <= 1.0 for f in out.fmeasures)
+
+    def test_low_cooccurrence_labels_score_poorly(self):
+        """The paper's CS failure mode: high-TFICF terms that never co-occur
+        yield an AND query with zero recall (§1, §5.2.2)."""
+        from tests.conftest import make_doc
+
+        # Cluster: each doc has ONE of the label words, never both.
+        docs = [
+            make_doc("c1", {"apple", "wheel"}),
+            make_doc("c2", {"apple", "interface"}),
+            make_doc("u1", {"apple", "cartoon"}),
+        ]
+
+        class _Engine:
+            class _Index:
+                num_documents = 3
+
+                @staticmethod
+                def document_frequency(term):
+                    return 1
+
+            index = _Index()
+
+            @staticmethod
+            def parse(q):
+                return [q]
+
+        labels = np.array([0, 0, 1])
+        universe = ResultUniverse(docs)
+
+        class _R:
+            def __init__(self, d):
+                self.document = d
+                self.score = 1.0
+
+        out = ClusterSummarization(label_terms=2).suggest(
+            _Engine(), "apple", [_R(d) for d in docs], labels, universe
+        )
+        # The 2-term label for cluster 0 is {wheel, interface}; the AND
+        # query retrieves nothing -> F = 0.
+        assert out.fmeasures[0] == 0.0
+
+    def test_max_queries_cap(self, tiny_engine):
+        results, labels, universe = apple_setup(tiny_engine)
+        out = ClusterSummarization().suggest(
+            tiny_engine, "apple", results, labels, universe, max_queries=1
+        )
+        assert len(out.queries) == 1
+
+    def test_invalid_label_terms(self):
+        with pytest.raises(ValueError):
+            ClusterSummarization(label_terms=0)

@@ -1,0 +1,134 @@
+"""Unit tests for posting-list compression (repro.index.compression)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import IndexingError
+from repro.index.compression import (
+    decode_postings,
+    encode_postings,
+    from_gaps,
+    gamma_decode,
+    gamma_encode,
+    to_gaps,
+    varint_decode,
+    varint_encode,
+)
+
+
+class TestGaps:
+    def test_roundtrip(self):
+        ids = [0, 3, 4, 100]
+        assert from_gaps(to_gaps(ids)) == ids
+
+    def test_first_gap_offsets_zero(self):
+        assert to_gaps([0]) == [1]
+
+    def test_rejects_non_increasing(self):
+        with pytest.raises(IndexingError):
+            to_gaps([3, 3])
+        with pytest.raises(IndexingError):
+            to_gaps([5, 2])
+
+    def test_from_gaps_rejects_zero_gap(self):
+        with pytest.raises(IndexingError):
+            from_gaps([1, 0])
+
+    def test_empty(self):
+        assert to_gaps([]) == []
+        assert from_gaps([]) == []
+
+
+class TestVarint:
+    def test_roundtrip_small(self):
+        values = [1, 2, 127, 128, 129]
+        assert varint_decode(varint_encode(values)) == values
+
+    def test_roundtrip_large(self):
+        values = [1, 2**20, 2**31 + 7]
+        assert varint_decode(varint_encode(values)) == values
+
+    def test_single_byte_for_small_values(self):
+        assert len(varint_encode([1])) == 1
+        assert len(varint_encode([127])) == 1
+
+    def test_two_bytes_above_127(self):
+        assert len(varint_encode([128])) == 2
+
+    def test_rejects_zero(self):
+        with pytest.raises(IndexingError):
+            varint_encode([0])
+
+    def test_truncated_stream(self):
+        data = varint_encode([300])
+        with pytest.raises(IndexingError):
+            varint_decode(data[:-1])
+
+    def test_empty(self):
+        assert varint_encode([]) == b""
+        assert varint_decode(b"") == []
+
+
+class TestGamma:
+    def test_roundtrip(self):
+        values = [1, 2, 3, 4, 5, 100, 1023, 1024]
+        assert gamma_decode(gamma_encode(values), len(values)) == values
+
+    def test_one_is_single_bit(self):
+        # gamma(1) = "1": eight of them fit in one byte.
+        assert len(gamma_encode([1] * 8)) == 1
+
+    def test_rejects_zero(self):
+        with pytest.raises(IndexingError):
+            gamma_encode([0])
+
+    def test_truncated_stream(self):
+        data = gamma_encode([1000])
+        with pytest.raises(IndexingError):
+            gamma_decode(data[:1], 1)
+
+    def test_count_disambiguates_padding(self):
+        # Padding zeros after the last value must not produce extra values.
+        data = gamma_encode([2])
+        assert gamma_decode(data, 1) == [2]
+
+
+class TestPostingCodec:
+    @pytest.mark.parametrize("codec", ["varint", "gamma"])
+    def test_roundtrip(self, codec):
+        doc_ids = [0, 5, 6, 42, 1000]
+        tfs = [3, 1, 2, 7, 1]
+        blob = encode_postings(doc_ids, tfs, codec=codec)
+        assert decode_postings(blob, len(doc_ids), codec=codec) == (doc_ids, tfs)
+
+    def test_unknown_codec(self):
+        with pytest.raises(IndexingError):
+            encode_postings([0], [1], codec="zstd")
+        with pytest.raises(IndexingError):
+            decode_postings(b"", 0, codec="zstd")
+
+    def test_length_mismatch(self):
+        with pytest.raises(IndexingError):
+            encode_postings([0, 1], [1])
+
+    def test_zero_tf_rejected(self):
+        with pytest.raises(IndexingError):
+            encode_postings([0], [0])
+
+    def test_wrong_count_detected_varint(self):
+        blob = encode_postings([0, 1], [1, 1], codec="varint")
+        with pytest.raises(IndexingError):
+            decode_postings(blob, 3, codec="varint")
+
+    def test_empty_list(self):
+        blob = encode_postings([], [], codec="varint")
+        assert decode_postings(blob, 0, codec="varint") == ([], [])
+
+    def test_gamma_denser_for_small_gaps(self):
+        # Dense doc ids (all gaps 1, tf 1) favor the bit-packed code.
+        doc_ids = list(range(256))
+        tfs = [1] * 256
+        v = encode_postings(doc_ids, tfs, codec="varint")
+        g = encode_postings(doc_ids, tfs, codec="gamma")
+        assert len(g) < len(v)

@@ -1,0 +1,40 @@
+"""Tests for repro.core.config."""
+
+import pytest
+
+from repro.core.config import ExpansionConfig
+from repro.errors import ConfigError
+
+
+class TestExpansionConfig:
+    def test_paper_defaults(self):
+        cfg = ExpansionConfig()
+        assert cfg.top_k_results == 30
+        assert cfg.max_expanded_queries == 5
+        assert cfg.candidate_fraction == 0.2
+        assert cfg.semantics == "and"
+        assert cfg.use_ranking_weights is True
+
+    def test_top_k_none_allowed(self):
+        assert ExpansionConfig(top_k_results=None).top_k_results is None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_clusters": 0},
+            {"top_k_results": 0},
+            {"max_expanded_queries": 0},
+            {"candidate_fraction": 0.0},
+            {"candidate_fraction": 1.5},
+            {"min_candidates": 0},
+            {"semantics": "xor"},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            ExpansionConfig(**kwargs)
+
+    def test_frozen(self):
+        cfg = ExpansionConfig()
+        with pytest.raises(AttributeError):
+            cfg.n_clusters = 5  # type: ignore[misc]

@@ -1,0 +1,70 @@
+"""Tests for repro.data.corpus."""
+
+import pytest
+
+from repro.data.corpus import Corpus
+from repro.errors import DataError
+from tests.conftest import make_doc
+
+
+class TestCorpus:
+    def test_add_and_len(self):
+        c = Corpus()
+        assert len(c) == 0
+        pos = c.add(make_doc("d1", {"a"}))
+        assert pos == 0
+        assert len(c) == 1
+
+    def test_insertion_order_is_position(self):
+        c = Corpus([make_doc("x", {"a"}), make_doc("y", {"b"})])
+        assert c[0].doc_id == "x"
+        assert c[1].doc_id == "y"
+        assert c.position("y") == 1
+
+    def test_duplicate_id_rejected(self):
+        c = Corpus([make_doc("d", {"a"})])
+        with pytest.raises(DataError):
+            c.add(make_doc("d", {"b"}))
+
+    def test_get_by_id(self):
+        c = Corpus([make_doc("d1", {"a"})])
+        assert c.get("d1").doc_id == "d1"
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(DataError):
+            Corpus().get("nope")
+
+    def test_position_unknown_raises(self):
+        with pytest.raises(DataError):
+            Corpus().position("nope")
+
+    def test_contains(self):
+        c = Corpus([make_doc("d1", {"a"})])
+        assert "d1" in c
+        assert "d2" not in c
+
+    def test_iteration(self):
+        docs = [make_doc(f"d{i}", {"a"}) for i in range(3)]
+        c = Corpus(docs)
+        assert [d.doc_id for d in c] == ["d0", "d1", "d2"]
+
+    def test_doc_ids(self):
+        c = Corpus([make_doc("b", {"x"}), make_doc("a", {"y"})])
+        assert c.doc_ids() == ["b", "a"]
+
+    def test_vocabulary(self):
+        c = Corpus([make_doc("d1", {"a", "b"}), make_doc("d2", {"b", "c"})])
+        assert c.vocabulary() == {"a", "b", "c"}
+
+    def test_subset_preserves_order(self):
+        c = Corpus([make_doc(f"d{i}", {"t"}) for i in range(5)])
+        s = c.subset(["d3", "d1"])
+        assert s.doc_ids() == ["d1", "d3"]
+
+    def test_subset_unknown_id_raises(self):
+        c = Corpus([make_doc("d1", {"a"})])
+        with pytest.raises(DataError):
+            c.subset(["d1", "ghost"])
+
+    def test_empty_vocabulary(self):
+        assert Corpus().vocabulary() == set()

@@ -1,0 +1,105 @@
+"""Unit tests for corpus statistics (repro.data.stats)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.corpus import Corpus
+from repro.data.stats import corpus_stats, heaps_beta, term_frequencies, zipf_slope
+from repro.datasets.shopping import build_shopping_corpus
+from repro.datasets.wikipedia import build_wikipedia_corpus
+from repro.errors import DataError
+from repro.text.analyzer import Analyzer
+
+from tests.conftest import make_doc
+
+
+class TestTermFrequencies:
+    def test_counts_summed_across_docs(self):
+        corpus = Corpus(
+            [make_doc("a", {"x": 2, "y": 1}), make_doc("b", {"x": 3})]
+        )
+        freqs = term_frequencies(corpus)
+        assert freqs["x"] == 5
+        assert freqs["y"] == 1
+
+
+class TestZipf:
+    def test_zipfian_counts_give_slope_near_minus_one(self):
+        from collections import Counter
+
+        freqs = Counter(
+            {f"t{r}": max(int(1000 / r), 1) for r in range(1, 101)}
+        )
+        slope = zipf_slope(freqs)
+        assert -1.2 < slope < -0.8
+
+    def test_uniform_counts_give_flat_slope(self):
+        from collections import Counter
+
+        freqs = Counter({f"t{r}": 10 for r in range(50)})
+        assert abs(zipf_slope(freqs)) < 0.05
+
+    def test_too_few_terms(self):
+        from collections import Counter
+
+        with pytest.raises(DataError):
+            zipf_slope(Counter({"a": 3, "b": 2}))
+
+
+class TestHeaps:
+    def test_repetitive_corpus_sublinear(self):
+        docs = [
+            make_doc(f"d{i}", {"common1": 5, "common2": 5, f"rare{i}": 1})
+            for i in range(20)
+        ]
+        beta = heaps_beta(Corpus(docs))
+        assert beta < 0.9
+
+    def test_all_new_vocabulary_near_linear(self):
+        docs = [
+            make_doc(f"d{i}", {f"w{i}a": 1, f"w{i}b": 1}) for i in range(10)
+        ]
+        beta = heaps_beta(Corpus(docs))
+        assert beta > 0.9
+
+    def test_too_few_docs(self):
+        with pytest.raises(DataError):
+            heaps_beta(Corpus([make_doc("a", {"x"}), make_doc("b", {"y"})]))
+
+
+class TestCorpusStats:
+    def test_empty_corpus(self):
+        with pytest.raises(DataError):
+            corpus_stats(Corpus())
+
+    def test_synthetic_wikipedia_is_text_like(self):
+        corpus = build_wikipedia_corpus(
+            seed=0, docs_per_sense=15, analyzer=Analyzer(use_stemming=False)
+        )
+        stats = corpus_stats(corpus)
+        # Skewed term distribution and sub-linear vocabulary growth.
+        assert stats.zipf_slope < -0.3
+        assert stats.heaps_beta < 0.9
+        assert 0.0 < stats.type_token_ratio < 0.5
+
+    def test_synthetic_shopping_is_text_like(self):
+        corpus = build_shopping_corpus(
+            seed=0, analyzer=Analyzer(use_stemming=False)
+        )
+        stats = corpus_stats(corpus)
+        assert stats.zipf_slope < -0.3
+        assert stats.heaps_beta < 0.95
+
+    def test_basic_fields(self):
+        corpus = Corpus(
+            [make_doc("a", {"x": 2, "y": 1}), make_doc("b", {"x": 1}),
+             make_doc("c", {"z": 1, "x": 1, "w": 1, "y": 1})]
+        )
+        # zipf needs >= 5 distinct terms
+        corpus.add(make_doc("d", {"v": 1}))
+        stats = corpus_stats(corpus)
+        assert stats.n_documents == 4
+        assert stats.vocabulary_size == 5
+        assert stats.n_tokens == 9
+        assert stats.mean_doc_length == pytest.approx(9 / 4)

@@ -1,0 +1,54 @@
+"""Tests for the Data Clouds baseline [15]."""
+
+from repro.baselines.dataclouds import DataClouds
+from repro.index.search import SearchEngine
+
+
+class TestDataClouds:
+    def test_returns_requested_number(self, tiny_engine: SearchEngine):
+        results = tiny_engine.search("apple")
+        out = DataClouds(n_queries=2).suggest(tiny_engine, "apple", results)
+        assert len(out.queries) == 2
+        assert out.system == "DataClouds"
+
+    def test_queries_extend_seed(self, tiny_engine):
+        results = tiny_engine.search("apple")
+        out = DataClouds(n_queries=3).suggest(tiny_engine, "apple", results)
+        for q in out.queries:
+            assert q[0] == "apple"
+            assert len(q) == 2
+
+    def test_seed_terms_not_suggested(self, tiny_engine):
+        results = tiny_engine.search("apple fruit")
+        out = DataClouds(n_queries=3).suggest(tiny_engine, "apple fruit", results)
+        for q in out.queries:
+            assert q[-1] not in ("apple", "fruit")
+
+    def test_ranking_bias(self, tiny_engine):
+        """Words from the dominant result group rank first — the paper's
+        core criticism of summarization-based expansion (§1)."""
+        results = tiny_engine.search("apple")
+        out = DataClouds(n_queries=1).suggest(tiny_engine, "apple", results)
+        # Company-sense words appear in 3 of 5 results; fruit words in 2.
+        top_word = out.queries[0][-1]
+        assert top_word in ("company", "store", "iphone")
+
+    def test_no_cluster_fmeasures(self, tiny_engine):
+        results = tiny_engine.search("apple")
+        out = DataClouds().suggest(tiny_engine, "apple", results)
+        assert out.fmeasures == ()
+
+    def test_empty_results(self, tiny_engine):
+        out = DataClouds().suggest(tiny_engine, "apple", [])
+        assert out.queries == ()
+
+    def test_deterministic(self, tiny_engine):
+        results = tiny_engine.search("apple")
+        a = DataClouds(n_queries=3).suggest(tiny_engine, "apple", results)
+        b = DataClouds(n_queries=3).suggest(tiny_engine, "apple", results)
+        assert a.queries == b.queries
+
+    def test_display(self, tiny_engine):
+        results = tiny_engine.search("apple")
+        out = DataClouds(n_queries=1).suggest(tiny_engine, "apple", results)
+        assert out.display()[0].startswith("apple, ")

@@ -1,0 +1,135 @@
+"""Unit tests for the result-differentiation comparator ([18])."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.differentiation import (
+    ResultDifferentiation,
+    shared_feature_types,
+    value_entropy,
+)
+from repro.data.corpus import Corpus
+from repro.data.documents import Feature, make_structured_document
+from repro.errors import ConfigError
+from repro.index.search import SearchEngine
+from repro.text.analyzer import Analyzer
+
+from tests.conftest import make_doc
+
+
+ANALYZER = Analyzer(use_stemming=False)
+
+
+def store(doc_id: str, outwear: str, location: str):
+    return make_structured_document(
+        doc_id,
+        [
+            Feature("store", "outwear", outwear),
+            Feature("store", "location", location),
+        ],
+        analyzer=ANALYZER,
+        title="store",
+    )
+
+
+@pytest.fixture
+def stores():
+    # Both stores sell outwear (differing amounts); same city.
+    return [
+        store("s1", "many", "seattle"),
+        store("s2", "few", "seattle"),
+        store("s3", "many", "seattle"),
+        store("s4", "some", "seattle"),
+    ]
+
+
+@pytest.fixture
+def engine(stores):
+    return SearchEngine(Corpus(stores), ANALYZER)
+
+
+class TestSharedFeatureTypes:
+    def test_all_shared(self, stores):
+        assert shared_feature_types(stores) == [
+            "store:location",
+            "store:outwear",
+        ]
+
+    def test_text_doc_breaks_sharing(self, stores):
+        mixed = stores + [make_doc("t1", {"java", "island"})]
+        assert shared_feature_types(mixed) == []
+
+    def test_partial_overlap(self, stores):
+        extra = make_structured_document(
+            "s9", [Feature("store", "outwear", "none")]
+        )
+        assert shared_feature_types(stores + [extra]) == ["store:outwear"]
+
+    def test_empty_input(self):
+        assert shared_feature_types([]) == []
+
+
+class TestValueEntropy:
+    def test_constant_value_zero_entropy(self, stores):
+        assert value_entropy(stores, "store:location") == 0.0
+
+    def test_diverse_values_positive_entropy(self, stores):
+        assert value_entropy(stores, "store:outwear") > 0.0
+
+    def test_uniform_two_values_one_bit(self):
+        docs = [store("a", "x", "c"), store("b", "y", "c")]
+        assert value_entropy(docs, "store:outwear") == pytest.approx(1.0)
+
+    def test_missing_key(self, stores):
+        assert value_entropy(stores, "store:nope") == 0.0
+
+
+class TestSuggester:
+    def test_picks_differentiating_type(self, stores, engine):
+        diff = ResultDifferentiation()
+        scored = diff.differentiating_types(stores)
+        assert scored and scored[0][0] == "store:outwear"
+        # Constant-valued location is not differentiating at all.
+        assert all(key != "store:location" for key, _ in scored)
+
+    def test_type_keyword_retrieves_everything(self, stores, engine):
+        """The paper's critique: the chosen keyword has no selectivity."""
+        diff = ResultDifferentiation()
+        suggestions = diff.suggest(engine, "store", stores)
+        assert suggestions.queries
+        query = suggestions.queries[0]
+        assert "outwear" in query
+        retrieved = engine.search_terms(list(query))
+        assert len(retrieved) == len(stores)
+
+    def test_inapplicable_on_text_results(self, engine):
+        text = [make_doc("t1", {"java"}), make_doc("t2", {"java"})]
+        suggestions = ResultDifferentiation().suggest(engine, "store", text)
+        assert suggestions.queries == ()
+
+    def test_n_queries_cap(self, stores, engine):
+        docs = [
+            make_structured_document(
+                f"d{i}",
+                [
+                    Feature("x", "a", str(i)),
+                    Feature("x", "b", str(i % 2)),
+                    Feature("x", "c", str(i % 3)),
+                ],
+            )
+            for i in range(6)
+        ]
+        local_engine = SearchEngine(Corpus(docs), Analyzer(use_stemming=False))
+        suggestions = ResultDifferentiation(n_queries=2).suggest(
+            local_engine, "x:a:0", docs
+        )
+        assert len(suggestions.queries) <= 2
+
+    def test_invalid_n_queries(self):
+        with pytest.raises(ConfigError):
+            ResultDifferentiation(n_queries=0)
+
+    def test_system_name(self, stores, engine):
+        suggestions = ResultDifferentiation().suggest(engine, "store", stores)
+        assert suggestions.system == "Differentiation"

@@ -1,0 +1,147 @@
+"""Tests for repro.data.documents."""
+
+import pytest
+
+from repro.data.documents import (
+    Document,
+    Feature,
+    make_structured_document,
+    make_text_document,
+)
+from repro.errors import DataError
+from repro.text.analyzer import Analyzer
+
+
+class TestFeature:
+    def test_as_term_lowercases_and_joins(self):
+        f = Feature("TV", "Brand", "Toshiba")
+        assert f.as_term() == "tv:brand:toshiba"
+
+    def test_as_term_squeezes_spaces(self):
+        f = Feature("networking  products", "category", "routers")
+        assert f.as_term() == "networking products:category:routers"
+
+    def test_roundtrip(self):
+        f = Feature("memory", "category", "ddr3")
+        assert Feature.from_term(f.as_term()) == f
+
+    def test_from_term_rejects_bad_arity(self):
+        with pytest.raises(DataError):
+            Feature.from_term("just:two")
+
+    def test_empty_part_rejected(self):
+        with pytest.raises(DataError):
+            Feature("", "a", "b")
+        with pytest.raises(DataError):
+            Feature("a", "  ", "b")
+
+    def test_ordering(self):
+        a = Feature("a", "b", "c")
+        b = Feature("a", "b", "d")
+        assert a < b
+
+
+class TestDocument:
+    def test_basic_properties(self):
+        d = Document("d1", {"apple": 2, "fruit": 1})
+        assert d.term_set == frozenset({"apple", "fruit"})
+        assert d.length() == 3
+
+    def test_contains_all(self):
+        d = Document("d1", {"apple": 1, "fruit": 1})
+        assert d.contains_all(["apple"])
+        assert d.contains_all(["apple", "fruit"])
+        assert not d.contains_all(["apple", "pie"])
+
+    def test_contains_all_empty_is_true(self):
+        d = Document("d1", {"apple": 1})
+        assert d.contains_all([])
+
+    def test_contains_any(self):
+        d = Document("d1", {"apple": 1})
+        assert d.contains_any(["pie", "apple"])
+        assert not d.contains_any(["pie"])
+        assert not d.contains_any([])
+
+    def test_rejects_empty_id(self):
+        with pytest.raises(DataError):
+            Document("", {"a": 1})
+
+    def test_rejects_empty_terms(self):
+        with pytest.raises(DataError):
+            Document("d", {})
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(DataError):
+            Document("d", {"a": 0})
+        with pytest.raises(DataError):
+            Document("d", {"a": -1})
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(DataError):
+            Document("d", {"a": 1}, kind="video")
+
+    def test_rejects_empty_term(self):
+        with pytest.raises(DataError):
+            Document("d", {"": 1})
+
+
+class TestMakeTextDocument:
+    def test_analyzes_body(self):
+        d = make_text_document("d1", "Apples and Oranges", Analyzer())
+        assert "appl" in d.terms  # stemmed
+        assert "orang" in d.terms
+        assert "and" not in d.terms  # stopword
+
+    def test_title_terms_included(self):
+        d = make_text_document(
+            "d1", "body text", Analyzer(use_stemming=False), title="My Title"
+        )
+        assert "title" in d.terms
+
+    def test_rejects_all_stopwords(self):
+        with pytest.raises(DataError):
+            make_text_document("d1", "the of and", Analyzer())
+
+    def test_kind_is_text(self):
+        d = make_text_document("d1", "hello world")
+        assert d.kind == "text"
+
+
+class TestMakeStructuredDocument:
+    def test_triplet_and_value_terms(self):
+        d = make_structured_document(
+            "p1",
+            [Feature("memory", "category", "ddr3")],
+            Analyzer(use_stemming=False),
+        )
+        assert "memory:category:ddr3" in d.terms
+        assert "ddr3" in d.terms  # value tokens also indexed
+        assert "category" in d.terms  # attribute tokens also indexed
+
+    def test_fields_metadata(self):
+        d = make_structured_document(
+            "p1",
+            [Feature("tv", "brand", "toshiba")],
+            Analyzer(use_stemming=False),
+        )
+        assert d.fields["tv:brand"] == "toshiba"
+
+    def test_title_and_extra_text(self):
+        d = make_structured_document(
+            "p1",
+            [Feature("tv", "brand", "lg")],
+            Analyzer(use_stemming=False),
+            title="LG 42lg70",
+            extra_text="electronics products",
+        )
+        assert "42lg70" in d.terms
+        assert "products" in d.terms
+
+    def test_requires_features(self):
+        with pytest.raises(DataError):
+            make_structured_document("p1", [])
+
+    def test_kind_is_structured(self):
+        d = make_structured_document("p1", [Feature("a", "b", "c")])
+        assert d.kind == "structured"

@@ -1,0 +1,97 @@
+"""Unit tests for the appendable index (repro.index.dynamic)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.corpus import Corpus
+from repro.errors import DataError, IndexingError
+from repro.index.dynamic import DynamicIndex
+from repro.index.inverted_index import InvertedIndex
+
+from tests.conftest import make_doc
+
+
+@pytest.fixture
+def docs():
+    return [
+        make_doc("d1", {"apple": 2, "store": 1}),
+        make_doc("d2", {"apple": 1, "fruit": 1}),
+        make_doc("d3", {"banana": 1, "fruit": 2}),
+    ]
+
+
+class TestIngestion:
+    def test_bulk_equals_static_index(self, docs):
+        dynamic = DynamicIndex(docs)
+        static = InvertedIndex(Corpus(docs))
+        assert dynamic.vocabulary() == static.vocabulary()
+        for term in static.vocabulary():
+            assert [(p.doc, p.tf) for p in dynamic.postings(term)] == [
+                (p.doc, p.tf) for p in static.postings(term)
+            ]
+        for pos in range(static.num_documents):
+            assert dynamic.doc_length(pos) == static.doc_length(pos)
+
+    def test_incremental_append_visible(self, docs):
+        index = DynamicIndex(docs[:2])
+        assert index.and_query(["banana"]) == []
+        index.add(docs[2])
+        assert index.and_query(["banana"]) == [2]
+        assert index.num_documents == 3
+
+    def test_positions_in_append_order(self, docs):
+        index = DynamicIndex()
+        positions = index.add_all(docs)
+        assert positions == [0, 1, 2]
+
+    def test_duplicate_doc_id_rejected(self, docs):
+        index = DynamicIndex(docs)
+        with pytest.raises(DataError):
+            index.add(make_doc("d1", {"x"}))
+
+    def test_generation_counter(self, docs):
+        index = DynamicIndex()
+        g0 = index.generation
+        index.add(docs[0])
+        assert index.generation == g0 + 1
+        index.add_all(docs[1:])
+        assert index.generation == g0 + 3
+
+
+class TestRetrieval:
+    def test_and_or_queries(self, docs):
+        index = DynamicIndex(docs)
+        assert index.and_query(["apple", "fruit"]) == [1]
+        assert index.or_query(["store", "banana"]) == [0, 2]
+
+    def test_empty_queries_rejected(self, docs):
+        index = DynamicIndex(docs)
+        with pytest.raises(IndexingError):
+            index.and_query([])
+        with pytest.raises(IndexingError):
+            index.or_query([])
+
+    def test_unknown_term(self, docs):
+        index = DynamicIndex(docs)
+        assert index.and_query(["zzz"]) == []
+        assert index.document_frequency("zzz") == 0
+        assert "zzz" not in index
+
+    def test_usable_by_scorers(self, docs):
+        from repro.index.bm25 import BM25Scorer
+        from repro.index.scoring import TfIdfScorer
+
+        index = DynamicIndex(docs)
+        for scorer in (TfIdfScorer(index), BM25Scorer(index)):
+            ranked = scorer.rank(index.and_query(["apple"]), ["apple"])
+            assert [pos for pos, _ in ranked] == [0, 1]
+
+    def test_scorer_after_append_sees_new_doc(self, docs):
+        from repro.index.scoring import TfIdfScorer
+
+        index = DynamicIndex(docs)
+        index.add(make_doc("d4", {"apple": 5}))
+        scorer = TfIdfScorer(index)  # fresh snapshot after the append
+        ranked = scorer.rank(index.and_query(["apple"]), ["apple"])
+        assert ranked[0][0] == 3

@@ -1,0 +1,92 @@
+"""Tests for the exhaustive optimal solver, incl. heuristic-vs-optimal gaps."""
+
+import pytest
+
+from repro.core.exact import ExhaustiveOptimalExpansion
+from repro.core.fmeasure import DeltaFMeasureRefinement
+from repro.core.iskr import ISKR
+from repro.core.pebc import PEBC
+from repro.core.universe import ExpansionTask
+from repro.errors import ExpansionError
+from tests.conftest import build_task
+
+
+class TestExhaustive:
+    def test_paper_example_optimum(self, example_31_task):
+        """On Example 3.1, {apple, store, location} (F = 6/11) is optimal:
+        exhaustive search over the 4 candidates must confirm ISKR's output
+        or beat it."""
+        exact = ExhaustiveOptimalExpansion().expand(example_31_task)
+        iskr = ISKR().expand(example_31_task)
+        assert exact.fmeasure >= iskr.fmeasure - 1e-12
+        # With 4 candidates there are 16 subsets.
+        assert exact.iterations == 16
+
+    def test_heuristics_never_beat_optimum(self, example_31_task):
+        exact = ExhaustiveOptimalExpansion().expand(example_31_task)
+        for algo in (ISKR(), PEBC(seed=0), DeltaFMeasureRefinement()):
+            out = algo.expand(example_31_task)
+            assert out.fmeasure <= exact.fmeasure + 1e-9, algo.name
+
+    def test_finds_perfect_separation(self):
+        task = build_task(
+            {"c1": {"cam"}, "c2": {"cam"}},
+            {"u1": {"tv"}},
+            seed_terms=("s",),
+            candidates=("cam", "tv"),
+        )
+        exact = ExhaustiveOptimalExpansion().expand(task)
+        assert exact.fmeasure == pytest.approx(1.0)
+        assert set(exact.terms) == {"s", "cam"}
+
+    def test_empty_subset_considered(self):
+        """When no keyword helps, the optimum is the seed query itself."""
+        task = build_task(
+            {"c1": {"x"}, "c2": {"y"}},
+            {},
+            seed_terms=("s",),
+            candidates=("x", "y"),
+        )
+        exact = ExhaustiveOptimalExpansion().expand(task)
+        assert exact.terms == ("s",)
+        assert exact.fmeasure == pytest.approx(1.0)
+
+    def test_max_added_caps_subset_size(self, example_31_task):
+        capped = ExhaustiveOptimalExpansion(max_added=1).expand(example_31_task)
+        assert len(capped.terms) <= 2  # seed + at most 1
+        full = ExhaustiveOptimalExpansion().expand(example_31_task)
+        assert capped.fmeasure <= full.fmeasure + 1e-12
+
+    def test_too_many_candidates_rejected(self):
+        task = build_task(
+            {"c1": {"x"}},
+            {"u1": {"y"}},
+            seed_terms=("s",),
+            candidates=tuple(f"k{i}" for i in range(25)),
+        )
+        with pytest.raises(ExpansionError):
+            ExhaustiveOptimalExpansion().expand(task)
+
+    def test_or_semantics_rejected(self, example_31_task):
+        or_task = ExpansionTask(
+            universe=example_31_task.universe,
+            cluster_mask=example_31_task.cluster_mask,
+            seed_terms=example_31_task.seed_terms,
+            candidates=example_31_task.candidates,
+            semantics="or",
+        )
+        with pytest.raises(ExpansionError):
+            ExhaustiveOptimalExpansion().expand(or_task)
+
+    def test_invalid_params(self):
+        with pytest.raises(ExpansionError):
+            ExhaustiveOptimalExpansion(max_candidates=0)
+        with pytest.raises(ExpansionError):
+            ExhaustiveOptimalExpansion(max_candidates=99)
+        with pytest.raises(ExpansionError):
+            ExhaustiveOptimalExpansion(max_added=-1)
+
+    def test_deterministic(self, example_31_task):
+        a = ExhaustiveOptimalExpansion().expand(example_31_task)
+        b = ExhaustiveOptimalExpansion().expand(example_31_task)
+        assert a.terms == b.terms

@@ -1,0 +1,150 @@
+"""Tests for the end-to-end expansion pipeline (repro.core.expander)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.agglomerative import AgglomerativeClustering
+from repro.core.config import ExpansionConfig
+from repro.core.expander import ClusterQueryExpander
+from repro.core.iskr import ISKR
+from repro.core.metrics import eq1_score
+from repro.core.pebc import PEBC
+from repro.errors import ExpansionError
+from repro.index.search import SearchEngine
+
+
+@pytest.fixture
+def expander(tiny_engine: SearchEngine) -> ClusterQueryExpander:
+    config = ExpansionConfig(
+        n_clusters=2, top_k_results=None, min_candidates=5, cluster_seed=0
+    )
+    return ClusterQueryExpander(tiny_engine, ISKR(), config)
+
+
+class TestPipelineSteps:
+    def test_retrieve(self, expander):
+        results = expander.retrieve("apple")
+        assert len(results) == 5
+        ids = {r.document.doc_id for r in results}
+        assert ids == {"d1", "d2", "d3", "d4", "d5"}
+
+    def test_cluster_labels_shape(self, expander):
+        results = expander.retrieve("apple")
+        labels = expander.cluster(results)
+        assert labels.shape == (5,)
+        assert len(set(labels.tolist())) <= 2
+
+    def test_cluster_separates_senses(self, expander):
+        """The company docs (d1-d3) and fruit docs (d4, d5) share almost no
+        vocabulary, so k-means with k=2 must split them."""
+        results = expander.retrieve("apple")
+        labels = expander.cluster(results)
+        by_id = {
+            r.document.doc_id: int(l) for r, l in zip(results, labels)
+        }
+        assert by_id["d1"] == by_id["d2"] == by_id["d3"]
+        assert by_id["d4"] == by_id["d5"]
+        assert by_id["d1"] != by_id["d4"]
+
+    def test_universe_weights_follow_ranking(self, expander):
+        results = expander.retrieve("apple")
+        universe = expander.build_universe(results)
+        assert universe.n == 5
+        assert np.all(universe.weights > 0)
+
+    def test_unweighted_config(self, tiny_engine):
+        config = ExpansionConfig(
+            n_clusters=2, top_k_results=None, use_ranking_weights=False
+        )
+        exp = ClusterQueryExpander(tiny_engine, ISKR(), config)
+        universe = exp.build_universe(exp.retrieve("apple"))
+        assert np.all(universe.weights == 1.0)
+
+    def test_tasks_one_per_cluster(self, expander):
+        results = expander.retrieve("apple")
+        labels = expander.cluster(results)
+        universe = expander.build_universe(results)
+        tasks = expander.tasks(universe, labels, ("apple",))
+        assert len(tasks) == len(set(labels.tolist()))
+        total = sum(int(t.cluster_mask.sum()) for t in tasks)
+        assert total == 5
+
+    def test_tasks_ordered_by_cluster_weight(self, expander):
+        results = expander.retrieve("apple")
+        labels = expander.cluster(results)
+        universe = expander.build_universe(results)
+        tasks = expander.tasks(universe, labels, ("apple",))
+        weights = [t.cluster_weight() for t in tasks]
+        assert weights == sorted(weights, reverse=True)
+
+
+class TestExpandEndToEnd:
+    def test_report_structure(self, expander):
+        report = expander.expand("apple")
+        assert report.seed_query == "apple"
+        assert report.seed_terms == ("apple",)
+        assert report.n_results == 5
+        assert 1 <= len(report.expanded) <= 2
+        assert report.score == pytest.approx(
+            eq1_score([eq.fmeasure for eq in report.expanded])
+        )
+
+    def test_expanded_queries_contain_seed(self, expander):
+        report = expander.expand("apple")
+        for eq in report.expanded:
+            assert eq.terms[0] == "apple"
+
+    def test_separable_senses_get_perfect_score(self, expander):
+        """d1-d3 all contain "company", d4-d5 all contain "fruit", and
+        neither word crosses over -> both clusters are perfectly
+        expressible."""
+        report = expander.expand("apple")
+        assert report.score == pytest.approx(1.0)
+        flat = {t for eq in report.expanded for t in eq.terms}
+        assert "company" in flat or "iphone" in flat
+        assert "fruit" in flat
+
+    def test_no_results_raises(self, expander):
+        with pytest.raises(ExpansionError):
+            expander.expand("nonexistentterm")
+
+    def test_max_expanded_queries_cap(self, tiny_engine):
+        config = ExpansionConfig(
+            n_clusters=5, top_k_results=None, max_expanded_queries=2,
+            min_candidates=5,
+        )
+        exp = ClusterQueryExpander(tiny_engine, ISKR(), config)
+        report = exp.expand("apple")
+        assert len(report.expanded) <= 2
+
+    def test_works_with_pebc(self, tiny_engine):
+        config = ExpansionConfig(n_clusters=2, top_k_results=None, min_candidates=5)
+        exp = ClusterQueryExpander(tiny_engine, PEBC(seed=0), config)
+        report = exp.expand("apple")
+        assert report.score > 0.5
+
+    def test_custom_clusterer(self, tiny_engine):
+        config = ExpansionConfig(n_clusters=2, top_k_results=None, min_candidates=5)
+        exp = ClusterQueryExpander(
+            tiny_engine, ISKR(), config,
+            clusterer=AgglomerativeClustering(n_clusters=2),
+        )
+        report = exp.expand("apple")
+        assert report.n_clusters == 2
+        assert report.score == pytest.approx(1.0)
+
+    def test_top_k_limits_universe(self, tiny_engine):
+        config = ExpansionConfig(n_clusters=2, top_k_results=3, min_candidates=5)
+        exp = ClusterQueryExpander(tiny_engine, ISKR(), config)
+        report = exp.expand("apple")
+        assert report.n_results == 3
+
+    def test_timings_recorded(self, expander):
+        report = expander.expand("apple")
+        assert report.clustering_seconds >= 0.0
+        assert report.expansion_seconds >= 0.0
+
+    def test_display_queries(self, expander):
+        report = expander.expand("apple")
+        for text in report.queries():
+            assert text.startswith("apple")

@@ -1,0 +1,106 @@
+"""Tests for the experiment runner (repro.eval.experiment)."""
+
+import pytest
+
+from repro.datasets.queries import query_by_id
+from repro.errors import ConfigError
+from repro.eval.experiment import ALL_SYSTEMS, CLUSTER_SYSTEMS, ExperimentSuite
+
+
+@pytest.fixture(scope="module")
+def suite() -> ExperimentSuite:
+    # Small corpora keep the module fast while exercising every code path.
+    return ExperimentSuite(seed=0, shopping_scale=0.4, wiki_docs_per_sense=12)
+
+
+@pytest.fixture(scope="module")
+def qw6_result(suite):
+    return suite.run_query(query_by_id("QW6"))
+
+
+@pytest.fixture(scope="module")
+def qs1_result(suite):
+    return suite.run_query(query_by_id("QS1"))
+
+
+class TestRunQuery:
+    def test_all_systems_present(self, qw6_result):
+        assert set(qw6_result.runs) == set(ALL_SYSTEMS)
+
+    def test_cluster_systems_have_scores(self, qw6_result):
+        for system in CLUSTER_SYSTEMS:
+            run = qw6_result.runs[system]
+            assert run.score is not None
+            assert 0.0 <= run.score <= 1.0
+            assert len(run.fmeasures) == len(run.queries)
+
+    def test_cluster_agnostic_systems_have_no_score(self, qw6_result):
+        """§5.2.2: Eq. 1 is inapplicable to Data Clouds and Google."""
+        for system in ("DataClouds", "QueryLog"):
+            run = qw6_result.runs[system]
+            assert run.score is None
+            assert run.fmeasures == ()
+
+    def test_wikipedia_uses_top30(self, qw6_result):
+        assert qw6_result.n_results == 30
+
+    def test_shopping_uses_all_results(self, qs1_result, suite):
+        engine = suite.engine("shopping")
+        assert qs1_result.n_results == len(engine.search("canon products"))
+
+    def test_times_nonnegative(self, qw6_result):
+        assert qw6_result.clustering_seconds >= 0.0
+        for run in qw6_result.runs.values():
+            assert run.seconds >= 0.0
+
+    def test_signals_in_range(self, qw6_result):
+        for run in qw6_result.runs.values():
+            assert 0.0 <= run.coverage <= 1.0
+            assert 0.0 <= run.diversity <= 1.0 + 1e-9
+            assert all(0.0 <= f <= 1.0 for f in run.best_f_per_query)
+            assert len(run.popularity) == len(run.queries)
+
+    def test_querylog_popularity_positive(self, qw6_result):
+        run = qw6_result.runs["QueryLog"]
+        assert run.queries, "log must suggest something for java"
+        assert any(p > 0 for p in run.popularity)
+
+    def test_subset_of_systems(self, suite):
+        result = suite.run_query(query_by_id("QW8"), systems=("ISKR", "CS"))
+        assert set(result.runs) == {"ISKR", "CS"}
+
+    def test_unknown_system_rejected(self, suite):
+        with pytest.raises(ConfigError):
+            suite.run_query(query_by_id("QW6"), systems=("ISKR", "Bing"))
+
+    def test_unknown_dataset_rejected(self, suite):
+        with pytest.raises(ConfigError):
+            suite.engine("newsgroups")
+
+
+class TestPaperShape:
+    def test_iskr_beats_cs_on_wikipedia(self, qw6_result):
+        """The paper's headline comparison (Fig. 5b): ISKR > CS on noisy
+        document-centric data."""
+        assert qw6_result.runs["ISKR"].score >= qw6_result.runs["CS"].score
+
+    def test_shopping_scores_high(self, qs1_result):
+        """Fig. 5a: near-separable product categories give ISKR near-perfect
+        scores on QS1."""
+        assert qs1_result.runs["ISKR"].score >= 0.9
+
+    def test_fmeasure_quality_at_least_iskr_minus_epsilon(self, qw6_result):
+        """§5.2.2: delta-F quality is the same or slightly better; allow
+        small heuristic slack in either direction."""
+        assert (
+            qw6_result.runs["F-measure"].score
+            >= qw6_result.runs["ISKR"].score - 0.15
+        )
+
+    def test_run_all_on_two_queries(self, suite):
+        experiments = suite.run_all(
+            systems=("ISKR", "CS"),
+            queries=(query_by_id("QW1"), query_by_id("QS4")),
+        )
+        assert len(experiments) == 2
+        assert {e.query.qid for e in experiments} == {"QW1", "QS4"}

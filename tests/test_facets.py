@@ -1,0 +1,197 @@
+"""Unit tests for the faceted search comparator (repro.facets)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.universe import ResultUniverse
+from repro.data.documents import Feature, make_structured_document
+from repro.errors import ConfigError
+from repro.facets.comparator import FacetedSearchComparator
+from repro.facets.extraction import extract_facets
+from repro.facets.navigation import expected_navigation_cost, rank_facets
+
+from tests.conftest import make_doc
+
+
+def product(doc_id: str, category: str, brand: str) -> object:
+    return make_structured_document(
+        doc_id,
+        [
+            Feature("product", "category", category),
+            Feature("product", "brand", brand),
+        ],
+        title=f"{brand} {category}",
+    )
+
+
+@pytest.fixture
+def products():
+    return [
+        product("p1", "camera", "canon"),
+        product("p2", "camera", "canon"),
+        product("p3", "printer", "canon"),
+        product("p4", "printer", "hp"),
+        product("p5", "camcorder", "canon"),
+        product("p6", "camcorder", "sony"),
+    ]
+
+
+@pytest.fixture
+def text_docs():
+    return [
+        make_doc("t1", {"java", "island", "indonesia"}),
+        make_doc("t2", {"java", "language", "compiler"}),
+    ]
+
+
+class TestExtraction:
+    def test_finds_both_attributes(self, products):
+        facets = extract_facets(products)
+        keys = {f.key for f in facets}
+        assert keys == {"product:category", "product:brand"}
+
+    def test_values_sorted_by_count(self, products):
+        facets = extract_facets(products)
+        brand = next(f for f in facets if f.key == "product:brand")
+        assert brand.values[0].value == "canon"
+        assert brand.values[0].count == 4
+
+    def test_coverage_full_for_shared_attribute(self, products):
+        facets = extract_facets(products)
+        assert all(f.coverage == 1.0 for f in facets)
+
+    def test_text_documents_have_no_facets(self, text_docs):
+        assert extract_facets(text_docs) == []
+
+    def test_empty_input(self):
+        assert extract_facets([]) == []
+
+    def test_min_coverage_filters(self, products, text_docs):
+        mixed = products + text_docs * 3  # dilute structured coverage
+        assert extract_facets(mixed, min_coverage=0.9) == []
+
+    def test_constant_attribute_rejected(self):
+        docs = [product(f"p{i}", "camera", "canon") for i in range(4)]
+        facets = extract_facets(docs)
+        assert facets == []  # single value on both attributes
+
+    def test_max_values_rejects_serial_numbers(self):
+        docs = [product(f"p{i}", "camera", f"brand{i}") for i in range(20)]
+        facets = extract_facets(docs, max_values=10)
+        assert all(f.key != "product:brand" for f in facets)
+
+    def test_invalid_params(self, products):
+        with pytest.raises(ConfigError):
+            extract_facets(products, min_coverage=0.0)
+        with pytest.raises(ConfigError):
+            extract_facets(products, min_values=1)
+        with pytest.raises(ConfigError):
+            extract_facets(products, max_values=1)
+
+    def test_positions_recorded(self, products):
+        facets = extract_facets(products)
+        category = next(f for f in facets if f.key == "product:category")
+        assert category.positions_for("camera") == frozenset({0, 1})
+        assert category.positions_for("missing") == frozenset()
+
+
+class TestNavigationCost:
+    def test_even_partition_beats_skewed(self, products):
+        facets = extract_facets(products)
+        category = next(f for f in facets if f.key == "product:category")
+        brand = next(f for f in facets if f.key == "product:brand")
+        # category splits 2/2/2, brand splits 4/1/1 -> category is cheaper.
+        c_cost = expected_navigation_cost(category, len(products))
+        b_cost = expected_navigation_cost(brand, len(products))
+        assert c_cost < b_cost
+
+    def test_rank_facets_orders_by_cost(self, products):
+        facets = extract_facets(products)
+        ranked = rank_facets(facets, len(products))
+        costs = [cost for _, cost in ranked]
+        assert costs == sorted(costs)
+        assert ranked[0][0].key == "product:category"
+
+    def test_invalid_params(self, products):
+        facet = extract_facets(products)[0]
+        with pytest.raises(ConfigError):
+            expected_navigation_cost(facet, 0)
+        with pytest.raises(ConfigError):
+            expected_navigation_cost(facet, 5, read_cost=0.0)
+
+    def test_uncovered_results_charged(self, products, text_docs):
+        # A facet covering only the structured half leaves the text results
+        # at full-list cost.
+        mixed = products + text_docs
+        facets = extract_facets(mixed, min_coverage=0.5)
+        category = next(f for f in facets if f.key == "product:category")
+        cost = expected_navigation_cost(category, len(mixed))
+        full_cover = expected_navigation_cost(category, len(products))
+        assert cost > full_cover
+
+
+class TestComparator:
+    def _clusters_by_category(self, products):
+        universe = ResultUniverse(products)
+        categories = [p.fields["product:category"] for p in products]
+        masks = []
+        for cat in sorted(set(categories)):
+            masks.append(np.array([c == cat for c in categories]))
+        return universe, masks
+
+    def test_structured_results_get_suggestions(self, products):
+        universe, masks = self._clusters_by_category(products)
+        out = FacetedSearchComparator().suggest(("canon",), universe, masks)
+        assert not out.is_empty
+        assert out.facet_key == "product:category"
+
+    def test_category_facet_classifies_perfectly(self, products):
+        universe, masks = self._clusters_by_category(products)
+        out = FacetedSearchComparator().suggest((), universe, masks)
+        # Clusters are exactly the category partition: perfect Eq. 1.
+        assert out.score == pytest.approx(1.0)
+        assert out.coverage == pytest.approx(1.0)
+
+    def test_text_results_get_nothing(self, text_docs):
+        universe = ResultUniverse(text_docs)
+        masks = [np.array([True, False]), np.array([False, True])]
+        out = FacetedSearchComparator().suggest(("java",), universe, masks)
+        assert out.is_empty
+        assert out.facet_key is None
+        assert out.score is None
+
+    def test_max_queries_cap(self, products):
+        universe, masks = self._clusters_by_category(products)
+        out = FacetedSearchComparator(max_queries=2).suggest(
+            (), universe, masks
+        )
+        assert len(out.queries) == 2
+
+    def test_queries_contain_triplet_terms(self, products):
+        universe, masks = self._clusters_by_category(products)
+        out = FacetedSearchComparator().suggest(("canon",), universe, masks)
+        for q in out.queries:
+            assert q[0] == "canon"
+            assert q[-1].startswith("product:category:")
+
+    def test_invalid_max_queries(self):
+        with pytest.raises(ConfigError):
+            FacetedSearchComparator(max_queries=0)
+
+    def test_disjoint_schemas_collapse_score(self, products, text_docs):
+        # Ambiguous query: half the results are products, half text docs
+        # (different "sense" with no shared facets). The product facet
+        # cannot match the text cluster, so Eq. 1 collapses to 0.
+        mixed = products + text_docs
+        universe = ResultUniverse(mixed)
+        masks = [
+            np.array([True] * 6 + [False] * 2),
+            np.array([False] * 6 + [True] * 2),
+        ]
+        out = FacetedSearchComparator(min_coverage=0.5).suggest(
+            (), universe, masks
+        )
+        assert not out.is_empty
+        assert out.score == pytest.approx(0.0)

@@ -1,0 +1,133 @@
+"""Failure-injection tests: malformed inputs fail loudly and precisely."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ExpansionConfig
+from repro.core.expander import ClusterQueryExpander
+from repro.core.iskr import ISKR
+from repro.data.io import load_corpus_jsonl
+from repro.errors import DataError, ExpansionError, QueryError
+from repro.index.search import SearchEngine
+from tests.conftest import make_doc
+
+
+class TestCorruptPersistence:
+    def test_truncated_json_line(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        path.write_text('{"doc_id": "a", "terms": {"x": 1}}\n{"doc_id": "b"')
+        with pytest.raises(DataError):
+            load_corpus_jsonl(path)
+
+    def test_wrong_types_in_record(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        path.write_text('{"doc_id": "a", "terms": {"x": "many"}}\n')
+        with pytest.raises((DataError, ValueError)):
+            load_corpus_jsonl(path)
+
+    def test_negative_count_in_record(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        path.write_text('{"doc_id": "a", "terms": {"x": -3}}\n')
+        with pytest.raises(DataError):
+            load_corpus_jsonl(path)
+
+    def test_duplicate_doc_ids_in_file(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        line = '{"doc_id": "a", "terms": {"x": 1}}\n'
+        path.write_text(line + line)
+        with pytest.raises(DataError):
+            load_corpus_jsonl(path)
+
+    def test_missing_terms_field(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        path.write_text('{"doc_id": "a"}\n')
+        with pytest.raises(DataError):
+            load_corpus_jsonl(path)
+
+
+class TestHostileQueries:
+    def test_stopword_only_query(self, tiny_engine):
+        with pytest.raises(QueryError):
+            tiny_engine.search("the and of")
+
+    def test_punctuation_only_query(self, tiny_engine):
+        with pytest.raises(QueryError):
+            tiny_engine.search("!!! ???")
+
+    def test_very_long_query_ok(self, tiny_engine):
+        terms = " ".join(["apple"] * 500)
+        results = tiny_engine.search(terms)
+        assert len(results) == 5  # deduplicated to one term
+
+    def test_unknown_terms_yield_empty(self, tiny_engine):
+        assert tiny_engine.search("zzzzz qqqqq") == []
+
+
+class TestBrokenClusterer:
+    def _expander(self, tiny_engine, clusterer):
+        config = ExpansionConfig(
+            n_clusters=2, top_k_results=None, min_candidates=5
+        )
+        return ClusterQueryExpander(
+            tiny_engine, ISKR(), config, clusterer=clusterer
+        )
+
+    def test_wrong_label_count_rejected(self, tiny_engine):
+        class Bad:
+            def fit_predict(self, matrix):
+                return np.zeros(matrix.shape[0] + 3, dtype=np.int64)
+
+        with pytest.raises(ExpansionError):
+            self._expander(tiny_engine, Bad()).expand("apple")
+
+    def test_single_cluster_labels_ok(self, tiny_engine):
+        """A degenerate (but shape-valid) clustering still expands: one
+        cluster equal to the universe gets the seed query back."""
+
+        class OneCluster:
+            def fit_predict(self, matrix):
+                return np.zeros(matrix.shape[0], dtype=np.int64)
+
+        report = self._expander(tiny_engine, OneCluster()).expand("apple")
+        assert len(report.expanded) == 1
+        assert report.expanded[0].fmeasure == pytest.approx(1.0)
+
+
+class TestDegenerateUniverses:
+    def test_single_result_universe(self):
+        from repro.core.universe import ExpansionTask, ResultUniverse
+
+        uni = ResultUniverse([make_doc("only", {"seed", "x"})])
+        task = ExpansionTask(
+            universe=uni,
+            cluster_mask=np.array([True]),
+            seed_terms=("seed",),
+            candidates=(),
+        )
+        out = ISKR().expand(task)
+        assert out.fmeasure == pytest.approx(1.0)
+
+    def test_every_doc_identical(self):
+        from repro.core.universe import ExpansionTask, ResultUniverse
+
+        docs = [make_doc(f"d{i}", {"seed", "same"}) for i in range(4)]
+        uni = ResultUniverse(docs)
+        task = ExpansionTask(
+            universe=uni,
+            cluster_mask=np.array([True, True, False, False]),
+            seed_terms=("seed",),
+            candidates=("same",),
+        )
+        # "same" occurs everywhere: it cannot separate; ISKR returns seed.
+        out = ISKR().expand(task)
+        assert out.terms == ("seed",)
+        assert out.recall == pytest.approx(1.0)
+        assert out.precision == pytest.approx(0.5)
+
+
+class TestEngineCorpusMismatch:
+    def test_search_engine_empty_corpus(self):
+        from repro.data.corpus import Corpus
+
+        engine = SearchEngine(Corpus())
+        assert engine.search("anything") == []

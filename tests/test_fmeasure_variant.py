@@ -1,0 +1,91 @@
+"""Tests for the delta-F-measure refinement variant (§5 comparison system)."""
+
+import pytest
+
+from repro.core.fmeasure import DeltaFMeasureRefinement
+from repro.core.iskr import ISKR
+from repro.core.universe import ExpansionTask
+from repro.errors import ExpansionError
+from tests.conftest import build_task
+
+
+class TestDeltaFMeasure:
+    def test_paper_example_quality_at_least_iskr(self, example_31_task):
+        """§5.2.2: the F-measure approach generally has the same or slightly
+        better quality than ISKR."""
+        f_out = DeltaFMeasureRefinement().expand(example_31_task)
+        iskr_out = ISKR().expand(example_31_task)
+        assert f_out.fmeasure >= iskr_out.fmeasure - 1e-12
+
+    def test_monotone_improvement(self, example_31_task):
+        """Each applied step strictly improves F, so the final F is at least
+        the seed query's F."""
+        task = example_31_task
+        outcome = DeltaFMeasureRefinement().expand(task)
+        seed_mask = task.universe.results_mask(task.seed_terms)
+        from repro.core.metrics import precision_recall_f
+
+        _, _, seed_f = precision_recall_f(
+            task.universe, seed_mask, task.cluster_mask
+        )
+        assert outcome.fmeasure >= seed_f
+
+    def test_updates_all_keywords_every_iteration(self, example_31_task):
+        """The variant's inefficiency (§5.3): value updates ~= candidates ×
+        iterations, always more than ISKR's affected-only updates on the
+        same task."""
+        f_out = DeltaFMeasureRefinement().expand(example_31_task)
+        iskr_out = ISKR().expand(example_31_task)
+        assert f_out.value_updates >= iskr_out.iterations
+        # 4 candidates, >= 1 iteration -> at least 4 updates + final round.
+        assert f_out.value_updates >= 4
+
+    def test_no_candidates(self):
+        task = build_task(
+            {"c": {"x"}}, {"u": {"y"}}, seed_terms=("s",), candidates=()
+        )
+        outcome = DeltaFMeasureRefinement().expand(task)
+        assert outcome.terms == ("s",)
+
+    def test_perfect_separation(self):
+        task = build_task(
+            {"c1": {"cam"}, "c2": {"cam"}},
+            {"u1": {"tv"}},
+            seed_terms=("s",),
+            candidates=("cam", "tv"),
+        )
+        outcome = DeltaFMeasureRefinement().expand(task)
+        assert outcome.fmeasure == pytest.approx(1.0)
+        assert "cam" in outcome.terms
+
+    def test_never_decreases_below_seed_on_noise(self):
+        """Even with useless candidates, F never drops below the seed's F."""
+        task = build_task(
+            {"c1": {"x"}, "c2": {"y"}},
+            {"u1": {"x", "y"}},
+            seed_terms=("s",),
+            candidates=("x", "y"),
+        )
+        outcome = DeltaFMeasureRefinement().expand(task)
+        # Seed F: R = everything, P = 2/3, R = 1 -> F = 0.8.
+        assert outcome.fmeasure >= 0.8 - 1e-12
+
+    def test_rejects_or_semantics(self, example_31_task):
+        task = ExpansionTask(
+            universe=example_31_task.universe,
+            cluster_mask=example_31_task.cluster_mask,
+            seed_terms=example_31_task.seed_terms,
+            candidates=example_31_task.candidates,
+            semantics="or",
+        )
+        with pytest.raises(ExpansionError):
+            DeltaFMeasureRefinement().expand(task)
+
+    def test_invalid_max_iterations(self):
+        with pytest.raises(ExpansionError):
+            DeltaFMeasureRefinement(max_iterations=0)
+
+    def test_deterministic(self, example_31_task):
+        a = DeltaFMeasureRefinement().expand(example_31_task)
+        b = DeltaFMeasureRefinement().expand(example_31_task)
+        assert a.terms == b.terms

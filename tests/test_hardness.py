@@ -1,0 +1,98 @@
+"""Tests for the adversarial QEC instances (repro.core.hardness)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exact import ExhaustiveOptimalExpansion
+from repro.core.fmeasure import DeltaFMeasureRefinement
+from repro.core.hardness import (
+    greedy_trap_task,
+    hardness_suite,
+    random_setcover_task,
+)
+from repro.core.iskr import ISKR
+from repro.errors import ExpansionError
+
+
+class TestGreedyTrap:
+    @pytest.fixture(scope="class")
+    def task(self):
+        return greedy_trap_task()
+
+    def test_optimum_is_the_pair(self, task):
+        outcome = ExhaustiveOptimalExpansion().expand(task)
+        assert set(outcome.terms) == {"q0", "left", "right"}
+        assert outcome.fmeasure == pytest.approx(2 / 3)
+
+    def test_iskr_falls_into_the_trap(self, task):
+        outcome = ISKR().expand(task)
+        assert "trap" in outcome.terms
+        assert outcome.fmeasure == pytest.approx(0.5)
+
+    def test_delta_f_variant_stops_short(self, task):
+        # Delta-F refuses every single keyword (each lowers F), so it keeps
+        # the seed query — better than the ratio greedy, below the optimum.
+        outcome = DeltaFMeasureRefinement().expand(task)
+        assert outcome.fmeasure == pytest.approx(0.6)
+
+    def test_gap_ordering(self, task):
+        exact = ExhaustiveOptimalExpansion().expand(task).fmeasure
+        delta_f = DeltaFMeasureRefinement().expand(task).fmeasure
+        iskr = ISKR().expand(task).fmeasure
+        assert exact > delta_f > iskr
+
+
+class TestRandomInstances:
+    def test_shapes(self):
+        task = random_setcover_task(n_cluster=5, n_other=7, n_keywords=6, seed=3)
+        assert task.universe.n == 12
+        assert int(task.cluster_mask.sum()) == 5
+        assert len(task.candidates) == 6
+
+    def test_deterministic(self):
+        a = random_setcover_task(seed=5)
+        b = random_setcover_task(seed=5)
+        assert a.candidates == b.candidates
+        for kw in a.candidates:
+            assert (a.universe.has_mask(kw) == b.universe.has_mask(kw)).all()
+
+    def test_exact_never_below_heuristics(self):
+        for seed in range(5):
+            task = random_setcover_task(seed=seed)
+            exact = ExhaustiveOptimalExpansion().expand(task).fmeasure
+            iskr = ISKR().expand(task).fmeasure
+            assert exact >= iskr - 1e-9
+
+    def test_some_instance_shows_a_gap(self):
+        gaps = []
+        for seed in range(8):
+            task = random_setcover_task(seed=seed)
+            exact = ExhaustiveOptimalExpansion().expand(task).fmeasure
+            iskr = ISKR().expand(task).fmeasure
+            gaps.append(exact - iskr)
+        assert max(gaps) > 0.01
+
+    def test_validation(self):
+        with pytest.raises(ExpansionError):
+            random_setcover_task(n_cluster=0)
+        with pytest.raises(ExpansionError):
+            random_setcover_task(n_keywords=17)
+        with pytest.raises(ExpansionError):
+            random_setcover_task(density=1.0)
+
+
+class TestSuite:
+    def test_size_and_first_element(self):
+        tasks = hardness_suite(count=4, seed=0)
+        assert len(tasks) == 4
+        assert "trap" in tasks[0].candidates
+
+    def test_invalid_count(self):
+        with pytest.raises(ExpansionError):
+            hardness_suite(count=0)
+
+    def test_all_tasks_solvable_exactly(self):
+        for task in hardness_suite(count=3, seed=1):
+            outcome = ExhaustiveOptimalExpansion().expand(task)
+            assert 0.0 <= outcome.fmeasure <= 1.0

@@ -1,0 +1,103 @@
+"""End-to-end integration tests across all subsystems."""
+
+import pytest
+
+from repro import (
+    Analyzer,
+    ClusterQueryExpander,
+    DataClouds,
+    ExpansionConfig,
+    ISKR,
+    PEBC,
+    SearchEngine,
+    build_shopping_corpus,
+    build_wikipedia_corpus,
+)
+from repro.data.io import load_corpus_jsonl, save_corpus_jsonl
+from repro.datasets.queries import query_by_id
+from repro.eval.experiment import ExperimentSuite
+from repro.eval.user_study import UserStudySimulator
+
+
+@pytest.fixture(scope="module")
+def analyzer():
+    return Analyzer(use_stemming=False)
+
+
+class TestWikipediaEndToEnd:
+    def test_ambiguous_query_classified(self, analyzer):
+        corpus = build_wikipedia_corpus(
+            seed=0, docs_per_sense=15, terms=["rockets"], analyzer=analyzer
+        )
+        engine = SearchEngine(corpus, analyzer)
+        config = ExpansionConfig(n_clusters=3, top_k_results=30, min_candidates=20)
+        report = ClusterQueryExpander(engine, ISKR(), config).expand("rockets")
+        assert report.n_results == 30
+        assert len(report.expanded) >= 2
+        assert report.score > 0.3
+        # The expanded queries must be distinct.
+        assert len({eq.terms for eq in report.expanded}) == len(report.expanded)
+
+    def test_iskr_and_pebc_agree_roughly(self, analyzer):
+        corpus = build_wikipedia_corpus(
+            seed=0, docs_per_sense=15, terms=["java"], analyzer=analyzer
+        )
+        engine = SearchEngine(corpus, analyzer)
+        config = ExpansionConfig(n_clusters=3, top_k_results=30, min_candidates=20)
+        iskr = ClusterQueryExpander(engine, ISKR(), config).expand("java")
+        pebc = ClusterQueryExpander(engine, PEBC(seed=0), config).expand("java")
+        assert abs(iskr.score - pebc.score) < 0.5
+
+
+class TestShoppingEndToEnd:
+    def test_feature_queries_generated(self, analyzer):
+        corpus = build_shopping_corpus(seed=0, scale=0.5, analyzer=analyzer)
+        engine = SearchEngine(corpus, analyzer)
+        config = ExpansionConfig(n_clusters=3, top_k_results=None)
+        report = ClusterQueryExpander(engine, ISKR(), config).expand(
+            "canon products"
+        )
+        assert report.score > 0.8
+        flat = " ".join(t for eq in report.expanded for t in eq.terms)
+        # Structured vocabulary (plain or triplet form) must surface.
+        assert any(w in flat for w in ("camera", "printer", "camcorder"))
+
+    def test_corpus_roundtrip_preserves_search(self, analyzer, tmp_path):
+        corpus = build_shopping_corpus(seed=0, scale=0.3, analyzer=analyzer)
+        save_corpus_jsonl(corpus, tmp_path / "shop.jsonl")
+        reloaded = load_corpus_jsonl(tmp_path / "shop.jsonl")
+        e1 = SearchEngine(corpus, analyzer)
+        e2 = SearchEngine(reloaded, analyzer)
+        r1 = [r.document.doc_id for r in e1.search("memory 8gb")]
+        r2 = [r.document.doc_id for r in e2.search("memory 8gb")]
+        assert r1 == r2
+
+
+class TestOrSemanticsPipeline:
+    def test_or_mode_runs(self, analyzer):
+        corpus = build_wikipedia_corpus(
+            seed=0, docs_per_sense=10, terms=["mouse"], analyzer=analyzer
+        )
+        engine = SearchEngine(corpus, analyzer)
+        config = ExpansionConfig(
+            n_clusters=3, top_k_results=30, semantics="or", min_candidates=20
+        )
+        report = ClusterQueryExpander(engine, ISKR(), config).expand("mouse")
+        assert report.score > 0.0
+
+
+class TestSuitePlusStudy:
+    def test_mini_study(self):
+        suite = ExperimentSuite(seed=0, shopping_scale=0.3, wiki_docs_per_sense=10)
+        experiments = [suite.run_query(query_by_id("QW6"))]
+        study = UserStudySimulator(n_users=5, seed=1).evaluate(experiments)
+        assert set(study.individual_scores) == set(experiments[0].runs)
+
+
+class TestBaselineInterop:
+    def test_dataclouds_on_generated_corpus(self, analyzer):
+        corpus = build_shopping_corpus(seed=0, scale=0.3, analyzer=analyzer)
+        engine = SearchEngine(corpus, analyzer)
+        results = engine.search("printer")
+        out = DataClouds(n_queries=3).suggest(engine, "printer", results)
+        assert len(out.queries) == 3

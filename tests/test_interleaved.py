@@ -1,0 +1,186 @@
+"""Unit and integration tests for interleaved clustering+expansion (§7)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import ExpansionConfig
+from repro.core.interleaved import InterleavedExpander, InterleavedReport
+from repro.core.iskr import ISKR
+from repro.datasets.wikipedia import build_wikipedia_corpus
+from repro.errors import ExpansionError
+from repro.index.search import SearchEngine
+from repro.text.analyzer import Analyzer
+
+
+@pytest.fixture(scope="module")
+def wiki_engine():
+    analyzer = Analyzer(use_stemming=False)
+    corpus = build_wikipedia_corpus(seed=0, docs_per_sense=12, analyzer=analyzer)
+    return SearchEngine(corpus, analyzer)
+
+
+def make_expander(engine, **kwargs):
+    config = ExpansionConfig(n_clusters=3, top_k_results=30, cluster_seed=0)
+    return InterleavedExpander(engine, ISKR(), config, **kwargs)
+
+
+class TestConstruction:
+    def test_invalid_max_rounds(self, tiny_engine):
+        with pytest.raises(ExpansionError):
+            make_expander(tiny_engine, max_rounds=0)
+
+    def test_no_results_raises(self, wiki_engine):
+        expander = make_expander(wiki_engine)
+        with pytest.raises(ExpansionError):
+            expander.expand("zzzmissingterm")
+
+
+class TestSingleRound:
+    def test_one_round_equals_plain_pipeline(self, wiki_engine):
+        """max_rounds=1 reproduces the single-pass score exactly."""
+        from repro.core.expander import ClusterQueryExpander
+
+        config = ExpansionConfig(n_clusters=3, top_k_results=30, cluster_seed=0)
+        plain = ClusterQueryExpander(wiki_engine, ISKR(), config).expand("java")
+        inter = InterleavedExpander(
+            wiki_engine, ISKR(), config, max_rounds=1
+        ).expand("java")
+        assert len(inter.rounds) == 1
+        assert inter.final_score == pytest.approx(plain.score)
+        assert inter.initial_score == pytest.approx(plain.score)
+
+
+class TestInterleaving:
+    @pytest.fixture(scope="class")
+    def report(self, wiki_engine):
+        return make_expander(wiki_engine, max_rounds=4).expand("java")
+
+    def test_report_shape(self, report):
+        assert isinstance(report, InterleavedReport)
+        assert 1 <= len(report.rounds) <= 4
+        assert 0 <= report.best_round < len(report.rounds)
+        assert report.seed_terms == ("java",)
+
+    def test_never_worse_than_single_pass(self, report):
+        assert report.final_score >= report.initial_score - 1e-12
+        assert report.improvement >= -1e-12
+
+    def test_round_bookkeeping(self, report):
+        for i, rnd in enumerate(report.rounds):
+            assert rnd.round_index == i
+            assert len(rnd.queries) == len(rnd.fmeasures)
+            assert all(0.0 <= f <= 1.0 for f in rnd.fmeasures)
+            assert 0.0 <= rnd.score <= 1.0
+
+    def test_converged_last_round_fixed_point(self, report):
+        if report.converged and report.rounds[-1].n_moved == 0:
+            # A fixed point: the last round moved nothing.
+            assert report.rounds[-1].n_moved == 0
+
+    def test_queries_start_with_seed(self, report):
+        for q in report.queries():
+            assert q.startswith("java")
+
+    def test_deterministic(self, wiki_engine, report):
+        again = make_expander(wiki_engine, max_rounds=4).expand("java")
+        assert again.final_score == pytest.approx(report.final_score)
+        assert [r.labels for r in again.rounds] == [
+            r.labels for r in report.rounds
+        ]
+
+
+class TestReassignment:
+    def test_reassign_moves_misplaced_result(self):
+        """A result retrieved only by another cluster's query moves there."""
+        from repro.core.universe import ExpansionOutcome, ExpansionTask, ResultUniverse
+
+        from tests.conftest import make_doc
+
+        docs = [
+            make_doc("a1", {"q", "alpha"}),
+            make_doc("a2", {"q", "alpha"}),
+            make_doc("b1", {"q", "beta"}),
+            make_doc("b2", {"q", "beta"}),  # misplaced into cluster 0
+        ]
+        universe = ResultUniverse(docs)
+        labels = np.array([0, 0, 1, 0])
+        tasks = [
+            ExpansionTask(
+                universe=universe,
+                cluster_mask=labels == cid,
+                seed_terms=("q",),
+                candidates=("alpha", "beta"),
+                cluster_id=cid,
+            )
+            for cid in (0, 1)
+        ]
+        outcomes = [
+            ExpansionOutcome(terms=("q", "alpha"), fmeasure=0.8, precision=1, recall=1),
+            ExpansionOutcome(terms=("q", "beta"), fmeasure=0.9, precision=1, recall=1),
+        ]
+        new_labels, moved = InterleavedExpander._reassign(
+            universe, labels, tasks, outcomes
+        )
+        assert moved == 1
+        assert new_labels.tolist() == [0, 0, 1, 1]
+
+    def test_unretrieved_results_keep_labels(self):
+        from repro.core.universe import ExpansionOutcome, ExpansionTask, ResultUniverse
+
+        from tests.conftest import make_doc
+
+        docs = [
+            make_doc("a1", {"q", "alpha"}),
+            make_doc("x1", {"q", "other"}),
+        ]
+        universe = ResultUniverse(docs)
+        labels = np.array([0, 1])
+        tasks = [
+            ExpansionTask(
+                universe=universe,
+                cluster_mask=labels == cid,
+                seed_terms=("q",),
+                candidates=("alpha", "other"),
+                cluster_id=cid,
+            )
+            for cid in (0, 1)
+        ]
+        outcomes = [
+            ExpansionOutcome(terms=("q", "alpha"), fmeasure=0.9, precision=1, recall=1),
+            # Cluster 1's query retrieves nothing that exists.
+            ExpansionOutcome(terms=("q", "zzz"), fmeasure=0.1, precision=0, recall=0),
+        ]
+        new_labels, moved = InterleavedExpander._reassign(
+            universe, labels, tasks, outcomes
+        )
+        assert moved == 0
+        assert new_labels.tolist() == [0, 1]
+
+    def test_overlap_goes_to_higher_f(self):
+        from repro.core.universe import ExpansionOutcome, ExpansionTask, ResultUniverse
+
+        from tests.conftest import make_doc
+
+        docs = [make_doc("a1", {"q", "alpha", "beta"})]
+        universe = ResultUniverse(docs)
+        labels = np.array([0])
+        tasks = [
+            ExpansionTask(
+                universe=universe,
+                cluster_mask=np.array([True]),
+                seed_terms=("q",),
+                candidates=("alpha", "beta"),
+                cluster_id=cid,
+            )
+            for cid in (0, 1)
+        ]
+        outcomes = [
+            ExpansionOutcome(terms=("q", "alpha"), fmeasure=0.5, precision=1, recall=1),
+            ExpansionOutcome(terms=("q", "beta"), fmeasure=0.7, precision=1, recall=1),
+        ]
+        new_labels, _ = InterleavedExpander._reassign(
+            universe, labels, tasks, outcomes
+        )
+        assert new_labels.tolist() == [1]

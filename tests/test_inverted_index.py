@@ -1,0 +1,84 @@
+"""Tests for repro.index.inverted_index."""
+
+import pytest
+
+from repro.data.corpus import Corpus
+from repro.errors import IndexingError
+from repro.index.inverted_index import InvertedIndex
+from tests.conftest import make_doc
+
+
+@pytest.fixture
+def index() -> InvertedIndex:
+    corpus = Corpus(
+        [
+            make_doc("d0", {"apple": 2, "fruit": 1}),
+            make_doc("d1", {"apple": 1, "iphone": 1}),
+            make_doc("d2", {"fruit": 3, "banana": 1}),
+        ]
+    )
+    return InvertedIndex(corpus)
+
+
+class TestBuild:
+    def test_counts(self, index):
+        assert index.num_documents == 3
+        assert index.num_terms == 4
+
+    def test_postings_sorted_by_doc(self, index):
+        assert index.postings("apple").doc_ids() == [0, 1]
+        assert index.postings("fruit").doc_ids() == [0, 2]
+
+    def test_tf_recorded(self, index):
+        postings = list(index.postings("fruit"))
+        assert postings[1].tf == 3
+
+    def test_unknown_term_empty(self, index):
+        assert index.postings("ghost").doc_ids() == []
+        assert "ghost" not in index
+
+    def test_contains(self, index):
+        assert "apple" in index
+
+    def test_vocabulary_sorted(self, index):
+        assert index.vocabulary() == ["apple", "banana", "fruit", "iphone"]
+
+    def test_document_frequency(self, index):
+        assert index.document_frequency("apple") == 2
+        assert index.document_frequency("ghost") == 0
+
+    def test_doc_length(self, index):
+        assert index.doc_length(0) == 3  # apple x2 + fruit x1
+
+
+class TestAndQuery:
+    def test_single_term(self, index):
+        assert index.and_query(["apple"]) == [0, 1]
+
+    def test_conjunction(self, index):
+        assert index.and_query(["apple", "fruit"]) == [0]
+
+    def test_no_match(self, index):
+        assert index.and_query(["apple", "banana"]) == []
+
+    def test_unknown_term_kills_query(self, index):
+        assert index.and_query(["apple", "ghost"]) == []
+
+    def test_empty_query_rejected(self, index):
+        with pytest.raises(IndexingError):
+            index.and_query([])
+
+
+class TestOrQuery:
+    def test_disjunction(self, index):
+        assert index.or_query(["iphone", "banana"]) == [1, 2]
+
+    def test_overlap_not_duplicated(self, index):
+        assert index.or_query(["apple", "fruit"]) == [0, 1, 2]
+
+    def test_unknown_term_ignored(self, index):
+        assert index.or_query(["ghost", "banana"]) == [2]
+
+    def test_empty_query_rejected(self, index):
+        with pytest.raises(IndexingError):
+            index.or_query([])

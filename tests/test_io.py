@@ -1,0 +1,71 @@
+"""Tests for repro.data.io (JSONL persistence)."""
+
+import pytest
+
+from repro.data.corpus import Corpus
+from repro.data.documents import Feature, make_structured_document
+from repro.data.io import (
+    document_from_record,
+    document_to_record,
+    load_corpus_jsonl,
+    save_corpus_jsonl,
+)
+from repro.errors import DataError
+from tests.conftest import make_doc
+
+
+class TestRecordRoundtrip:
+    def test_text_document(self):
+        doc = make_doc("d1", {"apple": 2, "fruit": 1})
+        restored = document_from_record(document_to_record(doc))
+        assert restored == doc
+
+    def test_structured_document(self):
+        doc = make_structured_document(
+            "p1", [Feature("tv", "brand", "lg")], title="LG tv"
+        )
+        restored = document_from_record(document_to_record(doc))
+        assert restored.doc_id == doc.doc_id
+        assert restored.terms == doc.terms
+        assert restored.kind == "structured"
+        assert restored.fields == dict(doc.fields)
+
+    def test_missing_field_raises(self):
+        with pytest.raises(DataError):
+            document_from_record({"doc_id": "d"})
+
+
+class TestCorpusRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        corpus = Corpus(
+            [make_doc("d1", {"a": 1}), make_doc("d2", {"b": 2, "c": 1})]
+        )
+        path = tmp_path / "corpus.jsonl"
+        save_corpus_jsonl(corpus, path)
+        loaded = load_corpus_jsonl(path)
+        assert loaded.doc_ids() == corpus.doc_ids()
+        for d1, d2 in zip(corpus, loaded):
+            assert d1.terms == d2.terms
+
+    def test_empty_corpus(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        save_corpus_jsonl(Corpus(), path)
+        assert len(load_corpus_jsonl(path)) == 0
+
+    def test_blank_lines_ignored(self, tmp_path):
+        corpus = Corpus([make_doc("d1", {"a": 1})])
+        path = tmp_path / "c.jsonl"
+        save_corpus_jsonl(corpus, path)
+        path.write_text(path.read_text() + "\n\n")
+        assert len(load_corpus_jsonl(path)) == 1
+
+    def test_invalid_json_raises_with_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"doc_id": "d1"\n')
+        with pytest.raises(DataError, match="invalid JSON"):
+            load_corpus_jsonl(path)
+
+    def test_accepts_str_path(self, tmp_path):
+        corpus = Corpus([make_doc("d1", {"a": 1})])
+        save_corpus_jsonl(corpus, str(tmp_path / "s.jsonl"))
+        assert len(load_corpus_jsonl(str(tmp_path / "s.jsonl"))) == 1

@@ -1,0 +1,213 @@
+"""Unit tests for repro.eval.ir_metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.eval.ir_metrics import (
+    cluster_coverage_f,
+    average_precision,
+    cluster_coverage,
+    dcg_at_k,
+    distinct_result_fraction,
+    mean_over_queries,
+    ndcg_at_k,
+    pairwise_overlap,
+    precision_at_k,
+    recall_at_k,
+    reciprocal_rank,
+    sense_coverage,
+)
+
+
+class TestPrecisionRecallAtK:
+    def test_perfect_head(self):
+        assert precision_at_k(["a", "b", "c"], {"a", "b"}, 2) == 1.0
+
+    def test_padded_beyond_list(self):
+        # k beyond the list counts the missing tail as non-relevant.
+        assert precision_at_k(["a"], {"a"}, 4) == 0.25
+
+    def test_empty_relevant(self):
+        assert precision_at_k(["a", "b"], set(), 2) == 0.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ConfigError):
+            precision_at_k(["a"], {"a"}, 0)
+
+    def test_recall(self):
+        assert recall_at_k(["a", "b", "c"], {"a", "c", "x"}, 3) == pytest.approx(
+            2 / 3
+        )
+
+    def test_recall_invalid_k(self):
+        with pytest.raises(ConfigError):
+            recall_at_k(["a"], {"a"}, 0)
+
+
+class TestAveragePrecision:
+    def test_textbook_example(self):
+        # relevant at ranks 1 and 3: AP = (1/1 + 2/3) / 2
+        ap = average_precision(["r1", "x", "r2"], {"r1", "r2"})
+        assert ap == pytest.approx((1.0 + 2 / 3) / 2)
+
+    def test_unretrieved_relevant_penalized(self):
+        ap = average_precision(["r1"], {"r1", "r2"})
+        assert ap == pytest.approx(0.5)
+
+    def test_empty_relevant(self):
+        assert average_precision(["a"], set()) == 0.0
+
+    def test_bounds(self):
+        ap = average_precision(["x", "r"], {"r"})
+        assert 0.0 <= ap <= 1.0
+
+
+class TestReciprocalRank:
+    def test_first_position(self):
+        assert reciprocal_rank(["r", "x"], {"r"}) == 1.0
+
+    def test_third_position(self):
+        assert reciprocal_rank(["x", "y", "r"], {"r"}) == pytest.approx(1 / 3)
+
+    def test_not_found(self):
+        assert reciprocal_rank(["x", "y"], {"r"}) == 0.0
+
+
+class TestNdcg:
+    def test_perfect_order(self):
+        rel = {"a": 3.0, "b": 2.0, "c": 1.0}
+        assert ndcg_at_k(["a", "b", "c"], rel, 3) == pytest.approx(1.0)
+
+    def test_reversed_order_lower(self):
+        rel = {"a": 3.0, "b": 2.0, "c": 1.0}
+        assert ndcg_at_k(["c", "b", "a"], rel, 3) < 1.0
+
+    def test_no_relevance(self):
+        assert ndcg_at_k(["a"], {}, 1) == 0.0
+
+    def test_dcg_rejects_negative_gain(self):
+        with pytest.raises(ConfigError):
+            dcg_at_k([-1.0], 1)
+
+    def test_dcg_invalid_k(self):
+        with pytest.raises(ConfigError):
+            dcg_at_k([1.0], 0)
+
+
+class TestMeanOverQueries:
+    def test_mean(self):
+        assert mean_over_queries([0.0, 1.0]) == 0.5
+
+    def test_empty(self):
+        assert mean_over_queries([]) == 0.0
+
+
+class TestClusterCoverage:
+    def test_full_coverage(self):
+        suggestions = [{0, 1}, {2, 3}]
+        clusters = [{0, 1}, {2, 3}]
+        assert cluster_coverage(suggestions, clusters) == 1.0
+
+    def test_dominant_sense_only(self):
+        # One suggestion covering only the first cluster: half covered.
+        suggestions = [{0, 1}]
+        clusters = [{0, 1}, {2, 3}]
+        assert cluster_coverage(suggestions, clusters) == 0.5
+
+    def test_min_recall_threshold(self):
+        # Suggestion retrieves 1 of 4 members = 25% recall.
+        suggestions = [{0}]
+        clusters = [{0, 1, 2, 3}]
+        assert cluster_coverage(suggestions, clusters, min_recall=0.2) == 1.0
+        assert cluster_coverage(suggestions, clusters, min_recall=0.5) == 0.0
+
+    def test_invalid_min_recall(self):
+        with pytest.raises(ConfigError):
+            cluster_coverage([], [], min_recall=0.0)
+        with pytest.raises(ConfigError):
+            cluster_coverage([], [], min_recall=1.5)
+
+    def test_no_clusters(self):
+        assert cluster_coverage([{0}], []) == 0.0
+
+    def test_empty_cluster_never_covered(self):
+        assert cluster_coverage([{0}], [set()]) == 0.0
+
+
+class TestClusterCoverageF:
+    def test_exact_match_covers(self):
+        assert cluster_coverage_f([{0, 1}], [{0, 1}]) == 1.0
+
+    def test_universal_suggestion_misses_small_cluster(self):
+        # Retrieving everything gives tiny precision against a small cluster.
+        universe = set(range(30))
+        small = {0, 1}
+        assert cluster_coverage_f([universe], [small], min_f=0.5) == 0.0
+
+    def test_recall_only_coverage_would_pass(self):
+        # Contrast with the recall-based measure on the same input.
+        universe = set(range(30))
+        small = {0, 1}
+        assert cluster_coverage([universe], [small], min_recall=0.5) == 1.0
+
+    def test_disjoint_suggestion(self):
+        assert cluster_coverage_f([{5}], [{0, 1}]) == 0.0
+
+    def test_empty_suggestion_ignored(self):
+        assert cluster_coverage_f([set(), {0, 1}], [{0, 1}]) == 1.0
+
+    def test_invalid_min_f(self):
+        with pytest.raises(ConfigError):
+            cluster_coverage_f([], [], min_f=0.0)
+
+    def test_no_clusters(self):
+        assert cluster_coverage_f([{0}], []) == 0.0
+
+
+class TestSenseCoverage:
+    def test_all_senses_hit(self):
+        sense_of = {0: "fruit", 1: "company"}
+        assert sense_coverage([{0}, {1}], sense_of) == 1.0
+
+    def test_missing_sense(self):
+        sense_of = {0: "fruit", 1: "company"}
+        assert sense_coverage([{0}], sense_of) == 0.5
+
+    def test_unknown_positions_ignored(self):
+        sense_of = {0: "fruit"}
+        assert sense_coverage([{0, 99}], sense_of) == 1.0
+
+    def test_no_senses(self):
+        assert sense_coverage([{0}], {}) == 0.0
+
+
+class TestPairwiseOverlap:
+    def test_identical_sets(self):
+        assert pairwise_overlap([{1, 2}, {1, 2}]) == 1.0
+
+    def test_disjoint_sets(self):
+        assert pairwise_overlap([{1}, {2}]) == 0.0
+
+    def test_single_suggestion(self):
+        assert pairwise_overlap([{1, 2}]) == 0.0
+
+    def test_both_empty(self):
+        assert pairwise_overlap([set(), set()]) == 0.0
+
+    def test_partial(self):
+        # Jaccard({1,2},{2,3}) = 1/3
+        assert pairwise_overlap([{1, 2}, {2, 3}]) == pytest.approx(1 / 3)
+
+
+class TestDistinctResultFraction:
+    def test_full_union(self):
+        assert distinct_result_fraction([{0, 1}, {2}], 3) == 1.0
+
+    def test_partial_union(self):
+        assert distinct_result_fraction([{0}], 4) == 0.25
+
+    def test_invalid_universe(self):
+        with pytest.raises(ConfigError):
+            distinct_result_fraction([{0}], 0)

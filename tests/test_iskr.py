@@ -1,0 +1,173 @@
+"""Tests for the ISKR algorithm (§3), anchored on the paper's running
+example (Examples 3.1 and 3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.iskr import ISKR
+from repro.core.metrics import precision_recall_f
+from repro.core.universe import ExpansionTask, ResultUniverse
+from repro.errors import ExpansionError
+from tests.conftest import build_task, make_doc
+
+
+class TestPaperExample:
+    def test_final_query_matches_example_32(self, example_31_task):
+        """The paper's walkthrough ends with q = {apple, store, location}:
+        job is added first (value 1.33), then store and location, and then
+        job is removed because dropping it regains R6 at zero cost."""
+        outcome = ISKR().expand(example_31_task)
+        assert set(outcome.terms) == {"apple", "store", "location"}
+        assert outcome.terms[0] == "apple"  # seed stays first
+
+    def test_trajectory_adds_job_then_removes_it(self, example_31_task):
+        outcome = ISKR().expand(example_31_task)
+        assert "+job" in outcome.trace
+        assert "-job" in outcome.trace
+        assert outcome.trace.index("+job") < outcome.trace.index("-job")
+
+    def test_final_retrieval(self, example_31_task):
+        """q = {apple, store, location} retrieves R6, R7, R8 and nothing
+        from U (Example 3.2)."""
+        task = example_31_task
+        outcome = ISKR().expand(task)
+        mask = task.universe.results_mask(outcome.terms)
+        retrieved = {task.universe.document(i).doc_id for i in np.flatnonzero(mask)}
+        assert retrieved == {"R6", "R7", "R8"}
+
+    def test_final_fmeasure(self, example_31_task):
+        """precision 1, recall 3/8 -> F = 6/11."""
+        outcome = ISKR().expand(example_31_task)
+        assert outcome.precision == pytest.approx(1.0)
+        assert outcome.recall == pytest.approx(3 / 8)
+        assert outcome.fmeasure == pytest.approx(2 * (3 / 8) / (1 + 3 / 8))
+
+    def test_without_removal_job_stays(self, example_31_task):
+        """Ablating removal (Example 3.2's point): job cannot be dropped, so
+        recall stays lower."""
+        outcome = ISKR(allow_removal=False).expand(example_31_task)
+        assert "job" in outcome.terms
+        full = ISKR().expand(example_31_task)
+        assert outcome.recall < full.recall
+        assert outcome.fmeasure < full.fmeasure
+
+
+class TestStoppingAndEdgeCases:
+    def test_no_candidates_returns_seed(self):
+        task = build_task(
+            {"c1": {"x"}}, {"u1": {"y"}}, seed_terms=("s",), candidates=()
+        )
+        outcome = ISKR().expand(task)
+        assert outcome.terms == ("s",)
+        assert outcome.iterations == 0
+
+    def test_cluster_equals_universe(self):
+        """U empty: every keyword has zero benefit, seed query is optimal."""
+        task = build_task(
+            {"c1": {"x"}, "c2": {"y"}}, {}, seed_terms=("s",), candidates=("x", "y")
+        )
+        outcome = ISKR().expand(task)
+        assert outcome.terms == ("s",)
+        assert outcome.fmeasure == pytest.approx(1.0)
+
+    def test_perfectly_separating_keyword(self):
+        task = build_task(
+            {"c1": {"cam"}, "c2": {"cam"}},
+            {"u1": {"tv"}, "u2": {"tv"}},
+            seed_terms=("s",),
+            candidates=("cam", "tv"),
+        )
+        outcome = ISKR().expand(task)
+        assert set(outcome.terms) == {"s", "cam"}
+        assert outcome.fmeasure == pytest.approx(1.0)
+
+    def test_value_exactly_one_not_applied(self):
+        """A keyword eliminating equal weight from C and U has value 1 and
+        must not be added (Algorithm 1: break when value <= 1)."""
+        task = build_task(
+            {"c1": {"k"}, "c2": set()},
+            {"u1": {"k"}, "u2": set()},
+            seed_terms=("s",),
+            candidates=("k",),
+        )
+        outcome = ISKR().expand(task)
+        assert outcome.terms == ("s",)
+
+    def test_max_iterations_validated(self):
+        with pytest.raises(ExpansionError):
+            ISKR(max_iterations=0)
+
+    def test_iteration_cap_respected(self, example_31_task):
+        outcome = ISKR(max_iterations=1).expand(example_31_task)
+        assert outcome.iterations == 1
+        assert outcome.trace == ("+job",)
+
+    def test_deterministic(self, example_31_task):
+        a = ISKR().expand(example_31_task)
+        b = ISKR().expand(example_31_task)
+        assert a.terms == b.terms and a.fmeasure == b.fmeasure
+
+
+class TestWeightedISKR:
+    def test_weights_change_decisions(self):
+        """With rank weights, eliminating one heavy U result can beat
+        eliminating two light ones."""
+        cluster = {"c1": {"a", "b"}, "c2": {"b"}, "c3": {"a"}}
+        other = {"u1": {"b"}, "u2": {"a"}, "u3": {"a"}}
+        # "a" eliminates u1 (benefit 1) and c2 (cost 1) -> value 1: skipped.
+        # "b" eliminates u2, u3 (benefit 2) and c3 (cost 1) -> value 2.
+        unweighted = ISKR().expand(
+            build_task(cluster, other, ("s",), ("a", "b"))
+        )
+        assert "b" in unweighted.terms
+        assert "a" not in unweighted.terms
+        # With u1 weighing 10, value(a) = 10 > value(b) = 2: "a" goes first.
+        weighted_task = build_task(
+            cluster, other, ("s",), ("a", "b"),
+            weights=[1.0, 1.0, 1.0, 10.0, 1.0, 1.0],
+        )
+        weighted = ISKR().expand(weighted_task)
+        assert weighted.trace[0] == "+a"
+
+    def test_outcome_consistent_with_metrics(self, example_31_task):
+        task = example_31_task
+        outcome = ISKR().expand(task)
+        mask = task.universe.results_mask(outcome.terms)
+        p, r, f = precision_recall_f(task.universe, mask, task.cluster_mask)
+        assert outcome.precision == pytest.approx(p)
+        assert outcome.recall == pytest.approx(r)
+        assert outcome.fmeasure == pytest.approx(f)
+
+
+class TestORSemantics:
+    def _or_task(self) -> ExpansionTask:
+        docs = [
+            make_doc("c1", {"seed", "cam", "lens"}),
+            make_doc("c2", {"seed", "cam"}),
+            make_doc("u1", {"seed", "tv"}),
+            make_doc("u2", {"seed", "tv", "lens"}),
+        ]
+        uni = ResultUniverse(docs)
+        return ExpansionTask(
+            universe=uni,
+            cluster_mask=np.array([True, True, False, False]),
+            seed_terms=("seed",),
+            candidates=("cam", "lens", "tv"),
+            semantics="or",
+        )
+
+    def test_collects_cluster(self):
+        outcome = ISKR().expand(self._or_task())
+        assert "cam" in outcome.terms
+        assert "tv" not in outcome.terms
+        assert outcome.fmeasure == pytest.approx(1.0)
+
+    def test_lens_not_selected(self):
+        # "lens" gains c1 (already gained via cam) and u2: pure cost after
+        # cam; alone it is value 1 (one C vs one U) -> never attractive.
+        outcome = ISKR().expand(self._or_task())
+        assert "lens" not in outcome.terms
+
+    def test_value_updates_counted(self):
+        outcome = ISKR().expand(self._or_task())
+        assert outcome.value_updates > 0

@@ -1,0 +1,207 @@
+"""Tests for repro.core.keyword_stats, including the paper's Example 3.1
+value table."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.keyword_stats import (
+    BenefitCostTable,
+    KeywordValue,
+    select_candidates,
+    value_ratio,
+)
+from repro.core.universe import ResultUniverse
+from repro.data.corpus import Corpus
+from repro.index.inverted_index import InvertedIndex
+from tests.conftest import make_doc
+
+
+class TestValueRatio:
+    def test_plain_ratio(self):
+        assert value_ratio(8.0, 6.0) == pytest.approx(8 / 6)
+
+    def test_zero_benefit_is_zero(self):
+        assert value_ratio(0.0, 5.0) == 0.0
+        assert value_ratio(0.0, 0.0) == 0.0
+
+    def test_zero_cost_is_infinite(self):
+        assert value_ratio(3.0, 0.0) == math.inf
+
+
+class TestKeywordValue:
+    def test_sort_key_prefers_higher_value(self):
+        a = KeywordValue("a", benefit=4.0, cost=2.0, eliminated=3)
+        b = KeywordValue("b", benefit=3.0, cost=3.0, eliminated=1)
+        assert a.sort_key() < b.sort_key()
+
+    def test_tie_broken_by_fewer_eliminated(self):
+        a = KeywordValue("a", benefit=2.0, cost=2.0, eliminated=5)
+        b = KeywordValue("b", benefit=1.0, cost=1.0, eliminated=2)
+        assert b.sort_key() < a.sort_key()
+
+    def test_final_tie_lexicographic(self):
+        a = KeywordValue("alpha", benefit=1.0, cost=1.0, eliminated=1)
+        b = KeywordValue("beta", benefit=1.0, cost=1.0, eliminated=1)
+        assert a.sort_key() < b.sort_key()
+
+
+class TestBenefitCostTableExample31(object):
+    """The initial value table of Example 3.1:
+
+    keyword   benefit  cost  value
+    job       8        6     1.33
+    store     5        4     1.25
+    location  5        4     1.25
+    fruit     3        3     1.00
+    """
+
+    def test_initial_values(self, example_31_task):
+        task = example_31_task
+        table = BenefitCostTable(
+            task.universe, task.candidates, task.cluster_mask
+        )
+        table.refresh_all(task.universe.all_mask())
+        snaps = {
+            table.snapshot(i).keyword: table.snapshot(i)
+            for i in range(len(task.candidates))
+        }
+        assert snaps["job"].benefit == 8 and snaps["job"].cost == 6
+        assert snaps["store"].benefit == 5 and snaps["store"].cost == 4
+        assert snaps["location"].benefit == 5 and snaps["location"].cost == 4
+        assert snaps["fruit"].benefit == 3 and snaps["fruit"].cost == 3
+        assert snaps["job"].value == pytest.approx(8 / 6)
+
+    def test_values_after_adding_job(self, example_31_task):
+        """After q = {apple, job}: store 1/0, location 1/0, fruit 0/0."""
+        task = example_31_task
+        uni = task.universe
+        table = BenefitCostTable(uni, task.candidates, task.cluster_mask)
+        q_mask = uni.results_mask(("job",))
+        table.refresh_all(q_mask)
+        snaps = {
+            table.snapshot(i).keyword: table.snapshot(i)
+            for i in range(len(task.candidates))
+        }
+        assert snaps["store"].benefit == 1 and snaps["store"].cost == 0
+        assert snaps["location"].benefit == 1 and snaps["location"].cost == 0
+        assert snaps["fruit"].benefit == 0 and snaps["fruit"].cost == 0
+        assert snaps["fruit"].value == 0.0
+
+    def test_best_addition_initially_job(self, example_31_task):
+        task = example_31_task
+        table = BenefitCostTable(
+            task.universe, task.candidates, task.cluster_mask
+        )
+        table.refresh_all(task.universe.all_mask())
+        best = table.best_addition(excluded=set())
+        assert best is not None and best.keyword == "job"
+
+    def test_best_addition_respects_exclusions(self, example_31_task):
+        task = example_31_task
+        table = BenefitCostTable(
+            task.universe, task.candidates, task.cluster_mask
+        )
+        table.refresh_all(task.universe.all_mask())
+        best = table.best_addition(excluded={"job"})
+        assert best is not None and best.keyword in ("store", "location")
+
+
+class TestRefreshAffected:
+    def test_unaffected_keywords_skipped(self, example_31_task):
+        """A keyword present in every delta result keeps its stale stats."""
+        task = example_31_task
+        uni = task.universe
+        table = BenefitCostTable(uni, task.candidates, task.cluster_mask)
+        table.refresh_all(uni.all_mask())
+        before = table.total_updates
+        q_mask = uni.results_mask(("job",))
+        delta = uni.all_mask() & ~q_mask
+        n = table.refresh_affected(q_mask, delta)
+        # "fruit" appears in R4..R8 and R'1, R'5..R'10 but NOT in, e.g., R1,
+        # which is in the delta -> fruit is affected. In this example every
+        # keyword misses some delta result, so all 4 update.
+        assert n == 4
+        assert table.total_updates == before + 4
+
+    def test_empty_delta_updates_nothing(self, example_31_task):
+        task = example_31_task
+        uni = task.universe
+        table = BenefitCostTable(uni, task.candidates, task.cluster_mask)
+        table.refresh_all(uni.all_mask())
+        assert table.refresh_affected(uni.all_mask(), uni.empty_mask()) == 0
+
+    def test_refresh_keywords_forces_update(self, example_31_task):
+        task = example_31_task
+        uni = task.universe
+        table = BenefitCostTable(uni, task.candidates, task.cluster_mask)
+        table.refresh_all(uni.all_mask())
+        n = table.refresh_keywords(["job", "unknown-kw"], uni.all_mask())
+        assert n == 1  # unknown keywords are ignored
+
+    def test_values_array_matches_snapshots(self, example_31_task):
+        task = example_31_task
+        uni = task.universe
+        table = BenefitCostTable(uni, task.candidates, task.cluster_mask)
+        table.refresh_all(uni.all_mask())
+        values = table.values_array()
+        for i in range(len(task.candidates)):
+            assert values[i] == pytest.approx(table.snapshot(i).value)
+
+
+class TestSelectCandidates:
+    @pytest.fixture
+    def setup(self):
+        docs = [
+            make_doc("d0", {"seed": 1, "rare": 3, "common": 1}),
+            make_doc("d1", {"seed": 1, "common": 1}),
+            make_doc("d2", {"seed": 1, "common": 1, "other": 1}),
+            make_doc("d3", {"filler": 1}),  # corpus-only doc
+        ]
+        corpus = Corpus(docs)
+        index = InvertedIndex(corpus)
+        universe = ResultUniverse(docs[:3])
+        return index, universe
+
+    def test_seed_terms_excluded(self, setup):
+        index, universe = setup
+        cands = select_candidates(index, universe, ("seed",), fraction=1.0)
+        assert "seed" not in cands
+
+    def test_universal_terms_excluded(self, setup):
+        index, universe = setup
+        cands = select_candidates(index, universe, (), fraction=1.0)
+        # "common" appears in every universe result -> cannot eliminate.
+        assert "common" not in cands
+        assert "seed" not in cands or ("seed",) == ()
+
+    def test_fraction_limits_count(self, setup):
+        index, universe = setup
+        all_cands = select_candidates(
+            index, universe, ("seed",), fraction=1.0, min_candidates=1
+        )
+        some = select_candidates(
+            index, universe, ("seed",), fraction=0.5, min_candidates=1
+        )
+        assert len(some) <= len(all_cands)
+
+    def test_min_candidates_floor(self, setup):
+        index, universe = setup
+        cands = select_candidates(
+            index, universe, ("seed",), fraction=0.01, min_candidates=2
+        )
+        assert len(cands) == 2
+
+    def test_ordered_by_tfidf(self, setup):
+        index, universe = setup
+        cands = select_candidates(index, universe, ("seed",), fraction=1.0)
+        # "rare": tf=3, df=1 -> highest tf*idf, must come first.
+        assert cands[0] == "rare"
+
+    def test_invalid_fraction(self, setup):
+        index, universe = setup
+        with pytest.raises(ValueError):
+            select_candidates(index, universe, (), fraction=0.0)
+        with pytest.raises(ValueError):
+            select_candidates(index, universe, (), fraction=1.5)

@@ -1,0 +1,91 @@
+"""Tests for repro.cluster.kmeans (spherical k-means)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.kmeans import CosineKMeans
+from repro.errors import ClusteringError
+
+
+def two_blobs(n_per: int = 20, seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    """Two well-separated direction blobs on the unit sphere."""
+    rng = np.random.default_rng(seed)
+    a = np.abs(rng.normal(0, 0.05, (n_per, 4))) + np.array([1.0, 0.0, 0.0, 0.0])
+    b = np.abs(rng.normal(0, 0.05, (n_per, 4))) + np.array([0.0, 0.0, 1.0, 0.0])
+    m = np.vstack([a, b])
+    m /= np.linalg.norm(m, axis=1, keepdims=True)
+    truth = np.array([0] * n_per + [1] * n_per)
+    return m, truth
+
+
+class TestCosineKMeans:
+    def test_recovers_two_blobs(self):
+        m, truth = two_blobs()
+        result = CosineKMeans(n_clusters=2, seed=0).fit(m)
+        assert result.n_clusters == 2
+        # Perfect separation: each cluster is pure.
+        for c in range(2):
+            members = truth[result.labels == c]
+            assert len(set(members.tolist())) == 1
+
+    def test_deterministic_given_seed(self):
+        m, _ = two_blobs()
+        r1 = CosineKMeans(n_clusters=2, seed=42).fit(m)
+        r2 = CosineKMeans(n_clusters=2, seed=42).fit(m)
+        assert np.array_equal(r1.labels, r2.labels)
+
+    def test_labels_compact(self):
+        m, _ = two_blobs()
+        result = CosineKMeans(n_clusters=5, seed=1).fit(m)
+        labels = set(result.labels.tolist())
+        assert labels == set(range(result.n_clusters))
+
+    def test_k_is_upper_bound(self):
+        # 3 identical points cannot sustain 3 distinct clusters, but k-means
+        # may keep coincident centroids; the contract is <= k non-empty.
+        m = np.ones((3, 2)) / np.sqrt(2)
+        result = CosineKMeans(n_clusters=3, seed=0).fit(m)
+        assert 1 <= result.n_clusters <= 3
+
+    def test_k_clipped_to_n(self):
+        m = np.eye(2)
+        result = CosineKMeans(n_clusters=10, seed=0).fit(m)
+        assert result.n_clusters <= 2
+
+    def test_single_cluster(self):
+        m, _ = two_blobs(5)
+        result = CosineKMeans(n_clusters=1, seed=0).fit(m)
+        assert result.n_clusters == 1
+        assert set(result.labels.tolist()) == {0}
+
+    def test_inertia_nonnegative(self):
+        m, _ = two_blobs()
+        assert CosineKMeans(n_clusters=2, seed=0).fit(m).inertia >= 0.0
+
+    def test_centroids_unit_norm(self):
+        m, _ = two_blobs()
+        result = CosineKMeans(n_clusters=2, seed=0).fit(m)
+        norms = np.linalg.norm(result.centroids, axis=1)
+        assert np.allclose(norms, 1.0)
+
+    def test_members_and_clusters(self):
+        m, _ = two_blobs(3)
+        result = CosineKMeans(n_clusters=2, seed=0).fit(m)
+        flattened = sorted(i for cluster in result.clusters() for i in cluster)
+        assert flattened == list(range(6))
+
+    def test_invalid_params(self):
+        with pytest.raises(ClusteringError):
+            CosineKMeans(n_clusters=0)
+        with pytest.raises(ClusteringError):
+            CosineKMeans(n_clusters=2, max_iter=0)
+        with pytest.raises(ClusteringError):
+            CosineKMeans(n_clusters=2, n_init=0)
+
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(ClusteringError):
+            CosineKMeans(n_clusters=2).fit(np.zeros((0, 3)))
+
+    def test_1d_matrix_rejected(self):
+        with pytest.raises(ClusteringError):
+            CosineKMeans(n_clusters=2).fit(np.ones(5))

@@ -1,0 +1,117 @@
+"""Unit tests for k-medoids clustering (repro.cluster.kmedoids)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.kmedoids import KMedoids, cluster_representatives
+from repro.errors import ClusteringError
+
+
+def two_blobs(n_per: int = 6) -> np.ndarray:
+    """Two well-separated direction blobs in 4-d."""
+    rng = np.random.default_rng(7)
+    a = np.abs(rng.normal(0, 0.05, (n_per, 4))) + np.array([1, 0, 0, 0])
+    b = np.abs(rng.normal(0, 0.05, (n_per, 4))) + np.array([0, 0, 0, 1])
+    return np.vstack([a, b])
+
+
+class TestConstruction:
+    def test_invalid_k(self):
+        with pytest.raises(ClusteringError):
+            KMedoids(n_clusters=0)
+
+    def test_invalid_max_iter(self):
+        with pytest.raises(ClusteringError):
+            KMedoids(n_clusters=2, max_iter=0)
+
+    def test_bad_matrix(self):
+        with pytest.raises(ClusteringError):
+            KMedoids(n_clusters=2).fit(np.zeros((0, 3)))
+        with pytest.raises(ClusteringError):
+            KMedoids(n_clusters=2).fit(np.zeros(5))
+
+
+class TestClustering:
+    def test_separates_two_blobs(self):
+        matrix = two_blobs()
+        result = KMedoids(n_clusters=2, seed=0).fit(matrix)
+        labels = result.labels
+        first, second = labels[:6], labels[6:]
+        assert len(set(first.tolist())) == 1
+        assert len(set(second.tolist())) == 1
+        assert first[0] != second[0]
+
+    def test_medoids_are_members(self):
+        matrix = two_blobs()
+        result = KMedoids(n_clusters=2, seed=0).fit(matrix)
+        for ci, medoid in enumerate(result.medoids):
+            assert 0 <= medoid < matrix.shape[0]
+            assert result.labels[medoid] == ci
+
+    def test_medoid_minimizes_within_distance(self):
+        matrix = two_blobs()
+        result = KMedoids(n_clusters=2, seed=0).fit(matrix)
+        from repro.cluster.similarity import cosine_similarity_matrix
+
+        distances = 1.0 - cosine_similarity_matrix(matrix)
+        for ci, medoid in enumerate(result.medoids):
+            members = np.nonzero(result.labels == ci)[0]
+            best = min(
+                members, key=lambda m: distances[m, members].sum()
+            )
+            assert distances[medoid, members].sum() == pytest.approx(
+                distances[best, members].sum()
+            )
+
+    def test_deterministic(self):
+        matrix = two_blobs()
+        a = KMedoids(n_clusters=2, seed=3).fit(matrix)
+        b = KMedoids(n_clusters=2, seed=3).fit(matrix)
+        assert np.array_equal(a.labels, b.labels)
+        assert a.medoids == b.medoids
+
+    def test_k_capped_at_n(self):
+        matrix = two_blobs(n_per=1)  # 2 points
+        result = KMedoids(n_clusters=5, seed=0).fit(matrix)
+        assert len(result.medoids) <= 2
+
+    def test_single_cluster(self):
+        matrix = two_blobs()
+        result = KMedoids(n_clusters=1, seed=0).fit(matrix)
+        assert set(result.labels.tolist()) == {0}
+        assert len(result.medoids) == 1
+
+    def test_identical_points(self):
+        matrix = np.ones((5, 3))
+        result = KMedoids(n_clusters=2, seed=0).fit(matrix)
+        assert result.inertia == pytest.approx(0.0)
+
+    def test_inertia_nonnegative(self):
+        result = KMedoids(n_clusters=2, seed=0).fit(two_blobs())
+        assert result.inertia >= 0.0
+
+    def test_fit_predict_interface(self):
+        matrix = two_blobs()
+        labels = KMedoids(n_clusters=2, seed=0).fit_predict(matrix)
+        assert labels.shape == (matrix.shape[0],)
+
+
+class TestRepresentatives:
+    def test_mapping(self):
+        result = KMedoids(n_clusters=2, seed=0).fit(two_blobs())
+        reps = cluster_representatives(result)
+        assert set(reps.keys()) == {0, 1}
+        assert all(result.labels[m] == ci for ci, m in reps.items())
+
+    def test_plugs_into_expander(self, tiny_engine):
+        from repro.core.config import ExpansionConfig
+        from repro.core.expander import ClusterQueryExpander
+        from repro.core.iskr import ISKR
+
+        config = ExpansionConfig(n_clusters=2, top_k_results=None, min_candidates=5)
+        report = ClusterQueryExpander(
+            tiny_engine, ISKR(), config, clusterer=KMedoids(n_clusters=2, seed=0)
+        ).expand("apple")
+        assert len(report.expanded) == 2

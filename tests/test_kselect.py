@@ -1,0 +1,108 @@
+"""Unit tests for dynamic k selection (repro.cluster.kselect)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.kselect import AdaptiveKClusterer, KSelection, choose_k
+from repro.errors import ClusteringError
+
+
+def blobs(counts: list[int], seed: int = 11) -> np.ndarray:
+    """len(counts) direction blobs with the given sizes in len(counts)+1 dims."""
+    rng = np.random.default_rng(seed)
+    dims = len(counts) + 1
+    rows = []
+    for axis, n in enumerate(counts):
+        base = np.zeros(dims)
+        base[axis] = 1.0
+        rows.append(np.abs(rng.normal(0, 0.04, (n, dims))) + base)
+    return np.vstack(rows)
+
+
+class TestChooseK:
+    def test_two_senses_get_two_clusters(self):
+        matrix = blobs([8, 8])
+        selection = choose_k(matrix, max_k=5, seed=0)
+        assert selection.k == 2
+
+    def test_three_senses_get_three_clusters(self):
+        matrix = blobs([7, 7, 7])
+        selection = choose_k(matrix, max_k=5, seed=0)
+        assert selection.k == 3
+
+    def test_all_candidates_scored(self):
+        matrix = blobs([6, 6])
+        selection = choose_k(matrix, max_k=4, seed=0)
+        assert set(selection.silhouettes.keys()) == {2, 3, 4}
+
+    def test_k_clamped_to_point_count(self):
+        matrix = blobs([2, 1])  # 3 points
+        selection = choose_k(matrix, max_k=10, seed=0)
+        assert max(selection.silhouettes) <= 3
+
+    def test_invalid_max_k(self):
+        with pytest.raises(ClusteringError):
+            choose_k(blobs([4, 4]), max_k=1)
+
+    def test_single_point_rejected(self):
+        with pytest.raises(ClusteringError):
+            choose_k(np.ones((1, 3)), max_k=3)
+
+    def test_bad_matrix(self):
+        with pytest.raises(ClusteringError):
+            choose_k(np.ones(4), max_k=2)
+
+    def test_labels_match_chosen_k(self):
+        matrix = blobs([8, 8])
+        selection = choose_k(matrix, max_k=5, seed=0)
+        assert len(set(selection.labels.tolist())) == selection.k
+
+    def test_custom_backend_factory(self):
+        from repro.cluster.kmedoids import KMedoids
+
+        matrix = blobs([8, 8])
+        selection = choose_k(
+            matrix, max_k=4, backend_factory=lambda k: KMedoids(k, seed=0)
+        )
+        assert isinstance(selection, KSelection)
+        assert selection.k == 2
+
+    def test_deterministic(self):
+        matrix = blobs([6, 6, 6])
+        a = choose_k(matrix, max_k=5, seed=1)
+        b = choose_k(matrix, max_k=5, seed=1)
+        assert a.k == b.k
+        assert np.array_equal(a.labels, b.labels)
+
+
+class TestAdaptiveKClusterer:
+    def test_invalid_max_k(self):
+        with pytest.raises(ClusteringError):
+            AdaptiveKClusterer(max_k=1)
+
+    def test_selection_recorded(self):
+        clusterer = AdaptiveKClusterer(max_k=5, seed=0)
+        labels = clusterer.fit_predict(blobs([8, 8]))
+        assert clusterer.selection is not None
+        assert clusterer.selection.k == 2
+        assert labels.shape == (16,)
+
+    def test_plugs_into_expander(self, tiny_engine):
+        from repro.core.config import ExpansionConfig
+        from repro.core.expander import ClusterQueryExpander
+        from repro.core.iskr import ISKR
+
+        config = ExpansionConfig(
+            n_clusters=4, top_k_results=None, min_candidates=5
+        )
+        clusterer = AdaptiveKClusterer(max_k=4, seed=0)
+        report = ClusterQueryExpander(
+            tiny_engine, ISKR(), config, clusterer=clusterer
+        ).expand("apple")
+        # The tiny corpus has two apple senses; the sweep should find <= 4
+        # and ideally 2 clusters.
+        assert clusterer.selection is not None
+        assert report.n_clusters == clusterer.selection.k
+        assert 2 <= clusterer.selection.k <= 4

@@ -1,0 +1,104 @@
+"""Unit tests for the language-model scorer (repro.index.lm)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.data.corpus import Corpus
+from repro.errors import ConfigError, QueryError
+from repro.index.inverted_index import InvertedIndex
+from repro.index.lm import LMDirichletScorer
+from repro.index.search import SearchEngine
+from repro.text.analyzer import Analyzer
+
+from tests.conftest import make_doc
+
+
+@pytest.fixture
+def corpus() -> Corpus:
+    return Corpus(
+        [
+            make_doc("d0", {"apple": 5, "company": 1}),
+            make_doc("d1", {"apple": 1, "company": 1, "fruit": 1}),
+            make_doc("d2", {"banana": 2, "fruit": 2}),
+        ]
+    )
+
+
+@pytest.fixture
+def scorer(corpus) -> LMDirichletScorer:
+    return LMDirichletScorer(InvertedIndex(corpus), mu=100.0)
+
+
+class TestConstruction:
+    def test_invalid_mu(self, corpus):
+        with pytest.raises(ConfigError):
+            LMDirichletScorer(InvertedIndex(corpus), mu=0.0)
+
+    def test_collection_probabilities_sum_reasonably(self, scorer):
+        vocab = ["apple", "company", "fruit", "banana"]
+        total = sum(scorer.collection_probability(t) for t in vocab)
+        assert 0.5 < total <= 1.0
+
+    def test_unseen_term_nonzero(self, scorer):
+        assert scorer.collection_probability("zzz") > 0.0
+
+
+class TestScoring:
+    def test_nonmatching_doc_scores_zero(self, scorer):
+        assert scorer.score(2, ["apple"]) == 0.0
+
+    def test_higher_tf_scores_higher(self, scorer):
+        assert scorer.score(0, ["apple"]) > scorer.score(1, ["apple"])
+
+    def test_rare_term_contributes_more(self, scorer):
+        # "banana" (collection count 2) is rarer than "apple" (6): at equal
+        # tf the rare term's contribution is larger.
+        banana = scorer.score(2, ["banana"])  # tf 2
+        # make a comparable apple score with tf 1 scaled: use doc d1 (tf 1).
+        apple = scorer.score(1, ["apple"])
+        assert banana > apple
+
+    def test_log_likelihood_negative(self, scorer):
+        assert scorer.log_likelihood(0, ["apple", "company"]) < 0.0
+
+    def test_log_likelihood_orders_like_score_on_matches(self, scorer):
+        # For the single-term query both formulations agree on d0 vs d1.
+        assert scorer.log_likelihood(0, ["apple"]) > scorer.log_likelihood(
+            1, ["apple"]
+        )
+
+    def test_idf_decreases_with_frequency(self, scorer):
+        assert scorer.idf("banana") > scorer.idf("apple")
+
+    def test_rank_order_and_tiebreak(self, scorer):
+        ranked = scorer.rank([0, 1, 2], ["apple"])
+        assert [pos for pos, _ in ranked][:2] == [0, 1]
+        assert ranked[-1][1] == 0.0
+
+    def test_mu_dampens_tf(self, corpus):
+        index = InvertedIndex(corpus)
+        sharp = LMDirichletScorer(index, mu=1.0)
+        smooth = LMDirichletScorer(index, mu=10000.0)
+        gap_sharp = sharp.score(0, ["apple"]) - sharp.score(1, ["apple"])
+        gap_smooth = smooth.score(0, ["apple"]) - smooth.score(1, ["apple"])
+        assert gap_sharp > gap_smooth
+
+
+class TestEngineIntegration:
+    def test_lm_scoring_option(self, corpus):
+        engine = SearchEngine(corpus, Analyzer(use_stemming=False), scoring="lm")
+        results = engine.search("apple")
+        assert [r.document.doc_id for r in results] == ["d0", "d1"]
+        assert results[0].score > results[1].score > 0.0
+
+    def test_unknown_scoring_rejected(self, corpus):
+        with pytest.raises(QueryError):
+            SearchEngine(corpus, Analyzer(), scoring="dfr")
+
+    def test_scores_finite(self, corpus):
+        engine = SearchEngine(corpus, Analyzer(use_stemming=False), scoring="lm")
+        for r in engine.search("fruit"):
+            assert math.isfinite(r.score)

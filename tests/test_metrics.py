@@ -1,0 +1,115 @@
+"""Tests for repro.core.metrics (§2 formulas)."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import (
+    eq1_score,
+    fmeasure,
+    harmonic_mean,
+    precision_recall_f,
+    query_fmeasure,
+)
+from repro.core.universe import ResultUniverse
+from tests.conftest import make_doc
+
+
+@pytest.fixture
+def universe() -> ResultUniverse:
+    docs = [make_doc(f"d{i}", {"seed", f"t{i}"}) for i in range(4)]
+    return ResultUniverse(docs)
+
+
+class TestFmeasure:
+    def test_harmonic_mean_of_p_r(self):
+        assert fmeasure(1.0, 0.5) == pytest.approx(2 / 3)
+
+    def test_zero_when_both_zero(self):
+        assert fmeasure(0.0, 0.0) == 0.0
+
+    def test_perfect(self):
+        assert fmeasure(1.0, 1.0) == 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            fmeasure(-0.1, 0.5)
+
+
+class TestPrecisionRecallF:
+    def test_perfect_match(self, universe):
+        mask = np.array([True, True, False, False])
+        p, r, f = precision_recall_f(universe, mask, mask)
+        assert (p, r, f) == (1.0, 1.0, 1.0)
+
+    def test_partial_overlap(self, universe):
+        result = np.array([True, True, True, False])
+        cluster = np.array([True, True, False, False])
+        p, r, f = precision_recall_f(universe, result, cluster)
+        assert p == pytest.approx(2 / 3)
+        assert r == pytest.approx(1.0)
+        assert f == pytest.approx(0.8)
+
+    def test_empty_result_set(self, universe):
+        cluster = np.array([True, False, False, False])
+        p, r, f = precision_recall_f(universe, np.zeros(4, dtype=bool), cluster)
+        assert (p, r, f) == (0.0, 0.0, 0.0)
+
+    def test_weighted_version(self):
+        docs = [make_doc(f"d{i}", {"x"}) for i in range(3)]
+        uni = ResultUniverse(docs, weights=[4.0, 1.0, 1.0])
+        result = np.array([True, True, False])
+        cluster = np.array([True, False, True])
+        p, r, f = precision_recall_f(uni, result, cluster)
+        assert p == pytest.approx(4.0 / 5.0)  # S(R∩C)=4, S(R)=5
+        assert r == pytest.approx(4.0 / 5.0)  # S(C)=5
+
+    def test_empty_cluster_rejected(self, universe):
+        with pytest.raises(ValueError):
+            precision_recall_f(
+                universe, universe.all_mask(), np.zeros(4, dtype=bool)
+            )
+
+
+class TestHarmonicMeanAndEq1:
+    def test_uniform_values(self):
+        assert harmonic_mean([0.5, 0.5, 0.5]) == pytest.approx(0.5)
+
+    def test_known_value(self):
+        assert harmonic_mean([1.0, 0.5]) == pytest.approx(2 / 3)
+
+    def test_zero_dominates(self):
+        assert harmonic_mean([1.0, 0.0, 1.0]) == 0.0
+
+    def test_bounded_by_min_and_max(self):
+        values = [0.9, 0.4, 0.7]
+        hm = harmonic_mean(values)
+        assert min(values) <= hm <= max(values)
+        # Harmonic mean never exceeds the arithmetic mean.
+        assert hm <= sum(values) / len(values)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([0.5, -0.1])
+
+    def test_eq1_is_harmonic_mean(self):
+        fs = [0.8, 0.6, 0.9]
+        assert eq1_score(fs) == pytest.approx(harmonic_mean(fs))
+
+    def test_eq1_single_query(self):
+        assert eq1_score([0.7]) == pytest.approx(0.7)
+
+
+class TestQueryFmeasure:
+    def test_query_evaluation(self, universe):
+        cluster = np.array([True, False, False, False])
+        # "t0" retrieves exactly d0 under AND with implicit seed.
+        assert query_fmeasure(universe, ["t0"], cluster) == pytest.approx(1.0)
+
+    def test_or_semantics(self, universe):
+        cluster = np.array([True, True, False, False])
+        f = query_fmeasure(universe, ["t0", "t1"], cluster, semantics="or")
+        assert f == pytest.approx(1.0)

@@ -1,0 +1,85 @@
+"""End-to-end OR-semantics expansion (paper appendix) with ISKR and PEBC."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import ExpansionConfig
+from repro.core.expander import ClusterQueryExpander
+from repro.core.iskr import ISKR
+from repro.core.pebc import PEBC
+from repro.core.universe import ExpansionTask, ResultUniverse
+
+from tests.conftest import make_doc
+
+
+@pytest.mark.parametrize("algorithm", [ISKR(), PEBC(seed=0)])
+def test_pipeline_or_semantics(tiny_engine, algorithm):
+    config = ExpansionConfig(
+        n_clusters=2, top_k_results=None, min_candidates=5, semantics="or"
+    )
+    report = ClusterQueryExpander(tiny_engine, algorithm, config).expand("apple")
+    assert len(report.expanded) == 2
+    assert report.score > 0.0
+    for eq in report.expanded:
+        assert 0.0 <= eq.fmeasure <= 1.0
+
+
+def _random_or_task(rng: np.random.Generator) -> ExpansionTask:
+    n_c = int(rng.integers(2, 6))
+    n_u = int(rng.integers(2, 6))
+    keywords = [f"k{i}" for i in range(int(rng.integers(2, 6)))]
+    docs = []
+    for pos in range(n_c + n_u):
+        terms = {"seed": 1, f"f{pos}": 1}
+        for kw in keywords:
+            if rng.random() < 0.5:
+                terms[kw] = 1
+        docs.append(make_doc(f"r{pos}", terms))
+    universe = ResultUniverse(docs)
+    mask = np.array([p < n_c for p in range(n_c + n_u)])
+    return ExpansionTask(
+        universe=universe,
+        cluster_mask=mask,
+        seed_terms=("seed",),
+        candidates=tuple(keywords),
+        semantics="or",
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_iskr_or_never_empty_when_cluster_coverable(seed):
+    """The bootstrap rule: if any candidate hits C, the OR query is nonempty."""
+    rng = np.random.default_rng(seed)
+    task = _random_or_task(rng)
+    coverable = any(
+        (task.universe.has_mask(kw) & task.cluster_mask).any()
+        for kw in task.candidates
+    )
+    outcome = ISKR().expand(task)
+    selected = tuple(t for t in outcome.terms if t != "seed")
+    if coverable:
+        assert selected, "OR query left empty despite coverable cluster"
+        assert outcome.fmeasure > 0.0
+    else:
+        assert outcome.fmeasure == 0.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_pebc_or_metrics_consistent(seed):
+    from repro.core.metrics import precision_recall_f
+
+    rng = np.random.default_rng(seed)
+    task = _random_or_task(rng)
+    outcome = PEBC(seed=0).expand(task)
+    selected = tuple(t for t in outcome.terms if t != "seed")
+    mask = task.universe.results_mask(selected, semantics="or")
+    p, r, f = precision_recall_f(task.universe, mask, task.cluster_mask)
+    assert outcome.fmeasure == pytest.approx(f)
+    assert outcome.precision == pytest.approx(p)
+    assert outcome.recall == pytest.approx(r)

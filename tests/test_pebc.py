@@ -1,0 +1,132 @@
+"""Tests for the PEBC convergence algorithm (§4 / Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.iskr import ISKR
+from repro.core.metrics import precision_recall_f
+from repro.core.pebc import PEBC
+from repro.core.universe import ExpansionTask
+from repro.errors import ExpansionError
+from tests.conftest import build_task
+
+
+class TestPEBC:
+    def test_paper_example_reaches_good_query(self, example_31_task):
+        """On Example 3.1's data PEBC should find a high-F query; ISKR's
+        local optimum there is F = 6/11 ~ 0.545."""
+        outcome = PEBC(seed=0).expand(example_31_task)
+        assert outcome.fmeasure >= 0.5
+
+    def test_never_worse_than_seed_query(self, example_31_task):
+        """x = 0% is always sampled, so the best query is at least the
+        seed query."""
+        task = example_31_task
+        seed_mask = task.universe.results_mask(task.seed_terms)
+        _, _, seed_f = precision_recall_f(
+            task.universe, seed_mask, task.cluster_mask
+        )
+        outcome = PEBC(seed=1).expand(task)
+        assert outcome.fmeasure >= seed_f - 1e-12
+
+    def test_perfect_separation_found(self):
+        task = build_task(
+            {"c1": {"cam"}, "c2": {"cam"}},
+            {"u1": {"tv"}, "u2": {"tv"}},
+            seed_terms=("s",),
+            candidates=("cam", "tv"),
+        )
+        outcome = PEBC(seed=0).expand(task)
+        assert outcome.fmeasure == pytest.approx(1.0)
+
+    def test_cluster_equals_universe(self):
+        task = build_task(
+            {"c1": {"x"}, "c2": {"y"}}, {}, seed_terms=("s",), candidates=("x",)
+        )
+        outcome = PEBC(seed=0).expand(task)
+        assert outcome.fmeasure == pytest.approx(1.0)
+        assert outcome.terms == ("s",)
+
+    def test_deterministic_given_seed(self, example_31_task):
+        a = PEBC(seed=123).expand(example_31_task)
+        b = PEBC(seed=123).expand(example_31_task)
+        assert a.terms == b.terms and a.fmeasure == b.fmeasure
+
+    def test_iterations_recorded(self, example_31_task):
+        outcome = PEBC(n_iterations=2, seed=0).expand(example_31_task)
+        assert 1 <= outcome.iterations <= 2
+        assert len(outcome.trace) == outcome.iterations
+
+    def test_strategy_selection(self, example_31_task):
+        for name in ("single-result", "fixed-order", "random-subset"):
+            outcome = PEBC(strategy=name, seed=0).expand(example_31_task)
+            assert 0.0 <= outcome.fmeasure <= 1.0
+
+    def test_more_segments_at_least_as_many_samples(self, example_31_task):
+        coarse = PEBC(n_segments=2, n_iterations=1, seed=0).expand(example_31_task)
+        fine = PEBC(n_segments=10, n_iterations=1, seed=0).expand(example_31_task)
+        # value_updates counts distinct sampled x points.
+        assert fine.value_updates >= coarse.value_updates
+
+    def test_invalid_params(self):
+        with pytest.raises(ExpansionError):
+            PEBC(n_segments=0)
+        with pytest.raises(ExpansionError):
+            PEBC(n_iterations=0)
+        with pytest.raises(ExpansionError):
+            PEBC(strategy="bogus")
+
+    def test_or_semantics_supported(self, example_31_task):
+        """Paper appendix: OR is 'essentially the identical problem'."""
+        task = ExpansionTask(
+            universe=example_31_task.universe,
+            cluster_mask=example_31_task.cluster_mask,
+            seed_terms=example_31_task.seed_terms,
+            candidates=example_31_task.candidates,
+            semantics="or",
+        )
+        outcome = PEBC(seed=0).expand(task)
+        assert 0.0 <= outcome.fmeasure <= 1.0
+        # The reported metrics must match the OR-evaluated query.
+        selected = tuple(
+            t for t in outcome.terms if t not in task.seed_terms
+        )
+        mask = task.universe.results_mask(selected, semantics="or")
+        p, r, f = precision_recall_f(task.universe, mask, task.cluster_mask)
+        assert outcome.fmeasure == pytest.approx(f)
+
+    def test_or_semantics_deterministic(self, example_31_task):
+        task = ExpansionTask(
+            universe=example_31_task.universe,
+            cluster_mask=example_31_task.cluster_mask,
+            seed_terms=example_31_task.seed_terms,
+            candidates=example_31_task.candidates,
+            semantics="or",
+        )
+        a = PEBC(seed=3).expand(task)
+        b = PEBC(seed=3).expand(task)
+        assert a.terms == b.terms
+        assert a.fmeasure == b.fmeasure
+
+    def test_outcome_metrics_consistent(self, example_31_task):
+        task = example_31_task
+        outcome = PEBC(seed=0).expand(task)
+        mask = task.universe.results_mask(outcome.terms)
+        p, r, f = precision_recall_f(task.universe, mask, task.cluster_mask)
+        assert outcome.fmeasure == pytest.approx(f)
+        assert outcome.precision == pytest.approx(p)
+        assert outcome.recall == pytest.approx(r)
+
+    def test_comparable_to_iskr_on_easy_tasks(self):
+        """§5.2.2: ISKR and PEBC achieve similar scores; on separable data
+        both should be perfect."""
+        task = build_task(
+            {f"c{i}": {"cam", f"x{i}"} for i in range(5)},
+            {f"u{i}": {"tv", f"y{i}"} for i in range(5)},
+            seed_terms=("s",),
+            candidates=("cam", "tv", "x0", "y0"),
+        )
+        iskr_f = ISKR().expand(task).fmeasure
+        pebc_f = PEBC(seed=0).expand(task).fmeasure
+        assert iskr_f == pytest.approx(1.0)
+        assert pebc_f == pytest.approx(1.0)

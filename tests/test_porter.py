@@ -1,0 +1,163 @@
+"""Tests for the from-scratch Porter stemmer.
+
+Expected stems are from Porter's published vocabulary examples (1980 paper
+and the reference implementation's test set).
+"""
+
+import pytest
+
+from repro.text.porter import PorterStemmer, stem
+
+
+@pytest.fixture(scope="module")
+def stemmer() -> PorterStemmer:
+    return PorterStemmer()
+
+
+class TestStep1:
+    @pytest.mark.parametrize(
+        "word,expected",
+        [
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("ties", "ti"),
+            ("caress", "caress"),
+            ("cats", "cat"),
+        ],
+    )
+    def test_plurals(self, stemmer, word, expected):
+        assert stemmer.stem(word) == expected
+
+    @pytest.mark.parametrize(
+        "word,expected",
+        [
+            ("feed", "feed"),
+            ("agreed", "agre"),
+            ("plastered", "plaster"),
+            ("bled", "bled"),
+            ("motoring", "motor"),
+            ("sing", "sing"),
+        ],
+    )
+    def test_ed_ing(self, stemmer, word, expected):
+        assert stemmer.stem(word) == expected
+
+    @pytest.mark.parametrize(
+        "word,expected",
+        [
+            ("conflated", "conflat"),
+            ("troubled", "troubl"),
+            ("sized", "size"),
+            ("hopping", "hop"),
+            ("tanned", "tan"),
+            ("falling", "fall"),
+            ("hissing", "hiss"),
+            ("fizzed", "fizz"),
+            ("failing", "fail"),
+            ("filing", "file"),
+        ],
+    )
+    def test_ed_ing_cleanup(self, stemmer, word, expected):
+        assert stemmer.stem(word) == expected
+
+    @pytest.mark.parametrize(
+        "word,expected", [("happy", "happi"), ("sky", "sky")]
+    )
+    def test_y_to_i(self, stemmer, word, expected):
+        assert stemmer.stem(word) == expected
+
+
+class TestSteps2to5:
+    @pytest.mark.parametrize(
+        "word,expected",
+        [
+            ("relational", "relat"),
+            ("conditional", "condit"),
+            ("rational", "ration"),
+            ("valenci", "valenc"),
+            ("digitizer", "digit"),
+            ("operator", "oper"),
+        ],
+    )
+    def test_step2(self, stemmer, word, expected):
+        assert stemmer.stem(word) == expected
+
+    @pytest.mark.parametrize(
+        "word,expected",
+        [
+            ("triplicate", "triplic"),
+            ("formative", "form"),
+            ("formalize", "formal"),
+            ("electricity", "electr"),
+            ("hopefulness", "hope"),
+        ],
+    )
+    def test_step3(self, stemmer, word, expected):
+        assert stemmer.stem(word) == expected
+
+    @pytest.mark.parametrize(
+        "word,expected",
+        [
+            ("revival", "reviv"),
+            ("allowance", "allow"),
+            ("inference", "infer"),
+            ("airliner", "airlin"),
+            ("adjustment", "adjust"),
+            ("adoption", "adopt"),
+            ("effective", "effect"),
+        ],
+    )
+    def test_step4(self, stemmer, word, expected):
+        assert stemmer.stem(word) == expected
+
+    @pytest.mark.parametrize(
+        "word,expected",
+        [
+            ("probate", "probat"),
+            ("rate", "rate"),
+            ("cease", "ceas"),
+            ("controll", "control"),
+            ("roll", "roll"),
+        ],
+    )
+    def test_step5(self, stemmer, word, expected):
+        assert stemmer.stem(word) == expected
+
+
+class TestGeneralBehaviour:
+    def test_short_words_unchanged(self, stemmer):
+        for w in ("a", "is", "be", "tv"):
+            assert stemmer.stem(w) == w
+
+    @pytest.mark.parametrize(
+        "word,expected",
+        [
+            ("printers", "printer"),
+            ("cameras", "camera"),
+            ("routers", "router"),
+            ("networking", "network"),
+            ("clustering", "cluster"),
+            ("expansion", "expans"),
+        ],
+    )
+    def test_domain_words(self, stemmer, word, expected):
+        assert stemmer.stem(word) == expected
+
+    def test_output_never_longer(self, stemmer):
+        for w in ("generalization", "oscillators", "university", "happiness"):
+            assert len(stemmer.stem(w)) <= len(w)
+
+
+class TestStemFunction:
+    def test_alpha_token_stemmed(self):
+        assert stem("running") == "run"
+
+    def test_model_numbers_untouched(self):
+        assert stem("wp-dc26") == "wp-dc26"
+        assert stem("8gb") == "8gb"
+
+    def test_feature_triplets_untouched(self):
+        assert stem("memory:category:ddr3") == "memory:category:ddr3"
+
+    def test_empty_string(self):
+        assert stem("") == ""

@@ -1,0 +1,114 @@
+"""Unit tests for the positional index (repro.index.positional)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import IndexingError, QueryError
+from repro.index.positional import PositionalIndex, PositionalPostings
+
+
+@pytest.fixture
+def index() -> PositionalIndex:
+    streams = [
+        "san jose is a city in california".split(),
+        "san francisco and san jose are bay area cities".split(),
+        "jose lives in san diego".split(),
+        "the sharks play in san jose california".split(),
+    ]
+    return PositionalIndex(streams)
+
+
+class TestPostings:
+    def test_add_and_positions(self):
+        pp = PositionalPostings()
+        pp.add(0, 2)
+        pp.add(0, 5)
+        pp.add(3, 1)
+        assert pp.doc_ids() == [0, 3]
+        assert pp.positions(0) == [2, 5]
+        assert pp.positions(3) == [1]
+        assert pp.positions(7) == []
+
+    def test_rejects_doc_regression(self):
+        pp = PositionalPostings()
+        pp.add(5, 0)
+        with pytest.raises(IndexingError):
+            pp.add(4, 0)
+
+    def test_rejects_position_regression(self):
+        pp = PositionalPostings()
+        pp.add(0, 3)
+        with pytest.raises(IndexingError):
+            pp.add(0, 3)
+
+    def test_len_counts_docs(self):
+        pp = PositionalPostings()
+        pp.add(0, 0)
+        pp.add(0, 1)
+        pp.add(2, 0)
+        assert len(pp) == 2
+
+
+class TestIndexConstruction:
+    def test_num_documents(self, index):
+        assert index.num_documents == 4
+
+    def test_vocabulary_sorted(self, index):
+        vocab = index.vocabulary()
+        assert vocab == sorted(vocab)
+        assert "san" in vocab
+
+    def test_contains(self, index):
+        assert "jose" in index
+        assert "seattle" not in index
+
+    def test_empty_token_rejected(self):
+        with pytest.raises(IndexingError):
+            PositionalIndex([["a", ""]])
+
+    def test_multiple_occurrences_per_doc(self, index):
+        pp = index.postings("san")
+        assert pp.positions(1) == [0, 3]
+
+
+class TestPhraseQuery:
+    def test_exact_phrase(self, index):
+        assert index.phrase_query(["san", "jose"]) == [0, 1, 3]
+
+    def test_phrase_not_reversed(self, index):
+        # "jose san" never occurs.
+        assert index.phrase_query(["jose", "san"]) == []
+
+    def test_single_term_phrase(self, index):
+        assert index.phrase_query(["california"]) == [0, 3]
+
+    def test_unknown_word(self, index):
+        assert index.phrase_query(["san", "antonio"]) == []
+
+    def test_empty_phrase_rejected(self, index):
+        with pytest.raises(QueryError):
+            index.phrase_query([])
+
+    def test_three_word_phrase(self, index):
+        assert index.phrase_query(["san", "jose", "california"]) == [3]
+
+
+class TestProximity:
+    def test_slop_bridges_gap(self, index):
+        # doc 2: "jose lives in san diego" — jose..san with 2 intervening.
+        assert index.within_query(["jose", "san"], slop=1) == []
+        assert index.within_query(["jose", "san"], slop=2) == [2]
+
+    def test_slop_zero_is_phrase(self, index):
+        assert index.within_query(["san", "jose"], slop=0) == index.phrase_query(
+            ["san", "jose"]
+        )
+
+    def test_negative_slop_rejected(self, index):
+        with pytest.raises(QueryError):
+            index.within_query(["san", "jose"], slop=-1)
+
+    def test_order_required_even_with_slop(self, index):
+        # "california san" never occurs in order within any slop <= 2.
+        assert index.within_query(["california", "san"], slop=2) == []

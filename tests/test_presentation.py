@@ -1,0 +1,67 @@
+"""Unit tests for report rendering (repro.eval.presentation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ExpansionConfig
+from repro.core.expander import ClusterQueryExpander
+from repro.core.iskr import ISKR
+from repro.errors import ConfigError
+from repro.eval.presentation import render_expansion_report
+
+
+@pytest.fixture
+def report(tiny_engine):
+    config = ExpansionConfig(n_clusters=2, top_k_results=None, min_candidates=5)
+    return ClusterQueryExpander(tiny_engine, ISKR(), config).expand("apple")
+
+
+class TestRendering:
+    def test_header_line(self, report):
+        text = render_expansion_report(report)
+        assert "seed query 'apple'" in text
+        assert "Eq.1 score" in text
+
+    def test_every_cluster_present(self, report):
+        text = render_expansion_report(report)
+        for eq in report.expanded:
+            assert f"[cluster {eq.cluster_id}]" in text
+            assert eq.display() in text
+
+    def test_snippets_shown_per_cluster(self, report):
+        text = render_expansion_report(report, max_results_per_cluster=2)
+        # Every universe doc id that is shown belongs to the corpus.
+        shown_ids = [
+            line.strip().split(":")[0]
+            for line in text.splitlines()
+            if line.startswith("    d")
+        ]
+        assert shown_ids
+        assert all(doc_id.startswith("d") for doc_id in shown_ids)
+
+    def test_truncation_marker(self, report):
+        text = render_expansion_report(report, max_results_per_cluster=1)
+        if any(eq.cluster_size > 1 for eq in report.expanded):
+            assert "more" in text
+
+    def test_snippet_width_enforced(self, report):
+        text = render_expansion_report(report, snippet_width=12)
+        for line in text.splitlines():
+            if line.startswith("    d"):
+                doc_id, _, snippet = line.strip().partition(": ")
+                assert len(snippet) <= 12
+
+    def test_idf_accepted(self, report, tiny_engine):
+        text = render_expansion_report(report, idf=tiny_engine.scorer.idf)
+        assert "[cluster" in text
+
+    def test_invalid_params(self, report):
+        with pytest.raises(ConfigError):
+            render_expansion_report(report, max_results_per_cluster=0)
+        with pytest.raises(ConfigError):
+            render_expansion_report(report, snippet_width=5)
+
+    def test_metrics_in_output(self, report):
+        text = render_expansion_report(report)
+        assert "F=" in text and "P=" in text and "R=" in text

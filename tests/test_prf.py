@@ -1,0 +1,190 @@
+"""Unit tests for the pseudo-relevance-feedback baselines (repro.prf)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.prf.base import PRFSuggester
+from repro.prf.kld import KLDivergencePRF
+from repro.prf.robertson import RobertsonPRF, relevance_weight
+from repro.prf.rocchio import RocchioPRF
+
+ALL_SCHEMES = [RocchioPRF, KLDivergencePRF, RobertsonPRF]
+
+
+@pytest.fixture
+def apple_results(tiny_engine):
+    return tiny_engine.search("apple")
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("cls", ALL_SCHEMES)
+    def test_invalid_n_feedback(self, cls):
+        with pytest.raises(ConfigError):
+            cls(n_feedback=0)
+
+    @pytest.mark.parametrize("cls", ALL_SCHEMES)
+    def test_invalid_n_queries(self, cls):
+        with pytest.raises(ConfigError):
+            cls(n_queries=0)
+
+    @pytest.mark.parametrize("cls", ALL_SCHEMES)
+    def test_invalid_terms_per_query(self, cls):
+        with pytest.raises(ConfigError):
+            cls(terms_per_query=0)
+
+    def test_rocchio_invalid_beta(self):
+        with pytest.raises(ConfigError):
+            RocchioPRF(beta=0.0)
+
+    def test_rocchio_invalid_gamma(self):
+        with pytest.raises(ConfigError):
+            RocchioPRF(gamma=-0.1)
+
+    def test_rocchio_invalid_n_nonrelevant(self):
+        with pytest.raises(ConfigError):
+            RocchioPRF(n_nonrelevant=-1)
+
+
+class TestSuggestionShape:
+    @pytest.mark.parametrize("cls", ALL_SCHEMES)
+    def test_queries_include_seed(self, cls, tiny_engine, apple_results):
+        suggestions = cls(n_queries=3).suggest(tiny_engine, "apple", apple_results)
+        for q in suggestions.queries:
+            assert q[0] == "apple"
+
+    @pytest.mark.parametrize("cls", ALL_SCHEMES)
+    def test_at_most_n_queries(self, cls, tiny_engine, apple_results):
+        suggestions = cls(n_queries=2).suggest(tiny_engine, "apple", apple_results)
+        assert len(suggestions.queries) <= 2
+
+    @pytest.mark.parametrize("cls", ALL_SCHEMES)
+    def test_no_seed_term_suggested_as_expansion(
+        self, cls, tiny_engine, apple_results
+    ):
+        suggestions = cls(n_queries=5).suggest(tiny_engine, "apple", apple_results)
+        for q in suggestions.queries:
+            assert q.count("apple") == 1
+
+    @pytest.mark.parametrize("cls", ALL_SCHEMES)
+    def test_terms_per_query(self, cls, tiny_engine, apple_results):
+        suggestions = cls(n_queries=2, terms_per_query=2).suggest(
+            tiny_engine, "apple", apple_results
+        )
+        for q in suggestions.queries:
+            assert len(q) <= 3  # seed + 2
+
+    @pytest.mark.parametrize("cls", ALL_SCHEMES)
+    def test_empty_results_give_no_queries(self, cls, tiny_engine):
+        suggestions = cls().suggest(tiny_engine, "apple", [])
+        assert suggestions.queries == ()
+
+    @pytest.mark.parametrize("cls", ALL_SCHEMES)
+    def test_suggestions_deterministic(self, cls, tiny_engine, apple_results):
+        a = cls().suggest(tiny_engine, "apple", apple_results)
+        b = cls().suggest(tiny_engine, "apple", apple_results)
+        assert a.queries == b.queries
+
+    @pytest.mark.parametrize("cls", ALL_SCHEMES)
+    def test_system_name_recorded(self, cls, tiny_engine, apple_results):
+        suggestions = cls().suggest(tiny_engine, "apple", apple_results)
+        assert suggestions.system == cls.name
+
+
+class TestRankingBias:
+    """The defining PRF behaviour: feedback from the head of the ranking."""
+
+    @pytest.mark.parametrize("cls", ALL_SCHEMES)
+    def test_small_feedback_set_reflects_top_results(
+        self, cls, tiny_engine, apple_results
+    ):
+        # With n_feedback=1 every suggested term must occur in the single
+        # top-ranked result.
+        suggestions = cls(n_feedback=1, n_queries=3).suggest(
+            tiny_engine, "apple", apple_results
+        )
+        top_terms = set(apple_results[0].document.terms)
+        for q in suggestions.queries:
+            for term in q[1:]:
+                assert term in top_terms
+
+
+class TestRocchio:
+    def test_gamma_demotes_tail_terms(self, tiny_engine, apple_results):
+        # Terms that only appear in the lowest-ranked results are demoted
+        # when gamma > 0.
+        plain = RocchioPRF(n_feedback=3, n_queries=5, gamma=0.0)
+        negative = RocchioPRF(
+            n_feedback=3, n_queries=5, gamma=5.0, n_nonrelevant=2
+        )
+        scores_plain = plain.score_terms(
+            tiny_engine, ("apple",), apple_results[:3]
+        )
+        negative._all_results = list(apple_results)
+        scores_neg = negative.score_terms(
+            tiny_engine, ("apple",), apple_results[:3]
+        )
+        tail_terms = set()
+        for r in apple_results[3:]:
+            tail_terms |= set(r.document.terms)
+        demoted = [
+            t
+            for t in tail_terms
+            if scores_neg.get(t, 0.0) < scores_plain.get(t, 0.0)
+        ]
+        assert demoted
+
+    def test_scores_positive_without_gamma(self, tiny_engine, apple_results):
+        scores = RocchioPRF().score_terms(tiny_engine, ("apple",), apple_results)
+        assert scores
+        assert all(v > 0.0 for v in scores.values())
+
+
+class TestKLD:
+    def test_only_overrepresented_terms_scored(self, tiny_engine, apple_results):
+        scores = KLDivergencePRF().score_terms(
+            tiny_engine, ("apple",), apple_results
+        )
+        # "banana" never co-occurs with apple, so it cannot be scored.
+        assert "banana" not in scores
+        assert all(v > 0.0 for v in scores.values())
+
+    def test_empty_relevant_set(self, tiny_engine):
+        scores = KLDivergencePRF().score_terms(tiny_engine, ("apple",), [])
+        assert scores == {}
+
+
+class TestRobertson:
+    def test_relevance_weight_monotone_in_r(self):
+        # More relevant occurrences -> higher weight, everything else fixed.
+        w1 = relevance_weight(1, 5, 10, 100)
+        w3 = relevance_weight(3, 5, 10, 100)
+        assert w3 > w1
+
+    def test_relevance_weight_penalizes_common_terms(self):
+        rare = relevance_weight(3, 3, 10, 100)
+        common = relevance_weight(3, 80, 10, 100)
+        assert rare > common
+
+    def test_degenerate_weight_clamped(self):
+        # All docs contain the term and all are relevant: weight must not
+        # blow up or go negative-infinite.
+        value = relevance_weight(10, 10, 10, 10)
+        assert value >= 0.0
+
+    def test_offer_weight_prefers_frequent_in_relevant(
+        self, tiny_engine, apple_results
+    ):
+        scores = RobertsonPRF().score_terms(
+            tiny_engine, ("apple",), apple_results
+        )
+        assert scores
+        # "company" appears in 3 of the 5 apple docs, "pie" in 1.
+        assert scores.get("company", 0.0) > scores.get("pie", 0.0)
+
+
+class TestAbstractBase:
+    def test_cannot_instantiate_base(self):
+        with pytest.raises(TypeError):
+            PRFSuggester()  # type: ignore[abstract]

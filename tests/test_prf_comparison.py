@@ -1,0 +1,76 @@
+"""Integration tests: PRF vs cluster-based expansion on ambiguous data.
+
+Reproduces, at test scale, the paper's §F claim: PRF's pseudo-relevant set
+reflects the dominant interpretation of an ambiguous query, so its
+suggestions are less comprehensive than one-query-per-cluster expansion.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.wikipedia import build_wikipedia_corpus
+from repro.index.search import SearchEngine
+from repro.prf.comparison import SuggesterComparison, compare_suggesters
+from repro.prf.kld import KLDivergencePRF
+from repro.prf.robertson import RobertsonPRF
+from repro.prf.rocchio import RocchioPRF
+from repro.text.analyzer import Analyzer
+
+
+@pytest.fixture(scope="module")
+def wiki_engine():
+    analyzer = Analyzer(use_stemming=False)
+    corpus = build_wikipedia_corpus(
+        seed=0, docs_per_sense=15, analyzer=analyzer
+    )
+    return SearchEngine(corpus, analyzer)
+
+
+@pytest.fixture(scope="module")
+def comparisons(wiki_engine):
+    prf = [
+        RocchioPRF(n_feedback=10, n_queries=3),
+        KLDivergencePRF(n_feedback=10, n_queries=3),
+        RobertsonPRF(n_feedback=10, n_queries=3),
+    ]
+    return compare_suggesters(
+        wiki_engine, "java", prf, n_clusters=3, top_k_results=30, seed=0
+    )
+
+
+class TestCompareSuggesters:
+    def test_all_systems_present(self, comparisons):
+        systems = [c.system for c in comparisons]
+        assert systems == ["ISKR", "Rocchio", "KLD", "Robertson"]
+
+    def test_measures_in_bounds(self, comparisons):
+        for c in comparisons:
+            assert 0.0 <= c.coverage <= 1.0
+            assert 0.0 <= c.overlap <= 1.0
+            assert c.diversity == pytest.approx(1.0 - c.overlap)
+
+    def test_iskr_covers_all_clusters(self, comparisons):
+        iskr = comparisons[0]
+        assert iskr.system == "ISKR"
+        assert iskr.coverage == 1.0
+
+    def test_prf_less_comprehensive_than_iskr(self, comparisons):
+        """The paper's shape: PRF misses minority interpretations."""
+        iskr = comparisons[0]
+        prf_coverages = [c.coverage for c in comparisons[1:]]
+        assert max(prf_coverages) <= iskr.coverage
+        # At least one classic scheme should actually miss a cluster on an
+        # ambiguous query with a dominant sense.
+        assert min(prf_coverages) < 1.0
+
+    def test_queries_start_with_seed(self, comparisons):
+        for c in comparisons:
+            for q in c.queries:
+                assert q[0] == "java"
+
+    def test_dataclass_fields(self, comparisons):
+        c = comparisons[0]
+        assert isinstance(c, SuggesterComparison)
+        assert c.seed_query == "java"
+        assert c.n_clusters >= 2

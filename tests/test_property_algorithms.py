@@ -1,0 +1,132 @@
+"""Property-based tests for ISKR, the delta-F variant, and PEBC on random
+small tasks: structural invariants that must hold on *any* input."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.fmeasure import DeltaFMeasureRefinement
+from repro.core.iskr import ISKR
+from repro.core.metrics import precision_recall_f
+from repro.core.pebc import PEBC
+from repro.core.strategies import SingleResultStrategy
+from repro.core.universe import ExpansionTask, ResultUniverse
+from tests.conftest import make_doc
+
+KEYWORDS = ["k1", "k2", "k3", "k4", "k5"]
+
+
+@st.composite
+def tasks(draw):
+    n = draw(st.integers(min_value=2, max_value=12))
+    docs = []
+    for i in range(n):
+        extra = draw(
+            st.sets(st.sampled_from(KEYWORDS), min_size=0, max_size=len(KEYWORDS))
+        )
+        docs.append(make_doc(f"d{i}", {"seed"} | extra))
+    cluster_bits = draw(
+        st.lists(st.booleans(), min_size=n, max_size=n)
+    )
+    if not any(cluster_bits):
+        cluster_bits[0] = True
+    weights = draw(
+        st.one_of(
+            st.none(),
+            st.lists(
+                st.floats(min_value=0.1, max_value=3.0), min_size=n, max_size=n
+            ),
+        )
+    )
+    uni = ResultUniverse(docs, weights)
+    return ExpansionTask(
+        universe=uni,
+        cluster_mask=np.array(cluster_bits),
+        seed_terms=("seed",),
+        candidates=tuple(KEYWORDS),
+    )
+
+
+def check_outcome(task, outcome):
+    # Seed terms always kept, in front.
+    assert outcome.terms[0] == "seed"
+    # No duplicates; all additions come from the candidate set.
+    assert len(outcome.terms) == len(set(outcome.terms))
+    assert set(outcome.terms[1:]) <= set(KEYWORDS)
+    # Reported metrics match a fresh evaluation of the final query.
+    mask = task.universe.results_mask(outcome.terms)
+    p, r, f = precision_recall_f(task.universe, mask, task.cluster_mask)
+    assert outcome.fmeasure == pytest.approx(f)
+    assert outcome.precision == pytest.approx(p)
+    assert outcome.recall == pytest.approx(r)
+    assert 0.0 <= f <= 1.0
+
+
+class TestISKRProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(tasks())
+    def test_invariants(self, task):
+        check_outcome(task, ISKR().expand(task))
+
+    @settings(max_examples=30, deadline=None)
+    @given(tasks())
+    def test_deterministic(self, task):
+        assert ISKR().expand(task).terms == ISKR().expand(task).terms
+
+    @settings(max_examples=30, deadline=None)
+    @given(tasks())
+    def test_terminates_within_cap(self, task):
+        outcome = ISKR(max_iterations=50).expand(task)
+        assert outcome.iterations <= 50
+
+
+class TestDeltaFProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(tasks())
+    def test_invariants(self, task):
+        check_outcome(task, DeltaFMeasureRefinement().expand(task))
+
+    @settings(max_examples=40, deadline=None)
+    @given(tasks())
+    def test_never_below_seed_f(self, task):
+        """Unlike ISKR's benefit/cost heuristic, delta-F only applies
+        strictly improving steps, so the final F is >= the seed query's."""
+        seed_mask = task.universe.results_mask(task.seed_terms)
+        _, _, seed_f = precision_recall_f(
+            task.universe, seed_mask, task.cluster_mask
+        )
+        outcome = DeltaFMeasureRefinement().expand(task)
+        assert outcome.fmeasure >= seed_f - 1e-9
+
+
+class TestPEBCProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(tasks())
+    def test_invariants(self, task):
+        check_outcome(task, PEBC(seed=0).expand(task))
+
+    @settings(max_examples=30, deadline=None)
+    @given(tasks())
+    def test_never_below_seed_f(self, task):
+        """x=0% (the seed query) is always among PEBC's samples."""
+        seed_mask = task.universe.results_mask(task.seed_terms)
+        _, _, seed_f = precision_recall_f(
+            task.universe, seed_mask, task.cluster_mask
+        )
+        outcome = PEBC(seed=1).expand(task)
+        assert outcome.fmeasure >= seed_f - 1e-9
+
+
+class TestStrategyProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(tasks(), st.floats(min_value=0.0, max_value=1.0), st.integers(0, 100))
+    def test_sample_query_invariants(self, task, target, seed):
+        sq = SingleResultStrategy().generate(
+            task, target, np.random.default_rng(seed)
+        )
+        assert 0.0 <= sq.eliminated_share <= 1.0 + 1e-9
+        assert sq.terms[: len(task.seed_terms)] == task.seed_terms
+        assert len(sq.selected) == len(set(sq.selected))
+        assert np.array_equal(
+            sq.result_mask, task.universe.results_mask(sq.terms)
+        )

@@ -1,0 +1,50 @@
+"""Property-based tests for the clustering additions (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.kmedoids import KMedoids
+from repro.cluster.kselect import choose_k
+
+
+@st.composite
+def matrices(draw, min_rows: int = 2, max_rows: int = 20):
+    n = draw(st.integers(min_value=min_rows, max_value=max_rows))
+    d = draw(st.integers(min_value=2, max_value=6))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    # Strictly positive entries avoid zero vectors (cosine undefined).
+    return rng.uniform(0.1, 1.0, (n, d))
+
+
+@settings(max_examples=30, deadline=None)
+@given(matrices(), st.integers(min_value=1, max_value=6), st.integers(0, 100))
+def test_kmedoids_invariants(matrix, k, seed):
+    result = KMedoids(n_clusters=k, seed=seed).fit(matrix)
+    n = matrix.shape[0]
+    # Labels index into the medoid list; medoids are rows of the matrix.
+    assert result.labels.shape == (n,)
+    assert set(result.labels.tolist()) <= set(range(len(result.medoids)))
+    assert all(0 <= m < n for m in result.medoids)
+    # Every medoid belongs to the cluster it represents.
+    for ci, m in enumerate(result.medoids):
+        if (result.labels == ci).any():
+            assert result.labels[m] == ci
+    assert result.inertia >= 0.0
+    assert len(result.medoids) <= min(k, n)
+
+
+@settings(max_examples=30, deadline=None)
+@given(matrices(min_rows=3), st.integers(min_value=2, max_value=8))
+def test_choose_k_invariants(matrix, max_k):
+    selection = choose_k(matrix, max_k=max_k, seed=0)
+    n = matrix.shape[0]
+    assert 2 <= selection.k <= min(max_k, n)
+    assert selection.labels.shape == (n,)
+    # The chosen k's silhouette is the maximum over all tried values.
+    assert selection.silhouettes[selection.k] == max(
+        selection.silhouettes.values()
+    )

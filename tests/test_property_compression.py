@@ -1,0 +1,63 @@
+"""Property-based tests for the compression codecs (hypothesis)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.compression import (
+    decode_postings,
+    encode_postings,
+    from_gaps,
+    gamma_decode,
+    gamma_encode,
+    to_gaps,
+    varint_decode,
+    varint_encode,
+)
+
+positive_ints = st.integers(min_value=1, max_value=2**40)
+
+
+@given(st.lists(positive_ints, max_size=200))
+def test_varint_roundtrip(values):
+    assert varint_decode(varint_encode(values)) == values
+
+
+@given(st.lists(positive_ints, max_size=200))
+def test_gamma_roundtrip(values):
+    assert gamma_decode(gamma_encode(values), len(values)) == values
+
+
+@given(st.lists(st.integers(min_value=0, max_value=2**30), max_size=200))
+def test_gap_roundtrip(raw_ids):
+    doc_ids = sorted(set(raw_ids))
+    assert from_gaps(to_gaps(doc_ids)) == doc_ids
+
+
+@settings(max_examples=50)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=2**24),
+            st.integers(min_value=1, max_value=1000),
+        ),
+        max_size=100,
+    ),
+    st.sampled_from(["varint", "gamma"]),
+)
+def test_posting_codec_roundtrip(pairs, codec):
+    by_doc = {doc: tf for doc, tf in pairs}
+    doc_ids = sorted(by_doc)
+    tfs = [by_doc[d] for d in doc_ids]
+    blob = encode_postings(doc_ids, tfs, codec=codec)
+    assert decode_postings(blob, len(doc_ids), codec=codec) == (doc_ids, tfs)
+
+
+@given(st.lists(positive_ints, min_size=1, max_size=100))
+def test_varint_encoding_is_prefix_free_concatenation(values):
+    # Concatenating per-value encodings equals encoding the list — the
+    # stream is self-delimiting value by value.
+    whole = varint_encode(values)
+    parts = b"".join(varint_encode([v]) for v in values)
+    assert whole == parts

@@ -1,0 +1,72 @@
+"""Property-based robustness tests for the binary disk index.
+
+Corruption must never produce a crash outside the library's error type:
+any byte-level damage either loads to a structurally-sane index or raises
+:class:`~repro.errors.IndexingError`. Truncation must always be detected.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.corpus import Corpus
+from repro.errors import IndexingError
+from repro.index.diskindex import DiskIndex, write_index
+from repro.index.inverted_index import InvertedIndex
+
+from tests.conftest import make_doc
+
+
+@pytest.fixture(scope="module")
+def index_bytes(tmp_path_factory) -> bytes:
+    corpus = Corpus(
+        [
+            make_doc("d1", {"apple": 2, "store": 1}),
+            make_doc("d2", {"apple": 1, "fruit": 3, "tree": 1}),
+            make_doc("d3", {"banana": 1, "fruit": 1}),
+        ]
+    )
+    path = tmp_path_factory.mktemp("fuzz") / "idx.bin"
+    write_index(InvertedIndex(corpus), path)
+    return path.read_bytes()
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_truncation_always_detected(index_bytes, tmp_path_factory, data):
+    cut = data.draw(st.integers(min_value=0, max_value=len(index_bytes) - 1))
+    path = tmp_path_factory.mktemp("fuzz-cut") / "t.bin"
+    path.write_bytes(index_bytes[:cut])
+    with pytest.raises(IndexingError):
+        DiskIndex.load(path)
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.data())
+def test_single_byte_corruption_never_escapes_error_type(
+    index_bytes, tmp_path_factory, data
+):
+    pos = data.draw(st.integers(min_value=0, max_value=len(index_bytes) - 1))
+    new_byte = data.draw(st.integers(min_value=0, max_value=255))
+    corrupted = bytearray(index_bytes)
+    corrupted[pos] = new_byte
+    path = tmp_path_factory.mktemp("fuzz-bit") / "c.bin"
+    path.write_bytes(bytes(corrupted))
+    try:
+        loaded = DiskIndex.load(path)
+        for term in loaded.vocabulary():
+            plist = loaded.postings(term)
+            ids = plist.doc_ids()
+            # Decoded postings must remain strictly increasing.
+            assert ids == sorted(set(ids))
+    except IndexingError:
+        pass  # detected corruption — the designed outcome
+
+
+def test_extension_bytes_rejected(index_bytes, tmp_path):
+    path = tmp_path / "x.bin"
+    path.write_bytes(index_bytes + b"\x00\x01")
+    with pytest.raises(IndexingError):
+        DiskIndex.load(path)

@@ -1,0 +1,55 @@
+"""Property-based test: on random small tasks, no heuristic beats the
+exhaustive optimum — the ground-truth check the APX-hardness discussion
+motivates."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.exact import ExhaustiveOptimalExpansion
+from repro.core.fmeasure import DeltaFMeasureRefinement
+from repro.core.iskr import ISKR
+from repro.core.pebc import PEBC
+from tests.test_property_algorithms import tasks
+
+
+class TestOptimalityBound:
+    @settings(max_examples=40, deadline=None)
+    @given(tasks())
+    def test_iskr_bounded_by_optimum(self, task):
+        exact = ExhaustiveOptimalExpansion().expand(task)
+        assert ISKR().expand(task).fmeasure <= exact.fmeasure + 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(tasks())
+    def test_pebc_bounded_by_optimum(self, task):
+        exact = ExhaustiveOptimalExpansion().expand(task)
+        assert PEBC(seed=0).expand(task).fmeasure <= exact.fmeasure + 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(tasks())
+    def test_deltaf_bounded_by_optimum(self, task):
+        exact = ExhaustiveOptimalExpansion().expand(task)
+        out = DeltaFMeasureRefinement().expand(task)
+        assert out.fmeasure <= exact.fmeasure + 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(tasks())
+    def test_optimum_at_least_seed(self, task):
+        """The empty subset (seed query) is always enumerated."""
+        from repro.core.metrics import precision_recall_f
+
+        seed_mask = task.universe.results_mask(task.seed_terms)
+        _, _, seed_f = precision_recall_f(
+            task.universe, seed_mask, task.cluster_mask
+        )
+        exact = ExhaustiveOptimalExpansion().expand(task)
+        assert exact.fmeasure >= seed_f - 1e-12
+
+    @settings(max_examples=20, deadline=None)
+    @given(tasks())
+    def test_monotone_in_max_added(self, task):
+        """Allowing more keywords never lowers the optimum."""
+        f1 = ExhaustiveOptimalExpansion(max_added=1).expand(task).fmeasure
+        f2 = ExhaustiveOptimalExpansion(max_added=2).expand(task).fmeasure
+        full = ExhaustiveOptimalExpansion().expand(task).fmeasure
+        assert f1 <= f2 + 1e-12 <= full + 2e-12

@@ -1,0 +1,106 @@
+"""Property-based tests for the §2 metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.metrics import fmeasure, harmonic_mean, precision_recall_f
+from repro.core.universe import ResultUniverse
+from tests.conftest import make_doc
+
+probs = st.floats(min_value=0.0, max_value=1.0)
+pos_values = st.lists(
+    st.floats(min_value=1e-6, max_value=1.0), min_size=1, max_size=8
+)
+
+
+class TestFmeasureProperties:
+    @given(probs, probs)
+    def test_bounds(self, p, r):
+        f = fmeasure(p, r)
+        assert 0.0 <= f <= 1.0
+
+    @given(probs, probs)
+    def test_between_min_and_max(self, p, r):
+        f = fmeasure(p, r)
+        if p > 0 and r > 0:
+            assert min(p, r) - 1e-12 <= f <= max(p, r) + 1e-12
+
+    @given(probs, probs)
+    def test_symmetric(self, p, r):
+        assert fmeasure(p, r) == pytest.approx(fmeasure(r, p))
+
+    @given(probs)
+    def test_equal_args_fixed_point(self, p):
+        assert fmeasure(p, p) == pytest.approx(p)
+
+
+class TestHarmonicMeanProperties:
+    @given(pos_values)
+    def test_between_min_and_max(self, values):
+        hm = harmonic_mean(values)
+        assert min(values) - 1e-12 <= hm <= max(values) + 1e-12
+
+    @given(pos_values)
+    def test_at_most_arithmetic_mean(self, values):
+        assert harmonic_mean(values) <= sum(values) / len(values) + 1e-12
+
+    @given(pos_values, st.floats(min_value=0.1, max_value=10.0))
+    def test_scale_equivariant(self, values, c):
+        scaled = [c * v for v in values]
+        assert harmonic_mean(scaled) == pytest.approx(c * harmonic_mean(values))
+
+    @given(pos_values)
+    def test_permutation_invariant(self, values):
+        assert harmonic_mean(values) == pytest.approx(
+            harmonic_mean(list(reversed(values)))
+        )
+
+
+@st.composite
+def universe_and_masks(draw):
+    n = draw(st.integers(min_value=1, max_value=10))
+    docs = [make_doc(f"d{i}", {f"t{i}"}) for i in range(n)]
+    weights = draw(
+        st.lists(
+            st.floats(min_value=0.1, max_value=5.0), min_size=n, max_size=n
+        )
+    )
+    uni = ResultUniverse(docs, weights)
+    result = np.array(draw(st.lists(st.booleans(), min_size=n, max_size=n)))
+    cluster_bits = draw(st.lists(st.booleans(), min_size=n, max_size=n))
+    if not any(cluster_bits):
+        cluster_bits[0] = True
+    cluster = np.array(cluster_bits)
+    return uni, result, cluster
+
+
+class TestPrecisionRecallProperties:
+    @given(universe_and_masks())
+    def test_bounds(self, setup):
+        uni, result, cluster = setup
+        p, r, f = precision_recall_f(uni, result, cluster)
+        assert 0.0 <= p <= 1.0 + 1e-12
+        assert 0.0 <= r <= 1.0 + 1e-12
+        assert 0.0 <= f <= 1.0 + 1e-12
+
+    @given(universe_and_masks())
+    def test_perfect_iff_equal_masks(self, setup):
+        uni, result, cluster = setup
+        p, r, f = precision_recall_f(uni, cluster, cluster)
+        assert (p, r, f) == (1.0, 1.0, 1.0)
+
+    @given(universe_and_masks())
+    def test_f_zero_iff_disjoint_or_empty(self, setup):
+        uni, result, cluster = setup
+        _, _, f = precision_recall_f(uni, result, cluster)
+        disjoint = not (result & cluster).any()
+        assert (f == 0.0) == disjoint
+
+    @given(universe_and_masks())
+    def test_subset_of_cluster_has_perfect_precision(self, setup):
+        uni, result, cluster = setup
+        sub = result & cluster
+        if sub.any():
+            p, _, _ = precision_recall_f(uni, sub, cluster)
+            assert p == pytest.approx(1.0)

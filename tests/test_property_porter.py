@@ -1,0 +1,39 @@
+"""Property-based tests for the Porter stemmer."""
+
+import string
+
+from hypothesis import given, strategies as st
+
+from repro.text.porter import PorterStemmer, stem
+
+words = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=20)
+
+
+class TestPorterProperties:
+    @given(words)
+    def test_never_longer(self, word):
+        assert len(PorterStemmer().stem(word)) <= len(word)
+
+    @given(words)
+    def test_never_empty(self, word):
+        assert len(PorterStemmer().stem(word)) >= 1
+
+    @given(words)
+    def test_deterministic(self, word):
+        s = PorterStemmer()
+        assert s.stem(word) == s.stem(word)
+
+    @given(words)
+    def test_output_lowercase_alpha(self, word):
+        out = PorterStemmer().stem(word)
+        assert out.isalpha() and out == out.lower()
+
+    @given(words)
+    def test_short_words_fixed(self, word):
+        if len(word) <= 2:
+            assert PorterStemmer().stem(word) == word
+
+    @given(st.text(alphabet=string.digits + string.ascii_lowercase + ":-", min_size=1, max_size=15))
+    def test_stem_function_keeps_nonalpha_verbatim(self, token):
+        if not token.isalpha():
+            assert stem(token) == token

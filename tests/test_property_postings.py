@@ -1,0 +1,48 @@
+"""Property-based tests: posting-list merges behave like set operations."""
+
+from hypothesis import given, strategies as st
+
+from repro.index.postings import Posting, PostingList, intersect_all, union_all
+
+doc_sets = st.sets(st.integers(min_value=0, max_value=50), max_size=20)
+
+
+def plist(docs: set[int]) -> PostingList:
+    return PostingList(Posting(d, 1) for d in sorted(docs))
+
+
+class TestMergeProperties:
+    @given(doc_sets, doc_sets)
+    def test_intersect_is_set_intersection(self, a, b):
+        assert plist(a).intersect(plist(b)).doc_ids() == sorted(a & b)
+
+    @given(doc_sets, doc_sets)
+    def test_union_is_set_union(self, a, b):
+        assert plist(a).union(plist(b)).doc_ids() == sorted(a | b)
+
+    @given(doc_sets, doc_sets)
+    def test_intersect_commutative(self, a, b):
+        assert (
+            plist(a).intersect(plist(b)).doc_ids()
+            == plist(b).intersect(plist(a)).doc_ids()
+        )
+
+    @given(doc_sets, doc_sets, doc_sets)
+    def test_intersect_all_matches_pairwise(self, a, b, c):
+        assert intersect_all([plist(a), plist(b), plist(c)]).doc_ids() == sorted(
+            a & b & c
+        )
+
+    @given(doc_sets, doc_sets, doc_sets)
+    def test_union_all_matches_pairwise(self, a, b, c):
+        assert union_all([plist(a), plist(b), plist(c)]).doc_ids() == sorted(
+            a | b | c
+        )
+
+    @given(doc_sets)
+    def test_intersect_idempotent(self, a):
+        assert plist(a).intersect(plist(a)).doc_ids() == sorted(a)
+
+    @given(doc_sets)
+    def test_union_with_empty_is_identity(self, a):
+        assert plist(a).union(PostingList()).doc_ids() == sorted(a)

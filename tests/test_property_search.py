@@ -1,0 +1,73 @@
+"""Property-based tests: the search engine agrees with brute force.
+
+On random corpora, AND/OR retrieval through the inverted index must match
+filtering the documents directly, and ranking must be a permutation of the
+boolean result set.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.data.corpus import Corpus
+from repro.index.inverted_index import InvertedIndex
+from repro.index.scoring import TfIdfScorer
+from tests.conftest import make_doc
+
+TERMS = ["alpha", "beta", "gamma", "delta", "epsilon"]
+
+
+@st.composite
+def corpora(draw):
+    n = draw(st.integers(min_value=1, max_value=15))
+    docs = []
+    for i in range(n):
+        terms = draw(
+            st.dictionaries(
+                st.sampled_from(TERMS),
+                st.integers(min_value=1, max_value=5),
+                min_size=1,
+                max_size=len(TERMS),
+            )
+        )
+        docs.append(make_doc(f"d{i}", terms))
+    return Corpus(docs)
+
+
+class TestSearchAgainstBruteForce:
+    @settings(max_examples=50, deadline=None)
+    @given(corpora(), st.lists(st.sampled_from(TERMS), min_size=1, max_size=3))
+    def test_and_query(self, corpus, query_terms):
+        index = InvertedIndex(corpus)
+        expected = [
+            pos for pos, doc in enumerate(corpus)
+            if all(t in doc.terms for t in query_terms)
+        ]
+        assert index.and_query(query_terms) == expected
+
+    @settings(max_examples=50, deadline=None)
+    @given(corpora(), st.lists(st.sampled_from(TERMS), min_size=1, max_size=3))
+    def test_or_query(self, corpus, query_terms):
+        index = InvertedIndex(corpus)
+        expected = [
+            pos for pos, doc in enumerate(corpus)
+            if any(t in doc.terms for t in query_terms)
+        ]
+        assert index.or_query(query_terms) == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(corpora(), st.sampled_from(TERMS))
+    def test_ranking_is_permutation(self, corpus, term):
+        index = InvertedIndex(corpus)
+        positions = index.and_query([term])
+        ranked = TfIdfScorer(index).rank(positions, [term])
+        assert sorted(pos for pos, _ in ranked) == positions
+        scores = [s for _, s in ranked]
+        assert scores == sorted(scores, reverse=True)
+        assert all(s > 0 for s in scores)
+
+    @settings(max_examples=30, deadline=None)
+    @given(corpora())
+    def test_document_frequency_consistent(self, corpus):
+        index = InvertedIndex(corpus)
+        for term in TERMS:
+            expected = sum(1 for doc in corpus if term in doc.terms)
+            assert index.document_frequency(term) == expected

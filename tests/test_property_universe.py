@@ -1,0 +1,70 @@
+"""Property-based tests for ResultUniverse set algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.universe import ResultUniverse
+from tests.conftest import make_doc
+
+TERMS = ["a", "b", "c", "d", "e"]
+
+
+@st.composite
+def universes(draw):
+    n = draw(st.integers(min_value=1, max_value=12))
+    docs = []
+    for i in range(n):
+        terms = draw(
+            st.sets(st.sampled_from(TERMS), min_size=1, max_size=len(TERMS))
+        )
+        docs.append(make_doc(f"d{i}", terms))
+    return ResultUniverse(docs)
+
+
+class TestUniverseAlgebra:
+    @given(universes(), st.lists(st.sampled_from(TERMS), max_size=3))
+    def test_and_monotone_decreasing(self, uni, terms):
+        """Adding a term can only shrink an AND result set."""
+        mask = uni.results_mask(tuple(terms))
+        for extra in TERMS:
+            smaller = uni.results_mask(tuple(terms) + (extra,))
+            assert not (smaller & ~mask).any()
+
+    @given(universes(), st.lists(st.sampled_from(TERMS), max_size=3))
+    def test_or_monotone_increasing(self, uni, terms):
+        mask = uni.results_mask(tuple(terms), semantics="or")
+        for extra in TERMS:
+            bigger = uni.results_mask(tuple(terms) + (extra,), semantics="or")
+            assert not (mask & ~bigger).any()
+
+    @given(universes())
+    def test_elimination_is_complement(self, uni):
+        for t in TERMS:
+            assert np.array_equal(uni.elimination_mask(t), ~uni.has_mask(t))
+
+    @given(universes())
+    def test_weight_additivity(self, uni):
+        for t in TERMS:
+            has = uni.has_mask(t)
+            assert uni.weight_of(has) + uni.weight_of(~has) == pytest.approx(
+                uni.total_weight()
+            )
+
+    @given(universes(), st.lists(st.sampled_from(TERMS), min_size=1, max_size=4))
+    def test_and_mask_matches_document_semantics(self, uni, terms):
+        mask = uni.results_mask(tuple(terms))
+        for i, doc in enumerate(uni.documents):
+            assert mask[i] == doc.contains_all(terms)
+
+    @given(universes(), st.lists(st.sampled_from(TERMS), min_size=1, max_size=4))
+    def test_or_mask_matches_document_semantics(self, uni, terms):
+        mask = uni.results_mask(tuple(terms), semantics="or")
+        for i, doc in enumerate(uni.documents):
+            assert mask[i] == doc.contains_any(terms)
+
+    @given(universes())
+    def test_incidence_rows_match_has_mask(self, uni):
+        rows = uni.incidence_rows(TERMS)
+        for i, t in enumerate(TERMS):
+            assert np.array_equal(rows[i], uni.has_mask(t))

@@ -1,0 +1,46 @@
+"""Tests for the Table 1 benchmark query definitions."""
+
+import pytest
+
+from repro.datasets.queries import (
+    SHOPPING_QUERIES,
+    WIKIPEDIA_QUERIES,
+    all_queries,
+    query_by_id,
+)
+from repro.errors import DataError
+
+
+class TestQuerySets:
+    def test_ten_each(self):
+        assert len(WIKIPEDIA_QUERIES) == 10
+        assert len(SHOPPING_QUERIES) == 10
+
+    def test_all_queries_is_twenty(self):
+        assert len(all_queries()) == 20
+
+    def test_unique_ids(self):
+        ids = [q.qid for q in all_queries()]
+        assert len(set(ids)) == 20
+
+    def test_id_naming_convention(self):
+        for q in WIKIPEDIA_QUERIES:
+            assert q.qid.startswith("QW")
+            assert q.dataset == "wikipedia"
+        for q in SHOPPING_QUERIES:
+            assert q.qid.startswith("QS")
+            assert q.dataset == "shopping"
+
+    def test_paper_query_texts(self):
+        assert query_by_id("QW6").text == "java"
+        assert query_by_id("QW1").text == "san jose"
+        assert query_by_id("QS1").text == "canon products"
+        assert query_by_id("QS8").text == "memory 8gb"
+
+    def test_lookup_unknown(self):
+        with pytest.raises(DataError):
+            query_by_id("QX1")
+
+    def test_granularity_bounds(self):
+        for q in all_queries():
+            assert 2 <= q.n_clusters <= 5

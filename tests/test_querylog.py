@@ -1,0 +1,82 @@
+"""Tests for the query-log baseline (Google stand-in)."""
+
+import pytest
+
+from repro.baselines.querylog import QueryLog, QueryLogSuggester
+from repro.errors import DataError
+from repro.text.analyzer import Analyzer
+
+
+@pytest.fixture
+def log() -> QueryLog:
+    log = QueryLog()
+    log.record_many(
+        [
+            ("java tutorials", 95),
+            ("java games", 70),
+            ("java island indonesia", 50),
+            ("java", 200),  # the seed itself: must not be suggested
+            ("python tutorials", 80),
+        ]
+    )
+    return log
+
+
+class TestQueryLog:
+    def test_record_and_popularity(self):
+        log = QueryLog()
+        log.record("Java Tutorials", 3)
+        log.record("java tutorials", 2)
+        assert log.popularity("JAVA   tutorials") == 5
+
+    def test_record_rejects_bad_count(self):
+        with pytest.raises(DataError):
+            QueryLog().record("x", 0)
+
+    def test_len(self, log):
+        assert len(log) == 5
+
+    def test_unknown_query_zero(self, log):
+        assert log.popularity("rust") == 0
+
+
+class TestQueryLogSuggester:
+    def test_popularity_order(self, log):
+        out = QueryLogSuggester(
+            log, n_queries=3, analyzer=Analyzer(use_stemming=False)
+        ).suggest("java")
+        assert out.queries[0] == ("java", "tutorials")
+        assert out.queries[1] == ("java", "games")
+
+    def test_seed_itself_excluded(self, log):
+        out = QueryLogSuggester(log, n_queries=10).suggest("java")
+        assert ("java",) not in out.queries
+
+    def test_unrelated_entries_excluded(self, log):
+        out = QueryLogSuggester(log, n_queries=10).suggest("java")
+        flat = [q for q in out.queries]
+        assert ("python", "tutorials") not in flat
+
+    def test_multi_term_seed_requires_all_terms(self):
+        log = QueryLog()
+        log.record("canon products camera", 5)
+        log.record("canon lens", 9)
+        out = QueryLogSuggester(
+            log, n_queries=5, analyzer=Analyzer(use_stemming=False)
+        ).suggest("canon products")
+        assert out.queries == (("canon", "products", "camera"),)
+
+    def test_n_queries_cap(self, log):
+        out = QueryLogSuggester(log, n_queries=1).suggest("java")
+        assert len(out.queries) == 1
+
+    def test_no_matches(self, log):
+        out = QueryLogSuggester(log).suggest("quantum")
+        assert out.queries == ()
+
+    def test_stemming_analyzer_consistency(self):
+        """With a stemming analyzer, inflected log entries still match."""
+        log = QueryLog()
+        log.record("printers laser", 5)
+        out = QueryLogSuggester(log, analyzer=Analyzer()).suggest("printer")
+        assert out.queries == (("printer", "laser"),)

@@ -1,0 +1,40 @@
+"""Tests for the synthetic query log."""
+
+from repro.baselines.querylog import QueryLogSuggester
+from repro.datasets.queries import all_queries
+from repro.datasets.querylog_data import build_query_log
+from repro.text.analyzer import Analyzer
+
+
+class TestBuildQueryLog:
+    def test_log_nonempty(self):
+        assert len(build_query_log()) >= 40
+
+    def test_every_benchmark_query_has_suggestions(self):
+        log = build_query_log()
+        analyzer = Analyzer(use_stemming=False)
+        for q in all_queries():
+            out = QueryLogSuggester(log, n_queries=3, analyzer=analyzer).suggest(
+                q.text
+            )
+            assert len(out.queries) >= 2, q.qid
+
+    def test_paper_sony_effect(self):
+        """The log reproduces 'Sony, products' being suggested for 'canon
+        products'-adjacent traffic: a popular, non-results-oriented entry."""
+        log = build_query_log()
+        assert log.popularity("sony products") > 0
+
+    def test_rockets_not_diverse(self):
+        """All QW8 suggestions are space-themed (paper: none covers the
+        NBA team)."""
+        log = build_query_log()
+        out = QueryLogSuggester(log, n_queries=3, analyzer=Analyzer(use_stemming=False)).suggest("rockets")
+        flat = " ".join(" ".join(q) for q in out.queries)
+        assert "nba" not in flat
+        assert "basketball" not in flat
+
+    def test_deterministic(self):
+        a = build_query_log()
+        b = build_query_log()
+        assert a.entries == b.entries

@@ -1,0 +1,176 @@
+"""Unit tests for the boolean query language (repro.index.queryparser)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.corpus import Corpus
+from repro.errors import QueryError
+from repro.index.inverted_index import InvertedIndex
+from repro.index.positional import PositionalIndex
+from repro.index.queryparser import (
+    AndNode,
+    NotNode,
+    OrNode,
+    PhraseNode,
+    TermNode,
+    evaluate_query,
+    parse_query,
+)
+
+from tests.conftest import make_doc
+
+
+@pytest.fixture
+def corpus() -> Corpus:
+    return Corpus(
+        [
+            make_doc("d0", {"apple", "iphone", "store"}),
+            make_doc("d1", {"apple", "fruit", "tree"}),
+            make_doc("d2", {"banana", "fruit"}),
+            make_doc("d3", {"apple", "fruit", "pie"}),
+        ]
+    )
+
+
+@pytest.fixture
+def index(corpus) -> InvertedIndex:
+    return InvertedIndex(corpus)
+
+
+@pytest.fixture
+def positional() -> PositionalIndex:
+    return PositionalIndex(
+        [
+            "apple iphone store".split(),
+            "apple fruit tree".split(),
+            "banana fruit".split(),
+            "apple fruit pie".split(),
+        ]
+    )
+
+
+class TestParser:
+    def test_single_term(self):
+        assert parse_query("apple") == TermNode("apple")
+
+    def test_implicit_and(self):
+        node = parse_query("apple fruit")
+        assert node == AndNode((TermNode("apple"), TermNode("fruit")))
+
+    def test_explicit_and(self):
+        assert parse_query("apple AND fruit") == parse_query("apple fruit")
+
+    def test_or(self):
+        node = parse_query("apple OR banana")
+        assert node == OrNode((TermNode("apple"), TermNode("banana")))
+
+    def test_precedence_and_over_or(self):
+        node = parse_query("a b OR c")
+        assert node == OrNode(
+            (AndNode((TermNode("a"), TermNode("b"))), TermNode("c"))
+        )
+
+    def test_parentheses(self):
+        node = parse_query("a (b OR c)")
+        assert node == AndNode(
+            (TermNode("a"), OrNode((TermNode("b"), TermNode("c"))))
+        )
+
+    def test_not(self):
+        assert parse_query("NOT apple") == NotNode(TermNode("apple"))
+
+    def test_double_not(self):
+        assert parse_query("NOT NOT a") == NotNode(NotNode(TermNode("a")))
+
+    def test_phrase(self):
+        assert parse_query('"san jose"') == PhraseNode(("san", "jose"))
+
+    def test_keywords_case_insensitive(self):
+        assert parse_query("a or b") == parse_query("a OR b")
+        assert parse_query("not a") == parse_query("NOT a")
+
+    def test_feature_triplet_is_one_term(self):
+        node = parse_query("memory:category:harddrive")
+        assert node == TermNode("memory:category:harddrive")
+
+    def test_empty_query(self):
+        with pytest.raises(QueryError):
+            parse_query("   ")
+
+    def test_unbalanced_paren(self):
+        with pytest.raises(QueryError):
+            parse_query("(a b")
+        with pytest.raises(QueryError):
+            parse_query("a b)")
+
+    def test_unterminated_phrase(self):
+        with pytest.raises(QueryError):
+            parse_query('"san jose')
+
+    def test_empty_phrase(self):
+        with pytest.raises(QueryError):
+            parse_query('""')
+
+    def test_trailing_operator(self):
+        with pytest.raises(QueryError):
+            parse_query("a OR")
+
+
+class TestEvaluation:
+    def test_term(self, index):
+        assert evaluate_query("apple", index) == [0, 1, 3]
+
+    def test_and(self, index):
+        assert evaluate_query("apple fruit", index) == [1, 3]
+
+    def test_or(self, index):
+        assert evaluate_query("iphone OR banana", index) == [0, 2]
+
+    def test_not(self, index):
+        assert evaluate_query("NOT apple", index) == [2]
+
+    def test_and_not(self, index):
+        assert evaluate_query("fruit NOT pie", index) == [1, 2]
+
+    def test_nested(self, index):
+        assert evaluate_query("(iphone OR pie) apple", index) == [0, 3]
+
+    def test_unknown_term_empty(self, index):
+        assert evaluate_query("durian", index) == []
+
+    def test_default_normalization_lowercases(self, index):
+        assert evaluate_query("APPLE", index) == [0, 1, 3]
+
+    def test_custom_normalizer_can_drop_words(self, index):
+        normalize = lambda w: None if w == "the" else w.lower()
+        # Dropped words contribute empty sets; AND with empty = empty.
+        assert evaluate_query("the apple", index, normalize=normalize) == []
+
+    def test_phrase_needs_positional(self, index):
+        with pytest.raises(QueryError):
+            evaluate_query('"apple fruit"', index)
+
+    def test_phrase_with_positional(self, index, positional):
+        assert evaluate_query('"apple fruit"', index, positional=positional) == [
+            1,
+            3,
+        ]
+
+    def test_phrase_respects_order(self, index, positional):
+        assert (
+            evaluate_query('"fruit apple"', index, positional=positional) == []
+        )
+
+    def test_phrase_with_stopword_normalizer_rejected(self, index, positional):
+        normalize = lambda w: None if w == "the" else w.lower()
+        with pytest.raises(QueryError):
+            evaluate_query(
+                '"the apple"', index, positional=positional, normalize=normalize
+            )
+
+    def test_combined_phrase_and_boolean(self, index, positional):
+        out = evaluate_query(
+            '"apple fruit" NOT pie', index, positional=positional
+        )
+        assert out == [1]

@@ -1,0 +1,70 @@
+"""Tests for repro.eval.reporting."""
+
+import pytest
+
+from repro.eval.reporting import (
+    format_bar_chart,
+    format_grouped_series,
+    format_table,
+)
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table(["name", "value"], [["a", 1], ["long-name", 22]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert "long-name" in lines[3]
+        # Column boundary aligned: every row equally wide or shorter.
+        assert len(set(line.index("value") for line in lines[:1])) == 1
+
+    def test_floats_three_decimals(self):
+        out = format_table(["x"], [[0.123456]])
+        assert "0.123" in out
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+
+class TestFormatBarChart:
+    def test_bars_scale(self):
+        out = format_bar_chart([("a", 1.0), ("b", 2.0)], width=10)
+        a_line, b_line = out.splitlines()
+        assert b_line.count("#") == 10
+        assert a_line.count("#") == 5
+
+    def test_unit_suffix(self):
+        out = format_bar_chart([("a", 1.5)], unit="s")
+        assert "1.500s" in out
+
+    def test_explicit_max(self):
+        out = format_bar_chart([("a", 1.0)], width=10, max_value=4.0)
+        assert out.count("#") == 2 or out.count("#") == 3  # 1/4 of 10
+
+    def test_zero_values_ok(self):
+        out = format_bar_chart([("a", 0.0)])
+        assert "0.000" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            format_bar_chart([])
+
+
+class TestGroupedSeries:
+    def test_rows_and_columns(self):
+        out = format_grouped_series(
+            ["q1", "q2"], {"ISKR": [0.9, 0.8], "CS": [0.2, 0.3]}
+        )
+        lines = out.splitlines()
+        assert "ISKR" in lines[0] and "CS" in lines[0]
+        assert lines[2].startswith("q1")
+        assert "0.900" in lines[2]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_grouped_series(["q1", "q2"], {"ISKR": [0.9]})

@@ -1,0 +1,76 @@
+"""Tests for repro.index.scoring (TF-IDF)."""
+
+import math
+
+import pytest
+
+from repro.data.corpus import Corpus
+from repro.index.inverted_index import InvertedIndex
+from repro.index.scoring import TfIdfScorer
+from tests.conftest import make_doc
+
+
+@pytest.fixture
+def scorer() -> TfIdfScorer:
+    corpus = Corpus(
+        [
+            make_doc("d0", {"apple": 4, "fruit": 1}),
+            make_doc("d1", {"apple": 1, "common": 1}),
+            make_doc("d2", {"common": 1, "rare": 1}),
+            make_doc("d3", {"common": 1}),
+        ]
+    )
+    return TfIdfScorer(InvertedIndex(corpus))
+
+
+class TestIdf:
+    def test_rare_term_higher_idf(self, scorer):
+        assert scorer.idf("rare") > scorer.idf("common")
+
+    def test_formula(self, scorer):
+        # N=4, df(rare)=1 -> log(1 + 4/1)
+        assert scorer.idf("rare") == pytest.approx(math.log(5.0))
+
+    def test_unknown_term_gets_max_idf(self, scorer):
+        assert scorer.idf("ghost") == pytest.approx(math.log(5.0))
+
+
+class TestTfWeight:
+    def test_sublinear(self, scorer):
+        assert scorer.tf_weight(1) == pytest.approx(1.0)
+        assert scorer.tf_weight(10) < 10 * scorer.tf_weight(1)
+
+    def test_zero_tf(self, scorer):
+        assert scorer.tf_weight(0) == 0.0
+
+
+class TestScore:
+    def test_nonmatching_doc_scores_zero(self, scorer):
+        assert scorer.score(3, ["apple"]) == 0.0
+
+    def test_matching_doc_positive(self, scorer):
+        assert scorer.score(0, ["apple"]) > 0.0
+
+    def test_higher_tf_scores_higher(self, scorer):
+        # d0 has apple x4, d1 has apple x1; lengths differ slightly but the
+        # tf advantage dominates.
+        assert scorer.score(0, ["apple"]) > scorer.score(1, ["apple"])
+
+    def test_multi_term_additive(self, scorer):
+        single = scorer.score(0, ["apple"])
+        double = scorer.score(0, ["apple", "fruit"])
+        assert double > single
+
+
+class TestRank:
+    def test_sorted_descending(self, scorer):
+        ranked = scorer.rank([0, 1, 3], ["apple"])
+        scores = [s for _, s in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_tie_broken_by_position(self, scorer):
+        ranked = scorer.rank([3, 2], ["ghost"])  # both score 0
+        assert [pos for pos, _ in ranked] == [2, 3]
+
+    def test_empty_input(self, scorer):
+        assert scorer.rank([], ["apple"]) == []

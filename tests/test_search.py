@@ -1,0 +1,62 @@
+"""Tests for repro.index.search (SearchEngine facade)."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.index.search import SearchEngine
+
+
+class TestParse:
+    def test_distinct_normalized_terms(self, tiny_engine: SearchEngine):
+        assert tiny_engine.parse("Apple apple fruit") == ["apple", "fruit"]
+
+    def test_empty_query_rejected(self, tiny_engine):
+        with pytest.raises(QueryError):
+            tiny_engine.parse("the of")
+
+    def test_feature_term_passthrough(self, tiny_engine):
+        assert tiny_engine.parse("TV:brand:LG") == ["tv:brand:lg"]
+
+
+class TestSearchAnd:
+    def test_and_semantics(self, tiny_engine):
+        results = tiny_engine.search("apple fruit")
+        ids = {r.document.doc_id for r in results}
+        assert ids == {"d4", "d5"}
+
+    def test_results_are_ranked(self, tiny_engine):
+        results = tiny_engine.search("apple")
+        scores = [r.score for r in results]
+        assert scores == sorted(scores, reverse=True)
+        assert all(s > 0 for s in scores)
+
+    def test_top_k_truncates(self, tiny_engine):
+        assert len(tiny_engine.search("apple", top_k=2)) == 2
+
+    def test_top_k_larger_than_results(self, tiny_engine):
+        assert len(tiny_engine.search("banana", top_k=100)) == 1
+
+    def test_no_results(self, tiny_engine):
+        assert tiny_engine.search("apple banana iphone") == []
+
+    def test_positions_match_corpus(self, tiny_engine):
+        for r in tiny_engine.search("apple"):
+            assert tiny_engine.corpus[r.position] is r.document
+
+
+class TestSearchOr:
+    def test_or_semantics(self, tiny_engine):
+        results = tiny_engine.search("banana iphone", semantics="or")
+        ids = {r.document.doc_id for r in results}
+        assert ids == {"d1", "d3", "d6"}
+
+    def test_unknown_semantics_rejected(self, tiny_engine):
+        with pytest.raises(QueryError):
+            tiny_engine.search("apple", semantics="xor")
+
+
+class TestSearchTerms:
+    def test_pre_normalized_terms(self, tiny_engine):
+        direct = tiny_engine.search_terms(["apple", "fruit"])
+        via_parse = tiny_engine.search("apple fruit")
+        assert [r.position for r in direct] == [r.position for r in via_parse]

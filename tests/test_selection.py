@@ -1,0 +1,113 @@
+"""Tests for silhouette score and dynamic clustering selection."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.quality import silhouette_score
+from repro.cluster.selection import AutoClustering, default_backends
+from repro.errors import ClusteringError
+from tests.test_kmeans import two_blobs
+
+
+class TestSilhouette:
+    def test_perfect_separation_near_one(self):
+        m, truth = two_blobs(10)
+        assert silhouette_score(m, truth.tolist()) > 0.7
+
+    def test_random_labels_worse(self):
+        m, truth = two_blobs(10)
+        rng = np.random.default_rng(0)
+        random_labels = rng.integers(0, 2, size=m.shape[0]).tolist()
+        good = silhouette_score(m, truth.tolist())
+        bad = silhouette_score(m, random_labels)
+        assert good > bad
+
+    def test_bounds(self):
+        m, truth = two_blobs(8)
+        s = silhouette_score(m, truth.tolist())
+        assert -1.0 <= s <= 1.0
+
+    def test_singletons_contribute_zero(self):
+        m = np.eye(3)
+        # labels: one singleton per point -> every point is a singleton.
+        assert silhouette_score(m, [0, 1, 2]) == 0.0
+
+    def test_single_cluster_rejected(self):
+        m, _ = two_blobs(5)
+        with pytest.raises(ValueError):
+            silhouette_score(m, [0] * m.shape[0])
+
+    def test_shape_mismatch_rejected(self):
+        m, _ = two_blobs(5)
+        with pytest.raises(ValueError):
+            silhouette_score(m, [0, 1])
+
+
+class TestAutoClustering:
+    def test_picks_a_backend_and_scores_all(self):
+        m, _ = two_blobs(12)
+        auto = AutoClustering(n_clusters=2, seed=0)
+        labels = auto.fit_predict(m)
+        assert labels.shape == (m.shape[0],)
+        assert auto.chosen in ("kmeans", "agglomerative", "bisecting")
+        assert set(auto.scores) == {"kmeans", "agglomerative", "bisecting"}
+
+    def test_chosen_has_max_score(self):
+        m, _ = two_blobs(12)
+        auto = AutoClustering(n_clusters=2, seed=0)
+        auto.fit_predict(m)
+        assert auto.scores[auto.chosen] == max(auto.scores.values())
+
+    def test_separable_data_clustered_perfectly(self):
+        m, truth = two_blobs(12)
+        auto = AutoClustering(n_clusters=2, seed=0)
+        labels = auto.fit_predict(m)
+        from repro.cluster.quality import purity
+
+        assert purity(labels.tolist(), truth.tolist()) == 1.0
+
+    def test_custom_backends(self):
+        m, _ = two_blobs(8)
+
+        class Constant:
+            def fit_predict(self, matrix):
+                half = matrix.shape[0] // 2
+                return np.array([0] * half + [1] * (matrix.shape[0] - half))
+
+        auto = AutoClustering(n_clusters=2, backends={"const": Constant()})
+        auto.fit_predict(m)
+        assert auto.chosen == "const"
+
+    def test_single_cluster_backend_scores_minus_one(self):
+        m, _ = two_blobs(8)
+
+        class OneCluster:
+            def fit_predict(self, matrix):
+                return np.zeros(matrix.shape[0], dtype=np.int64)
+
+        auto = AutoClustering(
+            n_clusters=2,
+            backends={"one": OneCluster(), **default_backends(2, 0)},
+        )
+        auto.fit_predict(m)
+        assert auto.scores["one"] == -1.0
+        assert auto.chosen != "one"
+
+    def test_invalid_params(self):
+        with pytest.raises(ClusteringError):
+            AutoClustering(n_clusters=0)
+        with pytest.raises(ClusteringError):
+            AutoClustering(n_clusters=2, backends={})
+
+    def test_plugs_into_expander(self, tiny_engine):
+        from repro.core.config import ExpansionConfig
+        from repro.core.expander import ClusterQueryExpander
+        from repro.core.iskr import ISKR
+
+        config = ExpansionConfig(n_clusters=2, top_k_results=None, min_candidates=5)
+        auto = AutoClustering(n_clusters=2, seed=0)
+        report = ClusterQueryExpander(
+            tiny_engine, ISKR(), config, clusterer=auto
+        ).expand("apple")
+        assert report.score == pytest.approx(1.0)
+        assert auto.chosen

@@ -1,0 +1,94 @@
+"""Tests for the synthetic shopping corpus."""
+
+import pytest
+
+from repro.datasets.queries import SHOPPING_QUERIES
+from repro.datasets.shopping import build_shopping_corpus
+from repro.index.search import SearchEngine
+from repro.text.analyzer import Analyzer
+
+
+@pytest.fixture(scope="module")
+def analyzer() -> Analyzer:
+    return Analyzer(use_stemming=False)
+
+
+@pytest.fixture(scope="module")
+def engine(analyzer) -> SearchEngine:
+    return SearchEngine(build_shopping_corpus(seed=0, analyzer=analyzer), analyzer)
+
+
+class TestCorpusShape:
+    def test_size(self, engine):
+        assert 500 <= engine.index.num_documents <= 3000
+
+    def test_deterministic(self, analyzer):
+        a = build_shopping_corpus(seed=0, analyzer=analyzer)
+        b = build_shopping_corpus(seed=0, analyzer=analyzer)
+        assert a.doc_ids() == b.doc_ids()
+        assert [d.terms for d in a] == [d.terms for d in b]
+
+    def test_seed_changes_output(self, analyzer):
+        a = build_shopping_corpus(seed=0, analyzer=analyzer)
+        b = build_shopping_corpus(seed=1, analyzer=analyzer)
+        assert [d.terms for d in a] != [d.terms for d in b]
+
+    def test_scale(self, analyzer):
+        small = build_shopping_corpus(seed=0, scale=0.5, analyzer=analyzer)
+        full = build_shopping_corpus(seed=0, scale=1.0, analyzer=analyzer)
+        assert len(small) < len(full)
+
+    def test_documents_are_structured(self, engine):
+        doc = engine.corpus[0]
+        assert doc.kind == "structured"
+        assert doc.fields  # feature metadata present
+
+
+class TestFeatureTriplets:
+    def test_category_triplets_exist(self, engine):
+        vocab = set(engine.index.vocabulary())
+        assert "memory:category:harddrive" in vocab
+        assert "memory:category:flashmemory" in vocab
+        assert "memory:category:ddr3" in vocab
+        assert "canonproducts:category:printer" in vocab
+        assert "networking products:category:routers" in vocab
+
+    def test_triplet_query_retrieves(self, engine):
+        results = engine.search("memory:category:ddr3")
+        assert results
+        for r in results:
+            assert "memory:category:ddr3" in r.document.terms
+
+
+class TestBenchmarkQueriesRetrievable:
+    @pytest.mark.parametrize("query", SHOPPING_QUERIES, ids=lambda q: q.qid)
+    def test_every_query_has_results(self, engine, query):
+        results = engine.search(query.text)
+        assert len(results) >= 10, query.qid
+
+    def test_qs8_is_the_heavy_workload(self, engine):
+        """QS8 'memory 8gb' should retrieve the most results among memory
+        queries, mirroring the paper's 557-result outlier."""
+        n_qs8 = len(engine.search("memory 8gb"))
+        assert n_qs8 >= 60
+
+    def test_canon_products_multi_category(self, engine):
+        cats = {
+            r.document.fields.get("canonproducts:category")
+            for r in engine.search("canon products")
+        }
+        assert {"camera", "printer", "camcorder"} <= cats
+
+    def test_tv_has_brands(self, engine):
+        brands = {
+            value
+            for r in engine.search("tv")
+            for key, value in r.document.fields.items()
+            if key.endswith(":brand")
+        }
+        assert len(brands) >= 3
+
+    def test_plasma_subset_of_tv(self, engine):
+        tv = {r.document.doc_id for r in engine.search("tv")}
+        plasma = {r.document.doc_id for r in engine.search("tv plasma")}
+        assert plasma and plasma <= tv

@@ -1,0 +1,91 @@
+"""Unit tests for paired significance testing (repro.eval.significance)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.eval.significance import (
+    SignificanceResult,
+    paired_bootstrap,
+    randomization_test,
+)
+
+
+def noisy_pair(n: int, gap: float, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    base = rng.uniform(0.4, 0.9, n)
+    return (base + gap).tolist(), base.tolist()
+
+
+class TestValidation:
+    def test_length_mismatch(self):
+        with pytest.raises(ConfigError):
+            randomization_test([1.0, 2.0], [1.0])
+
+    def test_too_few_points(self):
+        with pytest.raises(ConfigError):
+            paired_bootstrap([1.0], [0.5])
+
+    def test_too_few_rounds(self):
+        with pytest.raises(ConfigError):
+            randomization_test([1, 2, 3], [0, 1, 2], rounds=10)
+
+
+class TestRandomization:
+    def test_clear_gap_significant(self):
+        a, b = noisy_pair(20, gap=0.2)
+        result = randomization_test(a, b, rounds=2000, seed=1)
+        assert result.significant(0.05)
+        assert result.delta == pytest.approx(0.2)
+
+    def test_no_gap_not_significant(self):
+        a, b = noisy_pair(20, gap=0.0)
+        result = randomization_test(a, b, rounds=2000, seed=1)
+        assert not result.significant(0.05)
+        assert result.p_value > 0.5
+
+    def test_symmetry(self):
+        a, b = noisy_pair(15, gap=0.1)
+        ab = randomization_test(a, b, rounds=2000, seed=2)
+        ba = randomization_test(b, a, rounds=2000, seed=2)
+        assert ab.p_value == pytest.approx(ba.p_value)
+        assert ab.delta == pytest.approx(-ba.delta)
+
+    def test_one_sided_smaller_p_for_positive_delta(self):
+        a, b = noisy_pair(12, gap=0.05, seed=3)
+        two = randomization_test(a, b, rounds=4000, seed=3, two_sided=True)
+        one = randomization_test(a, b, rounds=4000, seed=3, two_sided=False)
+        assert one.p_value <= two.p_value + 1e-9
+
+    def test_p_value_bounds(self):
+        a, b = noisy_pair(10, gap=1.0)
+        result = randomization_test(a, b, rounds=500)
+        assert 0.0 < result.p_value <= 1.0
+
+    def test_deterministic(self):
+        a, b = noisy_pair(10, gap=0.1)
+        r1 = randomization_test(a, b, seed=7, rounds=1000)
+        r2 = randomization_test(a, b, seed=7, rounds=1000)
+        assert r1.p_value == r2.p_value
+
+
+class TestBootstrap:
+    def test_clear_gap_significant(self):
+        a, b = noisy_pair(20, gap=0.2)
+        result = paired_bootstrap(a, b, rounds=2000, seed=1)
+        assert result.significant(0.05)
+        assert result.method == "bootstrap"
+
+    def test_reverse_gap_insignificant(self):
+        a, b = noisy_pair(20, gap=0.2)
+        result = paired_bootstrap(b, a, rounds=2000, seed=1)
+        assert result.p_value > 0.5
+
+    def test_result_fields(self):
+        a, b = noisy_pair(8, gap=0.1)
+        result = paired_bootstrap(a, b, rounds=500)
+        assert isinstance(result, SignificanceResult)
+        assert result.n_queries == 8
+        assert result.mean_a > result.mean_b

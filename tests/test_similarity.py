@@ -1,0 +1,56 @@
+"""Tests for repro.cluster.similarity."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.similarity import cosine_similarity, cosine_similarity_matrix
+
+
+class TestCosineSimilarity:
+    def test_identical_vectors(self):
+        v = np.array([1.0, 2.0, 3.0])
+        assert cosine_similarity(v, v) == pytest.approx(1.0)
+
+    def test_orthogonal_vectors(self):
+        assert cosine_similarity(
+            np.array([1.0, 0.0]), np.array([0.0, 1.0])
+        ) == pytest.approx(0.0)
+
+    def test_scale_invariance(self):
+        a = np.array([1.0, 1.0])
+        assert cosine_similarity(a, 10 * a) == pytest.approx(1.0)
+
+    def test_zero_vector(self):
+        assert cosine_similarity(np.zeros(3), np.ones(3)) == 0.0
+
+    def test_opposite_vectors(self):
+        a = np.array([1.0, 0.0])
+        assert cosine_similarity(a, -a) == pytest.approx(-1.0)
+
+
+class TestCosineSimilarityMatrix:
+    def test_diagonal_ones(self):
+        m = np.array([[1.0, 2.0], [3.0, 1.0], [0.5, 0.5]])
+        sims = cosine_similarity_matrix(m)
+        assert np.allclose(np.diag(sims), 1.0)
+
+    def test_symmetric(self):
+        rng = np.random.default_rng(0)
+        m = rng.random((5, 3))
+        sims = cosine_similarity_matrix(m)
+        assert np.allclose(sims, sims.T)
+
+    def test_matches_pairwise_function(self):
+        rng = np.random.default_rng(1)
+        m = rng.random((4, 3))
+        sims = cosine_similarity_matrix(m)
+        for i in range(4):
+            for j in range(4):
+                assert sims[i, j] == pytest.approx(cosine_similarity(m[i], m[j]))
+
+    def test_zero_rows(self):
+        m = np.array([[0.0, 0.0], [1.0, 0.0]])
+        sims = cosine_similarity_matrix(m)
+        assert sims[0, 0] == 0.0
+        assert sims[0, 1] == 0.0
+        assert sims[1, 1] == pytest.approx(1.0)

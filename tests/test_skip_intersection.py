@@ -1,0 +1,50 @@
+"""Tests for skip-pointer posting intersection."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.index.postings import Posting, PostingList
+
+
+def plist(doc_ids) -> PostingList:
+    return PostingList(Posting(d, 1) for d in sorted(set(doc_ids)))
+
+
+class TestIntersectSkip:
+    def test_basic(self):
+        a = plist([1, 3, 5, 7, 9])
+        b = plist([3, 4, 5, 9, 11])
+        assert a.intersect_skip(b).doc_ids() == [3, 5, 9]
+
+    def test_disjoint(self):
+        assert plist([1, 2]).intersect_skip(plist([3, 4])).doc_ids() == []
+
+    def test_identical(self):
+        ids = list(range(0, 50, 3))
+        assert plist(ids).intersect_skip(plist(ids)).doc_ids() == ids
+
+    def test_empty_sides(self):
+        assert plist([]).intersect_skip(plist([1])).doc_ids() == []
+        assert plist([1]).intersect_skip(plist([])).doc_ids() == []
+
+    def test_asymmetric_lengths(self):
+        long = plist(range(1000))
+        short = plist([0, 500, 999, 1500])
+        assert long.intersect_skip(short).doc_ids() == [0, 500, 999]
+
+    def test_tf_taken_from_self(self):
+        a = PostingList([Posting(1, 7)])
+        b = PostingList([Posting(1, 2)])
+        out = a.intersect_skip(b)
+        assert [(p.doc, p.tf) for p in out] == [(1, 7)]
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=300), max_size=150),
+        st.lists(st.integers(min_value=0, max_value=300), max_size=150),
+    )
+    def test_matches_plain_intersect(self, ids_a, ids_b):
+        a, b = plist(ids_a), plist(ids_b)
+        assert a.intersect_skip(b).doc_ids() == a.intersect(b).doc_ids()
+        assert b.intersect_skip(a).doc_ids() == b.intersect(a).doc_ids()

@@ -1,0 +1,140 @@
+"""Unit tests for query-biased snippet generation (repro.snippets)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.documents import Feature, make_structured_document
+from repro.errors import ConfigError
+from repro.snippets import generate_snippet
+from repro.snippets.structured import feature_snippet, rank_features
+from repro.snippets.text import best_window, text_snippet
+
+from tests.conftest import make_doc
+
+
+TEXT = (
+    "the island of java is part of indonesia and famous for coffee "
+    "while the java programming language powers enterprise software"
+)
+
+
+class TestBestWindow:
+    def test_finds_query_terms(self):
+        tokens = TEXT.split()
+        start, end, coverage = best_window(tokens, ("java", "coffee"), 8)
+        assert coverage == 2
+        window = tokens[start:end]
+        assert "java" in window and "coffee" in window
+
+    def test_earliest_full_coverage_wins(self):
+        tokens = "a x a y a".split()
+        start, _, coverage = best_window(tokens, ("a",), 2)
+        assert (start, coverage) == (0, 1)
+
+    def test_distinct_coverage_beats_repetition(self):
+        tokens = "q q q z z p q r".split()
+        start, end, coverage = best_window(tokens, ("q", "r"), 3)
+        assert coverage == 2
+        assert "r" in tokens[start:end]
+
+    def test_empty_tokens(self):
+        assert best_window([], ("a",), 5) == (0, 0, 0)
+
+    def test_window_larger_than_text(self):
+        tokens = "java island".split()
+        start, end, coverage = best_window(tokens, ("island",), 10)
+        assert (start, end) == (0, 2)
+        assert coverage == 1
+
+    def test_case_insensitive(self):
+        start, end, coverage = best_window(["Java", "Island"], ("java",), 2)
+        assert coverage == 1
+
+    def test_invalid_window(self):
+        with pytest.raises(ConfigError):
+            best_window(["a"], ("a",), 0)
+
+
+class TestTextSnippet:
+    def test_ellipsis_both_sides(self):
+        snippet = text_snippet(TEXT, ("programming",), window_size=4)
+        assert snippet.startswith("... ")
+        assert "programming" in snippet
+
+    def test_no_leading_ellipsis_at_start(self):
+        snippet = text_snippet(TEXT, ("island",), window_size=6)
+        assert not snippet.startswith("...")
+
+    def test_no_trailing_ellipsis_at_end(self):
+        snippet = text_snippet(TEXT, ("enterprise", "software"), window_size=6)
+        assert not snippet.endswith("...")
+
+    def test_empty_text(self):
+        assert text_snippet("", ("a",)) == ""
+
+    def test_preserves_original_casing(self):
+        snippet = text_snippet("The Java Island", ("java",), window_size=3)
+        assert "Java" in snippet
+
+
+@pytest.fixture
+def camera():
+    return make_structured_document(
+        "c1",
+        [
+            Feature("camera", "brand", "canon"),
+            Feature("camera", "resolution", "20 megapixel"),
+            Feature("camera", "category", "dslr"),
+        ],
+        title="canon dslr",
+    )
+
+
+class TestStructuredSnippets:
+    def test_query_matching_feature_first(self, camera):
+        ranked = rank_features(camera, ("dslr",))
+        assert ranked[0][0] == "camera:category"
+
+    def test_triplet_query_term_matches(self, camera):
+        ranked = rank_features(camera, ("camera:brand:canon",))
+        assert ranked[0][0] == "camera:brand"
+
+    def test_idf_breaks_ties(self, camera):
+        idf = lambda t: 5.0 if t == "megapixel" else 0.1
+        ranked = rank_features(camera, (), idf=idf)
+        assert ranked[0][0] == "camera:resolution"
+
+    def test_snippet_render(self, camera):
+        parts = feature_snippet(camera, ("canon",), max_features=2)
+        assert len(parts) == 2
+        assert parts[0] == "camera:brand: canon"
+
+    def test_invalid_max_features(self, camera):
+        with pytest.raises(ConfigError):
+            feature_snippet(camera, (), max_features=0)
+
+    def test_deterministic_without_query(self, camera):
+        a = feature_snippet(camera, ())
+        b = feature_snippet(camera, ())
+        assert a == b
+
+
+class TestGenerateSnippet:
+    def test_structured_dispatch(self, camera):
+        snippet = generate_snippet(camera, ("canon",))
+        assert "camera:brand: canon" in snippet
+
+    def test_text_with_raw(self):
+        doc = make_doc("t1", {"java", "island"})
+        snippet = generate_snippet(doc, ("java",), raw_text=TEXT, window_size=5)
+        assert "java" in snippet.lower()
+
+    def test_text_fallback_term_cloud(self):
+        doc = make_doc("t1", {"java", "island"})
+        snippet = generate_snippet(doc, ("java", "missing"))
+        assert "matches: java" in snippet
+
+    def test_text_fallback_no_match(self):
+        doc = make_doc("t1", {"island"})
+        assert generate_snippet(doc, ("java",)) == "t1"

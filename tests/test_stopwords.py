@@ -1,0 +1,31 @@
+"""Tests for repro.text.stopwords."""
+
+from repro.text.stopwords import STOPWORDS, is_stopword
+
+
+class TestStopwords:
+    def test_common_stopwords_present(self):
+        for word in ("the", "a", "and", "of", "is", "with", "from"):
+            assert is_stopword(word), word
+
+    def test_content_words_absent(self):
+        for word in ("apple", "java", "printer", "camera", "island"):
+            assert not is_stopword(word), word
+
+    def test_all_lowercase(self):
+        assert all(w == w.lower() for w in STOPWORDS)
+
+    def test_case_sensitive_contract(self):
+        # Callers must lowercase first; the set itself is lowercase-only.
+        assert not is_stopword("The")
+
+    def test_is_frozen(self):
+        assert isinstance(STOPWORDS, frozenset)
+
+    def test_reasonable_size(self):
+        # Classic English stopword lists are roughly 100-200 entries.
+        assert 100 <= len(STOPWORDS) <= 250
+
+    def test_no_empty_entries(self):
+        assert "" not in STOPWORDS
+        assert all(w.strip() == w for w in STOPWORDS)

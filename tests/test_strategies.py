@@ -1,0 +1,171 @@
+"""Tests for PEBC's partial-elimination strategies (§4.1-4.3), anchored on
+the paper's Examples 4.2-4.4."""
+
+import numpy as np
+import pytest
+
+from repro.core.strategies import (
+    FixedOrderStrategy,
+    RandomSubsetStrategy,
+    SingleResultStrategy,
+    make_strategy,
+)
+from repro.core.universe import ExpansionTask
+from repro.errors import ExpansionError
+from tests.conftest import build_task
+
+
+def achieved_shares(strategy, task, target, seeds) -> list[float]:
+    return [
+        strategy.generate(task, target, np.random.default_rng(s)).eliminated_share
+        for s in seeds
+    ]
+
+
+class TestFixedOrderExample42:
+    """Example 4.2: keyword order is fixed (k3 -> k1 -> k2 -> k4), so a 70%
+    target can only land on 50% (5 of 10) or 100%."""
+
+    def test_selection_order(self, example_42_task):
+        sq = FixedOrderStrategy().generate(
+            example_42_task, 1.0, np.random.default_rng(0)
+        )
+        # Eliminating 100% uses k3 (value 3), then k1 (value 1 after
+        # update), then k2: the prefix order of the example.
+        assert list(sq.selected)[:2] == ["k3", "k1"]
+
+    def test_target_70_lands_on_50(self, example_42_task):
+        sq = FixedOrderStrategy().generate(
+            example_42_task, 0.7, np.random.default_rng(0)
+        )
+        # {k3, k1} eliminates 5/10; adding k2 would jump to 10/10 which is
+        # farther from 70% -> the stop rule keeps 50%.
+        assert sq.eliminated_share == pytest.approx(0.5)
+        assert set(sq.selected) == {"k3", "k1"}
+
+    def test_target_zero_returns_seed(self, example_42_task):
+        sq = FixedOrderStrategy().generate(
+            example_42_task, 0.0, np.random.default_rng(0)
+        )
+        assert sq.selected == ()
+        assert sq.eliminated_share == 0.0
+
+    def test_deterministic(self, example_42_task):
+        a = FixedOrderStrategy().generate(
+            example_42_task, 0.6, np.random.default_rng(1)
+        )
+        b = FixedOrderStrategy().generate(
+            example_42_task, 0.6, np.random.default_rng(99)
+        )
+        assert a.selected == b.selected
+
+
+class TestSingleResultExample44:
+    """Example 4.4: the single-result strategy can hit 70% exactly, e.g. by
+    picking R5 (selects k4: tie between k2 and k4 broken toward fewer
+    eliminations), then R1 or R2 (selects k1) -> exactly 7 of 10."""
+
+    def test_can_hit_70_exactly(self, example_42_task):
+        shares = achieved_shares(
+            SingleResultStrategy(), example_42_task, 0.7, range(60)
+        )
+        assert any(s == pytest.approx(0.7) for s in shares)
+
+    def test_closer_on_average_than_fixed_order(self, example_42_task):
+        """§4.3's claim: the randomized procedure approaches the target
+        percentage better than the fixed-order greedy."""
+        fixed = FixedOrderStrategy().generate(
+            example_42_task, 0.7, np.random.default_rng(0)
+        )
+        fixed_err = abs(fixed.eliminated_share - 0.7)
+        shares = achieved_shares(
+            SingleResultStrategy(), example_42_task, 0.7, range(60)
+        )
+        mean_err = float(np.mean([abs(s - 0.7) for s in shares]))
+        assert mean_err < fixed_err
+
+    def test_tie_broken_to_fewer_eliminations(self):
+        """§4.3: on a value tie, the keyword eliminating fewer results wins
+        (minimizing the risk of eliminating too many)."""
+        # Both keywords can eliminate u1 at infinite value; k_small
+        # eliminates only u1 while k_big also kills u2.
+        task = build_task(
+            {"c1": {"k_small", "k_big"}},
+            {"u1": set(), "u2": {"k_small"}},
+            seed_terms=("s",),
+            candidates=("k_big", "k_small"),
+        )
+        strategy = SingleResultStrategy()
+        saw_tie_case = False
+        for seed in range(20):
+            sq = strategy.generate(task, 0.5, np.random.default_rng(seed))
+            if sq.selected and sq.selected[0] == "k_small":
+                saw_tie_case = True
+                assert sq.eliminated_share == pytest.approx(0.5)
+            # k_big alone may be selected only when u2 was picked first
+            # (k_small cannot eliminate u2).
+        assert saw_tie_case
+
+    def test_target_100_eliminates_everything_possible(self, example_42_task):
+        sq = SingleResultStrategy().generate(
+            example_42_task, 1.0, np.random.default_rng(3)
+        )
+        assert sq.eliminated_share == pytest.approx(1.0)
+
+    def test_target_zero_returns_seed(self, example_42_task):
+        sq = SingleResultStrategy().generate(
+            example_42_task, 0.0, np.random.default_rng(0)
+        )
+        assert sq.selected == ()
+
+    def test_result_mask_consistent(self, example_42_task):
+        task = example_42_task
+        sq = SingleResultStrategy().generate(task, 0.5, np.random.default_rng(5))
+        assert np.array_equal(
+            sq.result_mask, task.universe.results_mask(sq.terms)
+        )
+
+
+class TestRandomSubset:
+    def test_reaches_near_target_sometimes(self, example_42_task):
+        shares = achieved_shares(
+            RandomSubsetStrategy(), example_42_task, 0.7, range(40)
+        )
+        assert any(abs(s - 0.7) <= 0.3 for s in shares)
+
+    def test_target_zero(self, example_42_task):
+        sq = RandomSubsetStrategy().generate(
+            example_42_task, 0.0, np.random.default_rng(0)
+        )
+        assert sq.selected == ()
+
+    def test_terms_include_seed(self, example_42_task):
+        sq = RandomSubsetStrategy().generate(
+            example_42_task, 0.5, np.random.default_rng(2)
+        )
+        assert sq.terms[0] == "q0"
+
+
+class TestStrategyRegistry:
+    def test_make_strategy(self):
+        assert isinstance(make_strategy("single-result"), SingleResultStrategy)
+        assert isinstance(make_strategy("fixed-order"), FixedOrderStrategy)
+        assert isinstance(make_strategy("random-subset"), RandomSubsetStrategy)
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ExpansionError):
+            make_strategy("magic")
+
+    def test_or_semantics_rejected(self):
+        task = build_task(
+            {"c": {"x"}}, {"u": {"y"}}, seed_terms=("s",), candidates=("x",)
+        )
+        or_task = ExpansionTask(
+            universe=task.universe,
+            cluster_mask=task.cluster_mask,
+            seed_terms=task.seed_terms,
+            candidates=task.candidates,
+            semantics="or",
+        )
+        with pytest.raises(ExpansionError):
+            SingleResultStrategy().generate(or_task, 0.5, np.random.default_rng(0))

@@ -1,0 +1,39 @@
+"""Tests for repro.eval.timing."""
+
+import pytest
+
+from repro.eval.timing import Timer, measure_seconds
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            sum(range(1000))
+        assert t.seconds >= 0.0
+
+    def test_reusable(self):
+        t = Timer()
+        with t:
+            pass
+        first = t.seconds
+        with t:
+            sum(range(100000))
+        assert t.seconds >= 0.0
+        assert t.seconds != first or t.seconds >= 0.0
+
+
+class TestMeasureSeconds:
+    def test_returns_positive(self):
+        assert measure_seconds(lambda: sum(range(1000))) > 0.0
+
+    def test_best_of_repeat(self):
+        single = measure_seconds(lambda: sum(range(200000)), repeat=1)
+        best = measure_seconds(lambda: sum(range(200000)), repeat=3)
+        # Best-of-3 can't be slower than ~any single honest run by much;
+        # just sanity-check both are positive and finite.
+        assert 0.0 < best
+        assert 0.0 < single
+
+    def test_invalid_repeat(self):
+        with pytest.raises(ValueError):
+            measure_seconds(lambda: None, repeat=0)

@@ -1,0 +1,58 @@
+"""Tests for repro.text.tokenizer."""
+
+from repro.text.tokenizer import MAX_TOKEN_LENGTH, iter_tokens, tokenize
+
+
+class TestTokenize:
+    def test_lowercases(self):
+        assert tokenize("Apple IPhone") == ["apple", "iphone"]
+
+    def test_splits_on_punctuation(self):
+        assert tokenize("hello, world! foo;bar") == ["hello", "world", "foo", "bar"]
+
+    def test_keeps_internal_hyphen(self):
+        assert tokenize("Canon WP-DC26 case") == ["canon", "wp-dc26", "case"]
+
+    def test_keeps_internal_apostrophe(self):
+        assert tokenize("o'brien's") == ["o'brien's"]
+
+    def test_alphanumeric_tokens(self):
+        assert tokenize("8GB ddr3 1080p") == ["8gb", "ddr3", "1080p"]
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+
+    def test_whitespace_only(self):
+        assert tokenize(" \t\n ") == []
+
+    def test_numbers_kept(self):
+        assert tokenize("42 inches") == ["42", "inches"]
+
+    def test_leading_trailing_punct_stripped(self):
+        assert tokenize("-foo- 'bar'") == ["foo", "bar"]
+
+    def test_unicode_ignored(self):
+        # Non-ASCII letters are treated as separators.
+        assert tokenize("café") == ["caf"]
+
+    def test_overlong_token_dropped(self):
+        junk = "x" * (MAX_TOKEN_LENGTH + 1)
+        assert tokenize(f"ok {junk} fine") == ["ok", "fine"]
+
+    def test_token_at_max_length_kept(self):
+        edge = "y" * MAX_TOKEN_LENGTH
+        assert tokenize(edge) == [edge]
+
+    def test_order_preserved(self):
+        assert tokenize("c b a b") == ["c", "b", "a", "b"]
+
+
+class TestIterTokens:
+    def test_is_lazy_iterator(self):
+        it = iter_tokens("a b c")
+        assert next(it) == "a"
+        assert list(it) == ["b", "c"]
+
+    def test_matches_tokenize(self):
+        text = "The Quick 8gb Fox, wp-dc26!"
+        assert list(iter_tokens(text)) == tokenize(text)

@@ -1,0 +1,153 @@
+"""Tests for repro.core.universe."""
+
+import numpy as np
+import pytest
+
+from repro.core.universe import ExpansionTask, ResultUniverse
+from repro.errors import ExpansionError
+from tests.conftest import make_doc
+
+
+@pytest.fixture
+def universe() -> ResultUniverse:
+    docs = [
+        make_doc("d0", {"apple", "job"}),
+        make_doc("d1", {"apple", "store"}),
+        make_doc("d2", {"apple", "job", "store"}),
+        make_doc("d3", {"apple", "fruit"}),
+    ]
+    return ResultUniverse(docs, weights=[1.0, 2.0, 3.0, 4.0])
+
+
+class TestConstruction:
+    def test_basic(self, universe):
+        assert universe.n == 4
+        assert universe.terms == ["apple", "fruit", "job", "store"]
+        assert universe.total_weight() == 10.0
+
+    def test_unit_weights_default(self):
+        uni = ResultUniverse([make_doc("d", {"a"})])
+        assert uni.total_weight() == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExpansionError):
+            ResultUniverse([])
+
+    def test_bad_weight_shape(self):
+        with pytest.raises(ExpansionError):
+            ResultUniverse([make_doc("d", {"a"})], weights=[1.0, 2.0])
+
+    def test_nonpositive_weights_rejected(self):
+        with pytest.raises(ExpansionError):
+            ResultUniverse([make_doc("d", {"a"})], weights=[0.0])
+        with pytest.raises(ExpansionError):
+            ResultUniverse([make_doc("d", {"a"})], weights=[-1.0])
+
+    def test_nonfinite_weights_rejected(self):
+        with pytest.raises(ExpansionError):
+            ResultUniverse([make_doc("d", {"a"})], weights=[float("inf")])
+
+
+class TestMasks:
+    def test_has_mask(self, universe):
+        assert universe.has_mask("job").tolist() == [True, False, True, False]
+
+    def test_has_mask_unknown_term(self, universe):
+        assert not universe.has_mask("ghost").any()
+
+    def test_elimination_mask_is_complement(self, universe):
+        has = universe.has_mask("store")
+        assert np.array_equal(universe.elimination_mask("store"), ~has)
+
+    def test_contains(self, universe):
+        assert "job" in universe
+        assert "ghost" not in universe
+
+    def test_incidence_rows(self, universe):
+        rows = universe.incidence_rows(["job", "ghost"])
+        assert rows.shape == (2, 4)
+        assert rows[0].tolist() == [True, False, True, False]
+        assert not rows[1].any()
+
+
+class TestResultsMask:
+    def test_and_semantics(self, universe):
+        mask = universe.results_mask(("job", "store"))
+        assert mask.tolist() == [False, False, True, False]
+
+    def test_and_empty_query_retrieves_all(self, universe):
+        assert universe.results_mask(()).all()
+
+    def test_or_semantics(self, universe):
+        mask = universe.results_mask(("job", "fruit"), semantics="or")
+        assert mask.tolist() == [True, False, True, True]
+
+    def test_or_empty_query_retrieves_none(self, universe):
+        assert not universe.results_mask((), semantics="or").any()
+
+    def test_unknown_semantics(self, universe):
+        with pytest.raises(ExpansionError):
+            universe.results_mask(("job",), semantics="xor")
+
+    def test_unknown_term_and_kills(self, universe):
+        assert not universe.results_mask(("job", "ghost")).any()
+
+
+class TestWeights:
+    def test_weight_of(self, universe):
+        mask = np.array([True, False, True, False])
+        assert universe.weight_of(mask) == 4.0
+
+    def test_count(self, universe):
+        assert universe.count(universe.has_mask("apple")) == 4
+
+
+class TestExpansionTask:
+    def test_other_mask_is_complement(self, universe):
+        mask = np.array([True, True, False, False])
+        task = ExpansionTask(
+            universe=universe,
+            cluster_mask=mask,
+            seed_terms=("apple",),
+            candidates=("job", "store", "fruit"),
+        )
+        assert np.array_equal(task.other_mask, ~mask)
+        assert task.cluster_weight() == 3.0
+        assert task.other_weight() == 7.0
+
+    def test_empty_cluster_rejected(self, universe):
+        with pytest.raises(ExpansionError):
+            ExpansionTask(
+                universe=universe,
+                cluster_mask=np.zeros(4, dtype=bool),
+                seed_terms=("apple",),
+                candidates=(),
+            )
+
+    def test_wrong_mask_shape_rejected(self, universe):
+        with pytest.raises(ExpansionError):
+            ExpansionTask(
+                universe=universe,
+                cluster_mask=np.ones(3, dtype=bool),
+                seed_terms=("apple",),
+                candidates=(),
+            )
+
+    def test_candidates_overlapping_seed_rejected(self, universe):
+        with pytest.raises(ExpansionError):
+            ExpansionTask(
+                universe=universe,
+                cluster_mask=np.ones(4, dtype=bool),
+                seed_terms=("apple",),
+                candidates=("apple", "job"),
+            )
+
+    def test_bad_semantics_rejected(self, universe):
+        with pytest.raises(ExpansionError):
+            ExpansionTask(
+                universe=universe,
+                cluster_mask=np.ones(4, dtype=bool),
+                seed_terms=("apple",),
+                candidates=(),
+                semantics="xor",
+            )

@@ -1,0 +1,94 @@
+"""Tests for the simulated user study (repro.eval.user_study)."""
+
+import pytest
+
+from repro.datasets.queries import query_by_id
+from repro.eval.experiment import ExperimentSuite
+from repro.eval.user_study import (
+    UserStudySimulator,
+    _collective_option,
+    _individual_option,
+)
+
+
+@pytest.fixture(scope="module")
+def experiments():
+    suite = ExperimentSuite(seed=0, shopping_scale=0.4, wiki_docs_per_sense=12)
+    return [
+        suite.run_query(query_by_id(qid)) for qid in ("QW6", "QW8", "QS1", "QS7")
+    ]
+
+
+@pytest.fixture(scope="module")
+def study(experiments):
+    return UserStudySimulator(n_users=20, seed=7).evaluate(experiments)
+
+
+class TestUtilityModel:
+    def test_individual_utility_bounds(self):
+        sim = UserStudySimulator()
+        assert sim.individual_utility(0.0, 0.0) == 0.0
+        assert sim.individual_utility(1.0, 1.0) == 1.0
+        assert 0.0 <= sim.individual_utility(0.5, 0.3) <= 1.0
+
+    def test_popularity_compensates_groundedness(self):
+        """A popular-but-ungrounded suggestion (the Google case) still rates
+        well, but never quite as well as a perfectly grounded one."""
+        sim = UserStudySimulator()
+        ungrounded_popular = sim.individual_utility(0.0, 1.0)
+        grounded = sim.individual_utility(1.0, 0.0)
+        assert 0.0 < ungrounded_popular < grounded
+        # Popularity never hurts a grounded suggestion.
+        assert sim.individual_utility(0.9, 0.5) >= 0.9
+
+    def test_collective_utility(self):
+        sim = UserStudySimulator()
+        assert sim.collective_utility(1.0, 1.0) == 1.0
+        assert sim.collective_utility(0.0, 0.0) == 0.0
+
+    def test_option_thresholds(self):
+        assert _individual_option(0.9) == "A"
+        assert _individual_option(0.6) == "B"
+        assert _individual_option(0.1) == "C"
+        assert _collective_option(0.9) == "C"
+        assert _collective_option(0.6) == "B"
+        assert _collective_option(0.1) == "A"
+
+
+class TestPanel:
+    def test_scores_in_1_to_5(self, study):
+        for score in study.individual_scores.values():
+            assert 1.0 <= score <= 5.0
+        for score in study.collective_scores.values():
+            assert 1.0 <= score <= 5.0
+
+    def test_option_percentages_sum_to_100(self, study):
+        for options in study.individual_options.values():
+            assert sum(options.values()) == pytest.approx(100.0)
+        for options in study.collective_options.values():
+            assert sum(options.values()) == pytest.approx(100.0)
+
+    def test_paper_shape_individual(self, study):
+        """Fig. 1: ISKR and PEBC outscore Data Clouds and CS."""
+        for good in ("ISKR", "PEBC"):
+            for bad in ("DataClouds", "CS"):
+                assert study.individual_scores[good] > study.individual_scores[bad]
+
+    def test_paper_shape_collective(self, study):
+        """Fig. 3: ISKR/PEBC receive the highest collective scores."""
+        for good in ("ISKR", "PEBC"):
+            assert study.collective_scores[good] > study.collective_scores["DataClouds"]
+
+    def test_deterministic_given_seed(self, experiments):
+        a = UserStudySimulator(n_users=5, seed=11).evaluate(experiments)
+        b = UserStudySimulator(n_users=5, seed=11).evaluate(experiments)
+        assert a.individual_scores == b.individual_scores
+        assert a.collective_options == b.collective_options
+
+    def test_empty_experiments_rejected(self):
+        with pytest.raises(ValueError):
+            UserStudySimulator().evaluate([])
+
+    def test_invalid_n_users(self):
+        with pytest.raises(ValueError):
+            UserStudySimulator(n_users=0)

@@ -1,0 +1,99 @@
+"""Tests for the vector-space-model expansion (§7 future work)."""
+
+import pytest
+
+from repro.core.iskr import ISKR
+from repro.core.universe import ExpansionTask
+from repro.core.vsm import VectorSpaceRefinement
+from repro.errors import ExpansionError
+from tests.conftest import build_task
+
+
+class TestVectorSpaceRefinement:
+    def test_perfect_separation(self):
+        task = build_task(
+            {"c1": {"cam"}, "c2": {"cam"}},
+            {"u1": {"tv"}, "u2": {"tv"}},
+            seed_terms=("s",),
+            candidates=("cam", "tv"),
+        )
+        out = VectorSpaceRefinement().expand(task)
+        assert out.fmeasure == pytest.approx(1.0)
+        assert "cam" in out.terms
+        assert "tv" not in out.terms
+
+    def test_beats_and_semantics_on_non_cooccurring_terms(self):
+        """The paper's §1 failure case for AND queries: cluster terms that
+        never co-occur. Ranked retrieval with an adaptive cutoff retrieves
+        the whole cluster where any AND combination cannot."""
+        cluster = {f"c{i}": {f"w{i}"} for i in range(4)}  # disjoint terms
+        other = {"u1": {"z"}, "u2": {"z"}}
+        task = build_task(
+            cluster, other, seed_terms=("s",),
+            candidates=("w0", "w1", "w2", "w3", "z"),
+        )
+        vsm = VectorSpaceRefinement().expand(task)
+        iskr = ISKR().expand(task)
+        # Under AND, adding any w_i kills the other cluster docs: recall
+        # caps at 1/4. Under VSM, summing the w_i retrieves all four.
+        assert vsm.fmeasure > iskr.fmeasure
+        assert vsm.fmeasure == pytest.approx(1.0)
+
+    def test_empty_candidates(self):
+        task = build_task(
+            {"c": {"x"}}, {"u": {"y"}}, seed_terms=("s",), candidates=()
+        )
+        out = VectorSpaceRefinement().expand(task)
+        assert out.terms == ("s",)
+        assert out.fmeasure == 0.0  # no scores -> empty retrieval
+
+    def test_max_terms_cap(self):
+        cluster = {f"c{i}": {f"w{i}"} for i in range(6)}
+        task = build_task(
+            cluster, {"u": {"z"}}, seed_terms=("s",),
+            candidates=tuple(f"w{i}" for i in range(6)),
+        )
+        out = VectorSpaceRefinement(max_terms=2).expand(task)
+        assert len(out.terms) <= 3  # seed + 2
+
+    def test_metrics_consistent(self):
+        task = build_task(
+            {"c1": {"a"}, "c2": {"a", "b"}},
+            {"u1": {"b"}, "u2": {"c"}},
+            seed_terms=("s",),
+            candidates=("a", "b", "c"),
+        )
+        out = VectorSpaceRefinement().expand(task)
+        assert 0.0 <= out.fmeasure <= 1.0
+        if out.precision + out.recall > 0:
+            expected = (
+                2 * out.precision * out.recall / (out.precision + out.recall)
+            )
+            assert out.fmeasure == pytest.approx(expected)
+
+    def test_deterministic(self, example_31_task):
+        a = VectorSpaceRefinement().expand(example_31_task)
+        b = VectorSpaceRefinement().expand(example_31_task)
+        assert a.terms == b.terms
+
+    def test_paper_example_at_least_iskr(self, example_31_task):
+        """With an adaptive cutoff, VSM retrieval should match or beat the
+        AND-semantics local optimum on Example 3.1."""
+        vsm = VectorSpaceRefinement().expand(example_31_task)
+        iskr = ISKR().expand(example_31_task)
+        assert vsm.fmeasure >= iskr.fmeasure - 0.05
+
+    def test_or_task_rejected(self, example_31_task):
+        or_task = ExpansionTask(
+            universe=example_31_task.universe,
+            cluster_mask=example_31_task.cluster_mask,
+            seed_terms=example_31_task.seed_terms,
+            candidates=example_31_task.candidates,
+            semantics="or",
+        )
+        with pytest.raises(ExpansionError):
+            VectorSpaceRefinement().expand(or_task)
+
+    def test_invalid_max_terms(self):
+        with pytest.raises(ExpansionError):
+            VectorSpaceRefinement(max_terms=0)

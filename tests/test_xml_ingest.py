@@ -1,0 +1,102 @@
+"""Unit tests for XML ingestion (repro.data.xml_ingest)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.xml_ingest import corpus_from_xml, document_from_xml
+from repro.errors import DataError
+from repro.index.search import SearchEngine
+from repro.text.analyzer import Analyzer
+
+PRODUCT_XML = """
+<product sku="ab-123">
+  <title>Canon PowerShot</title>
+  <category>camera</category>
+  <specs>
+    <resolution>20 megapixel</resolution>
+    <zoom>10x optical</zoom>
+  </specs>
+  <description>
+    A compact camera with fast autofocus and bright lens.
+  </description>
+</product>
+"""
+
+ARTICLE_XML = """
+<article>
+  <title>Java (island)</title>
+  <body>
+    Java is an island of Indonesia. <b>Jakarta</b> lies on its northwest
+    coast. The island is densely populated.
+  </body>
+</article>
+"""
+
+
+class TestDocumentFromXml:
+    def test_leaf_elements_become_features(self):
+        doc = document_from_xml("p1", PRODUCT_XML, Analyzer(use_stemming=False))
+        assert doc.fields["product:category"] == "camera"
+        assert doc.fields["product:specs:resolution"] == "20 megapixel"
+
+    def test_attributes_become_features(self):
+        doc = document_from_xml("p1", PRODUCT_XML)
+        assert doc.fields["product:@sku"] == "ab-123"
+
+    def test_long_text_not_a_feature_but_indexed(self):
+        doc = document_from_xml("p1", PRODUCT_XML, Analyzer(use_stemming=False))
+        assert "product:description" not in doc.fields
+        assert "autofocus" in doc.terms
+
+    def test_title_extracted(self):
+        doc = document_from_xml("p1", PRODUCT_XML)
+        assert doc.title == "Canon PowerShot"
+
+    def test_explicit_title_wins(self):
+        doc = document_from_xml("p1", PRODUCT_XML, title="Override")
+        assert doc.title == "Override"
+
+    def test_mixed_content_text_indexed(self):
+        doc = document_from_xml("a1", ARTICLE_XML, Analyzer(use_stemming=False))
+        assert "jakarta" in doc.terms
+        assert "northwest" in doc.terms
+
+    def test_kind_structured(self):
+        doc = document_from_xml("p1", PRODUCT_XML)
+        assert doc.kind == "structured"
+
+    def test_namespaces_stripped(self):
+        xml = '<r xmlns:x="urn:y"><x:name>gizmo</x:name></r>'
+        doc = document_from_xml("n1", xml, Analyzer(use_stemming=False))
+        assert doc.fields["r:name"] == "gizmo"
+
+    def test_malformed_xml(self):
+        with pytest.raises(DataError):
+            document_from_xml("bad", "<a><b></a>")
+
+    def test_empty_document(self):
+        with pytest.raises(DataError):
+            document_from_xml("empty", "<a/>")
+
+    def test_feature_terms_are_searchable(self):
+        analyzer = Analyzer(use_stemming=False)
+        corpus = corpus_from_xml({"p1": PRODUCT_XML}, analyzer)
+        engine = SearchEngine(corpus, analyzer)
+        assert engine.search("product:category:camera")
+        assert engine.search("camera")
+
+
+class TestCorpusFromXml:
+    def test_sorted_order_and_size(self):
+        corpus = corpus_from_xml({"b": ARTICLE_XML, "a": PRODUCT_XML})
+        assert corpus.doc_ids() == ["a", "b"]
+
+    def test_searchable_end_to_end(self):
+        analyzer = Analyzer(use_stemming=False)
+        corpus = corpus_from_xml(
+            {"island": ARTICLE_XML, "camera": PRODUCT_XML}, analyzer
+        )
+        engine = SearchEngine(corpus, analyzer)
+        hits = engine.search("indonesia")
+        assert [r.document.doc_id for r in hits] == ["island"]
