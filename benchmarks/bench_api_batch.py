@@ -1,0 +1,76 @@
+"""Baseline for the session batch path: ``expand_many`` throughput.
+
+Records queries/sec through one :class:`repro.api.Session` for (a) a
+cold sequential pass, (b) a warm sequential pass (retrieval + candidate
+caches populated), and (c) a warm multi-worker pass — so future PRs can
+track both the per-query pipeline cost and the batching overheads.
+
+The workload cycles the ambiguous Wikipedia terms with repeats, matching
+service traffic where popular seed queries recur.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.api import Session
+from repro.eval.reporting import format_table
+
+from benchmarks.conftest import emit_artifact
+
+WORKLOAD = [
+    "java", "rockets", "columbia", "eclipse",
+    "java", "rockets", "columbia", "eclipse",
+    "java", "rockets",
+]
+WORKERS = 4
+
+
+def _fresh_session() -> Session:
+    return (
+        Session.builder()
+        .dataset("wikipedia")
+        .algorithm("iskr")
+        .config(n_clusters=3, top_k_results=30)
+        .build()
+    )
+
+
+def _throughput(session: Session, workers: int) -> tuple[float, float, int]:
+    t0 = time.perf_counter()
+    batch = session.expand_many(WORKLOAD, workers=workers)
+    seconds = time.perf_counter() - t0
+    return len(WORKLOAD) / seconds, seconds, batch.n_ok
+
+
+def test_batch_throughput(benchmark):
+    session = _fresh_session()
+
+    def run():
+        cold_qps, cold_s, cold_ok = _throughput(_fresh_session(), workers=1)
+        warm_qps, warm_s, warm_ok = _throughput(session, workers=1)
+        multi_qps, multi_s, multi_ok = _throughput(session, workers=WORKERS)
+        return (
+            ("cold, 1 worker", cold_qps, cold_s, cold_ok),
+            ("warm, 1 worker", warm_qps, warm_s, warm_ok),
+            (f"warm, {WORKERS} workers", multi_qps, multi_s, multi_ok),
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    emit_artifact(
+        "api_batch_throughput",
+        format_table(
+            ["configuration", "queries/s", "seconds", "ok"],
+            [[name, f"{qps:.2f}", f"{s:.3f}", ok] for name, qps, s, ok in rows],
+            title=f"expand_many throughput ({len(WORKLOAD)}-query workload)",
+        ),
+    )
+
+    cold, warm, multi = rows
+    assert cold[3] == warm[3] == multi[3] == len(WORKLOAD)
+    # The warm cache must not make things slower (shared retrieval +
+    # candidate statistics should help or at worst be a wash).
+    assert warm[1] >= cold[1] * 0.8
+    # Threads must not collapse throughput (GIL-bound ≈ wash is fine).
+    assert multi[1] >= warm[1] * 0.5

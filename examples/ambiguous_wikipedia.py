@@ -8,44 +8,46 @@ teams) through four systems and prints their suggestions side by side,
 showing how the cluster-based methods cover *all* senses while Data Clouds
 concentrates on the dominant one.
 
+The cluster-based systems run through one :class:`repro.Session`: both
+algorithms share retrieval, clustering, and candidate statistics, so the
+comparison is apples-to-apples by construction.
+
 Run:  python examples/ambiguous_wikipedia.py
 """
 
 from repro import (
-    Analyzer,
-    ClusterQueryExpander,
+    ClusterSummarization,
     DataClouds,
-    ExpansionConfig,
-    ISKR,
-    PEBC,
     QueryLogSuggester,
-    SearchEngine,
+    Session,
     build_query_log,
-    build_wikipedia_corpus,
 )
-from repro.baselines.cluster_summarization import ClusterSummarization
 
 QUERY = "rockets"
 
 
 def main() -> None:
-    analyzer = Analyzer(use_stemming=False)
-    corpus = build_wikipedia_corpus(seed=0, analyzer=analyzer)
-    engine = SearchEngine(corpus, analyzer)
-    config = ExpansionConfig(n_clusters=3, top_k_results=30)
+    session = (
+        Session.builder()
+        .dataset("wikipedia")
+        .config(n_clusters=3, top_k_results=30)
+        .build()
+    )
+    engine = session.engine
 
     print(f"ambiguous query: {QUERY!r}\n")
 
-    # Cluster-based systems (the paper's approach).
-    for algorithm in (ISKR(), PEBC(seed=0)):
-        report = ClusterQueryExpander(engine, algorithm, config).expand(QUERY)
-        print(f"{algorithm.name} (score {report.score:.3f}):")
+    # Cluster-based systems (the paper's approach): same session, two
+    # algorithms picked by registry name.
+    for algorithm in ("iskr", "pebc"):
+        report = session.expand(QUERY, algorithm=algorithm)
+        print(f"{algorithm.upper()} (score {report.score:.3f}):")
         for eq in report.expanded:
             print(f"    {eq.display()}   [F={eq.fmeasure:.2f}]")
         print()
 
     # Popular-words baseline: no clustering, ranking bias included.
-    results = engine.search(QUERY, top_k=30)
+    results = session.search(QUERY, top_k=30)
     dc = DataClouds(n_queries=3).suggest(engine, QUERY, results)
     print("DataClouds (popular words, no clustering):")
     for text in dc.display():
@@ -54,8 +56,7 @@ def main() -> None:
 
     # Cluster labels used as queries (CS): high-TFICF words that may not
     # co-occur, hence low recall under AND semantics.
-    pipeline = ClusterQueryExpander(engine, ISKR(), config)
-    labels = pipeline.cluster(results)
+    labels = session.cluster(results)
     cs = ClusterSummarization().suggest(engine, QUERY, results, labels)
     print("CS (TF-ICF cluster labels):")
     for text, f in zip(cs.display(), cs.fmeasures):
@@ -64,7 +65,9 @@ def main() -> None:
 
     # Query-log suggestions (the Google stand-in): popular but, for
     # "rockets", all about space — not diverse (paper §5.2.1).
-    suggester = QueryLogSuggester(build_query_log(), n_queries=3, analyzer=analyzer)
+    suggester = QueryLogSuggester(
+        build_query_log(), n_queries=3, analyzer=session.analyzer
+    )
     print("QueryLog (Google stand-in):")
     for text in suggester.suggest(QUERY).display():
         print(f"    {text}")

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Batch expansion with error isolation and a JSON service payload.
+
+The session API is built for service traffic: one session per corpus,
+many queries through it. ``expand_many`` fans a workload out over worker
+threads, isolates per-query failures as structured error records, and the
+whole batch serializes to the versioned JSON schema — exactly what an
+HTTP front end would return.
+
+Run:  python examples/batch_service.py
+"""
+
+import json
+
+from repro import BatchReport, Session
+
+WORKLOAD = [
+    "java",
+    "rockets",
+    "columbia",
+    "eclipse",
+    "no-such-keyword-anywhere",  # fails: retrieves nothing
+    "java",                      # repeat: served from the retrieval cache
+]
+
+
+def main() -> None:
+    session = (
+        Session.builder()
+        .dataset("wikipedia")
+        .algorithm("iskr")
+        .config(n_clusters=3, top_k_results=30)
+        .build()
+    )
+
+    batch = session.expand_many(WORKLOAD, workers=4)
+
+    print(f"{len(batch.items)} queries, {batch.n_ok} ok, "
+          f"{batch.n_failed} failed, {batch.seconds:.2f}s with 4 workers\n")
+    for item in batch.items:
+        if item.ok:
+            best = max(eq.fmeasure for eq in item.report.expanded)
+            print(f"  ok    {item.query!r}: {len(item.report.expanded)} "
+                  f"queries, best F={best:.2f}")
+        else:
+            print(f"  FAIL  {item.query!r}: {item.error_type}: "
+                  f"{item.error_message}")
+
+    # The service boundary: JSON out, JSON in, nothing lost.
+    payload = json.dumps(batch.to_dict())
+    restored = BatchReport.from_dict(json.loads(payload))
+    assert restored == batch
+    print(f"\nJSON payload: {len(payload)} bytes, "
+          f"schema v{batch.to_dict()['schema_version']}; round-trip ok")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,37 +1,32 @@
 #!/usr/bin/env python
-"""Quickstart: cluster-based query expansion in ~30 lines.
+"""Quickstart: cluster-based query expansion in ~20 lines.
 
-Builds the synthetic Wikipedia corpus, searches the ambiguous query
-"java", clusters the top results, and prints one expanded query per
-cluster — the paper's core loop (search → cluster → expand).
+Builds a :class:`repro.Session` over the synthetic Wikipedia corpus,
+expands the ambiguous query "java", and prints one expanded query per
+cluster — the paper's core loop (search → cluster → expand) behind the
+library's front-door API. Components are picked by registry name; swap
+``.algorithm("iskr")`` for ``"pebc"`` or ``.retrieval("tfidf")`` for
+``"bm25"`` to reconfigure the pipeline.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import (
-    Analyzer,
-    ClusterQueryExpander,
-    ExpansionConfig,
-    ISKR,
-    SearchEngine,
-    build_wikipedia_corpus,
-)
+from repro import Session
 
 
 def main() -> None:
-    # 1. A corpus and a search engine over it. The synthetic generators
-    #    emit canonical word forms, so we skip stemming for readability.
-    analyzer = Analyzer(use_stemming=False)
-    corpus = build_wikipedia_corpus(seed=0, analyzer=analyzer)
-    engine = SearchEngine(corpus, analyzer)
+    # One session = corpus + engine + expansion setup, validated up front
+    # and cached across queries.
+    session = (
+        Session.builder()
+        .dataset("wikipedia")
+        .retrieval("tfidf")
+        .algorithm("iskr")
+        .config(n_clusters=3, top_k_results=30)
+        .build()
+    )
 
-    # 2. The expansion pipeline: ISKR over k-means clusters of the top-30
-    #    ranked results (the paper's experimental setup).
-    config = ExpansionConfig(n_clusters=3, top_k_results=30)
-    expander = ClusterQueryExpander(engine, ISKR(), config)
-
-    # 3. Expand an ambiguous query.
-    report = expander.expand("java")
+    report = session.expand("java")
 
     print(f"seed query : {report.seed_query!r}")
     print(f"results    : {report.n_results} (clustered into {report.n_clusters})")
@@ -46,6 +41,12 @@ def main() -> None:
             f"    precision={eq.precision:.3f} recall={eq.recall:.3f} "
             f"F={eq.fmeasure:.3f}"
         )
+
+    # Reports serialize to a stable, versioned JSON schema (see API.md) —
+    # ready to cross a service boundary.
+    payload = report.to_dict()
+    print(f"\nJSON schema v{payload['schema_version']}: "
+          f"{len(payload['expanded'])} expanded queries serialized")
 
 
 if __name__ == "__main__":

@@ -9,19 +9,46 @@ result set matches the cluster as closely as possible (maximum F-measure).
 
 Quickstart
 ----------
->>> from repro import (Analyzer, ClusterQueryExpander, ExpansionConfig,
-...                    ISKR, SearchEngine, build_wikipedia_corpus)
->>> analyzer = Analyzer(use_stemming=False)
->>> corpus = build_wikipedia_corpus(seed=0, analyzer=analyzer)
->>> engine = SearchEngine(corpus, analyzer)
->>> expander = ClusterQueryExpander(engine, ISKR(), ExpansionConfig(n_clusters=3))
->>> report = expander.expand("java")
+The front door is :class:`repro.api.Session`: pick components by their
+registry names, build once, expand many times.
+
+>>> from repro import Session
+>>> session = (Session.builder()
+...            .dataset("wikipedia")
+...            .algorithm("iskr")
+...            .config(n_clusters=3)
+...            .build())
+>>> report = session.expand("java")
 >>> len(report.expanded) >= 2
 True
+>>> batch = session.expand_many(["java", "rockets"])
+>>> batch.n_ok
+2
+>>> report == type(report).from_dict(report.to_dict())  # stable JSON schema
+True
+
+Algorithms (``iskr``, ``pebc``, ...), clusterers (``kmeans``,
+``bisecting``, ...), retrieval scorers (``tfidf``, ``bm25``, ``lm``) and
+datasets are all pluggable registries — see API.md. The lower-level
+pieces (:class:`SearchEngine`, :class:`ClusterQueryExpander`, the
+algorithm classes) remain public for direct wiring.
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every reproduced table and figure.
 """
+
+from repro.api import (
+    ALGORITHMS,
+    CLUSTERERS,
+    DATASETS,
+    SCORERS,
+    BatchItem,
+    BatchReport,
+    CachingSearchEngine,
+    Registry,
+    Session,
+    SessionBuilder,
+)
 
 from repro.baselines import (
     ClusterSummarization,
@@ -71,7 +98,9 @@ from repro.errors import (
     ExpansionError,
     IndexingError,
     QueryError,
+    RegistryError,
     ReproError,
+    SchemaError,
 )
 from repro.eval import ExperimentSuite, UserStudySimulator, run_scalability
 from repro.index import BM25Scorer, InvertedIndex, SearchEngine, SearchResult
@@ -81,19 +110,25 @@ from repro.text import Analyzer, PorterStemmer, tokenize
 __version__ = "1.0.0"
 
 __all__ = [
+    "ALGORITHMS",
     "AdaptiveKClusterer",
     "AgglomerativeClustering",
     "Analyzer",
     "AutoClustering",
     "BM25Scorer",
+    "BatchItem",
+    "BatchReport",
     "BenchmarkQuery",
     "BisectingKMeans",
+    "CLUSTERERS",
+    "CachingSearchEngine",
     "ClusterQueryExpander",
     "ClusterSummarization",
     "ClusteringError",
     "ConfigError",
     "Corpus",
     "CosineKMeans",
+    "DATASETS",
     "DataClouds",
     "DataError",
     "DeltaFMeasureRefinement",
@@ -117,12 +152,18 @@ __all__ = [
     "QueryError",
     "QueryLog",
     "QueryLogSuggester",
+    "Registry",
+    "RegistryError",
     "ReproError",
     "ResultUniverse",
     "RobertsonPRF",
     "RocchioPRF",
+    "SCORERS",
+    "SchemaError",
     "SearchEngine",
     "SearchResult",
+    "Session",
+    "SessionBuilder",
     "TfVectorizer",
     "UserStudySimulator",
     "VectorSpaceRefinement",

@@ -1,0 +1,53 @@
+"""repro.api — registry-driven session façade (the library's front door).
+
+See API.md at the repository root for the full guide. In short::
+
+    from repro.api import Session
+
+    session = (Session.builder()
+               .dataset("wikipedia")
+               .retrieval("bm25")
+               .algorithm("pebc")
+               .config(n_clusters=4)
+               .build())
+    report = session.expand("java")
+    batch = session.expand_many(["java", "rockets"], workers=4)
+    payload = report.to_dict()          # versioned, JSON-ready
+
+Pluggable axes live in the registries; extend them with
+``@ALGORITHMS.register("name")`` (and likewise for clusterers, scorers,
+and datasets).
+"""
+
+from repro.api.registries import ALGORITHMS, CLUSTERERS, DATASETS, SCORERS
+from repro.api.registry import Registry
+from repro.api.schema import (
+    SCHEMA_VERSION,
+    SUPPORTED_VERSIONS,
+    report_from_dict,
+    report_to_dict,
+)
+from repro.api.session import (
+    BatchItem,
+    BatchReport,
+    CachingSearchEngine,
+    Session,
+    SessionBuilder,
+)
+
+__all__ = [
+    "ALGORITHMS",
+    "BatchItem",
+    "BatchReport",
+    "CLUSTERERS",
+    "CachingSearchEngine",
+    "DATASETS",
+    "Registry",
+    "SCHEMA_VERSION",
+    "SCORERS",
+    "SUPPORTED_VERSIONS",
+    "Session",
+    "SessionBuilder",
+    "report_from_dict",
+    "report_to_dict",
+]

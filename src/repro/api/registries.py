@@ -1,0 +1,166 @@
+"""Built-in component registries: the library's pluggable axes.
+
+Four axes, each a :class:`~repro.api.registry.Registry`:
+
+=============  ======================================================
+``ALGORITHMS``  expansion algorithms — ``factory(seed, **kw)``
+``CLUSTERERS``  clustering backends — ``factory(n_clusters, seed, **kw)``
+``SCORERS``     retrieval scorers — ``factory(index, **kw)``
+``DATASETS``    corpus builders — ``factory(seed, analyzer, **kw)``
+=============  ======================================================
+
+Every factory returns a ready component: algorithms expose
+``expand(task)``, clusterers expose ``fit_predict(matrix)``, scorers
+expose ``score``/``rank``, datasets return a
+:class:`~repro.data.corpus.Corpus`. Extend any axis with
+``@REGISTRY.register("name")``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.api.registry import Registry
+from repro.cluster.agglomerative import AgglomerativeClustering
+from repro.cluster.bisecting import BisectingKMeans
+from repro.cluster.kmeans import CosineKMeans
+from repro.cluster.kmedoids import KMedoids
+from repro.cluster.kselect import AdaptiveKClusterer
+from repro.cluster.selection import AutoClustering
+from repro.core.exact import ExhaustiveOptimalExpansion
+from repro.core.fmeasure import DeltaFMeasureRefinement
+from repro.core.iskr import ISKR
+from repro.core.pebc import PEBC
+from repro.core.vsm import VectorSpaceRefinement
+from repro.data.xml_ingest import corpus_from_xml
+from repro.datasets.shopping import build_shopping_corpus
+from repro.datasets.wikipedia import build_wikipedia_corpus
+from repro.errors import RegistryError
+from repro.index.scoring import TfIdfScorer
+
+ALGORITHMS = Registry("algorithm")
+CLUSTERERS = Registry("clusterer")
+SCORERS = Registry("scorer")
+DATASETS = Registry("dataset")
+
+
+# -- expansion algorithms ----------------------------------------------------
+
+
+@ALGORITHMS.register("iskr")
+def _make_iskr(seed: int = 0, **kwargs) -> ISKR:
+    return ISKR(**kwargs)
+
+
+@ALGORITHMS.register("pebc")
+def _make_pebc(seed: int = 0, **kwargs) -> PEBC:
+    return PEBC(seed=seed, **kwargs)
+
+
+@ALGORITHMS.register("exact")
+def _make_exact(seed: int = 0, **kwargs) -> ExhaustiveOptimalExpansion:
+    return ExhaustiveOptimalExpansion(**kwargs)
+
+
+@ALGORITHMS.register("fmeasure")
+def _make_fmeasure(seed: int = 0, **kwargs) -> DeltaFMeasureRefinement:
+    return DeltaFMeasureRefinement(**kwargs)
+
+
+@ALGORITHMS.register("vsm")
+def _make_vsm(seed: int = 0, **kwargs) -> VectorSpaceRefinement:
+    return VectorSpaceRefinement(**kwargs)
+
+
+# -- clustering backends -----------------------------------------------------
+
+
+class _FitAdapter:
+    """fit_predict facade over backends exposing ``fit(matrix).labels``."""
+
+    def __init__(self, impl) -> None:
+        self._impl = impl
+
+    def fit_predict(self, matrix: np.ndarray) -> np.ndarray:
+        return self._impl.fit(matrix).labels
+
+
+@CLUSTERERS.register("kmeans")
+def _make_kmeans(n_clusters: int, seed: int = 0, **kwargs) -> _FitAdapter:
+    return _FitAdapter(CosineKMeans(n_clusters=n_clusters, seed=seed, **kwargs))
+
+
+@CLUSTERERS.register("bisecting")
+def _make_bisecting(n_clusters: int, seed: int = 0, **kwargs) -> BisectingKMeans:
+    return BisectingKMeans(n_clusters=n_clusters, seed=seed, **kwargs)
+
+
+@CLUSTERERS.register("agglomerative")
+def _make_agglomerative(
+    n_clusters: int, seed: int = 0, **kwargs
+) -> AgglomerativeClustering:
+    return AgglomerativeClustering(n_clusters=n_clusters, **kwargs)
+
+
+@CLUSTERERS.register("kmedoids")
+def _make_kmedoids(n_clusters: int, seed: int = 0, **kwargs) -> _FitAdapter:
+    return _FitAdapter(KMedoids(n_clusters=n_clusters, seed=seed, **kwargs))
+
+
+@CLUSTERERS.register("auto")
+def _make_auto(n_clusters: int, seed: int = 0, **kwargs) -> AutoClustering:
+    return AutoClustering(n_clusters=n_clusters, seed=seed, **kwargs)
+
+
+@CLUSTERERS.register("kselect")
+def _make_kselect(n_clusters: int, seed: int = 0, **kwargs) -> AdaptiveKClusterer:
+    if n_clusters < 2:
+        raise RegistryError(
+            f"clusterer 'kselect' picks k <= n_clusters and needs "
+            f"n_clusters >= 2, got {n_clusters}"
+        )
+    return AdaptiveKClusterer(max_k=n_clusters, seed=seed, **kwargs)
+
+
+# -- retrieval scorers -------------------------------------------------------
+
+
+@SCORERS.register("tfidf")
+def _make_tfidf(index, **kwargs) -> TfIdfScorer:
+    return TfIdfScorer(index, **kwargs)
+
+
+@SCORERS.register("bm25")
+def _make_bm25(index, **kwargs):
+    from repro.index.bm25 import BM25Scorer
+
+    return BM25Scorer(index, **kwargs)
+
+
+@SCORERS.register("lm")
+def _make_lm(index, **kwargs):
+    from repro.index.lm import LMDirichletScorer
+
+    return LMDirichletScorer(index, **kwargs)
+
+
+# -- datasets ----------------------------------------------------------------
+
+
+@DATASETS.register("wikipedia")
+def _make_wikipedia(seed: int = 0, analyzer=None, **kwargs):
+    return build_wikipedia_corpus(seed=seed, analyzer=analyzer, **kwargs)
+
+
+@DATASETS.register("shopping")
+def _make_shopping(seed: int = 0, analyzer=None, **kwargs):
+    return build_shopping_corpus(seed=seed, analyzer=analyzer, **kwargs)
+
+
+@DATASETS.register("xml")
+def _make_xml(seed: int = 0, analyzer=None, documents=None, **kwargs):
+    if not documents:
+        raise RegistryError(
+            "dataset 'xml' needs documents={doc_id: xml_string, ...}"
+        )
+    return corpus_from_xml(documents, analyzer=analyzer, **kwargs)

@@ -4,12 +4,18 @@ Subcommands
 -----------
 search       run a keyword query over a synthetic corpus
 expand       generate expanded queries for a seed query
+batch        expand many seed queries at once (JSON output)
 interleave   §7 future work: alternate clustering and expansion
 prf          compare pseudo-relevance-feedback schemes against ISKR
 facets       faceted-search comparator over a seed query's results
 experiment   run benchmark queries through the evaluation systems
 scalability  the Figure-7 sweep
 userstudy    the simulated rater panel over selected queries
+
+Every subcommand goes through :class:`repro.api.Session`, so the
+``--dataset``/``--scoring``/``--algorithm`` choices are exactly the
+registered names in :mod:`repro.api.registries` — including anything a
+plugin registers before calling :func:`main`.
 
 Example::
 
@@ -19,49 +25,42 @@ Example::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
-from repro.core.config import ExpansionConfig
-from repro.core.expander import ClusterQueryExpander
-from repro.core.fmeasure import DeltaFMeasureRefinement
-from repro.core.iskr import ISKR
-from repro.core.pebc import PEBC
-from repro.core.vsm import VectorSpaceRefinement
+from repro.api import ALGORITHMS, DATASETS, SCORERS, Session
 from repro.datasets.queries import all_queries, query_by_id
-from repro.datasets.shopping import build_shopping_corpus
-from repro.datasets.wikipedia import build_wikipedia_corpus
 from repro.errors import ReproError
 from repro.eval.experiment import ALL_SYSTEMS, ExperimentSuite
 from repro.eval.reporting import format_bar_chart, format_grouped_series, format_table
 from repro.eval.scalability import run_scalability
 from repro.eval.user_study import UserStudySimulator
-from repro.index.search import SearchEngine
 from repro.snippets import generate_snippet
-from repro.text.analyzer import Analyzer
-
-_ALGORITHMS = {
-    "iskr": lambda seed: ISKR(),
-    "pebc": lambda seed: PEBC(seed=seed),
-    "fmeasure": lambda seed: DeltaFMeasureRefinement(),
-    "vsm": lambda seed: VectorSpaceRefinement(),
-}
 
 
-def _build_engine(dataset: str, seed: int, scoring: str) -> SearchEngine:
-    analyzer = Analyzer(use_stemming=False)
-    if dataset == "shopping":
-        corpus = build_shopping_corpus(seed=seed, analyzer=analyzer)
-    elif dataset == "wikipedia":
-        corpus = build_wikipedia_corpus(seed=seed, analyzer=analyzer)
-    else:
-        raise ReproError(f"unknown dataset {dataset!r}")
-    return SearchEngine(corpus, analyzer, scoring=scoring)
+def _make_session(args: argparse.Namespace) -> Session:
+    """One session from the common CLI flags, via the registry-driven builder."""
+    builder = (
+        Session.builder()
+        .dataset(args.dataset)
+        .retrieval(getattr(args, "scoring", "tfidf"))
+        .seed(args.seed)
+    )
+    if getattr(args, "algorithm", None) is not None:
+        builder.algorithm(args.algorithm)
+    config: dict = {}
+    if getattr(args, "k", None) is not None:
+        config["n_clusters"] = args.k
+    if getattr(args, "top", None) is not None:
+        config["top_k_results"] = args.top if args.top > 0 else None
+    return builder.config(**config).build()
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
-    engine = _build_engine(args.dataset, args.seed, args.scoring)
-    results = engine.search(args.query, top_k=args.top)
+    session = _make_session(args)
+    engine = session.engine
+    results = session.search(args.query, top_k=args.top)
     query_terms = tuple(engine.parse(args.query))
     rows = []
     for i, r in enumerate(results):
@@ -82,20 +81,18 @@ def _cmd_search(args: argparse.Namespace) -> int:
 
 
 def _cmd_expand(args: argparse.Namespace) -> int:
-    engine = _build_engine(args.dataset, args.seed, args.scoring)
-    algorithm = _ALGORITHMS[args.algorithm](args.seed)
-    top_k = args.top if args.top > 0 else None
-    config = ExpansionConfig(
-        n_clusters=args.k, top_k_results=top_k, cluster_seed=args.seed
-    )
-    report = ClusterQueryExpander(engine, algorithm, config).expand(args.query)
+    session = _make_session(args)
+    report = session.expand(args.query)
     if args.show_results:
         from repro.eval.presentation import render_expansion_report
 
-        print(render_expansion_report(report, idf=engine.scorer.idf))
+        print(render_expansion_report(report, idf=session.engine.scorer.idf))
+        return 0
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
         return 0
     print(
-        f"query={args.query!r} algorithm={algorithm.name} "
+        f"query={args.query!r} algorithm={args.algorithm} "
         f"results={report.n_results} clusters={report.n_clusters} "
         f"score={report.score:.3f}"
     )
@@ -107,18 +104,31 @@ def _cmd_expand(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_interleave(args: argparse.Namespace) -> int:
-    from repro.core.interleaved import InterleavedExpander
-
-    engine = _build_engine(args.dataset, args.seed, args.scoring)
-    algorithm = _ALGORITHMS[args.algorithm](args.seed)
-    top_k = args.top if args.top > 0 else None
-    config = ExpansionConfig(
-        n_clusters=args.k, top_k_results=top_k, cluster_seed=args.seed
+def _cmd_batch(args: argparse.Namespace) -> int:
+    session = _make_session(args)
+    batch = session.expand_many(args.queries, workers=args.workers)
+    if args.json:
+        print(json.dumps(batch.to_dict(), indent=2, sort_keys=True))
+        return 0
+    print(
+        f"batch: {batch.n_ok} ok, {batch.n_failed} failed, "
+        f"{len(batch.items)} queries in {batch.seconds:.2f}s "
+        f"({args.workers} workers)"
     )
-    report = InterleavedExpander(
-        engine, algorithm, config, max_rounds=args.rounds
-    ).expand(args.query)
+    for item in batch.items:
+        if item.ok:
+            print(
+                f"  {item.query!r}: score={item.report.score:.3f} "
+                f"clusters={item.report.n_clusters} ({item.seconds:.2f}s)"
+            )
+        else:
+            print(f"  {item.query!r}: {item.error_type}: {item.error_message}")
+    return 0 if batch.n_failed == 0 else 1
+
+
+def _cmd_interleave(args: argparse.Namespace) -> int:
+    session = _make_session(args)
+    report = session.expand_interleaved(args.query, max_rounds=args.rounds)
     print(
         f"query={args.query!r} rounds={len(report.rounds)} "
         f"converged={report.converged} initial={report.initial_score:.3f} "
@@ -141,7 +151,7 @@ def _cmd_prf(args: argparse.Namespace) -> int:
     from repro.prf.robertson import RobertsonPRF
     from repro.prf.rocchio import RocchioPRF
 
-    engine = _build_engine(args.dataset, args.seed, args.scoring)
+    session = _make_session(args)
     prf = [
         RocchioPRF(n_feedback=args.feedback, n_queries=args.k),
         KLDivergencePRF(n_feedback=args.feedback, n_queries=args.k),
@@ -149,7 +159,7 @@ def _cmd_prf(args: argparse.Namespace) -> int:
     ]
     top_k = args.top if args.top > 0 else None
     comparisons = compare_suggesters(
-        engine, args.query, prf, n_clusters=args.k, top_k_results=top_k,
+        session.engine, args.query, prf, n_clusters=args.k, top_k_results=top_k,
         seed=args.seed,
     )
     rows = [
@@ -168,20 +178,14 @@ def _cmd_prf(args: argparse.Namespace) -> int:
 
 
 def _cmd_facets(args: argparse.Namespace) -> int:
-    from repro.core.iskr import ISKR as _ISKR
     from repro.facets.comparator import FacetedSearchComparator
 
-    engine = _build_engine(args.dataset, args.seed, args.scoring)
-    top_k = args.top if args.top > 0 else None
-    config = ExpansionConfig(
-        n_clusters=args.k, top_k_results=top_k, cluster_seed=args.seed
-    )
-    pipeline = ClusterQueryExpander(engine, _ISKR(), config)
-    results = pipeline.retrieve(args.query)
-    labels = pipeline.cluster(results)
-    universe = pipeline.build_universe(results)
-    seed_terms = tuple(engine.parse(args.query))
-    tasks = pipeline.tasks(universe, labels, seed_terms)
+    session = _make_session(args)
+    results = session.retrieve(args.query)
+    labels = session.cluster(results)
+    universe = session.build_universe(results)
+    seed_terms = tuple(session.engine.parse(args.query))
+    tasks = session.tasks(universe, labels, seed_terms)
     out = FacetedSearchComparator().suggest(
         seed_terms, universe, [t.cluster_mask for t in tasks]
     )
@@ -277,11 +281,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=0, help="global RNG seed")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    # "xml" needs a documents mapping no CLI flag can supply; every other
+    # registered dataset (including plugin ones) is constructible here.
+    datasets = tuple(n for n in DATASETS.names() if n != "xml")
+    scorers = SCORERS.names()
+    algorithms = ALGORITHMS.names()
+
     p = sub.add_parser("search", help="run a keyword query")
-    p.add_argument("--dataset", choices=("shopping", "wikipedia"), required=True)
+    p.add_argument("--dataset", choices=datasets, required=True)
     p.add_argument("--query", required=True)
     p.add_argument("--top", type=int, default=10)
-    p.add_argument("--scoring", choices=("tfidf", "bm25", "lm"), default="tfidf")
+    p.add_argument("--scoring", choices=scorers, default="tfidf")
     p.add_argument(
         "--snippets", action="store_true",
         help="show query-biased snippets instead of titles",
@@ -289,48 +299,67 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_search)
 
     p = sub.add_parser("expand", help="generate expanded queries")
-    p.add_argument("--dataset", choices=("shopping", "wikipedia"), required=True)
+    p.add_argument("--dataset", choices=datasets, required=True)
     p.add_argument("--query", required=True)
-    p.add_argument("--algorithm", choices=sorted(_ALGORITHMS), default="iskr")
+    p.add_argument("--algorithm", choices=algorithms, default="iskr")
     p.add_argument("-k", type=int, default=3, help="cluster granularity")
     p.add_argument(
         "--top", type=int, default=30,
         help="results to expand over (0 = all results)",
     )
-    p.add_argument("--scoring", choices=("tfidf", "bm25", "lm"), default="tfidf")
-    p.add_argument(
+    p.add_argument("--scoring", choices=scorers, default="tfidf")
+    output = p.add_mutually_exclusive_group()
+    output.add_argument(
         "--show-results", action="store_true",
         help="render each cluster's top results with query-biased snippets",
     )
+    output.add_argument(
+        "--json", action="store_true",
+        help="emit the versioned JSON report instead of text",
+    )
     p.set_defaults(func=_cmd_expand)
+
+    p = sub.add_parser("batch", help="expand many seed queries at once")
+    p.add_argument("--dataset", choices=datasets, required=True)
+    p.add_argument("--queries", nargs="+", required=True, help="seed queries")
+    p.add_argument("--algorithm", choices=algorithms, default="iskr")
+    p.add_argument("-k", type=int, default=3)
+    p.add_argument("--top", type=int, default=30)
+    p.add_argument("--scoring", choices=scorers, default="tfidf")
+    p.add_argument("--workers", type=int, default=1, help="worker threads")
+    p.add_argument(
+        "--json", action="store_true",
+        help="emit the versioned JSON batch report instead of text",
+    )
+    p.set_defaults(func=_cmd_batch)
 
     p = sub.add_parser(
         "interleave", help="alternate clustering and expansion (§7 future work)"
     )
-    p.add_argument("--dataset", choices=("shopping", "wikipedia"), required=True)
+    p.add_argument("--dataset", choices=datasets, required=True)
     p.add_argument("--query", required=True)
-    p.add_argument("--algorithm", choices=sorted(_ALGORITHMS), default="iskr")
+    p.add_argument("--algorithm", choices=algorithms, default="iskr")
     p.add_argument("-k", type=int, default=3)
     p.add_argument("--top", type=int, default=30)
     p.add_argument("--rounds", type=int, default=4)
-    p.add_argument("--scoring", choices=("tfidf", "bm25", "lm"), default="tfidf")
+    p.add_argument("--scoring", choices=scorers, default="tfidf")
     p.set_defaults(func=_cmd_interleave)
 
     p = sub.add_parser("prf", help="compare PRF schemes against ISKR")
-    p.add_argument("--dataset", choices=("shopping", "wikipedia"), required=True)
+    p.add_argument("--dataset", choices=datasets, required=True)
     p.add_argument("--query", required=True)
     p.add_argument("-k", type=int, default=3)
     p.add_argument("--top", type=int, default=30)
     p.add_argument("--feedback", type=int, default=10)
-    p.add_argument("--scoring", choices=("tfidf", "bm25", "lm"), default="tfidf")
+    p.add_argument("--scoring", choices=scorers, default="tfidf")
     p.set_defaults(func=_cmd_prf)
 
     p = sub.add_parser("facets", help="faceted-search comparator")
-    p.add_argument("--dataset", choices=("shopping", "wikipedia"), required=True)
+    p.add_argument("--dataset", choices=datasets, required=True)
     p.add_argument("--query", required=True)
     p.add_argument("-k", type=int, default=3)
     p.add_argument("--top", type=int, default=0)
-    p.add_argument("--scoring", choices=("tfidf", "bm25", "lm"), default="tfidf")
+    p.add_argument("--scoring", choices=scorers, default="tfidf")
     p.set_defaults(func=_cmd_facets)
 
     p = sub.add_parser("experiment", help="run benchmark queries through the systems")

@@ -67,6 +67,19 @@ class ExpandedQuery:
         """Human-readable form, feature triplets kept verbatim."""
         return ", ".join(self.terms)
 
+    def to_dict(self) -> dict:
+        """JSON-ready form (see repro.api.schema for the schema contract)."""
+        from repro.api import schema
+
+        return schema.expanded_query_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, payload) -> "ExpandedQuery":
+        """Inverse of :meth:`to_dict`."""
+        from repro.api import schema
+
+        return schema.expanded_query_from_dict(payload)
+
 
 @dataclass(frozen=True)
 class ExpansionReport:
@@ -86,6 +99,19 @@ class ExpansionReport:
     def queries(self) -> list[str]:
         return [eq.display() for eq in self.expanded]
 
+    def to_dict(self) -> dict:
+        """Versioned JSON envelope (``schema_version``; repro.api.schema)."""
+        from repro.api import schema
+
+        return schema.report_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, payload) -> "ExpansionReport":
+        """Inverse of :meth:`to_dict`; rejects unsupported versions."""
+        from repro.api import schema
+
+        return schema.report_from_dict(payload)
+
 
 class ClusterQueryExpander:
     """Cluster-then-expand query expansion (the paper's framework).
@@ -96,24 +122,46 @@ class ClusterQueryExpander:
         The search substrate over the corpus.
     algorithm:
         The per-cluster expansion algorithm (ISKR, PEBC, or the delta-F
-        variant). Defaults to ISKR.
+        variant), or its name in :data:`repro.api.ALGORITHMS`.
     config:
         Pipeline knobs; see :class:`~repro.core.config.ExpansionConfig`.
     clusterer:
-        Optional clustering backend override (must provide ``fit_predict``).
+        Optional clustering backend override (must provide ``fit_predict``),
+        or its name in :data:`repro.api.CLUSTERERS`.
+    candidate_cache:
+        Optional mutable mapping memoizing candidate-keyword selection per
+        (seed terms, universe). :class:`repro.api.Session` passes one so
+        repeated seed queries and multi-algorithm comparisons share the
+        TF-IDF candidate statistics.
     """
 
     def __init__(
         self,
         engine: SearchEngine,
-        algorithm: ExpansionAlgorithm,
+        algorithm: ExpansionAlgorithm | str,
         config: ExpansionConfig | None = None,
-        clusterer: ClusteringBackend | None = None,
+        clusterer: ClusteringBackend | str | None = None,
+        candidate_cache: dict | None = None,
     ) -> None:
         self._engine = engine
-        self._algorithm = algorithm
         self._config = config or ExpansionConfig()
+        if isinstance(algorithm, str):
+            from repro.api.registries import ALGORITHMS
+
+            algorithm = ALGORITHMS.create(
+                algorithm, seed=self._config.cluster_seed
+            )
+        self._algorithm = algorithm
+        if isinstance(clusterer, str):
+            from repro.api.registries import CLUSTERERS
+
+            clusterer = CLUSTERERS.create(
+                clusterer,
+                self._config.n_clusters,
+                seed=self._config.cluster_seed,
+            )
         self._clusterer = clusterer
+        self._candidate_cache = candidate_cache
 
     @property
     def config(self) -> ExpansionConfig:
@@ -163,13 +211,7 @@ class ClusterQueryExpander:
         seed_terms: tuple[str, ...],
     ) -> list[ExpansionTask]:
         """Step 4: one task per cluster, largest-weight clusters first."""
-        candidates = select_candidates(
-            self._engine.index,
-            universe,
-            seed_terms,
-            fraction=self._config.candidate_fraction,
-            min_candidates=self._config.min_candidates,
-        )
+        candidates = self._candidates(universe, seed_terms)
         cluster_ids = sorted(set(int(l) for l in labels))
         tasks = []
         for cid in cluster_ids:
@@ -186,6 +228,38 @@ class ClusterQueryExpander:
             )
         tasks.sort(key=lambda t: -t.cluster_weight())
         return tasks[: self._config.max_expanded_queries]
+
+    def _candidates(
+        self, universe: ResultUniverse, seed_terms: tuple[str, ...]
+    ) -> tuple[str, ...]:
+        """Candidate keywords, memoized in the shared cache when present.
+
+        The same seed query always yields the same universe (retrieval is
+        deterministic), so (seed terms, universe doc ids, selection knobs)
+        identifies the statistics. A racing double-compute under threads is
+        benign: both writers store identical values.
+        """
+        key = None
+        if self._candidate_cache is not None:
+            key = (
+                seed_terms,
+                tuple(doc.doc_id for doc in universe.documents),
+                self._config.candidate_fraction,
+                self._config.min_candidates,
+            )
+            cached = self._candidate_cache.get(key)
+            if cached is not None:
+                return cached
+        candidates = select_candidates(
+            self._engine.index,
+            universe,
+            seed_terms,
+            fraction=self._config.candidate_fraction,
+            min_candidates=self._config.min_candidates,
+        )
+        if key is not None:
+            self._candidate_cache[key] = candidates
+        return candidates
 
     # -- the whole thing ------------------------------------------------------
 

@@ -80,7 +80,8 @@ class InterleavedExpander:
     ----------
     engine / algorithm / config / clusterer:
         As in :class:`~repro.core.expander.ClusterQueryExpander`, which
-        performs retrieval and the *initial* clustering.
+        performs retrieval and the *initial* clustering. ``algorithm`` and
+        ``clusterer`` also accept registry names (see :mod:`repro.api`).
     max_rounds:
         Upper bound on expand-reassign rounds (>= 1; 1 reproduces the
         plain single-pass pipeline).
@@ -89,7 +90,7 @@ class InterleavedExpander:
     def __init__(
         self,
         engine: SearchEngine,
-        algorithm: ExpansionAlgorithm,
+        algorithm: ExpansionAlgorithm | str,
         config: ExpansionConfig | None = None,
         clusterer=None,
         max_rounds: int = 4,
@@ -100,7 +101,7 @@ class InterleavedExpander:
             engine, algorithm, config, clusterer
         )
         self._engine = engine
-        self._algorithm = algorithm
+        self._algorithm = self._pipeline.algorithm
         self._config = self._pipeline.config
         self._max_rounds = max_rounds
 

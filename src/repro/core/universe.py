@@ -233,3 +233,16 @@ class ExpansionOutcome:
         """The non-seed terms of the expanded query."""
         seed = set(seed_terms)
         return tuple(t for t in self.terms if t not in seed)
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (see repro.api.schema for the schema contract)."""
+        from repro.api import schema
+
+        return schema.outcome_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, payload) -> "ExpansionOutcome":
+        """Inverse of :meth:`to_dict`."""
+        from repro.api import schema
+
+        return schema.outcome_from_dict(payload)

@@ -109,6 +109,19 @@ class Document:
         """Total number of term occurrences (bag size)."""
         return sum(self.terms.values())
 
+    def to_dict(self) -> dict:
+        """JSON-ready form (see repro.api.schema for the schema contract)."""
+        from repro.api import schema
+
+        return schema.document_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "Document":
+        """Inverse of :meth:`to_dict`."""
+        from repro.api import schema
+
+        return schema.document_from_dict(payload)
+
 
 def make_text_document(
     doc_id: str,

@@ -39,5 +39,13 @@ class ExpansionError(ReproError):
     """Query expansion failed (e.g. empty cluster, inconsistent universe)."""
 
 
+class RegistryError(ConfigError):
+    """A component registry lookup or registration failed (unknown name)."""
+
+
+class SchemaError(ReproError):
+    """A serialized payload had the wrong shape, kind, or schema version."""
+
+
 # Public aliases with friendlier names.
 IndexingError = IndexError_

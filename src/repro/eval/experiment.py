@@ -26,26 +26,24 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.api import ALGORITHMS, Session
 from repro.baselines.cluster_summarization import ClusterSummarization
 from repro.baselines.dataclouds import DataClouds
 from repro.baselines.querylog import QueryLogSuggester
 from repro.core.config import ExpansionConfig
-from repro.core.expander import ClusterQueryExpander
-from repro.core.fmeasure import DeltaFMeasureRefinement
-from repro.core.iskr import ISKR
 from repro.core.metrics import eq1_score, precision_recall_f
-from repro.core.pebc import PEBC
 from repro.core.universe import ResultUniverse
 from repro.datasets.queries import BenchmarkQuery, all_queries
 from repro.datasets.querylog_data import build_query_log
-from repro.datasets.shopping import build_shopping_corpus
-from repro.datasets.wikipedia import build_wikipedia_corpus
 from repro.errors import ConfigError
 from repro.index.search import SearchEngine
 from repro.text.analyzer import Analyzer
 
 CLUSTER_SYSTEMS = ("ISKR", "PEBC", "F-measure", "CS")
 ALL_SYSTEMS = ("ISKR", "PEBC", "F-measure", "CS", "DataClouds", "QueryLog")
+
+# Expansion-algorithm systems → their repro.api.ALGORITHMS registry names.
+_SYSTEM_ALGORITHMS = {"ISKR": "iskr", "PEBC": "pebc", "F-measure": "fmeasure"}
 
 
 @dataclass(frozen=True)
@@ -102,15 +100,21 @@ class ExperimentSuite:
     ) -> None:
         self._seed = seed
         self._analyzer = Analyzer(use_stemming=use_stemming)
-        self._shopping = build_shopping_corpus(
-            seed=seed, scale=shopping_scale, analyzer=self._analyzer
-        )
-        self._wikipedia = build_wikipedia_corpus(
-            seed=seed, docs_per_sense=wiki_docs_per_sense, analyzer=self._analyzer
-        )
-        self._engines = {
-            "shopping": SearchEngine(self._shopping, self._analyzer),
-            "wikipedia": SearchEngine(self._wikipedia, self._analyzer),
+        self._sessions = {
+            "shopping": (
+                Session.builder()
+                .dataset("shopping", scale=shopping_scale)
+                .analyzer(self._analyzer)
+                .seed(seed)
+                .build()
+            ),
+            "wikipedia": (
+                Session.builder()
+                .dataset("wikipedia", docs_per_sense=wiki_docs_per_sense)
+                .analyzer(self._analyzer)
+                .seed(seed)
+                .build()
+            ),
         }
         self._query_log = build_query_log()
 
@@ -118,11 +122,14 @@ class ExperimentSuite:
     def analyzer(self) -> Analyzer:
         return self._analyzer
 
-    def engine(self, dataset: str) -> SearchEngine:
+    def session(self, dataset: str) -> Session:
         try:
-            return self._engines[dataset]
+            return self._sessions[dataset]
         except KeyError:
             raise ConfigError(f"unknown dataset {dataset!r}") from None
+
+    def engine(self, dataset: str) -> SearchEngine:
+        return self.session(dataset).engine
 
     def config_for(self, query: BenchmarkQuery) -> ExpansionConfig:
         """Paper setup: top-30 results on Wikipedia, all results on shopping."""
@@ -143,17 +150,21 @@ class ExperimentSuite:
         unknown = set(systems) - set(ALL_SYSTEMS)
         if unknown:
             raise ConfigError(f"unknown systems: {sorted(unknown)}")
-        engine = self.engine(query.dataset)
         config = self.config_for(query)
-        # Shared retrieval + clustering for all cluster-based systems.
-        pipeline = ClusterQueryExpander(engine, ISKR(), config)
-        results = pipeline.retrieve(query.text)
+        # Shared retrieval + clustering for all cluster-based systems, via a
+        # config-override view of the dataset's session (engine and caches
+        # are shared across queries; retrieval of repeated queries is free).
+        session = self.session(query.dataset).with_config(
+            n_clusters=config.n_clusters, top_k_results=config.top_k_results
+        )
+        engine = session.engine
+        results = session.retrieve(query.text)
         t0 = time.perf_counter()
-        labels = pipeline.cluster(results)
+        labels = session.cluster(results)
         clustering_seconds = time.perf_counter() - t0
-        universe = pipeline.build_universe(results)
+        universe = session.build_universe(results)
         seed_terms = tuple(engine.parse(query.text))
-        tasks = pipeline.tasks(universe, labels, seed_terms)
+        tasks = session.tasks(universe, labels, seed_terms)
         cluster_masks = [t.cluster_mask for t in tasks]
 
         runs: dict[str, SystemRun] = {}
@@ -193,11 +204,7 @@ class ExperimentSuite:
     # -- per-system runners --------------------------------------------------
 
     def _make_algorithm(self, system: str):
-        if system == "ISKR":
-            return ISKR()
-        if system == "PEBC":
-            return PEBC(seed=self._seed)
-        return DeltaFMeasureRefinement()
+        return ALGORITHMS.create(_SYSTEM_ALGORITHMS[system], seed=self._seed)
 
     def _run_expansion_algorithm(
         self, system, tasks, universe, cluster_masks

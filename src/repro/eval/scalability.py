@@ -9,14 +9,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.config import ExpansionConfig
-from repro.core.expander import ClusterQueryExpander
-from repro.core.iskr import ISKR
-from repro.core.pebc import PEBC
+from repro.api import Session
 from repro.datasets.vocab import WIKIPEDIA_SENSES
-from repro.datasets.wikipedia import build_wikipedia_corpus
-from repro.index.search import SearchEngine
-from repro.text.analyzer import Analyzer
 
 
 @dataclass(frozen=True)
@@ -35,23 +29,22 @@ def run_scalability(
     n_clusters: int = 3,
 ) -> list[ScalabilityPoint]:
     """Run the Fig. 7 sweep and return one point per requested size."""
-    analyzer = Analyzer(use_stemming=False)
     n_senses = len(WIKIPEDIA_SENSES[term])
     points: list[ScalabilityPoint] = []
     for size in sizes:
         docs_per_sense = -(-size // n_senses)  # ceil division
-        corpus = build_wikipedia_corpus(
-            seed=seed,
-            docs_per_sense=docs_per_sense,
-            terms=[term],
-            analyzer=analyzer,
+        # One session per corpus size; ISKR and PEBC share its retrieval
+        # and candidate caches, so the corpus is searched once per size.
+        session = (
+            Session.builder()
+            .dataset("wikipedia", docs_per_sense=docs_per_sense, terms=[term])
+            .algorithm("iskr")
+            .config(n_clusters=n_clusters, top_k_results=size)
+            .seed(seed)
+            .build()
         )
-        engine = SearchEngine(corpus, analyzer)
-        config = ExpansionConfig(
-            n_clusters=n_clusters, top_k_results=size, cluster_seed=seed
-        )
-        iskr_report = ClusterQueryExpander(engine, ISKR(), config).expand(term)
-        pebc_report = ClusterQueryExpander(engine, PEBC(seed=seed), config).expand(term)
+        iskr_report = session.expand(term)
+        pebc_report = session.expand(term, algorithm="pebc")
         points.append(
             ScalabilityPoint(
                 n_results=iskr_report.n_results,

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.data.corpus import Corpus
 from repro.data.documents import Document
@@ -23,6 +24,19 @@ class SearchResult:
     document: Document
     score: float
 
+    def to_dict(self) -> dict:
+        """JSON-ready form (see repro.api.schema for the schema contract)."""
+        from repro.api import schema
+
+        return schema.search_result_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, payload) -> "SearchResult":
+        """Inverse of :meth:`to_dict`."""
+        from repro.api import schema
+
+        return schema.search_result_from_dict(payload)
+
 
 class SearchEngine:
     """Keyword search over a corpus with AND (default) or OR semantics.
@@ -39,25 +53,29 @@ class SearchEngine:
         self,
         corpus: Corpus,
         analyzer: Analyzer | None = None,
-        scoring: str = "tfidf",
+        scoring: str | Callable = "tfidf",
     ) -> None:
         self._corpus = corpus
         self._analyzer = analyzer or Analyzer()
         self._index = InvertedIndex(corpus)
-        if scoring == "tfidf":
-            self._scorer = TfIdfScorer(self._index)
-        elif scoring == "bm25":
-            from repro.index.bm25 import BM25Scorer
-
-            self._scorer = BM25Scorer(self._index)
-        elif scoring == "lm":
-            from repro.index.lm import LMDirichletScorer
-
-            self._scorer = LMDirichletScorer(self._index)
+        if callable(scoring):
+            # A factory (index) -> scorer, e.g. a registry closure with
+            # extra scorer options bound in.
+            self._scorer = scoring(self._index)
         else:
-            raise QueryError(
-                f"unknown scoring {scoring!r}; use 'tfidf', 'bm25' or 'lm'"
-            )
+            # Resolve by name through the scorer registry so third-party
+            # scorers registered on repro.api.SCORERS work everywhere.
+            # Imported lazily: repro.api itself builds SearchEngines.
+            from repro.api.registries import SCORERS
+            from repro.errors import RegistryError
+
+            try:
+                self._scorer = SCORERS.create(scoring, self._index)
+            except RegistryError:
+                raise QueryError(
+                    f"unknown scoring {scoring!r}; "
+                    f"registered scorers: {', '.join(SCORERS.names())}"
+                ) from None
 
     @property
     def corpus(self) -> Corpus:

@@ -15,9 +15,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.config import ExpansionConfig
-from repro.core.expander import ClusterQueryExpander
-from repro.core.iskr import ISKR
+from repro.api import ALGORITHMS, Session
 from repro.core.universe import ResultUniverse
 from repro.eval.ir_metrics import cluster_coverage_f, pairwise_overlap
 from repro.index.search import SearchEngine
@@ -66,20 +64,25 @@ def compare_suggesters(
     setup: comprehensiveness is judged against the classification of the
     original result set).
     """
-    config = ExpansionConfig(
-        n_clusters=n_clusters, top_k_results=top_k_results, cluster_seed=seed
+    session = (
+        Session.builder()
+        .engine(engine)
+        .algorithm("iskr")
+        .config(n_clusters=n_clusters, top_k_results=top_k_results)
+        .seed(seed)
+        .build()
     )
-    pipeline = ClusterQueryExpander(engine, ISKR(), config)
-    results = pipeline.retrieve(seed_query)
-    labels = pipeline.cluster(results)
-    universe = pipeline.build_universe(results)
+    results = session.retrieve(seed_query)
+    labels = session.cluster(results)
+    universe = session.build_universe(results)
     seed_terms = tuple(engine.parse(seed_query))
-    tasks = pipeline.tasks(universe, labels, seed_terms)
+    tasks = session.tasks(universe, labels, seed_terms)
     members = [_mask_positions(t.cluster_mask) for t in tasks]
 
     comparisons: list[SuggesterComparison] = []
 
-    iskr_queries = tuple(ISKR().expand(t).terms for t in tasks)
+    iskr = ALGORITHMS.create("iskr", seed=seed)
+    iskr_queries = tuple(iskr.expand(t).terms for t in tasks)
     iskr_sets = _suggestion_sets(universe, iskr_queries)
     comparisons.append(
         SuggesterComparison(

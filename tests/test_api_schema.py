@@ -1,0 +1,105 @@
+"""Tests for the stable JSON schema (repro.api.schema)."""
+
+import json
+
+import pytest
+
+from repro.api import SCHEMA_VERSION, Session, report_from_dict, report_to_dict
+from repro.api import schema
+from repro.core.expander import ExpandedQuery, ExpansionReport
+from repro.core.universe import ExpansionOutcome
+from repro.data.documents import Document
+from repro.errors import SchemaError
+from repro.index.search import SearchResult
+
+
+@pytest.fixture(scope="module")
+def report():
+    session = (
+        Session.builder()
+        .dataset("wikipedia")
+        .algorithm("pebc")
+        .config(n_clusters=3)
+        .build()
+    )
+    return session.expand("java")
+
+
+class TestRoundTrips:
+    def test_report_roundtrip_lossless(self, report):
+        assert ExpansionReport.from_dict(report.to_dict()) == report
+
+    def test_report_survives_json_text(self, report):
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert ExpansionReport.from_dict(payload) == report
+
+    def test_report_includes_envelope(self, report):
+        payload = report.to_dict()
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["kind"] == "expansion_report"
+
+    def test_expanded_query_roundtrip(self, report):
+        for eq in report.expanded:
+            assert ExpandedQuery.from_dict(eq.to_dict()) == eq
+
+    def test_outcome_roundtrip(self, report):
+        for eq in report.expanded:
+            assert ExpansionOutcome.from_dict(eq.outcome.to_dict()) == eq.outcome
+
+    def test_search_result_roundtrip(self, report):
+        for result in report.results:
+            assert SearchResult.from_dict(result.to_dict()) == result
+
+    def test_document_roundtrip_structured(self):
+        doc = Document(
+            doc_id="d1",
+            terms={"a": 2, "b:c:d": 1},
+            kind="structured",
+            title="A title",
+            fields={"b:c": "d"},
+        )
+        assert Document.from_dict(doc.to_dict()) == doc
+
+    def test_module_level_functions(self, report):
+        assert report_from_dict(report_to_dict(report)) == report
+
+    def test_payload_is_plain_json_types(self, report):
+        # json.dumps rejects numpy scalars, tuples survive as lists, etc.
+        text = json.dumps(report.to_dict(), sort_keys=True)
+        assert isinstance(text, str)
+
+
+class TestEnvelopeValidation:
+    def test_wrong_version_rejected(self, report):
+        payload = report.to_dict()
+        payload["schema_version"] = 999
+        with pytest.raises(SchemaError, match="schema_version"):
+            ExpansionReport.from_dict(payload)
+
+    def test_missing_version_rejected(self, report):
+        payload = report.to_dict()
+        del payload["schema_version"]
+        with pytest.raises(SchemaError):
+            ExpansionReport.from_dict(payload)
+
+    def test_wrong_kind_rejected(self, report):
+        payload = report.to_dict()
+        payload["kind"] = "batch_report"
+        with pytest.raises(SchemaError, match="kind"):
+            ExpansionReport.from_dict(payload)
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(SchemaError):
+            schema.check_envelope(["not", "a", "mapping"], schema.KIND_REPORT)
+
+    def test_missing_required_key(self, report):
+        payload = report.to_dict()
+        del payload["seed_query"]
+        with pytest.raises(SchemaError, match="seed_query"):
+            ExpansionReport.from_dict(payload)
+
+    def test_additive_extra_keys_ignored(self, report):
+        # Versioning policy: additive fields must not break old readers.
+        payload = report.to_dict()
+        payload["a_future_optional_field"] = {"x": 1}
+        assert ExpansionReport.from_dict(payload) == report

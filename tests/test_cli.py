@@ -25,6 +25,27 @@ class TestParser:
                  "--algorithm", "magic"]
             )
 
+    def test_json_and_show_results_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["expand", "--dataset", "wikipedia", "--query", "x",
+                 "--json", "--show-results"]
+            )
+
+    def test_xml_dataset_not_offered(self):
+        # "xml" needs a documents mapping the CLI cannot supply.
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["expand", "--dataset", "xml", "--query", "x"]
+            )
+
+    def test_registered_algorithms_are_choices(self):
+        args = build_parser().parse_args(
+            ["expand", "--dataset", "wikipedia", "--query", "x",
+             "--algorithm", "exact"]
+        )
+        assert args.algorithm == "exact"
+
 
 class TestSearchCommand:
     def test_search_shopping(self, capsys):
