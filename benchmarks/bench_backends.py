@@ -1,0 +1,144 @@
+"""Backend comparison: memory vs disk vs sharded on one paper-scale corpus.
+
+For each registered storage backend this measures
+
+* build time (corpus -> ready backend, including serialization for disk);
+* boolean query latency (best-of-N ``and_query`` / ``or_query`` over
+  high-document-frequency terms — the hot path of seed retrieval);
+* end-to-end expansion throughput (``Session.expand_many`` on a repeated
+  workload, the same shape as ``bench_api_batch.py``).
+
+Artifacts: a rendered table (``backends_comparison.txt``) and a JSON
+file (``backends_comparison.json``) whose rows mirror the table — the
+same artifact convention as ``bench_api_batch.py``.
+
+Invariants asserted:
+
+* all backends return identical result ids for every probe query;
+* the sharded backend beats the flat in-memory backend on OR-query
+  latency (its per-shard set-union + k-way merge avoids the pairwise
+  posting-object merges of the flat index).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.api import BACKENDS, Session
+from repro.datasets.vocab import WIKIPEDIA_SENSES
+from repro.datasets.wikipedia import build_wikipedia_corpus
+from repro.eval.reporting import format_table
+from repro.text.analyzer import Analyzer
+
+from benchmarks.conftest import RESULTS_DIR, emit_artifact
+
+DOCS_PER_SENSE = 60
+SHARDS = 8
+QUERY_REPS = 20
+OR_TERMS = 8
+AND_TERMS = 3
+WORKLOAD = ["java", "rockets", "columbia", "eclipse", "java", "rockets"]
+
+BACKEND_CONFIGS = [
+    ("memory", {}),
+    ("disk", {}),
+    ("sharded", {"shards": SHARDS}),
+]
+
+
+def _best_of(fn, reps: int = QUERY_REPS) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _expand_throughput(name: str, kwargs: dict, corpus) -> float:
+    session = (
+        Session.builder()
+        .corpus(corpus)
+        .backend(name, **kwargs)
+        .algorithm("iskr")
+        .config(n_clusters=3, top_k_results=30)
+        .build()
+    )
+    t0 = time.perf_counter()
+    batch = session.expand_many(WORKLOAD, workers=1)
+    seconds = time.perf_counter() - t0
+    assert batch.n_ok == len(WORKLOAD)
+    return len(WORKLOAD) / seconds
+
+
+def test_backend_comparison(benchmark):
+    analyzer = Analyzer(use_stemming=False)
+    corpus = build_wikipedia_corpus(
+        seed=0,
+        docs_per_sense=DOCS_PER_SENSE,
+        terms=list(WIKIPEDIA_SENSES),
+        analyzer=analyzer,
+    )
+
+    # High-df probe terms: the broad queries where merge strategy matters.
+    reference = BACKENDS.create("memory", corpus)
+    by_df = sorted(
+        reference.vocabulary(), key=reference.document_frequency, reverse=True
+    )
+    or_query = by_df[:OR_TERMS]
+    and_query = by_df[:AND_TERMS]
+    want_or = reference.or_query(or_query)
+    want_and = reference.and_query(and_query)
+
+    def run():
+        rows = []
+        for name, kwargs in BACKEND_CONFIGS:
+            t0 = time.perf_counter()
+            backend = BACKENDS.create(name, corpus, **kwargs)
+            build_s = time.perf_counter() - t0
+            assert backend.or_query(or_query) == want_or, name
+            assert backend.and_query(and_query) == want_and, name
+            and_s = _best_of(lambda: backend.and_query(and_query))
+            or_s = _best_of(lambda: backend.or_query(or_query))
+            qps = _expand_throughput(name, kwargs, corpus)
+            rows.append((name, build_s, and_s, or_s, qps))
+        return tuple(rows)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table_rows = [
+        [name, f"{build_s:.3f}", f"{and_s * 1000:.3f}", f"{or_s * 1000:.3f}",
+         f"{qps:.2f}"]
+        for name, build_s, and_s, or_s, qps in rows
+    ]
+    emit_artifact(
+        "backends_comparison",
+        format_table(
+            ["backend", "build (s)", "and_query (ms)", "or_query (ms)",
+             "expand q/s"],
+            table_rows,
+            title=(
+                f"index backends on {len(corpus)} documents "
+                f"(sharded: {SHARDS} shards)"
+            ),
+        ),
+    )
+    payload = [
+        {
+            "backend": name,
+            "build_seconds": build_s,
+            "and_query_seconds": and_s,
+            "or_query_seconds": or_s,
+            "expand_queries_per_second": qps,
+        }
+        for name, build_s, and_s, or_s, qps in rows
+    ]
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "backends_comparison.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+    latency = {name: or_s for name, _, _, or_s, _ in rows}
+    # The whole point of sharding: broad OR queries get faster.
+    assert latency["sharded"] < latency["memory"], latency

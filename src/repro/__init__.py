@@ -39,6 +39,7 @@ paper-vs-measured record of every reproduced table and figure.
 
 from repro.api import (
     ALGORITHMS,
+    BACKENDS,
     CLUSTERERS,
     DATASETS,
     SCORERS,
@@ -103,7 +104,15 @@ from repro.errors import (
     SchemaError,
 )
 from repro.eval import ExperimentSuite, UserStudySimulator, run_scalability
-from repro.index import BM25Scorer, InvertedIndex, SearchEngine, SearchResult
+from repro.index import (
+    BM25Scorer,
+    DiskIndex,
+    IndexBackend,
+    InvertedIndex,
+    SearchEngine,
+    SearchResult,
+    ShardedIndex,
+)
 from repro.prf import KLDivergencePRF, RobertsonPRF, RocchioPRF
 from repro.text import Analyzer, PorterStemmer, tokenize
 
@@ -111,6 +120,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ALGORITHMS",
+    "BACKENDS",
     "AdaptiveKClusterer",
     "AgglomerativeClustering",
     "Analyzer",
@@ -132,6 +142,7 @@ __all__ = [
     "DataClouds",
     "DataError",
     "DeltaFMeasureRefinement",
+    "DiskIndex",
     "Document",
     "ExhaustiveOptimalExpansion",
     "ExpandedQuery",
@@ -142,6 +153,7 @@ __all__ = [
     "ExperimentSuite",
     "Feature",
     "ISKR",
+    "IndexBackend",
     "IndexingError",
     "InterleavedExpander",
     "InvertedIndex",
@@ -164,6 +176,7 @@ __all__ = [
     "SearchResult",
     "Session",
     "SessionBuilder",
+    "ShardedIndex",
     "TfVectorizer",
     "UserStudySimulator",
     "VectorSpaceRefinement",

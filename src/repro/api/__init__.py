@@ -19,7 +19,7 @@ Pluggable axes live in the registries; extend them with
 and datasets).
 """
 
-from repro.api.registries import ALGORITHMS, CLUSTERERS, DATASETS, SCORERS
+from repro.api.registries import ALGORITHMS, BACKENDS, CLUSTERERS, DATASETS, SCORERS
 from repro.api.registry import Registry
 from repro.api.schema import (
     SCHEMA_VERSION,
@@ -37,6 +37,7 @@ from repro.api.session import (
 
 __all__ = [
     "ALGORITHMS",
+    "BACKENDS",
     "BatchItem",
     "BatchReport",
     "CLUSTERERS",

@@ -1,19 +1,21 @@
 """Built-in component registries: the library's pluggable axes.
 
-Four axes, each a :class:`~repro.api.registry.Registry`:
+Five axes, each a :class:`~repro.api.registry.Registry`:
 
 =============  ======================================================
 ``ALGORITHMS``  expansion algorithms — ``factory(seed, **kw)``
 ``CLUSTERERS``  clustering backends — ``factory(n_clusters, seed, **kw)``
 ``SCORERS``     retrieval scorers — ``factory(index, **kw)``
 ``DATASETS``    corpus builders — ``factory(seed, analyzer, **kw)``
+``BACKENDS``    index storage backends — ``factory(corpus, **kw)``
 =============  ======================================================
 
 Every factory returns a ready component: algorithms expose
 ``expand(task)``, clusterers expose ``fit_predict(matrix)``, scorers
 expose ``score``/``rank``, datasets return a
-:class:`~repro.data.corpus.Corpus`. Extend any axis with
-``@REGISTRY.register("name")``.
+:class:`~repro.data.corpus.Corpus`, and backends return an
+:class:`~repro.index.backend.IndexBackend` over the given corpus.
+Extend any axis with ``@REGISTRY.register("name")``.
 """
 
 from __future__ import annotations
@@ -36,12 +38,15 @@ from repro.data.xml_ingest import corpus_from_xml
 from repro.datasets.shopping import build_shopping_corpus
 from repro.datasets.wikipedia import build_wikipedia_corpus
 from repro.errors import RegistryError
+from repro.index.inverted_index import InvertedIndex
 from repro.index.scoring import TfIdfScorer
+from repro.index.sharded import ShardedIndex
 
 ALGORITHMS = Registry("algorithm")
 CLUSTERERS = Registry("clusterer")
 SCORERS = Registry("scorer")
 DATASETS = Registry("dataset")
+BACKENDS = Registry("backend")
 
 
 # -- expansion algorithms ----------------------------------------------------
@@ -142,6 +147,65 @@ def _make_lm(index, **kwargs):
     from repro.index.lm import LMDirichletScorer
 
     return LMDirichletScorer(index, **kwargs)
+
+
+# -- index backends ----------------------------------------------------------
+
+
+@BACKENDS.register("memory")
+def _make_memory_backend(corpus) -> InvertedIndex:
+    """Flat in-memory inverted index (the default)."""
+    return InvertedIndex(corpus)
+
+
+@BACKENDS.register("disk")
+def _make_disk_backend(corpus, path=None, codec="varint"):
+    """Compressed binary index, round-tripped through the QECX format.
+
+    ``path=None`` serializes through a temporary file that is removed
+    once loaded (the reader keeps the compressed blobs in memory). A
+    real ``path`` persists the index there, and is *reused* on the next
+    construction when it already exists and still matches the corpus
+    (document count and every document length are verified; a stale
+    file raises rather than silently serving old postings). On reuse
+    the file's stored codec wins — ``codec`` only affects a fresh build.
+    """
+    import os
+    import tempfile
+
+    from repro.errors import IndexingError
+    from repro.index.diskindex import DiskIndex
+
+    if path is not None:
+        from pathlib import Path
+
+        path = Path(path)
+        if path.exists():
+            loaded = DiskIndex.load(path)
+            stale = loaded.num_documents != len(corpus) or any(
+                loaded.doc_length(pos) != doc.length()
+                for pos, doc in enumerate(corpus)
+            )
+            if stale:
+                raise IndexingError(
+                    f"index at {path} does not match the corpus "
+                    f"({loaded.num_documents} vs {len(corpus)} documents, or "
+                    f"differing document lengths); delete it to rebuild"
+                )
+            return loaded
+        return DiskIndex.build(corpus, path, codec=codec)
+    fd, tmp = tempfile.mkstemp(suffix=".qecx")
+    os.close(fd)
+    try:
+        return DiskIndex.build(corpus, tmp, codec=codec)
+    finally:
+        os.unlink(tmp)
+
+
+@BACKENDS.register("sharded")
+def _make_sharded_backend(corpus, shards=4, **kwargs) -> ShardedIndex:
+    """Hash-partitioned index with thread-pool query fan-out."""
+    return ShardedIndex(corpus, n_shards=shards, **kwargs)
 
 
 # -- datasets ----------------------------------------------------------------

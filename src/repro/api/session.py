@@ -6,6 +6,7 @@ behind a fluent builder::
     session = (Session.builder()
                .dataset("wikipedia")
                .retrieval("bm25")
+               .backend("sharded", shards=8)
                .clusterer("bisecting")
                .algorithm("pebc")
                .config(n_clusters=4)
@@ -44,7 +45,7 @@ from typing import Any, Iterable, Mapping, Sequence
 import numpy as np
 
 from repro.api import schema
-from repro.api.registries import ALGORITHMS, CLUSTERERS, DATASETS, SCORERS
+from repro.api.registries import ALGORITHMS, BACKENDS, CLUSTERERS, DATASETS, SCORERS
 from repro.core.config import ExpansionConfig
 from repro.core.expander import ClusterQueryExpander, ExpansionReport
 from repro.core.universe import ResultUniverse
@@ -247,6 +248,8 @@ class SessionBuilder:
         self._engine: SearchEngine | None = None
         self._retrieval: str | None = None
         self._retrieval_kwargs: dict[str, Any] = {}
+        self._backend: str | None = None
+        self._backend_kwargs: dict[str, Any] = {}
         self._clusterer: str | None = None
         self._clusterer_kwargs: dict[str, Any] = {}
         self._algorithm: str = "iskr"
@@ -281,6 +284,18 @@ class SessionBuilder:
         """Retrieval scorer by registry name (default ``"tfidf"``)."""
         self._retrieval = self._norm(name)
         self._retrieval_kwargs = dict(kwargs)
+        return self
+
+    def backend(self, name: str, **kwargs: Any) -> "SessionBuilder":
+        """Index storage backend by registry name (default ``"memory"``).
+
+        Built-ins: ``"memory"`` (flat inverted index), ``"disk"``
+        (compressed QECX round-trip; pass ``path=...`` to persist),
+        ``"sharded"`` (hash-partitioned; pass ``shards=8``). kwargs go
+        to the backend factory in :data:`repro.api.registries.BACKENDS`.
+        """
+        self._backend = self._norm(name)
+        self._backend_kwargs = dict(kwargs)
         return self
 
     def clusterer(self, name: str, **kwargs: Any) -> "SessionBuilder":
@@ -341,6 +356,11 @@ class SessionBuilder:
                 "retrieval() has no effect on a prebuilt engine(); "
                 "configure scoring when constructing the engine instead"
             )
+        if self._engine is not None and self._backend is not None:
+            raise ConfigError(
+                "backend() has no effect on a prebuilt engine(); "
+                "configure storage when constructing the engine instead"
+            )
 
         # Resolve names early so typos fail here, not mid-batch.
         ALGORITHMS.get(self._algorithm)
@@ -349,6 +369,9 @@ class SessionBuilder:
         retrieval = self._retrieval or "tfidf"
         if self._engine is None:
             SCORERS.get(retrieval)
+        backend = self._backend or "memory"
+        if self._engine is None:
+            BACKENDS.get(backend)
         if self._dataset is not None:
             DATASETS.get(self._dataset)
 
@@ -360,7 +383,7 @@ class SessionBuilder:
             )
 
         analyzer = self._analyzer or Analyzer(use_stemming=False)
-        engine = self._build_engine(analyzer, retrieval)
+        engine = self._build_engine(analyzer, retrieval, backend)
         session = Session(
             engine=engine,
             analyzer=analyzer,
@@ -370,6 +393,7 @@ class SessionBuilder:
             clusterer=self._clusterer,
             clusterer_kwargs=self._clusterer_kwargs,
             dataset=self._dataset,
+            backend=None if self._engine is not None else backend,
             seed=self._seed,
         )
         # Trial-create the per-query components once: bad kwargs and bad
@@ -386,7 +410,9 @@ class SessionBuilder:
         except TypeError as exc:
             raise ConfigError(f"bad config() option: {exc}") from None
 
-    def _build_engine(self, analyzer: Analyzer, retrieval: str) -> SearchEngine:
+    def _build_engine(
+        self, analyzer: Analyzer, retrieval: str, backend: str
+    ) -> SearchEngine:
         if self._engine is not None:
             return self._engine
         if self._corpus is not None:
@@ -411,7 +437,21 @@ class SessionBuilder:
 
         else:
             scoring = retrieval
-        return SearchEngine(corpus, analyzer, scoring=scoring)
+        if self._backend_kwargs:
+            backend_kwargs = self._backend_kwargs
+
+            def make_backend(corpus_):
+                try:
+                    return BACKENDS.create(backend, corpus_, **backend_kwargs)
+                except TypeError as exc:
+                    raise ConfigError(
+                        f"bad backend option for {backend!r}: {exc}"
+                    ) from None
+
+            backend_arg = make_backend
+        else:
+            backend_arg = backend
+        return SearchEngine(corpus, analyzer, scoring=scoring, backend=backend_arg)
 
 
 # -- the session -------------------------------------------------------------
@@ -435,6 +475,7 @@ class Session:
         clusterer: str | None = None,
         clusterer_kwargs: Mapping[str, Any] | None = None,
         dataset: str | None = None,
+        backend: str | None = None,
         seed: int = 0,
         _candidate_cache: dict | None = None,
     ) -> None:
@@ -449,6 +490,7 @@ class Session:
         self._clusterer = clusterer
         self._clusterer_kwargs = dict(clusterer_kwargs or {})
         self._dataset = dataset
+        self._backend = backend
         self._seed = seed
         self._candidate_cache = (
             _candidate_cache
@@ -487,6 +529,11 @@ class Session:
         return self._dataset
 
     @property
+    def backend_name(self) -> str | None:
+        """Registry name of the index backend (None for prebuilt engines)."""
+        return self._backend
+
+    @property
     def seed(self) -> int:
         return self._seed
 
@@ -503,6 +550,7 @@ class Session:
         """A JSON-able summary of the session's configuration."""
         return {
             "dataset": self._dataset,
+            "backend": self._backend,
             "algorithm": self._algorithm,
             "clusterer": self._clusterer or "kmeans",
             "n_clusters": self._config.n_clusters,
@@ -526,6 +574,7 @@ class Session:
             clusterer=self._clusterer,
             clusterer_kwargs=self._clusterer_kwargs,
             dataset=self._dataset,
+            backend=self._backend,
             seed=self._seed,
             _candidate_cache=self._candidate_cache,
         )

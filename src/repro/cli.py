@@ -13,9 +13,9 @@ scalability  the Figure-7 sweep
 userstudy    the simulated rater panel over selected queries
 
 Every subcommand goes through :class:`repro.api.Session`, so the
-``--dataset``/``--scoring``/``--algorithm`` choices are exactly the
-registered names in :mod:`repro.api.registries` — including anything a
-plugin registers before calling :func:`main`.
+``--dataset``/``--scoring``/``--algorithm``/``--backend`` choices are
+exactly the registered names in :mod:`repro.api.registries` — including
+anything a plugin registers before calling :func:`main`.
 
 Example::
 
@@ -29,7 +29,7 @@ import json
 import sys
 from typing import Sequence
 
-from repro.api import ALGORITHMS, DATASETS, SCORERS, Session
+from repro.api import ALGORITHMS, BACKENDS, DATASETS, SCORERS, Session
 from repro.datasets.queries import all_queries, query_by_id
 from repro.errors import ReproError
 from repro.eval.experiment import ALL_SYSTEMS, ExperimentSuite
@@ -47,6 +47,10 @@ def _make_session(args: argparse.Namespace) -> Session:
         .retrieval(getattr(args, "scoring", "tfidf"))
         .seed(args.seed)
     )
+    backend = getattr(args, "backend", None)
+    if backend is not None:
+        kwargs = {"shards": args.shards} if backend == "sharded" else {}
+        builder.backend(backend, **kwargs)
     if getattr(args, "algorithm", None) is not None:
         builder.algorithm(args.algorithm)
     config: dict = {}
@@ -236,13 +240,17 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def _cmd_scalability(args: argparse.Namespace) -> int:
-    points = run_scalability(sizes=tuple(args.sizes), seed=args.seed)
+    backend_kwargs = {"shards": args.shards} if args.backend == "sharded" else {}
+    points = run_scalability(
+        sizes=tuple(args.sizes), seed=args.seed,
+        backend=args.backend, **backend_kwargs,
+    )
     rows = [[p.n_results, p.iskr_seconds, p.pebc_seconds] for p in points]
     print(
         format_table(
             ["results", "ISKR (s)", "PEBC (s)"],
             rows,
-            title="scalability (clustering + expansion)",
+            title=f"scalability (clustering + expansion, {args.backend} backend)",
         )
     )
     return 0
@@ -286,12 +294,24 @@ def build_parser() -> argparse.ArgumentParser:
     datasets = tuple(n for n in DATASETS.names() if n != "xml")
     scorers = SCORERS.names()
     algorithms = ALGORITHMS.names()
+    backends = BACKENDS.names()
+
+    def add_backend_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--backend", choices=backends, default="memory",
+            help="index storage backend (default: memory)",
+        )
+        p.add_argument(
+            "--shards", type=int, default=4,
+            help="shard count for --backend sharded (default: 4)",
+        )
 
     p = sub.add_parser("search", help="run a keyword query")
     p.add_argument("--dataset", choices=datasets, required=True)
     p.add_argument("--query", required=True)
     p.add_argument("--top", type=int, default=10)
     p.add_argument("--scoring", choices=scorers, default="tfidf")
+    add_backend_flags(p)
     p.add_argument(
         "--snippets", action="store_true",
         help="show query-biased snippets instead of titles",
@@ -308,6 +328,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="results to expand over (0 = all results)",
     )
     p.add_argument("--scoring", choices=scorers, default="tfidf")
+    add_backend_flags(p)
     output = p.add_mutually_exclusive_group()
     output.add_argument(
         "--show-results", action="store_true",
@@ -326,6 +347,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-k", type=int, default=3)
     p.add_argument("--top", type=int, default=30)
     p.add_argument("--scoring", choices=scorers, default="tfidf")
+    add_backend_flags(p)
     p.add_argument("--workers", type=int, default=1, help="worker threads")
     p.add_argument(
         "--json", action="store_true",
@@ -343,6 +365,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--top", type=int, default=30)
     p.add_argument("--rounds", type=int, default=4)
     p.add_argument("--scoring", choices=scorers, default="tfidf")
+    add_backend_flags(p)
     p.set_defaults(func=_cmd_interleave)
 
     p = sub.add_parser("prf", help="compare PRF schemes against ISKR")
@@ -352,6 +375,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--top", type=int, default=30)
     p.add_argument("--feedback", type=int, default=10)
     p.add_argument("--scoring", choices=scorers, default="tfidf")
+    add_backend_flags(p)
     p.set_defaults(func=_cmd_prf)
 
     p = sub.add_parser("facets", help="faceted-search comparator")
@@ -360,6 +384,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-k", type=int, default=3)
     p.add_argument("--top", type=int, default=0)
     p.add_argument("--scoring", choices=scorers, default="tfidf")
+    add_backend_flags(p)
     p.set_defaults(func=_cmd_facets)
 
     p = sub.add_parser("experiment", help="run benchmark queries through the systems")
@@ -372,6 +397,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_experiment)
 
     p = sub.add_parser("scalability", help="Figure-7 sweep")
+    add_backend_flags(p)
     p.add_argument("--sizes", nargs="+", type=int, default=[100, 200, 300, 400, 500])
     p.set_defaults(func=_cmd_scalability)
 

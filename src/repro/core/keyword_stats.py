@@ -20,7 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.universe import ResultUniverse
-from repro.index.inverted_index import InvertedIndex
+from repro.index.backend import IndexBackend
 
 
 def value_ratio(benefit: float, cost: float) -> float:
@@ -182,7 +182,7 @@ class BenefitCostTable:
 
 
 def select_candidates(
-    index: InvertedIndex,
+    index: IndexBackend,
     universe: ResultUniverse,
     seed_terms: tuple[str, ...],
     fraction: float = 0.2,

@@ -27,8 +27,15 @@ def run_scalability(
     term: str = "columbia",
     seed: int = 0,
     n_clusters: int = 3,
+    backend: str = "memory",
+    **backend_kwargs,
 ) -> list[ScalabilityPoint]:
-    """Run the Fig. 7 sweep and return one point per requested size."""
+    """Run the Fig. 7 sweep and return one point per requested size.
+
+    ``backend`` picks the index storage by registry name, so the sweep
+    doubles as a backend scalability probe (``backend="sharded",
+    shards=8`` and so on).
+    """
     n_senses = len(WIKIPEDIA_SENSES[term])
     points: list[ScalabilityPoint] = []
     for size in sizes:
@@ -38,6 +45,7 @@ def run_scalability(
         session = (
             Session.builder()
             .dataset("wikipedia", docs_per_sense=docs_per_sense, terms=[term])
+            .backend(backend, **backend_kwargs)
             .algorithm("iskr")
             .config(n_clusters=n_clusters, top_k_results=size)
             .seed(seed)

@@ -5,8 +5,20 @@ query is the document (or structured fragment) containing all query keywords
 (AND semantics, §2); OR semantics is supported per the paper's appendix.
 Seed-query results are ranked by TF-IDF cosine score, which supplies the
 ranking weights used by the weighted precision/recall of §2.
+
+Storage is pluggable behind the :class:`IndexBackend` protocol: the flat
+in-memory :class:`InvertedIndex`, the compressed on-disk
+:class:`DiskIndex`, the append-friendly :class:`DynamicIndex`, and the
+hash-partitioned :class:`ShardedIndex` are interchangeable, selected by
+name through :data:`repro.api.registries.BACKENDS`.
 """
 
+from repro.index.backend import (
+    BackendCapabilities,
+    IndexBackend,
+    TermFrequencyCache,
+    collection_term_frequencies,
+)
 from repro.index.bm25 import BM25Scorer
 from repro.index.compression import decode_postings, encode_postings
 from repro.index.diskindex import DiskIndex, write_index
@@ -18,11 +30,14 @@ from repro.index.postings import Posting, PostingList
 from repro.index.queryparser import evaluate_query, parse_query
 from repro.index.scoring import TfIdfScorer
 from repro.index.search import SearchEngine, SearchResult
+from repro.index.sharded import ShardedIndex
 
 __all__ = [
     "BM25Scorer",
+    "BackendCapabilities",
     "DiskIndex",
     "DynamicIndex",
+    "IndexBackend",
     "InvertedIndex",
     "LMDirichletScorer",
     "PositionalIndex",
@@ -30,7 +45,10 @@ __all__ = [
     "PostingList",
     "SearchEngine",
     "SearchResult",
+    "ShardedIndex",
+    "TermFrequencyCache",
     "TfIdfScorer",
+    "collection_term_frequencies",
     "decode_postings",
     "encode_postings",
     "evaluate_query",

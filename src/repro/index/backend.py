@@ -1,0 +1,183 @@
+"""The storage seam of the retrieval layer: the ``IndexBackend`` protocol.
+
+Every index implementation — the in-memory :class:`InvertedIndex`, the
+compressed on-disk :class:`DiskIndex`, the append-friendly
+:class:`DynamicIndex`, and the hash-partitioned :class:`ShardedIndex` —
+speaks this one protocol, and everything above the index (scorers, the
+search engine, candidate-keyword statistics, the session builder, the
+CLI) speaks *only* this protocol. Swapping storage is then a name in the
+:data:`repro.api.registries.BACKENDS` registry, not a rewrite.
+
+The protocol is deliberately small:
+
+* collection statistics — ``num_documents``, ``num_terms``,
+  ``doc_length(pos)``, ``document_frequency(term)``;
+* the vocabulary — ``vocabulary()``, ``term in backend``;
+* postings access — ``postings(term)`` returning a
+  :class:`~repro.index.postings.PostingList` of (corpus position, tf);
+* boolean retrieval — ``and_query(terms)`` / ``or_query(terms)``
+  returning sorted corpus positions;
+* self-description — ``capabilities()`` returning a
+  :class:`BackendCapabilities` record callers can branch on (is it
+  persistent? sharded? safe for concurrent reads?).
+
+Document identity is the integer corpus position throughout, exactly as
+in the rest of the library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Iterable, Protocol, runtime_checkable
+
+from repro.index.postings import PostingList
+
+
+@dataclass(frozen=True)
+class BackendCapabilities:
+    """What an index backend can and cannot do.
+
+    Attributes
+    ----------
+    name:
+        Short identifier, normally the backend's registry name.
+    persistent:
+        True when the postings survive process exit (e.g. the binary
+        on-disk format).
+    mutable:
+        True when documents can be appended after construction.
+    sharded:
+        True when postings are partitioned across sub-backends.
+    shards:
+        Number of partitions (1 for unsharded backends).
+    compressed:
+        True when postings are stored compressed and decoded on demand.
+    concurrent_reads:
+        True when one instance may serve reads from many threads
+        without external locking.
+    """
+
+    name: str
+    persistent: bool = False
+    mutable: bool = False
+    sharded: bool = False
+    shards: int = 1
+    compressed: bool = False
+    concurrent_reads: bool = True
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (for diagnostics and benchmark artifacts)."""
+        return asdict(self)
+
+
+@runtime_checkable
+class IndexBackend(Protocol):
+    """Anything that can serve postings and boolean queries over a corpus.
+
+    See the module docstring for the contract. ``isinstance(x,
+    IndexBackend)`` checks structural conformance (methods present, not
+    signatures) — handy in tests and registry validation.
+    """
+
+    @property
+    def num_documents(self) -> int:  # pragma: no cover - protocol
+        ...
+
+    @property
+    def num_terms(self) -> int:  # pragma: no cover - protocol
+        ...
+
+    def __contains__(self, term: object) -> bool:  # pragma: no cover
+        ...
+
+    def vocabulary(self) -> list[str]:  # pragma: no cover - protocol
+        ...
+
+    def postings(self, term: str) -> PostingList:  # pragma: no cover
+        ...
+
+    def document_frequency(self, term: str) -> int:  # pragma: no cover
+        ...
+
+    def doc_length(self, pos: int) -> int:  # pragma: no cover - protocol
+        ...
+
+    def and_query(self, terms: Iterable[str]) -> list[int]:  # pragma: no cover
+        ...
+
+    def or_query(self, terms: Iterable[str]) -> list[int]:  # pragma: no cover
+        ...
+
+    def capabilities(self) -> BackendCapabilities:  # pragma: no cover
+        ...
+
+
+class TermFrequencyCache:
+    """Bounded cache of per-term ``{corpus position: tf}`` maps.
+
+    Scorers need ``tf(term, doc)`` lookups; the protocol serves term
+    frequencies through :meth:`IndexBackend.postings`. Decoding a posting
+    list per *score call* would be quadratic for ranking (and genuinely
+    expensive on compressed backends), so scorers hold one of these: each
+    query term's postings are decoded once and reused across every
+    document scored for that term.
+
+    Mutation-aware: backends exposing a ``generation`` counter (the
+    dynamic index) invalidate the cache on change. Unsynchronized — a
+    racing double-decode under threads stores identical values.
+    """
+
+    def __init__(self, backend: IndexBackend, maxsize: int = 4096) -> None:
+        self._backend = backend
+        self._maxsize = max(int(maxsize), 1)
+        self._cache: dict[str, dict[int, int]] = {}
+        self._generation = getattr(backend, "generation", None)
+
+    def frequencies(self, term: str) -> dict[int, int]:
+        """The ``{position: tf}`` map for ``term`` (empty if unseen)."""
+        generation = getattr(self._backend, "generation", None)
+        if generation != self._generation:
+            self._cache = {}
+            self._generation = generation
+        hit = self._cache.get(term)
+        if hit is None:
+            hit = {p.doc: p.tf for p in self._backend.postings(term)}
+            while len(self._cache) >= self._maxsize:
+                # pop() keyed defensively: a racing thread may have
+                # evicted (or cleared) the same entry already.
+                try:
+                    self._cache.pop(next(iter(self._cache)), None)
+                except StopIteration:  # pragma: no cover - thread race
+                    break
+            self._cache[term] = hit
+        return hit
+
+    def tf(self, term: str, pos: int) -> int:
+        """Term frequency of ``term`` in the document at ``pos`` (0 if absent)."""
+        return self.frequencies(term).get(pos, 0)
+
+
+def collection_term_frequencies(backend: IndexBackend) -> dict[str, int]:
+    """Total collection frequency per term, from postings alone.
+
+    The bulk path for collection language models: one pass over every
+    posting list. Backends composed of sub-backends (anything exposing a
+    ``shards`` sequence, e.g. :class:`~repro.index.sharded.ShardedIndex`)
+    are summed shard-locally — no per-term thread fan-out, no global
+    posting merges — so building a scorer over a sharded index costs the
+    same as over its flat equivalent.
+    """
+    shards = getattr(backend, "shards", None)
+    # Only a real sequence of sub-backends qualifies — ``shards`` is also
+    # the name of BackendCapabilities' integer count field, and a plain
+    # int here must not trigger the shard-local path.
+    if isinstance(shards, (list, tuple)) and shards:
+        counts: dict[str, int] = {}
+        for shard in shards:
+            for term, count in collection_term_frequencies(shard).items():
+                counts[term] = counts.get(term, 0) + count
+        return counts
+    return {
+        term: sum(p.tf for p in backend.postings(term))
+        for term in backend.vocabulary()
+    }

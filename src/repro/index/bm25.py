@@ -10,13 +10,17 @@ from __future__ import annotations
 import math
 from typing import Iterable
 
-from repro.index.inverted_index import InvertedIndex
+from repro.index.backend import IndexBackend, TermFrequencyCache
 
 
 class BM25Scorer:
-    """Okapi BM25 with the conventional k1/b parameterization."""
+    """Okapi BM25 with the conventional k1/b parameterization.
 
-    def __init__(self, index: InvertedIndex, k1: float = 1.2, b: float = 0.75) -> None:
+    Backend-agnostic: reads term frequencies through the
+    :class:`IndexBackend` protocol only.
+    """
+
+    def __init__(self, index: IndexBackend, k1: float = 1.2, b: float = 0.75) -> None:
         if k1 < 0.0:
             raise ValueError(f"k1 must be >= 0, got {k1}")
         if not 0.0 <= b <= 1.0:
@@ -24,6 +28,7 @@ class BM25Scorer:
         self._index = index
         self._k1 = k1
         self._b = b
+        self._tf = TermFrequencyCache(index)
         n = max(index.num_documents, 1)
         total_len = sum(index.doc_length(i) for i in range(index.num_documents))
         self._avg_len = (total_len / n) if n else 1.0
@@ -35,12 +40,11 @@ class BM25Scorer:
         return math.log(1.0 + (self._n - df + 0.5) / (df + 0.5))
 
     def score(self, doc_pos: int, terms: Iterable[str]) -> float:
-        doc = self._index.corpus[doc_pos]
         dl = max(self._index.doc_length(doc_pos), 1)
         norm = self._k1 * (1.0 - self._b + self._b * dl / max(self._avg_len, 1e-9))
         total = 0.0
         for term in terms:
-            tf = doc.terms.get(term, 0)
+            tf = self._tf.tf(term, doc_pos)
             if tf:
                 total += self.idf(term) * tf * (self._k1 + 1.0) / (tf + norm)
         return total

@@ -28,6 +28,7 @@ from pathlib import Path
 from typing import Iterable
 
 from repro.errors import IndexingError
+from repro.index.backend import BackendCapabilities, IndexBackend
 from repro.index.compression import (
     CODECS,
     GAMMA,
@@ -37,7 +38,6 @@ from repro.index.compression import (
     varint_decode,
     varint_encode,
 )
-from repro.index.inverted_index import InvertedIndex
 from repro.index.postings import Posting, PostingList, intersect_all, union_all
 
 _MAGIC = b"QECX"
@@ -47,13 +47,15 @@ _BYTE_CODEC = {v: k for k, v in _CODEC_BYTE.items()}
 
 
 def write_index(
-    index: InvertedIndex, path: str | Path, codec: str = VARINT
+    index: IndexBackend, path: str | Path, codec: str = VARINT
 ) -> int:
-    """Serialize ``index`` to ``path``; return the file size in bytes.
+    """Serialize any :class:`IndexBackend` to ``path``; return the byte size.
 
     Only the retrieval structures are persisted (postings + doc lengths);
     the documents themselves are persisted separately via
     :mod:`repro.data.io` so the two halves can live in different files.
+    Works for every protocol conformer — the in-memory index, the dynamic
+    index, and a sharded index all flatten to the same on-disk format.
     """
     if codec not in CODECS:
         raise IndexingError(f"unknown codec {codec!r}; use one of {CODECS}")
@@ -117,6 +119,21 @@ class DiskIndex:
             raise
         except (struct.error, UnicodeDecodeError, IndexError) as exc:
             raise IndexingError(f"corrupt index file {path}: {exc}") from None
+
+    @classmethod
+    def build(
+        cls, corpus, path: str | Path, codec: str = VARINT
+    ) -> "DiskIndex":
+        """Index ``corpus``, persist to ``path``, and return the reader.
+
+        One-stop construction for the ``disk`` backend: equivalent to
+        building an :class:`~repro.index.inverted_index.InvertedIndex`,
+        calling :func:`write_index`, and :meth:`load`-ing the result.
+        """
+        from repro.index.inverted_index import InvertedIndex
+
+        write_index(InvertedIndex(corpus), path, codec=codec)
+        return cls.load(path)
 
     @classmethod
     def _parse(cls, data: bytes, path: str | Path) -> "DiskIndex":
@@ -187,6 +204,11 @@ class DiskIndex:
 
     def doc_length(self, pos: int) -> int:
         return self._doc_lengths[pos]
+
+    def capabilities(self) -> BackendCapabilities:
+        return BackendCapabilities(
+            name="disk", persistent=True, compressed=True
+        )
 
     # -- retrieval -------------------------------------------------------------
 

@@ -19,6 +19,7 @@ from typing import Iterable
 from repro.data.corpus import Corpus
 from repro.data.documents import Document
 from repro.errors import IndexingError
+from repro.index.backend import BackendCapabilities
 from repro.index.postings import Posting, PostingList, intersect_all, union_all
 
 
@@ -87,6 +88,11 @@ class DynamicIndex:
 
     def doc_length(self, pos: int) -> int:
         return self._doc_lengths[pos]
+
+    def capabilities(self) -> BackendCapabilities:
+        return BackendCapabilities(
+            name="dynamic", mutable=True, concurrent_reads=False
+        )
 
     def and_query(self, terms: Iterable[str]) -> list[int]:
         term_list = list(terms)

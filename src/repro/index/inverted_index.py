@@ -6,6 +6,7 @@ from typing import Iterable
 
 from repro.data.corpus import Corpus
 from repro.errors import IndexingError
+from repro.index.backend import BackendCapabilities
 from repro.index.postings import Posting, PostingList, intersect_all, union_all
 
 
@@ -57,6 +58,9 @@ class InvertedIndex:
 
     def doc_length(self, pos: int) -> int:
         return self._doc_lengths[pos]
+
+    def capabilities(self) -> BackendCapabilities:
+        return BackendCapabilities(name="memory")
 
     # -- boolean retrieval -------------------------------------------------
 

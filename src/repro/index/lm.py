@@ -21,30 +21,32 @@ import math
 from typing import Iterable
 
 from repro.errors import ConfigError
-from repro.index.inverted_index import InvertedIndex
+from repro.index.backend import (
+    IndexBackend,
+    TermFrequencyCache,
+    collection_term_frequencies,
+)
 
 
 class LMDirichletScorer:
     """Dirichlet-smoothed query-likelihood ranking.
 
-    Same interface as :class:`~repro.index.scoring.TfIdfScorer`. The
+    Same interface as :class:`~repro.index.scoring.TfIdfScorer`, and like
+    it backend-agnostic: the collection language model is accumulated
+    from posting lists through the :class:`IndexBackend` protocol. The
     ``mu`` default (2000) is the conventional TREC setting; small corpora
     work fine because the collection model is itself tiny.
     """
 
-    def __init__(self, index: InvertedIndex, mu: float = 2000.0) -> None:
+    def __init__(self, index: IndexBackend, mu: float = 2000.0) -> None:
         if mu <= 0.0:
             raise ConfigError(f"mu must be > 0, got {mu}")
         self._index = index
         self._mu = mu
-        counts: dict[str, int] = {}
-        total = 0
-        for doc in index.corpus:
-            for term, tf in doc.terms.items():
-                counts[term] = counts.get(term, 0) + tf
-                total += tf
+        self._tf = TermFrequencyCache(index)
+        counts = collection_term_frequencies(index)
         self._collection_counts = counts
-        self._collection_total = max(total, 1)
+        self._collection_total = max(sum(counts.values()), 1)
 
     @property
     def mu(self) -> float:
@@ -61,10 +63,9 @@ class LMDirichletScorer:
 
     def score(self, doc_pos: int, terms: Iterable[str]) -> float:
         """Shifted query likelihood: zero for documents matching no terms."""
-        doc = self._index.corpus[doc_pos]
         total = 0.0
         for term in terms:
-            tf = doc.terms.get(term, 0)
+            tf = self._tf.tf(term, doc_pos)
             if tf:
                 p_c = self.collection_probability(term)
                 total += math.log(1.0 + tf / (self._mu * p_c))
@@ -72,11 +73,10 @@ class LMDirichletScorer:
 
     def log_likelihood(self, doc_pos: int, terms: Iterable[str]) -> float:
         """The unshifted log p(q|d) (always negative), for diagnostics."""
-        doc = self._index.corpus[doc_pos]
         dl = self._index.doc_length(doc_pos)
         total = 0.0
         for term in terms:
-            tf = doc.terms.get(term, 0)
+            tf = self._tf.tf(term, doc_pos)
             p_c = self.collection_probability(term)
             total += math.log((tf + self._mu * p_c) / (dl + self._mu))
         return total

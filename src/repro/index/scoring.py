@@ -3,6 +3,12 @@
 The paper ranks Wikipedia results "using tfidf of the keywords" (§C) and
 feeds the ranking scores into the weighted precision/recall of §2. We use
 the standard log-tf × smoothed-idf cosine-style score.
+
+Scorers speak only the :class:`~repro.index.backend.IndexBackend`
+protocol: term frequencies come from posting lists (decoded once per
+query term via :class:`~repro.index.backend.TermFrequencyCache`), never
+from the corpus, so any backend — in-memory, compressed on-disk, or
+sharded — ranks identically.
 """
 
 from __future__ import annotations
@@ -10,15 +16,16 @@ from __future__ import annotations
 import math
 from typing import Iterable
 
-from repro.index.inverted_index import InvertedIndex
+from repro.index.backend import IndexBackend, TermFrequencyCache
 
 
 class TfIdfScorer:
-    """Scores documents for a query against an :class:`InvertedIndex`."""
+    """Scores documents for a query against any :class:`IndexBackend`."""
 
-    def __init__(self, index: InvertedIndex) -> None:
+    def __init__(self, index: IndexBackend) -> None:
         self._index = index
         self._n = max(index.num_documents, 1)
+        self._tf = TermFrequencyCache(index)
 
     def idf(self, term: str) -> float:
         """Smoothed inverse document frequency: ``log(1 + N/df)``.
@@ -42,10 +49,9 @@ class TfIdfScorer:
         documents don't dominate (a cheap stand-in for full cosine
         normalization that keeps scores strictly positive for matches).
         """
-        doc = self._index.corpus[doc_pos]
         raw = 0.0
         for term in terms:
-            tf = doc.terms.get(term, 0)
+            tf = self._tf.tf(term, doc_pos)
             if tf:
                 raw += self.tf_weight(tf) * self.idf(term)
         if raw == 0.0:

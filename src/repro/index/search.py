@@ -8,7 +8,7 @@ from typing import Callable
 from repro.data.corpus import Corpus
 from repro.data.documents import Document
 from repro.errors import QueryError
-from repro.index.inverted_index import InvertedIndex
+from repro.index.backend import IndexBackend
 from repro.index.scoring import TfIdfScorer
 from repro.text.analyzer import Analyzer
 
@@ -47,6 +47,13 @@ class SearchEngine:
     :class:`~repro.core.universe.ResultUniverse` instead, restricted to the
     seed query's results — matching the paper, where expanded queries
     classify the *original* result set.
+
+    Storage is pluggable: ``backend`` selects the index implementation by
+    name from :data:`repro.api.registries.BACKENDS` (``"memory"``,
+    ``"disk"``, ``"sharded"``, or anything a plugin registers), or may be
+    a ``factory(corpus) -> IndexBackend`` closure, or an already-built
+    backend instance. The engine — and everything above it — only ever
+    talks to the :class:`~repro.index.backend.IndexBackend` protocol.
     """
 
     def __init__(
@@ -54,10 +61,11 @@ class SearchEngine:
         corpus: Corpus,
         analyzer: Analyzer | None = None,
         scoring: str | Callable = "tfidf",
+        backend: str | Callable | IndexBackend = "memory",
     ) -> None:
         self._corpus = corpus
         self._analyzer = analyzer or Analyzer()
-        self._index = InvertedIndex(corpus)
+        self._index = self._resolve_backend(backend, corpus)
         if callable(scoring):
             # A factory (index) -> scorer, e.g. a registry closure with
             # extra scorer options bound in.
@@ -77,12 +85,45 @@ class SearchEngine:
                     f"registered scorers: {', '.join(SCORERS.names())}"
                 ) from None
 
+    @staticmethod
+    def _resolve_backend(
+        backend: str | Callable | IndexBackend, corpus: Corpus
+    ) -> IndexBackend:
+        """Name → registry lookup; callable → factory; instance → as-is."""
+        if isinstance(backend, str):
+            # Imported lazily: repro.api itself builds SearchEngines.
+            from repro.api.registries import BACKENDS
+            from repro.errors import RegistryError
+
+            try:
+                return BACKENDS.create(backend, corpus)
+            except RegistryError:
+                raise QueryError(
+                    f"unknown backend {backend!r}; "
+                    f"registered backends: {', '.join(BACKENDS.names())}"
+                ) from None
+        # A class (e.g. InvertedIndex itself) or any other callable is a
+        # factory; only a ready instance skips construction.
+        if isinstance(backend, type) or not isinstance(backend, IndexBackend):
+            if not callable(backend):
+                raise QueryError(
+                    f"backend must be a registry name, a factory, or an "
+                    f"IndexBackend; got {backend!r}"
+                )
+            backend = backend(corpus)
+        if backend.num_documents != len(corpus):
+            raise QueryError(
+                f"backend indexes {backend.num_documents} documents but the "
+                f"corpus has {len(corpus)}; they must describe the same data"
+            )
+        return backend
+
     @property
     def corpus(self) -> Corpus:
         return self._corpus
 
     @property
-    def index(self) -> InvertedIndex:
+    def index(self) -> IndexBackend:
         return self._index
 
     @property

@@ -127,6 +127,37 @@ class TestFormatErrors:
             write_index(index, tmp_path / "x.bin", codec="lz4")
 
 
+class TestFirstClassBackend:
+    """DiskIndex is a full IndexBackend: it can drive a SearchEngine."""
+
+    def test_build_classmethod_round_trips(self, corpus, index, tmp_path):
+        loaded = DiskIndex.build(corpus, tmp_path / "idx.qecx")
+        assert loaded.vocabulary() == index.vocabulary()
+        assert loaded.and_query(["apple", "fruit"]) == index.and_query(
+            ["apple", "fruit"]
+        )
+
+    def test_engine_search_matches_memory(self, corpus, index, tmp_path):
+        from repro.index.search import SearchEngine
+
+        path = tmp_path / "idx.qecx"
+        write_index(index, path)
+        on_disk = SearchEngine(corpus, backend=lambda c: DiskIndex.load(path))
+        in_memory = SearchEngine(corpus)
+        for query in ("apple", "apple fruit", "banana store"):
+            got = on_disk.search(query, top_k=5)
+            want = in_memory.search(query, top_k=5)
+            assert [(r.position, r.score) for r in got] == [
+                (r.position, r.score) for r in want
+            ]
+
+    def test_capabilities_report_persistence(self, index, tmp_path):
+        path = tmp_path / "idx.qecx"
+        write_index(index, path)
+        caps = DiskIndex.load(path).capabilities()
+        assert caps.persistent and caps.compressed
+
+
 class TestCompressionEffect:
     def test_gamma_file_not_larger_much(self, index, tmp_path):
         v = write_index(index, tmp_path / "v.bin", codec="varint")
