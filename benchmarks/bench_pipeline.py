@@ -1,0 +1,147 @@
+"""Pipeline machinery overhead: composed stages vs the direct stage loop.
+
+Measures one expansion (retrieve → ... → expand) on the sample corpus
+three ways:
+
+* **direct** — calling each stage's ``run(ctx)`` in a bare loop, no
+  Pipeline, no middleware, no timing;
+* **pipeline** — ``default_pipeline().run(ctx)`` (the built-in timing
+  middleware records per-stage wall clock, as every Session does);
+* **pipeline+trace** — plus :class:`TraceMiddleware` and a callback
+  middleware, the heaviest observability stack shipped.
+
+The contract asserted here (and in CI via ``--smoke``): the pipeline's
+middleware machinery costs **< 5%** over the direct call — observability
+is effectively free next to the actual retrieval/clustering/expansion
+work. Comparisons use best-of-N wall times to shed scheduler noise.
+
+Run: ``PYTHONPATH=src python benchmarks/bench_pipeline.py [--smoke]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.core.config import ExpansionConfig
+from repro.datasets.wikipedia import build_wikipedia_corpus
+from repro.eval.reporting import format_table
+from repro.index.search import SearchEngine
+from repro.pipeline import (
+    CallbackMiddleware,
+    ExecutionContext,
+    TraceMiddleware,
+    default_pipeline,
+    default_stages,
+)
+from repro.text.analyzer import Analyzer
+
+MAX_OVERHEAD = 0.05  # middleware machinery must stay under 5%
+
+
+def _make_context(smoke: bool) -> ExecutionContext:
+    from repro.api import ALGORITHMS
+
+    analyzer = Analyzer(use_stemming=False)
+    corpus = build_wikipedia_corpus(
+        seed=0,
+        docs_per_sense=8 if smoke else 40,
+        terms=["java"] if smoke else None,
+        analyzer=analyzer,
+    )
+    return ExecutionContext(
+        engine=SearchEngine(corpus, analyzer),
+        config=ExpansionConfig(n_clusters=3, top_k_results=20 if smoke else 30),
+        algorithm=ALGORITHMS.create("iskr", seed=0),
+        query="java",
+    )
+
+
+def _best_of_each(fns, repeats: int) -> list[float]:
+    """Best wall time per function, measured in interleaved rounds.
+
+    Interleaving (A B C, A B C, ...) rather than timing each function's
+    repeats back to back means systematic drift on a noisy host — CPU
+    throttling, a neighbor stealing cores mid-benchmark — hits every
+    configuration alike instead of skewing the overhead ratio.
+    """
+    best = [float("inf")] * len(fns)
+    for _ in range(repeats):
+        for i, fn in enumerate(fns):
+            t0 = time.perf_counter()
+            fn()
+            best[i] = min(best[i], time.perf_counter() - t0)
+    return best
+
+
+def run_bench(smoke: bool) -> int:
+    ctx = _make_context(smoke)
+    repeats = 15 if smoke else 30
+
+    stages = default_stages()
+
+    def direct():
+        out = ctx
+        for stage in stages:
+            out = stage.run(out)
+        return out
+
+    plain = default_pipeline()
+    traced = default_pipeline(
+        middleware=(
+            TraceMiddleware(),
+            CallbackMiddleware(on_end=lambda c, s, sec: None),
+        )
+    )
+
+    # Warm up once per path (imports, numpy buffers), then measure.
+    direct(), plain.run(ctx), traced.run(ctx)
+    t_direct, t_plain, t_traced = _best_of_each(
+        [direct, lambda: plain.run(ctx), lambda: traced.run(ctx)], repeats
+    )
+
+    rows = [
+        ["direct stage loop", f"{t_direct * 1e3:.3f}", "—"],
+        ["pipeline (timing)", f"{t_plain * 1e3:.3f}",
+         f"{(t_plain / t_direct - 1.0):+.2%}"],
+        ["pipeline (timing+trace)", f"{t_traced * 1e3:.3f}",
+         f"{(t_traced / t_direct - 1.0):+.2%}"],
+    ]
+    table = format_table(
+        ["configuration", "best ms", "overhead"],
+        rows,
+        title=f"pipeline overhead ({'smoke' if smoke else 'full'} corpus, "
+        f"best of {repeats})",
+    )
+    try:
+        from benchmarks.conftest import emit_artifact
+
+        emit_artifact("pipeline_overhead", table)
+    except ImportError:  # running from another cwd; still print
+        print(table)
+
+    overhead = t_plain / t_direct - 1.0
+    if overhead >= MAX_OVERHEAD:
+        print(
+            f"FAIL: timing-middleware overhead {overhead:.2%} "
+            f">= {MAX_OVERHEAD:.0%}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"ok: timing-middleware overhead {overhead:+.2%} < {MAX_OVERHEAD:.0%}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small corpus and few repeats (CI mode)",
+    )
+    args = parser.parse_args(argv)
+    return run_bench(smoke=args.smoke)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -43,6 +43,7 @@ from repro.api import (
     CLUSTERERS,
     DATASETS,
     SCORERS,
+    STAGES,
     BatchItem,
     BatchReport,
     CachingSearchEngine,
@@ -98,6 +99,7 @@ from repro.errors import (
     DataError,
     ExpansionError,
     IndexingError,
+    PipelineError,
     QueryError,
     RegistryError,
     ReproError,
@@ -112,6 +114,14 @@ from repro.index import (
     SearchEngine,
     SearchResult,
     ShardedIndex,
+)
+from repro.pipeline import (
+    ExecutionContext,
+    Pipeline,
+    StageTiming,
+    TimingMiddleware,
+    TraceMiddleware,
+    default_pipeline,
 )
 from repro.prf import KLDivergencePRF, RobertsonPRF, RocchioPRF
 from repro.text import Analyzer, PorterStemmer, tokenize
@@ -150,6 +160,7 @@ __all__ = [
     "ExpansionError",
     "ExpansionReport",
     "ExpansionTask",
+    "ExecutionContext",
     "ExperimentSuite",
     "Feature",
     "ISKR",
@@ -160,6 +171,8 @@ __all__ = [
     "KLDivergencePRF",
     "KMedoids",
     "PEBC",
+    "Pipeline",
+    "PipelineError",
     "PorterStemmer",
     "QueryError",
     "QueryLog",
@@ -171,19 +184,24 @@ __all__ = [
     "RobertsonPRF",
     "RocchioPRF",
     "SCORERS",
+    "STAGES",
     "SchemaError",
     "SearchEngine",
     "SearchResult",
     "Session",
     "SessionBuilder",
     "ShardedIndex",
+    "StageTiming",
     "TfVectorizer",
+    "TimingMiddleware",
+    "TraceMiddleware",
     "UserStudySimulator",
     "VectorSpaceRefinement",
     "all_queries",
     "build_query_log",
     "build_shopping_corpus",
     "build_wikipedia_corpus",
+    "default_pipeline",
     "eq1_score",
     "fmeasure",
     "make_structured_document",

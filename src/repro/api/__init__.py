@@ -19,8 +19,15 @@ Pluggable axes live in the registries; extend them with
 and datasets).
 """
 
-from repro.api.registries import ALGORITHMS, BACKENDS, CLUSTERERS, DATASETS, SCORERS
-from repro.api.registry import Registry
+from repro.api.registries import (
+    ALGORITHMS,
+    BACKENDS,
+    CLUSTERERS,
+    DATASETS,
+    Registry,
+    SCORERS,
+    STAGES,
+)
 from repro.api.schema import (
     SCHEMA_VERSION,
     SUPPORTED_VERSIONS,
@@ -46,6 +53,7 @@ __all__ = [
     "Registry",
     "SCHEMA_VERSION",
     "SCORERS",
+    "STAGES",
     "SUPPORTED_VERSIONS",
     "Session",
     "SessionBuilder",

@@ -1,6 +1,8 @@
-"""Built-in component registries: the library's pluggable axes.
+"""The :class:`Registry` class and the built-in component registries.
 
-Five axes, each a :class:`~repro.api.registry.Registry`:
+This module is the canonical home of both the generic string-keyed
+:class:`Registry` and the library's pluggable axes (the historical
+``repro.api.registry`` module is a deprecated alias). Six axes:
 
 =============  ======================================================
 ``ALGORITHMS``  expansion algorithms — ``factory(seed, **kw)``
@@ -8,21 +10,35 @@ Five axes, each a :class:`~repro.api.registry.Registry`:
 ``SCORERS``     retrieval scorers — ``factory(index, **kw)``
 ``DATASETS``    corpus builders — ``factory(seed, analyzer, **kw)``
 ``BACKENDS``    index storage backends — ``factory(corpus, **kw)``
+``STAGES``      pipeline stages — ``factory(**kw) -> Stage``
 =============  ======================================================
 
 Every factory returns a ready component: algorithms expose
 ``expand(task)``, clusterers expose ``fit_predict(matrix)``, scorers
 expose ``score``/``rank``, datasets return a
-:class:`~repro.data.corpus.Corpus`, and backends return an
-:class:`~repro.index.backend.IndexBackend` over the given corpus.
-Extend any axis with ``@REGISTRY.register("name")``.
+:class:`~repro.data.corpus.Corpus`, backends return an
+:class:`~repro.index.backend.IndexBackend` over the given corpus, and
+stages conform to the :class:`~repro.pipeline.Stage` protocol
+(``name`` + ``run(ctx) -> ctx``). Extend any axis with
+``@REGISTRY.register("name")``::
+
+    from repro.api import ALGORITHMS
+
+    @ALGORITHMS.register("myalg")
+    def _make_myalg(seed, **kwargs):
+        return MyAlgorithm(**kwargs)
+
+Names are case-insensitive and stored lowercased. Lookups of unknown
+names raise :class:`~repro.errors.RegistryError` listing the known names,
+so typos fail loudly at configuration time rather than deep inside a run.
 """
 
 from __future__ import annotations
 
+from typing import Any, Callable, Iterator
+
 import numpy as np
 
-from repro.api.registry import Registry
 from repro.cluster.agglomerative import AgglomerativeClustering
 from repro.cluster.bisecting import BisectingKMeans
 from repro.cluster.kmeans import CosineKMeans
@@ -41,12 +57,109 @@ from repro.errors import RegistryError
 from repro.index.inverted_index import InvertedIndex
 from repro.index.scoring import TfIdfScorer
 from repro.index.sharded import ShardedIndex
+from repro.pipeline import stages as pipeline_stages
+
+Factory = Callable[..., Any]
+
+
+class Registry:
+    """A named mapping from component names to factories.
+
+    Parameters
+    ----------
+    kind:
+        Human-readable axis name ("algorithm", "clusterer", ...), used in
+        error messages.
+    """
+
+    def __init__(self, kind: str) -> None:
+        self._kind = kind
+        self._factories: dict[str, Factory] = {}
+
+    @property
+    def kind(self) -> str:
+        return self._kind
+
+    # -- registration --------------------------------------------------------
+
+    def register(
+        self, name: str, factory: Factory | None = None
+    ) -> Callable[[Factory], Factory] | Factory:
+        """Register ``factory`` under ``name``.
+
+        Usable as a decorator (``@REG.register("x")``) or directly
+        (``REG.register("x", make_x)``). Re-registering a name replaces the
+        previous factory (latest wins), so tests and plugins can override
+        built-ins.
+        """
+        key = self._normalize(name)
+
+        def _add(fn: Factory) -> Factory:
+            self._factories[key] = fn
+            return fn
+
+        if factory is not None:
+            return _add(factory)
+        return _add
+
+    def unregister(self, name: str) -> None:
+        """Remove ``name``; unknown names raise :class:`RegistryError`."""
+        key = self._normalize(name)
+        if key not in self._factories:
+            raise self._unknown(key)
+        del self._factories[key]
+
+    # -- lookup --------------------------------------------------------------
+
+    def get(self, name: str) -> Factory:
+        """The factory registered under ``name``."""
+        key = self._normalize(name)
+        try:
+            return self._factories[key]
+        except KeyError:
+            raise self._unknown(key) from None
+
+    def create(self, name: str, *args: Any, **kwargs: Any) -> Any:
+        """Instantiate the component: ``get(name)(*args, **kwargs)``."""
+        return self.get(name)(*args, **kwargs)
+
+    def names(self) -> tuple[str, ...]:
+        """All registered names, sorted."""
+        return tuple(sorted(self._factories))
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and self._normalize(name) in self._factories
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        return len(self._factories)
+
+    def __repr__(self) -> str:
+        return f"Registry({self._kind!r}, names={list(self.names())})"
+
+    # -- helpers -------------------------------------------------------------
+
+    @staticmethod
+    def _normalize(name: str) -> str:
+        if not isinstance(name, str) or not name.strip():
+            raise RegistryError("component names must be non-empty strings")
+        return name.strip().lower()
+
+    def _unknown(self, key: str) -> RegistryError:
+        known = ", ".join(self.names()) or "<none>"
+        return RegistryError(
+            f"unknown {self._kind} {key!r}; registered {self._kind}s: {known}"
+        )
+
 
 ALGORITHMS = Registry("algorithm")
 CLUSTERERS = Registry("clusterer")
 SCORERS = Registry("scorer")
 DATASETS = Registry("dataset")
 BACKENDS = Registry("backend")
+STAGES = Registry("stage")
 
 
 # -- expansion algorithms ----------------------------------------------------
@@ -228,3 +341,17 @@ def _make_xml(seed: int = 0, analyzer=None, documents=None, **kwargs):
             "dataset 'xml' needs documents={doc_id: xml_string, ...}"
         )
     return corpus_from_xml(documents, analyzer=analyzer, **kwargs)
+
+
+# -- pipeline stages ---------------------------------------------------------
+# The default expansion pipeline, plus the §7 reassignment step. Factories
+# take only kwargs: stages are stateless and read their inputs (engine,
+# config, algorithm, ...) off the ExecutionContext at run time.
+
+STAGES.register("retrieve", pipeline_stages.RetrieveStage)
+STAGES.register("cluster", pipeline_stages.ClusterStage)
+STAGES.register("universe", pipeline_stages.UniverseStage)
+STAGES.register("candidates", pipeline_stages.CandidateStage)
+STAGES.register("tasks", pipeline_stages.TasksStage)
+STAGES.register("expand", pipeline_stages.ExpandStage)
+STAGES.register("reassign", pipeline_stages.ReassignStage)

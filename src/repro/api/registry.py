@@ -1,118 +1,27 @@
-"""Generic string-keyed component registry.
+"""Deprecated alias of :mod:`repro.api.registries` (the canonical module).
 
-Every pluggable axis of the library (expansion algorithms, clustering
-backends, retrieval scorers, datasets) is a :class:`Registry` mapping a
-short name to a factory. Built-ins register themselves in
-:mod:`repro.api.registries`; third-party code extends an axis with the
-same decorator::
+The :class:`Registry` class and the registry instances historically
+lived in two sibling modules (``registry`` vs ``registries``), an
+easy-to-typo split. Everything now lives in
+:mod:`repro.api.registries`; importing this module re-exports
+:class:`Registry`/``Factory`` from there and emits a
+:class:`DeprecationWarning`. Update imports to::
 
-    from repro.api import ALGORITHMS
-
-    @ALGORITHMS.register("myalg")
-    def _make_myalg(seed, **kwargs):
-        return MyAlgorithm(**kwargs)
-
-Names are case-insensitive and stored lowercased. Lookups of unknown
-names raise :class:`~repro.errors.RegistryError` listing the known names,
-so typos fail loudly at configuration time rather than deep inside a run.
+    from repro.api import Registry            # preferred
+    from repro.api.registries import Registry  # equivalent
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterator
+import warnings
 
-from repro.errors import RegistryError
+from repro.api.registries import Factory, Registry
 
-Factory = Callable[..., Any]
+warnings.warn(
+    "repro.api.registry is deprecated; import Registry from repro.api "
+    "(or repro.api.registries)",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
-
-class Registry:
-    """A named mapping from component names to factories.
-
-    Parameters
-    ----------
-    kind:
-        Human-readable axis name ("algorithm", "clusterer", ...), used in
-        error messages.
-    """
-
-    def __init__(self, kind: str) -> None:
-        self._kind = kind
-        self._factories: dict[str, Factory] = {}
-
-    @property
-    def kind(self) -> str:
-        return self._kind
-
-    # -- registration --------------------------------------------------------
-
-    def register(
-        self, name: str, factory: Factory | None = None
-    ) -> Callable[[Factory], Factory] | Factory:
-        """Register ``factory`` under ``name``.
-
-        Usable as a decorator (``@REG.register("x")``) or directly
-        (``REG.register("x", make_x)``). Re-registering a name replaces the
-        previous factory (latest wins), so tests and plugins can override
-        built-ins.
-        """
-        key = self._normalize(name)
-
-        def _add(fn: Factory) -> Factory:
-            self._factories[key] = fn
-            return fn
-
-        if factory is not None:
-            return _add(factory)
-        return _add
-
-    def unregister(self, name: str) -> None:
-        """Remove ``name``; unknown names raise :class:`RegistryError`."""
-        key = self._normalize(name)
-        if key not in self._factories:
-            raise self._unknown(key)
-        del self._factories[key]
-
-    # -- lookup --------------------------------------------------------------
-
-    def get(self, name: str) -> Factory:
-        """The factory registered under ``name``."""
-        key = self._normalize(name)
-        try:
-            return self._factories[key]
-        except KeyError:
-            raise self._unknown(key) from None
-
-    def create(self, name: str, *args: Any, **kwargs: Any) -> Any:
-        """Instantiate the component: ``get(name)(*args, **kwargs)``."""
-        return self.get(name)(*args, **kwargs)
-
-    def names(self) -> tuple[str, ...]:
-        """All registered names, sorted."""
-        return tuple(sorted(self._factories))
-
-    def __contains__(self, name: object) -> bool:
-        return isinstance(name, str) and self._normalize(name) in self._factories
-
-    def __iter__(self) -> Iterator[str]:
-        return iter(self.names())
-
-    def __len__(self) -> int:
-        return len(self._factories)
-
-    def __repr__(self) -> str:
-        return f"Registry({self._kind!r}, names={list(self.names())})"
-
-    # -- helpers -------------------------------------------------------------
-
-    @staticmethod
-    def _normalize(name: str) -> str:
-        if not isinstance(name, str) or not name.strip():
-            raise RegistryError("component names must be non-empty strings")
-        return name.strip().lower()
-
-    def _unknown(self, key: str) -> RegistryError:
-        known = ", ".join(self.names()) or "<none>"
-        return RegistryError(
-            f"unknown {self._kind} {key!r}; registered {self._kind}s: {known}"
-        )
+__all__ = ["Factory", "Registry"]

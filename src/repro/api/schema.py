@@ -5,13 +5,22 @@ search results — serializes to plain JSON types (dict/list/str/int/float/
 bool) via ``to_dict`` and reconstructs losslessly via ``from_dict``. The
 outermost payloads carry a versioned envelope::
 
-    {"schema_version": 1, "kind": "expansion_report", ...}
+    {"schema_version": 2, "kind": "expansion_report", ...}
 
 Versioning policy (see API.md): additive changes (new optional keys) keep
 the version; renames, removals, and meaning changes bump
 :data:`SCHEMA_VERSION` and extend :data:`SUPPORTED_VERSIONS` with a
 migration in :func:`check_envelope`. Readers reject unknown versions with
 :class:`~repro.errors.SchemaError` instead of mis-parsing them.
+
+Version history:
+
+* **v1** — initial envelope (PR 1).
+* **v2** — reports carry structured per-stage observability:
+  ``stage_timings`` (``[{"stage": ..., "seconds": ...}, ...]`` in
+  execution order, from the pipeline's timing middleware). v1 payloads
+  remain readable: they round-trip losslessly with empty
+  ``stage_timings``.
 """
 
 from __future__ import annotations
@@ -20,9 +29,10 @@ from typing import Any, Mapping
 
 from repro.data.documents import Document
 from repro.errors import SchemaError
+from repro.pipeline.context import StageTiming
 
-SCHEMA_VERSION = 1
-SUPPORTED_VERSIONS = frozenset({1})
+SCHEMA_VERSION = 2
+SUPPORTED_VERSIONS = frozenset({1, 2})
 
 KIND_REPORT = "expansion_report"
 KIND_BATCH = "batch_report"
@@ -159,6 +169,14 @@ def expanded_query_from_dict(payload: Mapping[str, Any]):
 # -- reports -----------------------------------------------------------------
 
 
+def _stage_timing(payload: Mapping[str, Any]) -> StageTiming:
+    """StageTiming.from_dict with schema-grade error reporting."""
+    try:
+        return StageTiming.from_dict(payload)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SchemaError(f"malformed stage_timings entry: {exc!r}") from None
+
+
 def report_to_dict(report) -> dict[str, Any]:
     return make_envelope(
         KIND_REPORT,
@@ -173,6 +191,7 @@ def report_to_dict(report) -> dict[str, Any]:
             "clustering_seconds": float(report.clustering_seconds),
             "expansion_seconds": float(report.expansion_seconds),
             "results": [search_result_to_dict(r) for r in report.results],
+            "stage_timings": [t.to_dict() for t in report.stage_timings],
         },
     )
 
@@ -195,5 +214,9 @@ def report_from_dict(payload: Mapping[str, Any]):
         expansion_seconds=float(require(payload, "expansion_seconds")),
         results=tuple(
             search_result_from_dict(r) for r in payload.get("results", ())
+        ),
+        # v1 payloads predate per-stage observability; absent = empty.
+        stage_timings=tuple(
+            _stage_timing(t) for t in payload.get("stage_timings", ())
         ),
     )

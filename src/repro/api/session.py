@@ -32,6 +32,19 @@ from their registered factories, so stateful components (PEBC's RNG,
 AutoClustering's selection) never leak state between queries or between
 :meth:`~Session.expand_many` worker threads — batch output is identical
 to running :meth:`~Session.expand` per query.
+
+Execution itself is a :class:`~repro.pipeline.Pipeline` of stage
+objects (retrieve → cluster → universe → candidates → tasks → expand),
+shared by every path through the session — ``expand``, batches,
+interleaving, and the step methods. Compose it at build time::
+
+    session = (Session.builder()
+               .dataset("wikipedia")
+               .stage(MyReranker(), after="retrieve")
+               .replace_stage("candidates", MyMiner())
+               .middleware(TraceMiddleware())
+               .build())
+    ctx = session.run_stages("java", until="tasks")   # partial run
 """
 
 from __future__ import annotations
@@ -45,12 +58,20 @@ from typing import Any, Iterable, Mapping, Sequence
 import numpy as np
 
 from repro.api import schema
-from repro.api.registries import ALGORITHMS, BACKENDS, CLUSTERERS, DATASETS, SCORERS
+from repro.api.registries import (
+    ALGORITHMS,
+    BACKENDS,
+    CLUSTERERS,
+    DATASETS,
+    SCORERS,
+    STAGES,
+)
 from repro.core.config import ExpansionConfig
 from repro.core.expander import ClusterQueryExpander, ExpansionReport
 from repro.core.universe import ResultUniverse
 from repro.errors import ConfigError, SchemaError
 from repro.index.search import SearchEngine, SearchResult
+from repro.pipeline import ExecutionContext, Middleware, Pipeline, default_pipeline
 from repro.text.analyzer import Analyzer
 
 
@@ -257,6 +278,9 @@ class SessionBuilder:
         self._config_kwargs: dict[str, Any] = {}
         self._analyzer: Analyzer | None = None
         self._seed: int = 0
+        self._stage_inserts: list[tuple[Any, str | None, str | None]] = []
+        self._stage_replacements: list[tuple[str, Any]] = []
+        self._middleware: list[Middleware] = []
 
     @staticmethod
     def _norm(name: str) -> str:
@@ -323,6 +347,43 @@ class SessionBuilder:
     def seed(self, seed: int) -> "SessionBuilder":
         """Master RNG seed (datasets, clustering, stochastic algorithms)."""
         self._seed = int(seed)
+        return self
+
+    # -- pipeline composition ------------------------------------------------
+
+    def stage(
+        self,
+        stage: Any,
+        after: str | None = None,
+        before: str | None = None,
+    ) -> "SessionBuilder":
+        """Insert a custom pipeline stage (appended unless anchored).
+
+        ``stage`` is a :class:`~repro.pipeline.Stage` instance or a name
+        in :data:`repro.api.STAGES`; ``after``/``before`` name an anchor
+        stage in the default pipeline (e.g. a reranker with
+        ``after="retrieve"``). Inserted stages run on every *pipeline*
+        execution path — ``expand``, ``expand_many``,
+        ``expand_interleaved``, ``run_stages`` — and show up in
+        :meth:`Session.describe` and the report's ``stage_timings``.
+        (The individual step methods ``retrieve``/``cluster``/... each
+        execute exactly one named stage, by design.)
+        """
+        self._stage_inserts.append((stage, after, before))
+        return self
+
+    def replace_stage(self, name: str, stage: Any) -> "SessionBuilder":
+        """Swap a default stage (e.g. the ``candidates`` miner) by name."""
+        self._stage_replacements.append((name, stage))
+        return self
+
+    def middleware(self, *middleware: Middleware) -> "SessionBuilder":
+        """Attach observability middleware (``on_stage_start/end/error``).
+
+        Hook failures are isolated: a raising hook never corrupts a
+        report. See :mod:`repro.pipeline.middleware`.
+        """
+        self._middleware.extend(middleware)
         return self
 
     # -- validation + construction ------------------------------------------
@@ -395,12 +456,45 @@ class SessionBuilder:
             dataset=self._dataset,
             backend=None if self._engine is not None else backend,
             seed=self._seed,
+            pipeline=self._build_pipeline(),
         )
         # Trial-create the per-query components once: bad kwargs and bad
         # (clusterer, config) combinations surface at build time.
         session._make_algorithm()
         session._make_clusterer()
         return session
+
+    @staticmethod
+    def _resolve_stage(stage: Any) -> Any:
+        """A Stage instance from a registry name or a ready instance."""
+        if isinstance(stage, str):
+            return STAGES.create(SessionBuilder._norm(stage))
+        if not isinstance(getattr(stage, "name", None), str) or not callable(
+            getattr(stage, "run", None)
+        ):
+            raise ConfigError(
+                f"custom stages need .name and .run(ctx); got {stage!r}"
+            )
+        return stage
+
+    def _build_pipeline(self) -> Pipeline:
+        """The session's pipeline: default stages + replacements + inserts.
+
+        Unknown stage names and bad anchors raise at build time
+        (:class:`~repro.errors.PipelineError` is a :class:`ConfigError`).
+        """
+        pipeline = default_pipeline()
+        for name, stage in self._stage_replacements:
+            pipeline = pipeline.replace_stage(
+                self._norm(name), self._resolve_stage(stage)
+            )
+        for stage, after, before in self._stage_inserts:
+            pipeline = pipeline.with_stage(
+                self._resolve_stage(stage), after=after, before=before
+            )
+        if self._middleware:
+            pipeline = pipeline.with_middleware(*self._middleware)
+        return pipeline
 
     def _build_config(self) -> ExpansionConfig:
         kwargs = {"cluster_seed": self._seed}
@@ -477,6 +571,7 @@ class Session:
         dataset: str | None = None,
         backend: str | None = None,
         seed: int = 0,
+        pipeline: Pipeline | None = None,
         _candidate_cache: dict | None = None,
     ) -> None:
         if isinstance(engine, CachingSearchEngine):
@@ -492,6 +587,7 @@ class Session:
         self._dataset = dataset
         self._backend = backend
         self._seed = seed
+        self._pipeline = pipeline if pipeline is not None else default_pipeline()
         self._candidate_cache = (
             _candidate_cache
             if _candidate_cache is not None
@@ -537,6 +633,16 @@ class Session:
     def seed(self) -> int:
         return self._seed
 
+    @property
+    def execution_pipeline(self) -> Pipeline:
+        """The stage pipeline every expansion path of this session runs."""
+        return self._pipeline
+
+    @property
+    def stage_names(self) -> tuple[str, ...]:
+        """Stage names in execution order (custom stages included)."""
+        return self._pipeline.names
+
     def clear_caches(self) -> None:
         """Drop cached retrievals and candidate statistics.
 
@@ -557,6 +663,7 @@ class Session:
             "top_k_results": self._config.top_k_results,
             "semantics": self._config.semantics,
             "seed": self._seed,
+            "stages": self._pipeline.describe(),
         }
 
     def with_config(self, **overrides: Any) -> "Session":
@@ -576,6 +683,7 @@ class Session:
             dataset=self._dataset,
             backend=self._backend,
             seed=self._seed,
+            pipeline=self._pipeline,
             _candidate_cache=self._candidate_cache,
         )
 
@@ -610,14 +718,36 @@ class Session:
             ) from None
 
     def pipeline(self, algorithm: str | None = None) -> ClusterQueryExpander:
-        """A fresh single-query pipeline wired to this session's caches."""
+        """A fresh single-query expander wired to this session's caches.
+
+        The expander binds fresh per-call components (algorithm,
+        clusterer) to the session's shared :attr:`execution_pipeline`,
+        so every expander executes the same stage objects.
+        """
         return ClusterQueryExpander(
             self._engine,
             self._make_algorithm(algorithm),
             self._config,
             self._make_clusterer(),
             candidate_cache=self._candidate_cache,
+            pipeline=self._pipeline,
         )
+
+    def run_stages(
+        self,
+        query: str,
+        until: str | None = None,
+        algorithm: str | None = None,
+    ) -> ExecutionContext:
+        """Run the pipeline for ``query``; return the final context.
+
+        ``until`` names the last stage to execute (e.g. ``"tasks"``) for
+        harnesses that need intermediate artifacts — the PRF comparison
+        and the experiment suite consume retrievals, labels, universe,
+        and tasks from the returned context, with per-stage timings
+        already recorded.
+        """
+        return self.pipeline(algorithm).run_stages(query, until=until)
 
     # -- retrieval + pipeline steps ------------------------------------------
 
@@ -669,6 +799,7 @@ class Session:
             self._config,
             clusterer=self._make_clusterer(),
             max_rounds=max_rounds,
+            pipeline=self._pipeline,
         ).expand(query)
 
     def expand_many(

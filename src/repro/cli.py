@@ -84,6 +84,15 @@ def _cmd_search(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_stage_timings(report) -> None:
+    total = sum(t.seconds for t in report.stage_timings)
+    print("stage timings:")
+    for t in report.stage_timings:
+        share = t.seconds / total if total > 0 else 0.0
+        print(f"  {t.stage:12s} {t.seconds * 1e3:9.3f} ms  {share:6.1%}")
+    print(f"  {'total':12s} {total * 1e3:9.3f} ms")
+
+
 def _cmd_expand(args: argparse.Namespace) -> int:
     session = _make_session(args)
     report = session.expand(args.query)
@@ -93,6 +102,8 @@ def _cmd_expand(args: argparse.Namespace) -> int:
         print(render_expansion_report(report, idf=session.engine.scorer.idf))
         return 0
     if args.json:
+        # --trace needs no extra output here: the versioned payload
+        # already carries stage_timings (schema v2).
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
         return 0
     print(
@@ -105,6 +116,8 @@ def _cmd_expand(args: argparse.Namespace) -> int:
             f"  [cluster {eq.cluster_id}, {eq.cluster_size} results, "
             f"F={eq.fmeasure:.3f}] {eq.display()}"
         )
+    if args.trace:
+        _print_stage_timings(report)
     return 0
 
 
@@ -185,13 +198,9 @@ def _cmd_facets(args: argparse.Namespace) -> int:
     from repro.facets.comparator import FacetedSearchComparator
 
     session = _make_session(args)
-    results = session.retrieve(args.query)
-    labels = session.cluster(results)
-    universe = session.build_universe(results)
-    seed_terms = tuple(session.engine.parse(args.query))
-    tasks = session.tasks(universe, labels, seed_terms)
+    ctx = session.run_stages(args.query, until="tasks")
     out = FacetedSearchComparator().suggest(
-        seed_terms, universe, [t.cluster_mask for t in tasks]
+        ctx.seed_terms, ctx.universe, [t.cluster_mask for t in ctx.tasks]
     )
     if out.is_empty:
         print(f"no facets extractable from the results of {args.query!r}")
@@ -337,6 +346,10 @@ def build_parser() -> argparse.ArgumentParser:
     output.add_argument(
         "--json", action="store_true",
         help="emit the versioned JSON report instead of text",
+    )
+    p.add_argument(
+        "--trace", action="store_true",
+        help="print per-stage wall-clock timings (always present in --json)",
     )
     p.set_defaults(func=_cmd_expand)
 

@@ -1,28 +1,33 @@
-"""End-to-end pipeline: search → cluster → one expanded query per cluster.
+"""End-to-end expansion: search → cluster → one expanded query per cluster.
 
 This is the library's main entry point. Given a search engine, a seed
 query, and a granularity k, it retrieves the (optionally top-k) results,
 clusters them with a pluggable backend (k-means over TF vectors by default,
 §C), builds one :class:`~repro.core.universe.ExpansionTask` per cluster, and
 runs the configured expansion algorithm on each.
+
+Since the pipeline redesign, :class:`ClusterQueryExpander` is a thin
+binding of runtime components (engine, algorithm, config, clusterer,
+caches) to a :class:`~repro.pipeline.Pipeline` of stage objects — every
+step method executes the same stage instances that ``expand`` runs, and
+per-stage wall clock is recorded by the pipeline's timing middleware
+(``ExpansionReport.stage_timings``), retrieval included.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from typing import Protocol, Sequence
+from typing import TYPE_CHECKING, Protocol, Sequence
 
 import numpy as np
 
-from repro.cluster.kmeans import CosineKMeans
-from repro.cluster.vectorizer import TfVectorizer
 from repro.core.config import ExpansionConfig
-from repro.core.keyword_stats import select_candidates
-from repro.core.metrics import eq1_score
 from repro.core.universe import ExpansionOutcome, ExpansionTask, ResultUniverse
 from repro.errors import ExpansionError
 from repro.index.search import SearchEngine, SearchResult
+
+if TYPE_CHECKING:  # pragma: no cover — lazy at runtime (import cycle)
+    from repro.pipeline import ExecutionContext, Pipeline, StageTiming
 
 
 class ExpansionAlgorithm(Protocol):
@@ -39,16 +44,6 @@ class ClusteringBackend(Protocol):
 
     def fit_predict(self, matrix: np.ndarray) -> np.ndarray:  # pragma: no cover
         ...
-
-
-class _KMeansBackend:
-    """Default backend: spherical k-means (§C)."""
-
-    def __init__(self, n_clusters: int, seed: int) -> None:
-        self._kmeans = CosineKMeans(n_clusters=n_clusters, seed=seed)
-
-    def fit_predict(self, matrix: np.ndarray) -> np.ndarray:
-        return self._kmeans.fit(matrix).labels
 
 
 @dataclass(frozen=True)
@@ -95,9 +90,16 @@ class ExpansionReport:
     clustering_seconds: float
     expansion_seconds: float
     results: tuple[SearchResult, ...] = field(default_factory=tuple, repr=False)
+    #: Per-stage wall clock, execution order (schema v2; empty for v1 payloads).
+    stage_timings: tuple["StageTiming", ...] = field(default_factory=tuple)
 
     def queries(self) -> list[str]:
         return [eq.display() for eq in self.expanded]
+
+    @property
+    def retrieval_seconds(self) -> float:
+        """Seconds spent in the retrieve stage (0.0 for legacy payloads)."""
+        return sum(t.seconds for t in self.stage_timings if t.stage == "retrieve")
 
     def to_dict(self) -> dict:
         """Versioned JSON envelope (``schema_version``; repro.api.schema)."""
@@ -111,6 +113,34 @@ class ExpansionReport:
         from repro.api import schema
 
         return schema.report_from_dict(payload)
+
+
+def report_from_context(ctx: "ExecutionContext") -> ExpansionReport:
+    """Assemble the :class:`ExpansionReport` from a completed pipeline run.
+
+    The legacy coarse timing fields are derived from the per-stage
+    timings: ``clustering_seconds`` is the ``cluster`` stage,
+    ``expansion_seconds`` covers candidate mining, task construction, and
+    the per-cluster expansion (what the pre-pipeline code timed as one
+    block).
+    """
+    return ExpansionReport(
+        seed_query=ctx.query,
+        seed_terms=ctx.seed_terms,
+        expanded=tuple(ctx.expanded),
+        score=float(ctx.score),
+        n_results=len(ctx.results),
+        n_clusters=len(set(int(l) for l in ctx.labels)),
+        cluster_labels=tuple(int(l) for l in ctx.labels),
+        clustering_seconds=ctx.seconds_for("cluster"),
+        expansion_seconds=(
+            ctx.seconds_for("candidates")
+            + ctx.seconds_for("tasks")
+            + ctx.seconds_for("expand")
+        ),
+        results=tuple(ctx.results),
+        stage_timings=ctx.timings,
+    )
 
 
 class ClusterQueryExpander:
@@ -133,6 +163,10 @@ class ClusterQueryExpander:
         (seed terms, universe). :class:`repro.api.Session` passes one so
         repeated seed queries and multi-algorithm comparisons share the
         TF-IDF candidate statistics.
+    pipeline:
+        Optional :class:`~repro.pipeline.Pipeline` override (custom or
+        reordered stages, extra middleware). Defaults to
+        :func:`repro.pipeline.default_pipeline`.
     """
 
     def __init__(
@@ -142,6 +176,7 @@ class ClusterQueryExpander:
         config: ExpansionConfig | None = None,
         clusterer: ClusteringBackend | str | None = None,
         candidate_cache: dict | None = None,
+        pipeline: "Pipeline | None" = None,
     ) -> None:
         self._engine = engine
         self._config = config or ExpansionConfig()
@@ -162,6 +197,11 @@ class ClusterQueryExpander:
             )
         self._clusterer = clusterer
         self._candidate_cache = candidate_cache
+        if pipeline is None:
+            from repro.pipeline import default_pipeline
+
+            pipeline = default_pipeline()
+        self._pipeline = pipeline
 
     @property
     def config(self) -> ExpansionConfig:
@@ -171,38 +211,61 @@ class ClusterQueryExpander:
     def algorithm(self) -> ExpansionAlgorithm:
         return self._algorithm
 
-    # -- pipeline steps ------------------------------------------------------
+    @property
+    def pipeline(self) -> "Pipeline":
+        """The stage pipeline this expander executes."""
+        return self._pipeline
+
+    # -- pipeline plumbing ---------------------------------------------------
+
+    def context(self, query: str = "") -> "ExecutionContext":
+        """A fresh :class:`ExecutionContext` bound to this expander."""
+        from repro.pipeline import ExecutionContext
+
+        return ExecutionContext(
+            engine=self._engine,
+            config=self._config,
+            algorithm=self._algorithm,
+            clusterer=self._clusterer,
+            candidate_cache=self._candidate_cache,
+            query=query,
+        )
+
+    def run_stages(
+        self, query: str, until: str | None = None
+    ) -> "ExecutionContext":
+        """Run the pipeline for ``query``, optionally stopping early.
+
+        ``until`` names the last stage to execute (e.g. ``"tasks"``);
+        harnesses that need intermediate artifacts get them off the
+        returned context with per-stage timings already recorded.
+        """
+        return self._pipeline.run(self.context(query), stop_after=until)
+
+    # -- pipeline steps (compat; each executes the shared stage object) ------
 
     def retrieve(self, query: str) -> list[SearchResult]:
-        """Step 1: run the seed query (AND semantics, ranked, top-k)."""
-        return self._engine.search(query, top_k=self._config.top_k_results)
+        """Step 1: run the seed query (AND semantics, ranked, top-k).
+
+        Returns ``[]`` when nothing matches — callers probing queries
+        can branch; the empty-result guard fires only inside full
+        pipeline runs (:meth:`expand`), where the stage raises.
+        """
+        try:
+            stage = self._pipeline.get_stage("retrieve")
+            return list(stage.run(self.context(query)).results)
+        except ExpansionError:
+            return []
 
     def cluster(self, results: Sequence[SearchResult]) -> np.ndarray:
         """Step 2: cluster results into <= k clusters over TF vectors."""
-        docs = [r.document for r in results]
-        matrix = TfVectorizer(docs).matrix()
-        backend = self._clusterer or _KMeansBackend(
-            self._config.n_clusters, self._config.cluster_seed
-        )
-        labels = np.asarray(backend.fit_predict(matrix), dtype=np.int64)
-        if labels.shape != (len(docs),):
-            raise ExpansionError(
-                f"clusterer returned labels of shape {labels.shape} "
-                f"for {len(docs)} results"
-            )
-        return labels
+        ctx = self.context().evolve(results=tuple(results))
+        return self._pipeline.get_stage("cluster").run(ctx).labels
 
     def build_universe(self, results: Sequence[SearchResult]) -> ResultUniverse:
         """Step 3: the result universe, weighted by ranking if configured."""
-        docs = [r.document for r in results]
-        if self._config.use_ranking_weights:
-            # Guard against zero scores (can happen only for degenerate
-            # scorers); shift into positive territory.
-            raw = np.array([r.score for r in results], dtype=np.float64)
-            floor = raw[raw > 0.0].min() * 0.5 if np.any(raw > 0.0) else 1.0
-            weights = np.maximum(raw, floor)
-            return ResultUniverse(docs, weights)
-        return ResultUniverse(docs)
+        ctx = self.context().evolve(results=tuple(results))
+        return self._pipeline.get_stage("universe").run(ctx).universe
 
     def tasks(
         self,
@@ -211,99 +274,16 @@ class ClusterQueryExpander:
         seed_terms: tuple[str, ...],
     ) -> list[ExpansionTask]:
         """Step 4: one task per cluster, largest-weight clusters first."""
-        candidates = self._candidates(universe, seed_terms)
-        cluster_ids = sorted(set(int(l) for l in labels))
-        tasks = []
-        for cid in cluster_ids:
-            mask = labels == cid
-            tasks.append(
-                ExpansionTask(
-                    universe=universe,
-                    cluster_mask=mask,
-                    seed_terms=seed_terms,
-                    candidates=candidates,
-                    semantics=self._config.semantics,
-                    cluster_id=cid,
-                )
-            )
-        tasks.sort(key=lambda t: -t.cluster_weight())
-        return tasks[: self._config.max_expanded_queries]
-
-    def _candidates(
-        self, universe: ResultUniverse, seed_terms: tuple[str, ...]
-    ) -> tuple[str, ...]:
-        """Candidate keywords, memoized in the shared cache when present.
-
-        The same seed query always yields the same universe (retrieval is
-        deterministic), so (seed terms, universe doc ids, selection knobs)
-        identifies the statistics. A racing double-compute under threads is
-        benign: both writers store identical values.
-        """
-        key = None
-        if self._candidate_cache is not None:
-            key = (
-                seed_terms,
-                tuple(doc.doc_id for doc in universe.documents),
-                self._config.candidate_fraction,
-                self._config.min_candidates,
-            )
-            cached = self._candidate_cache.get(key)
-            if cached is not None:
-                return cached
-        candidates = select_candidates(
-            self._engine.index,
-            universe,
-            seed_terms,
-            fraction=self._config.candidate_fraction,
-            min_candidates=self._config.min_candidates,
+        ctx = self.context().evolve(
+            universe=universe,
+            labels=np.asarray(labels, dtype=np.int64),
+            seed_terms=tuple(seed_terms),
         )
-        if key is not None:
-            self._candidate_cache[key] = candidates
-        return candidates
+        ctx = self._pipeline.get_stage("candidates").run(ctx)
+        return list(self._pipeline.get_stage("tasks").run(ctx).tasks)
 
     # -- the whole thing ------------------------------------------------------
 
     def expand(self, query: str) -> ExpansionReport:
         """Run the full pipeline for ``query``."""
-        results = self.retrieve(query)
-        if not results:
-            raise ExpansionError(f"seed query {query!r} retrieved no results")
-        seed_terms = tuple(self._engine.parse(query))
-
-        t0 = time.perf_counter()
-        labels = self.cluster(results)
-        t_cluster = time.perf_counter() - t0
-
-        universe = self.build_universe(results)
-
-        t0 = time.perf_counter()
-        tasks = self.tasks(universe, labels, seed_terms)
-        expanded: list[ExpandedQuery] = []
-        for task in tasks:
-            outcome = self._algorithm.expand(task)
-            expanded.append(
-                ExpandedQuery(
-                    terms=outcome.terms,
-                    cluster_id=task.cluster_id,
-                    cluster_size=int(task.cluster_mask.sum()),
-                    fmeasure=outcome.fmeasure,
-                    precision=outcome.precision,
-                    recall=outcome.recall,
-                    outcome=outcome,
-                )
-            )
-        t_expand = time.perf_counter() - t0
-
-        score = eq1_score([eq.fmeasure for eq in expanded])
-        return ExpansionReport(
-            seed_query=query,
-            seed_terms=seed_terms,
-            expanded=tuple(expanded),
-            score=score,
-            n_results=len(results),
-            n_clusters=len(set(int(l) for l in labels)),
-            cluster_labels=tuple(int(l) for l in labels),
-            clustering_seconds=t_cluster,
-            expansion_seconds=t_expand,
-            results=tuple(results),
-        )
+        return report_from_context(self.run_stages(query))

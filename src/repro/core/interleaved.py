@@ -19,20 +19,24 @@ The loop stops when the labeling reaches a fixed point, the Eq. 1 score
 stops improving, or ``max_rounds`` is hit. The best round (by Eq. 1) is
 returned, so interleaving can only match or improve the single-pass
 score on the metric it optimizes.
+
+Execution rides the shared stage pipeline, split at the ``tasks``
+stage: everything before it (retrieve → cluster → universe →
+candidates, plus any custom stages inserted there) runs once, then each
+round runs the rest of the pipeline (``tasks → expand`` and any custom
+stages among them) extended with the
+:class:`~repro.pipeline.ReassignStage` — the same stage objects the
+single-pass path executes, with per-stage timings accumulating on the
+context across rounds.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Sequence
-
-import numpy as np
+from dataclasses import dataclass
 
 from repro.core.config import ExpansionConfig
 from repro.core.expander import ClusterQueryExpander, ExpansionAlgorithm
-from repro.core.metrics import eq1_score
-from repro.core.universe import ExpansionOutcome, ExpansionTask, ResultUniverse
 from repro.errors import ExpansionError
 from repro.index.search import SearchEngine
 
@@ -85,6 +89,9 @@ class InterleavedExpander:
     max_rounds:
         Upper bound on expand-reassign rounds (>= 1; 1 reproduces the
         plain single-pass pipeline).
+    pipeline:
+        Optional :class:`~repro.pipeline.Pipeline` override, shared with
+        the single-pass expander (custom stages run here too).
     """
 
     def __init__(
@@ -94,106 +101,71 @@ class InterleavedExpander:
         config: ExpansionConfig | None = None,
         clusterer=None,
         max_rounds: int = 4,
+        pipeline=None,
     ) -> None:
         if max_rounds < 1:
             raise ExpansionError(f"max_rounds must be >= 1, got {max_rounds}")
-        self._pipeline = ClusterQueryExpander(
-            engine, algorithm, config, clusterer
+        self._expander = ClusterQueryExpander(
+            engine, algorithm, config, clusterer, pipeline=pipeline
         )
-        self._engine = engine
-        self._algorithm = self._pipeline.algorithm
-        self._config = self._pipeline.config
+        self._algorithm = self._expander.algorithm
+        self._config = self._expander.config
         self._max_rounds = max_rounds
 
-    # -- one round ---------------------------------------------------------
+    @property
+    def pipeline(self):
+        """The single-pass stage pipeline the rounds are split from."""
+        return self._expander.pipeline
 
-    def _expand_clusters(
-        self,
-        universe: ResultUniverse,
-        labels: np.ndarray,
-        seed_terms: tuple[str, ...],
-    ) -> tuple[list[ExpansionTask], list[ExpansionOutcome]]:
-        tasks = self._pipeline.tasks(universe, labels, seed_terms)
-        outcomes = [self._algorithm.expand(task) for task in tasks]
-        return tasks, outcomes
+    def _split_pipeline(self):
+        """``(once-only prefix, per-round suffix + reassign)``."""
+        from repro.pipeline import ReassignStage
 
-    @staticmethod
-    def _reassign(
-        universe: ResultUniverse,
-        labels: np.ndarray,
-        tasks: Sequence[ExpansionTask],
-        outcomes: Sequence[ExpansionOutcome],
-    ) -> tuple[np.ndarray, int]:
-        """Move each result to the best-F query that retrieves it.
-
-        Returns the new labels and the number of moved results. Results
-        outside every query's result set keep their labels; so do results
-        of clusters that were truncated away by ``max_expanded_queries``.
-        """
-        new_labels = labels.copy()
-        order = sorted(
-            range(len(tasks)),
-            key=lambda i: -outcomes[i].fmeasure,
-        )
-        claimed = universe.empty_mask()
-        for i in order:
-            mask = universe.results_mask(
-                outcomes[i].terms, semantics=tasks[i].semantics
-            )
-            take = mask & ~claimed
-            new_labels[take] = tasks[i].cluster_id
-            claimed |= mask
-        moved = int((new_labels != labels).sum())
-        return new_labels, moved
+        prefix, rounds = self.pipeline.split("tasks")
+        return prefix, rounds.with_stage(ReassignStage())
 
     # -- the loop ------------------------------------------------------------
 
     def expand(self, query: str) -> InterleavedReport:
         """Run the interleaved process for ``query``."""
         t0 = time.perf_counter()
-        results = self._pipeline.retrieve(query)
-        if not results:
-            raise ExpansionError(f"seed query {query!r} retrieved no results")
-        seed_terms = tuple(self._engine.parse(query))
-        labels = np.asarray(self._pipeline.cluster(results), dtype=np.int64)
-        universe = self._pipeline.build_universe(results)
+        prefix, round_pipeline = self._split_pipeline()
+        ctx = self._expander.context(query)
+        if prefix is not None:
+            ctx = prefix.run(ctx)
 
         rounds: list[InterleavedRound] = []
-        seen_labelings = {tuple(int(l) for l in labels)}
+        seen_labelings = {tuple(int(l) for l in ctx.labels)}
         converged = False
         for round_index in range(self._max_rounds):
-            tasks, outcomes = self._expand_clusters(
-                universe, labels, seed_terms
-            )
-            score = eq1_score([o.fmeasure for o in outcomes])
-            new_labels, moved = self._reassign(
-                universe, labels, tasks, outcomes
-            )
+            before = tuple(int(l) for l in ctx.labels)
+            out = round_pipeline.run(ctx)
+            moved = int(out.extras["n_moved"])
             rounds.append(
                 InterleavedRound(
                     round_index=round_index,
-                    labels=tuple(int(l) for l in labels),
-                    queries=tuple(o.terms for o in outcomes),
-                    fmeasures=tuple(o.fmeasure for o in outcomes),
-                    score=score,
+                    labels=before,
+                    queries=tuple(eq.terms for eq in out.expanded),
+                    fmeasures=tuple(eq.fmeasure for eq in out.expanded),
+                    score=out.score,
                     n_moved=moved,
                 )
             )
             if moved == 0:
                 converged = True
                 break
-            key = tuple(int(l) for l in new_labels)
+            key = tuple(int(l) for l in out.labels)
             if key in seen_labelings:
                 # A labeling cycle: further rounds would repeat.
                 converged = True
                 break
             seen_labelings.add(key)
-            labels = new_labels
+            ctx = out
 
         best_round = max(range(len(rounds)), key=lambda i: rounds[i].score)
         return InterleavedReport(
             seed_query=query,
-            seed_terms=seed_terms,
+            seed_terms=ctx.seed_terms,
             rounds=tuple(rounds),
             best_round=best_round,
             converged=converged,

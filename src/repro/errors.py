@@ -47,5 +47,9 @@ class SchemaError(ReproError):
     """A serialized payload had the wrong shape, kind, or schema version."""
 
 
+class PipelineError(ConfigError):
+    """A pipeline was mis-composed (unknown stage, bad insertion anchor)."""
+
+
 # Public aliases with friendlier names.
 IndexingError = IndexError_

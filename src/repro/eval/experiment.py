@@ -158,13 +158,15 @@ class ExperimentSuite:
             n_clusters=config.n_clusters, top_k_results=config.top_k_results
         )
         engine = session.engine
-        results = session.retrieve(query.text)
-        t0 = time.perf_counter()
-        labels = session.cluster(results)
-        clustering_seconds = time.perf_counter() - t0
-        universe = session.build_universe(results)
-        seed_terms = tuple(engine.parse(query.text))
-        tasks = session.tasks(universe, labels, seed_terms)
+        # One partial pipeline run supplies every cluster-based system with
+        # identical artifacts; clustering time comes from the pipeline's
+        # timing middleware instead of an ad-hoc stopwatch.
+        ctx = session.run_stages(query.text, until="tasks")
+        results = list(ctx.results)
+        labels = ctx.labels
+        clustering_seconds = ctx.seconds_for("cluster")
+        universe = ctx.universe
+        tasks = list(ctx.tasks)
         cluster_masks = [t.cluster_mask for t in tasks]
 
         runs: dict[str, SystemRun] = {}

@@ -1,0 +1,63 @@
+"""repro.pipeline — the composable expansion runtime.
+
+The paper's method is intrinsically staged: retrieve seed results,
+cluster them, build the result universe, mine candidate keywords, emit
+one expanded query per cluster. This package makes the *pipeline* the
+pluggable axis:
+
+* :class:`ExecutionContext` — the typed, immutable-by-convention carrier
+  of every artifact a run produces (plus per-stage timings and trace
+  events);
+* :class:`Stage` — the ``name`` + ``run(ctx) -> ctx`` protocol; the
+  built-ins live in :mod:`repro.pipeline.stages`;
+* :class:`Pipeline` — the composer (insert / replace / slice stages),
+  with middleware hooks (``on_stage_start/end/error``) wrapped around
+  every stage;
+* :func:`default_pipeline` — the paper's six-stage sequence.
+
+Every execution path — ``Session.expand``, ``ClusterQueryExpander``,
+the interleaved loop, the PRF comparison, the experiment suite — runs
+these same stage objects; the ``STAGES`` registry in
+:mod:`repro.api.registries` names them for builder-level composition
+(``Session.builder().stage(...)``/``.replace_stage(...)``).
+"""
+
+from repro.pipeline.context import ExecutionContext, StageTiming, TraceEvent
+from repro.pipeline.middleware import (
+    CallbackMiddleware,
+    Middleware,
+    TimingMiddleware,
+    TraceMiddleware,
+)
+from repro.pipeline.pipeline import Pipeline, Stage, default_pipeline
+from repro.pipeline.stages import (
+    CandidateStage,
+    ClusterStage,
+    ExpandStage,
+    ReassignStage,
+    RetrieveStage,
+    TasksStage,
+    UniverseStage,
+    default_stages,
+)
+
+__all__ = [
+    "CallbackMiddleware",
+    "CandidateStage",
+    "ClusterStage",
+    "ExecutionContext",
+    "ExpandStage",
+    "Middleware",
+    "Pipeline",
+    "ReassignStage",
+    "RetrieveStage",
+    "Stage",
+    "StageTiming",
+    "TasksStage",
+    "TimingMiddleware",
+    "TraceEvent",
+    "TraceMiddleware",
+    "UniverseStage",
+    "default_pipeline",
+    "default_stages",
+]

@@ -1,0 +1,121 @@
+"""The typed artifact carrier that flows through a :class:`Pipeline`.
+
+An :class:`ExecutionContext` holds everything the expansion pipeline
+produces for one seed query — the artifacts that used to flow as
+positional returns between ``retrieve``/``cluster``/``build_universe``/
+``tasks``/``expand`` — plus the observability channel (per-stage wall
+clock timings and trace events).
+
+Contexts are immutable by convention: stages never mutate the context
+they receive; they return a new one via :meth:`ExecutionContext.evolve`.
+That makes middleware error isolation trivial (a failing hook simply
+leaves the previous context in force) and lets harnesses keep any
+intermediate context alive without defensive copying.
+
+Two kinds of fields:
+
+* **runtime** — the components the stages execute with (engine, config,
+  algorithm, clusterer, candidate cache). Set once when the context is
+  created; stages read but never replace them.
+* **artifacts** — what the stages produce (results, labels, universe,
+  candidates, tasks, expanded queries, score) plus ``timings``/``trace``
+  appended by the pipeline's middleware and a free-form ``extras``
+  mapping for custom stages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Any, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover — typing only, avoids import cycles
+    import numpy as np
+
+    from repro.core.config import ExpansionConfig
+    from repro.core.universe import ExpansionTask, ResultUniverse
+    from repro.index.search import SearchResult
+
+
+@dataclass(frozen=True)
+class StageTiming:
+    """Wall-clock seconds spent inside one stage's ``run``."""
+
+    stage: str
+    seconds: float
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"stage": self.stage, "seconds": float(self.seconds)}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "StageTiming":
+        return cls(stage=str(payload["stage"]), seconds=float(payload["seconds"]))
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One observability event emitted while a pipeline runs."""
+
+    stage: str
+    event: str  # "start", "end", or "error"
+    detail: str = ""
+    seconds: float = 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "stage": self.stage,
+            "event": self.event,
+            "detail": self.detail,
+            "seconds": float(self.seconds),
+        }
+
+
+@dataclass(frozen=True)
+class ExecutionContext:
+    """Everything one pipeline run reads and produces; see module docstring."""
+
+    # -- runtime (set at entry, read-only for stages) ------------------------
+    engine: Any = None
+    config: "ExpansionConfig | None" = None
+    algorithm: Any = None
+    clusterer: Any = None
+    candidate_cache: Any = None  # mutable mapping shared across runs, or None
+
+    # -- artifacts -----------------------------------------------------------
+    query: str = ""
+    seed_terms: tuple[str, ...] = ()
+    results: "tuple[SearchResult, ...]" = ()
+    labels: "np.ndarray | None" = None
+    universe: "ResultUniverse | None" = None
+    candidates: tuple[str, ...] | None = None
+    tasks: "tuple[ExpansionTask, ...]" = ()
+    expanded: tuple = ()  # tuple[ExpandedQuery, ...]
+    score: float | None = None
+    extras: Mapping[str, Any] = field(default_factory=dict)
+
+    # -- observability -------------------------------------------------------
+    timings: tuple[StageTiming, ...] = ()
+    trace: tuple[TraceEvent, ...] = ()
+
+    def evolve(self, **changes: Any) -> "ExecutionContext":
+        """A copy of this context with ``changes`` applied."""
+        return replace(self, **changes)
+
+    def with_extra(self, key: str, value: Any) -> "ExecutionContext":
+        """A copy with one ``extras`` entry added (existing keys replaced)."""
+        merged = dict(self.extras)
+        merged[key] = value
+        return self.evolve(extras=merged)
+
+    # -- timing helpers ------------------------------------------------------
+
+    def seconds_for(self, stage: str) -> float:
+        """Total seconds recorded for ``stage`` (0.0 when never run)."""
+        return sum(t.seconds for t in self.timings if t.stage == stage)
+
+    def total_seconds(self) -> float:
+        """Total seconds recorded across all stages."""
+        return sum(t.seconds for t in self.timings)
+
+    def timing_table(self) -> list[tuple[str, float]]:
+        """``(stage, seconds)`` rows in execution order."""
+        return [(t.stage, t.seconds) for t in self.timings]

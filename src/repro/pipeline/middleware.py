@@ -1,0 +1,155 @@
+"""Middleware: observability hooks wrapped around every stage execution.
+
+A middleware object may implement any of three hooks::
+
+    on_stage_start(ctx, stage)          -> ExecutionContext | None
+    on_stage_end(ctx, stage, seconds)   -> ExecutionContext | None
+    on_stage_error(ctx, stage, exc)     -> None
+
+``on_stage_start``/``on_stage_end`` may return a new context (e.g. to
+append timings or trace events); returning ``None`` keeps the current
+one. Hook exceptions are **isolated**: a raising hook never corrupts the
+run — the pipeline keeps the last good context and moves on. Stage
+errors, by contrast, propagate to the caller after ``on_stage_error``
+has observed them.
+
+Built-ins:
+
+* :class:`TimingMiddleware` — appends a :class:`~repro.pipeline.context.
+  StageTiming` per stage; installed by default on every pipeline, which
+  is how per-stage wall clock reaches :class:`ExpansionReport
+  <repro.core.expander.ExpansionReport>` (``stage_timings``) and the
+  JSON schema.
+* :class:`TraceMiddleware` — appends start/end/error
+  :class:`~repro.pipeline.context.TraceEvent` records with a one-line
+  artifact summary (result/cluster/task counts), for ``--trace`` style
+  debugging.
+* :class:`CallbackMiddleware` — adapts plain functions into hooks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Protocol, runtime_checkable
+
+from repro.pipeline.context import ExecutionContext, StageTiming, TraceEvent
+
+
+@runtime_checkable
+class Middleware(Protocol):  # pragma: no cover — structural only
+    """Anything exposing one or more of the three stage hooks."""
+
+    def on_stage_start(
+        self, ctx: ExecutionContext, stage: Any
+    ) -> ExecutionContext | None:
+        ...
+
+    def on_stage_end(
+        self, ctx: ExecutionContext, stage: Any, seconds: float
+    ) -> ExecutionContext | None:
+        ...
+
+    def on_stage_error(
+        self, ctx: ExecutionContext, stage: Any, exc: BaseException
+    ) -> None:
+        ...
+
+
+class TimingMiddleware:
+    """Record one :class:`StageTiming` per executed stage into the context."""
+
+    def on_stage_end(
+        self, ctx: ExecutionContext, stage: Any, seconds: float
+    ) -> ExecutionContext:
+        timing = StageTiming(stage=stage.name, seconds=seconds)
+        return ctx.evolve(timings=ctx.timings + (timing,))
+
+
+def _summarize(ctx: ExecutionContext) -> str:
+    """One line of artifact counts for trace events."""
+    parts = []
+    if ctx.results:
+        parts.append(f"results={len(ctx.results)}")
+    if ctx.labels is not None:
+        parts.append(f"clusters={len(set(int(l) for l in ctx.labels))}")
+    if ctx.candidates is not None:
+        parts.append(f"candidates={len(ctx.candidates)}")
+    if ctx.tasks:
+        parts.append(f"tasks={len(ctx.tasks)}")
+    if ctx.expanded:
+        parts.append(f"expanded={len(ctx.expanded)}")
+    if ctx.score is not None:
+        parts.append(f"score={ctx.score:.3f}")
+    return " ".join(parts)
+
+
+class TraceMiddleware:
+    """Append start/end/error :class:`TraceEvent` records to the context.
+
+    Error events cannot be written into the context (the stage's context
+    never materialized), so they are also collected on the middleware
+    instance as :attr:`error_events` for post-mortem inspection.
+    """
+
+    def __init__(self) -> None:
+        self.error_events: list[TraceEvent] = []
+
+    def on_stage_start(
+        self, ctx: ExecutionContext, stage: Any
+    ) -> ExecutionContext:
+        event = TraceEvent(stage=stage.name, event="start", detail=_summarize(ctx))
+        return ctx.evolve(trace=ctx.trace + (event,))
+
+    def on_stage_end(
+        self, ctx: ExecutionContext, stage: Any, seconds: float
+    ) -> ExecutionContext:
+        event = TraceEvent(
+            stage=stage.name,
+            event="end",
+            detail=_summarize(ctx),
+            seconds=seconds,
+        )
+        return ctx.evolve(trace=ctx.trace + (event,))
+
+    def on_stage_error(
+        self, ctx: ExecutionContext, stage: Any, exc: BaseException
+    ) -> None:
+        self.error_events.append(
+            TraceEvent(
+                stage=stage.name,
+                event="error",
+                detail=f"{type(exc).__name__}: {exc}",
+            )
+        )
+
+
+class CallbackMiddleware:
+    """Adapt plain callables into middleware hooks.
+
+    ``on_start(ctx, stage)`` and ``on_end(ctx, stage, seconds)`` may
+    return a context or ``None``; ``on_error(ctx, stage, exc)`` is
+    observe-only. All are optional.
+    """
+
+    def __init__(
+        self,
+        on_start: Callable[..., Any] | None = None,
+        on_end: Callable[..., Any] | None = None,
+        on_error: Callable[..., Any] | None = None,
+    ) -> None:
+        self._on_start = on_start
+        self._on_end = on_end
+        self._on_error = on_error
+
+    def on_stage_start(self, ctx, stage):
+        if self._on_start is not None:
+            return self._on_start(ctx, stage)
+        return None
+
+    def on_stage_end(self, ctx, stage, seconds):
+        if self._on_end is not None:
+            return self._on_end(ctx, stage, seconds)
+        return None
+
+    def on_stage_error(self, ctx, stage, exc):
+        if self._on_error is not None:
+            self._on_error(ctx, stage, exc)

@@ -1,0 +1,271 @@
+"""The :class:`Pipeline` composer: ordered stages + middleware hooks.
+
+A pipeline is an immutable sequence of :class:`Stage` objects executed
+over an :class:`~repro.pipeline.context.ExecutionContext`, with
+middleware wrapped around every stage (see
+:mod:`repro.pipeline.middleware`). Composition methods return *new*
+pipelines, so a customized pipeline can be derived from the default one
+without affecting other sessions::
+
+    pipe = (default_pipeline()
+            .replace_stage("candidates", MyMiner())
+            .with_stage(MyReranker(), after="retrieve")
+            .with_middleware(TraceMiddleware()))
+    ctx = pipe.run(ExecutionContext(engine=..., config=..., algorithm=...,
+                                    query="java"))
+
+``run`` accepts ``stop_after`` for partial execution (harnesses that
+need intermediate artifacts) — the same stage objects execute whether
+the pipeline runs whole or in slices.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Iterable, Protocol, runtime_checkable
+
+from repro.errors import PipelineError
+from repro.pipeline.context import ExecutionContext
+from repro.pipeline.middleware import Middleware, TimingMiddleware
+from repro.pipeline.stages import default_stages
+
+
+@runtime_checkable
+class Stage(Protocol):  # pragma: no cover — structural only
+    """Anything with a ``name`` and a ``run(ctx) -> ctx``."""
+
+    name: str
+
+    def run(self, ctx: ExecutionContext) -> ExecutionContext:
+        ...
+
+
+def _check_stage(stage: Any) -> Any:
+    if not isinstance(getattr(stage, "name", None), str) or not stage.name:
+        raise PipelineError(
+            f"stages need a non-empty string .name; got {stage!r}"
+        )
+    if not callable(getattr(stage, "run", None)):
+        raise PipelineError(f"stage {stage.name!r} has no callable .run(ctx)")
+    return stage
+
+
+class Pipeline:
+    """An immutable stage sequence with middleware; see module docstring.
+
+    Parameters
+    ----------
+    stages:
+        Ordered :class:`Stage` objects. Names must be unique (lookups,
+        replacement, and per-stage timings are keyed by name).
+    middleware:
+        Extra middleware appended after the built-in
+        :class:`~repro.pipeline.middleware.TimingMiddleware`.
+    record_timings:
+        Install the built-in timing middleware (default). Disable only
+        for overhead measurements; reports built from an untimed run
+        carry zero per-stage seconds.
+    """
+
+    def __init__(
+        self,
+        stages: Iterable[Stage],
+        middleware: Iterable[Middleware] = (),
+        record_timings: bool = True,
+    ) -> None:
+        self._stages = tuple(_check_stage(s) for s in stages)
+        if not self._stages:
+            raise PipelineError("a pipeline needs at least one stage")
+        names = [s.name.lower() for s in self._stages]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise PipelineError(f"duplicate stage names: {', '.join(dupes)}")
+        self._record_timings = record_timings
+        builtin = (TimingMiddleware(),) if record_timings else ()
+        self._middleware: tuple[Middleware, ...] = builtin + tuple(middleware)
+        self._user_middleware = tuple(middleware)
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def stages(self) -> tuple[Stage, ...]:
+        return self._stages
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Stage names in execution order."""
+        return tuple(s.name for s in self._stages)
+
+    @property
+    def middleware(self) -> tuple[Middleware, ...]:
+        """User middleware (the built-in timing middleware is implicit)."""
+        return self._user_middleware
+
+    def get_stage(self, name: str) -> Stage:
+        """The stage called ``name`` (case-insensitive, like registries)."""
+        return self._stages[self._index_of(name)]
+
+    def describe(self) -> list[str]:
+        """JSON-able stage-name list (execution order)."""
+        return list(self.names)
+
+    def __repr__(self) -> str:
+        return f"Pipeline({' -> '.join(self.names)})"
+
+    # -- composition (every method returns a new Pipeline) -------------------
+
+    def _derive(self, stages: tuple[Stage, ...]) -> "Pipeline":
+        return Pipeline(
+            stages,
+            middleware=self._user_middleware,
+            record_timings=self._record_timings,
+        )
+
+    def _index_of(self, name: str) -> int:
+        key = name.lower() if isinstance(name, str) else name
+        for i, stage in enumerate(self._stages):
+            if stage.name.lower() == key:
+                return i
+        raise PipelineError(
+            f"unknown stage {name!r}; pipeline stages: {', '.join(self.names)}"
+        )
+
+    def with_stage(
+        self,
+        stage: Stage,
+        after: str | None = None,
+        before: str | None = None,
+    ) -> "Pipeline":
+        """Insert ``stage`` after/before an anchor (appended by default)."""
+        _check_stage(stage)
+        if after is not None and before is not None:
+            raise PipelineError("pass either after= or before=, not both")
+        if after is not None:
+            index = self._index_of(after) + 1
+        elif before is not None:
+            index = self._index_of(before)
+        else:
+            index = len(self._stages)
+        stages = self._stages[:index] + (stage,) + self._stages[index:]
+        return self._derive(stages)
+
+    def replace_stage(self, name: str, stage: Stage) -> "Pipeline":
+        """Swap the stage called ``name`` for ``stage`` (same position).
+
+        The replacement must keep the replaced stage's name: timings,
+        ``get_stage``/``slice`` lookups, and the report's derived fields
+        (``clustering_seconds``) are all keyed by stage name, so a
+        renamed replacement would silently break every consumer.
+        """
+        _check_stage(stage)
+        index = self._index_of(name)
+        old_name = self._stages[index].name
+        if stage.name != old_name:
+            raise PipelineError(
+                f"replacement for stage {old_name!r} must keep its name; "
+                f"got {stage.name!r} (use with_stage()/without_stage() to "
+                f"change the stage sequence instead)"
+            )
+        stages = self._stages[:index] + (stage,) + self._stages[index + 1 :]
+        return self._derive(stages)
+
+    def without_stage(self, name: str) -> "Pipeline":
+        """Drop the stage called ``name``."""
+        index = self._index_of(name)
+        return self._derive(self._stages[:index] + self._stages[index + 1 :])
+
+    def slice(self, start: str, stop: str) -> "Pipeline":
+        """The sub-pipeline from stage ``start`` through ``stop`` inclusive.
+
+        Shares the stage objects and middleware with this pipeline — used
+        by the interleaved loop to re-run ``tasks -> expand`` per round.
+        """
+        i, j = self._index_of(start), self._index_of(stop)
+        if j < i:
+            raise PipelineError(
+                f"slice start {start!r} comes after stop {stop!r}"
+            )
+        return self._derive(self._stages[i : j + 1])
+
+    def split(self, name: str) -> "tuple[Pipeline | None, Pipeline]":
+        """``(stages before name, stages from name to the end)``.
+
+        The prefix is ``None`` when ``name`` is the first stage. Both
+        halves share this pipeline's stage objects and middleware — the
+        interleaved loop runs the prefix once and the suffix per round,
+        so inserted custom stages execute on the correct side.
+        """
+        index = self._index_of(name)
+        prefix = self._derive(self._stages[:index]) if index else None
+        return prefix, self._derive(self._stages[index:])
+
+    def with_middleware(self, *middleware: Middleware) -> "Pipeline":
+        """A pipeline with additional middleware appended."""
+        return Pipeline(
+            self._stages,
+            middleware=self._user_middleware + tuple(middleware),
+            record_timings=self._record_timings,
+        )
+
+    # -- execution -----------------------------------------------------------
+
+    def _apply_hook(
+        self, hook_name: str, ctx: ExecutionContext, *args: Any
+    ) -> ExecutionContext:
+        """Run one hook across the middleware stack, isolating failures.
+
+        A hook may return a new context; a raising hook leaves the last
+        good context in force (contexts are immutable, so a partially
+        applied hook cannot corrupt anything).
+        """
+        for mw in self._middleware:
+            hook = getattr(mw, hook_name, None)
+            if hook is None:
+                continue
+            try:
+                out = hook(ctx, *args)
+            except Exception:  # noqa: BLE001 — hook isolation is the contract
+                continue
+            if isinstance(out, ExecutionContext):
+                ctx = out
+        return ctx
+
+    def run(
+        self, ctx: ExecutionContext, stop_after: str | None = None
+    ) -> ExecutionContext:
+        """Execute the stages over ``ctx``; return the final context.
+
+        ``stop_after`` (a stage name) halts after that stage — partial
+        runs for harnesses that need intermediate artifacts. Stage
+        exceptions propagate to the caller after every middleware's
+        ``on_stage_error`` has observed them.
+        """
+        last = None if stop_after is None else self._index_of(stop_after)
+        for index, stage in enumerate(self._stages):
+            ctx = self._apply_hook("on_stage_start", ctx, stage)
+            t0 = time.perf_counter()
+            try:
+                out = stage.run(ctx)
+            except Exception as exc:
+                self._apply_hook("on_stage_error", ctx, stage, exc)
+                raise
+            if not isinstance(out, ExecutionContext):
+                raise PipelineError(
+                    f"stage {stage.name!r} returned "
+                    f"{type(out).__name__}, not an ExecutionContext"
+                )
+            ctx = self._apply_hook(
+                "on_stage_end", out, stage, time.perf_counter() - t0
+            )
+            if index == last:
+                break
+        return ctx
+
+
+def default_pipeline(
+    middleware: Iterable[Middleware] = (), record_timings: bool = True
+) -> Pipeline:
+    """The paper's six-stage pipeline (retrieve → ... → expand)."""
+    return Pipeline(
+        default_stages(), middleware=middleware, record_timings=record_timings
+    )

@@ -1,0 +1,237 @@
+"""The built-in pipeline stages (the paper's method, one step per stage).
+
+Each stage is a small, stateless object with a ``name`` and a
+``run(ctx) -> ctx`` that reads artifacts and runtime components off the
+:class:`~repro.pipeline.context.ExecutionContext` and returns an evolved
+context. Statelessness is what lets one stage object be shared by every
+call site (sessions, the compat expander, the interleaved loop, the
+experiment suite) and across threads.
+
+Default order (see :func:`repro.pipeline.default_pipeline`):
+
+==============  ==========================================================
+``retrieve``    seed-query search (AND semantics, ranked, top-k)
+``cluster``     cluster the results over TF vectors
+``universe``    the (optionally ranking-weighted) result universe
+``candidates``  candidate-keyword mining (top-fraction TF-IDF, memoized)
+``tasks``       one :class:`ExpansionTask` per cluster, largest first
+``expand``      run the expansion algorithm per task; Eq. 1 score
+==============  ==========================================================
+
+plus ``reassign`` (not in the default pipeline), the §7 interleaving
+step that moves each result to the best-F expanded query claiming it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.kmeans import CosineKMeans
+from repro.cluster.vectorizer import TfVectorizer
+from repro.core.keyword_stats import select_candidates
+from repro.core.metrics import eq1_score
+from repro.core.universe import ExpansionTask, ResultUniverse
+from repro.errors import ExpansionError, PipelineError
+from repro.pipeline.context import ExecutionContext
+
+
+class RetrieveStage:
+    """Run the seed query: ranked AND retrieval of the configured top-k."""
+
+    name = "retrieve"
+
+    def run(self, ctx: ExecutionContext) -> ExecutionContext:
+        results = ctx.engine.search(ctx.query, top_k=ctx.config.top_k_results)
+        if not results:
+            raise ExpansionError(
+                f"seed query {ctx.query!r} retrieved no results"
+            )
+        return ctx.evolve(
+            results=tuple(results),
+            seed_terms=tuple(ctx.engine.parse(ctx.query)),
+        )
+
+
+class ClusterStage:
+    """Cluster the results into <= k clusters over TF vectors (§C)."""
+
+    name = "cluster"
+
+    def run(self, ctx: ExecutionContext) -> ExecutionContext:
+        docs = [r.document for r in ctx.results]
+        matrix = TfVectorizer(docs).matrix()
+        backend = ctx.clusterer
+        if backend is None:
+            kmeans = CosineKMeans(
+                n_clusters=ctx.config.n_clusters, seed=ctx.config.cluster_seed
+            )
+            labels = kmeans.fit(matrix).labels
+        else:
+            labels = backend.fit_predict(matrix)
+        labels = np.asarray(labels, dtype=np.int64)
+        if labels.shape != (len(docs),):
+            raise ExpansionError(
+                f"clusterer returned labels of shape {labels.shape} "
+                f"for {len(docs)} results"
+            )
+        return ctx.evolve(labels=labels)
+
+
+class UniverseStage:
+    """Build the result universe, weighted by ranking scores if configured."""
+
+    name = "universe"
+
+    def run(self, ctx: ExecutionContext) -> ExecutionContext:
+        docs = [r.document for r in ctx.results]
+        if ctx.config.use_ranking_weights:
+            # Guard against zero scores (can happen only for degenerate
+            # scorers); shift into positive territory.
+            raw = np.array([r.score for r in ctx.results], dtype=np.float64)
+            floor = raw[raw > 0.0].min() * 0.5 if np.any(raw > 0.0) else 1.0
+            weights = np.maximum(raw, floor)
+            universe = ResultUniverse(docs, weights)
+        else:
+            universe = ResultUniverse(docs)
+        return ctx.evolve(universe=universe)
+
+
+class CandidateStage:
+    """Mine candidate expansion keywords (top-fraction TF-IDF, memoized).
+
+    The same seed query always yields the same universe (retrieval is
+    deterministic), so (seed terms, universe doc ids, selection knobs)
+    identifies the statistics in the shared cache. A racing
+    double-compute under threads is benign: both writers store identical
+    values.
+    """
+
+    name = "candidates"
+
+    def run(self, ctx: ExecutionContext) -> ExecutionContext:
+        key = None
+        if ctx.candidate_cache is not None:
+            key = (
+                ctx.seed_terms,
+                tuple(doc.doc_id for doc in ctx.universe.documents),
+                ctx.config.candidate_fraction,
+                ctx.config.min_candidates,
+            )
+            cached = ctx.candidate_cache.get(key)
+            if cached is not None:
+                return ctx.evolve(candidates=cached)
+        candidates = select_candidates(
+            ctx.engine.index,
+            ctx.universe,
+            ctx.seed_terms,
+            fraction=ctx.config.candidate_fraction,
+            min_candidates=ctx.config.min_candidates,
+        )
+        if key is not None:
+            ctx.candidate_cache[key] = candidates
+        return ctx.evolve(candidates=candidates)
+
+
+class TasksStage:
+    """One :class:`ExpansionTask` per cluster, largest-weight first."""
+
+    name = "tasks"
+
+    def run(self, ctx: ExecutionContext) -> ExecutionContext:
+        if ctx.candidates is None:
+            raise PipelineError(
+                "stage 'tasks' needs ctx.candidates; run the 'candidates' "
+                "stage first (or set candidates on the context)"
+            )
+        labels = ctx.labels
+        tasks = []
+        for cid in sorted(set(int(l) for l in labels)):
+            tasks.append(
+                ExpansionTask(
+                    universe=ctx.universe,
+                    cluster_mask=labels == cid,
+                    seed_terms=ctx.seed_terms,
+                    candidates=ctx.candidates,
+                    semantics=ctx.config.semantics,
+                    cluster_id=cid,
+                )
+            )
+        tasks.sort(key=lambda t: -t.cluster_weight())
+        return ctx.evolve(
+            tasks=tuple(tasks[: ctx.config.max_expanded_queries])
+        )
+
+
+class ExpandStage:
+    """Run the expansion algorithm on every task; compute the Eq. 1 score."""
+
+    name = "expand"
+
+    def run(self, ctx: ExecutionContext) -> ExecutionContext:
+        from repro.core.expander import ExpandedQuery
+
+        expanded = []
+        for task in ctx.tasks:
+            outcome = ctx.algorithm.expand(task)
+            expanded.append(
+                ExpandedQuery(
+                    terms=outcome.terms,
+                    cluster_id=task.cluster_id,
+                    cluster_size=int(task.cluster_mask.sum()),
+                    fmeasure=outcome.fmeasure,
+                    precision=outcome.precision,
+                    recall=outcome.recall,
+                    outcome=outcome,
+                )
+            )
+        score = eq1_score([eq.fmeasure for eq in expanded])
+        return ctx.evolve(expanded=tuple(expanded), score=score)
+
+
+class ReassignStage:
+    """§7 interleaving: move each result to the best-F query claiming it.
+
+    Queries claim results in decreasing F-measure order; a result no
+    query retrieves keeps its cluster, as do results of clusters that
+    were truncated away by ``max_expanded_queries``. Writes the moved
+    count to ``ctx.extras["n_moved"]``.
+    """
+
+    name = "reassign"
+
+    @staticmethod
+    def reassign(universe, labels, tasks, outcomes):
+        """Core reassignment: ``(new_labels, n_moved)`` from one round."""
+        new_labels = labels.copy()
+        order = sorted(range(len(tasks)), key=lambda i: -outcomes[i].fmeasure)
+        claimed = universe.empty_mask()
+        for i in order:
+            mask = universe.results_mask(
+                outcomes[i].terms, semantics=tasks[i].semantics
+            )
+            take = mask & ~claimed
+            new_labels[take] = tasks[i].cluster_id
+            claimed |= mask
+        moved = int((new_labels != labels).sum())
+        return new_labels, moved
+
+    def run(self, ctx: ExecutionContext) -> ExecutionContext:
+        new_labels, moved = self.reassign(
+            ctx.universe,
+            ctx.labels,
+            ctx.tasks,
+            [eq.outcome for eq in ctx.expanded],
+        )
+        return ctx.evolve(labels=new_labels).with_extra("n_moved", moved)
+
+
+def default_stages() -> tuple:
+    """Fresh instances of the default stage sequence."""
+    return (
+        RetrieveStage(),
+        ClusterStage(),
+        UniverseStage(),
+        CandidateStage(),
+        TasksStage(),
+        ExpandStage(),
+    )

@@ -72,11 +72,11 @@ def compare_suggesters(
         .seed(seed)
         .build()
     )
-    results = session.retrieve(seed_query)
-    labels = session.cluster(results)
-    universe = session.build_universe(results)
-    seed_terms = tuple(engine.parse(seed_query))
-    tasks = session.tasks(universe, labels, seed_terms)
+    # One partial pipeline run (retrieve → ... → tasks): the same stage
+    # objects the full expansion executes, stopped before per-cluster
+    # expansion so every suggester sees identical artifacts.
+    ctx = session.run_stages(seed_query, until="tasks")
+    results, universe, tasks = list(ctx.results), ctx.universe, list(ctx.tasks)
     members = [_mask_positions(t.cluster_mask) for t in tasks]
 
     comparisons: list[SuggesterComparison] = []

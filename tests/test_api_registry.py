@@ -1,9 +1,34 @@
-"""Tests for repro.api.registry and the built-in registries."""
+"""Tests for repro.api.registries and the built-in registries."""
 
 import pytest
 
-from repro.api import ALGORITHMS, CLUSTERERS, DATASETS, SCORERS, Registry
+from repro.api import ALGORITHMS, CLUSTERERS, DATASETS, SCORERS, STAGES, Registry
 from repro.errors import ConfigError, RegistryError
+
+
+class TestCanonicalModule:
+    def test_registry_lives_in_registries(self):
+        from repro.api.registries import Registry as canonical
+
+        assert canonical is Registry
+
+    def test_deprecated_alias_warns_and_reexports(self):
+        import importlib
+        import sys
+
+        sys.modules.pop("repro.api.registry", None)
+        with pytest.warns(DeprecationWarning, match="repro.api.registry"):
+            legacy = importlib.import_module("repro.api.registry")
+        assert legacy.Registry is Registry
+
+    def test_stages_registry_covers_default_pipeline(self):
+        from repro.pipeline import default_pipeline
+
+        for name in default_pipeline().names:
+            assert name in STAGES
+        assert "reassign" in STAGES
+        stage = STAGES.create("retrieve")
+        assert stage.name == "retrieve" and callable(stage.run)
 
 
 class TestRegistry:

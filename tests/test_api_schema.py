@@ -103,3 +103,38 @@ class TestEnvelopeValidation:
         payload = report.to_dict()
         payload["a_future_optional_field"] = {"x": 1}
         assert ExpansionReport.from_dict(payload) == report
+
+
+class TestVersionMigration:
+    """v1 payloads (pre-pipeline, no stage_timings) stay readable."""
+
+    def _as_v1(self, report):
+        payload = report.to_dict()
+        payload["schema_version"] = 1
+        del payload["stage_timings"]
+        return payload
+
+    def test_v1_payload_round_trips_losslessly(self, report):
+        old = ExpansionReport.from_dict(self._as_v1(report))
+        assert old.stage_timings == ()
+        assert old.seed_query == report.seed_query
+        assert old.expanded == report.expanded
+        assert old.clustering_seconds == report.clustering_seconds
+        # Everything except the new observability field survives.
+        import dataclasses
+
+        assert dataclasses.replace(report, stage_timings=()) == old
+
+    def test_v2_carries_stage_timings(self, report):
+        payload = report.to_dict()
+        assert payload["schema_version"] == SCHEMA_VERSION == 2
+        stages = [t["stage"] for t in payload["stage_timings"]]
+        assert stages == [
+            "retrieve", "cluster", "universe", "candidates", "tasks", "expand",
+        ]
+        assert all(t["seconds"] >= 0.0 for t in payload["stage_timings"])
+
+    def test_retrieval_seconds_zero_for_v1(self, report):
+        old = ExpansionReport.from_dict(self._as_v1(report))
+        assert old.retrieval_seconds == 0.0
+        assert report.retrieval_seconds >= 0.0

@@ -87,6 +87,29 @@ class TestExpandCommand:
         assert rc == 0
         assert "score=" in capsys.readouterr().out
 
+    def test_expand_trace_prints_stage_timings(self, capsys):
+        rc = main(
+            ["expand", "--dataset", "wikipedia", "--query", "java",
+             "-k", "3", "--trace"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "stage timings:" in out
+        for stage in ("retrieve", "cluster", "candidates", "expand", "total"):
+            assert stage in out
+
+    def test_expand_json_carries_stage_timings(self, capsys):
+        import json
+
+        rc = main(
+            ["expand", "--dataset", "wikipedia", "--query", "java",
+             "-k", "3", "--json"]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == 2
+        assert [t["stage"] for t in payload["stage_timings"]][0] == "retrieve"
+
 
 class TestExperimentCommand:
     def test_two_queries_two_systems(self, capsys):

@@ -11,6 +11,7 @@ from repro.core.iskr import ISKR
 from repro.datasets.wikipedia import build_wikipedia_corpus
 from repro.errors import ExpansionError
 from repro.index.search import SearchEngine
+from repro.pipeline import ReassignStage
 from repro.text.analyzer import Analyzer
 
 
@@ -120,7 +121,7 @@ class TestReassignment:
             ExpansionOutcome(terms=("q", "alpha"), fmeasure=0.8, precision=1, recall=1),
             ExpansionOutcome(terms=("q", "beta"), fmeasure=0.9, precision=1, recall=1),
         ]
-        new_labels, moved = InterleavedExpander._reassign(
+        new_labels, moved = ReassignStage.reassign(
             universe, labels, tasks, outcomes
         )
         assert moved == 1
@@ -152,7 +153,7 @@ class TestReassignment:
             # Cluster 1's query retrieves nothing that exists.
             ExpansionOutcome(terms=("q", "zzz"), fmeasure=0.1, precision=0, recall=0),
         ]
-        new_labels, moved = InterleavedExpander._reassign(
+        new_labels, moved = ReassignStage.reassign(
             universe, labels, tasks, outcomes
         )
         assert moved == 0
@@ -180,7 +181,7 @@ class TestReassignment:
             ExpansionOutcome(terms=("q", "alpha"), fmeasure=0.5, precision=1, recall=1),
             ExpansionOutcome(terms=("q", "beta"), fmeasure=0.7, precision=1, recall=1),
         ]
-        new_labels, _ = InterleavedExpander._reassign(
+        new_labels, _ = ReassignStage.reassign(
             universe, labels, tasks, outcomes
         )
         assert new_labels.tolist() == [1]

@@ -1,0 +1,84 @@
+"""Worker-count invariance: ``expand_many`` output is byte-identical.
+
+The service contract: for a fixed session and workload, the serialized
+batch payload — including which per-stage timings are *present* (stage
+names, order), though not their wall-clock values — must not depend on
+``workers``. Covers repeated queries (cache interleaving) and failing
+queries (error isolation) in the same batch.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import Session
+
+WORKLOAD = [
+    "java", "rockets", "zzz-no-such-term", "java",
+    "eclipse", "rockets", "zzz-no-such-term", "java",
+]
+
+STAGE_NAMES = ("retrieve", "cluster", "universe", "candidates", "tasks", "expand")
+
+
+@pytest.fixture(scope="module")
+def session() -> Session:
+    return (
+        Session.builder()
+        .dataset("wikipedia", docs_per_sense=10)
+        .config(n_clusters=3, top_k_results=20)
+        .build()
+    )
+
+
+def _canonical_bytes(batch) -> bytes:
+    """The batch payload with every wall-clock value zeroed, as bytes.
+
+    Zeroing (rather than deleting) keeps the timing *structure* — which
+    stages were timed, in which order — part of the comparison; only the
+    measured values and the worker count are run-dependent.
+    """
+
+    def scrub(obj):
+        if isinstance(obj, dict):
+            return {
+                k: 0.0 if k in ("seconds", "clustering_seconds",
+                                "expansion_seconds") else scrub(v)
+                for k, v in obj.items()
+            }
+        if isinstance(obj, list):
+            return [scrub(v) for v in obj]
+        return obj
+
+    payload = scrub(batch.to_dict())
+    payload["workers"] = 0
+    return json.dumps(payload, sort_keys=True).encode()
+
+
+class TestWorkerInvariance:
+    def test_byte_identical_across_worker_counts(self, session):
+        batches = {n: session.expand_many(WORKLOAD, workers=n) for n in (1, 2, 4)}
+        blobs = {n: _canonical_bytes(b) for n, b in batches.items()}
+        assert blobs[1] == blobs[2] == blobs[4]
+
+    def test_failing_and_repeated_queries_stay_ordered(self, session):
+        batch = session.expand_many(WORKLOAD, workers=4)
+        assert [item.query for item in batch.items] == WORKLOAD
+        assert batch.n_failed == 2
+        for item in batch.items:
+            assert item.ok == (item.query != "zzz-no-such-term")
+
+    def test_stage_timings_present_on_every_success(self, session):
+        batch = session.expand_many(WORKLOAD, workers=3)
+        for item in batch.items:
+            if item.ok:
+                assert tuple(
+                    t.stage for t in item.report.stage_timings
+                ) == STAGE_NAMES
+
+    def test_repeat_run_is_byte_identical(self, session):
+        a = _canonical_bytes(session.expand_many(WORKLOAD, workers=2))
+        b = _canonical_bytes(session.expand_many(WORKLOAD, workers=2))
+        assert a == b
