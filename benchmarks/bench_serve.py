@@ -1,0 +1,312 @@
+"""Closed-loop load generator for the ``repro.serve`` expansion service.
+
+Drives a real in-process :class:`~repro.serve.ExpansionServer` (stdlib
+HTTP, ephemeral port) with a thread pool of closed-loop clients and
+reports end-to-end latency percentiles plus cache behavior:
+
+* **cold** — every distinct query once against an empty response cache
+  (each request pays retrieval + clustering + expansion);
+* **warm** — ``--threads`` concurrent clients each issuing
+  ``--requests`` requests drawn from a Zipf-weighted mix of the same
+  queries (the repeated-query regime a serving cache exists for);
+* **ingest** — on a ``backend=dynamic`` configuration: expand, expand
+  again (cache hit), ingest fresh documents, expand a third time — the
+  third response must be a cache *miss* with *changed* content, proving
+  the invalidation contract (no stale cached expansions).
+
+Asserted gates (also the PR's acceptance criteria):
+
+* warm-cache p50 ≤ cold-path p50 / 5;
+* the post-ingestion response is a miss and differs from the
+  pre-ingestion one.
+
+Run: ``PYTHONPATH=src python benchmarks/bench_serve.py [--smoke]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+import http.client
+import urllib.parse
+import urllib.request
+from pathlib import Path
+
+import numpy as np
+
+from repro.api import schema
+from repro.data.documents import make_text_document
+from repro.datasets.vocab import WIKIPEDIA_SENSES
+from repro.eval.reporting import format_table
+from repro.serve import ServeConfig, create_server
+from repro.text.analyzer import Analyzer
+
+SPEEDUP_FLOOR = 5.0  # warm p50 must be at least this many times under cold
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _get(base: str, path: str, **params: str) -> dict:
+    url = base + path
+    if params:
+        url += "?" + urllib.parse.urlencode(params)
+    with urllib.request.urlopen(url, timeout=60) as response:
+        return json.loads(response.read())
+
+
+class _Client:
+    """A keep-alive HTTP client (one persistent connection per thread)."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self._conn = http.client.HTTPConnection(host, port, timeout=60)
+
+    def get(self, path: str, **params: str) -> dict:
+        if params:
+            path += "?" + urllib.parse.urlencode(params)
+        self._conn.request("GET", path)
+        response = self._conn.getresponse()
+        return json.loads(response.read())
+
+    def close(self) -> None:
+        self._conn.close()
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    return float(np.percentile(np.asarray(samples), q))
+
+
+def _zipf_weights(n: int, s: float = 1.1) -> np.ndarray:
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = ranks**-s
+    return weights / weights.sum()
+
+
+# Wall-clock fields differ on every recompute; the schema module owns
+# the list, so the ingestion gate compares *content* (a recompute of
+# unchanged data must NOT count as "changed").
+_stable_content = schema.report_content
+
+
+def run(smoke: bool) -> int:
+    threads = 4 if smoke else 8
+    requests_per_thread = 25 if smoke else 100
+    queries = list(WIKIPEDIA_SENSES)  # the 10 ambiguous wikipedia terms
+
+    # Serving-scale corpus: paper-scale wikipedia (40 docs/sense) with
+    # expansion over the top 100 results, so the cold path does the real
+    # retrieve -> cluster -> expand work a cache is meant to absorb.
+    server = create_server(
+        [
+            ServeConfig(
+                name="wiki",
+                dataset="wikipedia",
+                algorithm="iskr",
+                n_clusters=4,
+                top_k_results=100,
+                dataset_kwargs={"docs_per_sense": 40},
+            ),
+            ServeConfig(name="dyn", dataset="wikipedia", backend="dynamic"),
+        ],
+        port=0,
+        cache_size=256,
+        workers=threads,
+    ).start()
+    try:
+        # Pay index + session construction up front so the cold phase
+        # measures the request path, not one-time pool warmup.
+        for name in ("wiki", "dyn"):
+            server.service.pool.get(name)
+
+        # The request mix: every ambiguous term x four expansion
+        # algorithms (the default plus three overrides). results=none:
+        # clients here want the expanded queries, not 100 full documents
+        # per response (see API.md: Serving).
+        combos = [
+            (query, algorithm)
+            for query in queries
+            for algorithm in (None, "pebc", "fmeasure", "vsm")
+        ]
+
+        def request(conn: _Client, combo: tuple[str, str | None]) -> dict:
+            query, algorithm = combo
+            params = {"config": "wiki", "query": query, "results": "none"}
+            if algorithm is not None:
+                params["algorithm"] = algorithm
+            return conn.get("/expand", **params)
+
+        lock = threading.Lock()
+
+        def run_phase(jobs_per_worker: list[list[tuple[str, str | None]]]):
+            """Closed-loop clients, one keep-alive connection each."""
+            laps: list[float] = []
+            misses = 0
+
+            def client(jobs: list[tuple[str, str | None]]) -> None:
+                nonlocal misses
+                conn = _Client(server.host, server.port)
+                mine: list[float] = []
+                missed = 0
+                for combo in jobs:
+                    t0 = time.perf_counter()
+                    payload = request(conn, combo)
+                    mine.append(time.perf_counter() - t0)
+                    if payload["cache"] == "miss":
+                        missed += 1
+                conn.close()
+                with lock:
+                    laps.extend(mine)
+                    misses += missed
+
+            pool = [
+                threading.Thread(target=client, args=(jobs,))
+                for jobs in jobs_per_worker
+                if jobs
+            ]
+            t0 = time.perf_counter()
+            for worker in pool:
+                worker.start()
+            for worker in pool:
+                worker.join()
+            return laps, misses, time.perf_counter() - t0
+
+        # -- cold: every distinct combo once, empty cache, same
+        #    concurrency as the warm phase (so the two phases measure
+        #    miss-vs-hit latency under identical load) -------------------
+        cold, cold_misses, _ = run_phase(
+            [combos[i::threads] for i in range(threads)]
+        )
+        assert cold_misses == len(combos), "cold phase must be all misses"
+
+        # -- warm: closed-loop zipfian clients over the cached mix -----------
+        weights = _zipf_weights(len(combos))
+        jobs_per_worker = []
+        for worker in range(threads):
+            rng = np.random.default_rng(worker)
+            jobs_per_worker.append(
+                [
+                    combos[int(rng.choice(len(combos), p=weights))]
+                    for _ in range(requests_per_thread)
+                ]
+            )
+        warm, warm_misses, warm_seconds = run_phase(jobs_per_worker)
+
+        hit_rate = 1.0 - (warm_misses / len(warm)) if warm else 0.0
+        metrics = _get(server.url, "/metrics")
+        assert "retrieve" in metrics["stages"]["wiki"], "stage metrics missing"
+
+        # -- ingest: the invalidation contract -------------------------------
+        before = _get(server.url, "/expand", config="dyn", query="java")
+        again = _get(server.url, "/expand", config="dyn", query="java")
+        analyzer = Analyzer(use_stemming=False)
+        fresh = [
+            make_text_document(
+                doc_id=f"bench-ingest-{i}",
+                text="java coffee island brew java island arabica roast",
+                analyzer=analyzer,
+                title=f"bench ingest {i}",
+            )
+            for i in range(5)
+        ]
+        server.service.pool.ingest("dyn", fresh)
+        after = _get(server.url, "/expand", config="dyn", query="java")
+
+        # -- report -----------------------------------------------------------
+        cold_p50 = _percentile(cold, 50)
+        rows = [
+            [
+                "cold (distinct, empty cache)",
+                len(cold),
+                f"{cold_p50 * 1e3:.2f}",
+                f"{_percentile(cold, 95) * 1e3:.2f}",
+                f"{_percentile(cold, 99) * 1e3:.2f}",
+                "—",
+            ],
+            [
+                f"warm ({threads} threads, zipfian)",
+                len(warm),
+                f"{_percentile(warm, 50) * 1e3:.2f}",
+                f"{_percentile(warm, 95) * 1e3:.2f}",
+                f"{_percentile(warm, 99) * 1e3:.2f}",
+                f"{hit_rate:.1%}",
+            ],
+        ]
+        table = format_table(
+            ["phase", "requests", "p50 (ms)", "p95 (ms)", "p99 (ms)", "hit rate"],
+            rows,
+            title=(
+                f"repro.serve closed-loop load "
+                f"({len(warm) / warm_seconds:.0f} req/s warm throughput)"
+            ),
+        )
+        print(table)
+
+        warm_p50 = _percentile(warm, 50)
+        speedup = cold_p50 / warm_p50 if warm_p50 > 0 else float("inf")
+        changed = _stable_content(after["report"]) != _stable_content(
+            before["report"]
+        )
+        print(
+            f"\nwarm p50 {warm_p50 * 1e3:.2f} ms vs cold p50 "
+            f"{cold_p50 * 1e3:.2f} ms -> {speedup:.1f}x "
+            f"(gate: >= {SPEEDUP_FLOOR:.0f}x)"
+        )
+        print(
+            f"ingest invalidation: pre=({before['cache']}, {again['cache']}) "
+            f"post={after['cache']} content changed={changed}"
+        )
+
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / "bench_serve.json").write_text(
+            json.dumps(
+                {
+                    "cold_p50_ms": cold_p50 * 1e3,
+                    "warm_p50_ms": warm_p50 * 1e3,
+                    "warm_p95_ms": _percentile(warm, 95) * 1e3,
+                    "warm_p99_ms": _percentile(warm, 99) * 1e3,
+                    "speedup": speedup,
+                    "hit_rate": hit_rate,
+                    "warm_rps": len(warm) / warm_seconds,
+                    "ingest_changed": changed,
+                },
+                indent=2,
+            )
+            + "\n",
+            encoding="utf-8",
+        )
+
+        failures = []
+        if speedup < SPEEDUP_FLOOR:
+            failures.append(
+                f"warm p50 only {speedup:.1f}x under cold "
+                f"(need >= {SPEEDUP_FLOOR:.0f}x)"
+            )
+        if again["cache"] != "hit":
+            failures.append("second identical /expand was not a cache hit")
+        if after["cache"] != "miss":
+            failures.append("post-ingestion /expand served a cached response")
+        if not changed:
+            failures.append("post-ingestion report identical to pre-ingestion")
+        if failures:
+            print("\nFAIL: " + "; ".join(failures))
+            return 1
+        print("\nall serve gates passed")
+        return 0
+    finally:
+        server.stop()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="smaller load (CI): 4 threads x 25 requests",
+    )
+    args = parser.parse_args(argv)
+    return run(smoke=args.smoke)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

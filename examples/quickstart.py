@@ -48,6 +48,10 @@ def main() -> None:
     print(f"\nJSON schema v{payload['schema_version']}: "
           f"{len(payload['expanded'])} expanded queries serialized")
 
+    # To serve this over HTTP with warm sessions, response caching, and
+    # live metrics, see examples/expansion_service.py and the "Serving"
+    # section of API.md (`repro serve --configs wiki:dataset=wikipedia`).
+
 
 if __name__ == "__main__":
     main()

@@ -321,6 +321,21 @@ def _make_sharded_backend(corpus, shards=4, **kwargs) -> ShardedIndex:
     return ShardedIndex(corpus, n_shards=shards, **kwargs)
 
 
+@BACKENDS.register("dynamic")
+def _make_dynamic_backend(corpus):
+    """Append-friendly index that *adopts* the engine's corpus.
+
+    Because the corpus object is shared (not copied), documents appended
+    via :meth:`DynamicIndex.add <repro.index.dynamic.DynamicIndex.add>`
+    after construction are immediately retrievable through the engine.
+    The serving layer (:mod:`repro.serve`) subscribes to the index's
+    mutation listeners to invalidate its caches on ingestion.
+    """
+    from repro.index.dynamic import DynamicIndex
+
+    return DynamicIndex(corpus=corpus)
+
+
 # -- datasets ----------------------------------------------------------------
 
 

@@ -4,8 +4,9 @@ The :class:`Registry` class and the registry instances historically
 lived in two sibling modules (``registry`` vs ``registries``), an
 easy-to-typo split. Everything now lives in
 :mod:`repro.api.registries`; importing this module re-exports
-:class:`Registry`/``Factory`` from there and emits a
-:class:`DeprecationWarning`. Update imports to::
+:class:`Registry`/``Factory`` *and* the six registry instances from
+there (so legacy ``from repro.api.registry import ALGORITHMS`` keeps
+working) and emits a :class:`DeprecationWarning`. Update imports to::
 
     from repro.api import Registry            # preferred
     from repro.api.registries import Registry  # equivalent
@@ -15,7 +16,16 @@ from __future__ import annotations
 
 import warnings
 
-from repro.api.registries import Factory, Registry
+from repro.api.registries import (
+    ALGORITHMS,
+    BACKENDS,
+    CLUSTERERS,
+    DATASETS,
+    Factory,
+    Registry,
+    SCORERS,
+    STAGES,
+)
 
 warnings.warn(
     "repro.api.registry is deprecated; import Registry from repro.api "
@@ -24,4 +34,13 @@ warnings.warn(
     stacklevel=2,
 )
 
-__all__ = ["Factory", "Registry"]
+__all__ = [
+    "ALGORITHMS",
+    "BACKENDS",
+    "CLUSTERERS",
+    "DATASETS",
+    "Factory",
+    "Registry",
+    "SCORERS",
+    "STAGES",
+]

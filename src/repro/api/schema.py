@@ -37,6 +37,22 @@ SUPPORTED_VERSIONS = frozenset({1, 2})
 KIND_REPORT = "expansion_report"
 KIND_BATCH = "batch_report"
 
+#: Report-envelope fields that differ on every recompute (wall clock).
+#: Strip these before comparing two payloads for *content* equality —
+#: the serving benchmark's ingestion gate and any "did the answer
+#: change?" check depend on this list staying in sync with
+#: :func:`report_to_dict`.
+VOLATILE_REPORT_KEYS = (
+    "clustering_seconds",
+    "expansion_seconds",
+    "stage_timings",
+)
+
+
+def report_content(payload: Mapping[str, Any]) -> dict[str, Any]:
+    """The payload minus :data:`VOLATILE_REPORT_KEYS` (content identity)."""
+    return {k: v for k, v in payload.items() if k not in VOLATILE_REPORT_KEYS}
+
 
 def make_envelope(kind: str, data: dict[str, Any]) -> dict[str, Any]:
     """Wrap ``data`` in the versioned envelope for ``kind``."""

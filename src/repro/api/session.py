@@ -52,7 +52,6 @@ from __future__ import annotations
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, replace
-from threading import Lock
 from typing import Any, Iterable, Mapping, Sequence
 
 import numpy as np
@@ -66,6 +65,7 @@ from repro.api.registries import (
     SCORERS,
     STAGES,
 )
+from repro.caching import LRUTTLCache
 from repro.core.config import ExpansionConfig
 from repro.core.expander import ClusterQueryExpander, ExpansionReport
 from repro.core.universe import ResultUniverse
@@ -73,25 +73,6 @@ from repro.errors import ConfigError, SchemaError
 from repro.index.search import SearchEngine, SearchResult
 from repro.pipeline import ExecutionContext, Middleware, Pipeline, default_pipeline
 from repro.text.analyzer import Analyzer
-
-
-class _BoundedCache(dict):
-    """A dict that evicts its oldest entries beyond ``maxsize`` (FIFO).
-
-    Keeps long-lived sessions (service traffic with open-vocabulary
-    queries) at bounded memory; eviction only costs a re-search or a
-    candidate recompute. Not synchronized — callers that share one
-    across threads hold their own lock or accept benign double-writes.
-    """
-
-    def __init__(self, maxsize: int) -> None:
-        super().__init__()
-        self._maxsize = max(int(maxsize), 1)
-
-    def __setitem__(self, key, value) -> None:
-        super().__setitem__(key, value)
-        while len(self) > self._maxsize:
-            del self[next(iter(self))]
 
 
 #: Default bounds: plenty for experiment sweeps, finite for services.
@@ -104,8 +85,9 @@ class CachingSearchEngine:
 
     Sessions route every retrieval through one of these, so repeated seed
     queries (common in batches and experiment sweeps) hit the index once.
-    Thread-safe; cached result lists are copied on the way out; at most
-    ``maxsize`` retrievals are kept (oldest evicted first).
+    Thread-safe (the cache is a locked :class:`~repro.caching.
+    LRUTTLCache`); cached result lists are copied on the way out; at
+    most ``maxsize`` retrievals are kept, least-recently-used first out.
     """
 
     def __init__(
@@ -114,8 +96,7 @@ class CachingSearchEngine:
         maxsize: int = DEFAULT_RETRIEVAL_CACHE_SIZE,
     ) -> None:
         self._engine = engine
-        self._lock = Lock()
-        self._cache: _BoundedCache = _BoundedCache(maxsize)
+        self._cache = LRUTTLCache(maxsize=maxsize)
 
     @property
     def corpus(self):
@@ -139,12 +120,23 @@ class CachingSearchEngine:
         return self._engine
 
     def cache_info(self) -> dict[str, int]:
-        with self._lock:
-            return {"entries": len(self._cache)}
+        stats = self._cache.stats()
+        return {key: stats[key] for key in ("entries", "capacity", "hits", "misses")}
 
     def cache_clear(self) -> None:
-        with self._lock:
-            self._cache.clear()
+        self._cache.clear()
+
+    def refresh(self) -> None:
+        """Drop cached retrievals and rebuild the inner engine's scorer.
+
+        The serving layer calls this when a mutable backend ingests
+        documents: cached result lists and the scorer's collection-
+        statistics snapshot are both stale the moment the index changes.
+        """
+        self.cache_clear()
+        refresh = getattr(self._engine, "refresh_scoring", None)
+        if callable(refresh):
+            refresh()
 
     def parse(self, query: str) -> list[str]:
         return self._engine.parse(query)
@@ -156,13 +148,11 @@ class CachingSearchEngine:
         semantics: str = "and",
     ) -> list[SearchResult]:
         key = (query, top_k, semantics)
-        with self._lock:
-            hit = self._cache.get(key)
-        if hit is not None:
-            return list(hit)
+        hit, cached = self._cache.lookup(key)
+        if hit:
+            return list(cached)
         results = self._engine.search(query, top_k=top_k, semantics=semantics)
-        with self._lock:
-            self._cache[key] = list(results)
+        self._cache.put(key, list(results))
         return results
 
     def search_terms(self, terms, top_k=None, semantics="and"):
@@ -278,6 +268,8 @@ class SessionBuilder:
         self._config_kwargs: dict[str, Any] = {}
         self._analyzer: Analyzer | None = None
         self._seed: int = 0
+        self._retrieval_cache_size: int = DEFAULT_RETRIEVAL_CACHE_SIZE
+        self._candidate_cache_size: int = DEFAULT_CANDIDATE_CACHE_SIZE
         self._stage_inserts: list[tuple[Any, str | None, str | None]] = []
         self._stage_replacements: list[tuple[str, Any]] = []
         self._middleware: list[Middleware] = []
@@ -347,6 +339,33 @@ class SessionBuilder:
     def seed(self, seed: int) -> "SessionBuilder":
         """Master RNG seed (datasets, clustering, stochastic algorithms)."""
         self._seed = int(seed)
+        return self
+
+    def cache_capacity(
+        self,
+        retrieval: int | None = None,
+        candidates: int | None = None,
+    ) -> "SessionBuilder":
+        """LRU capacities for the session's per-seed caches.
+
+        ``retrieval`` bounds memoized seed-query retrievals; ``candidates``
+        bounds cached candidate-keyword statistics. Both default to 1024
+        entries — plenty for experiment sweeps, finite for long-lived
+        serving traffic. Current sizes are visible in
+        :meth:`Session.describe` under ``"caches"``.
+        """
+        if retrieval is not None:
+            if int(retrieval) < 1:
+                raise ConfigError(
+                    f"retrieval cache capacity must be >= 1, got {retrieval}"
+                )
+            self._retrieval_cache_size = int(retrieval)
+        if candidates is not None:
+            if int(candidates) < 1:
+                raise ConfigError(
+                    f"candidate cache capacity must be >= 1, got {candidates}"
+                )
+            self._candidate_cache_size = int(candidates)
         return self
 
     # -- pipeline composition ------------------------------------------------
@@ -457,6 +476,8 @@ class SessionBuilder:
             backend=None if self._engine is not None else backend,
             seed=self._seed,
             pipeline=self._build_pipeline(),
+            retrieval_cache_size=self._retrieval_cache_size,
+            candidate_cache_size=self._candidate_cache_size,
         )
         # Trial-create the per-query components once: bad kwargs and bad
         # (clusterer, config) combinations surface at build time.
@@ -572,12 +593,14 @@ class Session:
         backend: str | None = None,
         seed: int = 0,
         pipeline: Pipeline | None = None,
+        retrieval_cache_size: int = DEFAULT_RETRIEVAL_CACHE_SIZE,
+        candidate_cache_size: int = DEFAULT_CANDIDATE_CACHE_SIZE,
         _candidate_cache: dict | None = None,
     ) -> None:
         if isinstance(engine, CachingSearchEngine):
             self._engine = engine
         else:
-            self._engine = CachingSearchEngine(engine)
+            self._engine = CachingSearchEngine(engine, maxsize=retrieval_cache_size)
         self._analyzer = analyzer
         self._config = config
         self._algorithm = algorithm
@@ -591,7 +614,7 @@ class Session:
         self._candidate_cache = (
             _candidate_cache
             if _candidate_cache is not None
-            else _BoundedCache(DEFAULT_CANDIDATE_CACHE_SIZE)
+            else LRUTTLCache(maxsize=candidate_cache_size)
         )
 
     @staticmethod
@@ -652,6 +675,17 @@ class Session:
         self._engine.cache_clear()
         self._candidate_cache.clear()
 
+    def refresh(self) -> None:
+        """Invalidate every cache tier *and* the scorer's stats snapshot.
+
+        :meth:`clear_caches` plus a scorer rebuild on the wrapped engine —
+        the full response to a mutable-backend ingestion. The serving
+        layer (:mod:`repro.serve`) calls this from its
+        :class:`~repro.index.dynamic.DynamicIndex` mutation listener.
+        """
+        self._engine.refresh()
+        self._candidate_cache.clear()
+
     def describe(self) -> dict[str, Any]:
         """A JSON-able summary of the session's configuration."""
         return {
@@ -664,6 +698,23 @@ class Session:
             "semantics": self._config.semantics,
             "seed": self._seed,
             "stages": self._pipeline.describe(),
+            "caches": self.cache_info(),
+        }
+
+    def cache_info(self) -> dict[str, dict[str, int]]:
+        """Entry counts, capacities, and hit/miss tallies per cache tier."""
+        candidates = self._candidate_cache
+        if isinstance(candidates, LRUTTLCache):
+            stats = candidates.stats()
+            info = {
+                key: stats[key]
+                for key in ("entries", "capacity", "hits", "misses")
+            }
+        else:  # a plain mapping injected by a caller
+            info = {"entries": len(candidates)}
+        return {
+            "retrieval": self._engine.cache_info(),
+            "candidates": info,
         }
 
     def with_config(self, **overrides: Any) -> "Session":

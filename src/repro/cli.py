@@ -5,6 +5,7 @@ Subcommands
 search       run a keyword query over a synthetic corpus
 expand       generate expanded queries for a seed query
 batch        expand many seed queries at once (JSON output)
+serve        long-running JSON-over-HTTP expansion service
 interleave   §7 future work: alternate clustering and expansion
 prf          compare pseudo-relevance-feedback schemes against ISKR
 facets       faceted-search comparator over a seed query's results
@@ -141,6 +142,41 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         else:
             print(f"  {item.query!r}: {item.error_type}: {item.error_message}")
     return 0 if batch.n_failed == 0 else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import create_server
+
+    try:
+        server = create_server(
+            args.configs,
+            host=args.host,
+            port=args.port,
+            cache_size=args.cache_size,
+            # 0 = never expire; negative values reach the service layer
+            # and fail validation there, like every other bad option.
+            cache_ttl=None if args.cache_ttl == 0 else args.cache_ttl,
+            workers=args.workers,
+        )
+    except OSError as exc:
+        # Bind failures (port in use, privileged port) get the same
+        # one-line error + exit 2 as library errors.
+        print(f"error: cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 2
+    ttl = f"{args.cache_ttl:g}s" if args.cache_ttl > 0 else "none"
+    print(
+        f"serving {', '.join(server.service.pool.names())} on {server.url} "
+        f"(cache: {args.cache_size} entries, ttl {ttl}; "
+        f"{args.workers} workers) — Ctrl-C to stop",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", flush=True)
+    finally:
+        server.stop()
+    return 0
 
 
 def _cmd_interleave(args: argparse.Namespace) -> int:
@@ -367,6 +403,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the versioned JSON batch report instead of text",
     )
     p.set_defaults(func=_cmd_batch)
+
+    p = sub.add_parser(
+        "serve", help="run the JSON-over-HTTP expansion service"
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument(
+        "--port", type=int, default=8080,
+        help="listen port (0 = OS-assigned, printed at startup)",
+    )
+    p.add_argument(
+        "--configs", nargs="+", metavar="SPEC",
+        default=["default:dataset=wikipedia"],
+        help="named session configs, each 'name:key=value,...' "
+             "(keys: dataset, algorithm, clusterer, scoring, backend, "
+             "shards, k, top, semantics, seed)",
+    )
+    p.add_argument(
+        "--cache-size", type=int, default=1024,
+        help="response cache capacity in entries (default: 1024)",
+    )
+    p.add_argument(
+        "--cache-ttl", type=float, default=0.0,
+        help="response cache TTL in seconds (0 = entries never expire)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=4,
+        help="max concurrently computed (cache-missing) requests",
+    )
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
         "interleave", help="alternate clustering and expansion (§7 future work)"

@@ -51,5 +51,17 @@ class PipelineError(ConfigError):
     """A pipeline was mis-composed (unknown stage, bad insertion anchor)."""
 
 
+class ServeError(ReproError):
+    """A serving-layer operation failed (bad request, bad parameter, ...)."""
+
+
+class UnknownConfigError(ServeError):
+    """A request named a serving configuration that does not exist.
+
+    Its own type so the HTTP layer can map it to 404 (not found) while
+    every other :class:`ServeError` stays 400 (bad request).
+    """
+
+
 # Public aliases with friendlier names.
 IndexingError = IndexError_

@@ -6,15 +6,29 @@ search deployment also needs ingestion, so :class:`DynamicIndex` keeps
 the same retrieval surface (postings / boolean queries / doc lengths)
 while accepting appends, with per-term posting lists grown in place.
 
+Two integration points matter for serving (:mod:`repro.serve`):
+
+* ``DynamicIndex(corpus=existing)`` *adopts* a corpus instead of creating
+  a private one, so a :class:`~repro.index.search.SearchEngine` and the
+  index share one document store — documents appended after construction
+  are immediately retrievable through the engine. This is what the
+  ``"dynamic"`` entry in :data:`repro.api.registries.BACKENDS` does.
+* :meth:`subscribe` registers mutation listeners. Every append (one
+  notification per :meth:`add`, one per :meth:`add_all` batch) invokes
+  the listeners, which is how the serving layer's caches get invalidated
+  the moment ingestion lands rather than on some poll interval.
+
 Scoring objects (TF-IDF/BM25/LM) snapshot collection statistics at
 construction; create them *after* the bulk load, or refresh them when
 enough documents have arrived — the ``generation`` counter tells callers
-when the index has changed.
+when the index has changed, and
+:meth:`~repro.index.search.SearchEngine.refresh_scoring` rebuilds an
+engine's scorer in place.
 """
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Callable, Iterable
 
 from repro.data.corpus import Corpus
 from repro.data.documents import Document
@@ -22,43 +36,111 @@ from repro.errors import IndexingError
 from repro.index.backend import BackendCapabilities
 from repro.index.postings import Posting, PostingList, intersect_all, union_all
 
+MutationListener = Callable[["DynamicIndex"], None]
+
 
 class DynamicIndex:
-    """Append-friendly inverted index over an internal corpus.
+    """Append-friendly inverted index over an internal or adopted corpus.
 
     Documents keep their append order; the integer position is the doc id,
     as everywhere else in the library. Duplicate ``doc_id`` strings are
     rejected by the underlying corpus.
+
+    Parameters
+    ----------
+    documents:
+        Documents to append at construction (each counts as a mutation).
+    corpus:
+        An existing :class:`~repro.data.corpus.Corpus` to adopt: its
+        current documents are indexed in place (no copies, generation
+        stays 0), and later :meth:`add` calls append to *that* corpus.
     """
 
-    def __init__(self, documents: Iterable[Document] = ()) -> None:
-        self._corpus = Corpus()
+    def __init__(
+        self,
+        documents: Iterable[Document] = (),
+        *,
+        corpus: Corpus | None = None,
+    ) -> None:
+        self._corpus = corpus if corpus is not None else Corpus()
         self._postings: dict[str, PostingList] = {}
         self._doc_lengths: list[int] = []
         self._generation = 0
+        self._listeners: list[MutationListener] = []
+        if corpus is not None:
+            for pos, doc in enumerate(corpus):
+                self._index_document(pos, doc)
         for doc in documents:
             self.add(doc)
 
     # -- ingestion -----------------------------------------------------------
 
-    def add(self, doc: Document) -> int:
-        """Append ``doc``; return its position."""
-        pos = self._corpus.add(doc)
+    def _index_document(self, pos: int, doc: Document) -> None:
         self._doc_lengths.append(doc.length())
         for term in sorted(doc.terms):
             self._postings.setdefault(term, PostingList()).append(
                 Posting(pos, doc.terms[term])
             )
+
+    def _ingest(self, doc: Document) -> int:
+        pos = self._corpus.add(doc)
+        self._index_document(pos, doc)
         self._generation += 1
         return pos
 
+    def add(self, doc: Document) -> int:
+        """Append ``doc``; return its position. Notifies listeners."""
+        pos = self._ingest(doc)
+        self._notify()
+        return pos
+
     def add_all(self, documents: Iterable[Document]) -> list[int]:
-        return [self.add(doc) for doc in documents]
+        """Append a batch; listeners are notified once, after the batch.
+
+        If a document mid-batch is rejected (e.g. a duplicate
+        ``doc_id``), the exception propagates — but listeners still fire
+        for the documents that already landed, so cache invalidation
+        never misses a successful ingest.
+        """
+        positions: list[int] = []
+        try:
+            for doc in documents:
+                positions.append(self._ingest(doc))
+        finally:
+            if positions:
+                self._notify()
+        return positions
 
     @property
     def generation(self) -> int:
         """Monotone change counter; bump = stats snapshots are stale."""
         return self._generation
+
+    # -- mutation listeners ---------------------------------------------------
+
+    def subscribe(self, listener: MutationListener) -> Callable[[], None]:
+        """Register ``listener(index)`` to run after every mutation.
+
+        Returns an unsubscribe callable. Listener exceptions are isolated
+        (a failing cache hook must never sink an ingest); listeners run
+        on the ingesting thread, after the index is consistent.
+        """
+        self._listeners.append(listener)
+
+        def unsubscribe() -> None:
+            try:
+                self._listeners.remove(listener)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
+    def _notify(self) -> None:
+        for listener in list(self._listeners):
+            try:
+                listener(self)
+            except Exception:  # noqa: BLE001 — listener isolation, see subscribe
+                continue
 
     # -- retrieval surface (matches InvertedIndex) -----------------------------
 

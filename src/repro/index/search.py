@@ -66,24 +66,38 @@ class SearchEngine:
         self._corpus = corpus
         self._analyzer = analyzer or Analyzer()
         self._index = self._resolve_backend(backend, corpus)
+        self._scoring = scoring
+        self._scorer = self._build_scorer(scoring)
+
+    def _build_scorer(self, scoring: str | Callable):
         if callable(scoring):
             # A factory (index) -> scorer, e.g. a registry closure with
             # extra scorer options bound in.
-            self._scorer = scoring(self._index)
-        else:
-            # Resolve by name through the scorer registry so third-party
-            # scorers registered on repro.api.SCORERS work everywhere.
-            # Imported lazily: repro.api itself builds SearchEngines.
-            from repro.api.registries import SCORERS
-            from repro.errors import RegistryError
+            return scoring(self._index)
+        # Resolve by name through the scorer registry so third-party
+        # scorers registered on repro.api.SCORERS work everywhere.
+        # Imported lazily: repro.api itself builds SearchEngines.
+        from repro.api.registries import SCORERS
+        from repro.errors import RegistryError
 
-            try:
-                self._scorer = SCORERS.create(scoring, self._index)
-            except RegistryError:
-                raise QueryError(
-                    f"unknown scoring {scoring!r}; "
-                    f"registered scorers: {', '.join(SCORERS.names())}"
-                ) from None
+        try:
+            return SCORERS.create(scoring, self._index)
+        except RegistryError:
+            raise QueryError(
+                f"unknown scoring {scoring!r}; "
+                f"registered scorers: {', '.join(SCORERS.names())}"
+            ) from None
+
+    def refresh_scoring(self) -> None:
+        """Rebuild the scorer from the original scoring spec.
+
+        Scorers snapshot collection statistics (N, cached term
+        frequencies) at construction; after a mutable backend (e.g. the
+        ``"dynamic"`` one) ingests documents, call this so ranking
+        reflects the current index instead of the construction-time
+        snapshot.
+        """
+        self._scorer = self._build_scorer(self._scoring)
 
     @staticmethod
     def _resolve_backend(

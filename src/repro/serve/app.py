@@ -1,0 +1,584 @@
+"""The expansion service and its JSON-over-HTTP transport.
+
+Two layers, separable on purpose:
+
+* :class:`ExpansionService` — transport-free request handling. Every
+  endpoint is a method taking a plain params mapping and returning
+  ``(status, payload)``; tests and embedders can call them directly.
+* :class:`ExpansionServer` — a stdlib ``ThreadingHTTPServer`` wrapper
+  that routes HTTP requests (GET query strings or POST JSON bodies)
+  into the service and writes JSON responses. ``port=0`` binds an
+  ephemeral port; :meth:`ExpansionServer.start` runs it on a daemon
+  thread for in-process embedding.
+
+Endpoints (all JSON):
+
+==============  ====  =====================================================
+``/expand``     G/P   one expansion; ``report`` is the schema-v2 envelope
+``/search``     G/P   ranked retrieval; v2 search-result payloads
+``/batch``      POST  many expansions; a schema-v2 ``batch_report``
+``/configs``    GET   configuration specs + live pool state
+``/healthz``    GET   liveness + built configurations
+``/metrics``    GET   request/cache/stage metrics (see API.md: Serving)
+==============  ====  =====================================================
+
+Caching: ``/expand`` and ``/search`` responses are memoized in an
+:class:`~repro.serve.cache.LRUTTLCache` keyed on ``(config, endpoint,
+query, params, index generation)``. ``/batch`` items route through the
+same per-query path, so repeated queries inside and across batches hit
+the cache too. The index generation in the key plus the pool's mutation
+listeners (which call :meth:`ExpansionService.invalidate_config`) make
+served payloads immune to :class:`~repro.index.dynamic.DynamicIndex`
+ingestion staleness.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Iterable, Mapping
+from urllib.parse import parse_qs, urlsplit
+
+from repro.api import schema
+from repro.errors import ReproError, ServeError, UnknownConfigError
+from repro.serve.cache import LRUTTLCache
+from repro.serve.metrics import ServerMetrics
+from repro.serve.pool import PooledSession, ServeConfig, SessionPool
+
+#: Default cap on concurrently *computed* (cache-missing) requests.
+DEFAULT_WORKERS = 4
+
+
+class ExpansionService:
+    """Routes expansion/search traffic onto a warm session pool.
+
+    Parameters
+    ----------
+    pool:
+        The configurations to serve (a :class:`SessionPool` or an
+        iterable of :class:`ServeConfig`).
+    cache_size / cache_ttl:
+        Tier-0 response cache capacity and TTL (``None`` = no expiry).
+    workers:
+        Maximum cache-missing requests computed concurrently; excess
+        requests queue on the semaphore. Cache hits never queue.
+    """
+
+    def __init__(
+        self,
+        pool: SessionPool | Iterable[ServeConfig],
+        cache_size: int = 1024,
+        cache_ttl: float | None = None,
+        workers: int = DEFAULT_WORKERS,
+    ) -> None:
+        if not isinstance(pool, SessionPool):
+            pool = SessionPool(pool)
+        self._pool = pool
+        if pool.invalidation_hook is None:
+            pool.invalidation_hook = self.invalidate_config
+        try:
+            self._cache = LRUTTLCache(maxsize=cache_size, ttl=cache_ttl)
+        except ValueError as exc:
+            # One catchable error family for the CLI and embedders.
+            raise ServeError(str(exc)) from None
+        self._metrics = ServerMetrics()
+        if workers < 1:
+            raise ServeError(f"workers must be >= 1, got {workers}")
+        self._workers = workers
+        self._compute_slots = threading.BoundedSemaphore(workers)
+
+    @property
+    def pool(self) -> SessionPool:
+        return self._pool
+
+    @property
+    def cache(self) -> LRUTTLCache:
+        return self._cache
+
+    @property
+    def metrics(self) -> ServerMetrics:
+        return self._metrics
+
+    def invalidate_config(self, name: str) -> int:
+        """Drop every cached response for configuration ``name``."""
+        return self._cache.invalidate_prefix((name,))
+
+    # -- request plumbing ----------------------------------------------------
+
+    @staticmethod
+    def _param(params: Mapping[str, Any], key: str, default: Any = None) -> Any:
+        value = params.get(key, default)
+        if isinstance(value, list):  # parse_qs yields lists
+            value = value[0] if value else default
+        return value
+
+    def _require(self, params: Mapping[str, Any], key: str) -> Any:
+        value = self._param(params, key)
+        if value in (None, ""):
+            raise ServeError(f"missing required parameter {key!r}")
+        return value
+
+    def _entry(self, params: Mapping[str, Any]) -> PooledSession:
+        names = self._pool.names()
+        name = self._param(params, "config")
+        if name is None and len(names) == 1:
+            name = names[0]
+        if name is None:
+            raise ServeError(
+                f"parameter 'config' is required with multiple "
+                f"configurations; configured: {', '.join(names)}"
+            )
+        return self._pool.get(str(name))
+
+    # -- cached per-query execution ------------------------------------------
+
+    def _expand_cached(
+        self,
+        entry: PooledSession,
+        query: str,
+        algorithm: str | None,
+        results: str = "full",
+    ) -> tuple[dict[str, Any], str]:
+        """``(schema-v2 report payload, "hit"|"miss")`` for one query.
+
+        ``results="none"`` drops the per-result document payloads — the
+        report envelope stays schema-v2 valid (readers treat ``results``
+        as optional), and responses shrink by orders of magnitude when
+        the caller wants expansions, not the matching documents.
+
+        Returned payloads are shared cache snapshots: direct
+        :meth:`handle` callers must treat them as read-only (the HTTP
+        layer serializes immediately; per-request deep copies would
+        cost more than the compute the cache saves).
+        """
+        # Normalize the algorithm for keying: an explicit override equal
+        # to the config's default (or differing only in case) must share
+        # the default's cache entry, not trigger a duplicate recompute.
+        if isinstance(algorithm, str):
+            algorithm = algorithm.strip().lower() or None
+
+        def variant_key(mode: str) -> tuple:
+            return (
+                entry.config.name,
+                "expand",
+                query,
+                algorithm or entry.session.algorithm_name,
+                mode,
+                entry.generation(),
+            )
+
+        key = variant_key(results)
+        hit, payload = self._cache.lookup(key)
+        if hit:
+            return payload, "hit"
+        if results == "none":
+            # Derivable without compute: strip the cached full payload.
+            hit, full = self._cache.lookup(variant_key("full"))
+            if hit:
+                payload = {k: v for k, v in full.items() if k != "results"}
+                self._cache.put(key, payload)
+                return payload, "hit"
+        # Exclusive lock first, worker slot second: threads queued on a
+        # non-concurrent-read backend's lock must not sit on compute
+        # slots, or one config's serialization starves every other
+        # config's cache misses.
+        with entry.locked():
+            with self._compute_slots:
+                report = entry.session.expand(query, algorithm=algorithm)
+        payload = schema.report_to_dict(report)
+        if results == "none":
+            payload.pop("results", None)
+        self._cache.put(key, payload)
+        return payload, "miss"
+
+    def _search_cached(
+        self,
+        entry: PooledSession,
+        query: str,
+        top_k: int | None,
+        semantics: str,
+    ) -> tuple[list[dict[str, Any]], str]:
+        key = (
+            entry.config.name,
+            "search",
+            query,
+            top_k,
+            semantics,
+            entry.generation(),
+        )
+        hit, payload = self._cache.lookup(key)
+        if hit:
+            return payload, "hit"
+        with entry.locked():  # lock-then-slot, as in _expand_cached
+            with self._compute_slots:
+                results = entry.session.search(
+                    query, top_k=top_k, semantics=semantics
+                )
+        payload = [schema.search_result_to_dict(r) for r in results]
+        self._cache.put(key, payload)
+        return payload, "miss"
+
+    # -- endpoints -----------------------------------------------------------
+
+    def expand(self, params: Mapping[str, Any]) -> tuple[int, dict[str, Any]]:
+        t0 = time.perf_counter()
+        entry = self._entry(params)
+        query = str(self._require(params, "query"))
+        algorithm = self._param(params, "algorithm")
+        algorithm = str(algorithm) if algorithm is not None else None
+        results = str(self._param(params, "results", "full")).lower()
+        if results not in ("full", "none"):
+            raise ServeError(f"results must be 'full' or 'none', got {results!r}")
+        payload, cache = self._expand_cached(entry, query, algorithm, results)
+        seconds = time.perf_counter() - t0
+        self._metrics.record("expand", seconds, cache=cache)
+        return 200, {
+            "config": entry.config.name,
+            "query": query,
+            "algorithm": algorithm or entry.session.algorithm_name,
+            "cache": cache,
+            "seconds": seconds,
+            "report": payload,
+        }
+
+    def search(self, params: Mapping[str, Any]) -> tuple[int, dict[str, Any]]:
+        t0 = time.perf_counter()
+        entry = self._entry(params)
+        query = str(self._require(params, "query"))
+        top_k_raw = self._param(params, "top_k")
+        try:
+            top_k = None if top_k_raw in (None, "") else int(top_k_raw)
+        except (TypeError, ValueError):
+            raise ServeError(f"top_k must be an integer, got {top_k_raw!r}")
+        semantics = str(self._param(params, "semantics", "and")).lower()
+        if semantics not in ("and", "or"):
+            raise ServeError(f"semantics must be 'and' or 'or', got {semantics!r}")
+        payload, cache = self._search_cached(entry, query, top_k, semantics)
+        seconds = time.perf_counter() - t0
+        self._metrics.record("search", seconds, cache=cache)
+        return 200, {
+            "config": entry.config.name,
+            "query": query,
+            "top_k": top_k,
+            "semantics": semantics,
+            "cache": cache,
+            "seconds": seconds,
+            "n_results": len(payload),
+            "results": payload,
+        }
+
+    def batch(self, params: Mapping[str, Any]) -> tuple[int, dict[str, Any]]:
+        t0 = time.perf_counter()
+        entry = self._entry(params)
+        queries = params.get("queries")
+        if not isinstance(queries, (list, tuple)) or not queries:
+            raise ServeError("batch needs a non-empty 'queries' list")
+        queries = [str(q) for q in queries]
+        algorithm = self._param(params, "algorithm")
+        algorithm = str(algorithm) if algorithm is not None else None
+        workers = self._param(params, "workers", 1)
+        try:
+            workers = max(1, min(int(workers), self._workers))
+        except (TypeError, ValueError):
+            raise ServeError(f"workers must be an integer, got {workers!r}")
+
+        def run_one(query: str) -> dict[str, Any]:
+            # The extra "cache" key is additive; BatchItem.from_dict
+            # readers ignore it (schema v2 stays intact).
+            q0 = time.perf_counter()
+            try:
+                payload, cache = self._expand_cached(entry, query, algorithm)
+                return {
+                    "query": query,
+                    "ok": True,
+                    "report": payload,
+                    "error_type": None,
+                    "error_message": None,
+                    "seconds": time.perf_counter() - q0,
+                    "cache": cache,
+                }
+            except Exception as exc:  # noqa: BLE001 — per-query isolation
+                return {
+                    "query": query,
+                    "ok": False,
+                    "report": None,
+                    "error_type": type(exc).__name__,
+                    "error_message": str(exc),
+                    "seconds": time.perf_counter() - q0,
+                    "cache": "miss",
+                }
+
+        if workers == 1 or len(queries) <= 1:
+            items = [run_one(q) for q in queries]
+        else:
+            with ThreadPoolExecutor(
+                max_workers=min(workers, len(queries))
+            ) as executor:
+                items = list(executor.map(run_one, queries))
+        seconds = time.perf_counter() - t0
+        self._metrics.record(
+            "batch",
+            seconds,
+            cache_hits=sum(1 for i in items if i["cache"] == "hit"),
+            cache_misses=sum(1 for i in items if i["cache"] == "miss"),
+        )
+        report = schema.make_envelope(
+            schema.KIND_BATCH,
+            {"items": items, "workers": workers, "seconds": seconds},
+        )
+        return 200, {
+            "config": entry.config.name,
+            "cache_hits": sum(1 for i in items if i["cache"] == "hit"),
+            "n_ok": sum(1 for i in items if i["ok"]),
+            "n_failed": sum(1 for i in items if not i["ok"]),
+            "report": report,
+        }
+
+    def configs(self, params: Mapping[str, Any]) -> tuple[int, dict[str, Any]]:
+        t0 = time.perf_counter()
+        payload = {"configs": self._pool.describe()}
+        self._metrics.record("configs", time.perf_counter() - t0)
+        return 200, payload
+
+    def healthz(self, params: Mapping[str, Any]) -> tuple[int, dict[str, Any]]:
+        t0 = time.perf_counter()
+        payload = {
+            "status": "ok",
+            "uptime_seconds": self._metrics.uptime_seconds(),
+            "configs": list(self._pool.names()),
+            "built": list(self._pool.built_names()),
+            "schema_version": schema.SCHEMA_VERSION,
+        }
+        self._metrics.record("healthz", time.perf_counter() - t0)
+        return 200, payload
+
+    def metrics_snapshot(
+        self, params: Mapping[str, Any] | None = None
+    ) -> tuple[int, dict[str, Any]]:
+        t0 = time.perf_counter()
+        requests = self._metrics.snapshot()
+        payload = {
+            "uptime_seconds": requests.pop("uptime_seconds"),
+            "requests": requests["endpoints"],
+            "cache": {
+                "responses": self._cache.stats(),
+                "sessions": self._pool.session_cache_info(),
+            },
+            "stages": self._pool.stage_metrics(),
+            "configs": self._pool.describe(),
+        }
+        # Count this scrape too (it appears from the *next* snapshot on;
+        # the payload above was already assembled).
+        self._metrics.record("metrics", time.perf_counter() - t0)
+        return 200, payload
+
+    # -- routing -------------------------------------------------------------
+
+    _ROUTES = {
+        "/expand": ("expand", ("GET", "POST")),
+        "/search": ("search", ("GET", "POST")),
+        "/batch": ("batch", ("POST",)),
+        "/configs": ("configs", ("GET",)),
+        "/healthz": ("healthz", ("GET",)),
+        "/metrics": ("metrics_snapshot", ("GET",)),
+    }
+
+    def handle(
+        self, method: str, path: str, params: Mapping[str, Any]
+    ) -> tuple[int, dict[str, Any]]:
+        """Dispatch one request; never raises (errors become payloads)."""
+        route = self._ROUTES.get(path.rstrip("/") or path)
+        if route is None:
+            return 404, {
+                "error": "not_found",
+                "message": f"unknown path {path!r}",
+                "paths": sorted(self._ROUTES),
+            }
+        handler_name, methods = route
+        if method not in methods:
+            return 405, {
+                "error": "method_not_allowed",
+                "message": f"{path} accepts {', '.join(methods)}",
+            }
+        try:
+            return getattr(self, handler_name)(params)
+        except UnknownConfigError as exc:
+            self._metrics.record(path.strip("/"), None, error=True)
+            return 404, {"error": "unknown_config", "message": str(exc)}
+        except ServeError as exc:
+            self._metrics.record(path.strip("/"), None, error=True)
+            return 400, {"error": "serve_error", "message": str(exc)}
+        except ReproError as exc:
+            self._metrics.record(path.strip("/"), None, error=True)
+            return 400, {"error": type(exc).__name__, "message": str(exc)}
+        except Exception as exc:  # noqa: BLE001 — a request must never kill the server
+            self._metrics.record(path.strip("/"), None, error=True)
+            return 500, {"error": "internal", "message": str(exc)}
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Maps HTTP requests onto :meth:`ExpansionService.handle`."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve/1.0"
+    # Headers and body go out as separate writes; with Nagle on, that
+    # write-write-read pattern stalls keep-alive clients for a delayed-ACK
+    # interval (~40ms) per request. TCP_NODELAY keeps hits sub-millisecond.
+    disable_nagle_algorithm = True
+
+    def _params_from_query(self) -> dict[str, Any]:
+        parts = urlsplit(self.path)
+        return {k: v for k, v in parse_qs(parts.query).items()}
+
+    def _respond(self, status: int, payload: Mapping[str, Any]) -> None:
+        # Compact separators: expansion reports carry full result
+        # payloads, so serialization cost is visible in hit latency.
+        body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 — http.server API
+        path = urlsplit(self.path).path
+        status, payload = self.server.service.handle(
+            "GET", path, self._params_from_query()
+        )
+        self._respond(status, payload)
+
+    def do_POST(self) -> None:  # noqa: N802 — http.server API
+        path = urlsplit(self.path).path
+        params: dict[str, Any] = self._params_from_query()
+        length = int(self.headers.get("Content-Length") or 0)
+        if length:
+            raw = self.rfile.read(length)
+            try:
+                body = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                self._respond(
+                    400, {"error": "bad_json", "message": str(exc)}
+                )
+                return
+            if not isinstance(body, dict):
+                self._respond(
+                    400,
+                    {"error": "bad_json", "message": "body must be an object"},
+                )
+                return
+            params.update(body)
+        status, payload = self.server.service.handle("POST", path, params)
+        self._respond(status, payload)
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass  # requests are observable via /metrics; stderr stays quiet
+
+
+class _HTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    service: ExpansionService
+
+
+class ExpansionServer:
+    """The HTTP front of an :class:`ExpansionService`.
+
+    ``port=0`` binds an OS-assigned ephemeral port (read it back from
+    :attr:`port`). :meth:`start` serves on a daemon thread —
+    the embedding pattern used by tests, the benchmark, and the
+    example — while :meth:`serve_forever` blocks (the CLI path).
+    """
+
+    def __init__(
+        self,
+        service: ExpansionService,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+    ) -> None:
+        self._service = service
+        self._httpd = _HTTPServer((host, port), _Handler)
+        self._httpd.service = service
+        self._thread: threading.Thread | None = None
+
+    @property
+    def service(self) -> ExpansionService:
+        return self._service
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ExpansionServer":
+        if self._thread is not None:
+            raise ServeError("server already started")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name=f"repro-serve:{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        self._httpd.serve_forever()
+
+    def stop(self) -> None:
+        """Stop serving and release the socket; safe on a never-started server.
+
+        ``shutdown()`` waits on an event that only ``serve_forever`` sets,
+        so it must not run unless :meth:`start` spun the serving thread —
+        on an unstarted server it would block forever. (The CLI's
+        blocking ``serve_forever`` path reaches here only after
+        ``serve_forever`` has already returned, where a bare
+        ``server_close`` is the right cleanup.)
+        """
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join(timeout=5)
+            self._thread = None
+        self._httpd.server_close()
+
+    def __enter__(self) -> "ExpansionServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+
+def create_server(
+    configs: Iterable[ServeConfig | str],
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    cache_size: int = 1024,
+    cache_ttl: float | None = None,
+    workers: int = DEFAULT_WORKERS,
+) -> ExpansionServer:
+    """Assemble pool → service → HTTP server in one call.
+
+    ``configs`` entries may be :class:`ServeConfig` objects or CLI spec
+    strings (``name:key=value,...``). The pool's invalidation hook is
+    wired to the service's response cache.
+    """
+    parsed = [
+        c if isinstance(c, ServeConfig) else ServeConfig.parse(c)
+        for c in configs
+    ]
+    # ExpansionService wires the pool's invalidation hook to its cache.
+    service = ExpansionService(
+        SessionPool(parsed),
+        cache_size=cache_size,
+        cache_ttl=cache_ttl,
+        workers=workers,
+    )
+    return ExpansionServer(service, host=host, port=port)

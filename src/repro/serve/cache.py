@@ -1,0 +1,17 @@
+"""The serving layer's tier-0 cache (re-export of :mod:`repro.caching`).
+
+:class:`LRUTTLCache` memoizes whole response payloads keyed on
+``(config, endpoint, query, params..., index generation)``. It is the
+top of the serving cache hierarchy — below it sit the per-session
+retrieval cache (memoized seed-query searches) and the candidate-stats
+cache, both owned by :class:`~repro.api.Session` and backed by the
+*same* implementation. All three tiers are reported by ``/metrics``;
+see :mod:`repro.caching` for the eviction/expiration/invalidation
+semantics.
+"""
+
+from __future__ import annotations
+
+from repro.caching import NO_TTL, LRUTTLCache
+
+__all__ = ["LRUTTLCache", "NO_TTL"]

@@ -1,0 +1,393 @@
+"""Named serving configurations and the warm session pool behind them.
+
+A :class:`ServeConfig` is everything needed to build one
+:class:`~repro.api.Session` — dataset, retrieval scorer, index backend,
+clusterer, algorithm, and config knobs — under a stable *name* that
+requests select with ``?config=<name>``. Specs parse from the compact
+CLI form::
+
+    name:key=value,key=value,...
+    # e.g.  wiki:dataset=wikipedia,algorithm=iskr,k=3,backend=sharded,shards=8
+
+The :class:`SessionPool` owns one lazily-built session per configuration
+(first request pays construction; everyone after shares the warm index,
+retrieval cache, and candidate cache), installs a
+:class:`~repro.serve.metrics.ServerMetricsMiddleware` on each session's
+pipeline, and — for mutable backends — subscribes to
+:class:`~repro.index.dynamic.DynamicIndex` mutation listeners so every
+ingestion immediately:
+
+1. refreshes the session (retrieval cache, candidate cache, scorer
+   statistics snapshot), and
+2. fires the pool's ``on_invalidate`` callback, which the service uses
+   to drop that configuration's cached responses.
+
+Sessions whose backend declares ``concurrent_reads=False`` (the dynamic
+index) additionally get a per-session execution lock, which
+:meth:`PooledSession.locked` exposes to the service.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+from threading import Lock, RLock
+from typing import Any, Callable, Iterable, Iterator, Mapping
+
+from repro.api.session import Session
+from repro.data.documents import Document
+from repro.errors import ConfigError, ServeError, UnknownConfigError
+from repro.serve.metrics import ServerMetricsMiddleware
+
+#: Spec keys accepted by :meth:`ServeConfig.parse`, with their aliases.
+_SPEC_KEYS = {
+    "dataset": "dataset",
+    "algorithm": "algorithm",
+    "clusterer": "clusterer",
+    "retrieval": "retrieval",
+    "scoring": "retrieval",
+    "backend": "backend",
+    "shards": "shards",
+    "k": "n_clusters",
+    "n_clusters": "n_clusters",
+    "top": "top_k_results",
+    "top_k_results": "top_k_results",
+    "semantics": "semantics",
+    "seed": "seed",
+}
+
+#: Spec fields that must parse as integers (pool builds are lazy, so a
+#: typo here would otherwise only surface as a 400 on the first request).
+_INT_FIELDS = frozenset({"shards", "n_clusters", "top_k_results", "seed"})
+
+
+@dataclass
+class ServeConfig:
+    """One named serving configuration (see module docstring)."""
+
+    name: str
+    dataset: str = "wikipedia"
+    algorithm: str = "iskr"
+    clusterer: str | None = None
+    retrieval: str = "tfidf"
+    backend: str = "memory"
+    shards: int | None = None
+    n_clusters: int = 3
+    top_k_results: int | None = 30
+    semantics: str | None = None
+    seed: int = 0
+    config_kwargs: Mapping[str, Any] = field(default_factory=dict)
+    dataset_kwargs: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name or not str(self.name).strip():
+            raise ConfigError("serve configurations need a non-empty name")
+        self.name = str(self.name).strip()
+        # Registry names are case-insensitive everywhere else; normalize
+        # here so guards (and build_session kwargs) agree with them.
+        for field_name in (
+            "dataset", "algorithm", "clusterer", "retrieval", "backend",
+            "semantics",
+        ):
+            value = getattr(self, field_name)
+            if isinstance(value, str):
+                setattr(self, field_name, value.strip().lower())
+        if self.shards is not None and self.backend != "sharded":
+            raise ConfigError(
+                f"config {self.name!r} sets shards={self.shards} but "
+                f"backend={self.backend!r}; shards only applies to "
+                f"backend=sharded"
+            )
+
+    @classmethod
+    def parse(cls, spec: str) -> "ServeConfig":
+        """Build from the CLI spec form ``name[:key=value,...]``."""
+        spec = spec.strip()
+        if not spec:
+            raise ConfigError("empty serve config spec")
+        name, _, rest = spec.partition(":")
+        if "=" in name:
+            # A forgotten "name:" prefix would otherwise turn the whole
+            # key=value spec into a config *name* with default settings.
+            raise ConfigError(
+                f"serve config spec {spec!r} has no name; "
+                f"expected name:key=value,..."
+            )
+        kwargs: dict[str, Any] = {}
+        for pair in filter(None, (p.strip() for p in rest.split(","))):
+            key, sep, raw = pair.partition("=")
+            if not sep:
+                raise ConfigError(
+                    f"bad serve config entry {pair!r} in {spec!r}; "
+                    f"expected key=value"
+                )
+            key = key.strip().lower()
+            if key not in _SPEC_KEYS:
+                raise ConfigError(
+                    f"unknown serve config key {key!r} in {spec!r}; "
+                    f"known keys: {', '.join(sorted(set(_SPEC_KEYS)))}"
+                )
+            field_name = _SPEC_KEYS[key]
+            value: Any = raw.strip()
+            if field_name in _INT_FIELDS:
+                try:
+                    value = int(value)
+                except ValueError:
+                    raise ConfigError(
+                        f"serve config key {key!r} needs an integer, "
+                        f"got {value!r} in {spec!r}"
+                    ) from None
+            kwargs[field_name] = value
+        if kwargs.get("top_k_results") == 0:
+            kwargs["top_k_results"] = None  # 0 = expand over all results
+        return cls(name=name, **kwargs)
+
+    def build_session(
+        self,
+        middleware: Iterable[Any] = (),
+        retrieval_cache_size: int | None = None,
+        candidate_cache_size: int | None = None,
+    ) -> Session:
+        """Construct the session (build-time validation applies)."""
+        builder = (
+            Session.builder()
+            .dataset(self.dataset, **dict(self.dataset_kwargs))
+            .retrieval(self.retrieval)
+            .algorithm(self.algorithm)
+            .seed(self.seed)
+        )
+        backend_kwargs = (
+            {"shards": self.shards}
+            if self.backend == "sharded" and self.shards is not None
+            else {}
+        )
+        builder.backend(self.backend, **backend_kwargs)
+        if self.clusterer is not None:
+            builder.clusterer(self.clusterer)
+        config: dict[str, Any] = {
+            "n_clusters": self.n_clusters,
+            "top_k_results": self.top_k_results,
+        }
+        if self.semantics is not None:
+            config["semantics"] = self.semantics
+        config.update(self.config_kwargs)
+        builder.config(**config)
+        builder.cache_capacity(
+            retrieval=retrieval_cache_size, candidates=candidate_cache_size
+        )
+        if middleware:
+            builder.middleware(*middleware)
+        return builder.build()
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "dataset": self.dataset,
+            "algorithm": self.algorithm,
+            "clusterer": self.clusterer,
+            "retrieval": self.retrieval,
+            "backend": self.backend,
+            "shards": self.shards,
+            "n_clusters": self.n_clusters,
+            "top_k_results": self.top_k_results,
+            "semantics": self.semantics,
+            "seed": self.seed,
+        }
+
+
+class PooledSession:
+    """A built session plus its serving plumbing (metrics, locking)."""
+
+    def __init__(self, config: ServeConfig, session: Session) -> None:
+        self.config = config
+        self.session = session
+        self.stage_metrics = _find_metrics_middleware(session)
+        caps = session.engine.index.capabilities()
+        self._exclusive = not caps.concurrent_reads
+        self._lock = RLock()
+        self.invalidations = 0
+
+    @property
+    def index(self):
+        return self.session.engine.index
+
+    def generation(self) -> int:
+        """The index's change counter (0 for immutable backends)."""
+        return int(getattr(self.index, "generation", 0))
+
+    @contextlib.contextmanager
+    def locked(self) -> Iterator[None]:
+        """Serialize execution for backends without concurrent reads."""
+        if self._exclusive:
+            with self._lock:
+                yield
+        else:
+            yield
+
+
+def _find_metrics_middleware(session: Session) -> ServerMetricsMiddleware:
+    for mw in session.execution_pipeline.middleware:
+        if isinstance(mw, ServerMetricsMiddleware):
+            return mw
+    raise ServeError(
+        "pooled sessions must carry a ServerMetricsMiddleware; "
+        "build them through SessionPool"
+    )
+
+
+class SessionPool:
+    """Lazily builds and shares one warm session per named configuration.
+
+    Parameters
+    ----------
+    configs:
+        The named configurations to serve.
+    on_invalidate:
+        ``callback(config_name)`` fired after a mutable backend ingests
+        documents (and the session has been refreshed) — the service
+        hooks its response cache here.
+    retrieval_cache_size / candidate_cache_size:
+        Per-session cache capacities (None = session defaults).
+    """
+
+    def __init__(
+        self,
+        configs: Iterable[ServeConfig],
+        on_invalidate: Callable[[str], None] | None = None,
+        retrieval_cache_size: int | None = None,
+        candidate_cache_size: int | None = None,
+    ) -> None:
+        self._configs: dict[str, ServeConfig] = {}
+        for config in configs:
+            if config.name in self._configs:
+                raise ConfigError(
+                    f"duplicate serve config name {config.name!r}"
+                )
+            self._configs[config.name] = config
+        if not self._configs:
+            raise ConfigError("a session pool needs at least one config")
+        self._on_invalidate = on_invalidate
+        self._retrieval_cache_size = retrieval_cache_size
+        self._candidate_cache_size = candidate_cache_size
+        self._entries: dict[str, PooledSession] = {}
+        self._build_locks = {name: Lock() for name in self._configs}
+        self._lock = Lock()
+
+    # -- lookup --------------------------------------------------------------
+
+    @property
+    def invalidation_hook(self) -> Callable[[str], None] | None:
+        return self._on_invalidate
+
+    @invalidation_hook.setter
+    def invalidation_hook(self, callback: Callable[[str], None] | None) -> None:
+        self._on_invalidate = callback
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._configs)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._configs
+
+    def get(self, name: str) -> PooledSession:
+        """The pooled session for ``name``, building it on first use."""
+        if name not in self._configs:
+            raise UnknownConfigError(
+                f"unknown serve config {name!r}; "
+                f"configured: {', '.join(self._configs)}"
+            )
+        with self._lock:
+            entry = self._entries.get(name)
+        if entry is not None:
+            return entry
+        # Per-config build lock: concurrent first requests for one config
+        # build once; different configs build in parallel.
+        with self._build_locks[name]:
+            with self._lock:
+                entry = self._entries.get(name)
+            if entry is not None:
+                return entry
+            entry = self._build(self._configs[name])
+            with self._lock:
+                self._entries[name] = entry
+            return entry
+
+    def _build(self, config: ServeConfig) -> PooledSession:
+        session = config.build_session(
+            middleware=(ServerMetricsMiddleware(),),
+            retrieval_cache_size=self._retrieval_cache_size,
+            candidate_cache_size=self._candidate_cache_size,
+        )
+        entry = PooledSession(config, session)
+        subscribe = getattr(entry.index, "subscribe", None)
+        if callable(subscribe):
+            # The invalidation contract: ingestion -> session refresh
+            # (retrieval/candidate caches + scorer snapshot) -> service
+            # callback (response-cache invalidation). Runs on the
+            # ingesting thread, after the index is consistent.
+            subscribe(lambda _index, _entry=entry: self._invalidate(_entry))
+        return entry
+
+    def _invalidate(self, entry: PooledSession) -> None:
+        entry.session.refresh()
+        entry.invalidations += 1
+        if self._on_invalidate is not None:
+            self._on_invalidate(entry.config.name)
+
+    # -- ingestion -----------------------------------------------------------
+
+    def ingest(self, name: str, documents: Iterable[Document]) -> int:
+        """Append documents to ``name``'s index; returns how many landed.
+
+        Only configurations on a mutable backend (``backend=dynamic``)
+        accept ingestion; anything else raises :class:`ServeError`.
+        Invalidation listeners fire once, after the whole batch.
+        """
+        entry = self.get(name)
+        add_all = getattr(entry.index, "add_all", None)
+        if not callable(add_all) or not entry.index.capabilities().mutable:
+            raise ServeError(
+                f"config {name!r} uses immutable backend "
+                f"{entry.index.capabilities().name!r}; ingestion needs "
+                f"backend=dynamic"
+            )
+        with entry.locked():
+            return len(add_all(list(documents)))
+
+    # -- introspection -------------------------------------------------------
+
+    def built_names(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(self._entries)
+
+    def describe(self) -> dict[str, Any]:
+        """Spec + live state per configuration (JSON-ready)."""
+        with self._lock:
+            entries = dict(self._entries)
+        out: dict[str, Any] = {}
+        for name, config in self._configs.items():
+            info = config.describe()
+            entry = entries.get(name)
+            info["built"] = entry is not None
+            if entry is not None:
+                info["generation"] = entry.generation()
+                info["invalidations"] = entry.invalidations
+                info["session"] = entry.session.describe()
+            out[name] = info
+        return out
+
+    def stage_metrics(self) -> dict[str, Any]:
+        """Per-config, per-stage latency histograms (built configs only)."""
+        with self._lock:
+            entries = dict(self._entries)
+        return {
+            name: entry.stage_metrics.snapshot()
+            for name, entry in entries.items()
+        }
+
+    def session_cache_info(self) -> dict[str, Any]:
+        with self._lock:
+            entries = dict(self._entries)
+        return {
+            name: entry.session.cache_info() for name, entry in entries.items()
+        }

@@ -170,13 +170,99 @@ class TestSessionBasics:
         wiki_session.expand("java")
         assert wiki_session.engine.cache_info()["entries"] >= 1
 
-    def test_bounded_cache_evicts_oldest(self):
-        from repro.api.session import _BoundedCache
+    def test_bounded_cache_evicts_beyond_capacity(self):
+        # Session caches are the shared repro.caching.LRUTTLCache.
+        from repro.caching import LRUTTLCache
 
-        cache = _BoundedCache(2)
+        cache = LRUTTLCache(maxsize=2)
         cache["a"], cache["b"], cache["c"] = 1, 2, 3
         assert "a" not in cache
-        assert dict(cache) == {"b": 2, "c": 3}
+        assert cache.get("b") == 2 and cache.get("c") == 3
+
+    def test_bounded_cache_is_lru_not_fifo(self):
+        from repro.caching import LRUTTLCache
+
+        cache = LRUTTLCache(maxsize=2)
+        cache["a"], cache["b"] = 1, 2
+        assert cache.get("a") == 1  # refresh a's recency
+        cache["c"] = 3  # evicts b, the least recently used
+        assert "a" in cache and "b" not in cache and "c" in cache
+
+    def test_bounded_cache_overwrite_refreshes_recency(self):
+        from repro.caching import LRUTTLCache
+
+        cache = LRUTTLCache(maxsize=2)
+        cache["a"], cache["b"] = 1, 2
+        cache["a"] = 10
+        cache["c"] = 3
+        assert "a" in cache and "c" in cache and "b" not in cache
+        assert cache.get("a") == 10
+
+    def test_shared_caches_survive_concurrent_hammering(self):
+        # LRU reads mutate (recency refresh); the shared cache must
+        # stay consistent under the thread fan-out sessions advertise.
+        import threading
+
+        from repro.caching import LRUTTLCache
+
+        cache = LRUTTLCache(maxsize=8)
+        errors = []
+
+        def hammer(worker: int) -> None:
+            try:
+                for i in range(2000):
+                    key = f"k{(worker + i) % 12}"
+                    cache[key] = i
+                    cache.get(key)
+                    cache.get(f"k{i % 12}")
+            except Exception as exc:  # noqa: BLE001 — the test is "no exception"
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(w,)) for w in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert len(cache) <= 8
+
+    def test_cache_capacity_configurable_and_described(self):
+        session = (
+            Session.builder()
+            .dataset("wikipedia")
+            .cache_capacity(retrieval=2, candidates=3)
+            .config(n_clusters=3)
+            .build()
+        )
+        caches = session.describe()["caches"]
+        assert caches["retrieval"]["capacity"] == 2
+        assert caches["candidates"]["capacity"] == 3
+        # both tiers report the full documented shape
+        for tier in ("retrieval", "candidates"):
+            assert set(caches[tier]) >= {"entries", "capacity", "hits", "misses"}
+        # Capacity is enforced: three distinct retrievals keep two.
+        for query in ("java", "rockets", "columbia"):
+            session.search(query)
+        assert session.cache_info()["retrieval"]["entries"] == 2
+
+    def test_cache_capacity_validates(self):
+        with pytest.raises(ConfigError):
+            Session.builder().cache_capacity(retrieval=0)
+        with pytest.raises(ConfigError):
+            Session.builder().cache_capacity(candidates=-1)
+
+    def test_describe_reports_hits_and_misses(self, wiki_session):
+        wiki_session.clear_caches()
+        before = wiki_session.describe()["caches"]["retrieval"]
+        wiki_session.search("java")
+        wiki_session.search("java")
+        after = wiki_session.describe()["caches"]["retrieval"]
+        assert after["misses"] == before["misses"] + 1
+        assert after["hits"] == before["hits"] + 1
+        assert after["entries"] == 1
+        assert after["capacity"] >= 1
 
     def test_retrieval_cache_shared(self, wiki_session):
         before = wiki_session.engine.cache_info()["entries"]

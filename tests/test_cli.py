@@ -46,6 +46,34 @@ class TestParser:
         )
         assert args.algorithm == "exact"
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 8080
+        assert args.configs == ["default:dataset=wikipedia"]
+        assert args.cache_size == 1024
+        assert args.cache_ttl == 0.0
+        assert args.workers == 4
+
+    def test_serve_negative_ttl_fails_cleanly(self, capsys):
+        rc = main(["serve", "--port", "0", "--cache-ttl", "-5"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_bad_spec_fails_cleanly(self, capsys):
+        rc = main(["serve", "--port", "0", "--configs", "w:k=abc"])
+        assert rc == 2
+        assert "needs an integer" in capsys.readouterr().err
+
+    def test_serve_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--configs",
+             "a:dataset=wikipedia,k=4", "b:dataset=shopping",
+             "--cache-size", "64", "--cache-ttl", "30", "--workers", "2"]
+        )
+        assert args.port == 0
+        assert len(args.configs) == 2
+        assert args.cache_ttl == 30.0
+
 
 class TestSearchCommand:
     def test_search_shopping(self, capsys):
@@ -109,6 +137,46 @@ class TestExpandCommand:
         payload = json.loads(capsys.readouterr().out)
         assert payload["schema_version"] == 2
         assert [t["stage"] for t in payload["stage_timings"]][0] == "retrieve"
+
+    def test_trace_timings_ordered_as_pipeline(self, capsys):
+        # --trace prints one line per stage, in execution order
+        # (retrieve -> ... -> expand), before the total.
+        rc = main(
+            ["expand", "--dataset", "wikipedia", "--query", "java",
+             "-k", "3", "--trace"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        lines = out[out.index("stage timings:"):].splitlines()[1:]
+        stages = [line.split()[0] for line in lines]
+        assert stages == [
+            "retrieve", "cluster", "universe", "candidates", "tasks",
+            "expand", "total",
+        ]
+        # every stage line carries a parseable millisecond figure
+        for line in lines:
+            assert float(line.split()[1]) >= 0.0
+
+    def test_json_stage_timings_roundtrip_v2_schema(self, capsys):
+        import json
+
+        from repro.api import report_from_dict, report_to_dict
+
+        rc = main(
+            ["expand", "--dataset", "wikipedia", "--query", "java",
+             "-k", "3", "--json"]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        stages = [t["stage"] for t in payload["stage_timings"]]
+        assert stages == [
+            "retrieve", "cluster", "universe", "candidates", "tasks", "expand",
+        ]
+        report = report_from_dict(payload)
+        assert [t.stage for t in report.stage_timings] == stages
+        assert all(t.seconds >= 0.0 for t in report.stage_timings)
+        # lossless round-trip through the v2 envelope
+        assert report_to_dict(report) == payload
 
 
 class TestExperimentCommand:

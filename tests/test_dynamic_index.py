@@ -59,6 +59,93 @@ class TestIngestion:
         assert index.generation == g0 + 3
 
 
+class TestCorpusAdoption:
+    def test_adopted_corpus_is_shared_not_copied(self, docs):
+        corpus = Corpus(docs)
+        index = DynamicIndex(corpus=corpus)
+        assert index.corpus is corpus
+        assert index.num_documents == 3
+        assert index.generation == 0  # adoption is not a mutation
+
+    def test_adoption_matches_static_index(self, docs):
+        corpus = Corpus(docs)
+        adopted = DynamicIndex(corpus=corpus)
+        static = InvertedIndex(corpus)
+        assert adopted.vocabulary() == static.vocabulary()
+        for term in static.vocabulary():
+            assert [(p.doc, p.tf) for p in adopted.postings(term)] == [
+                (p.doc, p.tf) for p in static.postings(term)
+            ]
+
+    def test_append_lands_in_adopted_corpus(self, docs):
+        corpus = Corpus(docs)
+        index = DynamicIndex(corpus=corpus)
+        pos = index.add(make_doc("d4", {"cherry": 1}))
+        assert len(corpus) == 4
+        assert corpus[pos].doc_id == "d4"
+
+
+class TestMutationListeners:
+    def test_listener_fires_per_add(self, docs):
+        index = DynamicIndex()
+        seen = []
+        index.subscribe(lambda idx: seen.append(idx.generation))
+        index.add(docs[0])
+        index.add(docs[1])
+        assert seen == [1, 2]
+
+    def test_add_all_notifies_once(self, docs):
+        index = DynamicIndex()
+        calls = []
+        index.subscribe(lambda idx: calls.append(idx.num_documents))
+        index.add_all(docs)
+        assert calls == [3]
+        index.add_all([])
+        assert calls == [3]  # empty batches are not mutations
+
+    def test_add_all_notifies_even_when_a_batch_document_fails(self, docs):
+        # A mid-batch rejection must still announce the documents that
+        # landed — otherwise downstream caches would serve stale data.
+        index = DynamicIndex(docs[:1])
+        calls = []
+        index.subscribe(lambda idx: calls.append(idx.num_documents))
+        with pytest.raises(DataError):
+            index.add_all([docs[1], make_doc("d1", {"dupe": 1}), docs[2]])
+        assert calls == [2]  # docs[1] landed and was announced
+
+    def test_unsubscribe(self, docs):
+        index = DynamicIndex()
+        calls = []
+        unsubscribe = index.subscribe(lambda idx: calls.append(1))
+        index.add(docs[0])
+        unsubscribe()
+        unsubscribe()  # idempotent
+        index.add(docs[1])
+        assert calls == [1]
+
+    def test_listener_exception_isolated(self, docs):
+        index = DynamicIndex()
+        calls = []
+
+        def bad(idx):
+            raise RuntimeError("boom")
+
+        index.subscribe(bad)
+        index.subscribe(lambda idx: calls.append(1))
+        pos = index.add(docs[0])  # must not raise
+        assert pos == 0
+        assert calls == [1]  # later listeners still ran
+
+    def test_listener_sees_consistent_index(self, docs):
+        index = DynamicIndex(docs[:1])
+        observed = []
+        index.subscribe(
+            lambda idx: observed.append(idx.and_query(["banana"]))
+        )
+        index.add(docs[2])
+        assert observed == [[1]]  # the new doc was queryable in the hook
+
+
 class TestRetrieval:
     def test_and_or_queries(self, docs):
         index = DynamicIndex(docs)
