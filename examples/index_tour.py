@@ -9,7 +9,9 @@ exercises its deeper layers directly:
 3. posting-list compression (varint and Elias gamma) and the binary
    on-disk index format, round-tripped through a temporary file;
 4. the IndexBackend protocol: memory, disk, and sharded storage all
-   answering the same queries identically, selected by registry name.
+   answering the same queries identically, selected by registry name;
+5. the durable SQLite document store: the same queries, persisted —
+   a reopen recovers the committed index without the raw documents.
 
 Run:  python examples/index_tour.py
 """
@@ -113,6 +115,26 @@ def main() -> None:
         print(
             f"  backend {name!r:10s} -> {len(answer)} matches "
             f"(consistent: {answer == reference}; {traits})"
+        )
+
+    # 5. Durable storage: the SQLite document store -------------------------
+    # The "sqlite" backend persists corpus + postings in one WAL-mode
+    # file: reopening it recovers the exact committed state without
+    # touching the raw documents (see examples/durable_store.py for the
+    # full mutate/compact/snapshot lifecycle).
+    with tempfile.TemporaryDirectory() as tmp:
+        store_path = Path(tmp) / "wiki.sqlite"
+        durable = BACKENDS.create("sqlite", corpus, path=store_path)
+        first = durable.or_query(query)
+        durable.store.close()
+
+        from repro.store import DocumentStore, SQLiteIndexBackend
+
+        reopened = SQLiteIndexBackend(DocumentStore(store_path))
+        print(
+            f"  backend 'sqlite'   -> {len(first)} matches "
+            f"(reload consistent: {reopened.or_query(query) == reference}; "
+            f"generation {reopened.generation})"
         )
 
 

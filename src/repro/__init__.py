@@ -104,6 +104,7 @@ from repro.errors import (
     RegistryError,
     ReproError,
     SchemaError,
+    StoreError,
 )
 from repro.eval import ExperimentSuite, UserStudySimulator, run_scalability
 from repro.index import (
@@ -124,6 +125,7 @@ from repro.pipeline import (
     default_pipeline,
 )
 from repro.prf import KLDivergencePRF, RobertsonPRF, RocchioPRF
+from repro.store import DocumentStore, SQLiteIndexBackend
 from repro.text import Analyzer, PorterStemmer, tokenize
 
 __version__ = "1.0.0"
@@ -153,6 +155,7 @@ __all__ = [
     "DataError",
     "DeltaFMeasureRefinement",
     "DiskIndex",
+    "DocumentStore",
     "Document",
     "ExhaustiveOptimalExpansion",
     "ExpandedQuery",
@@ -180,11 +183,13 @@ __all__ = [
     "Registry",
     "RegistryError",
     "ReproError",
+    "StoreError",
     "ResultUniverse",
     "RobertsonPRF",
     "RocchioPRF",
     "SCORERS",
     "STAGES",
+    "SQLiteIndexBackend",
     "SchemaError",
     "SearchEngine",
     "SearchResult",

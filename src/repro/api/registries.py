@@ -321,6 +321,43 @@ def _make_sharded_backend(corpus, shards=4, **kwargs) -> ShardedIndex:
     return ShardedIndex(corpus, n_shards=shards, **kwargs)
 
 
+@BACKENDS.register("sqlite")
+def _make_sqlite_backend(corpus, path=None, store=None):
+    """Durable SQLite-backed index that *adopts* the engine's corpus.
+
+    ``store`` is an open :class:`~repro.store.DocumentStore` (the
+    serving layer passes one so the pool and the backend share a single
+    writer); ``path`` opens or creates a store file. With neither, the
+    index lives in a temporary file for the process lifetime — durable
+    semantics, throwaway storage.
+
+    An empty store is bulk-loaded from the corpus in one transaction; a
+    populated one is verified against the corpus (position-aligned
+    doc_ids and lengths) and reused — a mismatched file raises instead
+    of silently serving other data, like the ``"disk"`` backend.
+    """
+    import atexit
+    import shutil
+    import tempfile
+    from pathlib import Path
+
+    from repro.store import DocumentStore, SQLiteIndexBackend
+
+    if store is None:
+        if path is None:
+            tmpdir = tempfile.mkdtemp(prefix="repro-store-")
+            # Throwaway storage must not outlive the process (the
+            # pathless "disk" backend cleans up the same way).
+            atexit.register(shutil.rmtree, tmpdir, True)
+            path = Path(tmpdir) / "store.sqlite"
+        store = DocumentStore(path)
+    elif path is not None:
+        raise RegistryError(
+            "backend 'sqlite' takes either path=... or store=..., not both"
+        )
+    return SQLiteIndexBackend(store, corpus=corpus)
+
+
 @BACKENDS.register("dynamic")
 def _make_dynamic_backend(corpus):
     """Append-friendly index that *adopts* the engine's corpus.

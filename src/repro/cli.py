@@ -2,10 +2,11 @@
 
 Subcommands
 -----------
-search       run a keyword query over a synthetic corpus
+search       run a keyword query over a synthetic corpus or a store
 expand       generate expanded queries for a seed query
 batch        expand many seed queries at once (JSON output)
 serve        long-running JSON-over-HTTP expansion service
+store        durable document store: init/ingest/delete/compact/snapshot/stats
 interleave   §7 future work: alternate clustering and expansion
 prf          compare pseudo-relevance-feedback schemes against ISKR
 facets       faceted-search comparator over a seed query's results
@@ -44,14 +45,41 @@ def _make_session(args: argparse.Namespace) -> Session:
     """One session from the common CLI flags, via the registry-driven builder."""
     builder = (
         Session.builder()
-        .dataset(args.dataset)
         .retrieval(getattr(args, "scoring", "tfidf"))
         .seed(args.seed)
     )
     backend = getattr(args, "backend", None)
-    if backend is not None:
-        kwargs = {"shards": args.shards} if backend == "sharded" else {}
-        builder.backend(backend, **kwargs)
+    store_path = getattr(args, "store", None)
+    if store_path is not None:
+        from repro.errors import ConfigError
+        from repro.store import DocumentStore
+
+        if backend not in (None, "memory", "sqlite"):
+            raise ConfigError(
+                f"--store requires --backend sqlite, got {backend!r}"
+            )
+        store = DocumentStore(store_path)
+        if len(store):
+            # A populated store is the corpus (the restart path);
+            # --dataset only seeds an empty store.
+            builder.corpus(store.corpus())
+        elif getattr(args, "dataset", None) is not None:
+            builder.dataset(args.dataset)
+        else:
+            raise ConfigError(
+                f"store at {store_path} is empty; pass --dataset to seed "
+                f"it, or populate it first with 'repro store ingest'"
+            )
+        builder.backend("sqlite", store=store)
+    else:
+        if getattr(args, "dataset", None) is None:
+            from repro.errors import ConfigError
+
+            raise ConfigError("--dataset is required (unless --store is given)")
+        builder.dataset(args.dataset)
+        if backend is not None:
+            kwargs = {"shards": args.shards} if backend == "sharded" else {}
+            builder.backend(backend, **kwargs)
     if getattr(args, "algorithm", None) is not None:
         builder.algorithm(args.algorithm)
     config: dict = {}
@@ -79,7 +107,10 @@ def _cmd_search(args: argparse.Namespace) -> int:
         format_table(
             ["rank", "doc", "score", "snippet" if args.snippets else "title"],
             rows,
-            title=f"{len(results)} results for {args.query!r} on {args.dataset}",
+            title=(
+                f"{len(results)} results for {args.query!r} on "
+                f"{args.dataset or f'store {args.store}'}"
+            ),
         )
     )
     return 0
@@ -176,6 +207,105 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("shutting down", flush=True)
     finally:
         server.stop()
+    return 0
+
+
+def _open_store(args: argparse.Namespace):
+    from repro.store import DocumentStore
+
+    return DocumentStore(args.store)
+
+
+def _cmd_store_init(args: argparse.Namespace) -> int:
+    store = _open_store(args)
+    stats = store.stats()
+    print(
+        f"store {stats['path']}: schema v{stats['schema_version']}, "
+        f"{stats['live_documents']} live documents, "
+        f"generation {stats['generation']}"
+    )
+    return 0
+
+
+def _iter_jsonl_documents(path: str, analyzer):
+    from repro.data.documents import document_from_payload
+    from repro.errors import DataError, SchemaError
+
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise DataError(f"{path}:{lineno}: bad JSON: {exc}") from None
+            try:
+                yield document_from_payload(payload, analyzer=analyzer)
+            except (DataError, SchemaError) as exc:
+                raise DataError(f"{path}:{lineno}: {exc}") from None
+
+
+def _cmd_store_ingest(args: argparse.Namespace) -> int:
+    from repro.api import DATASETS
+    from repro.text.analyzer import Analyzer
+
+    store = _open_store(args)
+    # The non-stemming analyzer matches the session builder's default,
+    # so a store ingested here answers session queries verbatim.
+    analyzer = Analyzer(use_stemming=False)
+    if args.jsonl is not None:
+        documents = list(_iter_jsonl_documents(args.jsonl, analyzer))
+    else:
+        documents = list(
+            DATASETS.create(args.dataset, seed=args.seed, analyzer=analyzer)
+        )
+    positions = store.upsert_all(documents)
+    print(
+        f"ingested {len(positions)} documents into {store.path} "
+        f"(generation {store.generation}, {store.num_live} live)"
+    )
+    return 0
+
+
+def _cmd_store_delete(args: argparse.Namespace) -> int:
+    store = _open_store(args)
+    positions = store.delete_all(args.doc_ids)
+    print(
+        f"tombstoned {len(positions)} documents in {store.path} "
+        f"({store.num_live} live remain); run 'repro store compact' "
+        f"to reclaim space"
+    )
+    return 0
+
+
+def _cmd_store_compact(args: argparse.Namespace) -> int:
+    store = _open_store(args)
+    before = store.stats()["file_bytes"]
+    dropped = store.compact()
+    after = store.stats()["file_bytes"]
+    print(
+        f"compacted {store.path}: dropped {dropped['postings_dropped']} "
+        f"postings and {dropped['terms_dropped']} terms, "
+        f"{before} -> {after} bytes"
+    )
+    return 0
+
+
+def _cmd_store_snapshot(args: argparse.Namespace) -> int:
+    store = _open_store(args)
+    dest = store.snapshot(args.dest)
+    print(f"snapshot of {store.path} (generation {store.generation}) -> {dest}")
+    return 0
+
+
+def _cmd_store_stats(args: argparse.Namespace) -> int:
+    stats = _open_store(args).stats()
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    rows = [[key, stats[key]] for key in sorted(stats)]
+    print(format_table(["field", "value"], rows, title=f"store {stats['path']}"))
     return 0
 
 
@@ -351,12 +481,21 @@ def build_parser() -> argparse.ArgumentParser:
             help="shard count for --backend sharded (default: 4)",
         )
 
+    def add_store_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--store", metavar="PATH", default=None,
+            help="SQLite document store path (implies --backend sqlite; a "
+                 "populated store replaces --dataset, an empty one is "
+                 "seeded from it)",
+        )
+
     p = sub.add_parser("search", help="run a keyword query")
-    p.add_argument("--dataset", choices=datasets, required=True)
+    p.add_argument("--dataset", choices=datasets)
     p.add_argument("--query", required=True)
     p.add_argument("--top", type=int, default=10)
     p.add_argument("--scoring", choices=scorers, default="tfidf")
     add_backend_flags(p)
+    add_store_flag(p)
     p.add_argument(
         "--snippets", action="store_true",
         help="show query-biased snippets instead of titles",
@@ -364,7 +503,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_search)
 
     p = sub.add_parser("expand", help="generate expanded queries")
-    p.add_argument("--dataset", choices=datasets, required=True)
+    p.add_argument("--dataset", choices=datasets)
     p.add_argument("--query", required=True)
     p.add_argument("--algorithm", choices=algorithms, default="iskr")
     p.add_argument("-k", type=int, default=3, help="cluster granularity")
@@ -374,6 +513,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--scoring", choices=scorers, default="tfidf")
     add_backend_flags(p)
+    add_store_flag(p)
     output = p.add_mutually_exclusive_group()
     output.add_argument(
         "--show-results", action="store_true",
@@ -417,7 +557,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=["default:dataset=wikipedia"],
         help="named session configs, each 'name:key=value,...' "
              "(keys: dataset, algorithm, clusterer, scoring, backend, "
-             "shards, k, top, semantics, seed)",
+             "shards, k, top, semantics, seed, store)",
     )
     p.add_argument(
         "--cache-size", type=int, default=1024,
@@ -432,6 +572,58 @@ def build_parser() -> argparse.ArgumentParser:
         help="max concurrently computed (cache-missing) requests",
     )
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "store", help="durable document store: init, ingest, delete, "
+                      "compact, snapshot, stats"
+    )
+    store_sub = p.add_subparsers(dest="store_command", required=True)
+
+    def add_store_path(sp: argparse.ArgumentParser) -> None:
+        sp.add_argument(
+            "--store", metavar="PATH", required=True,
+            help="SQLite store file (created if missing)",
+        )
+
+    sp = store_sub.add_parser("init", help="create (or verify) a store file")
+    add_store_path(sp)
+    sp.set_defaults(func=_cmd_store_init)
+
+    sp = store_sub.add_parser(
+        "ingest", help="bulk-upsert documents from a dataset or a JSONL file"
+    )
+    add_store_path(sp)
+    source = sp.add_mutually_exclusive_group(required=True)
+    source.add_argument("--dataset", choices=datasets)
+    source.add_argument(
+        "--jsonl", metavar="FILE",
+        help="one document per line: {'doc_id','text'[,'title']} or the "
+             "schema form {'doc_id','terms',...}",
+    )
+    sp.set_defaults(func=_cmd_store_ingest)
+
+    sp = store_sub.add_parser("delete", help="tombstone documents by doc_id")
+    add_store_path(sp)
+    sp.add_argument("doc_ids", nargs="+", metavar="DOC_ID")
+    sp.set_defaults(func=_cmd_store_delete)
+
+    sp = store_sub.add_parser(
+        "compact", help="drop tombstoned postings and VACUUM the file"
+    )
+    add_store_path(sp)
+    sp.set_defaults(func=_cmd_store_compact)
+
+    sp = store_sub.add_parser(
+        "snapshot", help="write a consistent copy via the backup API"
+    )
+    add_store_path(sp)
+    sp.add_argument("--dest", metavar="PATH", required=True)
+    sp.set_defaults(func=_cmd_store_snapshot)
+
+    sp = store_sub.add_parser("stats", help="store statistics")
+    add_store_path(sp)
+    sp.add_argument("--json", action="store_true", help="emit JSON")
+    sp.set_defaults(func=_cmd_store_stats)
 
     p = sub.add_parser(
         "interleave", help="alternate clustering and expansion (§7 future work)"

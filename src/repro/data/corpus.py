@@ -31,6 +31,21 @@ class Corpus:
         self._by_id[doc.doc_id] = pos
         return pos
 
+    def replace(self, doc: Document) -> int:
+        """Swap the document stored under ``doc.doc_id``; return its position.
+
+        The position is unchanged — document identity is the integer
+        position everywhere in the library, and the durable store
+        (:mod:`repro.store`) keeps ``doc_id -> position`` stable across
+        upserts, so an adopted corpus must too. Unknown ids raise.
+        """
+        try:
+            pos = self._by_id[doc.doc_id]
+        except KeyError:
+            raise DataError(f"unknown doc_id: {doc.doc_id!r}") from None
+        self._docs[pos] = doc
+        return pos
+
     def __len__(self) -> int:
         return len(self._docs)
 

@@ -139,6 +139,41 @@ def make_text_document(
     return Document(doc_id=doc_id, terms=dict(counts), kind="text", title=title)
 
 
+def document_from_payload(
+    payload: Mapping,
+    analyzer: Analyzer | None = None,
+) -> Document:
+    """A :class:`Document` from a JSON-shaped mapping, two accepted forms.
+
+    The schema form (``doc_id`` + ``terms`` + optional
+    ``kind``/``title``/``fields``) round-trips through
+    :mod:`repro.api.schema`; the convenience form (``doc_id`` +
+    ``text`` + optional ``title``) analyzes the text with ``analyzer``.
+    The single parser behind both ingestion fronts — the serving
+    layer's ``/ingest`` endpoint and the CLI's ``--jsonl`` loader — so
+    the accepted payloads cannot drift apart. Malformed payloads raise
+    :class:`~repro.errors.DataError` (or
+    :class:`~repro.errors.SchemaError` from the schema form).
+    """
+    if not isinstance(payload, Mapping):
+        raise DataError("document payload must be a JSON object")
+    if "terms" in payload:
+        from repro.api import schema
+
+        return schema.document_from_dict(payload)
+    if "text" in payload:
+        doc_id = payload.get("doc_id")
+        if not doc_id:
+            raise DataError("document payload needs a 'doc_id'")
+        return make_text_document(
+            str(doc_id),
+            str(payload["text"]),
+            analyzer=analyzer,
+            title=str(payload.get("title", "")),
+        )
+    raise DataError("document payload needs 'terms' or 'text'")
+
+
 def make_structured_document(
     doc_id: str,
     features: Iterable[Feature],

@@ -51,6 +51,10 @@ class PipelineError(ConfigError):
     """A pipeline was mis-composed (unknown stage, bad insertion anchor)."""
 
 
+class StoreError(ReproError):
+    """A durable-store operation failed (bad path, schema mismatch, ...)."""
+
+
 class ServeError(ReproError):
     """A serving-layer operation failed (bad request, bad parameter, ...)."""
 

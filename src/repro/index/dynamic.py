@@ -5,6 +5,9 @@ from a frozen corpus — the right model for the paper's experiments. A
 search deployment also needs ingestion, so :class:`DynamicIndex` keeps
 the same retrieval surface (postings / boolean queries / doc lengths)
 while accepting appends, with per-term posting lists grown in place.
+Documents can also be :meth:`remove`\\ d — a tombstone that filters the
+position out of queries while keeping every position stable, the same
+model the durable store (:mod:`repro.store`) persists.
 
 Two integration points matter for serving (:mod:`repro.serve`):
 
@@ -65,6 +68,7 @@ class DynamicIndex:
         self._corpus = corpus if corpus is not None else Corpus()
         self._postings: dict[str, PostingList] = {}
         self._doc_lengths: list[int] = []
+        self._removed: set[int] = set()
         self._generation = 0
         self._listeners: list[MutationListener] = []
         if corpus is not None:
@@ -111,6 +115,36 @@ class DynamicIndex:
                 self._notify()
         return positions
 
+    def remove(self, target: int | str) -> None:
+        """Tombstone a document (by position or ``doc_id``).
+
+        Positions are permanent — the corpus keeps the document and no
+        later document shifts — so position-addressed state above the
+        index stays valid. The per-term posting lists are left intact
+        (they are append-only) and filtered at query time; the durable
+        store (:mod:`repro.store`) follows the same tombstone model
+        (its backend's ``remove`` takes the same arguments) and adds
+        the compaction step this in-memory index does not need.
+        Removing an unknown or already-removed document raises.
+        Notifies listeners.
+        """
+        pos = self._corpus.position(target) if isinstance(target, str) else target
+        if not 0 <= pos < len(self._doc_lengths):
+            raise IndexingError(
+                f"cannot remove position {pos}: index holds "
+                f"{len(self._doc_lengths)} documents"
+            )
+        if pos in self._removed:
+            raise IndexingError(f"position {pos} is already removed")
+        self._removed.add(pos)
+        self._generation += 1
+        self._notify()
+
+    @property
+    def removed_positions(self) -> frozenset[int]:
+        """Tombstoned positions (never reused)."""
+        return frozenset(self._removed)
+
     @property
     def generation(self) -> int:
         """Monotone change counter; bump = stats snapshots are stale."""
@@ -154,19 +188,40 @@ class DynamicIndex:
 
     @property
     def num_terms(self) -> int:
-        return len(self._postings)
+        if not self._removed:
+            return len(self._postings)
+        return sum(1 for term in self._postings if self.document_frequency(term))
 
     def __contains__(self, term: object) -> bool:
-        return term in self._postings
+        if not self._removed:
+            return term in self._postings
+        return isinstance(term, str) and self.document_frequency(term) > 0
 
     def vocabulary(self) -> list[str]:
-        return sorted(self._postings)
+        if not self._removed:
+            return sorted(self._postings)
+        return sorted(t for t in self._postings if self.document_frequency(t))
 
     def postings(self, term: str) -> PostingList:
-        return self._postings.get(term, PostingList())
+        live = self._postings.get(term, PostingList())
+        # The common no-tombstone case shares the in-place list; with
+        # tombstones a filtered copy keeps removed documents invisible.
+        if self._removed and live:
+            removed = self._removed
+            return PostingList(p for p in live if p.doc not in removed)
+        return live
 
     def document_frequency(self, term: str) -> int:
-        return len(self._postings.get(term, ()))  # type: ignore[arg-type]
+        live = self._postings.get(term)
+        if live is None:
+            return 0
+        if not self._removed:
+            return len(live)
+        # Count in place: num_terms/vocabulary call this per term, and
+        # materializing a filtered PostingList per call would make them
+        # O(vocabulary x postings) in allocations.
+        removed = self._removed
+        return sum(1 for p in live if p.doc not in removed)
 
     def doc_length(self, pos: int) -> int:
         return self._doc_lengths[pos]

@@ -17,10 +17,16 @@ Endpoints (all JSON):
 ``/expand``     G/P   one expansion; ``report`` is the schema-v2 envelope
 ``/search``     G/P   ranked retrieval; v2 search-result payloads
 ``/batch``      POST  many expansions; a schema-v2 ``batch_report``
+``/ingest``     POST  append documents to a mutable config's index
 ``/configs``    GET   configuration specs + live pool state
 ``/healthz``    GET   liveness + built configurations
 ``/metrics``    GET   request/cache/stage metrics (see API.md: Serving)
 ==============  ====  =====================================================
+
+Ingestion (``/ingest``) requires a mutable backend (``backend=dynamic``
+or ``backend=sqlite``); with a sqlite configuration (``store=<path>``)
+every accepted document is committed to the store before the response
+is written, so it survives a server restart.
 
 Caching: ``/expand`` and ``/search`` responses are memoized in an
 :class:`~repro.serve.cache.LRUTTLCache` keyed on ``(config, endpoint,
@@ -337,6 +343,45 @@ class ExpansionService:
             "report": report,
         }
 
+    def ingest(self, params: Mapping[str, Any]) -> tuple[int, dict[str, Any]]:
+        """Append documents to a mutable configuration's index.
+
+        Each entry in ``documents`` is either a schema document payload
+        (``doc_id`` + ``terms`` + optional ``kind``/``title``/``fields``)
+        or the convenience form ``{"doc_id": ..., "text": ...}``, which
+        is analyzed with the target session's analyzer. The whole batch
+        is applied atomically per backend transaction semantics; the
+        response reports the post-ingest index generation.
+        """
+        from repro.data.documents import document_from_payload
+        from repro.errors import DataError, SchemaError
+
+        t0 = time.perf_counter()
+        entry = self._entry(params)
+        raw = params.get("documents")
+        if not isinstance(raw, (list, tuple)) or not raw:
+            raise ServeError("ingest needs a non-empty 'documents' list")
+        documents = []
+        for i, payload in enumerate(raw):
+            try:
+                documents.append(
+                    document_from_payload(
+                        payload, analyzer=entry.session.analyzer
+                    )
+                )
+            except (DataError, SchemaError) as exc:
+                raise ServeError(f"documents[{i}]: {exc}") from None
+        count = self._pool.ingest(entry.config.name, documents)
+        seconds = time.perf_counter() - t0
+        self._metrics.record("ingest", seconds)
+        return 200, {
+            "config": entry.config.name,
+            "ingested": count,
+            "generation": entry.generation(),
+            "persistent": entry.index.capabilities().persistent,
+            "seconds": seconds,
+        }
+
     def configs(self, params: Mapping[str, Any]) -> tuple[int, dict[str, Any]]:
         t0 = time.perf_counter()
         payload = {"configs": self._pool.describe()}
@@ -381,6 +426,7 @@ class ExpansionService:
         "/expand": ("expand", ("GET", "POST")),
         "/search": ("search", ("GET", "POST")),
         "/batch": ("batch", ("POST",)),
+        "/ingest": ("ingest", ("POST",)),
         "/configs": ("configs", ("GET",)),
         "/healthz": ("healthz", ("GET",)),
         "/metrics": ("metrics_snapshot", ("GET",)),

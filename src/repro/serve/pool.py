@@ -54,6 +54,7 @@ _SPEC_KEYS = {
     "top_k_results": "top_k_results",
     "semantics": "semantics",
     "seed": "seed",
+    "store": "store",
 }
 
 #: Spec fields that must parse as integers (pool builds are lazy, so a
@@ -76,6 +77,7 @@ class ServeConfig:
     top_k_results: int | None = 30
     semantics: str | None = None
     seed: int = 0
+    store: str | None = None
     config_kwargs: Mapping[str, Any] = field(default_factory=dict)
     dataset_kwargs: Mapping[str, Any] = field(default_factory=dict)
 
@@ -98,6 +100,17 @@ class ServeConfig:
                 f"backend={self.backend!r}; shards only applies to "
                 f"backend=sharded"
             )
+        if self.store is not None:
+            # A store path implies the durable backend; "memory" is the
+            # field default, so only an explicit conflicting choice errors.
+            if self.backend == "memory":
+                self.backend = "sqlite"
+            elif self.backend != "sqlite":
+                raise ConfigError(
+                    f"config {self.name!r} sets store={self.store!r} but "
+                    f"backend={self.backend!r}; a store path requires "
+                    f"backend=sqlite"
+                )
 
     @classmethod
     def parse(cls, spec: str) -> "ServeConfig":
@@ -151,17 +164,29 @@ class ServeConfig:
         """Construct the session (build-time validation applies)."""
         builder = (
             Session.builder()
-            .dataset(self.dataset, **dict(self.dataset_kwargs))
             .retrieval(self.retrieval)
             .algorithm(self.algorithm)
             .seed(self.seed)
         )
-        backend_kwargs = (
-            {"shards": self.shards}
-            if self.backend == "sharded" and self.shards is not None
-            else {}
-        )
-        builder.backend(self.backend, **backend_kwargs)
+        if self.store is not None:
+            from repro.store import DocumentStore
+
+            store = DocumentStore(self.store)
+            if len(store):
+                # Restart path: the store file is the durable truth —
+                # the dataset spec only seeds an *empty* store.
+                builder.corpus(store.corpus())
+            else:
+                builder.dataset(self.dataset, **dict(self.dataset_kwargs))
+            builder.backend("sqlite", store=store)
+        else:
+            builder.dataset(self.dataset, **dict(self.dataset_kwargs))
+            backend_kwargs = (
+                {"shards": self.shards}
+                if self.backend == "sharded" and self.shards is not None
+                else {}
+            )
+            builder.backend(self.backend, **backend_kwargs)
         if self.clusterer is not None:
             builder.clusterer(self.clusterer)
         config: dict[str, Any] = {
@@ -192,6 +217,7 @@ class ServeConfig:
             "top_k_results": self.top_k_results,
             "semantics": self.semantics,
             "seed": self.seed,
+            "store": self.store,
         }
 
 
@@ -339,17 +365,19 @@ class SessionPool:
     def ingest(self, name: str, documents: Iterable[Document]) -> int:
         """Append documents to ``name``'s index; returns how many landed.
 
-        Only configurations on a mutable backend (``backend=dynamic``)
-        accept ingestion; anything else raises :class:`ServeError`.
-        Invalidation listeners fire once, after the whole batch.
+        Only configurations on a mutable backend (``backend=dynamic``
+        or ``backend=sqlite``) accept ingestion; anything else raises
+        :class:`ServeError`. A sqlite backend writes through to its
+        store, so the documents survive a restart. Invalidation
+        listeners fire once, after the whole batch.
         """
         entry = self.get(name)
         add_all = getattr(entry.index, "add_all", None)
         if not callable(add_all) or not entry.index.capabilities().mutable:
             raise ServeError(
                 f"config {name!r} uses immutable backend "
-                f"{entry.index.capabilities().name!r}; ingestion needs "
-                f"backend=dynamic"
+                f"{entry.index.capabilities().name!r}; ingestion needs a "
+                f"mutable backend (backend=dynamic or backend=sqlite)"
             )
         with entry.locked():
             return len(add_all(list(documents)))

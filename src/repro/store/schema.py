@@ -1,0 +1,89 @@
+"""SQLite schema and connection configuration for the document store.
+
+One database file holds one corpus: a ``documents`` table (the durable
+corpus, tombstones included), a ``vocabulary`` table interning terms, a
+``postings`` table mirroring the inverted index, and a ``meta`` table
+carrying the schema version and the monotonic generation counter.
+
+Positions are permanent: a document's integer corpus position is
+assigned at first upsert and never reused or shifted — deletes set the
+``deleted`` flag (a tombstone) and compaction drops the tombstoned
+*postings*, never the document rows. That keeps every position-addressed
+structure above the store (corpus, search results, clustering labels)
+stable across the whole mutate/compact/restart lifecycle.
+
+Pragmas follow the embedded-store idiom (see SNIPPETS.md): WAL journal
+mode so readers never block the writer, ``synchronous=NORMAL`` (safe
+with WAL), and a generous ``busy_timeout`` so concurrent openers wait
+instead of failing.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+#: Bump when the table layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: Applied to every connection (writer and per-thread readers).
+PRAGMAS = (
+    "PRAGMA journal_mode=WAL",
+    "PRAGMA synchronous=NORMAL",
+    "PRAGMA busy_timeout=30000",
+    "PRAGMA foreign_keys=ON",
+)
+
+#: Schema DDL; idempotent so ``init`` can run against an existing store.
+DDL = (
+    """
+    CREATE TABLE IF NOT EXISTS meta (
+        key   TEXT PRIMARY KEY,
+        value TEXT NOT NULL
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS documents (
+        pos     INTEGER PRIMARY KEY,
+        doc_id  TEXT NOT NULL UNIQUE,
+        kind    TEXT NOT NULL DEFAULT 'text',
+        title   TEXT NOT NULL DEFAULT '',
+        fields  TEXT NOT NULL DEFAULT '{}',
+        terms   TEXT NOT NULL,
+        length  INTEGER NOT NULL,
+        deleted INTEGER NOT NULL DEFAULT 0
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS vocabulary (
+        term_id INTEGER PRIMARY KEY,
+        term    TEXT NOT NULL UNIQUE
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS postings (
+        term_id INTEGER NOT NULL REFERENCES vocabulary(term_id),
+        pos     INTEGER NOT NULL REFERENCES documents(pos),
+        tf      INTEGER NOT NULL,
+        PRIMARY KEY (term_id, pos)
+    ) WITHOUT ROWID
+    """,
+)
+
+
+def configure(conn: sqlite3.Connection) -> None:
+    """Apply the store pragmas to ``conn``."""
+    for pragma in PRAGMAS:
+        conn.execute(pragma)
+
+
+def create_tables(conn: sqlite3.Connection) -> None:
+    """Create the store tables (idempotent) and seed ``meta``."""
+    for statement in DDL:
+        conn.execute(statement)
+    conn.execute(
+        "INSERT OR IGNORE INTO meta (key, value) VALUES ('schema_version', ?)",
+        (str(SCHEMA_VERSION),),
+    )
+    conn.execute(
+        "INSERT OR IGNORE INTO meta (key, value) VALUES ('generation', '0')"
+    )

@@ -1,0 +1,577 @@
+"""The durable, mutable document store behind the ``"sqlite"`` backend.
+
+A :class:`DocumentStore` owns one SQLite database (see
+:mod:`repro.store.schema`) and exposes the full write path the rest of
+the library lacks:
+
+* **upsert** — new ``doc_id`` values append at the next position; known
+  ``doc_id`` values are rewritten in place at their existing position
+  (payload and postings replaced, tombstone cleared), so the mapping
+  ``doc_id -> position`` is stable for the lifetime of the store;
+* **delete** — a tombstone: the document row stays (positions are
+  permanent), its postings stop matching queries immediately, and
+  :meth:`compact` later rewrites the postings table without them;
+* **compact** — drops tombstoned postings and orphaned vocabulary
+  entries, then ``VACUUM``\\ s the file;
+* **snapshot / restore** — a transactionally consistent copy of the
+  whole store via the SQLite backup API, safe while readers and the
+  writer are live;
+* **generation** — a monotonic counter bumped by every committed
+  mutation and persisted in ``meta``, feeding the serving layer's
+  cache-invalidation keys exactly like
+  :attr:`repro.index.dynamic.DynamicIndex.generation`;
+* **subscribe** — mutation listeners mirroring
+  :meth:`DynamicIndex.subscribe <repro.index.dynamic.DynamicIndex.subscribe>`
+  (notified once per batch, exceptions isolated, empty batches silent).
+
+Concurrency: one writer connection guarded by a lock, plus one lazily
+opened read connection per thread — under WAL, readers never block the
+writer and always see the last committed state. Hot per-document state
+(lengths, tombstones, the vocabulary interning map) is mirrored in
+memory so scorers pay no SQL per ``doc_length`` call. The mirrors are
+rebuilt from the database at open, which is what makes a reopen after a
+crash (or a plain restart) land in exactly the committed state.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import threading
+from pathlib import Path
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.data.corpus import Corpus
+from repro.data.documents import Document
+from repro.errors import StoreError
+from repro.store import schema
+
+StoreListener = Callable[["DocumentStore"], None]
+
+
+class DocumentStore:
+    """Durable corpus + inverted index in one SQLite file.
+
+    Parameters
+    ----------
+    path:
+        Database file; created (with parent directories) if missing.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self._path = Path(path)
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        self._write_lock = threading.RLock()
+        self._local = threading.local()
+        self._listeners: list[StoreListener] = []
+        self._closed = False
+        # The writer connection; shared across threads, always used under
+        # the write lock. isolation_level=None = explicit transactions.
+        self._writer = sqlite3.connect(
+            str(self._path), check_same_thread=False, isolation_level=None
+        )
+        schema.configure(self._writer)
+        with self._write_lock:
+            self._writer.execute("BEGIN IMMEDIATE")
+            try:
+                schema.create_tables(self._writer)
+                self._writer.execute("COMMIT")
+            except BaseException:
+                self._writer.execute("ROLLBACK")
+                raise
+        version = int(self._meta("schema_version"))
+        if version != schema.SCHEMA_VERSION:
+            raise StoreError(
+                f"store at {self._path} has schema version {version}; "
+                f"this build reads version {schema.SCHEMA_VERSION}"
+            )
+        self._load_mirrors()
+
+    # -- connections ---------------------------------------------------------
+
+    def _read_conn(self) -> sqlite3.Connection:
+        """This thread's read connection (WAL: never blocks the writer)."""
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            if self._closed:
+                raise StoreError(f"store at {self._path} is closed")
+            conn = sqlite3.connect(str(self._path), isolation_level=None)
+            schema.configure(conn)
+            self._local.conn = conn
+        return conn
+
+    def _meta(self, key: str) -> str:
+        row = self._writer.execute(
+            "SELECT value FROM meta WHERE key = ?", (key,)
+        ).fetchone()
+        if row is None:
+            raise StoreError(f"store at {self._path} has no meta key {key!r}")
+        return row[0]
+
+    def _load_mirrors(self) -> None:
+        """Rebuild the in-memory hot state from the committed database."""
+        self._generation = int(self._meta("generation"))
+        self._doc_lengths: list[int] = []
+        self._deleted: set[int] = set()
+        self._pos_by_doc_id: dict[str, int] = {}
+        for pos, doc_id, length, deleted in self._writer.execute(
+            "SELECT pos, doc_id, length, deleted FROM documents ORDER BY pos"
+        ):
+            if pos != len(self._doc_lengths):
+                raise StoreError(
+                    f"store at {self._path} has a position gap at {pos}; "
+                    f"the documents table is corrupt"
+                )
+            self._doc_lengths.append(int(length))
+            self._pos_by_doc_id[doc_id] = pos
+            if deleted:
+                self._deleted.add(pos)
+        self._term_ids: dict[str, int] = {
+            term: term_id
+            for term_id, term in self._writer.execute(
+                "SELECT term_id, term FROM vocabulary"
+            )
+        }
+
+    def close(self) -> None:
+        """Close the writer connection (per-thread readers close with GC)."""
+        self._closed = True
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            conn.close()
+            self._local.conn = None
+        self._writer.close()
+
+    def __enter__(self) -> "DocumentStore":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    @property
+    def generation(self) -> int:
+        """Monotone change counter; bump = every snapshot above is stale."""
+        return self._generation
+
+    def __len__(self) -> int:
+        """Total allocated positions, tombstones included."""
+        return len(self._doc_lengths)
+
+    @property
+    def num_positions(self) -> int:
+        return len(self._doc_lengths)
+
+    @property
+    def num_live(self) -> int:
+        """Documents that queries can still match."""
+        return len(self._doc_lengths) - len(self._deleted)
+
+    def __contains__(self, doc_id: object) -> bool:
+        pos = self._pos_by_doc_id.get(doc_id)  # type: ignore[arg-type]
+        return pos is not None and pos not in self._deleted
+
+    def position(self, doc_id: str) -> int:
+        """Position of ``doc_id`` (live or tombstoned)."""
+        try:
+            return self._pos_by_doc_id[doc_id]
+        except KeyError:
+            raise StoreError(f"unknown doc_id: {doc_id!r}") from None
+
+    def is_deleted(self, pos: int) -> bool:
+        return pos in self._deleted
+
+    def deleted_positions(self) -> frozenset[int]:
+        return frozenset(self._deleted)
+
+    def doc_length(self, pos: int) -> int:
+        return self._doc_lengths[pos]
+
+    # -- document access -----------------------------------------------------
+
+    @staticmethod
+    def _row_to_document(row: tuple) -> Document:
+        doc_id, kind, title, fields, terms = row
+        # Term counts round-trip as JSON integers (upsert wrote them as
+        # ints), so no per-term coercion on the hot cold-open path.
+        return Document(
+            doc_id=doc_id,
+            terms=json.loads(terms),
+            kind=kind,
+            title=title,
+            fields=json.loads(fields),
+        )
+
+    def document(self, pos: int) -> Document:
+        """The document at ``pos`` (tombstoned documents keep their payload)."""
+        row = self._read_conn().execute(
+            "SELECT doc_id, kind, title, fields, terms FROM documents "
+            "WHERE pos = ?",
+            (pos,),
+        ).fetchone()
+        if row is None:
+            raise StoreError(f"no document at position {pos}")
+        return self._row_to_document(row)
+
+    def documents(self) -> Iterator[Document]:
+        """Every document in position order, tombstones included."""
+        for row in self._read_conn().execute(
+            "SELECT doc_id, kind, title, fields, terms FROM documents "
+            "ORDER BY pos"
+        ):
+            yield self._row_to_document(row)
+
+    def corpus(self) -> Corpus:
+        """A :class:`Corpus` of *all* positions, in position order.
+
+        Tombstoned documents are included so corpus positions line up
+        with the store's permanent positions — the backend never returns
+        them from queries, so they are unreachable through retrieval.
+        """
+        return Corpus(self.documents())
+
+    # -- postings access -----------------------------------------------------
+
+    def term_postings(self, term: str) -> list[tuple[int, int]]:
+        """Live ``(position, tf)`` pairs for ``term``, position-sorted."""
+        term_id = self._term_ids.get(term)
+        if term_id is None:
+            return []
+        rows = self._read_conn().execute(
+            "SELECT pos, tf FROM postings WHERE term_id = ? ORDER BY pos",
+            (term_id,),
+        ).fetchall()
+        if self._deleted:
+            dead = self._deleted
+            return [(pos, tf) for pos, tf in rows if pos not in dead]
+        return [(int(pos), int(tf)) for pos, tf in rows]
+
+    def document_frequency(self, term: str) -> int:
+        return len(self.term_postings(term))
+
+    def vocabulary(self) -> list[str]:
+        """Terms with at least one live posting, sorted."""
+        if not self._deleted:
+            # No tombstones: every interned term either has postings or
+            # was orphaned by an upsert rewrite; filter via EXISTS.
+            rows = self._read_conn().execute(
+                "SELECT v.term FROM vocabulary v WHERE EXISTS "
+                "(SELECT 1 FROM postings p WHERE p.term_id = v.term_id) "
+                "ORDER BY v.term"
+            ).fetchall()
+        else:
+            rows = self._read_conn().execute(
+                "SELECT DISTINCT v.term FROM vocabulary v "
+                "JOIN postings p ON p.term_id = v.term_id "
+                "JOIN documents d ON d.pos = p.pos "
+                "WHERE d.deleted = 0 ORDER BY v.term"
+            ).fetchall()
+        return [term for (term,) in rows]
+
+    def num_terms(self) -> int:
+        """Count of terms with at least one live posting."""
+        if not self._deleted:
+            (count,) = self._read_conn().execute(
+                "SELECT COUNT(DISTINCT term_id) FROM postings"
+            ).fetchone()
+        else:
+            (count,) = self._read_conn().execute(
+                "SELECT COUNT(DISTINCT p.term_id) FROM postings p "
+                "JOIN documents d ON d.pos = p.pos WHERE d.deleted = 0"
+            ).fetchone()
+        return int(count)
+
+    # -- mutation listeners --------------------------------------------------
+
+    def subscribe(self, listener: StoreListener) -> Callable[[], None]:
+        """Register ``listener(store)`` to run after every committed mutation.
+
+        Same contract as :meth:`DynamicIndex.subscribe
+        <repro.index.dynamic.DynamicIndex.subscribe>`: one notification
+        per batch, exceptions isolated, unsubscribe callable returned.
+        """
+        self._listeners.append(listener)
+
+        def unsubscribe() -> None:
+            try:
+                self._listeners.remove(listener)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
+    def _notify(self) -> None:
+        for listener in list(self._listeners):
+            try:
+                listener(self)
+            except Exception:  # noqa: BLE001 — listener isolation
+                continue
+
+    # -- write path ----------------------------------------------------------
+
+    def _transaction(self):
+        """Context manager: write lock + BEGIN IMMEDIATE .. COMMIT/ROLLBACK."""
+        return _WriteTransaction(self)
+
+    def _intern_terms(self, terms: Iterable[str]) -> dict[str, int]:
+        """Term → term_id, inserting unseen terms (writer lock held)."""
+        missing = [t for t in terms if t not in self._term_ids]
+        for term in missing:
+            cur = self._writer.execute(
+                "INSERT OR IGNORE INTO vocabulary (term) VALUES (?)", (term,)
+            )
+            if cur.lastrowid and cur.rowcount:
+                self._term_ids[term] = cur.lastrowid
+            else:  # pragma: no cover - interned by a racing process
+                row = self._writer.execute(
+                    "SELECT term_id FROM vocabulary WHERE term = ?", (term,)
+                ).fetchone()
+                self._term_ids[term] = row[0]
+        return self._term_ids
+
+    def _upsert_one(self, doc: Document) -> int:
+        """Write one document inside the open transaction; return its pos."""
+        existing = self._pos_by_doc_id.get(doc.doc_id)
+        payload = (
+            doc.kind,
+            doc.title,
+            json.dumps(dict(doc.fields), sort_keys=True),
+            json.dumps({t: int(c) for t, c in doc.terms.items()}, sort_keys=True),
+            doc.length(),
+        )
+        if existing is None:
+            pos = len(self._doc_lengths)
+            self._writer.execute(
+                "INSERT INTO documents (pos, doc_id, kind, title, fields, "
+                "terms, length) VALUES (?, ?, ?, ?, ?, ?, ?)",
+                (pos, doc.doc_id) + payload,
+            )
+            self._doc_lengths.append(doc.length())
+            self._pos_by_doc_id[doc.doc_id] = pos
+        else:
+            pos = existing
+            self._writer.execute(
+                "UPDATE documents SET kind = ?, title = ?, fields = ?, "
+                "terms = ?, length = ?, deleted = 0 WHERE pos = ?",
+                payload + (pos,),
+            )
+            self._writer.execute("DELETE FROM postings WHERE pos = ?", (pos,))
+            self._doc_lengths[pos] = doc.length()
+            self._deleted.discard(pos)
+        ids = self._intern_terms(sorted(doc.terms))
+        self._writer.executemany(
+            "INSERT INTO postings (term_id, pos, tf) VALUES (?, ?, ?)",
+            [(ids[t], pos, int(doc.terms[t])) for t in sorted(doc.terms)],
+        )
+        return pos
+
+    def upsert(self, doc: Document) -> int:
+        """Insert or rewrite one document; returns its permanent position."""
+        return self.upsert_all([doc])[0]
+
+    def upsert_all(
+        self,
+        documents: Iterable[Document],
+        on_committed: Callable[[list[int]], None] | None = None,
+    ) -> list[int]:
+        """Upsert a batch in one transaction; listeners notified once.
+
+        An empty batch commits nothing, bumps nothing, and notifies
+        nobody. On any error the whole batch rolls back (the in-memory
+        mirrors are reloaded from the committed state), so a partially
+        bad batch never becomes durable.
+
+        ``on_committed(positions)`` runs after the COMMIT but *before*
+        the write lock is released and before listeners fire — the hook
+        the backend uses to sync its adopted corpus, so concurrent
+        batches apply their corpus updates in commit order and every
+        listener observes a consistent (store, corpus) pair.
+        """
+        docs = list(documents)
+        if not docs:
+            return []
+        with self._write_lock:
+            self._writer.execute("BEGIN IMMEDIATE")
+            try:
+                positions = [self._upsert_one(doc) for doc in docs]
+                self._bump_generation()
+                self._writer.execute("COMMIT")
+            except BaseException:
+                self._writer.execute("ROLLBACK")
+                self._load_mirrors()
+                raise
+            if on_committed is not None:
+                on_committed(positions)
+        self._notify()
+        return positions
+
+    def delete(self, doc_id: str) -> int:
+        """Tombstone ``doc_id``; returns the position it keeps forever.
+
+        The payload and postings rows stay until :meth:`compact`;
+        queries stop matching the document immediately. Deleting an
+        unknown or already-deleted id raises :class:`StoreError`.
+        """
+        return self.delete_all([doc_id])[0]
+
+    def delete_all(self, doc_ids: Iterable[str]) -> list[int]:
+        """Tombstone a batch in one transaction; listeners notified once."""
+        ids = list(doc_ids)
+        if not ids:
+            return []
+        with self._transaction():
+            positions = []
+            for doc_id in ids:
+                pos = self._pos_by_doc_id.get(doc_id)
+                if pos is None:
+                    raise StoreError(f"unknown doc_id: {doc_id!r}")
+                if pos in self._deleted:
+                    raise StoreError(f"doc_id already deleted: {doc_id!r}")
+                self._writer.execute(
+                    "UPDATE documents SET deleted = 1 WHERE pos = ?", (pos,)
+                )
+                self._deleted.add(pos)
+                positions.append(pos)
+            self._bump_generation()
+        self._notify()
+        return positions
+
+    def _bump_generation(self) -> None:
+        self._generation += 1
+        self._writer.execute(
+            "UPDATE meta SET value = ? WHERE key = 'generation'",
+            (str(self._generation),),
+        )
+
+    # -- maintenance ---------------------------------------------------------
+
+    def compact(self) -> dict[str, int]:
+        """Rewrite postings without tombstones, prune vocabulary, VACUUM.
+
+        Document rows (and their positions) survive — including
+        tombstoned ones, which keep their payload so position-aligned
+        corpora stay loadable. Returns counts of what was dropped.
+        """
+        with self._transaction():
+            dropped = self._writer.execute(
+                "DELETE FROM postings WHERE pos IN "
+                "(SELECT pos FROM documents WHERE deleted = 1)"
+            ).rowcount
+            orphaned = self._writer.execute(
+                "DELETE FROM vocabulary WHERE NOT EXISTS "
+                "(SELECT 1 FROM postings p WHERE p.term_id = vocabulary.term_id)"
+            ).rowcount
+            self._bump_generation()
+        self._term_ids = {
+            term: term_id
+            for term_id, term in self._writer.execute(
+                "SELECT term_id, term FROM vocabulary"
+            )
+        }
+        with self._write_lock:
+            self._writer.execute("VACUUM")
+            # Fold the WAL back into the main file so the VACUUM's space
+            # savings are visible on disk, not parked in the -wal file.
+            self._writer.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+        self._notify()
+        return {"postings_dropped": int(dropped), "terms_dropped": int(orphaned)}
+
+    def snapshot(self, dest: str | Path) -> Path:
+        """Write a consistent copy of the store to ``dest`` (backup API).
+
+        Safe with live readers and a live writer: the backup sees one
+        transactionally consistent point in time. The snapshot is a
+        complete store file — open it with ``DocumentStore(dest)`` or
+        copy it back with :meth:`restore`.
+        """
+        dest = Path(dest)
+        if dest.resolve() == self._path.resolve():
+            raise StoreError("snapshot destination must differ from the store path")
+        dest.parent.mkdir(parents=True, exist_ok=True)
+        if dest.exists():
+            dest.unlink()
+        target = sqlite3.connect(str(dest))
+        try:
+            with self._write_lock:
+                self._writer.backup(target)
+        finally:
+            target.close()
+        return dest
+
+    @classmethod
+    def restore(cls, snapshot: str | Path, dest: str | Path) -> "DocumentStore":
+        """Copy ``snapshot`` to ``dest`` and open the restored store."""
+        snapshot = Path(snapshot)
+        if not snapshot.exists():
+            raise StoreError(f"no snapshot at {snapshot}")
+        dest = Path(dest)
+        if dest.resolve() == snapshot.resolve():
+            raise StoreError("restore destination must differ from the snapshot")
+        dest.parent.mkdir(parents=True, exist_ok=True)
+        if dest.exists():
+            dest.unlink()
+        src = sqlite3.connect(str(snapshot))
+        target = sqlite3.connect(str(dest))
+        try:
+            src.backup(target)
+        finally:
+            target.close()
+            src.close()
+        return cls(dest)
+
+    def stats(self) -> dict[str, Any]:
+        """JSON-ready store statistics (for ``repro store stats`` and tests)."""
+        conn = self._read_conn()
+        (postings,) = conn.execute("SELECT COUNT(*) FROM postings").fetchone()
+        (terms,) = conn.execute("SELECT COUNT(*) FROM vocabulary").fetchone()
+        size = 0
+        for suffix in ("", "-wal"):
+            try:
+                size += os.path.getsize(str(self._path) + suffix)
+            except OSError:
+                continue
+        return {
+            "path": str(self._path),
+            "schema_version": schema.SCHEMA_VERSION,
+            "generation": self._generation,
+            "documents": len(self._doc_lengths),
+            "live_documents": self.num_live,
+            "tombstones": len(self._deleted),
+            "terms": int(terms),
+            "postings": int(postings),
+            "file_bytes": int(size),
+        }
+
+
+class _WriteTransaction:
+    """Write lock + explicit transaction; rollback reloads the mirrors."""
+
+    def __init__(self, store: DocumentStore) -> None:
+        self._store = store
+
+    def __enter__(self) -> DocumentStore:
+        self._store._write_lock.acquire()
+        try:
+            self._store._writer.execute("BEGIN IMMEDIATE")
+        except BaseException:
+            self._store._write_lock.release()
+            raise
+        return self._store
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        try:
+            if exc_type is None:
+                self._store._writer.execute("COMMIT")
+            else:
+                self._store._writer.execute("ROLLBACK")
+                # The in-memory mirrors may have advanced past the
+                # rolled-back writes; rebuild them from committed state.
+                self._store._load_mirrors()
+        finally:
+            self._store._write_lock.release()

@@ -362,6 +362,51 @@ class TestBackendSelection:
         assert memory == sharded
 
 
+class TestUnknownBackendErrorMessages:
+    """Unknown-backend errors must *list* the registered names, on every
+    selection path — the registry itself, the session builder, the
+    engine, and the CLI flag — so typos are self-diagnosing."""
+
+    def test_registry_lookup_lists_names(self):
+        with pytest.raises(ConfigError) as excinfo:
+            BACKENDS.get("carrier-pigeon")
+        message = str(excinfo.value)
+        for name in BACKENDS.names():
+            assert name in message
+
+    def test_session_builder_lists_names(self):
+        with pytest.raises(ConfigError) as excinfo:
+            (
+                Session.builder()
+                .dataset("wikipedia", docs_per_sense=4, terms=["java"])
+                .backend("carrier-pigeon")
+                .build()
+            )
+        message = str(excinfo.value)
+        assert "carrier-pigeon" in message
+        for name in ("memory", "disk", "sharded", "dynamic", "sqlite"):
+            assert name in message
+
+    def test_engine_backend_name_lists_names(self, corpus):
+        with pytest.raises(QueryError) as excinfo:
+            SearchEngine(corpus, backend="carrier-pigeon")
+        message = str(excinfo.value)
+        for name in BACKENDS.names():
+            assert name in message
+
+    def test_cli_flag_lists_names(self, capsys):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["search", "--dataset", "wikipedia", "--query", "x",
+                 "--backend", "carrier-pigeon"]
+            )
+        err = capsys.readouterr().err
+        for name in BACKENDS.names():
+            assert name in err
+
+
 class TestCliBackendFlag:
     def test_expand_with_sharded_backend(self, capsys):
         from repro.cli import main

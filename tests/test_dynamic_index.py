@@ -146,6 +146,68 @@ class TestMutationListeners:
         assert observed == [[1]]  # the new doc was queryable in the hook
 
 
+class TestRemoval:
+    def test_remove_hides_document_from_queries(self, docs):
+        index = DynamicIndex(docs)
+        index.remove(1)
+        assert index.and_query(["apple"]) == [0]
+        assert index.or_query(["apple", "fruit"]) == [0, 2]
+        assert index.document_frequency("apple") == 1
+        assert [(p.doc, p.tf) for p in index.postings("fruit")] == [(2, 2)]
+
+    def test_positions_are_permanent(self, docs):
+        # Tombstone semantics: no later document shifts, the corpus
+        # keeps the payload, and the position is never reused.
+        index = DynamicIndex(docs)
+        index.remove(1)
+        assert index.num_documents == 3
+        assert index.corpus[1].doc_id == "d2"
+        assert index.removed_positions == frozenset({1})
+        pos = index.add(make_doc("d4", {"cherry": 1}))
+        assert pos == 3
+
+    def test_remove_updates_vocabulary_and_num_terms(self, docs):
+        index = DynamicIndex(docs)
+        index.remove(0)  # the only doc with "store"
+        assert "store" not in index
+        assert index.vocabulary() == ["apple", "banana", "fruit"]
+        assert index.num_terms == 3
+
+    def test_remove_bumps_generation_and_notifies(self, docs):
+        index = DynamicIndex(docs)
+        calls = []
+        index.subscribe(lambda idx: calls.append(idx.generation))
+        generation = index.generation
+        index.remove(2)
+        assert index.generation == generation + 1
+        assert calls == [generation + 1]
+
+    def test_remove_accepts_doc_id_like_sqlite_backend(self, docs):
+        index = DynamicIndex(docs)
+        index.remove("d2")
+        assert index.and_query(["apple"]) == [0]
+        assert index.removed_positions == frozenset({1})
+
+    def test_remove_out_of_range_or_twice_rejected(self, docs):
+        index = DynamicIndex(docs)
+        with pytest.raises(IndexingError):
+            index.remove(3)
+        with pytest.raises(IndexingError):
+            index.remove(-1)
+        index.remove(1)
+        with pytest.raises(IndexingError):
+            index.remove(1)
+
+    def test_scorers_after_refresh_skip_removed(self, docs):
+        from repro.index.scoring import TfIdfScorer
+
+        index = DynamicIndex(docs)
+        index.remove(0)
+        scorer = TfIdfScorer(index)
+        ranked = scorer.rank(index.and_query(["apple"]), ["apple"])
+        assert [pos for pos, _ in ranked] == [1]
+
+
 class TestRetrieval:
     def test_and_or_queries(self, docs):
         index = DynamicIndex(docs)

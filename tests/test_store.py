@@ -1,0 +1,813 @@
+"""Tests for the durable document store (repro.store).
+
+Covers the acceptance criteria of the persistence subsystem: randomized
+byte-identical equivalence with :class:`InvertedIndex` through
+interleaved upsert/delete/compact cycles, crash-and-reopen durability
+(committed documents survive an ``os._exit``), snapshot consistency,
+and the integration seams — registry, session builder, serving layer,
+and CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.api import BACKENDS, Session
+from repro.data.corpus import Corpus
+from repro.data.documents import Document
+from repro.errors import ConfigError, IndexingError, ServeError, StoreError
+from repro.index.backend import IndexBackend, TermFrequencyCache
+from repro.index.inverted_index import InvertedIndex
+from repro.store import DocumentStore, SQLiteIndexBackend
+from repro.store.schema import SCHEMA_VERSION
+
+from tests.conftest import make_doc
+
+
+@pytest.fixture
+def store_path(tmp_path) -> Path:
+    return tmp_path / "corpus.sqlite"
+
+
+@pytest.fixture
+def docs():
+    return [
+        make_doc("d1", {"apple": 2, "store": 1}),
+        make_doc("d2", {"apple": 1, "fruit": 1}),
+        make_doc("d3", {"banana": 1, "fruit": 2}),
+    ]
+
+
+def random_doc(rng: random.Random, doc_id: str) -> Document:
+    vocab = [f"t{i}" for i in range(20)]
+    terms = {
+        t: rng.randint(1, 4)
+        for t in rng.sample(vocab, rng.randint(1, 8))
+    }
+    return Document(doc_id=doc_id, terms=terms)
+
+
+class TestSchemaAndOpen:
+    def test_init_creates_file_and_meta(self, store_path):
+        store = DocumentStore(store_path)
+        assert store_path.exists()
+        stats = store.stats()
+        assert stats["schema_version"] == SCHEMA_VERSION
+        assert stats["generation"] == 0
+        assert stats["documents"] == 0
+
+    def test_reopen_is_idempotent(self, store_path, docs):
+        DocumentStore(store_path).upsert_all(docs)
+        store = DocumentStore(store_path)
+        assert len(store) == 3
+        assert store.generation == 1
+
+    def test_parent_directories_created(self, tmp_path):
+        nested = tmp_path / "a" / "b" / "s.sqlite"
+        DocumentStore(nested)
+        assert nested.exists()
+
+    def test_future_schema_version_rejected(self, store_path):
+        import sqlite3
+
+        DocumentStore(store_path).close()
+        conn = sqlite3.connect(store_path)
+        conn.execute("UPDATE meta SET value='999' WHERE key='schema_version'")
+        conn.commit()
+        conn.close()
+        with pytest.raises(StoreError):
+            DocumentStore(store_path)
+
+    def test_wal_mode_active(self, store_path):
+        store = DocumentStore(store_path)
+        (mode,) = store._writer.execute("PRAGMA journal_mode").fetchone()
+        assert mode == "wal"
+
+
+class TestUpsertAndDelete:
+    def test_positions_assigned_in_order(self, store_path, docs):
+        store = DocumentStore(store_path)
+        assert store.upsert_all(docs) == [0, 1, 2]
+        assert [store.position(d.doc_id) for d in docs] == [0, 1, 2]
+
+    def test_upsert_rewrites_in_place(self, store_path, docs):
+        store = DocumentStore(store_path)
+        store.upsert_all(docs)
+        pos = store.upsert(make_doc("d2", {"cherry": 3}))
+        assert pos == 1  # doc_id -> position is permanent
+        assert store.term_postings("cherry") == [(1, 3)]
+        assert store.term_postings("apple") == [(0, 2)]  # old postings gone
+        assert len(store) == 3
+
+    def test_delete_is_a_tombstone(self, store_path, docs):
+        store = DocumentStore(store_path)
+        store.upsert_all(docs)
+        assert store.delete("d2") == 1
+        assert len(store) == 3  # the position stays allocated
+        assert store.num_live == 2
+        assert store.is_deleted(1)
+        assert "d2" not in store
+        assert store.term_postings("apple") == [(0, 2)]
+
+    def test_deleted_document_keeps_payload(self, store_path, docs):
+        store = DocumentStore(store_path)
+        store.upsert_all(docs)
+        store.delete("d2")
+        assert store.document(1).doc_id == "d2"
+        assert [d.doc_id for d in store.corpus()] == ["d1", "d2", "d3"]
+
+    def test_upsert_revives_a_tombstone(self, store_path, docs):
+        store = DocumentStore(store_path)
+        store.upsert_all(docs)
+        store.delete("d2")
+        assert store.upsert(make_doc("d2", {"grape": 1})) == 1
+        assert "d2" in store
+        assert store.term_postings("grape") == [(1, 1)]
+
+    def test_delete_unknown_or_twice_rejected(self, store_path, docs):
+        store = DocumentStore(store_path)
+        store.upsert_all(docs)
+        with pytest.raises(StoreError):
+            store.delete("nope")
+        store.delete("d1")
+        with pytest.raises(StoreError):
+            store.delete("d1")
+
+    def test_failed_batch_rolls_back_completely(self, store_path, docs):
+        store = DocumentStore(store_path)
+        store.upsert_all(docs)
+        generation = store.generation
+        with pytest.raises(StoreError):
+            store.delete_all(["d1", "nope", "d3"])
+        # Nothing from the batch landed: d1 is still live.
+        assert store.num_live == 3
+        assert "d1" in store
+        assert store.generation == generation
+
+    def test_generation_bumps_once_per_batch(self, store_path, docs):
+        store = DocumentStore(store_path)
+        g0 = store.generation
+        store.upsert_all(docs)
+        assert store.generation == g0 + 1
+        store.delete("d1")
+        assert store.generation == g0 + 2
+        store.compact()
+        assert store.generation == g0 + 3
+
+    def test_generation_survives_reopen(self, store_path, docs):
+        store = DocumentStore(store_path)
+        store.upsert_all(docs)
+        store.delete("d1")
+        generation = store.generation
+        store.close()
+        assert DocumentStore(store_path).generation == generation
+
+    def test_empty_batches_are_no_ops(self, store_path):
+        store = DocumentStore(store_path)
+        assert store.upsert_all([]) == []
+        assert store.delete_all([]) == []
+        assert store.generation == 0
+
+
+class TestListeners:
+    def test_notified_once_per_batch(self, store_path, docs):
+        store = DocumentStore(store_path)
+        calls = []
+        store.subscribe(lambda s: calls.append(s.generation))
+        store.upsert_all(docs)
+        assert calls == [1]
+        store.delete_all(["d1", "d2"])
+        assert calls == [1, 2]
+
+    def test_empty_batch_does_not_notify(self, store_path):
+        store = DocumentStore(store_path)
+        calls = []
+        store.subscribe(lambda s: calls.append(1))
+        store.upsert_all([])
+        store.delete_all([])
+        assert calls == []
+
+    def test_listener_exceptions_isolated(self, store_path, docs):
+        store = DocumentStore(store_path)
+        calls = []
+
+        def bad(s):
+            raise RuntimeError("boom")
+
+        store.subscribe(bad)
+        store.subscribe(lambda s: calls.append(1))
+        store.upsert_all(docs)
+        assert calls == [1]
+
+    def test_unsubscribe_is_idempotent(self, store_path, docs):
+        store = DocumentStore(store_path)
+        calls = []
+        unsubscribe = store.subscribe(lambda s: calls.append(1))
+        store.upsert(docs[0])
+        unsubscribe()
+        unsubscribe()
+        store.upsert(docs[1])
+        assert calls == [1]
+
+    def test_compact_notifies(self, store_path, docs):
+        store = DocumentStore(store_path)
+        store.upsert_all(docs)
+        store.delete("d1")
+        calls = []
+        store.subscribe(lambda s: calls.append(s.generation))
+        store.compact()
+        assert len(calls) == 1
+
+
+class TestCompaction:
+    def test_drops_tombstoned_postings_and_orphaned_terms(self, store_path):
+        store = DocumentStore(store_path)
+        store.upsert_all(
+            [make_doc("a", {"shared": 1, "only-a": 2}),
+             make_doc("b", {"shared": 1})]
+        )
+        store.delete("a")
+        dropped = store.compact()
+        assert dropped == {"postings_dropped": 2, "terms_dropped": 1}
+        assert store.stats()["postings"] == 1
+        assert store.vocabulary() == ["shared"]
+
+    def test_queries_identical_before_and_after(self, store_path):
+        rng = random.Random(7)
+        store = DocumentStore(store_path)
+        store.upsert_all([random_doc(rng, f"d{i}") for i in range(40)])
+        store.delete_all([f"d{i}" for i in range(0, 40, 3)])
+        backend = SQLiteIndexBackend(store)
+        before = {
+            t: [(p.doc, p.tf) for p in backend.postings(t)]
+            for t in backend.vocabulary()
+        }
+        store.compact()
+        after = {
+            t: [(p.doc, p.tf) for p in backend.postings(t)]
+            for t in backend.vocabulary()
+        }
+        assert before == after
+
+    def test_compact_reclaims_file_space(self, store_path):
+        store = DocumentStore(store_path)
+        store.upsert_all(
+            [make_doc(f"d{i}", {f"term{i}-{j}": 1 for j in range(50)})
+             for i in range(100)]
+        )
+        store.delete_all([f"d{i}" for i in range(90)])
+        before = store.stats()["file_bytes"]
+        store.compact()
+        assert store.stats()["file_bytes"] < before
+
+
+class TestSnapshot:
+    def test_snapshot_is_a_complete_store(self, store_path, tmp_path, docs):
+        store = DocumentStore(store_path)
+        store.upsert_all(docs)
+        snap = store.snapshot(tmp_path / "snap.sqlite")
+        copy = DocumentStore(snap)
+        assert [d.doc_id for d in copy.corpus()] == ["d1", "d2", "d3"]
+        assert copy.generation == store.generation
+
+    def test_snapshot_unaffected_by_later_mutations(
+        self, store_path, tmp_path, docs
+    ):
+        store = DocumentStore(store_path)
+        store.upsert_all(docs)
+        snap = store.snapshot(tmp_path / "snap.sqlite")
+        store.delete("d1")
+        store.upsert(make_doc("d9", {"new": 1}))
+        copy = DocumentStore(snap)
+        assert copy.num_live == 3
+        assert "d9" not in copy
+
+    def test_restore_round_trip(self, store_path, tmp_path, docs):
+        store = DocumentStore(store_path)
+        store.upsert_all(docs)
+        snap = store.snapshot(tmp_path / "snap.sqlite")
+        restored = DocumentStore.restore(snap, tmp_path / "restored.sqlite")
+        assert [d.doc_id for d in restored.corpus()] == ["d1", "d2", "d3"]
+
+    def test_snapshot_onto_self_rejected(self, store_path, docs):
+        store = DocumentStore(store_path)
+        store.upsert_all(docs)
+        with pytest.raises(StoreError):
+            store.snapshot(store_path)
+
+    def test_restore_missing_snapshot_rejected(self, tmp_path):
+        with pytest.raises(StoreError):
+            DocumentStore.restore(tmp_path / "nope.sqlite", tmp_path / "out.sqlite")
+
+
+class TestEquivalenceWithInvertedIndex:
+    """The acceptance criterion: byte-identical boolean retrieval.
+
+    Positions differ once tombstones exist (the store's are permanent,
+    the reference index is rebuilt dense), so results are compared as
+    serialized doc_id sequences — identical bytes, identical order.
+    """
+
+    @pytest.mark.parametrize("trial", range(4))
+    def test_interleaved_upsert_delete_compact_cycles(
+        self, tmp_path, trial
+    ):
+        rng = random.Random(100 + trial)
+        store = DocumentStore(tmp_path / f"eq{trial}.sqlite")
+        backend = SQLiteIndexBackend(store)
+        live: dict[str, Document] = {}
+        next_id = 0
+
+        for _round in range(6):
+            # Mutate: a few new docs, a few rewrites, a few deletes.
+            fresh = [random_doc(rng, f"d{next_id + i}") for i in range(4)]
+            next_id += 4
+            rewrites = [
+                random_doc(rng, doc_id)
+                for doc_id in rng.sample(sorted(live), min(2, len(live)))
+            ]
+            backend.add_all(fresh + rewrites)
+            for doc in fresh + rewrites:
+                live[doc.doc_id] = doc
+            for doc_id in rng.sample(sorted(live), min(2, len(live) - 1)):
+                backend.remove(doc_id)
+                del live[doc_id]
+            if _round % 2:
+                store.compact()
+
+            # Reference: a dense in-memory index over the live documents
+            # in store-position (arrival) order.
+            ref_corpus = Corpus(
+                live[doc_id]
+                for doc_id in sorted(live, key=store.position)
+            )
+            ref = InvertedIndex(ref_corpus)
+            ref_ids = lambda positions: [  # noqa: E731
+                ref_corpus[p].doc_id for p in positions
+            ]
+            store_ids = lambda positions: [  # noqa: E731
+                store.document(p).doc_id for p in positions
+            ]
+
+            assert backend.vocabulary() == ref.vocabulary()
+            assert backend.num_terms == ref.num_terms
+            for term in ref.vocabulary():
+                assert backend.document_frequency(term) == (
+                    ref.document_frequency(term)
+                )
+                got = [
+                    (store.document(p.doc).doc_id, p.tf)
+                    for p in backend.postings(term)
+                ]
+                want = [
+                    (ref_corpus[p.doc].doc_id, p.tf)
+                    for p in ref.postings(term)
+                ]
+                assert json.dumps(got) == json.dumps(want)
+            queries = [
+                rng.sample([f"t{i}" for i in range(20)], rng.randint(1, 3))
+                for _ in range(10)
+            ]
+            for terms in queries:
+                assert json.dumps(store_ids(backend.and_query(terms))) == (
+                    json.dumps(ref_ids(ref.and_query(terms)))
+                )
+                assert json.dumps(store_ids(backend.or_query(terms))) == (
+                    json.dumps(ref_ids(ref.or_query(terms)))
+                )
+
+    def test_exact_position_identity_without_deletes(self, tmp_path):
+        rng = random.Random(11)
+        docs = [random_doc(rng, f"d{i}") for i in range(60)]
+        store = DocumentStore(tmp_path / "dense.sqlite")
+        backend = SQLiteIndexBackend(store, corpus=Corpus(docs))
+        ref = InvertedIndex(Corpus(docs))
+        assert backend.vocabulary() == ref.vocabulary()
+        for term in ref.vocabulary():
+            assert [(p.doc, p.tf) for p in backend.postings(term)] == [
+                (p.doc, p.tf) for p in ref.postings(term)
+            ]
+        for _ in range(20):
+            terms = rng.sample([f"t{i}" for i in range(20)], rng.randint(1, 3))
+            assert backend.and_query(terms) == ref.and_query(terms)
+            assert backend.or_query(terms) == ref.or_query(terms)
+
+
+class TestDurability:
+    def test_reopen_sees_identical_corpus(self, store_path):
+        rng = random.Random(3)
+        docs = [random_doc(rng, f"d{i}") for i in range(30)]
+        store = DocumentStore(store_path)
+        store.upsert_all(docs)
+        store.delete("d7")
+        store.close()
+        reopened = DocumentStore(store_path)
+        assert [d.doc_id for d in reopened.corpus()] == [d.doc_id for d in docs]
+        assert reopened.document(3).terms == docs[3].terms
+        assert reopened.is_deleted(7)
+        assert reopened.num_live == 29
+
+    def test_kill_and_reopen_loses_no_committed_document(self, store_path):
+        """A subprocess commits documents then dies via os._exit (no
+        close, no atexit, no flush) — everything committed must be
+        readable from a fresh process."""
+        script = f"""
+import os, sys
+from repro.data.documents import Document
+from repro.store import DocumentStore
+
+store = DocumentStore({str(store_path)!r})
+docs = [Document(doc_id=f"k{{i}}", terms={{f"w{{i % 5}}": i + 1}}) for i in range(25)]
+store.upsert_all(docs)
+store.delete("k3")
+sys.stdout.write(str(store.generation))
+sys.stdout.flush()
+os._exit(0)  # simulated crash: no graceful shutdown
+"""
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=60,
+        )
+        assert proc.returncode == 0, proc.stderr
+        store = DocumentStore(store_path)
+        assert len(store) == 25
+        assert store.num_live == 24
+        assert store.generation == int(proc.stdout)
+        assert store.document(24).doc_id == "k24"
+
+    def test_concurrent_reads_while_writing(self, store_path):
+        import threading
+
+        store = DocumentStore(store_path)
+        store.upsert_all([make_doc(f"d{i}", {"base": 1}) for i in range(10)])
+        backend = SQLiteIndexBackend(store)
+        errors = []
+
+        def reader():
+            try:
+                for _ in range(50):
+                    positions = backend.and_query(["base"])
+                    assert positions == sorted(positions)
+                    backend.vocabulary()
+            except Exception as exc:  # noqa: BLE001 — collected for assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for i in range(20):
+            store.upsert(make_doc(f"n{i}", {"base": 1, f"x{i}": 1}))
+        for t in threads:
+            t.join()
+        assert errors == []
+
+
+class TestBackendProtocol:
+    def test_conforms_to_index_backend(self, store_path, docs):
+        backend = SQLiteIndexBackend(store_path, corpus=Corpus(docs))
+        assert isinstance(backend, IndexBackend)
+
+    def test_capabilities(self, store_path):
+        caps = SQLiteIndexBackend(store_path).capabilities()
+        assert caps.name == "sqlite"
+        assert caps.persistent is True
+        assert caps.mutable is True
+        assert caps.concurrent_reads is True
+
+    def test_empty_queries_rejected(self, store_path, docs):
+        backend = SQLiteIndexBackend(store_path, corpus=Corpus(docs))
+        with pytest.raises(IndexingError):
+            backend.and_query([])
+        with pytest.raises(IndexingError):
+            backend.or_query([])
+
+    def test_usable_by_scorers(self, store_path, docs):
+        from repro.index.bm25 import BM25Scorer
+        from repro.index.scoring import TfIdfScorer
+
+        backend = SQLiteIndexBackend(store_path, corpus=Corpus(docs))
+        for scorer in (TfIdfScorer(backend), BM25Scorer(backend)):
+            ranked = scorer.rank(backend.and_query(["apple"]), ["apple"])
+            assert [pos for pos, _ in ranked] == [0, 1]
+
+    def test_term_frequency_cache_invalidates_on_mutation(
+        self, store_path, docs
+    ):
+        backend = SQLiteIndexBackend(store_path, corpus=Corpus(docs))
+        cache = TermFrequencyCache(backend)
+        assert cache.tf("apple", 0) == 2
+        backend.add(make_doc("d4", {"apple": 9}))
+        assert cache.tf("apple", 3) == 9  # generation bump cleared the cache
+
+    def test_adopted_corpus_grows_on_add(self, store_path, docs):
+        corpus = Corpus(docs)
+        backend = SQLiteIndexBackend(store_path, corpus=corpus)
+        backend.add(make_doc("d4", {"cherry": 1}))
+        assert len(corpus) == 4
+        assert corpus[3].doc_id == "d4"
+
+    def test_upsert_replaces_adopted_corpus_entry(self, store_path, docs):
+        corpus = Corpus(docs)
+        backend = SQLiteIndexBackend(store_path, corpus=corpus)
+        backend.add(make_doc("d2", {"cherry": 5}))
+        assert len(corpus) == 3
+        assert corpus[1].terms == {"cherry": 5}
+
+    def test_mismatched_corpus_rejected(self, store_path, docs):
+        SQLiteIndexBackend(store_path, corpus=Corpus(docs))
+        with pytest.raises(IndexingError):
+            SQLiteIndexBackend(store_path, corpus=Corpus(docs[:2]))
+        with pytest.raises(IndexingError):
+            SQLiteIndexBackend(
+                store_path,
+                corpus=Corpus(
+                    [docs[0], make_doc("other", {"z": 1}), docs[2]]
+                ),
+            )
+
+    def test_remove_hides_document_from_queries(self, store_path, docs):
+        backend = SQLiteIndexBackend(store_path, corpus=Corpus(docs))
+        backend.remove("d2")
+        assert backend.and_query(["apple"]) == [0]
+        assert backend.num_documents == 3  # positions stay allocated
+        assert backend.num_live_documents == 2
+
+    def test_remove_accepts_position_like_dynamic_index(
+        self, store_path, docs
+    ):
+        backend = SQLiteIndexBackend(store_path, corpus=Corpus(docs))
+        assert backend.remove(1) == 1
+        assert backend.and_query(["apple"]) == [0]
+
+    def test_listener_sees_consistent_store_and_corpus(self, store_path, docs):
+        # The invalidation contract: by the time a mutation listener
+        # runs, both the committed store AND the adopted corpus must
+        # already reflect the batch (mirrors DynamicIndex's guarantee).
+        corpus = Corpus(docs)
+        backend = SQLiteIndexBackend(store_path, corpus=corpus)
+        observed = []
+        backend.subscribe(
+            lambda b: observed.append(
+                (len(b.corpus), [b.corpus[p].doc_id for p in b.and_query(["cherry"])])
+            )
+        )
+        backend.add(make_doc("d4", {"cherry": 1}))
+        assert observed == [(4, ["d4"])]
+
+    def test_concurrent_ingest_keeps_corpus_aligned_with_store(
+        self, store_path
+    ):
+        import threading
+
+        corpus = Corpus([make_doc("seed", {"base": 1})])
+        backend = SQLiteIndexBackend(store_path, corpus=corpus)
+        store = backend.store
+        errors = []
+
+        def ingest(worker: int) -> None:
+            try:
+                for i in range(25):
+                    backend.add(make_doc(f"w{worker}-{i}", {"base": 1}))
+            except Exception as exc:  # noqa: BLE001 — collected for assert
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=ingest, args=(w,)) for w in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert len(corpus) == len(store) == 101
+        # The critical invariant: every corpus position resolves to the
+        # document the store committed at that position.
+        for pos, doc in enumerate(corpus):
+            assert store.position(doc.doc_id) == pos
+
+
+class TestRegistryAndSession:
+    def test_sqlite_registered(self):
+        assert "sqlite" in BACKENDS
+
+    def test_session_builder_round_trip(self, store_path):
+        build = lambda: (  # noqa: E731
+            Session.builder()
+            .dataset("wikipedia", docs_per_sense=4, terms=["java"])
+            .backend("sqlite", path=str(store_path))
+            .build()
+        )
+        first = build().search("java", top_k=5)
+        again = build().search("java", top_k=5)  # verified reuse of the file
+        assert [(r.position, r.score) for r in first] == [
+            (r.position, r.score) for r in again
+        ]
+
+    def test_session_matches_memory_backend(self, store_path):
+        kwargs = {"docs_per_sense": 4, "terms": ["java"]}
+        mem = Session.builder().dataset("wikipedia", **kwargs).build()
+        sql = (
+            Session.builder()
+            .dataset("wikipedia", **kwargs)
+            .backend("sqlite", path=str(store_path))
+            .build()
+        )
+        for query in ("java", "island"):
+            assert [
+                (r.position, r.document.doc_id, r.score)
+                for r in mem.search(query, top_k=10)
+            ] == [
+                (r.position, r.document.doc_id, r.score)
+                for r in sql.search(query, top_k=10)
+            ]
+
+    def test_path_and_store_kwargs_conflict(self, store_path, docs):
+        store = DocumentStore(store_path)
+        with pytest.raises(ConfigError):
+            BACKENDS.create(
+                "sqlite", Corpus(docs), path=str(store_path), store=store
+            )
+
+
+class TestServeIntegration:
+    def _config(self, store_path, name="wiki"):
+        from repro.serve import ServeConfig
+
+        return ServeConfig(
+            name=name,
+            dataset="wikipedia",
+            store=str(store_path),
+            n_clusters=3,
+            dataset_kwargs={"docs_per_sense": 6, "terms": ["java"]},
+        )
+
+    def test_store_spec_key_implies_sqlite_backend(self, store_path):
+        from repro.serve import ServeConfig
+
+        config = ServeConfig.parse(f"wiki:store={store_path}")
+        assert config.backend == "sqlite"
+        assert config.store == str(store_path)
+
+    def test_store_spec_conflicting_backend_rejected(self, store_path):
+        from repro.serve import ServeConfig
+
+        with pytest.raises(ConfigError):
+            ServeConfig.parse(f"wiki:store={store_path},backend=sharded")
+
+    def test_ingest_writes_through_and_invalidates(self, store_path):
+        from repro.serve import ExpansionService, SessionPool
+
+        service = ExpansionService(SessionPool([self._config(store_path)]))
+        status, first = service.handle("GET", "/search", {"query": "java"})
+        assert status == 200 and first["cache"] == "miss"
+        status, payload = service.handle(
+            "POST",
+            "/ingest",
+            {"documents": [
+                {"doc_id": "new-1", "text": "java espresso coffee guide"},
+            ]},
+        )
+        assert status == 200
+        assert payload["ingested"] == 1
+        assert payload["persistent"] is True
+        status, hit = service.handle("GET", "/search", {"query": "espresso"})
+        assert status == 200 and hit["n_results"] == 1
+        # Durable: the document is committed in the store file.
+        assert "new-1" in DocumentStore(store_path)
+
+    def test_serve_survives_restart(self, store_path):
+        from repro.serve import ExpansionService, SessionPool
+
+        service = ExpansionService(SessionPool([self._config(store_path)]))
+        service.handle(
+            "POST",
+            "/ingest",
+            {"documents": [
+                {"doc_id": "new-1", "text": "java espresso coffee guide"},
+                {"doc_id": "new-2", "terms": {"espresso": 2, "crema": 1}},
+            ]},
+        )
+        status, before = service.handle("GET", "/search", {"query": "espresso"})
+        assert status == 200 and before["n_results"] == 2
+
+        # Simulated restart: a brand-new pool + service on the same path.
+        reborn = ExpansionService(SessionPool([self._config(store_path)]))
+        status, after = service_result = reborn.handle(
+            "GET", "/search", {"query": "espresso"}
+        )
+        assert status == 200, service_result
+        assert after["n_results"] == 2
+        assert [r["document"]["doc_id"] for r in after["results"]] == [
+            r["document"]["doc_id"] for r in before["results"]
+        ]
+
+    def test_ingest_validates_payloads(self, store_path):
+        from repro.serve import ExpansionService, SessionPool
+
+        service = ExpansionService(SessionPool([self._config(store_path)]))
+        for bad in (
+            {},
+            {"documents": []},
+            {"documents": ["not-an-object"]},
+            {"documents": [{"doc_id": "x"}]},
+            {"documents": [{"text": "missing id"}]},
+        ):
+            status, payload = service.handle("POST", "/ingest", bad)
+            assert status == 400, payload
+
+    def test_ingest_rejected_on_immutable_backend(self):
+        from repro.serve import ExpansionService, ServeConfig, SessionPool
+
+        config = ServeConfig(
+            name="mem",
+            dataset="wikipedia",
+            dataset_kwargs={"docs_per_sense": 4, "terms": ["java"]},
+        )
+        service = ExpansionService(SessionPool([config]))
+        status, payload = service.handle(
+            "POST",
+            "/ingest",
+            {"documents": [{"doc_id": "x", "terms": {"a": 1}}]},
+        )
+        assert status == 400
+        assert "mutable" in payload["message"]
+
+
+class TestStoreCli:
+    def run(self, *argv):
+        from repro.cli import main
+
+        return main([str(a) for a in argv])
+
+    def test_init_ingest_stats_search_round_trip(self, store_path, capsys):
+        assert self.run("store", "init", "--store", store_path) == 0
+        assert self.run(
+            "store", "ingest", "--store", store_path, "--dataset", "wikipedia"
+        ) == 0
+        assert self.run("store", "stats", "--store", store_path, "--json") == 0
+        out = capsys.readouterr().out
+        stats = json.loads(out[out.index("{"):])
+        assert stats["live_documents"] > 0
+        assert self.run(
+            "search", "--backend", "sqlite", "--store", store_path,
+            "--query", "java", "--top", "3",
+        ) == 0
+        assert "wiki-" in capsys.readouterr().out
+
+    def test_jsonl_ingest_delete_compact_snapshot(
+        self, store_path, tmp_path, capsys
+    ):
+        jsonl = tmp_path / "docs.jsonl"
+        jsonl.write_text(
+            "\n".join([
+                json.dumps({"doc_id": "a", "text": "coffee espresso brew"}),
+                json.dumps({"doc_id": "b", "terms": {"espresso": 2}}),
+                "",
+            ]),
+            encoding="utf-8",
+        )
+        assert self.run(
+            "store", "ingest", "--store", store_path, "--jsonl", jsonl
+        ) == 0
+        assert self.run("store", "delete", "--store", store_path, "a") == 0
+        assert self.run("store", "compact", "--store", store_path) == 0
+        snap = tmp_path / "snap.sqlite"
+        assert self.run(
+            "store", "snapshot", "--store", store_path, "--dest", snap
+        ) == 0
+        capsys.readouterr()
+        copy = DocumentStore(snap)
+        assert copy.num_live == 1
+        assert "b" in copy and "a" not in copy
+
+    def test_search_with_empty_store_and_no_dataset_fails(
+        self, store_path, capsys
+    ):
+        assert self.run(
+            "search", "--store", store_path, "--query", "java"
+        ) == 2
+        assert "empty" in capsys.readouterr().err
+
+    def test_store_conflicts_with_other_backends(self, store_path, capsys):
+        assert self.run(
+            "search", "--store", store_path, "--backend", "sharded",
+            "--query", "java",
+        ) == 2
+        assert "sqlite" in capsys.readouterr().err
+
+    def test_search_without_dataset_or_store_fails(self, capsys):
+        assert self.run("search", "--query", "java") == 2
+        assert "--dataset" in capsys.readouterr().err
