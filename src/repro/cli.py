@@ -201,9 +201,71 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"{args.workers} workers) — Ctrl-C to stop",
         flush=True,
     )
+    # SIGTERM/SIGINT drain in-flight requests and release the store
+    # connections before the process exits (graceful shutdown).
+    server.install_signal_handlers()
     try:
         server.serve_forever()
-    except KeyboardInterrupt:
+    except KeyboardInterrupt:  # pragma: no cover - handler normally wins
+        print("shutting down", flush=True)
+    finally:
+        server.stop()
+    return 0
+
+
+def _cmd_cluster_serve(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.serve import ServeConfig
+    from repro.serve.cluster import ClusterServer, create_coordinator
+
+    try:
+        configs = [ServeConfig.parse(spec) for spec in args.configs]
+        if args.store:
+            # Convenience: point every config with no explicit store at
+            # the shared source store (replicas snapshot it privately).
+            configs = [
+                dataclasses.replace(c, backend="sqlite", store=args.store)
+                if c.store is None
+                else c
+                for c in configs
+            ]
+        coordinator = create_coordinator(
+            configs,
+            replicas=args.replicas,
+            queue_depth=args.queue_depth,
+            retry_after=args.retry_after,
+            cache_size=args.cache_size,
+            cache_ttl=None if args.cache_ttl == 0 else args.cache_ttl,
+            workers=args.workers,
+        )
+        server = ClusterServer(coordinator, host=args.host, port=args.port)
+    except OSError as exc:
+        print(f"error: cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"hydrating {args.replicas} replica(s) of "
+        f"{', '.join(c.name for c in configs)} ...",
+        flush=True,
+    )
+    try:
+        coordinator.start()
+    except Exception as exc:  # noqa: BLE001 — spawn/hydration failures
+        print(f"error: cluster failed to start: {exc}", file=sys.stderr)
+        coordinator.stop()
+        return 2
+    pids = ", ".join(
+        f"{name}={handle.pid}" for name, handle in coordinator.replicas.items()
+    )
+    print(
+        f"cluster serving on {server.url} (replicas: {pids}; "
+        f"queue depth {args.queue_depth}/replica) — Ctrl-C to stop",
+        flush=True,
+    )
+    server.install_signal_handlers()
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - handler normally wins
         print("shutting down", flush=True)
     finally:
         server.stop()
@@ -572,6 +634,59 @@ def build_parser() -> argparse.ArgumentParser:
         help="max concurrently computed (cache-missing) requests",
     )
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "cluster",
+        help="multi-process replicated serving (consistent-hash routing, "
+             "snapshot hydration, admission control)",
+    )
+    cluster_sub = p.add_subparsers(dest="cluster_command", required=True)
+    cp = cluster_sub.add_parser(
+        "serve", help="run a coordinator fronting N replica processes"
+    )
+    cp.add_argument("--host", default="127.0.0.1", help="bind address")
+    cp.add_argument(
+        "--port", type=int, default=8080,
+        help="listen port (0 = OS-assigned, printed at startup)",
+    )
+    cp.add_argument(
+        "--replicas", type=int, default=2,
+        help="replica worker processes (default: 2)",
+    )
+    cp.add_argument(
+        "--configs", nargs="+", metavar="SPEC",
+        default=["default:dataset=wikipedia"],
+        help="named session configs, each 'name:key=value,...' "
+             "(same keys as 'repro serve')",
+    )
+    cp.add_argument(
+        "--store", metavar="PATH", default=None,
+        help="source document store; configs without an explicit store "
+             "are pointed at it (each replica hydrates from a private "
+             "snapshot, and re-hydrates from a fresh one on restart)",
+    )
+    cp.add_argument(
+        "--queue-depth", type=int, default=16,
+        help="per-replica in-flight bound; beyond it requests are shed "
+             "with 429 + Retry-After (default: 16)",
+    )
+    cp.add_argument(
+        "--retry-after", type=float, default=1.0,
+        help="seconds advertised in shed responses (default: 1.0)",
+    )
+    cp.add_argument(
+        "--cache-size", type=int, default=1024,
+        help="per-replica response cache capacity (default: 1024)",
+    )
+    cp.add_argument(
+        "--cache-ttl", type=float, default=0.0,
+        help="per-replica response cache TTL (0 = never expire)",
+    )
+    cp.add_argument(
+        "--workers", type=int, default=4,
+        help="per-replica max concurrently computed requests",
+    )
+    cp.set_defaults(func=_cmd_cluster_serve)
 
     p = sub.add_parser(
         "store", help="durable document store: init, ingest, delete, "

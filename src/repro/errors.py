@@ -59,6 +59,15 @@ class ServeError(ReproError):
     """A serving-layer operation failed (bad request, bad parameter, ...)."""
 
 
+class ClusterError(ServeError):
+    """A cluster-tier operation failed (routing, transport, replica spawn).
+
+    A :class:`ServeError` subclass so embedders of the serving layer can
+    keep catching one family; the coordinator maps transport failures to
+    failover or 503 before they ever reach a client.
+    """
+
+
 class UnknownConfigError(ServeError):
     """A request named a serving configuration that does not exist.
 

@@ -20,6 +20,10 @@ Quick embedding::
     server.stop()
 
 Or from a shell: ``repro serve --configs wiki:dataset=wikipedia``.
+
+For multi-process replicated serving — consistent-hash routing, snapshot
+hydration, admission control — see :mod:`repro.serve.cluster`
+(``repro cluster serve --replicas N``).
 """
 
 from repro.serve.app import (

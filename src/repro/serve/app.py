@@ -95,6 +95,9 @@ class ExpansionService:
             raise ServeError(f"workers must be >= 1, got {workers}")
         self._workers = workers
         self._compute_slots = threading.BoundedSemaphore(workers)
+        self._closing = threading.Event()
+        self._inflight = 0
+        self._inflight_cv = threading.Condition()
 
     @property
     def pool(self) -> SessionPool:
@@ -111,6 +114,34 @@ class ExpansionService:
     def invalidate_config(self, name: str) -> int:
         """Drop every cached response for configuration ``name``."""
         return self._cache.invalidate_prefix((name,))
+
+    # -- shutdown ------------------------------------------------------------
+
+    @property
+    def closing(self) -> bool:
+        """True once :meth:`close` has begun; new requests get 503."""
+        return self._closing.is_set()
+
+    def close(self, drain_timeout: float = 10.0) -> None:
+        """Graceful shutdown: refuse, drain, release.
+
+        New requests are answered ``503 shutting_down`` immediately;
+        requests already inside :meth:`handle` get up to
+        ``drain_timeout`` seconds to finish; then the session pool is
+        closed, releasing store connections (``backend=sqlite``) so the
+        database files are safe to move or delete. Idempotent — and
+        callable while a server thread is still accepting connections,
+        which is exactly how the SIGTERM path uses it.
+        """
+        self._closing.set()
+        deadline = time.monotonic() + drain_timeout
+        with self._inflight_cv:
+            while self._inflight > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break  # drain expired: close anyway, stragglers 500
+                self._inflight_cv.wait(remaining)
+        self._pool.close()
 
     # -- request plumbing ----------------------------------------------------
 
@@ -390,11 +421,18 @@ class ExpansionService:
 
     def healthz(self, params: Mapping[str, Any]) -> tuple[int, dict[str, Any]]:
         t0 = time.perf_counter()
+        built = list(self._pool.built_names())
         payload = {
             "status": "ok",
             "uptime_seconds": self._metrics.uptime_seconds(),
             "configs": list(self._pool.names()),
-            "built": list(self._pool.built_names()),
+            "built": built,
+            # Per-config index generations: lets a cluster coordinator
+            # (and its tests) prove a restarted replica re-hydrated from
+            # the latest snapshot rather than its predecessor's state.
+            "generations": {
+                name: self._pool.get(name).generation() for name in built
+            },
             "schema_version": schema.SCHEMA_VERSION,
         }
         self._metrics.record("healthz", time.perf_counter() - t0)
@@ -436,6 +474,11 @@ class ExpansionService:
         self, method: str, path: str, params: Mapping[str, Any]
     ) -> tuple[int, dict[str, Any]]:
         """Dispatch one request; never raises (errors become payloads)."""
+        if self._closing.is_set():
+            return 503, {
+                "error": "shutting_down",
+                "message": "server is draining in-flight requests and shutting down",
+            }
         route = self._ROUTES.get(path.rstrip("/") or path)
         if route is None:
             return 404, {
@@ -449,6 +492,8 @@ class ExpansionService:
                 "error": "method_not_allowed",
                 "message": f"{path} accepts {', '.join(methods)}",
             }
+        with self._inflight_cv:
+            self._inflight += 1
         try:
             return getattr(self, handler_name)(params)
         except UnknownConfigError as exc:
@@ -463,6 +508,10 @@ class ExpansionService:
         except Exception as exc:  # noqa: BLE001 — a request must never kill the server
             self._metrics.record(path.strip("/"), None, error=True)
             return 500, {"error": "internal", "message": str(exc)}
+        finally:
+            with self._inflight_cv:
+                self._inflight -= 1
+                self._inflight_cv.notify_all()
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -548,6 +597,9 @@ class ExpansionServer:
         self._httpd = _HTTPServer((host, port), _Handler)
         self._httpd.service = service
         self._thread: threading.Thread | None = None
+        self._serving = threading.Event()  # a blocking serve_forever is live
+        self._closed = False
+        self._stop_lock = threading.Lock()
 
     @property
     def service(self) -> ExpansionService:
@@ -577,23 +629,73 @@ class ExpansionServer:
         return self
 
     def serve_forever(self) -> None:
-        self._httpd.serve_forever()
+        if self._closed:
+            return
+        self._serving.set()
+        try:
+            self._httpd.serve_forever()
+        finally:
+            self._serving.clear()
 
-    def stop(self) -> None:
-        """Stop serving and release the socket; safe on a never-started server.
+    def stop(
+        self, close_service: bool = True, drain_timeout: float = 10.0
+    ) -> None:
+        """Graceful stop: quit accepting, drain, release everything.
 
         ``shutdown()`` waits on an event that only ``serve_forever`` sets,
-        so it must not run unless :meth:`start` spun the serving thread —
-        on an unstarted server it would block forever. (The CLI's
-        blocking ``serve_forever`` path reaches here only after
-        ``serve_forever`` has already returned, where a bare
-        ``server_close`` is the right cleanup.)
+        so it must not run unless a serve loop is live — on an unstarted
+        server it would block forever. Two loops qualify: the daemon
+        thread :meth:`start` spun, and a blocking :meth:`serve_forever`
+        on the caller's thread (the CLI path, where a signal handler's
+        stop thread reaches here *while* the main thread is still inside
+        ``serve_forever`` — skipping ``shutdown()`` there would close the
+        listening socket under the live accept loop and leave it
+        spinning on an invalid descriptor forever).
+
+        With ``close_service`` (the default) the underlying service is
+        closed too — in-flight requests drain for up to
+        ``drain_timeout`` seconds, then the session pool releases its
+        store connections. Pass ``close_service=False`` to stop only the
+        HTTP front (e.g. to hand the service to another transport).
         """
-        if self._thread is not None:
-            self._httpd.shutdown()
-            self._thread.join(timeout=5)
-            self._thread = None
-        self._httpd.server_close()
+        with self._stop_lock:
+            self._closed = True
+            if self._thread is not None:
+                self._httpd.shutdown()
+                self._thread.join(timeout=5)
+                self._thread = None
+            elif self._serving.is_set():
+                self._httpd.shutdown()  # wakes the blocking serve_forever
+            self._httpd.server_close()
+        if close_service:
+            self._service.close(drain_timeout=drain_timeout)
+
+    def install_signal_handlers(
+        self, signals: tuple[int, ...] | None = None
+    ) -> None:
+        """Make SIGTERM/SIGINT trigger a graceful :meth:`stop`.
+
+        Main-thread only (a CPython constraint on ``signal.signal``).
+        The handler spawns a thread to run :meth:`stop`: calling
+        ``httpd.shutdown()`` inline would deadlock the blocking
+        :meth:`serve_forever` path, where the handler interrupts the
+        very thread ``shutdown()`` waits on. Once the stop thread closes
+        the loop, ``serve_forever`` returns and the caller unwinds
+        normally — so ``repro serve`` under SIGTERM drains in-flight
+        requests and exits 0 instead of dying mid-response.
+        """
+        import signal as _signal
+
+        if signals is None:
+            signals = (_signal.SIGTERM, _signal.SIGINT)
+
+        def _handler(signum: int, frame: Any) -> None:
+            threading.Thread(
+                target=self.stop, name="repro-serve-shutdown", daemon=True
+            ).start()
+
+        for signum in signals:
+            _signal.signal(signum, _handler)
 
     def __enter__(self) -> "ExpansionServer":
         return self.start()

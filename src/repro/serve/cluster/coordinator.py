@@ -1,0 +1,845 @@
+"""The cluster coordinator: spawn, route, shed, supervise.
+
+:class:`ClusterCoordinator` is the front door of a replicated serving
+tier. It owns N replica processes (see
+:mod:`~repro.serve.cluster.replica`), and for every request decides
+*where it runs* and *whether it runs at all*:
+
+**Routing** — ``/expand`` and ``/search`` route by consistent hash of
+``(config, query)`` (:mod:`~repro.serve.cluster.hashring`), so repeated
+queries — and every page of a cursor walk — land on the replica whose
+caches already hold them. Responses are forwarded as raw JSON bytes;
+the coordinator never re-parses proxied payloads. ``/batch`` is
+scattered: queries are grouped by their routed replica, sub-batches run
+in parallel, and the items are merged back in request order.
+
+**Admission control** — each replica has a bounded in-flight budget
+(``queue_depth``). A request routed to a saturated replica is shed
+immediately with ``429`` + ``Retry-After`` instead of queueing: past
+saturation the system degrades by refusing promptly, not by building an
+unbounded backlog (the shed path touches no locks a slow request can
+hold, so rejection latency stays flat). Shedding never spills to
+another replica — spilling would break cache affinity and just move the
+queue.
+
+**Supervision** — a background thread watches replica processes. A dead
+replica is detected, its requests fail over to the next live node on the
+ring walk (degraded-but-available), and it is respawned with a *fresh*
+snapshot of the source store — restart-equals-rehydrate, no partial
+state to reconcile.
+
+**Aggregation** — ``/healthz`` and ``/metrics`` fan out to live replicas
+and merge: cluster status (``ok`` / ``degraded`` / ``down``), summed
+per-endpoint request counters, per-replica payloads, and
+coordinator-level counters (routed, shed, failovers, restarts, shed
+latency percentiles).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import tempfile
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.api import schema
+from repro.errors import ClusterError, ConfigError
+from repro.serve.cluster.hashring import DEFAULT_VNODES, HashRing
+from repro.serve.cluster.routes import (
+    BATCH_CURSOR_KEYS,
+    PageRequest,
+    Router,
+    apply_page,
+    resolve_page,
+    scalar,
+)
+from repro.serve.cluster.replica import ReplicaSpec, replica_main
+from repro.serve.cluster.transport import DEFAULT_REQUEST_TIMEOUT, ReplicaClient
+from repro.serve.metrics import LatencyHistogram
+from repro.serve.pool import ServeConfig
+
+#: Default per-replica in-flight bound (admission control).
+DEFAULT_QUEUE_DEPTH = 16
+
+#: Default Retry-After seconds advertised on shed (429) responses.
+DEFAULT_RETRY_AFTER = 1.0
+
+#: Seconds the supervisor sleeps between liveness sweeps.
+SUPERVISOR_INTERVAL = 0.25
+
+#: Seconds a spawning replica gets to hydrate and report ready.
+DEFAULT_START_TIMEOUT = 180.0
+
+
+# -- replica handles ---------------------------------------------------------
+
+
+class ProcessReplica:
+    """A supervised replica process plus its RPC client.
+
+    ``spec_factory(name)`` builds a fresh :class:`ReplicaSpec` — called
+    on every (re)start so store-backed configs get a *new* snapshot of
+    the source store each time.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        spec_factory: Callable[[str], ReplicaSpec],
+        start_timeout: float = DEFAULT_START_TIMEOUT,
+        request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
+    ) -> None:
+        self.name = name
+        self._spec_factory = spec_factory
+        self._start_timeout = start_timeout
+        self._request_timeout = request_timeout
+        self._ctx = multiprocessing.get_context("spawn")
+        self._lock = threading.Lock()
+        self._process: Any = None
+        self._client: ReplicaClient | None = None
+        self._state = "down"  # down | starting | serving
+        self.restarts = -1  # first start() brings it to 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn, wait for the hydration-complete ready message, connect."""
+        with self._lock:
+            if self._state != "down":
+                raise ClusterError(f"replica {self.name!r} is already {self._state}")
+            self._state = "starting"
+        try:
+            spec = self._spec_factory(self.name)
+            parent, child = self._ctx.Pipe(duplex=False)
+            process = self._ctx.Process(
+                target=replica_main,
+                args=(spec, child),
+                name=f"repro-replica-{self.name}",
+                daemon=True,
+            )
+            process.start()
+            child.close()  # the child's end lives in the child now
+            if not parent.poll(self._start_timeout):
+                process.kill()
+                raise ClusterError(
+                    f"replica {self.name!r} did not report ready within "
+                    f"{self._start_timeout:.0f}s"
+                )
+            message = parent.recv()
+            parent.close()
+            if message[0] != "ready":
+                process.join(timeout=5)
+                raise ClusterError(
+                    f"replica {self.name!r} failed to build: {message[1]}"
+                )
+            _, address, authkey = message
+            client = ReplicaClient(address, authkey, timeout=self._request_timeout)
+        except ClusterError:
+            with self._lock:
+                self._state = "down"
+            raise
+        except Exception as exc:  # noqa: BLE001 — spawn machinery failures
+            with self._lock:
+                self._state = "down"
+            raise ClusterError(
+                f"replica {self.name!r} failed to start: {exc}"
+            ) from exc
+        with self._lock:
+            self._process = process
+            self._client = client
+            self._state = "serving"
+            self.restarts += 1
+
+    def stop(self, graceful: bool = True, join_timeout: float = 10.0) -> None:
+        """SIGTERM (drain) then SIGKILL; idempotent."""
+        with self._lock:
+            process, client = self._process, self._client
+            self._process, self._client = None, None
+            self._state = "down"
+        if client is not None:
+            client.close()
+        if process is None:
+            return
+        if process.is_alive():
+            if graceful:
+                process.terminate()  # SIGTERM -> replica drains and exits
+                process.join(timeout=join_timeout)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=join_timeout)
+        process.close()
+
+    def mark_down(self) -> None:
+        """Record an observed death (the supervisor will respawn)."""
+        self.stop(graceful=False, join_timeout=1.0)
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            if self._state == "serving" and not self._process.is_alive():
+                return "dead"  # exited but not yet reaped by the supervisor
+            return self._state
+
+    def alive(self) -> bool:
+        return self.state == "serving"
+
+    @property
+    def pid(self) -> int | None:
+        with self._lock:
+            if self._process is None:
+                return None
+            try:
+                return self._process.pid
+            except ValueError:  # pragma: no cover - closed process object
+                return None
+
+    # -- requests ------------------------------------------------------------
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        params: Mapping[str, Any],
+        timeout: float | None = None,
+    ) -> tuple[int, bytes]:
+        with self._lock:
+            client = self._client
+        if client is None:
+            raise ClusterError(f"replica {self.name!r} is not serving")
+        return client.request(method, path, params, timeout=timeout)
+
+
+# -- admission control -------------------------------------------------------
+
+
+class AdmissionController:
+    """Bounded per-replica in-flight accounting (the load-shed gate)."""
+
+    def __init__(self, queue_depth: int) -> None:
+        if queue_depth < 1:
+            raise ClusterError(f"queue_depth must be >= 1, got {queue_depth}")
+        self.queue_depth = queue_depth
+        self._lock = threading.Lock()
+        self._in_flight: dict[str, int] = {}
+
+    def try_acquire(self, replica: str) -> bool:
+        """Claim one slot on ``replica``; False = saturated, shed now."""
+        with self._lock:
+            current = self._in_flight.get(replica, 0)
+            if current >= self.queue_depth:
+                return False
+            self._in_flight[replica] = current + 1
+            return True
+
+    def release(self, replica: str) -> None:
+        with self._lock:
+            current = self._in_flight.get(replica, 0)
+            self._in_flight[replica] = max(0, current - 1)
+
+    def snapshot(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self._in_flight)
+
+
+class CoordinatorMetrics:
+    """Coordinator-level counters: routing, shedding, failover, restarts."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._routed: dict[str, int] = {}
+        self._shed = 0
+        self._failovers: dict[str, int] = {}
+        self._proxy_latency = LatencyHistogram()
+        self._shed_latency = LatencyHistogram()
+
+    def record_routed(self, replica: str, seconds: float) -> None:
+        with self._lock:
+            self._routed[replica] = self._routed.get(replica, 0) + 1
+        self._proxy_latency.observe(seconds)
+
+    def record_shed(self, seconds: float) -> None:
+        with self._lock:
+            self._shed += 1
+        self._shed_latency.observe(seconds)
+
+    def record_failover(self, replica: str) -> None:
+        with self._lock:
+            self._failovers[replica] = self._failovers.get(replica, 0) + 1
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            routed = dict(self._routed)
+            shed = self._shed
+            failovers = dict(self._failovers)
+        return {
+            "routed": routed,
+            "shed": shed,
+            "failovers": failovers,
+            "proxy_latency": self._proxy_latency.snapshot(),
+            "shed_latency": self._shed_latency.snapshot(),
+        }
+
+
+# -- the coordinator ---------------------------------------------------------
+
+#: Endpoints proxied verbatim to one replica chosen by the hash ring.
+PROXY_ROUTES = {"/expand": ("GET", "POST"), "/search": ("GET", "POST")}
+
+#: Counter fields summed when aggregating replica request metrics.
+_SUMMED_FIELDS = ("count", "errors", "cache_hits", "cache_misses")
+
+
+class ClusterCoordinator:
+    """Routes a shared-nothing replica fleet (see module docstring).
+
+    Parameters
+    ----------
+    configs:
+        The serving configurations every replica builds.
+    replicas:
+        Fleet size (>= 1).
+    queue_depth:
+        Per-replica in-flight bound; excess requests are shed with 429.
+    retry_after:
+        Seconds advertised in shed responses' ``Retry-After``.
+    replica_factory:
+        ``(name, spec_factory) -> handle`` — tests inject in-process
+        fakes here; the default builds :class:`ProcessReplica`.
+    """
+
+    def __init__(
+        self,
+        configs: Iterable[ServeConfig | str],
+        replicas: int = 2,
+        queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        retry_after: float = DEFAULT_RETRY_AFTER,
+        vnodes: int = DEFAULT_VNODES,
+        cache_size: int = 1024,
+        cache_ttl: float | None = None,
+        workers: int = 4,
+        request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
+        start_timeout: float = DEFAULT_START_TIMEOUT,
+        replica_factory: Callable[[str, Callable[[str], ReplicaSpec]], Any] | None = None,
+    ) -> None:
+        parsed = tuple(
+            c if isinstance(c, ServeConfig) else ServeConfig.parse(c)
+            for c in configs
+        )
+        if not parsed:
+            raise ConfigError("a cluster needs at least one serve config")
+        if replicas < 1:
+            raise ConfigError(f"replicas must be >= 1, got {replicas}")
+        self._configs = parsed
+        self._cache_size = cache_size
+        self._cache_ttl = cache_ttl
+        self._workers = workers
+        self._retry_after = retry_after
+        self._request_timeout = request_timeout
+        self._admission = AdmissionController(queue_depth)
+        self._metrics = CoordinatorMetrics()
+        self._started = time.time()
+        self._snapshot_dir: tempfile.TemporaryDirectory | None = None
+        self._snapshot_seq = 0
+        self._snapshot_lock = threading.Lock()
+        if replica_factory is None:
+            replica_factory = lambda name, factory: ProcessReplica(  # noqa: E731
+                name, factory,
+                start_timeout=start_timeout,
+                request_timeout=request_timeout,
+            )
+        names = [f"r{i}" for i in range(replicas)]
+        self._replicas: dict[str, Any] = {
+            name: replica_factory(name, self._make_spec) for name in names
+        }
+        self._ring = HashRing(names, vnodes=vnodes)
+        self._stop = threading.Event()
+        self._supervisor: threading.Thread | None = None
+        self._restarting: set[str] = set()
+        self._restart_lock = threading.Lock()
+
+        self._router = Router()
+        self._router.add("/healthz", ("GET",), self._healthz)
+        self._router.add("/metrics", ("GET",), self._metrics_route)
+        self._router.add("/configs", ("GET",), self._configs_route)
+        self._router.add("/cluster", ("GET",), self._cluster_route)
+        self._router.add("/batch", ("POST",), self._batch)
+        self._router.add("/ingest", ("POST",), self._ingest)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def replicas(self) -> Mapping[str, Any]:
+        return dict(self._replicas)
+
+    @property
+    def ring(self) -> HashRing:
+        return self._ring
+
+    @property
+    def metrics(self) -> CoordinatorMetrics:
+        return self._metrics
+
+    @property
+    def admission(self) -> AdmissionController:
+        return self._admission
+
+    def start(self) -> "ClusterCoordinator":
+        """Hydrate and start every replica, then begin supervising."""
+        self._snapshot_dir = tempfile.TemporaryDirectory(prefix="repro-cluster-")
+        try:
+            for handle in self._replicas.values():
+                handle.start()
+        except ClusterError:
+            self.stop()
+            raise
+        self._stop.clear()
+        self._supervisor = threading.Thread(
+            target=self._supervise, name="repro-cluster-supervisor", daemon=True
+        )
+        self._supervisor.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop supervising, drain and stop replicas, drop snapshots."""
+        self._stop.set()
+        if self._supervisor is not None:
+            self._supervisor.join(timeout=10)
+            self._supervisor = None
+        for handle in self._replicas.values():
+            handle.stop(graceful=True)
+        if self._snapshot_dir is not None:
+            self._snapshot_dir.cleanup()
+            self._snapshot_dir = None
+
+    # ExpansionServer-style front compatibility.
+    close = stop
+
+    def _make_spec(self, name: str) -> ReplicaSpec:
+        """A fresh spec for ``name`` — snapshots store configs *now*.
+
+        Called on every (re)start, so a respawned replica hydrates from
+        the source store's latest committed state, not the file its dead
+        predecessor was using.
+        """
+        overrides: dict[str, str] = {}
+        for config in self._configs:
+            if config.store is None:
+                continue
+            from repro.store import DocumentStore
+
+            with self._snapshot_lock:
+                self._snapshot_seq += 1
+                seq = self._snapshot_seq
+            base = (
+                Path(self._snapshot_dir.name)
+                if self._snapshot_dir is not None
+                else Path(tempfile.gettempdir())
+            )
+            dest = base / f"{name}-{config.name}-{seq}.sqlite"
+            with DocumentStore(config.store) as source:
+                source.snapshot(dest)
+            overrides[config.name] = str(dest)
+        return ReplicaSpec(
+            name=name,
+            configs=self._configs,
+            store_overrides=overrides,
+            cache_size=self._cache_size,
+            cache_ttl=self._cache_ttl,
+            workers=self._workers,
+        )
+
+    # -- supervision ---------------------------------------------------------
+
+    def _supervise(self) -> None:
+        while not self._stop.wait(SUPERVISOR_INTERVAL):
+            for name, handle in self._replicas.items():
+                if handle.state != "dead":
+                    continue
+                with self._restart_lock:
+                    if name in self._restarting:
+                        continue
+                    self._restarting.add(name)
+                handle.mark_down()
+                threading.Thread(
+                    target=self._restart,
+                    args=(name,),
+                    name=f"repro-cluster-restart-{name}",
+                    daemon=True,
+                ).start()
+
+    def _restart(self, name: str) -> None:
+        try:
+            if not self._stop.is_set():
+                self._replicas[name].start()
+        except ClusterError:
+            pass  # still down; the next sweep will not retry a "down"
+            # replica automatically — it retries only "dead" ones, so
+            # reschedule explicitly below.
+        finally:
+            with self._restart_lock:
+                self._restarting.discard(name)
+        if not self._stop.is_set() and not self._replicas[name].alive():
+            # Spawn failed (e.g. source store briefly locked): back off
+            # one sweep and let a fresh thread try again.
+            time.sleep(SUPERVISOR_INTERVAL)
+            with self._restart_lock:
+                if name in self._restarting or self._stop.is_set():
+                    return
+                self._restarting.add(name)
+            threading.Thread(
+                target=self._restart, args=(name,), daemon=True
+            ).start()
+
+    # -- routing -------------------------------------------------------------
+
+    @staticmethod
+    def routing_key(path: str, params: Mapping[str, Any]) -> str:
+        """The cache-affinity key: ``config + query`` (cursor-aware)."""
+        token = scalar(params, "cursor")
+        if token is not None:
+            # Continuation requests must reach the replica that served
+            # page one; the cursor carries the canonical parameters.
+            from repro.serve.cluster.routes import decode_cursor
+
+            endpoint = path.rstrip("/").lstrip("/") or path
+            state = decode_cursor(str(token), endpoint)
+            inner = state["params"]
+            return f"{inner.get('config', '')}\x00{inner.get('query', '')}"
+        return f"{scalar(params, 'config', '')}\x00{scalar(params, 'query', '')}"
+
+    def _live_preference(self, key: str) -> list[Any]:
+        return [
+            self._replicas[name]
+            for name in self._ring.preference(key)
+            if self._replicas[name].alive()
+        ]
+
+    def _shed(self, t0: float, replica: str) -> tuple[int, dict[str, Any]]:
+        payload = {
+            "error": "overloaded",
+            "message": (
+                f"replica {replica!r} is at its queue-depth bound "
+                f"({self._admission.queue_depth}); retry shortly"
+            ),
+            "replica": replica,
+            "retry_after": self._retry_after,
+        }
+        self._metrics.record_shed(time.perf_counter() - t0)
+        return 429, payload
+
+    def _proxy(
+        self, method: str, path: str, params: Mapping[str, Any]
+    ) -> tuple[int, Any]:
+        t0 = time.perf_counter()
+        try:
+            key = self.routing_key(path, params)
+        except Exception as exc:  # bad cursor — reject before routing
+            return 400, {"error": "serve_error", "message": str(exc)}
+        candidates = self._live_preference(key)
+        if not candidates:
+            return 503, {
+                "error": "unavailable",
+                "message": "no live replicas (cluster is restarting or down)",
+            }
+        for position, handle in enumerate(candidates):
+            if not self._admission.try_acquire(handle.name):
+                # Shed at the *routed* replica; spilling sideways would
+                # break affinity and merely relocate the queue.
+                return self._shed(t0, handle.name)
+            try:
+                status, body = handle.request(
+                    method, path, params, timeout=self._request_timeout
+                )
+            except ClusterError:
+                self._metrics.record_failover(handle.name)
+                continue  # next live candidate on the ring walk
+            finally:
+                self._admission.release(handle.name)
+            self._metrics.record_routed(handle.name, time.perf_counter() - t0)
+            return status, body
+        return 503, {
+            "error": "unavailable",
+            "message": "every live replica failed the request",
+        }
+
+    # -- request entry -------------------------------------------------------
+
+    def handle(
+        self, method: str, path: str, params: Mapping[str, Any]
+    ) -> tuple[int, Any]:
+        """Dispatch one request; never raises (errors become payloads)."""
+        normalized = path.rstrip("/") or path
+        if normalized in PROXY_ROUTES:
+            if method not in PROXY_ROUTES[normalized]:
+                return 405, {
+                    "error": "method_not_allowed",
+                    "message": f"{normalized} accepts "
+                    f"{', '.join(PROXY_ROUTES[normalized])}",
+                }
+            return self._proxy(method, normalized, params)
+        route = self._router.match(normalized)
+        if route is None:
+            return 404, {
+                "error": "not_found",
+                "message": f"unknown path {path!r}",
+                "paths": sorted(self._router.paths() + list(PROXY_ROUTES)),
+            }
+        if method not in route.methods:
+            return 405, {
+                "error": "method_not_allowed",
+                "message": f"{route.path} accepts {', '.join(route.methods)}",
+            }
+        try:
+            return route.handler(method, params)
+        except Exception as exc:  # noqa: BLE001 — a request must never kill the front
+            return 500, {"error": "internal", "message": str(exc)}
+
+    # -- fan-out helpers -----------------------------------------------------
+
+    def _ask_replica(
+        self, handle: Any, path: str, timeout: float = 10.0
+    ) -> dict[str, Any] | None:
+        try:
+            status, body = handle.request("GET", path, {}, timeout=timeout)
+            if status != 200:
+                return None
+            return json.loads(body)
+        except (ClusterError, ValueError):
+            return None
+
+    # -- coordinator endpoints -----------------------------------------------
+
+    def _replica_states(self) -> dict[str, dict[str, Any]]:
+        return {
+            name: {
+                "state": handle.state,
+                "alive": handle.alive(),
+                "pid": getattr(handle, "pid", None),
+                "restarts": max(0, getattr(handle, "restarts", 0)),
+            }
+            for name, handle in self._replicas.items()
+        }
+
+    def _healthz(self, method: str, params: Mapping[str, Any]) -> tuple[int, Any]:
+        states = self._replica_states()
+        live = [name for name, info in states.items() if info["alive"]]
+        if len(live) == len(states):
+            status = "ok"
+        elif live:
+            status = "degraded"
+        else:
+            status = "down"
+        for name in live:
+            info = self._ask_replica(self._replicas[name], "/healthz")
+            if info is not None:
+                states[name]["generations"] = info.get("generations", {})
+                states[name]["uptime_seconds"] = info.get("uptime_seconds")
+        return 200, {
+            "status": status,
+            "role": "coordinator",
+            "replicas_total": len(states),
+            "replicas_live": len(live),
+            "replicas": states,
+            "configs": [c.name for c in self._configs],
+            "uptime_seconds": time.time() - self._started,
+            "schema_version": schema.SCHEMA_VERSION,
+        }
+
+    def _metrics_route(
+        self, method: str, params: Mapping[str, Any]
+    ) -> tuple[int, Any]:
+        per_replica: dict[str, Any] = {}
+        aggregate: dict[str, dict[str, int]] = {}
+        for name, handle in self._replicas.items():
+            if not handle.alive():
+                per_replica[name] = {"error": "replica down"}
+                continue
+            payload = self._ask_replica(handle, "/metrics", timeout=30.0)
+            if payload is None:
+                per_replica[name] = {"error": "metrics fetch failed"}
+                continue
+            per_replica[name] = payload
+            for endpoint, row in payload.get("requests", {}).items():
+                into = aggregate.setdefault(
+                    endpoint, {field: 0 for field in _SUMMED_FIELDS}
+                )
+                for field in _SUMMED_FIELDS:
+                    into[field] += int(row.get(field, 0))
+        cluster = self._metrics.snapshot()
+        cluster["in_flight"] = self._admission.snapshot()
+        cluster["queue_depth"] = self._admission.queue_depth
+        cluster["restarts"] = {
+            name: max(0, getattr(handle, "restarts", 0))
+            for name, handle in self._replicas.items()
+        }
+        return 200, {
+            "uptime_seconds": time.time() - self._started,
+            "requests": aggregate,  # summed across replicas
+            "cluster": cluster,
+            "replicas": per_replica,
+        }
+
+    def _configs_route(
+        self, method: str, params: Mapping[str, Any]
+    ) -> tuple[int, Any]:
+        for handle in self._replicas.values():
+            if not handle.alive():
+                continue
+            payload = self._ask_replica(handle, "/configs", timeout=30.0)
+            if payload is not None:
+                payload["cluster"] = {"replicas": len(self._replicas)}
+                return 200, payload
+        return 503, {
+            "error": "unavailable",
+            "message": "no live replicas to describe configurations",
+        }
+
+    def _cluster_route(
+        self, method: str, params: Mapping[str, Any]
+    ) -> tuple[int, Any]:
+        return 200, {
+            "replicas": self._replica_states(),
+            "ring": self._ring.describe(),
+            "queue_depth": self._admission.queue_depth,
+            "retry_after": self._retry_after,
+            "in_flight": self._admission.snapshot(),
+            "configs": [c.describe() for c in self._configs],
+            "stores": {
+                c.name: c.store for c in self._configs if c.store is not None
+            },
+        }
+
+    def _ingest(self, method: str, params: Mapping[str, Any]) -> tuple[int, Any]:
+        return 501, {
+            "error": "not_implemented",
+            "message": (
+                "the cluster tier serves read traffic only; ingest into the "
+                "source store (repro store ingest) — replicas re-hydrate "
+                "from its latest snapshot on restart. A live changefeed is "
+                "ROADMAP item 4."
+            ),
+        }
+
+    # -- scatter/gather batch ------------------------------------------------
+
+    def _batch(self, method: str, params: Mapping[str, Any]) -> tuple[int, Any]:
+        t0 = time.perf_counter()
+        try:
+            page = resolve_page(params, "batch", BATCH_CURSOR_KEYS)
+            run_params = dict(page.params)
+            if "queries" not in run_params:
+                queries = params.get("queries")
+                if not isinstance(queries, (list, tuple)) or not queries:
+                    from repro.errors import ServeError
+
+                    raise ServeError("batch needs a non-empty 'queries' list")
+                run_params["queries"] = [str(q) for q in queries]
+            if page.paginated:
+                page = PageRequest(
+                    params=run_params, offset=page.offset, limit=page.limit
+                )
+        except Exception as exc:  # bad cursor / bad queries
+            return 400, {"error": "serve_error", "message": str(exc)}
+
+        queries = run_params["queries"]
+        config = run_params.get("config", "")
+
+        # Group queries (keeping original positions) by routed replica.
+        groups: dict[str, list[tuple[int, str]]] = {}
+        for index, query in enumerate(queries):
+            key = f"{config}\x00{query}"
+            candidates = self._live_preference(key)
+            if not candidates:
+                return 503, {
+                    "error": "unavailable",
+                    "message": "no live replicas (cluster is restarting or down)",
+                }
+            groups.setdefault(candidates[0].name, []).append((index, query))
+
+        # Admission: claim one slot per participating replica up front;
+        # all-or-nothing so a saturated fleet sheds the batch promptly.
+        claimed: list[str] = []
+        for name in groups:
+            if not self._admission.try_acquire(name):
+                for done in claimed:
+                    self._admission.release(done)
+                return self._shed(t0, name)
+            claimed.append(name)
+
+        def run_group(item: tuple[str, list[tuple[int, str]]]):
+            name, members = item
+            sub = dict(run_params)
+            sub["queries"] = [query for _, query in members]
+            status, body = self._replicas[name].request(
+                "POST", "/batch", sub, timeout=self._request_timeout
+            )
+            return name, members, status, body
+
+        try:
+            with ThreadPoolExecutor(max_workers=len(groups)) as pool:
+                outcomes = list(pool.map(run_group, groups.items()))
+        except ClusterError as exc:
+            return 503, {"error": "unavailable", "message": str(exc)}
+        finally:
+            for name in claimed:
+                self._admission.release(name)
+
+        items: list[Any] = [None] * len(queries)
+        cache_hits = 0
+        for name, members, status, body in outcomes:
+            try:
+                payload = json.loads(body)
+            except ValueError:
+                payload = None
+            if status != 200 or payload is None:
+                message = (payload or {}).get("message", f"status {status}")
+                for index, query in members:
+                    items[index] = {
+                        "query": query,
+                        "ok": False,
+                        "report": None,
+                        "error_type": "ClusterError",
+                        "error_message": f"replica {name}: {message}",
+                        "seconds": 0.0,
+                        "cache": "miss",
+                    }
+                continue
+            self._metrics.record_routed(name, time.perf_counter() - t0)
+            for (index, _query), item in zip(
+                members, payload["report"]["items"]
+            ):
+                items[index] = item
+            cache_hits += int(payload.get("cache_hits", 0))
+
+        seconds = time.perf_counter() - t0
+        report = schema.make_envelope(
+            schema.KIND_BATCH,
+            {"items": items, "workers": len(groups), "seconds": seconds},
+        )
+        payload = {
+            "config": scalar(run_params, "config"),
+            "cache_hits": cache_hits,
+            "n_ok": sum(1 for i in items if i and i.get("ok")),
+            "n_failed": sum(1 for i in items if not (i and i.get("ok"))),
+            "replicas": sorted(groups),
+            "report": report,
+        }
+        if page.paginated:
+            paged = apply_page({"items": items}, "items", page, "batch")
+            report["items"] = paged["items"]
+            payload["page"] = paged["page"]
+        return 200, payload
+
+
+def create_coordinator(
+    configs: Iterable[ServeConfig | str], **kwargs: Any
+) -> ClusterCoordinator:
+    """Build (without starting) a coordinator from configs or spec strings."""
+    return ClusterCoordinator(configs, **kwargs)

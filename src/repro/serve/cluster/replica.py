@@ -1,0 +1,108 @@
+"""The replica worker process: hydrate, announce, serve, drain.
+
+A replica is one OS process owning a full single-node serving stack — a
+:class:`~repro.serve.pool.SessionPool`, an
+:class:`~repro.serve.app.ExpansionService`, and the pagination-aware
+:class:`~repro.serve.cluster.routes.RoutedService` face — reached over
+the :mod:`~repro.serve.cluster.transport` RPC instead of HTTP. The
+coordinator describes it with a picklable :class:`ReplicaSpec` and
+spawns :func:`replica_main` via ``multiprocessing`` (``spawn`` context:
+no inherited locks, threads, or SQLite handles).
+
+Lifecycle::
+
+    spawn -> build sessions (hydrate)  -> ("ready", address, authkey)
+          -> accept/serve RPC loop     -> SIGTERM
+          -> stop accepting, drain in-flight, close stores -> exit 0
+
+**Snapshot hydration**: store-backed configurations arrive with their
+``store`` path rewritten to a private snapshot file the coordinator cut
+from the source store via the SQLite backup API
+(:meth:`DocumentStore.snapshot`), so every replica owns its bytes —
+shared-nothing — and a restarted replica is simply handed a *fresh*
+snapshot. Hydration happens before the ready message: by the time the
+coordinator routes a request here, every session is built and warm.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import signal
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.serve.app import ExpansionService
+from repro.serve.cluster.routes import RoutedService
+from repro.serve.cluster.transport import ReplicaTransport
+from repro.serve.pool import ServeConfig, SessionPool
+
+#: Seconds a terminating replica waits for in-flight requests.
+DRAIN_TIMEOUT = 10.0
+
+
+@dataclass(frozen=True)
+class ReplicaSpec:
+    """Everything a replica process needs to build its serving stack.
+
+    ``store_overrides`` maps configuration names to per-replica snapshot
+    paths; matching configs are rebuilt with that path as their store.
+    """
+
+    name: str
+    configs: tuple[ServeConfig, ...]
+    store_overrides: Mapping[str, str] = field(default_factory=dict)
+    cache_size: int = 1024
+    cache_ttl: float | None = None
+    workers: int = 4
+
+    def effective_configs(self) -> list[ServeConfig]:
+        out = []
+        for config in self.configs:
+            override = self.store_overrides.get(config.name)
+            if override is not None:
+                config = dataclasses.replace(config, store=override)
+            out.append(config)
+        return out
+
+
+def build_replica_service(spec: ReplicaSpec) -> RoutedService:
+    """Assemble (and fully hydrate) one replica's serving stack."""
+    service = ExpansionService(
+        SessionPool(spec.effective_configs()),
+        cache_size=spec.cache_size,
+        cache_ttl=spec.cache_ttl,
+        workers=spec.workers,
+    )
+    for name in service.pool.names():
+        service.pool.get(name)  # build now: ready means warm
+    return RoutedService(service)
+
+
+def replica_main(spec: ReplicaSpec, ready: Any) -> None:
+    """Process entry point (see module docstring). ``ready`` is a Pipe end."""
+    try:
+        routed = build_replica_service(spec)
+        transport = ReplicaTransport(routed.handle)
+    except Exception as exc:  # noqa: BLE001 — report the failure, don't hang the parent
+        try:
+            ready.send(("error", f"{type(exc).__name__}: {exc}"))
+        finally:
+            ready.close()
+        return
+    ready.send(("ready", transport.address, transport.authkey))
+    ready.close()
+
+    stopping = threading.Event()
+
+    def _terminate(signum: int, frame: Any) -> None:
+        stopping.set()
+        transport.close()  # accept loop exits; serve() returns
+
+    signal.signal(signal.SIGTERM, _terminate)
+    signal.signal(signal.SIGINT, _terminate)
+
+    transport.serve()
+    # Graceful exit: refuse new work, drain in-flight requests, release
+    # the store connections (satellite: clean replica supervision).
+    routed.close(drain_timeout=DRAIN_TIMEOUT)

@@ -1,0 +1,306 @@
+"""Routed dispatch and pagination/cursoring for the serving tier.
+
+PRs 4–5 grew :class:`~repro.serve.app.ExpansionService` a flat
+``_ROUTES`` table; the cluster tier needs more — the coordinator has its
+own endpoints, replicas wrap the service, and both must paginate large
+result payloads. This module is the shared plumbing:
+
+* :class:`Router` — a small method-aware dispatch table producing the
+  same 404/405 payload shapes as the flat handler;
+* **cursors** — opaque, URL-safe continuation tokens.
+  :func:`encode_cursor` packs the canonical request parameters plus the
+  next offset into base64url JSON; :func:`decode_cursor` rejects
+  anything malformed with a 400-mapped :class:`ServeError`. Cursors are
+  self-contained on purpose: the coordinator decodes them to recover the
+  routing key, so a continuation request routes to the *same replica*
+  that served page one (warm caches make later pages nearly free);
+* :class:`RoutedService` — wraps an :class:`ExpansionService` with
+  ``limit``/``cursor`` pagination on ``/search`` and ``/batch``.
+  Requests without either parameter behave exactly as before, so every
+  existing client keeps working.
+
+Pagination contract (see API.md: Cluster serving): a paginated response
+carries a ``page`` object — ``{"offset", "limit", "returned", "total",
+"next_cursor"}`` — beside the sliced payload; ``next_cursor`` is
+``null`` on the last page. Cursors are positional snapshots, not
+transactional ones: a mutation between pages may shift results, which
+the ``generation`` echoed in the cursor lets clients detect.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import json
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from repro.errors import ServeError
+
+#: Hard cap on ``limit`` — a page is a page, not a bulk export.
+MAX_PAGE_LIMIT = 500
+
+
+def scalar(params: Mapping[str, Any], key: str, default: Any = None) -> Any:
+    """``params[key]`` with ``parse_qs`` list unwrapping (first element)."""
+    value = params.get(key, default)
+    if isinstance(value, list):
+        value = value[0] if value else default
+    return value
+
+
+# -- cursors -----------------------------------------------------------------
+
+
+def encode_cursor(state: Mapping[str, Any]) -> str:
+    """Pack ``state`` into an opaque URL-safe continuation token."""
+    raw = json.dumps(dict(state), sort_keys=True, separators=(",", ":"))
+    return base64.urlsafe_b64encode(raw.encode("utf-8")).decode("ascii").rstrip("=")
+
+
+def decode_cursor(token: str, endpoint: str) -> dict[str, Any]:
+    """Unpack a cursor minted by :func:`encode_cursor` for ``endpoint``.
+
+    Every malformation — bad base64, bad JSON, wrong endpoint, missing
+    fields — raises :class:`ServeError`, which the handlers map to 400.
+    """
+    if not isinstance(token, str) or not token:
+        raise ServeError("cursor must be a non-empty string")
+    try:
+        padded = token + "=" * (-len(token) % 4)
+        raw = base64.urlsafe_b64decode(padded.encode("ascii"))
+        state = json.loads(raw.decode("utf-8"))
+    except (ValueError, binascii.Error, UnicodeError):
+        raise ServeError("invalid cursor (not a continuation token)") from None
+    if not isinstance(state, dict) or state.get("endpoint") != endpoint:
+        raise ServeError(f"cursor is not a {endpoint} continuation token")
+    offset, limit = state.get("offset"), state.get("limit")
+    if not isinstance(offset, int) or offset < 0 or not isinstance(limit, int) or limit < 1:
+        raise ServeError("invalid cursor (bad offset/limit)")
+    if not isinstance(state.get("params"), dict):
+        raise ServeError("invalid cursor (missing request parameters)")
+    return state
+
+
+@dataclass(frozen=True)
+class PageRequest:
+    """One resolved pagination request: what to run and what to slice."""
+
+    params: dict[str, Any]  # canonical request parameters to execute
+    offset: int
+    limit: int | None  # None = pagination not requested (legacy shape)
+
+    @property
+    def paginated(self) -> bool:
+        return self.limit is not None
+
+
+def resolve_page(
+    params: Mapping[str, Any], endpoint: str, param_keys: tuple[str, ...]
+) -> PageRequest:
+    """Resolve ``limit``/``cursor`` into a :class:`PageRequest`.
+
+    A ``cursor`` wins over everything: the canonical parameters stored
+    inside it replace the request's own, so a bare ``?cursor=...`` is a
+    complete continuation request. Without a cursor, ``limit`` starts
+    pagination at offset 0; without either, the request is legacy-shaped.
+    """
+    token = scalar(params, "cursor")
+    if token is not None:
+        state = decode_cursor(str(token), endpoint)
+        return PageRequest(
+            params=dict(state["params"]),
+            offset=int(state["offset"]),
+            limit=int(state["limit"]),
+        )
+    raw_limit = scalar(params, "limit")
+    if raw_limit in (None, ""):
+        canonical = {k: scalar(params, k) for k in param_keys if scalar(params, k) is not None}
+        return PageRequest(params=canonical, offset=0, limit=None)
+    try:
+        limit = int(raw_limit)
+    except (TypeError, ValueError):
+        raise ServeError(f"limit must be an integer, got {raw_limit!r}") from None
+    if limit < 1:
+        raise ServeError(f"limit must be >= 1, got {limit}")
+    limit = min(limit, MAX_PAGE_LIMIT)
+    canonical = {k: scalar(params, k) for k in param_keys if scalar(params, k) is not None}
+    return PageRequest(params=canonical, offset=0, limit=limit)
+
+
+def apply_page(
+    payload: dict[str, Any],
+    items_key: str,
+    page: PageRequest,
+    endpoint: str,
+    generation: Any = None,
+) -> dict[str, Any]:
+    """Slice ``payload[items_key]`` per ``page`` and attach the page object.
+
+    ``payload`` is mutated and returned (handlers own a fresh dict by
+    the time they get here — cached inner payloads are already copied).
+    """
+    items = payload.get(items_key) or []
+    total = len(items)
+    window = items[page.offset : page.offset + (page.limit or 0)]
+    next_cursor = None
+    if page.offset + (page.limit or 0) < total:
+        state: dict[str, Any] = {
+            "endpoint": endpoint,
+            "params": page.params,
+            "offset": page.offset + (page.limit or 0),
+            "limit": page.limit,
+        }
+        if generation is not None:
+            state["generation"] = generation
+        next_cursor = encode_cursor(state)
+    payload[items_key] = window
+    payload["page"] = {
+        "offset": page.offset,
+        "limit": page.limit,
+        "returned": len(window),
+        "total": total,
+        "next_cursor": next_cursor,
+    }
+    return payload
+
+
+# -- router ------------------------------------------------------------------
+
+Handler = Callable[[str, Mapping[str, Any]], tuple[int, Any]]
+
+
+@dataclass(frozen=True)
+class Route:
+    path: str
+    methods: tuple[str, ...]
+    handler: Handler
+
+
+class Router:
+    """A method-aware dispatch table with the flat handler's error shapes."""
+
+    def __init__(self) -> None:
+        self._routes: dict[str, Route] = {}
+
+    def add(self, path: str, methods: tuple[str, ...], handler: Handler) -> None:
+        if path in self._routes:
+            raise ServeError(f"duplicate route {path!r}")
+        self._routes[path] = Route(path, tuple(methods), handler)
+
+    def paths(self) -> list[str]:
+        return sorted(self._routes)
+
+    def match(self, path: str) -> Route | None:
+        return self._routes.get(path.rstrip("/") or path)
+
+    def dispatch(
+        self, method: str, path: str, params: Mapping[str, Any]
+    ) -> tuple[int, Any]:
+        """Route one request; unknown paths 404, wrong methods 405."""
+        route = self.match(path)
+        if route is None:
+            return 404, {
+                "error": "not_found",
+                "message": f"unknown path {path!r}",
+                "paths": self.paths(),
+            }
+        if method not in route.methods:
+            return 405, {
+                "error": "method_not_allowed",
+                "message": f"{route.path} accepts {', '.join(route.methods)}",
+            }
+        return route.handler(method, params)
+
+
+# -- the paginating service wrapper ------------------------------------------
+
+#: Canonical parameter keys preserved inside each endpoint's cursors.
+SEARCH_CURSOR_KEYS = ("config", "query", "top_k", "semantics")
+BATCH_CURSOR_KEYS = ("config", "algorithm", "workers")
+
+
+class RoutedService:
+    """An :class:`ExpansionService` face with pagination on heavy routes.
+
+    ``handle(method, path, params)`` is a drop-in replacement for the
+    wrapped service's — replicas serve it over the cluster transport,
+    and it works equally well single-process. Only ``/search`` and
+    ``/batch`` are intercepted (and only when ``limit`` or ``cursor`` is
+    present); every other path delegates untouched.
+    """
+
+    def __init__(self, service: Any) -> None:
+        self._service = service
+        self._router = Router()
+        self._router.add("/search", ("GET", "POST"), self._search)
+        self._router.add("/batch", ("POST",), self._batch)
+
+    @property
+    def service(self) -> Any:
+        return self._service
+
+    def __getattr__(self, name: str) -> Any:
+        # Everything that is not routing (pool, cache, metrics, close,
+        # ...) is the wrapped service's business.
+        return getattr(self._service, name)
+
+    def handle(
+        self, method: str, path: str, params: Mapping[str, Any]
+    ) -> tuple[int, Any]:
+        route = self._router.match(path)
+        if route is None:
+            return self._service.handle(method, path, params)
+        if method not in route.methods:
+            return 405, {
+                "error": "method_not_allowed",
+                "message": f"{route.path} accepts {', '.join(route.methods)}",
+            }
+        try:
+            return route.handler(method, params)
+        except ServeError as exc:
+            # Same shape the flat handler produces for bad parameters;
+            # counted so /metrics stays honest about rejected requests.
+            self._service.metrics.record(route.path.strip("/"), None, error=True)
+            return 400, {"error": "serve_error", "message": str(exc)}
+
+    # -- paginated routes ----------------------------------------------------
+
+    def _search(self, method: str, params: Mapping[str, Any]) -> tuple[int, Any]:
+        page = resolve_page(params, "search", SEARCH_CURSOR_KEYS)
+        if not page.paginated:
+            return self._service.handle(method, "/search", params)
+        status, payload = self._service.handle(method, "/search", page.params)
+        if status != 200:
+            return status, payload
+        generation = payload.get("generation")
+        return 200, apply_page(dict(payload), "results", page, "search", generation)
+
+    def _batch(self, method: str, params: Mapping[str, Any]) -> tuple[int, Any]:
+        page = resolve_page(params, "batch", BATCH_CURSOR_KEYS)
+        if not page.paginated:
+            return self._service.handle(method, "/batch", params)
+        run_params = dict(page.params)
+        # The queries list rides inside the cursor so a bare cursor POST
+        # is complete; repeated queries are cache hits on re-execution.
+        if "queries" not in run_params:
+            queries = params.get("queries")
+            if not isinstance(queries, (list, tuple)) or not queries:
+                raise ServeError("batch needs a non-empty 'queries' list")
+            run_params["queries"] = [str(q) for q in queries]
+        # Re-freeze the page over the full parameter set so the minted
+        # cursor carries the queries list and a bare cursor POST is
+        # self-contained.
+        page = PageRequest(params=run_params, offset=page.offset, limit=page.limit)
+        status, payload = self._service.handle(method, "/batch", run_params)
+        if status != 200:
+            return status, payload
+        payload = dict(payload)
+        report = dict(payload["report"])
+        paged = apply_page(
+            {"items": report.get("items", [])}, "items", page, "batch"
+        )
+        report["items"] = paged["items"]
+        payload["report"] = report
+        payload["page"] = paged["page"]
+        return 200, payload

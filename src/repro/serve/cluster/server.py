@@ -1,0 +1,179 @@
+"""The cluster's HTTP front: one socket, N replica processes behind it.
+
+:class:`ClusterServer` reuses the single-node HTTP plumbing
+(:class:`~repro.serve.app._Handler`'s request parsing, keep-alive, and
+TCP_NODELAY behavior) but points it at a
+:class:`~repro.serve.cluster.coordinator.ClusterCoordinator` and adds
+two cluster-specific behaviors:
+
+* **bytes passthrough** — proxied responses arrive from replicas as
+  already-serialized JSON; the handler writes them to the client socket
+  verbatim instead of re-parsing and re-dumping (the coordinator's share
+  of a cache hit stays two memcpys);
+* **Retry-After** — shed responses (429) carry a ``Retry-After`` header
+  mirroring the payload's ``retry_after``, so well-behaved clients back
+  off without parsing the body.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Any, Iterable, Mapping
+
+from repro.errors import ServeError
+from repro.serve.app import _Handler, _HTTPServer
+from repro.serve.cluster.coordinator import ClusterCoordinator
+from repro.serve.pool import ServeConfig
+
+
+class _ClusterHandler(_Handler):
+    """The single-node handler, taught to forward pre-serialized bytes."""
+
+    server_version = "repro-cluster/1.0"
+
+    def _respond(self, status: int, payload: Any) -> None:
+        if isinstance(payload, bytes):
+            body = payload
+        else:
+            body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+        self.send_response(status)
+        if status == 429 and isinstance(payload, Mapping):
+            retry_after = payload.get("retry_after")
+            if retry_after is not None:
+                self.send_header("Retry-After", str(max(1, round(retry_after))))
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+
+class ClusterServer:
+    """HTTP front of a :class:`ClusterCoordinator` (ExpansionServer-shaped).
+
+    Same embedding surface as :class:`~repro.serve.app.ExpansionServer`:
+    ``port=0`` for an ephemeral port, :meth:`start` for a daemon thread,
+    :meth:`serve_forever` for the blocking CLI path, context-manager
+    enter/exit. :meth:`stop` tears down the HTTP listener *and* the
+    coordinator (which drains and stops every replica).
+    """
+
+    def __init__(
+        self,
+        coordinator: ClusterCoordinator,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+    ) -> None:
+        self._coordinator = coordinator
+        self._httpd = _HTTPServer((host, port), _ClusterHandler)
+        self._httpd.service = coordinator  # _Handler calls .handle(...)
+        self._thread: threading.Thread | None = None
+        self._serving = threading.Event()  # a blocking serve_forever is live
+        self._closed = False
+        self._stop_lock = threading.Lock()
+
+    @property
+    def coordinator(self) -> ClusterCoordinator:
+        return self._coordinator
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ClusterServer":
+        if self._thread is not None:
+            raise ServeError("cluster server already started")
+        self._coordinator.start()
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name=f"repro-cluster:{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Blocking serve (the CLI path); replicas must already be started."""
+        if self._closed:
+            return
+        self._serving.set()
+        try:
+            self._httpd.serve_forever()
+        finally:
+            self._serving.clear()
+
+    def stop(self) -> None:
+        """Stop the HTTP front, then drain and stop the replica fleet.
+
+        Serialized under a lock: the SIGTERM handler's stop thread and
+        the CLI's ``finally: stop()`` may race here. ``shutdown()`` must
+        run for a blocking :meth:`serve_forever` too, not just the
+        :meth:`start` thread — a signal handler's stop thread reaches
+        here while the main thread is still inside ``serve_forever``,
+        and closing the listening socket under a live accept loop leaves
+        it spinning on an invalid descriptor forever.
+        """
+        with self._stop_lock:
+            self._closed = True
+            if self._thread is not None:
+                self._httpd.shutdown()
+                self._thread.join(timeout=5)
+                self._thread = None
+            elif self._serving.is_set():
+                self._httpd.shutdown()  # wakes the blocking serve_forever
+            self._httpd.server_close()
+            self._coordinator.stop()
+
+    def install_signal_handlers(
+        self, signals: tuple[int, ...] | None = None
+    ) -> None:
+        """Make SIGTERM/SIGINT stop the front and drain the fleet.
+
+        Same shape (and same deadlock-avoidance rationale) as
+        :meth:`repro.serve.app.ExpansionServer.install_signal_handlers`:
+        the handler hands the stop to a fresh thread so the blocking
+        ``serve_forever`` thread is never the one waiting on itself.
+        """
+        import signal as _signal
+
+        if signals is None:
+            signals = (_signal.SIGTERM, _signal.SIGINT)
+
+        def _handler(signum: int, frame: Any) -> None:
+            threading.Thread(
+                target=self.stop, name="repro-cluster-shutdown", daemon=True
+            ).start()
+
+        for signum in signals:
+            _signal.signal(signum, _handler)
+
+    def __enter__(self) -> "ClusterServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+
+def create_cluster(
+    configs: Iterable[ServeConfig | str],
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    **coordinator_kwargs: Any,
+) -> ClusterServer:
+    """Assemble configs → coordinator → HTTP front in one call.
+
+    Keyword arguments (``replicas``, ``queue_depth``, ``retry_after``,
+    ``cache_size``, ...) flow to :class:`ClusterCoordinator`. Nothing is
+    spawned until :meth:`ClusterServer.start`.
+    """
+    return ClusterServer(
+        ClusterCoordinator(configs, **coordinator_kwargs), host=host, port=port
+    )

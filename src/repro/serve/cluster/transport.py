@@ -1,0 +1,184 @@
+"""The coordinator ↔ replica wire: length-framed RPC over loopback.
+
+``multiprocessing.connection`` gives exactly what a local cluster needs
+— authenticated (HMAC challenge), length-prefixed message framing over a
+loopback socket — without HTTP parsing on the inter-process hop. One
+request is the tuple ``(method, path, params)``; one response is
+``(status, body_bytes)`` where ``body_bytes`` is the replica's already
+**serialized JSON payload**. Shipping bytes instead of objects is the
+cluster's hot-path trick: the coordinator forwards them to the client
+socket verbatim, so proxying a cache hit costs the coordinator an HTTP
+parse and two memcpys while the replica pays the (much larger) JSON
+serialization — which is what lets N replicas outrun one.
+
+* :class:`ReplicaTransport` — replica side: an ephemeral-port listener
+  plus a thread per coordinator connection, each looping recv →
+  ``handle`` → send until EOF or :meth:`close`.
+* :class:`ReplicaClient` — coordinator side: a small pool of persistent
+  connections (borrow per request, return unless broken). Every failure
+  mode — refused, reset, timeout, EOF — surfaces as
+  :class:`ClusterError` so the coordinator's failover path has a single
+  thing to catch.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from multiprocessing.connection import Client, Connection, Listener
+from typing import Any, Callable, Mapping
+
+from repro.errors import ClusterError
+
+#: Seconds a coordinator waits on a replica reply before declaring it
+#: unreachable (expansion cold paths are slow; hydrated hits are not).
+DEFAULT_REQUEST_TIMEOUT = 60.0
+
+Handle = Callable[[str, str, Mapping[str, Any]], tuple[int, Any]]
+
+
+def _encode_body(payload: Any) -> bytes:
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8")
+
+
+class ReplicaTransport:
+    """Replica-side listener serving ``handle`` to coordinator clients."""
+
+    def __init__(self, handle: Handle, host: str = "127.0.0.1") -> None:
+        self._handle = handle
+        self._authkey = os.urandom(16)
+        self._listener = Listener((host, 0), authkey=self._authkey)
+        self._closed = threading.Event()
+        self._conn_threads: list[threading.Thread] = []
+
+    @property
+    def address(self) -> tuple[str, int]:
+        host, port = self._listener.address
+        return (host, int(port))
+
+    @property
+    def authkey(self) -> bytes:
+        return self._authkey
+
+    def serve(self) -> None:
+        """Accept coordinator connections until :meth:`close` (blocking)."""
+        while not self._closed.is_set():
+            try:
+                conn = self._listener.accept()
+            except Exception:  # noqa: BLE001
+                # accept() raises when close() tears the socket down, and
+                # on a failed auth handshake; both mean "try again or stop".
+                if self._closed.is_set():
+                    break
+                continue
+            worker = threading.Thread(
+                target=self._serve_connection,
+                args=(conn,),
+                name="repro-cluster-replica-conn",
+                daemon=True,
+            )
+            worker.start()
+            self._conn_threads.append(worker)
+
+    def _serve_connection(self, conn: Connection) -> None:
+        try:
+            while not self._closed.is_set():
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    break
+                try:
+                    method, path, params = message
+                    status, payload = self._handle(str(method), str(path), params)
+                    body = payload if isinstance(payload, bytes) else _encode_body(payload)
+                except Exception as exc:  # noqa: BLE001 — a request must not kill the loop
+                    status = 500
+                    body = _encode_body(
+                        {"error": "internal", "message": f"{type(exc).__name__}: {exc}"}
+                    )
+                try:
+                    conn.send((int(status), body))
+                except (OSError, ValueError, BrokenPipeError):
+                    break
+        finally:
+            conn.close()
+
+    def close(self) -> None:
+        """Stop accepting; in-flight connection loops exit on next recv."""
+        self._closed.set()
+        try:
+            self._listener.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+
+class ReplicaClient:
+    """Coordinator-side connection pool for one replica."""
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        authkey: bytes,
+        timeout: float = DEFAULT_REQUEST_TIMEOUT,
+    ) -> None:
+        self._address = (str(address[0]), int(address[1]))
+        self._authkey = bytes(authkey)
+        self._timeout = timeout
+        self._idle: list[Connection] = []
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def _checkout(self) -> Connection:
+        with self._lock:
+            if self._closed:
+                raise ClusterError("replica client is closed")
+            if self._idle:
+                return self._idle.pop()
+        try:
+            return Client(self._address, authkey=self._authkey)
+        except Exception as exc:  # noqa: BLE001 — refused/reset/auth all mean "down"
+            raise ClusterError(
+                f"cannot connect to replica at {self._address}: {exc}"
+            ) from None
+
+    def _checkin(self, conn: Connection) -> None:
+        with self._lock:
+            if not self._closed:
+                self._idle.append(conn)
+                return
+        conn.close()
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        params: Mapping[str, Any],
+        timeout: float | None = None,
+    ) -> tuple[int, bytes]:
+        """One RPC round-trip; broken connections are discarded, not reused."""
+        conn = self._checkout()
+        try:
+            conn.send((method, path, dict(params)))
+            if not conn.poll(self._timeout if timeout is None else timeout):
+                raise ClusterError(
+                    f"replica at {self._address} timed out on {path}"
+                )
+            status, body = conn.recv()
+        except ClusterError:
+            conn.close()
+            raise
+        except (OSError, EOFError, ValueError, TypeError) as exc:
+            conn.close()
+            raise ClusterError(
+                f"replica at {self._address} failed on {path}: {exc}"
+            ) from None
+        self._checkin(conn)
+        return int(status), bytes(body)
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            idle, self._idle = self._idle, []
+        for conn in idle:
+            conn.close()

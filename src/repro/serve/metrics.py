@@ -202,18 +202,38 @@ class ServerMetrics:
         return self._clock() - self._started
 
     def snapshot(self) -> dict[str, Any]:
+        # Copy every scalar counter while still holding the lock. The
+        # old code released it after grabbing the row dicts and read the
+        # values afterwards, so a concurrent record() could yield a torn
+        # row (count incremented, cache_hits not yet) — visible as
+        # cache_hits + cache_misses briefly exceeding/trailing count.
         with self._lock:
-            endpoints = list(self._requests.items())
+            rows = {
+                endpoint: (
+                    row["count"],
+                    row["errors"],
+                    row["cache_hits"],
+                    row["cache_misses"],
+                    row["latency"],
+                )
+                for endpoint, row in self._requests.items()
+            }
         return {
             "uptime_seconds": self.uptime_seconds(),
             "endpoints": {
                 endpoint: {
-                    "count": row["count"],
-                    "errors": row["errors"],
-                    "cache_hits": row["cache_hits"],
-                    "cache_misses": row["cache_misses"],
-                    "latency": row["latency"].snapshot(),
+                    "count": count,
+                    "errors": errors,
+                    "cache_hits": cache_hits,
+                    "cache_misses": cache_misses,
+                    "latency": latency.snapshot(),
                 }
-                for endpoint, row in endpoints
+                for endpoint, (
+                    count,
+                    errors,
+                    cache_hits,
+                    cache_misses,
+                    latency,
+                ) in rows.items()
             },
         }

@@ -382,6 +382,25 @@ class SessionPool:
         with entry.locked():
             return len(add_all(list(documents)))
 
+    # -- shutdown ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release every built session's backing resources.
+
+        Store-backed indexes (``backend=sqlite``) hold an open database
+        connection; closing releases it so snapshot files can be removed
+        and WAL segments checkpointed. Built entries are dropped — a
+        subsequent :meth:`get` would rebuild from scratch — so call this
+        only at shutdown, after the last request has drained
+        (:meth:`ExpansionService.close` sequences that). Idempotent.
+        """
+        with self._lock:
+            entries, self._entries = dict(self._entries), {}
+        for entry in entries.values():
+            closer = getattr(entry.index, "close", None)
+            if callable(closer):
+                closer()
+
     # -- introspection -------------------------------------------------------
 
     def built_names(self) -> tuple[str, ...]:

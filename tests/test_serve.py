@@ -1,6 +1,8 @@
 """Tests for repro.serve: cache, metrics, pool, service, and HTTP layer."""
 
 import json
+import threading
+import time
 import urllib.error
 import urllib.parse
 import urllib.request
@@ -17,6 +19,7 @@ from repro.serve import (
     LRUTTLCache,
     LatencyHistogram,
     ServeConfig,
+    ServerMetrics,
     ServerMetricsMiddleware,
     SessionPool,
     create_server,
@@ -704,3 +707,162 @@ class TestHTTPServer:
         assert status == 200
         assert payload["stages"]["wiki"]["retrieve"]["count"] >= 1
         assert payload["requests"]["expand"]["count"] >= 1
+
+
+class TestGracefulShutdown:
+    """ExpansionService.close(): drain in-flight work, then refuse new work."""
+
+    def _fresh_service(self):
+        pool = SessionPool([ServeConfig(name="wiki", n_clusters=3)])
+        return ExpansionService(pool, cache_size=8, workers=2)
+
+    def test_close_refuses_new_requests_with_503(self):
+        service = self._fresh_service()
+        status, _ = service.handle("GET", "/healthz", {})
+        assert status == 200
+        service.close(drain_timeout=5.0)
+        assert service.closing
+        status, payload = service.handle("GET", "/expand", {"config": "wiki", "query": "java"})
+        assert status == 503
+        assert payload["error"] == "shutting_down"
+
+    def test_close_waits_for_in_flight_request(self, monkeypatch):
+        service = self._fresh_service()
+        started = threading.Event()
+        release = threading.Event()
+
+        def slow_healthz(params):
+            started.set()
+            assert release.wait(10.0), "test gate never released"
+            return 200, {"status": "slow"}
+
+        monkeypatch.setattr(service, "healthz", slow_healthz)
+        results = []
+        request = threading.Thread(
+            target=lambda: results.append(service.handle("GET", "/healthz", {}))
+        )
+        request.start()
+        assert started.wait(10.0)
+
+        closer = threading.Thread(target=lambda: service.close(drain_timeout=10.0))
+        closer.start()
+        # The in-flight request holds close() open until the gate lifts.
+        closer.join(0.3)
+        assert closer.is_alive()
+        release.set()
+        request.join(10.0)
+        closer.join(10.0)
+        assert not closer.is_alive()
+        assert results and results[0][0] == 200
+
+    def test_close_is_idempotent_and_releases_pool(self):
+        service = self._fresh_service()
+        status, _ = service.handle("GET", "/expand", {"config": "wiki", "query": "java"})
+        assert status == 200
+        assert service.pool.built_names() == ("wiki",)
+        service.close(drain_timeout=5.0)
+        assert service.pool.built_names() == ()
+        service.close(drain_timeout=5.0)  # second close is a no-op
+
+    def test_pool_close_calls_backend_close(self):
+        closed = []
+
+        class _Recorder:
+            def close(self):
+                closed.append(True)
+
+        pool = SessionPool([ServeConfig(name="wiki", n_clusters=3)])
+        pool.get("wiki")
+        entry = pool._entries["wiki"]
+        entry.index.close = _Recorder().close  # type: ignore[attr-defined]
+        pool.close()
+        assert closed == [True]
+        assert pool.built_names() == ()
+
+    def test_server_stop_closes_service(self):
+        server = create_server(
+            ["wiki:dataset=wikipedia,k=3"], port=0, cache_size=8, workers=2
+        ).start()
+        try:
+            status, _ = _http_get(server, "/healthz")
+            assert status == 200
+        finally:
+            server.stop()
+        assert server.service.closing
+        assert server.service.pool.built_names() == ()
+
+
+class TestServerMetricsSnapshotConsistency:
+    """Regression: snapshot() must not tear rows while record() runs."""
+
+    def test_snapshot_rows_are_internally_consistent(self):
+        metrics = ServerMetrics()
+        stop = threading.Event()
+
+        def hammer():
+            flip = 0
+            while not stop.is_set():
+                metrics.record("expand", 0.001, cache="hit" if flip & 1 else "miss")
+                flip += 1
+
+        writers = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in writers:
+            t.start()
+        try:
+            deadline = time.monotonic() + 1.0
+            while time.monotonic() < deadline:
+                row = metrics.snapshot()["endpoints"].get("expand")
+                if row is None:
+                    continue
+                # Every record() call counts exactly one lookup, and both
+                # counters move under the same lock hold — a torn read
+                # shows up as the sum drifting off the request count.
+                assert row["cache_hits"] + row["cache_misses"] == row["count"]
+        finally:
+            stop.set()
+            for t in writers:
+                t.join(10.0)
+
+    def test_snapshot_totals_settle_after_writers_finish(self):
+        metrics = ServerMetrics()
+
+        def hammer(n):
+            for i in range(n):
+                metrics.record("batch", None, cache_hits=2, cache_misses=1)
+
+        writers = [threading.Thread(target=hammer, args=(200,)) for _ in range(4)]
+        for t in writers:
+            t.start()
+        for t in writers:
+            t.join(10.0)
+        row = metrics.snapshot()["endpoints"]["batch"]
+        assert row["count"] == 800
+        assert row["cache_hits"] == 1600
+        assert row["cache_misses"] == 800
+
+
+class TestBlockingServeForeverStop:
+    """stop() must wake a blocking serve_forever (the CLI/signal path)."""
+
+    def test_stop_unblocks_foreground_serve_forever(self):
+        server = create_server(
+            ["wiki:dataset=wikipedia,k=3"], port=0, cache_size=8, workers=2
+        )
+        loop = threading.Thread(target=server.serve_forever)
+        loop.start()
+        try:
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                try:
+                    status, _ = _http_get(server, "/healthz")
+                    if status == 200:
+                        break
+                except OSError:
+                    time.sleep(0.05)
+            else:
+                pytest.fail("server never came up")
+        finally:
+            server.stop()
+        loop.join(10.0)
+        assert not loop.is_alive(), "serve_forever did not return after stop()"
+        assert server.service.closing
