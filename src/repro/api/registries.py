@@ -35,7 +35,7 @@ so typos fail loudly at configuration time rather than deep inside a run.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterator
+from typing import TYPE_CHECKING, Any, Callable, Iterator
 
 import numpy as np
 
@@ -58,6 +58,17 @@ from repro.index.inverted_index import InvertedIndex
 from repro.index.scoring import TfIdfScorer
 from repro.index.sharded import ShardedIndex
 from repro.pipeline import stages as pipeline_stages
+
+if TYPE_CHECKING:
+    from pathlib import Path
+
+    from repro.data.corpus import Corpus
+    from repro.index.bm25 import BM25Scorer
+    from repro.index.diskindex import DiskIndex
+    from repro.index.dynamic import DynamicIndex
+    from repro.index.lm import LMDirichletScorer
+    from repro.store import DocumentStore, SQLiteIndexBackend
+    from repro.text.analyzer import Analyzer
 
 Factory = Callable[..., Any]
 
@@ -166,27 +177,27 @@ STAGES = Registry("stage")
 
 
 @ALGORITHMS.register("iskr")
-def _make_iskr(seed: int = 0, **kwargs) -> ISKR:
+def _make_iskr(seed: int = 0, **kwargs: Any) -> ISKR:
     return ISKR(**kwargs)
 
 
 @ALGORITHMS.register("pebc")
-def _make_pebc(seed: int = 0, **kwargs) -> PEBC:
+def _make_pebc(seed: int = 0, **kwargs: Any) -> PEBC:
     return PEBC(seed=seed, **kwargs)
 
 
 @ALGORITHMS.register("exact")
-def _make_exact(seed: int = 0, **kwargs) -> ExhaustiveOptimalExpansion:
+def _make_exact(seed: int = 0, **kwargs: Any) -> ExhaustiveOptimalExpansion:
     return ExhaustiveOptimalExpansion(**kwargs)
 
 
 @ALGORITHMS.register("fmeasure")
-def _make_fmeasure(seed: int = 0, **kwargs) -> DeltaFMeasureRefinement:
+def _make_fmeasure(seed: int = 0, **kwargs: Any) -> DeltaFMeasureRefinement:
     return DeltaFMeasureRefinement(**kwargs)
 
 
 @ALGORITHMS.register("vsm")
-def _make_vsm(seed: int = 0, **kwargs) -> VectorSpaceRefinement:
+def _make_vsm(seed: int = 0, **kwargs: Any) -> VectorSpaceRefinement:
     return VectorSpaceRefinement(**kwargs)
 
 
@@ -196,7 +207,7 @@ def _make_vsm(seed: int = 0, **kwargs) -> VectorSpaceRefinement:
 class _FitAdapter:
     """fit_predict facade over backends exposing ``fit(matrix).labels``."""
 
-    def __init__(self, impl) -> None:
+    def __init__(self, impl: Any) -> None:
         self._impl = impl
 
     def fit_predict(self, matrix: np.ndarray) -> np.ndarray:
@@ -204,34 +215,38 @@ class _FitAdapter:
 
 
 @CLUSTERERS.register("kmeans")
-def _make_kmeans(n_clusters: int, seed: int = 0, **kwargs) -> _FitAdapter:
+def _make_kmeans(n_clusters: int, seed: int = 0, **kwargs: Any) -> _FitAdapter:
     return _FitAdapter(CosineKMeans(n_clusters=n_clusters, seed=seed, **kwargs))
 
 
 @CLUSTERERS.register("bisecting")
-def _make_bisecting(n_clusters: int, seed: int = 0, **kwargs) -> BisectingKMeans:
+def _make_bisecting(
+    n_clusters: int, seed: int = 0, **kwargs: Any
+) -> BisectingKMeans:
     return BisectingKMeans(n_clusters=n_clusters, seed=seed, **kwargs)
 
 
 @CLUSTERERS.register("agglomerative")
 def _make_agglomerative(
-    n_clusters: int, seed: int = 0, **kwargs
+    n_clusters: int, seed: int = 0, **kwargs: Any
 ) -> AgglomerativeClustering:
     return AgglomerativeClustering(n_clusters=n_clusters, **kwargs)
 
 
 @CLUSTERERS.register("kmedoids")
-def _make_kmedoids(n_clusters: int, seed: int = 0, **kwargs) -> _FitAdapter:
+def _make_kmedoids(n_clusters: int, seed: int = 0, **kwargs: Any) -> _FitAdapter:
     return _FitAdapter(KMedoids(n_clusters=n_clusters, seed=seed, **kwargs))
 
 
 @CLUSTERERS.register("auto")
-def _make_auto(n_clusters: int, seed: int = 0, **kwargs) -> AutoClustering:
+def _make_auto(n_clusters: int, seed: int = 0, **kwargs: Any) -> AutoClustering:
     return AutoClustering(n_clusters=n_clusters, seed=seed, **kwargs)
 
 
 @CLUSTERERS.register("kselect")
-def _make_kselect(n_clusters: int, seed: int = 0, **kwargs) -> AdaptiveKClusterer:
+def _make_kselect(
+    n_clusters: int, seed: int = 0, **kwargs: Any
+) -> AdaptiveKClusterer:
     if n_clusters < 2:
         raise RegistryError(
             f"clusterer 'kselect' picks k <= n_clusters and needs "
@@ -244,19 +259,19 @@ def _make_kselect(n_clusters: int, seed: int = 0, **kwargs) -> AdaptiveKClustere
 
 
 @SCORERS.register("tfidf")
-def _make_tfidf(index, **kwargs) -> TfIdfScorer:
+def _make_tfidf(index: Any, **kwargs: Any) -> TfIdfScorer:
     return TfIdfScorer(index, **kwargs)
 
 
 @SCORERS.register("bm25")
-def _make_bm25(index, **kwargs):
+def _make_bm25(index: Any, **kwargs: Any) -> "BM25Scorer":
     from repro.index.bm25 import BM25Scorer
 
     return BM25Scorer(index, **kwargs)
 
 
 @SCORERS.register("lm")
-def _make_lm(index, **kwargs):
+def _make_lm(index: Any, **kwargs: Any) -> "LMDirichletScorer":
     from repro.index.lm import LMDirichletScorer
 
     return LMDirichletScorer(index, **kwargs)
@@ -266,13 +281,15 @@ def _make_lm(index, **kwargs):
 
 
 @BACKENDS.register("memory")
-def _make_memory_backend(corpus) -> InvertedIndex:
+def _make_memory_backend(corpus: "Corpus") -> InvertedIndex:
     """Flat in-memory inverted index (the default)."""
     return InvertedIndex(corpus)
 
 
 @BACKENDS.register("disk")
-def _make_disk_backend(corpus, path=None, codec="varint"):
+def _make_disk_backend(
+    corpus: "Corpus", path: "str | Path | None" = None, codec: str = "varint"
+) -> "DiskIndex":
     """Compressed binary index, round-tripped through the QECX format.
 
     ``path=None`` serializes through a temporary file that is removed
@@ -316,13 +333,19 @@ def _make_disk_backend(corpus, path=None, codec="varint"):
 
 
 @BACKENDS.register("sharded")
-def _make_sharded_backend(corpus, shards=4, **kwargs) -> ShardedIndex:
+def _make_sharded_backend(
+    corpus: "Corpus", shards: int = 4, **kwargs: Any
+) -> ShardedIndex:
     """Hash-partitioned index with thread-pool query fan-out."""
     return ShardedIndex(corpus, n_shards=shards, **kwargs)
 
 
 @BACKENDS.register("sqlite")
-def _make_sqlite_backend(corpus, path=None, store=None):
+def _make_sqlite_backend(
+    corpus: "Corpus",
+    path: "str | Path | None" = None,
+    store: "DocumentStore | None" = None,
+) -> "SQLiteIndexBackend":
     """Durable SQLite-backed index that *adopts* the engine's corpus.
 
     ``store`` is an open :class:`~repro.store.DocumentStore` (the
@@ -359,7 +382,7 @@ def _make_sqlite_backend(corpus, path=None, store=None):
 
 
 @BACKENDS.register("dynamic")
-def _make_dynamic_backend(corpus):
+def _make_dynamic_backend(corpus: "Corpus") -> "DynamicIndex":
     """Append-friendly index that *adopts* the engine's corpus.
 
     Because the corpus object is shared (not copied), documents appended
@@ -377,17 +400,26 @@ def _make_dynamic_backend(corpus):
 
 
 @DATASETS.register("wikipedia")
-def _make_wikipedia(seed: int = 0, analyzer=None, **kwargs):
+def _make_wikipedia(
+    seed: int = 0, analyzer: "Analyzer | None" = None, **kwargs: Any
+) -> "Corpus":
     return build_wikipedia_corpus(seed=seed, analyzer=analyzer, **kwargs)
 
 
 @DATASETS.register("shopping")
-def _make_shopping(seed: int = 0, analyzer=None, **kwargs):
+def _make_shopping(
+    seed: int = 0, analyzer: "Analyzer | None" = None, **kwargs: Any
+) -> "Corpus":
     return build_shopping_corpus(seed=seed, analyzer=analyzer, **kwargs)
 
 
 @DATASETS.register("xml")
-def _make_xml(seed: int = 0, analyzer=None, documents=None, **kwargs):
+def _make_xml(
+    seed: int = 0,
+    analyzer: "Analyzer | None" = None,
+    documents: "dict[str, str] | None" = None,
+    **kwargs: Any,
+) -> "Corpus":
     if not documents:
         raise RegistryError(
             "dataset 'xml' needs documents={doc_id: xml_string, ...}"

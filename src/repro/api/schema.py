@@ -25,11 +25,16 @@ Version history:
 
 from __future__ import annotations
 
-from typing import Any, Mapping
+from typing import TYPE_CHECKING, Any, Mapping
 
 from repro.data.documents import Document
 from repro.errors import SchemaError
 from repro.pipeline.context import StageTiming
+
+if TYPE_CHECKING:
+    from repro.core.expander import ExpandedQuery, ExpansionReport
+    from repro.core.universe import ExpansionOutcome
+    from repro.index.search import SearchResult
 
 SCHEMA_VERSION = 2
 SUPPORTED_VERSIONS = frozenset({1, 2})
@@ -107,7 +112,7 @@ def document_from_dict(payload: Mapping[str, Any]) -> Document:
     )
 
 
-def search_result_to_dict(result) -> dict[str, Any]:
+def search_result_to_dict(result: "SearchResult") -> dict[str, Any]:
     return {
         "position": int(result.position),
         "score": float(result.score),
@@ -115,7 +120,7 @@ def search_result_to_dict(result) -> dict[str, Any]:
     }
 
 
-def search_result_from_dict(payload: Mapping[str, Any]):
+def search_result_from_dict(payload: Mapping[str, Any]) -> "SearchResult":
     from repro.index.search import SearchResult
 
     return SearchResult(
@@ -128,7 +133,7 @@ def search_result_from_dict(payload: Mapping[str, Any]):
 # -- expansion outcomes ------------------------------------------------------
 
 
-def outcome_to_dict(outcome) -> dict[str, Any]:
+def outcome_to_dict(outcome: "ExpansionOutcome") -> dict[str, Any]:
     return {
         "terms": list(outcome.terms),
         "fmeasure": float(outcome.fmeasure),
@@ -141,7 +146,7 @@ def outcome_to_dict(outcome) -> dict[str, Any]:
     }
 
 
-def outcome_from_dict(payload: Mapping[str, Any]):
+def outcome_from_dict(payload: Mapping[str, Any]) -> "ExpansionOutcome":
     from repro.core.universe import ExpansionOutcome
 
     return ExpansionOutcome(
@@ -156,7 +161,7 @@ def outcome_from_dict(payload: Mapping[str, Any]):
     )
 
 
-def expanded_query_to_dict(eq) -> dict[str, Any]:
+def expanded_query_to_dict(eq: "ExpandedQuery") -> dict[str, Any]:
     return {
         "terms": list(eq.terms),
         "cluster_id": int(eq.cluster_id),
@@ -168,7 +173,7 @@ def expanded_query_to_dict(eq) -> dict[str, Any]:
     }
 
 
-def expanded_query_from_dict(payload: Mapping[str, Any]):
+def expanded_query_from_dict(payload: Mapping[str, Any]) -> "ExpandedQuery":
     from repro.core.expander import ExpandedQuery
 
     return ExpandedQuery(
@@ -193,7 +198,7 @@ def _stage_timing(payload: Mapping[str, Any]) -> StageTiming:
         raise SchemaError(f"malformed stage_timings entry: {exc!r}") from None
 
 
-def report_to_dict(report) -> dict[str, Any]:
+def report_to_dict(report: "ExpansionReport") -> dict[str, Any]:
     return make_envelope(
         KIND_REPORT,
         {
@@ -203,7 +208,7 @@ def report_to_dict(report) -> dict[str, Any]:
             "score": float(report.score),
             "n_results": int(report.n_results),
             "n_clusters": int(report.n_clusters),
-            "cluster_labels": [int(l) for l in report.cluster_labels],
+            "cluster_labels": [int(lab) for lab in report.cluster_labels],
             "clustering_seconds": float(report.clustering_seconds),
             "expansion_seconds": float(report.expansion_seconds),
             "results": [search_result_to_dict(r) for r in report.results],
@@ -212,7 +217,7 @@ def report_to_dict(report) -> dict[str, Any]:
     )
 
 
-def report_from_dict(payload: Mapping[str, Any]):
+def report_from_dict(payload: Mapping[str, Any]) -> "ExpansionReport":
     from repro.core.expander import ExpansionReport
 
     check_envelope(payload, KIND_REPORT)
@@ -225,7 +230,7 @@ def report_from_dict(payload: Mapping[str, Any]):
         score=float(require(payload, "score")),
         n_results=int(require(payload, "n_results")),
         n_clusters=int(require(payload, "n_clusters")),
-        cluster_labels=tuple(int(l) for l in require(payload, "cluster_labels")),
+        cluster_labels=tuple(int(lab) for lab in require(payload, "cluster_labels")),
         clustering_seconds=float(require(payload, "clustering_seconds")),
         expansion_seconds=float(require(payload, "expansion_seconds")),
         results=tuple(

@@ -52,7 +52,7 @@ from __future__ import annotations
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, replace
-from typing import Any, Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -73,6 +73,12 @@ from repro.errors import ConfigError, SchemaError
 from repro.index.search import SearchEngine, SearchResult
 from repro.pipeline import ExecutionContext, Middleware, Pipeline, default_pipeline
 from repro.text.analyzer import Analyzer
+
+if TYPE_CHECKING:
+    from repro.core.interleaved import InterleavedReport
+    from repro.core.universe import ExpansionTask
+    from repro.data.corpus import Corpus
+    from repro.index.backend import IndexBackend
 
 
 #: Default bounds: plenty for experiment sweeps, finite for services.
@@ -99,19 +105,19 @@ class CachingSearchEngine:
         self._cache = LRUTTLCache(maxsize=maxsize)
 
     @property
-    def corpus(self):
+    def corpus(self) -> "Corpus":
         return self._engine.corpus
 
     @property
-    def index(self):
+    def index(self) -> "IndexBackend":
         return self._engine.index
 
     @property
-    def analyzer(self):
+    def analyzer(self) -> Analyzer:
         return self._engine.analyzer
 
     @property
-    def scorer(self):
+    def scorer(self) -> Any:
         return self._engine.scorer
 
     @property
@@ -155,10 +161,17 @@ class CachingSearchEngine:
         self._cache.put(key, list(results))
         return results
 
-    def search_terms(self, terms, top_k=None, semantics="and"):
+    def search_terms(
+        self,
+        terms: list[str],
+        top_k: int | None = None,
+        semantics: str = "and",
+    ) -> list[SearchResult]:
         return self._engine.search_terms(terms, top_k=top_k, semantics=semantics)
 
-    def boolean_search(self, query, top_k=None):
+    def boolean_search(
+        self, query: str, top_k: int | None = None
+    ) -> list[SearchResult]:
         return self._engine.boolean_search(query, top_k=top_k)
 
 
@@ -179,6 +192,8 @@ class BatchItem:
     def ok(self) -> bool:
         return self.report is not None
 
+    # analyze: ignore[SCHEMA003] - 'ok' is a derived convenience key
+    # (report is not None); from_dict re-derives it from 'report'
     def to_dict(self) -> dict[str, Any]:
         return {
             "query": self.query,
@@ -286,7 +301,7 @@ class SessionBuilder:
         self._dataset_kwargs = dict(kwargs)
         return self
 
-    def corpus(self, corpus) -> "SessionBuilder":
+    def corpus(self, corpus: "Corpus") -> "SessionBuilder":
         """Use a prebuilt corpus instead of a registered dataset."""
         self._corpus = corpus
         return self
@@ -547,7 +562,7 @@ class SessionBuilder:
         if self._retrieval_kwargs:
             kwargs = self._retrieval_kwargs
 
-            def scoring(index):
+            def scoring(index: Any) -> Any:
                 return SCORERS.create(retrieval, index, **kwargs)
 
         else:
@@ -555,7 +570,7 @@ class SessionBuilder:
         if self._backend_kwargs:
             backend_kwargs = self._backend_kwargs
 
-            def make_backend(corpus_):
+            def make_backend(corpus_: "Corpus") -> Any:
                 try:
                     return BACKENDS.create(backend, corpus_, **backend_kwargs)
                 except TypeError as exc:
@@ -740,7 +755,7 @@ class Session:
 
     # -- component creation (fresh per call; see module docstring) -----------
 
-    def _make_algorithm(self, name: str | None = None):
+    def _make_algorithm(self, name: str | None = None) -> Any:
         if name is not None:
             name = SessionBuilder._norm(name)
         if name is None or name == self._algorithm:
@@ -753,7 +768,7 @@ class Session:
         except TypeError as exc:
             raise ConfigError(f"bad algorithm option for {name!r}: {exc}") from None
 
-    def _make_clusterer(self):
+    def _make_clusterer(self) -> Any:
         if self._clusterer is None:
             return None
         try:
@@ -820,7 +835,12 @@ class Session:
         """Step 3: the (optionally ranking-weighted) result universe."""
         return self.pipeline().build_universe(results)
 
-    def tasks(self, universe, labels, seed_terms):
+    def tasks(
+        self,
+        universe: ResultUniverse,
+        labels: np.ndarray,
+        seed_terms: tuple[str, ...],
+    ) -> "list[ExpansionTask]":
         """Step 4: per-cluster expansion tasks (candidates cached)."""
         return self.pipeline().tasks(universe, labels, seed_terms)
 
@@ -840,7 +860,7 @@ class Session:
         query: str,
         max_rounds: int = 4,
         algorithm: str | None = None,
-    ):
+    ) -> "InterleavedReport":
         """§7 interleaved clustering/expansion on this session's components."""
         from repro.core.interleaved import InterleavedExpander
 

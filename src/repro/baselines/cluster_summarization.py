@@ -50,13 +50,13 @@ class ClusterSummarization:
         seed_terms = tuple(engine.parse(seed_query))
         seed = set(seed_terms)
         uni = universe or ResultUniverse([r.document for r in results])
-        cluster_ids = sorted(set(int(l) for l in labels))
+        cluster_ids = sorted(set(int(lab) for lab in labels))
         n_clusters = len(cluster_ids)
 
         # Cluster frequency: in how many clusters does each term occur?
         cluster_terms: dict[int, set[str]] = {}
         for cid in cluster_ids:
-            members = [r.document for r, l in zip(results, labels) if int(l) == cid]
+            members = [r.document for r, lab in zip(results, labels) if int(lab) == cid]
             terms: set[str] = set()
             for doc in members:
                 terms.update(doc.terms)
@@ -68,13 +68,13 @@ class ClusterSummarization:
 
         ordered = sorted(
             cluster_ids,
-            key=lambda c: -sum(1 for l in labels if int(l) == c),
+            key=lambda c: -sum(1 for lab in labels if int(lab) == c),
         )[:max_queries]
 
         queries: list[tuple[str, ...]] = []
         fmeasures: list[float] = []
         for cid in ordered:
-            members = [r.document for r, l in zip(results, labels) if int(l) == cid]
+            members = [r.document for r, lab in zip(results, labels) if int(lab) == cid]
             tf: dict[str, int] = {}
             for doc in members:
                 for term, count in doc.terms.items():
@@ -90,7 +90,7 @@ class ClusterSummarization:
             query = seed_terms + label
             queries.append(query)
             mask = uni.results_mask(query)
-            cluster_mask = np.array([int(l) == cid for l in labels], dtype=bool)
+            cluster_mask = np.array([int(lab) == cid for lab in labels], dtype=bool)
             _, _, f = precision_recall_f(uni, mask, cluster_mask)
             fmeasures.append(f)
 

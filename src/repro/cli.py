@@ -175,6 +175,27 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0 if batch.n_failed == 0 else 1
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.devtools import RULES, run_analysis
+
+    if args.rules:
+        for rule, (severity, description) in sorted(RULES.items()):
+            print(f"{rule} ({severity}): {description}")
+        return 0
+    result = run_analysis(
+        args.paths,
+        baseline_path=None if args.no_baseline else args.baseline_file,
+        update_baseline=args.baseline,
+    )
+    if args.json:
+        print(result.render_json())
+    else:
+        print(result.render_text(verbose=args.verbose))
+        if args.baseline:
+            print(f"baseline written to {args.baseline_file}")
+    return result.exit_code
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import create_server
 
@@ -790,6 +811,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--queries", nargs="*", default=[])
     p.add_argument("--users", type=int, default=45)
     p.set_defaults(func=_cmd_userstudy)
+
+    p = sub.add_parser(
+        "analyze",
+        help="static analysis: lock discipline, guarded attributes, "
+        "registry conformance, schema sync",
+    )
+    p.add_argument(
+        "paths", nargs="*", default=["src"], help="files/dirs to analyze"
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.add_argument(
+        "--baseline",
+        action="store_true",
+        help="accept current findings into the baseline file and exit 0",
+    )
+    p.add_argument(
+        "--baseline-file",
+        default="analyze_baseline.json",
+        help="baseline path (default: analyze_baseline.json)",
+    )
+    p.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file even if present",
+    )
+    p.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also list waived and baselined findings",
+    )
+    p.add_argument("--rules", action="store_true", help="print the rule catalog")
+    p.set_defaults(func=_cmd_analyze)
     return parser
 
 

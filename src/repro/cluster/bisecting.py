@@ -77,6 +77,6 @@ class BisectingKMeans:
 
     @staticmethod
     def _compact(labels: np.ndarray) -> np.ndarray:
-        used = sorted(set(int(l) for l in labels))
+        used = sorted(set(int(lab) for lab in labels))
         remap = {old: new for new, old in enumerate(used)}
-        return np.array([remap[int(l)] for l in labels], dtype=np.int64)
+        return np.array([remap[int(lab)] for lab in labels], dtype=np.int64)

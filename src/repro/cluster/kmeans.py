@@ -153,5 +153,5 @@ def _compact(labels: np.ndarray, centroids: np.ndarray) -> tuple[np.ndarray, np.
     """Drop empty clusters and renumber labels to 0..m-1."""
     used = np.unique(labels)
     remap = {int(old): new for new, old in enumerate(used)}
-    new_labels = np.array([remap[int(l)] for l in labels], dtype=np.int64)
+    new_labels = np.array([remap[int(lab)] for lab in labels], dtype=np.int64)
     return new_labels, centroids[used]

@@ -61,7 +61,8 @@ def choose_k(
     if n < 2:
         raise ClusteringError("cannot choose k for fewer than 2 points")
     if backend_factory is None:
-        backend_factory = lambda k: CosineKMeans(n_clusters=k, seed=seed)
+        def backend_factory(k):
+            return CosineKMeans(n_clusters=k, seed=seed)
 
     best_k = 2
     best_score = -np.inf

@@ -78,7 +78,7 @@ def silhouette_score(matrix: np.ndarray, labels: Sequence[int]) -> float:
     labels_arr = np.asarray(labels, dtype=np.int64)
     if matrix.ndim != 2 or matrix.shape[0] != labels_arr.shape[0]:
         raise ValueError("matrix rows and labels must align")
-    cluster_ids = sorted(set(int(l) for l in labels_arr))
+    cluster_ids = sorted(set(int(lab) for lab in labels_arr))
     if len(cluster_ids) < 2:
         raise ValueError("silhouette needs at least 2 clusters")
     dist = 1.0 - cosine_similarity_matrix(matrix)

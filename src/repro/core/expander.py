@@ -130,8 +130,8 @@ def report_from_context(ctx: "ExecutionContext") -> ExpansionReport:
         expanded=tuple(ctx.expanded),
         score=float(ctx.score),
         n_results=len(ctx.results),
-        n_clusters=len(set(int(l) for l in ctx.labels)),
-        cluster_labels=tuple(int(l) for l in ctx.labels),
+        n_clusters=len(set(int(lab) for lab in ctx.labels)),
+        cluster_labels=tuple(int(lab) for lab in ctx.labels),
         clustering_seconds=ctx.seconds_for("cluster"),
         expansion_seconds=(
             ctx.seconds_for("candidates")

@@ -135,10 +135,10 @@ class InterleavedExpander:
             ctx = prefix.run(ctx)
 
         rounds: list[InterleavedRound] = []
-        seen_labelings = {tuple(int(l) for l in ctx.labels)}
+        seen_labelings = {tuple(int(lab) for lab in ctx.labels)}
         converged = False
         for round_index in range(self._max_rounds):
-            before = tuple(int(l) for l in ctx.labels)
+            before = tuple(int(lab) for lab in ctx.labels)
             out = round_pipeline.run(ctx)
             moved = int(out.extras["n_moved"])
             rounds.append(
@@ -154,7 +154,7 @@ class InterleavedExpander:
             if moved == 0:
                 converged = True
                 break
-            key = tuple(int(l) for l in out.labels)
+            key = tuple(int(lab) for lab in out.labels)
             if key in seen_labelings:
                 # A labeling cycle: further rounds would repeat.
                 converged = True

@@ -1,0 +1,39 @@
+"""Static analysis for the repro codebase (``repro analyze``).
+
+The :mod:`repro.devtools` package is development tooling, not runtime
+machinery: an AST-walking engine (:mod:`~repro.devtools.engine`) plus
+project-specific checkers that encode the concurrency and architecture
+invariants the rest of the tree relies on:
+
+* :mod:`~repro.devtools.locks` — blocking calls under a held lock and a
+  cross-module lock-acquisition-order graph with cycle detection
+  (LOCK001/LOCK002/LOCK003);
+* :mod:`~repro.devtools.guarded` — attributes written under a class's
+  lock must not be touched outside it (GUARD001, the shape of the PR 6
+  torn-read bug);
+* :mod:`~repro.devtools.registry_conformance` — registered classes must
+  implement their protocol surface and ``capabilities()`` claims must
+  match defined methods (REG001/REG002);
+* :mod:`~repro.devtools.schema_sync` — ``to_dict``/``from_dict`` pairs
+  must cover every constructor field (SCHEMA001/SCHEMA002/SCHEMA003).
+
+Findings are suppressed either by an inline waiver comment
+(``# analyze: ignore[RULE] - justification``) or by a committed JSON
+baseline; see :func:`repro.devtools.engine.run_analysis`.
+"""
+
+from repro.devtools.engine import (
+    Finding,
+    Project,
+    RULES,
+    default_checkers,
+    run_analysis,
+)
+
+__all__ = [
+    "Finding",
+    "Project",
+    "RULES",
+    "default_checkers",
+    "run_analysis",
+]

@@ -1,0 +1,215 @@
+"""Guarded-attribute audit: the PR 6 torn-read bug, as a rule.
+
+**GUARD001** — within a class that owns synchronization primitives, any
+``self.X`` attribute *assigned* while a class lock is held is treated as
+lock-guarded; reading or writing it anywhere else in the class without
+the lock is flagged. This is exactly the shape of the
+``ServerMetrics.snapshot()`` torn read PR 6 shipped and then fixed:
+counters mutated under ``self._lock`` but snapshotted lock-free.
+
+Held context is computed lexically (``with self._lock:`` bodies, via
+:func:`repro.devtools.engine.scan_function`) and then propagated through
+private helpers: a method is itself considered lock-held when every
+intra-class call site invokes it with a lock held (fixpoint), when its
+name ends in ``_locked``, or when its docstring says the caller must
+hold the lock. ``__init__``/``__del__`` are exempt — no concurrent
+aliases exist yet / anymore.
+
+Deliberately lock-free readers (e.g. mirror dictionaries swapped
+atomically under the GIL) are expected to carry an explicit waiver
+naming the invariant that makes them safe.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.devtools.engine import (
+    ClassInfo,
+    Finding,
+    LockRef,
+    LockResolver,
+    Module,
+    Project,
+    scan_function,
+)
+
+_EXEMPT_METHODS = {"__init__", "__new__", "__del__", "__post_init__"}
+
+#: container methods that mutate their receiver; ``self.X.append(...)``
+#: under a lock marks ``X`` guarded just like ``self.X = ...`` does.
+_MUTATING_METHODS = {
+    "append",
+    "extend",
+    "insert",
+    "add",
+    "update",
+    "pop",
+    "popitem",
+    "remove",
+    "discard",
+    "clear",
+    "setdefault",
+}
+
+_DOC_HELD_MARKERS = ("caller holds", "lock held", "called under", "under the lock")
+
+
+@dataclass
+class _Access:
+    method: str
+    attr: str
+    line: int
+    is_store: bool
+    held: bool
+
+
+class GuardedAttributeChecker:
+    """GUARD001 for every class that owns at least one sync primitive."""
+
+    name = "guarded"
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        for module in project.modules:
+            for cls in module.classes.values():
+                if cls.lock_attrs:
+                    findings.extend(self._check_class(module, project, cls))
+        return findings
+
+    def _check_class(
+        self, module: Module, project: Project, cls: ClassInfo
+    ) -> list[Finding]:
+        accesses: list[_Access] = []
+        # callee -> [(caller, lexically_held)] for self.callee(...) sites
+        call_sites: dict[str, list[tuple[str, bool]]] = {}
+
+        for meth_name, meth in cls.methods.items():
+            if meth_name in _EXEMPT_METHODS:
+                continue
+            resolver = LockResolver(module, cls, meth, project)
+
+            def on_node(
+                node: ast.AST,
+                held: tuple[LockRef, ...],
+                meth_name: str = meth_name,
+            ) -> None:
+                def self_attr(expr: ast.AST) -> str | None:
+                    if (
+                        isinstance(expr, ast.Attribute)
+                        and isinstance(expr.value, ast.Name)
+                        and expr.value.id == "self"
+                    ):
+                        return expr.attr
+                    return None
+
+                attr = self_attr(node)
+                if attr is not None:
+                    accesses.append(
+                        _Access(
+                            method=meth_name,
+                            attr=attr,
+                            line=node.lineno,
+                            is_store=isinstance(node.ctx, (ast.Store, ast.Del)),  # type: ignore[attr-defined]
+                            held=bool(held),
+                        )
+                    )
+                # self.X[k] = v / del self.X[k]: a write to X's contents.
+                if isinstance(node, ast.Subscript) and isinstance(
+                    node.ctx, (ast.Store, ast.Del)
+                ):
+                    attr = self_attr(node.value)
+                    if attr is not None:
+                        accesses.append(
+                            _Access(meth_name, attr, node.lineno, True, bool(held))
+                        )
+                if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                    recv = node.func.value
+                    if isinstance(recv, ast.Name) and recv.id == "self":
+                        # self.meth(...): an intra-class call site.
+                        call_sites.setdefault(node.func.attr, []).append(
+                            (meth_name, bool(held))
+                        )
+                    elif (
+                        node.func.attr in _MUTATING_METHODS
+                        and self_attr(recv) is not None
+                    ):
+                        # self.X.append(...): a write to X's contents.
+                        accesses.append(
+                            _Access(
+                                meth_name,
+                                self_attr(recv) or "",
+                                node.lineno,
+                                True,
+                                bool(held),
+                            )
+                        )
+
+            scan_function(meth, resolver, on_node=on_node)
+
+        held_methods = self._held_methods(cls, call_sites)
+
+        guarded: set[str] = set()
+        for acc in accesses:
+            effective = acc.held or acc.method in held_methods
+            if acc.is_store and effective:
+                guarded.add(acc.attr)
+        guarded -= set(cls.lock_attrs)
+
+        findings: list[Finding] = []
+        reported: set[tuple[str, int, str]] = set()
+        for acc in accesses:
+            if acc.attr not in guarded:
+                continue
+            if acc.held or acc.method in held_methods:
+                continue
+            key = (acc.attr, acc.line, acc.method)
+            if key in reported:
+                continue
+            reported.add(key)
+            verb = "written" if acc.is_store else "read"
+            findings.append(
+                Finding(
+                    rule="GUARD001",
+                    path=module.rel,
+                    line=acc.line,
+                    symbol=f"{cls.name}.{acc.method}",
+                    message=(
+                        f"'{acc.attr}' is assigned under {cls.name}'s lock "
+                        f"elsewhere but {verb} here without it"
+                    ),
+                )
+            )
+        return findings
+
+    def _held_methods(
+        self, cls: ClassInfo, call_sites: dict[str, list[tuple[str, bool]]]
+    ) -> set[str]:
+        """Methods whose whole body runs with a class lock held."""
+        held: set[str] = set()
+        for name, meth in cls.methods.items():
+            if name.endswith("_locked"):
+                held.add(name)
+                continue
+            doc = (ast.get_docstring(meth) or "").lower()
+            if any(marker in doc for marker in _DOC_HELD_MARKERS):
+                held.add(name)
+        # Fixpoint: private helpers only ever called under a lock inherit
+        # held-ness from their call sites (e.g. DocumentStore._upsert_one
+        # called solely inside `with self._write_lock:` bodies).
+        changed = True
+        while changed:
+            changed = False
+            for name, sites in call_sites.items():
+                if name in held or name not in cls.methods:
+                    continue
+                if name in _EXEMPT_METHODS or not name.startswith("_"):
+                    continue
+                if sites and all(
+                    lex_held or caller in held for caller, lex_held in sites
+                ):
+                    held.add(name)
+                    changed = True
+        return held

@@ -1,0 +1,287 @@
+"""Lock discipline: blocking calls under locks + lock-order cycles.
+
+* **LOCK001** — a blocking operation runs inside a ``with <lock>:``
+  body: sqlite ``execute``/``commit``/``backup``, socket and pipe I/O
+  (``accept``/``recv*``/``sendall``/``connect``/``poll``), HTTP
+  (``urlopen``), ``subprocess``, ``time.sleep``, thread/process
+  ``join``, event ``wait``, and server ``shutdown``/``serve_forever``.
+  Every critical section stays CPU-bound unless explicitly waived.
+* **LOCK002** — a second lock is acquired while one is already held
+  (``with`` nesting or a bare ``.acquire()``). Each occurrence also
+  becomes an edge in the project-wide acquisition-order graph.
+* **LOCK003** — the acquisition-order graph has a cycle: two code paths
+  take the same locks in opposite orders, which can deadlock. Reported
+  once per cycle at one contributing edge.
+
+``Condition.wait`` on the very lock being held is *not* flagged — that
+is the one blocking call the primitive exists for.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.devtools.engine import (
+    ClassInfo,
+    Finding,
+    LockRef,
+    LockResolver,
+    Module,
+    Project,
+    WithEvent,
+    dotted,
+    scan_function,
+)
+
+#: method names that block regardless of receiver type.
+_BLOCKING_METHODS = {
+    "execute": "database op",
+    "executemany": "database op",
+    "executescript": "database op",
+    "commit": "database op",
+    "backup": "database op",
+    "sleep": "sleep",
+    "accept": "socket op",
+    "recv": "socket op",
+    "recv_bytes": "pipe op",
+    "send_bytes": "pipe op",
+    "sendall": "socket op",
+    "connect": "socket op",
+    "poll": "pipe op",
+    "wait": "wait",
+    "shutdown": "shutdown",
+    "stop": "teardown op",
+    "serve_forever": "serve loop",
+    "urlopen": "http op",
+    "communicate": "subprocess op",
+}
+
+#: names treated as blocking only when called on the subprocess module.
+_SUBPROCESS_CALLS = {"run", "call", "check_call", "check_output", "Popen"}
+
+#: `.join()` receivers that look like threads/processes (never strings).
+_JOINABLE_RE = (
+    "thread",
+    "proc",
+    "process",
+    "worker",
+    "supervisor",
+    "replica",
+)
+
+
+@dataclass(frozen=True)
+class _Edge:
+    outer: str
+    inner: str
+    path: str
+    line: int
+    symbol: str
+
+
+def _receiver_is_subprocess(recv: ast.expr | None, aliases: dict[str, str]) -> bool:
+    if recv is None:
+        return False
+    name = dotted(recv)
+    if name is None:
+        return False
+    return aliases.get(name, name) == "subprocess"
+
+
+def _join_receiver_blocks(recv: ast.expr | None) -> bool:
+    """Filter ``", ".join(...)`` / ``os.path.join`` out of LOCK001."""
+    if recv is None or isinstance(recv, (ast.Constant, ast.JoinedStr)):
+        return False
+    name = dotted(recv)
+    if name is None:
+        return False  # method call chain / literal — assume string join
+    leaf = name.rsplit(".", 1)[-1].lower()
+    return any(marker in leaf for marker in _JOINABLE_RE)
+
+
+def _classify_blocking(
+    call: ast.Call, aliases: dict[str, str], held: tuple[LockRef, ...]
+) -> str | None:
+    """Human-readable category when ``call`` blocks, else None."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        target = aliases.get(func.id, func.id)
+        if func.id == "sleep" and target.startswith("time"):
+            return "sleep"
+        if func.id == "urlopen":
+            return "http op"
+        return None
+    if not isinstance(func, ast.Attribute):
+        return None
+    meth = func.attr
+    recv = func.value
+    if meth in _SUBPROCESS_CALLS and _receiver_is_subprocess(recv, aliases):
+        return "subprocess op"
+    kind = _BLOCKING_METHODS.get(meth)
+    if kind is None:
+        if meth == "join":
+            return "thread join" if _join_receiver_blocks(recv) else None
+        return None
+    if kind == "wait":
+        # Condition.wait on a held lock is the intended use, not a hazard.
+        recv_text = ast.unparse(recv)
+        if any(recv_text == h.text for h in held):
+            return None
+    if kind == "sleep":
+        name = dotted(recv)
+        if name is not None and aliases.get(name, name) != "time":
+            return None
+    return kind
+
+
+class LockDisciplineChecker:
+    """LOCK001/LOCK002 per function + project-wide LOCK003 cycles."""
+
+    name = "locks"
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        edges: list[_Edge] = []
+        for module in project.modules:
+            findings.extend(self._check_module(module, project, edges))
+        findings.extend(self._check_cycles(edges))
+        return findings
+
+    # -- per-function scan -------------------------------------------------
+
+    def _check_module(
+        self, module: Module, project: Project, edges: list[_Edge]
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        for cls in module.classes.values():
+            for meth_name, meth in cls.methods.items():
+                symbol = f"{cls.name}.{meth_name}"
+                self._scan(module, project, cls, meth, symbol, findings, edges)
+        for func_name, func in module.functions.items():
+            self._scan(module, project, None, func, func_name, findings, edges)
+        return findings
+
+    def _scan(
+        self,
+        module: Module,
+        project: Project,
+        cls: ClassInfo | None,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        symbol: str,
+        findings: list[Finding],
+        edges: list[_Edge],
+    ) -> None:
+        aliases = module.function_aliases(func)
+        resolver = LockResolver(module, cls, func, project)
+
+        def on_with(event: WithEvent) -> None:
+            if not event.held:
+                return
+            inner = ", ".join(ref.id for ref in event.acquired)
+            findings.append(
+                Finding(
+                    rule="LOCK002",
+                    path=module.rel,
+                    line=event.node.lineno,
+                    symbol=symbol,
+                    message=(
+                        f"acquires {inner} while holding "
+                        f"{event.held[-1].id}"
+                    ),
+                )
+            )
+            for outer in event.held:
+                for acq in event.acquired:
+                    edges.append(
+                        _Edge(outer.id, acq.id, module.rel, event.node.lineno, symbol)
+                    )
+
+        def on_node(node: ast.AST, held: tuple[LockRef, ...]) -> None:
+            if not held or not isinstance(node, ast.Call):
+                return
+            # A bare .acquire() is a second lock, not a generic blocking op.
+            if isinstance(node.func, ast.Attribute) and node.func.attr == "acquire":
+                recv_text = ast.unparse(node.func.value)
+                if any(recv_text == h.text for h in held):
+                    return  # re-acquiring the held RLock
+                findings.append(
+                    Finding(
+                        rule="LOCK002",
+                        path=module.rel,
+                        line=node.lineno,
+                        symbol=symbol,
+                        message=(
+                            f"calls {recv_text}.acquire() while holding "
+                            f"{held[-1].id}"
+                        ),
+                    )
+                )
+                return
+            kind = _classify_blocking(node, aliases, held)
+            if kind is None:
+                return
+            callee = dotted(node.func) or ast.unparse(node.func)
+            findings.append(
+                Finding(
+                    rule="LOCK001",
+                    path=module.rel,
+                    line=node.lineno,
+                    symbol=symbol,
+                    message=(
+                        f"blocking {kind} '{callee}(...)' while holding "
+                        f"{held[-1].id}"
+                    ),
+                )
+            )
+
+        scan_function(func, resolver, on_with=on_with, on_node=on_node)
+
+    # -- cycle detection ---------------------------------------------------
+
+    def _check_cycles(self, edges: list[_Edge]) -> list[Finding]:
+        graph: dict[str, dict[str, _Edge]] = {}
+        for e in edges:
+            if e.outer == e.inner:
+                continue  # RLock re-entry, not an ordering edge
+            graph.setdefault(e.outer, {}).setdefault(e.inner, e)
+
+        findings: list[Finding] = []
+        seen_cycles: set[tuple[str, ...]] = set()
+
+        def dfs(node: str, stack: list[str], on_stack: set[str]) -> None:
+            for nxt in graph.get(node, {}):
+                if nxt in on_stack:
+                    cycle = stack[stack.index(nxt):] + [nxt]
+                    # canonical rotation so each cycle reports once
+                    ring = tuple(cycle[:-1])
+                    pivot = ring.index(min(ring))
+                    canon = ring[pivot:] + ring[:pivot]
+                    if canon in seen_cycles:
+                        continue
+                    seen_cycles.add(canon)
+                    edge = graph[cycle[-2]][cycle[-1]] if len(cycle) >= 2 else None
+                    arrows = " -> ".join(canon + (canon[0],))
+                    where = edge or next(iter(graph[canon[0]].values()))
+                    findings.append(
+                        Finding(
+                            rule="LOCK003",
+                            path=where.path,
+                            line=where.line,
+                            symbol=where.symbol,
+                            message=f"lock-order cycle: {arrows}",
+                        )
+                    )
+                elif nxt not in visited:
+                    visited.add(nxt)
+                    on_stack.add(nxt)
+                    dfs(nxt, stack + [nxt], on_stack)
+                    on_stack.discard(nxt)
+
+        visited: set[str] = set()
+        for start in sorted(graph):
+            if start not in visited:
+                visited.add(start)
+                dfs(start, [start], {start})
+        return findings

@@ -1,0 +1,293 @@
+"""Schema sync: ``to_dict``/``from_dict`` pairs must cover every field.
+
+The wire format (``repro.api.schema``) serializes dataclasses through
+module-level ``<name>_to_dict`` / ``<name>_from_dict`` function pairs,
+and a few dataclasses carry method-form ``to_dict`` / ``from_dict``
+(e.g. ``StageTiming``). Either way the round-trip contract is the same:
+every constructor field must be written by the serializer and passed by
+the deserializer, otherwise a field silently drops on the wire.
+
+* **SCHEMA001** (error) — ``to_dict`` never reads some constructor
+  field of the target class (``dataclasses.asdict``/``dict(obj)`` on
+  the object counts as full coverage).
+* **SCHEMA002** (error) — ``from_dict``'s constructor call does not
+  pass some field (positionally or by keyword; ``**kwargs`` counts as
+  full coverage).
+* **SCHEMA003** (warning) — key asymmetry: ``to_dict`` writes a payload
+  key ``from_dict`` never reads, or vice versa (envelope keys
+  ``schema_version``/``kind`` are exempt).
+
+Only *pairs* are checked: a lone ``to_dict`` is a view, not a
+round-trip, and carries no sync obligation.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.devtools.engine import (
+    ClassInfo,
+    Finding,
+    Module,
+    Project,
+    dotted,
+)
+
+_ENVELOPE_KEYS = {"schema_version", "kind"}
+
+
+@dataclass
+class _Pair:
+    to_fn: ast.FunctionDef | ast.AsyncFunctionDef
+    from_fn: ast.FunctionDef | ast.AsyncFunctionDef
+    cls: ClassInfo
+    module: Module
+    symbol_prefix: str
+    obj_param: str  # the serialized object's name inside to_fn ("self", ...)
+
+
+def _class_fields(cls: ClassInfo) -> list[str]:
+    """Constructor fields: dataclass/NamedTuple AnnAssigns, else __init__."""
+    fields: list[str] = []
+    for stmt in cls.node.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            ann = dotted(stmt.annotation) or ""
+            if "ClassVar" in ann:
+                continue
+            fields.append(stmt.target.id)
+    if fields:
+        return fields
+    init = cls.methods.get("__init__")
+    if init is None:
+        return []
+    args = init.args
+    return [a.arg for a in args.posonlyargs + args.args if a.arg != "self"]
+
+
+def _reads_of(func: ast.AST, obj: str) -> tuple[set[str], bool]:
+    """(attributes read off ``obj``, full_coverage_via_asdict)."""
+    attrs: set[str] = set()
+    full = False
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == obj
+        ):
+            attrs.add(node.attr)
+        elif isinstance(node, ast.Call):
+            # asdict(self) / dict(obj) — and plain delegation like
+            # ``return report_to_dict(self)``, where the callee (checked
+            # separately as a function pair) owns field coverage.
+            if any(isinstance(a, ast.Name) and a.id == obj for a in node.args):
+                full = True
+    return attrs, full
+
+
+def _written_keys(func: ast.AST) -> set[str]:
+    keys: set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Dict):
+            for k in node.keys:
+                if isinstance(k, ast.Constant) and isinstance(k.value, str):
+                    keys.add(k.value)
+        elif isinstance(node, ast.Assign):
+            for t in node.targets:
+                if (
+                    isinstance(t, ast.Subscript)
+                    and isinstance(t.slice, ast.Constant)
+                    and isinstance(t.slice.value, str)
+                ):
+                    keys.add(t.slice.value)
+    return keys
+
+
+def _read_keys(func: ast.AST) -> set[str]:
+    keys: set[str] = set()
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.slice, ast.Constant)
+            and isinstance(node.slice.value, str)
+        ):
+            keys.add(node.slice.value)
+        elif isinstance(node, ast.Call):
+            callee = (dotted(node.func) or "").rsplit(".", 1)[-1]
+            if callee in ("get", "require", "pop"):
+                for arg in node.args:
+                    if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                        keys.add(arg.value)
+                        break
+    return keys
+
+
+def _ctor_coverage(
+    func: ast.AST, cls: ClassInfo, fields: list[str], alias_names: set[str]
+) -> tuple[set[str], bool] | None:
+    """Fields passed to the class constructor inside ``from_dict``.
+
+    Returns None when no constructor call is found (nothing to check);
+    the bool is true when ``**kwargs`` makes coverage total.
+    """
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Call):
+            continue
+        callee = dotted(node.func)
+        if callee is None:
+            continue
+        leaf = callee.rsplit(".", 1)[-1]
+        if leaf != cls.name and callee not in alias_names and callee != "cls":
+            continue
+        covered = set(fields[: len(node.args)])  # positional prefix
+        star = False
+        for kw in node.keywords:
+            if kw.arg is None:
+                star = True
+            else:
+                covered.add(kw.arg)
+        return covered, star
+    return None
+
+
+class SchemaSyncChecker:
+    """SCHEMA001/002/003 over function pairs and method pairs."""
+
+    name = "schema"
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        for module in project.modules:
+            for pair in self._pairs(module, project):
+                findings.extend(self._check_pair(pair))
+        return findings
+
+    def _pairs(self, module: Module, project: Project) -> Iterable[_Pair]:
+        # Module-level <x>_to_dict / <x>_from_dict function pairs.
+        for fname, func in module.functions.items():
+            if not fname.endswith("_to_dict"):
+                continue
+            stem = fname[: -len("_to_dict")]
+            from_fn = module.functions.get(f"{stem}_from_dict")
+            if from_fn is None:
+                continue
+            cls = self._from_dict_target(module, project, from_fn)
+            if cls is None:
+                continue
+            args = func.args.posonlyargs + func.args.args
+            if not args:
+                continue
+            yield _Pair(
+                to_fn=func,
+                from_fn=from_fn,
+                cls=cls,
+                module=module,
+                symbol_prefix=stem,
+                obj_param=args[0].arg,
+            )
+        # Method-form pairs on classes defining both.
+        for cls in module.classes.values():
+            to_m, from_m = cls.methods.get("to_dict"), cls.methods.get("from_dict")
+            if to_m is None or from_m is None:
+                continue
+            yield _Pair(
+                to_fn=to_m,
+                from_fn=from_m,
+                cls=cls,
+                module=module,
+                symbol_prefix=cls.name,
+                obj_param="self",
+            )
+
+    def _from_dict_target(
+        self,
+        module: Module,
+        project: Project,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> ClassInfo | None:
+        for node in ast.walk(func):
+            if isinstance(node, ast.Return) and isinstance(node.value, ast.Call):
+                name = dotted(node.value.func)
+                if name is None:
+                    continue
+                cls = project.resolve_class(module.qualify(name))
+                if cls is not None:
+                    return cls
+        return None
+
+    def _check_pair(self, pair: _Pair) -> list[Finding]:
+        findings: list[Finding] = []
+        fields = _class_fields(pair.cls)
+        if not fields:
+            return findings
+        public = [f for f in fields if not f.startswith("_")]
+
+        reads, full = _reads_of(pair.to_fn, pair.obj_param)
+        if not full:
+            for missed in (f for f in public if f not in reads):
+                findings.append(
+                    Finding(
+                        rule="SCHEMA001",
+                        path=pair.module.rel,
+                        line=pair.to_fn.lineno,
+                        symbol=f"{pair.symbol_prefix}.to_dict"
+                        if pair.obj_param == "self"
+                        else pair.to_fn.name,
+                        message=(
+                            f"does not serialize {pair.cls.name}.{missed} "
+                            "(field dropped on the wire)"
+                        ),
+                    )
+                )
+
+        coverage = _ctor_coverage(
+            pair.from_fn, pair.cls, fields, {pair.cls.qualname}
+        )
+        if coverage is not None:
+            covered, star = coverage
+            if not star:
+                for missed in (f for f in public if f not in covered):
+                    findings.append(
+                        Finding(
+                            rule="SCHEMA002",
+                            path=pair.module.rel,
+                            line=pair.from_fn.lineno,
+                            symbol=f"{pair.symbol_prefix}.from_dict"
+                            if pair.obj_param == "self"
+                            else pair.from_fn.name,
+                            message=(
+                                f"does not pass {pair.cls.name}.{missed} to the "
+                                "constructor (field dropped on load)"
+                            ),
+                        )
+                    )
+
+        written = _written_keys(pair.to_fn) - _ENVELOPE_KEYS
+        read = _read_keys(pair.from_fn) - _ENVELOPE_KEYS
+        if written:  # a to_dict with no dict literal has nothing to compare
+            for key in sorted(written - read):
+                findings.append(
+                    Finding(
+                        rule="SCHEMA003",
+                        path=pair.module.rel,
+                        line=pair.to_fn.lineno,
+                        symbol=pair.to_fn.name
+                        if pair.obj_param != "self"
+                        else f"{pair.symbol_prefix}.to_dict",
+                        message=f"writes key '{key}' that from_dict never reads",
+                    )
+                )
+            for key in sorted(read - written):
+                findings.append(
+                    Finding(
+                        rule="SCHEMA003",
+                        path=pair.module.rel,
+                        line=pair.from_fn.lineno,
+                        symbol=pair.from_fn.name
+                        if pair.obj_param != "self"
+                        else f"{pair.symbol_prefix}.from_dict",
+                        message=f"reads key '{key}' that to_dict never writes",
+                    )
+                )
+        return findings

@@ -188,7 +188,7 @@ class ExperimentSuite:
         return QueryExperiment(
             query=query,
             n_results=len(results),
-            n_clusters=len(set(int(l) for l in labels)),
+            n_clusters=len(set(int(lab) for lab in labels)),
             clustering_seconds=clustering_seconds,
             runs=runs,
         )

@@ -111,6 +111,9 @@ class ShardedIndex:
         except Exception:
             pass
 
+    # analyze: ignore[GUARD001] - double-checked creation: the lock-free
+    # fast-path read of _pool/_closed is the optimization; the slow path
+    # re-checks both under _pool_lock before creating the executor
     def _map(self, fn: Callable[[int], object]) -> list:
         """Apply ``fn`` to every shard id, fanning out when it pays."""
         pool = None

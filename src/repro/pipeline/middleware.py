@@ -70,7 +70,7 @@ def _summarize(ctx: ExecutionContext) -> str:
     if ctx.results:
         parts.append(f"results={len(ctx.results)}")
     if ctx.labels is not None:
-        parts.append(f"clusters={len(set(int(l) for l in ctx.labels))}")
+        parts.append(f"clusters={len(set(int(lab) for lab in ctx.labels))}")
     if ctx.candidates is not None:
         parts.append(f"candidates={len(ctx.candidates)}")
     if ctx.tasks:
@@ -140,16 +140,22 @@ class CallbackMiddleware:
         self._on_end = on_end
         self._on_error = on_error
 
-    def on_stage_start(self, ctx, stage):
+    def on_stage_start(
+        self, ctx: ExecutionContext, stage: Any
+    ) -> ExecutionContext | None:
         if self._on_start is not None:
             return self._on_start(ctx, stage)
         return None
 
-    def on_stage_end(self, ctx, stage, seconds):
+    def on_stage_end(
+        self, ctx: ExecutionContext, stage: Any, seconds: float
+    ) -> ExecutionContext | None:
         if self._on_end is not None:
             return self._on_end(ctx, stage, seconds)
         return None
 
-    def on_stage_error(self, ctx, stage, exc):
+    def on_stage_error(
+        self, ctx: ExecutionContext, stage: Any, exc: BaseException
+    ) -> None:
         if self._on_error is not None:
             self._on_error(ctx, stage, exc)

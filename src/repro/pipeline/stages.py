@@ -24,6 +24,8 @@ step that moves each result to the best-F expanded query claiming it.
 
 from __future__ import annotations
 
+from typing import Any, Sequence
+
 import numpy as np
 
 from repro.cluster.kmeans import CosineKMeans
@@ -145,7 +147,7 @@ class TasksStage:
             )
         labels = ctx.labels
         tasks = []
-        for cid in sorted(set(int(l) for l in labels)):
+        for cid in sorted(set(int(lab) for lab in labels)):
             tasks.append(
                 ExpansionTask(
                     universe=ctx.universe,
@@ -200,7 +202,12 @@ class ReassignStage:
     name = "reassign"
 
     @staticmethod
-    def reassign(universe, labels, tasks, outcomes):
+    def reassign(
+        universe: ResultUniverse,
+        labels: np.ndarray,
+        tasks: "Sequence[ExpansionTask]",
+        outcomes: "Sequence[Any]",
+    ) -> "tuple[np.ndarray, int]":
         """Core reassignment: ``(new_labels, n_moved)`` from one round."""
         new_labels = labels.copy()
         order = sorted(range(len(tasks)), key=lambda i: -outcomes[i].fmeasure)

@@ -223,6 +223,8 @@ class ExpansionService:
         # slots, or one config's serialization starves every other
         # config's cache misses.
         with entry.locked():
+            # analyze: ignore[LOCK002] - documented one-way ordering: the
+            # entry lock is always taken before a compute slot, never after
             with self._compute_slots:
                 report = entry.session.expand(query, algorithm=algorithm)
         payload = schema.report_to_dict(report)
@@ -250,6 +252,8 @@ class ExpansionService:
         if hit:
             return payload, "hit"
         with entry.locked():  # lock-then-slot, as in _expand_cached
+            # analyze: ignore[LOCK002] - same one-way entry-lock -> slot
+            # ordering as _expand_cached
             with self._compute_slots:
                 results = entry.session.search(
                     query, top_k=top_k, semantics=semantics
@@ -598,7 +602,7 @@ class ExpansionServer:
         self._httpd.service = service
         self._thread: threading.Thread | None = None
         self._serving = threading.Event()  # a blocking serve_forever is live
-        self._closed = False
+        self._closed = threading.Event()  # set once stop() has run
         self._stop_lock = threading.Lock()
 
     @property
@@ -618,18 +622,22 @@ class ExpansionServer:
         return f"http://{self.host}:{self.port}"
 
     def start(self) -> "ExpansionServer":
-        if self._thread is not None:
-            raise ServeError("server already started")
-        self._thread = threading.Thread(
-            target=self._httpd.serve_forever,
-            name=f"repro-serve:{self.port}",
-            daemon=True,
-        )
-        self._thread.start()
+        # _thread is handed off under _stop_lock: a signal handler's stop
+        # thread may run concurrently with start, and an unlocked write
+        # here could leak a started-but-never-joined serve thread.
+        with self._stop_lock:
+            if self._thread is not None:
+                raise ServeError("server already started")
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name=f"repro-serve:{self.port}",
+                daemon=True,
+            )
+            self._thread.start()
         return self
 
     def serve_forever(self) -> None:
-        if self._closed:
+        if self._closed.is_set():
             return
         self._serving.set()
         try:
@@ -658,8 +666,11 @@ class ExpansionServer:
         store connections. Pass ``close_service=False`` to stop only the
         HTTP front (e.g. to hand the service to another transport).
         """
+        # analyze: ignore[LOCK001] - shutdown() and join(timeout=5) are
+        # bounded teardown waits; serializing them under _stop_lock is the
+        # point (racing stop() calls must not double-join the thread).
         with self._stop_lock:
-            self._closed = True
+            self._closed.set()
             if self._thread is not None:
                 self._httpd.shutdown()
                 self._thread.join(timeout=5)

@@ -69,7 +69,8 @@ class ClusterServer:
         self._httpd.service = coordinator  # _Handler calls .handle(...)
         self._thread: threading.Thread | None = None
         self._serving = threading.Event()  # a blocking serve_forever is live
-        self._closed = False
+        self._started = threading.Event()  # start() has been called
+        self._closed = threading.Event()  # set once stop() has run
         self._stop_lock = threading.Lock()
 
     @property
@@ -89,20 +90,26 @@ class ClusterServer:
         return f"http://{self.host}:{self.port}"
 
     def start(self) -> "ClusterServer":
-        if self._thread is not None:
+        if self._started.is_set():
             raise ServeError("cluster server already started")
+        self._started.set()
+        # The replica fleet spawns outside _stop_lock (process startup is
+        # slow and must not serialize against stop()); only the _thread
+        # handoff is locked — a signal handler's stop thread may run
+        # concurrently with start (same rationale as ExpansionServer).
         self._coordinator.start()
-        self._thread = threading.Thread(
-            target=self._httpd.serve_forever,
-            name=f"repro-cluster:{self.port}",
-            daemon=True,
-        )
-        self._thread.start()
+        with self._stop_lock:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name=f"repro-cluster:{self.port}",
+                daemon=True,
+            )
+            self._thread.start()
         return self
 
     def serve_forever(self) -> None:
         """Blocking serve (the CLI path); replicas must already be started."""
-        if self._closed:
+        if self._closed.is_set():
             return
         self._serving.set()
         try:
@@ -121,8 +128,12 @@ class ClusterServer:
         and closing the listening socket under a live accept loop leaves
         it spinning on an invalid descriptor forever.
         """
+        # analyze: ignore[LOCK001] - shutdown() and join(timeout=5) are
+        # bounded teardown waits; serializing them under _stop_lock is the
+        # point (racing stop() calls must not double-join the thread).
         with self._stop_lock:
-            self._closed = True
+            first = not self._closed.is_set()
+            self._closed.set()
             if self._thread is not None:
                 self._httpd.shutdown()
                 self._thread.join(timeout=5)
@@ -130,6 +141,12 @@ class ClusterServer:
             elif self._serving.is_set():
                 self._httpd.shutdown()  # wakes the blocking serve_forever
             self._httpd.server_close()
+        # The coordinator drain (supervisor join + per-replica process
+        # joins) is unbounded and must not run under _stop_lock: a second
+        # stop() — e.g. the signal handler racing the CLI's finally: —
+        # would block on the lock for the whole drain. Only the first
+        # caller drains; later callers return once the front is down.
+        if first:
             self._coordinator.stop()
 
     def install_signal_handlers(

@@ -136,9 +136,14 @@ class ServerMetricsMiddleware:
         with self._lock:
             order = list(self._order)
             errors = dict(self._errors)
+            # Copy the map itself too: reading it lock-free would race
+            # _histogram inserting a first-seen stage (the PR 6 torn-read
+            # shape). The histograms are internally locked, so holding
+            # references outside the lock is fine.
+            stages = dict(self._stages)
         out: dict[str, Any] = {}
         for name in order:
-            stats = self._stages[name].snapshot()
+            stats = stages[name].snapshot()
             if name in errors:
                 stats["errors"] = errors[name]
             out[name] = stats

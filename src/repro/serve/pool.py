@@ -231,7 +231,19 @@ class PooledSession:
         caps = session.engine.index.capabilities()
         self._exclusive = not caps.concurrent_reads
         self._lock = RLock()
-        self.invalidations = 0
+        # Counter mutated from ingesting threads, read by describe();
+        # a bare `+= 1` would drop increments under concurrent ingests.
+        self._meta_lock = Lock()
+        self._invalidations = 0
+
+    @property
+    def invalidations(self) -> int:
+        with self._meta_lock:
+            return self._invalidations
+
+    def record_invalidation(self) -> None:
+        with self._meta_lock:
+            self._invalidations += 1
 
     @property
     def index(self):
@@ -328,6 +340,8 @@ class SessionPool:
             return entry
         # Per-config build lock: concurrent first requests for one config
         # build once; different configs build in parallel.
+        # analyze: ignore[LOCK002] - one-way ordering: a build lock is always
+        # taken before _lock (never the reverse), so the nesting cannot cycle
         with self._build_locks[name]:
             with self._lock:
                 entry = self._entries.get(name)
@@ -356,7 +370,7 @@ class SessionPool:
 
     def _invalidate(self, entry: PooledSession) -> None:
         entry.session.refresh()
-        entry.invalidations += 1
+        entry.record_invalidation()
         if self._on_invalidate is not None:
             self._on_invalidate(entry.config.name)
 

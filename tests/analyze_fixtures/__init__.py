@@ -1,0 +1,13 @@
+"""Known-bad / known-good twins exercising ``repro.devtools`` checkers.
+
+Every ``bad_*.py`` module reconstructs a defect shape the analyzer must
+flag (two of them are the literal PR 6 bugs: the metrics torn read and
+the shutdown join-under-lock hang); each has a ``good_*.py`` twin with
+the fixed shape that must produce zero findings. ``tests/test_analyze.py``
+asserts both directions, so a checker that goes blind *or* noisy fails
+the suite.
+
+These modules are fixtures, not code: they are parsed by the analyzer,
+never imported by the application (this ``__init__`` exists only so the
+directory is skippable as a unit in lint configs).
+"""

@@ -1,0 +1,37 @@
+"""LOCK001 seeds: blocking calls made while a lock is held.
+
+``Server.stop`` is the PR 6 shutdown-hang reconstruction: the signal
+handler's stop thread and the CLI's ``finally: stop()`` both enter
+``stop()``; the second caller blocks on ``_stop_lock`` for as long as
+the first caller's unbounded ``join()`` takes — forever, if the serve
+thread is wedged.
+"""
+
+import subprocess
+import threading
+import time
+
+
+class Server:
+    def __init__(self):
+        self._stop_lock = threading.Lock()
+        self._thread = threading.Thread(target=time.sleep, args=(1,))
+
+    def stop(self):
+        with self._stop_lock:
+            self._thread.join()  # unbounded wait under the stop lock
+
+
+class Worker:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.results = []
+
+    def run_task(self, cmd):
+        with self._lock:
+            out = subprocess.run(cmd, capture_output=True)
+            self.results.append(out)
+
+    def throttle(self):
+        with self._lock:
+            time.sleep(0.5)

@@ -1,0 +1,29 @@
+"""LOCK003 seed: two lock-order paths that form a cycle.
+
+``transfer`` acquires ``ACCOUNTS_LOCK`` then ``AUDIT_LOCK``;
+``audit_sweep`` acquires them in the opposite order. Two threads, one
+in each function, deadlock.
+"""
+
+import threading
+
+ACCOUNTS_LOCK = threading.Lock()
+AUDIT_LOCK = threading.Lock()
+
+BALANCES = {}
+AUDIT_LOG = []
+
+
+def transfer(src, dst, amount):
+    with ACCOUNTS_LOCK:
+        BALANCES[src] = BALANCES.get(src, 0) - amount
+        BALANCES[dst] = BALANCES.get(dst, 0) + amount
+        with AUDIT_LOCK:
+            AUDIT_LOG.append((src, dst, amount))
+
+
+def audit_sweep():
+    with AUDIT_LOCK:
+        entries = list(AUDIT_LOG)
+        with ACCOUNTS_LOCK:
+            return [(e, BALANCES.get(e[0])) for e in entries]

@@ -1,0 +1,30 @@
+"""SCHEMA001/002/003 seeds: a to_dict/from_dict pair that drifted.
+
+``Record.to_dict`` never serializes ``tags`` (SCHEMA001) and writes a
+``"legacy"`` key ``from_dict`` never reads (SCHEMA003); ``from_dict``'s
+constructor call omits ``tags`` (SCHEMA002) and reads a ``"checksum"``
+key ``to_dict`` never writes (SCHEMA003).
+"""
+
+
+class Record:
+    name: str
+    score: float
+    tags: list
+
+    def __init__(self, name, score, tags):
+        self.name = name
+        self.score = score
+        self.tags = tags
+
+    def to_dict(self):
+        return {
+            "name": self.name,
+            "score": float(self.score),
+            "legacy": 1,
+        }
+
+    @classmethod
+    def from_dict(cls, payload):
+        payload.get("checksum")
+        return cls(name=payload["name"], score=payload["score"])

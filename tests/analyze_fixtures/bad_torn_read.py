@@ -1,0 +1,27 @@
+"""GUARD001 seed: the PR 6 metrics torn read, reconstructed.
+
+``record`` mutates ``_stages`` and ``_totals`` under ``_lock``;
+``snapshot`` iterates both without it. A snapshot racing a first-seen
+stage insertion raised ``RuntimeError: dictionary changed size during
+iteration`` in production.
+"""
+
+import threading
+
+
+class Metrics:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._stages = {}
+        self._totals = {}
+
+    def record(self, stage, seconds):
+        with self._lock:
+            self._stages[stage] = self._stages.get(stage, 0) + 1
+            self._totals[stage] = self._totals.get(stage, 0.0) + seconds
+
+    def snapshot(self):
+        return {
+            name: (count, self._totals[name])
+            for name, count in self._stages.items()
+        }

@@ -1,0 +1,36 @@
+"""Fixed twin of ``bad_lock_blocking``: nothing blocking runs locked.
+
+``Server.stop`` is the shape the real servers use after PR 7: the lock
+only serializes the handoff (who joins), the join itself happens
+outside it, so a racing second ``stop()`` returns promptly.
+"""
+
+import subprocess
+import threading
+import time
+
+
+class Server:
+    def __init__(self):
+        self._stop_lock = threading.Lock()
+        self._thread = threading.Thread(target=time.sleep, args=(1,))
+
+    def stop(self):
+        with self._stop_lock:
+            thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join()
+
+
+class Worker:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.results = []
+
+    def run_task(self, cmd):
+        out = subprocess.run(cmd, capture_output=True)
+        with self._lock:
+            self.results.append(out)
+
+    def throttle(self):
+        time.sleep(0.5)

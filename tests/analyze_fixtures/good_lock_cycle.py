@@ -1,0 +1,29 @@
+"""Fixed twin of ``bad_lock_cycle``: one global order, no cycle.
+
+Both paths take ``ACCOUNTS_LOCK`` before ``AUDIT_LOCK``; the nesting
+edge appears in one direction only. The LOCK002 nesting warnings are
+waived inline — the nesting is the point, and the waivers double as a
+fixture for the waiver syntax itself.
+"""
+
+import threading
+
+ACCOUNTS_LOCK = threading.Lock()
+AUDIT_LOCK = threading.Lock()
+
+BALANCES = {}
+AUDIT_LOG = []
+
+
+def transfer(src, dst, amount):
+    with ACCOUNTS_LOCK:
+        BALANCES[src] = BALANCES.get(src, 0) - amount
+        BALANCES[dst] = BALANCES.get(dst, 0) + amount
+        with AUDIT_LOCK:  # analyze: ignore[LOCK002] - one-way order, accounts -> audit
+            AUDIT_LOG.append((src, dst, amount))
+
+
+def audit_sweep():
+    with ACCOUNTS_LOCK:
+        with AUDIT_LOCK:  # analyze: ignore[LOCK002] - one-way order, accounts -> audit
+            return [(e, BALANCES.get(e[0])) for e in AUDIT_LOG]

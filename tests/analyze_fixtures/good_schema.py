@@ -1,0 +1,27 @@
+"""Fixed twin of ``bad_schema``: round-trip covers every field, no drift."""
+
+
+class Record:
+    name: str
+    score: float
+    tags: list
+
+    def __init__(self, name, score, tags):
+        self.name = name
+        self.score = score
+        self.tags = tags
+
+    def to_dict(self):
+        return {
+            "name": self.name,
+            "score": float(self.score),
+            "tags": list(self.tags),
+        }
+
+    @classmethod
+    def from_dict(cls, payload):
+        return cls(
+            name=payload["name"],
+            score=payload["score"],
+            tags=list(payload.get("tags", ())),
+        )

@@ -1,0 +1,384 @@
+"""Tests for ``repro.devtools`` — the static analyzer and its CLI.
+
+Three layers:
+
+* engine units — waiver parsing (line, block, unknown-rule, unused),
+  fingerprints, baselines, JSON output, parse-error findings;
+* checker fixtures — every ``tests/analyze_fixtures/bad_*.py`` module
+  must flag its seeded defect, every ``good_*.py`` twin must come back
+  clean (so checkers can neither go blind nor go noisy);
+* the real tree — ``repro analyze src`` must exit 0 against the
+  committed waivers/baseline, which is exactly the CI gate.
+"""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.devtools import Finding, run_analysis
+from repro.devtools.engine import AnalysisError, load_baseline
+
+FIXTURES = Path(__file__).resolve().parent / "analyze_fixtures"
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def analyze_fixture(name, **kwargs):
+    return run_analysis([FIXTURES / name], **kwargs)
+
+
+def active_rules(result):
+    return {f.rule for f in result.active}
+
+
+def write_module(tmp_path, source, name="mod.py"):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return path
+
+
+# -- engine: waivers --------------------------------------------------------
+
+
+class TestWaivers:
+    def test_trailing_waiver_suppresses_and_records_reason(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            """\
+            import threading
+            import time
+
+            LOCK = threading.Lock()
+
+            def pause():
+                with LOCK:
+                    time.sleep(1)  # analyze: ignore[LOCK001] - startup only
+            """,
+        )
+        result = run_analysis([path])
+        assert result.active == []
+        assert [f.rule for f in result.waived] == ["LOCK001"]
+        assert result.waived[0].waiver_reason == "startup only"
+        assert result.exit_code == 0
+
+    def test_standalone_comment_above_def_covers_whole_block(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            """\
+            import threading
+            import time
+
+            LOCK = threading.Lock()
+
+            # analyze: ignore[LOCK001] - the whole function is exempt
+            def pause_twice():
+                with LOCK:
+                    time.sleep(1)
+                with LOCK:
+                    time.sleep(2)
+            """,
+        )
+        result = run_analysis([path])
+        assert result.active == []
+        assert len(result.waived) == 2
+
+    def test_waiver_only_covers_named_rules(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            """\
+            import threading
+            import time
+
+            LOCK = threading.Lock()
+
+            def pause():
+                with LOCK:
+                    time.sleep(1)  # analyze: ignore[GUARD001] - wrong rule
+            """,
+        )
+        result = run_analysis([path])
+        assert active_rules(result) == {"LOCK001", "ANA002"}
+
+    def test_unknown_rule_waiver_surfaces_as_unused(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "x = 1  # analyze: ignore[NOPE123] - bogus\n",
+        )
+        result = run_analysis([path])
+        assert active_rules(result) == {"ANA002"}
+
+    def test_waiver_without_justification_is_ana001(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            """\
+            import threading
+            import time
+
+            LOCK = threading.Lock()
+
+            def pause():
+                with LOCK:
+                    time.sleep(1)  # analyze: ignore[LOCK001]
+            """,
+        )
+        result = run_analysis([path])
+        # The finding is waived, but the reason-less waiver is itself
+        # flagged: every suppression must carry a written justification.
+        assert [f.rule for f in result.waived] == ["LOCK001"]
+        assert active_rules(result) == {"ANA001"}
+
+    def test_unused_waiver_is_ana002(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "x = 1  # analyze: ignore[LOCK001] - nothing to waive\n",
+        )
+        result = run_analysis([path])
+        assert active_rules(result) == {"ANA002"}
+
+    def test_multi_rule_waiver(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            """\
+            import threading
+            import time
+
+            LOCK = threading.Lock()
+            OTHER = threading.Lock()
+
+            def pause():
+                with LOCK:
+                    # analyze: ignore[LOCK001, LOCK002] - both expected
+                    with OTHER:
+                        time.sleep(1)
+            """,
+        )
+        result = run_analysis([path])
+        assert result.active == []
+        assert {f.rule for f in result.waived} == {"LOCK001", "LOCK002"}
+
+    def test_waiver_in_docstring_is_inert(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            '''\
+            """Docs quoting the syntax: # analyze: ignore[LOCK001] - n/a."""
+            x = 1
+            ''',
+        )
+        result = run_analysis([path])
+        assert result.active == []
+
+
+# -- engine: findings, baselines, output ------------------------------------
+
+
+class TestEngine:
+    def test_fingerprint_survives_line_drift(self):
+        a = Finding(rule="LOCK001", path="m.py", line=10, message="x", symbol="f")
+        b = Finding(rule="LOCK001", path="m.py", line=99, message="x", symbol="f")
+        c = Finding(rule="LOCK001", path="m.py", line=10, message="y", symbol="f")
+        assert a.fingerprint == b.fingerprint
+        assert a.fingerprint != c.fingerprint
+
+    def test_severity_filled_from_rules(self):
+        assert Finding("GUARD001", "m.py", 1, "x").severity == "error"
+        assert Finding("LOCK001", "m.py", 1, "x").severity == "warning"
+
+    def test_syntax_error_becomes_ana000(self, tmp_path):
+        path = write_module(tmp_path, "def broken(:\n")
+        result = run_analysis([path])
+        assert active_rules(result) == {"ANA000"}
+        assert result.exit_code == 1
+
+    def test_baseline_roundtrip_suppresses(self, tmp_path):
+        bad = FIXTURES / "bad_torn_read.py"
+        baseline = tmp_path / "baseline.json"
+        plain = run_analysis([bad])
+        assert plain.active
+        # --baseline writes the active set, then the same run re-reads it:
+        # the accepted findings are suppressed from this point on.
+        first = run_analysis([bad], baseline_path=baseline, update_baseline=True)
+        assert first.active == []
+        second = run_analysis([bad], baseline_path=baseline)
+        assert second.active == []
+        assert len(second.baselined) == len(plain.active)
+        assert second.exit_code == 0
+
+    def test_baseline_is_a_count_not_a_blanket(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        src = textwrap.dedent(
+            """\
+            import threading
+            import time
+
+            LOCK = threading.Lock()
+
+            def pause():
+                with LOCK:
+                    time.sleep(1)
+            """
+        )
+        path = tmp_path / "mod.py"
+        path.write_text(src, encoding="utf-8")
+        run_analysis([path], baseline_path=baseline, update_baseline=True)
+        # A second identical violation in the same function exceeds the
+        # baselined count; exactly one must surface as active.
+        path.write_text(
+            src + "    with LOCK:\n        time.sleep(1)\n", encoding="utf-8"
+        )
+        result = run_analysis([path], baseline_path=baseline)
+        assert len(result.active) == 1
+        assert len(result.baselined) == 1
+
+    def test_invalid_baseline_raises(self, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text("{not json", encoding="utf-8")
+        with pytest.raises(AnalysisError, match="not valid JSON"):
+            load_baseline(bad)
+
+    def test_json_output_is_valid_and_complete(self):
+        result = analyze_fixture("bad_schema.py")
+        payload = json.loads(result.render_json())
+        assert payload["summary"]["errors"] >= 2
+        rules = {f["rule"] for f in payload["findings"]}
+        assert {"SCHEMA001", "SCHEMA002", "SCHEMA003"} <= rules
+        for f in payload["findings"]:
+            assert f["fingerprint"]
+
+
+# -- checkers vs. the fixture corpus ----------------------------------------
+
+
+class TestFixtureCorpus:
+    @pytest.mark.parametrize(
+        "name, expected",
+        [
+            ("bad_lock_blocking.py", {"LOCK001"}),
+            ("bad_lock_cycle.py", {"LOCK002", "LOCK003"}),
+            ("bad_torn_read.py", {"GUARD001"}),
+            ("bad_registry.py", {"REG001", "REG002"}),
+            ("bad_schema.py", {"SCHEMA001", "SCHEMA002", "SCHEMA003"}),
+        ],
+    )
+    def test_bad_fixture_flags(self, name, expected):
+        result = analyze_fixture(name)
+        assert active_rules(result) == expected
+        assert result.exit_code == 1
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "good_lock_blocking.py",
+            "good_lock_cycle.py",
+            "good_torn_read.py",
+            "good_registry.py",
+            "good_schema.py",
+        ],
+    )
+    def test_good_twin_is_clean(self, name):
+        result = analyze_fixture(name)
+        assert result.active == []
+        assert result.exit_code == 0
+
+    def test_shutdown_hang_shape_names_the_join(self):
+        # The PR 6 shutdown hang: an unbounded join under the stop lock.
+        result = analyze_fixture("bad_lock_blocking.py")
+        joins = [f for f in result.active if "join" in f.message]
+        assert len(joins) == 1
+        assert joins[0].symbol == "Server.stop"
+        assert "_stop_lock" in joins[0].message
+
+    def test_torn_read_names_both_dicts(self):
+        result = analyze_fixture("bad_torn_read.py")
+        attrs = {f.message.split("'")[1] for f in result.active}
+        assert attrs == {"_stages", "_totals"}
+        assert all(f.symbol == "Metrics.snapshot" for f in result.active)
+
+    def test_cycle_message_shows_the_loop(self):
+        result = analyze_fixture("bad_lock_cycle.py")
+        cycles = [f for f in result.active if f.rule == "LOCK003"]
+        assert len(cycles) == 1
+        assert "ACCOUNTS_LOCK" in cycles[0].message
+        assert "AUDIT_LOCK" in cycles[0].message
+
+    def test_registry_message_lists_missing_surface(self):
+        result = analyze_fixture("bad_registry.py")
+        reg = next(f for f in result.active if f.rule == "REG001")
+        for member in ("and_query", "vocabulary", "doc_length"):
+            assert member in reg.message
+        cap = next(f for f in result.active if f.rule == "REG002")
+        assert "mutable=True" in cap.message
+
+    def test_schema_messages_name_the_field_and_keys(self):
+        result = analyze_fixture("bad_schema.py")
+        by_rule = {}
+        for f in result.active:
+            by_rule.setdefault(f.rule, []).append(f)
+        assert "tags" in by_rule["SCHEMA001"][0].message
+        assert "tags" in by_rule["SCHEMA002"][0].message
+        keys = {f.message.split("'")[1] for f in by_rule["SCHEMA003"]}
+        assert keys == {"legacy", "checksum"}
+
+
+# -- the CLI ----------------------------------------------------------------
+
+
+class TestCLI:
+    def test_bad_fixture_exits_nonzero(self, capsys):
+        code = cli_main(
+            ["analyze", str(FIXTURES / "bad_torn_read.py"), "--no-baseline"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "GUARD001" in out
+
+    def test_good_fixture_exits_zero(self, capsys):
+        code = cli_main(
+            ["analyze", str(FIXTURES / "good_torn_read.py"), "--no-baseline"]
+        )
+        assert code == 0
+
+    def test_json_flag(self, capsys):
+        code = cli_main(
+            [
+                "analyze",
+                str(FIXTURES / "bad_lock_cycle.py"),
+                "--no-baseline",
+                "--json",
+            ]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["files"] == 1
+
+    def test_rules_catalog(self, capsys):
+        assert cli_main(["analyze", "--rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in ("LOCK001", "LOCK003", "GUARD001", "REG001", "SCHEMA001"):
+            assert rule in out
+
+
+# -- the real tree: the CI gate ---------------------------------------------
+
+
+class TestRealTree:
+    def test_src_is_clean_under_committed_waivers(self):
+        result = run_analysis(
+            [REPO_ROOT / "src"],
+            baseline_path=REPO_ROOT / "analyze_baseline.json",
+        )
+        assert result.active == [], "\n".join(f.render() for f in result.active)
+        assert result.files > 100
+        # Every committed waiver carries a written justification.
+        assert result.waived
+        assert all(f.waiver_reason for f in result.waived)
+
+    def test_fixed_modules_stay_fixed(self):
+        # The modules whose PR 7 fixes came out of this analyzer must be
+        # clean without any waiver: a regression here means the torn-read
+        # or handoff shape came back.
+        result = run_analysis(
+            [REPO_ROOT / "src" / "repro" / "serve" / "metrics.py"]
+        )
+        assert not [f for f in result.active if f.rule == "GUARD001"]

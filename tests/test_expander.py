@@ -40,7 +40,7 @@ class TestPipelineSteps:
         results = expander.retrieve("apple")
         labels = expander.cluster(results)
         by_id = {
-            r.document.doc_id: int(l) for r, l in zip(results, labels)
+            r.document.doc_id: int(lab) for r, lab in zip(results, labels)
         }
         assert by_id["d1"] == by_id["d2"] == by_id["d3"]
         assert by_id["d4"] == by_id["d5"]

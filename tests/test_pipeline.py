@@ -389,7 +389,7 @@ class TestEquivalence:
         # New path: one Pipeline.run through expand().
         report = expander().expand("java")
 
-        assert report.cluster_labels == tuple(int(l) for l in labels)
+        assert report.cluster_labels == tuple(int(lab) for lab in labels)
         assert [eq.outcome for eq in report.expanded] == outcomes
         assert report.score == eq1_score([o.fmeasure for o in outcomes])
         assert report.n_results == len(results)

@@ -22,7 +22,7 @@ import pytest
 from repro.api import BACKENDS, Session
 from repro.data.corpus import Corpus
 from repro.data.documents import Document
-from repro.errors import ConfigError, IndexingError, ServeError, StoreError
+from repro.errors import ConfigError, IndexingError, StoreError
 from repro.index.backend import IndexBackend, TermFrequencyCache
 from repro.index.inverted_index import InvertedIndex
 from repro.store import DocumentStore, SQLiteIndexBackend
