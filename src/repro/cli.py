@@ -259,6 +259,10 @@ def _cmd_cluster_serve(args: argparse.Namespace) -> int:
             cache_size=args.cache_size,
             cache_ttl=None if args.cache_ttl == 0 else args.cache_ttl,
             workers=args.workers,
+            follow=args.follow,
+            feed_poll_interval=args.feed_poll_interval,
+            compaction_interval=args.compaction_interval,
+            changelog_keep=args.changelog_keep,
         )
         server = ClusterServer(coordinator, host=args.host, port=args.port)
     except OSError as exc:
@@ -379,6 +383,60 @@ def _cmd_store_snapshot(args: argparse.Namespace) -> int:
     store = _open_store(args)
     dest = store.snapshot(args.dest)
     print(f"snapshot of {store.path} (generation {store.generation}) -> {dest}")
+    return 0
+
+
+def _cmd_store_tail(args: argparse.Namespace) -> int:
+    import os
+    import time as _time
+
+    from repro.feed import Changefeed
+
+    if not os.path.exists(args.store):
+        print(f"error: no document store at {args.store}", file=sys.stderr)
+        return 2
+    feed = Changefeed(args.store)
+    since = args.since
+    printed = 0
+    try:
+        while True:
+            batch = feed.read_since(
+                since, limit=args.limit, consumer=args.consumer
+            )
+            if batch.gap:
+                print(
+                    f"gap: generations {since + 1}..{batch.floor} were "
+                    f"truncated by compaction; resuming from the floor "
+                    f"(a replica would re-hydrate from a snapshot here)",
+                    file=sys.stderr,
+                )
+                since = batch.floor
+                continue
+            for entry in batch:
+                if args.json:
+                    print(json.dumps(entry.to_dict(), sort_keys=True))
+                else:
+                    ids = ", ".join(entry.doc_ids[:5])
+                    if len(entry.doc_ids) > 5:
+                        ids += f", ... ({len(entry.doc_ids)} total)"
+                    detail = f" [{ids}]" if ids else ""
+                    print(f"generation {entry.generation}: {entry.kind}{detail}")
+                printed += 1
+            since = batch.last_generation
+            if batch.exhausted:
+                if not args.follow:
+                    break
+                _time.sleep(args.interval)
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
+    finally:
+        feed.close()
+    if not args.json:
+        print(
+            f"tailed {printed} records from {args.store} "
+            f"(through generation {since})",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -707,6 +765,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=4,
         help="per-replica max concurrently computed requests",
     )
+    cp.add_argument(
+        "--follow", action=argparse.BooleanOptionalAction, default=False,
+        help="replicas tail the source store's changefeed and converge "
+             "on live /ingest incrementally; also starts background "
+             "compaction of the source store (default: off — replicas "
+             "serve their hydration snapshot until restarted)",
+    )
+    cp.add_argument(
+        "--feed-poll-interval", type=float, default=0.25, metavar="SECS",
+        help="replica changefeed poll interval with --follow (default: 0.25)",
+    )
+    cp.add_argument(
+        "--compaction-interval", type=float, default=5.0, metavar="SECS",
+        help="background compaction check period with --follow (default: 5)",
+    )
+    cp.add_argument(
+        "--changelog-keep", type=int, default=64, metavar="N",
+        help="trailing changelog records always retained by background "
+             "truncation with --follow (default: 64)",
+    )
     cp.set_defaults(func=_cmd_cluster_serve)
 
     p = sub.add_parser(
@@ -760,6 +838,37 @@ def build_parser() -> argparse.ArgumentParser:
     add_store_path(sp)
     sp.add_argument("--json", action="store_true", help="emit JSON")
     sp.set_defaults(func=_cmd_store_stats)
+
+    sp = store_sub.add_parser(
+        "tail", help="read the store's replication log (changefeed)"
+    )
+    add_store_path(sp)
+    sp.add_argument(
+        "--since", type=int, default=0, metavar="GEN",
+        help="start after this generation (default: 0 = from the floor)",
+    )
+    sp.add_argument(
+        "--limit", type=int, default=256, metavar="N",
+        help="records per read batch (default: 256)",
+    )
+    sp.add_argument(
+        "--follow", action="store_true",
+        help="keep polling for new records instead of exiting when caught up",
+    )
+    sp.add_argument(
+        "--interval", type=float, default=1.0, metavar="SECS",
+        help="poll interval with --follow (default: 1.0)",
+    )
+    sp.add_argument(
+        "--consumer", metavar="NAME", default=None,
+        help="register reads under this consumer name so background "
+             "compaction keeps the log this tailer still needs",
+    )
+    sp.add_argument(
+        "--json", action="store_true",
+        help="one JSON log record per line (doc payloads included)",
+    )
+    sp.set_defaults(func=_cmd_store_tail)
 
     p = sub.add_parser(
         "interleave", help="alternate clustering and expansion (§7 future work)"

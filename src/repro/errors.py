@@ -55,6 +55,15 @@ class StoreError(ReproError):
     """A durable-store operation failed (bad path, schema mismatch, ...)."""
 
 
+class FeedError(ReproError):
+    """A changefeed operation failed (bad cursor, bad range, closed feed).
+
+    Gap detection is *not* an error: :meth:`Changefeed.read_since
+    <repro.feed.Changefeed.read_since>` reports a truncated prefix as
+    ``FeedBatch.gap`` so tailers can fall back to a snapshot and resume.
+    """
+
+
 class ServeError(ReproError):
     """A serving-layer operation failed (bad request, bad parameter, ...)."""
 

@@ -1,0 +1,48 @@
+"""``repro.feed`` — durable changefeed and incremental replica maintenance.
+
+The replication subsystem over :mod:`repro.store`: every committed
+mutation batch leaves a generation-stamped record in the store file's
+``changelog`` table (written in the same transaction as the data, so
+log and data commit atomically). This package provides the three actors
+around that log:
+
+* :class:`Changefeed` — a resumable reader (``read_since``), with opaque
+  cursors and gap detection after compaction;
+* :class:`FeedTailer` — a consumer loop that applies records to a
+  mutable index backend exactly-once per generation, with crash
+  isolation and snapshot fallback on gaps;
+* :class:`CompactionScheduler` — a background thread that compacts
+  tombstones on a dual trigger and truncates the applied (claim-bounded)
+  changelog prefix.
+
+Together they make the cluster tier's replicas *maintainable*: the
+coordinator's ``/ingest`` writes to the source store, and replicas
+converge by tailing deltas instead of snapshot re-hydration.
+"""
+
+from repro.feed.changefeed import (
+    DEFAULT_BATCH_LIMIT,
+    MAX_BATCH_LIMIT,
+    Changefeed,
+    FeedBatch,
+    FeedEntry,
+    batch_to_payload,
+    decode_feed_cursor,
+    encode_feed_cursor,
+)
+from repro.feed.compaction import CompactionScheduler
+from repro.feed.tailer import FeedTailer, apply_entry
+
+__all__ = [
+    "DEFAULT_BATCH_LIMIT",
+    "MAX_BATCH_LIMIT",
+    "Changefeed",
+    "FeedBatch",
+    "FeedEntry",
+    "FeedTailer",
+    "CompactionScheduler",
+    "apply_entry",
+    "batch_to_payload",
+    "decode_feed_cursor",
+    "encode_feed_cursor",
+]

@@ -1,0 +1,403 @@
+"""The changefeed reader: a pure-SQL tail over a store's replication log.
+
+A :class:`Changefeed` reads the ``changelog`` table the
+:class:`~repro.store.DocumentStore` writes inside every mutation
+transaction (see :mod:`repro.store.schema`). It deliberately opens its
+*own* SQLite connection on the store path instead of borrowing a
+:class:`DocumentStore` handle:
+
+* the reader works identically in-process (the serving tier's
+  ``/changefeed`` endpoint) and out-of-process (a replica tailing the
+  coordinator's source store across a process boundary);
+* it never touches the store's in-memory mirrors, so it cannot observe
+  them mid-update and the store's single-writer assumption is untouched
+  (claims are the one tiny write, retried under the store's generous
+  ``busy_timeout``);
+* under WAL, its read transactions never block the writer.
+
+Each :meth:`Changefeed.read_since` call is one deferred transaction, so
+the floor, the log rows, and the generation it reports are a single
+consistent snapshot — a concurrent truncation can never silently swallow
+generations out of the middle of a batch.
+
+**Materialization**: ``upsert`` records carry ``doc_ids`` only; the
+reader joins the ``documents`` table at read time and attaches the
+*latest committed* payloads. Replaying an old upsert therefore applies
+the newest version of the document — convergent by construction (a later
+upsert or delete record re-applies on top) and the log stays O(batch)
+small.
+
+**Gap contract**: asking for ``since < changelog_floor`` means the
+truncated prefix is gone. That is not an error — the batch comes back
+with ``gap=True`` and no entries, telling the consumer to re-hydrate
+from a snapshot (whose generation becomes the new ``since``) and resume.
+
+Cursors (:func:`encode_feed_cursor` / :func:`decode_feed_cursor`) are
+opaque base64url JSON in the same idiom as the cluster tier's pagination
+cursors: self-contained, endpoint-tagged, malformed ones rejected with a
+400-mapped error.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import json
+import sqlite3
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+from repro.errors import FeedError
+from repro.store import schema
+from repro.store.store import DocumentStore
+
+#: Default (and HTTP-capped) number of log records per read.
+DEFAULT_BATCH_LIMIT = 256
+MAX_BATCH_LIMIT = 500
+
+#: Tag stamped into feed cursors; decode rejects anything else.
+CURSOR_ENDPOINT = "changefeed"
+
+
+@dataclass(frozen=True)
+class FeedEntry:
+    """One replication-log record, materialized for application.
+
+    ``documents`` is populated for ``kind="upsert"`` only: the latest
+    committed payload of every ``doc_id`` in the batch, as JSON-ready
+    mappings (``doc_id``/``kind``/``title``/``fields``/``terms``).
+    """
+
+    generation: int
+    kind: str  # "upsert" | "delete" | "compact"
+    doc_ids: tuple[str, ...]
+    payload: Mapping[str, Any] = field(default_factory=dict)
+    documents: tuple[Mapping[str, Any], ...] = ()
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "generation": self.generation,
+            "kind": self.kind,
+            "doc_ids": list(self.doc_ids),
+            "payload": dict(self.payload),
+            "documents": [dict(d) for d in self.documents],
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Mapping[str, Any]) -> "FeedEntry":
+        try:
+            return cls(
+                generation=int(raw["generation"]),
+                kind=str(raw["kind"]),
+                doc_ids=tuple(str(d) for d in raw["doc_ids"]),
+                payload=dict(raw.get("payload") or {}),
+                documents=tuple(dict(d) for d in raw.get("documents") or ()),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise FeedError(f"malformed feed entry: {exc}") from None
+
+
+@dataclass(frozen=True)
+class FeedBatch:
+    """One :meth:`Changefeed.read_since` result.
+
+    ``generation`` and ``floor`` are the source's values in the same
+    read snapshot as ``entries``. ``gap=True`` means the requested
+    ``since`` precedes the floor: the entries are gone, fall back to a
+    snapshot. ``exhausted`` is True when the batch reached the source's
+    generation (nothing newer existed at read time).
+    """
+
+    since: int
+    entries: tuple[FeedEntry, ...]
+    generation: int
+    floor: int
+    gap: bool = False
+
+    @property
+    def exhausted(self) -> bool:
+        return not self.gap and self.last_generation >= self.generation
+
+    @property
+    def last_generation(self) -> int:
+        """Resume point after applying this batch (``since`` if empty)."""
+        return self.entries[-1].generation if self.entries else self.since
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[FeedEntry]:
+        return iter(self.entries)
+
+
+# -- cursors -----------------------------------------------------------------
+
+
+def encode_feed_cursor(config: str, generation: int) -> str:
+    """Mint an opaque resumable cursor for ``config`` at ``generation``."""
+    raw = json.dumps(
+        {
+            "endpoint": CURSOR_ENDPOINT,
+            "config": config,
+            "generation": int(generation),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return (
+        base64.urlsafe_b64encode(raw.encode("utf-8")).decode("ascii").rstrip("=")
+    )
+
+
+def decode_feed_cursor(token: str) -> dict[str, Any]:
+    """Unpack a cursor from :func:`encode_feed_cursor`; 400-shaped on junk."""
+    if not isinstance(token, str) or not token:
+        raise FeedError("cursor must be a non-empty string")
+    try:
+        padded = token + "=" * (-len(token) % 4)
+        raw = base64.urlsafe_b64decode(padded.encode("ascii"))
+        state = json.loads(raw.decode("utf-8"))
+    except (ValueError, binascii.Error, UnicodeError):
+        raise FeedError("invalid cursor (not a changefeed token)") from None
+    if not isinstance(state, dict) or state.get("endpoint") != CURSOR_ENDPOINT:
+        raise FeedError("cursor is not a changefeed continuation token")
+    generation = state.get("generation")
+    if not isinstance(generation, int) or generation < 0:
+        raise FeedError("invalid cursor (bad generation)")
+    if not isinstance(state.get("config"), str):
+        raise FeedError("invalid cursor (missing config)")
+    return state
+
+
+# -- the reader --------------------------------------------------------------
+
+
+class Changefeed:
+    """Resumable reader over one store file's replication log.
+
+    Parameters
+    ----------
+    source:
+        An open :class:`DocumentStore` or a path to one. Either way the
+        feed opens its own connection on the file (see module docstring).
+    """
+
+    def __init__(self, source: DocumentStore | str | Path) -> None:
+        path = source.path if isinstance(source, DocumentStore) else Path(source)
+        if not path.exists():
+            raise FeedError(f"no document store at {path}")
+        self._path = path
+        # One shared connection, serialized by a lock: feed reads are a
+        # few indexed lookups, and pollers arrive at most a few times a
+        # second — simpler than per-thread connection caching and just
+        # as fast at this cadence.
+        self._conn = sqlite3.connect(
+            str(path), check_same_thread=False, isolation_level=None
+        )
+        schema.configure(self._conn)
+        self._lock = threading.Lock()
+        self._closed = False
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._closed:
+                self._closed = True
+                self._conn.close()
+
+    def __enter__(self) -> "Changefeed":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def _meta_int(self, key: str) -> int:
+        row = self._conn.execute(
+            "SELECT value FROM meta WHERE key = ?", (key,)
+        ).fetchone()
+        if row is None:
+            raise FeedError(
+                f"store at {self._path} has no meta key {key!r}; "
+                f"is it a repro document store?"
+            )
+        return int(row[0])
+
+    def generation(self) -> int:
+        """The source's current committed generation."""
+        with self._lock:
+            self._require_open()
+            return self._meta_int("generation")
+
+    def floor(self) -> int:
+        """The source's changelog floor (see module docstring)."""
+        with self._lock:
+            self._require_open()
+            return self._meta_int("changelog_floor")
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise FeedError(f"changefeed over {self._path} is closed")
+
+    def read_since(
+        self,
+        since: int,
+        limit: int = DEFAULT_BATCH_LIMIT,
+        consumer: str | None = None,
+    ) -> FeedBatch:
+        """Log records with ``generation > since``, oldest first.
+
+        ``consumer`` (optional) records a claim *at* ``since`` before
+        reading: polling for records past ``since`` attests that
+        everything up to it has been applied, which is what bounds
+        background truncation. Claims are written even when the read
+        then reports a gap — a gapped consumer's claim is stale anyway
+        and its post-snapshot poll moves it forward.
+        """
+        since = int(since)
+        if since < 0:
+            raise FeedError(f"since must be >= 0, got {since}")
+        limit = int(limit)
+        if limit < 1:
+            raise FeedError(f"limit must be >= 1, got {limit}")
+        with self._lock:  # analyze: ignore[LOCK001] - a short indexed read transaction (plus one tiny claim write) on the feed's private connection; the lock just serializes shared-connection access
+            self._require_open()
+            if consumer:
+                self._conn.execute(
+                    "INSERT INTO feed_claims (consumer, generation, updated) "
+                    "VALUES (?, ?, strftime('%s','now')) "
+                    "ON CONFLICT(consumer) DO UPDATE SET "
+                    "generation = excluded.generation, "
+                    "updated = excluded.updated",
+                    (str(consumer), since),
+                )
+            # One deferred transaction: floor, rows, and generation are a
+            # single consistent snapshot, so a racing truncation cannot
+            # carve generations out of the middle of this batch.
+            self._conn.execute("BEGIN")
+            try:
+                floor = self._meta_int("changelog_floor")
+                generation = self._meta_int("generation")
+                if since < floor:
+                    return FeedBatch(
+                        since=since,
+                        entries=(),
+                        generation=generation,
+                        floor=floor,
+                        gap=True,
+                    )
+                rows = self._conn.execute(
+                    "SELECT generation, kind, doc_ids, payload FROM changelog "
+                    "WHERE generation > ? ORDER BY generation LIMIT ?",
+                    (since, limit),
+                ).fetchall()
+                entries = tuple(self._materialize(rows))
+            finally:
+                self._conn.execute("COMMIT")
+        return FeedBatch(
+            since=since, entries=entries, generation=generation, floor=floor
+        )
+
+    def _materialize(self, rows: list[tuple]) -> Iterator[FeedEntry]:
+        """Rows → entries, joining upsert doc payloads from ``documents``."""
+        for generation, kind, doc_ids_raw, payload_raw in rows:
+            doc_ids = tuple(json.loads(doc_ids_raw))
+            documents: tuple[Mapping[str, Any], ...] = ()
+            if kind == "upsert" and doc_ids:
+                placeholders = ",".join("?" * len(doc_ids))
+                by_id = {
+                    doc_id: {
+                        "doc_id": doc_id,
+                        "kind": doc_kind,
+                        "title": title,
+                        "fields": json.loads(fields),
+                        "terms": json.loads(terms),
+                    }
+                    for doc_id, doc_kind, title, fields, terms in self._conn.execute(
+                        f"SELECT doc_id, kind, title, fields, terms "
+                        f"FROM documents WHERE doc_id IN ({placeholders})",
+                        doc_ids,
+                    )
+                }
+                # Document rows are permanent (tombstones keep payloads),
+                # so every logged doc_id resolves; order follows the batch.
+                documents = tuple(by_id[d] for d in doc_ids if d in by_id)
+            yield FeedEntry(
+                generation=int(generation),
+                kind=str(kind),
+                doc_ids=doc_ids,
+                payload=json.loads(payload_raw),
+                documents=documents,
+            )
+
+
+def resolve_read_args(
+    cursor: Any,
+    since_raw: Any,
+    limit_raw: Any,
+    consumer: Any,
+) -> tuple[int, int, str | None]:
+    """Normalize the ``/changefeed`` HTTP parameters → ``read_since`` args.
+
+    One parser for both fronts (the serve tier and the cluster
+    coordinator), so their accepted parameters cannot drift. Raises
+    :class:`FeedError` (HTTP 400) on conflicts and malformed values.
+    """
+    if cursor is not None and since_raw is not None:
+        raise FeedError("pass either 'since' or 'cursor', not both")
+    if cursor is not None:
+        since = int(decode_feed_cursor(str(cursor))["generation"])
+    else:
+        try:
+            since = int(since_raw) if since_raw is not None else 0
+        except (TypeError, ValueError):
+            raise FeedError(
+                f"since must be an integer generation, got {since_raw!r}"
+            ) from None
+    try:
+        limit = int(limit_raw) if limit_raw is not None else DEFAULT_BATCH_LIMIT
+    except (TypeError, ValueError):
+        raise FeedError(f"limit must be an integer, got {limit_raw!r}") from None
+    if not 1 <= limit <= MAX_BATCH_LIMIT:
+        raise FeedError(f"limit must be in 1..{MAX_BATCH_LIMIT}, got {limit}")
+    return since, limit, str(consumer) if consumer else None
+
+
+def batch_to_payload(
+    config: str, batch: FeedBatch, limit: int
+) -> dict[str, Any]:
+    """The JSON body both ``/changefeed`` endpoints (serve + cluster) emit.
+
+    Shape (see API.md: Changefeed)::
+
+        {"config", "since", "generation", "floor", "count", "gap",
+         "entries": [...], "next_cursor", "exhausted"}
+
+    ``next_cursor`` resumes after this batch; on a gap it resumes at the
+    *floor* — valid only once the client has re-hydrated from a snapshot
+    at or past that generation.
+    """
+    resume = batch.floor if batch.gap else batch.last_generation
+    payload: dict[str, Any] = {
+        "config": config,
+        "since": batch.since,
+        "generation": batch.generation,
+        "floor": batch.floor,
+        "count": len(batch.entries),
+        "gap": batch.gap,
+        "limit": limit,
+        "entries": [entry.to_dict() for entry in batch.entries],
+        "next_cursor": encode_feed_cursor(config, resume),
+        "exhausted": batch.exhausted,
+    }
+    if batch.gap:
+        payload["message"] = (
+            f"generations {batch.since + 1}..{batch.floor} were truncated "
+            f"by compaction; re-hydrate from a snapshot (generation >= "
+            f"{batch.floor}) and resume from its generation"
+        )
+    return payload

@@ -1,0 +1,169 @@
+"""``CompactionScheduler`` — background tombstone compaction + log GC.
+
+The scheduler closes the loop the changelog opens: mutations append log
+records forever, so *something* has to (a) drop tombstoned postings once
+enough deletes accumulate and (b) truncate the applied prefix of the
+changelog so the store file stops growing. Both run on one daemon thread
+that ticks every ``interval`` seconds; the actual compaction runs inside
+the store's ordinary write transaction, so writers are only briefly
+serialized (one transaction, no VACUUM by default) and readers never
+block at all (WAL).
+
+Trigger: compact when ``tombstones >= min_tombstones`` AND
+``tombstone_ratio >= ratio`` — an absolute floor so tiny stores don't
+thrash, a ratio so big stores compact proportionally (the classic
+LSM-style dual trigger).
+
+Truncation is claim-bounded: the changelog is only dropped up to
+``min(slowest claim, generation - keep)``, so an attached tailer that is
+merely *slow* keeps its history, while one that fell behind the keep
+window (or never claimed) gets a gap signal and falls back to a
+snapshot — exactly the contract :class:`~repro.feed.FeedTailer`
+implements.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from repro.errors import FeedError
+from repro.store.store import DocumentStore
+
+
+class CompactionScheduler:
+    """Periodically compact ``store`` and truncate its changelog.
+
+    Parameters
+    ----------
+    store:
+        The open :class:`DocumentStore` to maintain (not closed here).
+    interval:
+        Seconds between trigger checks.
+    min_tombstones / tombstone_ratio:
+        Dual compaction trigger (both must hold).
+    changelog_keep:
+        Always retain at least this many trailing log records, even with
+        no registered consumers — a reconnecting tailer with a recent
+        cursor should not need a snapshot just because it blinked.
+    vacuum:
+        Pass-through to :meth:`DocumentStore.compact`; off by default
+        because VACUUM rewrites the whole file and blocks writers.
+    """
+
+    def __init__(
+        self,
+        store: DocumentStore,
+        *,
+        interval: float = 5.0,
+        min_tombstones: int = 8,
+        tombstone_ratio: float = 0.2,
+        changelog_keep: int = 64,
+        vacuum: bool = False,
+    ) -> None:
+        if interval <= 0:
+            raise FeedError(f"interval must be > 0, got {interval}")
+        if not 0.0 < tombstone_ratio <= 1.0:
+            raise FeedError(
+                f"tombstone_ratio must be in (0, 1], got {tombstone_ratio}"
+            )
+        if min_tombstones < 1:
+            raise FeedError(
+                f"min_tombstones must be >= 1, got {min_tombstones}"
+            )
+        if changelog_keep < 0:
+            raise FeedError(
+                f"changelog_keep must be >= 0, got {changelog_keep}"
+            )
+        self._store = store
+        self._interval = float(interval)
+        self._min_tombstones = int(min_tombstones)
+        self._ratio = float(tombstone_ratio)
+        self._keep = int(changelog_keep)
+        self._vacuum = bool(vacuum)
+        self._lock = threading.Lock()
+        self._ticks = 0
+        self._compactions = 0
+        self._truncated_entries = 0
+        self._last_error: str | None = None
+        self._stop_event = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "ticks": self._ticks,
+                "compactions": self._compactions,
+                "truncated_entries": self._truncated_entries,
+                "last_error": self._last_error,
+                "interval": self._interval,
+                "min_tombstones": self._min_tombstones,
+                "tombstone_ratio": self._ratio,
+                "changelog_keep": self._keep,
+                "running": self.running,
+            }
+
+    def run_once(self) -> dict[str, Any]:
+        """One trigger check (synchronous; what each tick runs).
+
+        Returns ``{"compacted": bool, "truncated": int}``. All store
+        work runs outside the stats lock.
+        """
+        stats = self._store.stats()
+        compacted = False
+        if (
+            stats["tombstones"] >= self._min_tombstones
+            and stats["tombstone_ratio"] >= self._ratio
+        ):
+            self._store.compact(vacuum=self._vacuum)
+            compacted = True
+        truncated = self._truncate()
+        with self._lock:
+            self._ticks += 1
+            if compacted:
+                self._compactions += 1
+            self._truncated_entries += truncated
+        return {"compacted": compacted, "truncated": truncated}
+
+    def _truncate(self) -> int:
+        """Drop the applied changelog prefix (claim- and keep-bounded)."""
+        generation = self._store.generation
+        upto = generation - self._keep
+        claims = self._store.claims()
+        if claims:
+            upto = min(upto, min(claims.values()))
+        if upto <= self._store.changelog_floor:
+            return 0
+        return self._store.truncate_changelog(upto)
+
+    # analyze: ignore[GUARD001] - _stop_event is a threading.Event (internally synchronized); the loop polls it lock-free by design
+    def _loop(self) -> None:
+        while not self._stop_event.wait(self._interval):
+            try:
+                self.run_once()
+            except Exception as exc:  # keep ticking; surface via stats
+                with self._lock:
+                    self._last_error = f"{type(exc).__name__}: {exc}"
+
+    def start(self) -> "CompactionScheduler":
+        """Start the background tick loop (daemon thread); idempotent."""
+        with self._lock:
+            if self._thread is not None and self._thread.is_alive():
+                return self
+            self._stop_event.clear()
+            self._thread = threading.Thread(
+                target=self._loop, name="repro-feed-compactor", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    @property
+    def running(self) -> bool:
+        thread = self._thread  # analyze: ignore[GUARD001] - lock-free liveness probe; the binding is replaced atomically (GIL)
+        return thread is not None and thread.is_alive()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop_event.set()  # analyze: ignore[GUARD001] - threading.Event is internally synchronized
+        thread = self._thread  # analyze: ignore[GUARD001] - lock-free read of an atomically replaced binding; join must not run under the stats lock
+        if thread is not None and thread is not threading.current_thread():
+            thread.join(timeout)

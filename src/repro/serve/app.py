@@ -18,6 +18,7 @@ Endpoints (all JSON):
 ``/search``     G/P   ranked retrieval; v2 search-result payloads
 ``/batch``      POST  many expansions; a schema-v2 ``batch_report``
 ``/ingest``     POST  append documents to a mutable config's index
+``/changefeed`` GET   replication-log records past a generation (stores)
 ``/configs``    GET   configuration specs + live pool state
 ``/healthz``    GET   liveness + built configurations
 ``/metrics``    GET   request/cache/stage metrics (see API.md: Serving)
@@ -50,6 +51,8 @@ from urllib.parse import parse_qs, urlsplit
 
 from repro.api import schema
 from repro.errors import ReproError, ServeError, UnknownConfigError
+from repro.feed import Changefeed, batch_to_payload
+from repro.feed.changefeed import resolve_read_args
 from repro.serve.cache import LRUTTLCache
 from repro.serve.metrics import ServerMetrics
 from repro.serve.pool import PooledSession, ServeConfig, SessionPool
@@ -98,6 +101,9 @@ class ExpansionService:
         self._closing = threading.Event()
         self._inflight = 0
         self._inflight_cv = threading.Condition()
+        # Lazily-built changefeed readers, one per store-backed config.
+        self._feeds: dict[str, Changefeed] = {}
+        self._feeds_lock = threading.Lock()
 
     @property
     def pool(self) -> SessionPool:
@@ -142,6 +148,10 @@ class ExpansionService:
                     break  # drain expired: close anyway, stragglers 500
                 self._inflight_cv.wait(remaining)
         self._pool.close()
+        with self._feeds_lock:
+            feeds, self._feeds = dict(self._feeds), {}
+        for feed in feeds.values():
+            feed.close()
 
     # -- request plumbing ----------------------------------------------------
 
@@ -417,6 +427,49 @@ class ExpansionService:
             "seconds": seconds,
         }
 
+    def _feed_for(self, entry: PooledSession) -> Changefeed:
+        """The (cached) changefeed reader for a store-backed config."""
+        store = getattr(entry.index, "store", None)
+        if store is None:
+            raise ServeError(
+                f"configuration {entry.config.name!r} has no document "
+                f"store (backend={entry.config.backend}); /changefeed "
+                f"needs a store-backed configuration (store=<path>)"
+            )
+        name = entry.config.name
+        with self._feeds_lock:
+            feed = self._feeds.get(name)
+            if feed is None:
+                feed = Changefeed(store.path)
+                self._feeds[name] = feed
+            return feed
+
+    def changefeed(
+        self, params: Mapping[str, Any]
+    ) -> tuple[int, dict[str, Any]]:
+        """Replication-log records past a generation (see API.md).
+
+        ``since`` (a generation) or ``cursor`` (an opaque token from a
+        previous response) positions the read; ``limit`` caps records
+        per batch; ``consumer`` optionally records an applied-through
+        claim that bounds background log truncation. A truncated prefix
+        is reported as ``gap: true`` with HTTP 200 — the client falls
+        back to a snapshot and resumes from its generation.
+        """
+        t0 = time.perf_counter()
+        entry = self._entry(params)
+        since, limit, consumer = resolve_read_args(
+            self._param(params, "cursor"),
+            self._param(params, "since"),
+            self._param(params, "limit"),
+            self._param(params, "consumer"),
+        )
+        feed = self._feed_for(entry)
+        batch = feed.read_since(since, limit=limit, consumer=consumer)
+        payload = batch_to_payload(entry.config.name, batch, limit)
+        self._metrics.record("changefeed", time.perf_counter() - t0)
+        return 200, payload
+
     def configs(self, params: Mapping[str, Any]) -> tuple[int, dict[str, Any]]:
         t0 = time.perf_counter()
         payload = {"configs": self._pool.describe()}
@@ -469,6 +522,7 @@ class ExpansionService:
         "/search": ("search", ("GET", "POST")),
         "/batch": ("batch", ("POST",)),
         "/ingest": ("ingest", ("POST",)),
+        "/changefeed": ("changefeed", ("GET",)),
         "/configs": ("configs", ("GET",)),
         "/healthz": ("healthz", ("GET",)),
         "/metrics": ("metrics_snapshot", ("GET",)),

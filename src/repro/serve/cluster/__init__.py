@@ -32,6 +32,7 @@ from repro.serve.cluster.coordinator import (
 from repro.serve.cluster.hashring import DEFAULT_VNODES, HashRing
 from repro.serve.cluster.replica import (
     ReplicaSpec,
+    TailingReplicaService,
     build_replica_service,
     replica_main,
 )
@@ -65,6 +66,7 @@ __all__ = [
     "ReplicaTransport",
     "RoutedService",
     "Router",
+    "TailingReplicaService",
     "apply_page",
     "build_replica_service",
     "create_cluster",

@@ -48,7 +48,9 @@ from pathlib import Path
 from typing import Any, Callable, Iterable, Mapping
 
 from repro.api import schema
-from repro.errors import ClusterError, ConfigError
+from repro.errors import ClusterError, ConfigError, FeedError, ServeError
+from repro.feed import Changefeed, CompactionScheduler, batch_to_payload
+from repro.feed.changefeed import resolve_read_args
 from repro.serve.cluster.hashring import DEFAULT_VNODES, HashRing
 from repro.serve.cluster.routes import (
     BATCH_CURSOR_KEYS,
@@ -312,6 +314,19 @@ class ClusterCoordinator:
     replica_factory:
         ``(name, spec_factory) -> handle`` — tests inject in-process
         fakes here; the default builds :class:`ProcessReplica`.
+    follow:
+        When True, replicas tail the source store's changefeed and
+        converge on live ingest incrementally (see
+        :mod:`repro.feed`); a background
+        :class:`~repro.feed.CompactionScheduler` per source store
+        compacts tombstones and truncates the applied changelog prefix.
+        Off by default: snapshot-only replicas are immutable between
+        restarts, which some deployments (and tests) rely on.
+    feed_poll_interval:
+        Seconds between replica tailer polls (``follow`` only).
+    compaction_interval / changelog_keep:
+        Scheduler tick period and the minimum trailing changelog records
+        always retained (``follow`` only).
     """
 
     def __init__(
@@ -327,6 +342,10 @@ class ClusterCoordinator:
         request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
         start_timeout: float = DEFAULT_START_TIMEOUT,
         replica_factory: Callable[[str, Callable[[str], ReplicaSpec]], Any] | None = None,
+        follow: bool = False,
+        feed_poll_interval: float = 0.25,
+        compaction_interval: float = 5.0,
+        changelog_keep: int = 64,
     ) -> None:
         parsed = tuple(
             c if isinstance(c, ServeConfig) else ServeConfig.parse(c)
@@ -348,6 +367,18 @@ class ClusterCoordinator:
         self._snapshot_dir: tempfile.TemporaryDirectory | None = None
         self._snapshot_seq = 0
         self._snapshot_lock = threading.Lock()
+        self._follow = bool(follow)
+        self._feed_poll_interval = feed_poll_interval
+        self._compaction_interval = compaction_interval
+        self._changelog_keep = changelog_keep
+        # Long-lived source-store handles (ingest + snapshots), the
+        # coordinator-side changefeed readers, and the background
+        # compaction schedulers — all lazily built, all torn down in stop().
+        self._stores: dict[str, Any] = {}
+        self._stores_lock = threading.Lock()
+        self._feeds: dict[str, Changefeed] = {}
+        self._feeds_lock = threading.Lock()
+        self._schedulers: dict[str, CompactionScheduler] = {}
         if replica_factory is None:
             replica_factory = lambda name, factory: ProcessReplica(  # noqa: E731
                 name, factory,
@@ -371,6 +402,7 @@ class ClusterCoordinator:
         self._router.add("/cluster", ("GET",), self._cluster_route)
         self._router.add("/batch", ("POST",), self._batch)
         self._router.add("/ingest", ("POST",), self._ingest)
+        self._router.add("/changefeed", ("GET",), self._changefeed_route)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -399,6 +431,17 @@ class ClusterCoordinator:
         except ClusterError:
             self.stop()
             raise
+        if self._follow:
+            for path in {
+                str(c.store) for c in self._configs if c.store is not None
+            }:
+                scheduler = CompactionScheduler(
+                    self._source_store(path),
+                    interval=self._compaction_interval,
+                    changelog_keep=self._changelog_keep,
+                )
+                self._schedulers[path] = scheduler
+                scheduler.start()
         self._stop.clear()
         self._supervisor = threading.Thread(
             target=self._supervise, name="repro-cluster-supervisor", daemon=True
@@ -412,14 +455,43 @@ class ClusterCoordinator:
         if self._supervisor is not None:
             self._supervisor.join(timeout=10)
             self._supervisor = None
+        for scheduler in self._schedulers.values():
+            scheduler.stop()
+        self._schedulers.clear()
         for handle in self._replicas.values():
             handle.stop(graceful=True)
+        with self._feeds_lock:
+            feeds, self._feeds = dict(self._feeds), {}
+        for feed in feeds.values():
+            feed.close()
+        with self._stores_lock:
+            stores, self._stores = dict(self._stores), {}
+        for store in stores.values():
+            store.close()
         if self._snapshot_dir is not None:
             self._snapshot_dir.cleanup()
             self._snapshot_dir = None
 
     # ExpansionServer-style front compatibility.
     close = stop
+
+    def _source_store(self, path: str) -> Any:
+        """The (cached, long-lived) writer handle on a source store.
+
+        One handle per path for the coordinator's lifetime — `/ingest`
+        writes through it and `_make_spec` snapshots from it. Callers
+        that need current in-memory mirrors (another process may have
+        moved the file) refresh explicitly.
+        """
+        from repro.store import DocumentStore
+
+        path = str(path)
+        with self._stores_lock:
+            store = self._stores.get(path)
+            if store is None:
+                store = DocumentStore(path)
+                self._stores[path] = store
+            return store
 
     def _make_spec(self, name: str) -> ReplicaSpec:
         """A fresh spec for ``name`` — snapshots store configs *now*.
@@ -429,11 +501,10 @@ class ClusterCoordinator:
         predecessor was using.
         """
         overrides: dict[str, str] = {}
+        feed_sources: dict[str, str] = {}
         for config in self._configs:
             if config.store is None:
                 continue
-            from repro.store import DocumentStore
-
             with self._snapshot_lock:
                 self._snapshot_seq += 1
                 seq = self._snapshot_seq
@@ -443,9 +514,12 @@ class ClusterCoordinator:
                 else Path(tempfile.gettempdir())
             )
             dest = base / f"{name}-{config.name}-{seq}.sqlite"
-            with DocumentStore(config.store) as source:
-                source.snapshot(dest)
+            source = self._source_store(config.store)
+            source.refresh()  # another process may have moved the file
+            source.snapshot(dest)
             overrides[config.name] = str(dest)
+            if self._follow:
+                feed_sources[config.name] = str(config.store)
         return ReplicaSpec(
             name=name,
             configs=self._configs,
@@ -453,6 +527,8 @@ class ClusterCoordinator:
             cache_size=self._cache_size,
             cache_ttl=self._cache_ttl,
             workers=self._workers,
+            feed_sources=feed_sources,
+            feed_poll_interval=self._feed_poll_interval,
         )
 
     # -- supervision ---------------------------------------------------------
@@ -636,12 +712,38 @@ class ClusterCoordinator:
             status = "degraded"
         else:
             status = "down"
+        # Source-store positions (fresh SQL reads, not possibly-stale
+        # mirrors) so replica lag below is measured against the truth.
+        feeds: dict[str, dict[str, Any]] = {}
+        for config in self._configs:
+            if config.store is None:
+                continue
+            try:
+                feed = self._feed_for(config)
+                feeds[config.name] = {
+                    "source_generation": feed.generation(),
+                    "floor": feed.floor(),
+                    "follow": self._follow,
+                }
+            except FeedError:
+                continue  # store file gone mid-shutdown; omit, don't fail
         for name in live:
             info = self._ask_replica(self._replicas[name], "/healthz")
             if info is not None:
                 states[name]["generations"] = info.get("generations", {})
                 states[name]["uptime_seconds"] = info.get("uptime_seconds")
-        return 200, {
+                if "feed" in info:
+                    states[name]["feed"] = info["feed"]
+                # Per-replica staleness in generations, from the replica's
+                # reported position vs the source store's current one.
+                lag = {
+                    cfg: max(0, meta["source_generation"] - int(generation))
+                    for cfg, generation in states[name]["generations"].items()
+                    if (meta := feeds.get(cfg)) is not None
+                }
+                if lag:
+                    states[name]["feed_lag"] = lag
+        payload: dict[str, Any] = {
             "status": status,
             "role": "coordinator",
             "replicas_total": len(states),
@@ -651,6 +753,9 @@ class ClusterCoordinator:
             "uptime_seconds": time.time() - self._started,
             "schema_version": schema.SCHEMA_VERSION,
         }
+        if feeds:
+            payload["feeds"] = feeds
+        return 200, payload
 
     def _metrics_route(
         self, method: str, params: Mapping[str, Any]
@@ -678,6 +783,13 @@ class ClusterCoordinator:
         cluster["restarts"] = {
             name: max(0, getattr(handle, "restarts", 0))
             for name, handle in self._replicas.items()
+        }
+        cluster["feed"] = {
+            "follow": self._follow,
+            "compaction": {
+                path: scheduler.stats()
+                for path, scheduler in self._schedulers.items()
+            },
         }
         return 200, {
             "uptime_seconds": time.time() - self._started,
@@ -716,16 +828,127 @@ class ClusterCoordinator:
             },
         }
 
+    def _store_config(
+        self, params: Mapping[str, Any]
+    ) -> "ServeConfig | tuple[int, Any]":
+        """Resolve the store-backed config a feed request targets.
+
+        Returns the config, or a ready ``(status, payload)`` error pair
+        (400 when no store-backed configuration exists — the cluster has
+        nothing durable to write to or read a log from).
+        """
+        stored = {c.name: c for c in self._configs if c.store is not None}
+        if not stored:
+            return 400, {
+                "error": "serve_error",
+                "message": (
+                    "no configuration has a document store (store=<path>); "
+                    "ingest and changefeed need a store-backed configuration"
+                ),
+            }
+        name = scalar(params, "config")
+        if name is None:
+            if len(stored) == 1:
+                return next(iter(stored.values()))
+            return 400, {
+                "error": "serve_error",
+                "message": (
+                    f"parameter 'config' is required with multiple "
+                    f"store-backed configurations; configured: "
+                    f"{', '.join(sorted(stored))}"
+                ),
+            }
+        config = stored.get(str(name))
+        if config is None:
+            return 404, {
+                "error": "unknown_config",
+                "message": (
+                    f"no store-backed configuration named {name!r}; "
+                    f"configured: {', '.join(sorted(stored))}"
+                ),
+            }
+        return config
+
     def _ingest(self, method: str, params: Mapping[str, Any]) -> tuple[int, Any]:
-        return 501, {
-            "error": "not_implemented",
-            "message": (
-                "the cluster tier serves read traffic only; ingest into the "
-                "source store (repro store ingest) — replicas re-hydrate "
-                "from its latest snapshot on restart. A live changefeed is "
-                "ROADMAP item 4."
-            ),
+        """Routed ingest: write the batch to the *source* store.
+
+        The write commits (durably, changelog row included) before the
+        response; replicas converge by tailing the changefeed when the
+        cluster runs with ``follow=True``, or at their next re-hydration
+        otherwise. Hence 202 Accepted, not 200: the fleet is eventually
+        consistent with the returned generation.
+        """
+        from repro.data.documents import document_from_payload
+        from repro.errors import DataError, SchemaError
+        from repro.text.analyzer import Analyzer
+
+        t0 = time.perf_counter()
+        config = self._store_config(params)
+        if isinstance(config, tuple):
+            return config
+        raw = params.get("documents")
+        if not isinstance(raw, (list, tuple)) or not raw:
+            return 400, {
+                "error": "serve_error",
+                "message": "ingest needs a non-empty 'documents' list",
+            }
+        # Match `repro store ingest`: unstemmed analysis for text payloads,
+        # so CLI-ingested and cluster-ingested documents tokenize alike.
+        analyzer = Analyzer(use_stemming=False)
+        documents = []
+        for i, payload in enumerate(raw):
+            try:
+                documents.append(document_from_payload(payload, analyzer=analyzer))
+            except (DataError, SchemaError) as exc:
+                return 400, {
+                    "error": "serve_error",
+                    "message": f"documents[{i}]: {exc}",
+                }
+        store = self._source_store(config.store)
+        store.refresh()  # another process may have moved the file
+        store.upsert_all(documents)
+        generation = store.generation
+        return 202, {
+            "config": config.name,
+            "ingested": len(documents),
+            "generation": generation,
+            "follow": self._follow,
+            "seconds": time.perf_counter() - t0,
         }
+
+    def _feed_for(self, config: ServeConfig) -> Changefeed:
+        with self._feeds_lock:
+            feed = self._feeds.get(config.name)
+            if feed is None:
+                feed = Changefeed(config.store)
+                self._feeds[config.name] = feed
+            return feed
+
+    def _changefeed_route(
+        self, method: str, params: Mapping[str, Any]
+    ) -> tuple[int, Any]:
+        """Serve the source store's replication log from the coordinator.
+
+        Same contract as the serve tier's ``/changefeed`` (API.md), read
+        directly from the source store — external tailers can follow the
+        cluster without knowing which replica holds what.
+        """
+        config = self._store_config(params)
+        if isinstance(config, tuple):
+            return config
+        try:
+            since, limit, consumer = resolve_read_args(
+                scalar(params, "cursor"),
+                scalar(params, "since"),
+                scalar(params, "limit"),
+                scalar(params, "consumer"),
+            )
+            batch = self._feed_for(config).read_since(
+                since, limit=limit, consumer=consumer
+            )
+        except (FeedError, ServeError) as exc:
+            return 400, {"error": "serve_error", "message": str(exc)}
+        return 200, batch_to_payload(config.name, batch, limit)
 
     # -- scatter/gather batch ------------------------------------------------
 

@@ -22,6 +22,19 @@ from the source store via the SQLite backup API
 shared-nothing — and a restarted replica is simply handed a *fresh*
 snapshot. Hydration happens before the ready message: by the time the
 coordinator routes a request here, every session is built and warm.
+
+**Incremental maintenance** (``--follow``): when the spec carries
+``feed_sources`` (config name → *source* store path), the replica starts
+one :class:`~repro.feed.FeedTailer` per followed config after hydration.
+The tailer polls the source's changelog from the snapshot's generation
+and applies deltas to the replica's private store, so the replica
+converges on live ingest without re-hydration; the snapshot path is only
+taken at (re)start — or when a tailer reports a *gap* (its history was
+truncated by compaction), in which case the replica shuts its transport
+down and exits cleanly: the supervisor sees it die and respawns it with
+a fresh snapshot. Restart-equals-rehydrate stays the single recovery
+story. ``/healthz`` and ``/metrics`` payloads gain a ``feed`` block with
+per-config tailer stats (applied generation, lag, fallbacks, errors).
 """
 
 from __future__ import annotations
@@ -30,8 +43,9 @@ import dataclasses
 import signal
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import Any, Callable, Mapping
 
+from repro.feed import Changefeed, FeedTailer
 from repro.serve.app import ExpansionService
 from repro.serve.cluster.routes import RoutedService
 from repro.serve.cluster.transport import ReplicaTransport
@@ -47,6 +61,9 @@ class ReplicaSpec:
 
     ``store_overrides`` maps configuration names to per-replica snapshot
     paths; matching configs are rebuilt with that path as their store.
+    ``feed_sources`` maps configuration names to *source* store paths to
+    tail (see module docstring); empty = snapshot-only replicas (the
+    pre-feed behavior, and the default).
     """
 
     name: str
@@ -55,6 +72,8 @@ class ReplicaSpec:
     cache_size: int = 1024
     cache_ttl: float | None = None
     workers: int = 4
+    feed_sources: Mapping[str, str] = field(default_factory=dict)
+    feed_poll_interval: float = 0.25
 
     def effective_configs(self) -> list[ServeConfig]:
         out = []
@@ -66,7 +85,90 @@ class ReplicaSpec:
         return out
 
 
-def build_replica_service(spec: ReplicaSpec) -> RoutedService:
+class TailingReplicaService:
+    """A replica service plus the feed tailers keeping it converged.
+
+    Wraps a :class:`RoutedService`, delegating everything, and:
+
+    * augments ``/healthz`` and ``/metrics`` payloads with a ``feed``
+      block (per-config tailer stats) so the coordinator can aggregate
+      replica lag without a side channel;
+    * owns the tailers' lifecycle — :meth:`close` stops them *before*
+      draining the service, so no mutation lands mid-shutdown;
+    * exposes :attr:`on_gap`, called with the config name when a tailer
+      hits a truncated log prefix; ``replica_main`` points it at the
+      transport's shutdown so the process exits cleanly and the
+      supervisor re-hydrates it from a fresh snapshot (gap recovery IS
+      restart-equals-rehydrate, not a second code path).
+    """
+
+    def __init__(self, routed: RoutedService) -> None:
+        self._routed = routed
+        self._tailers: dict[str, FeedTailer] = {}
+        self._feeds: list[Changefeed] = []
+        self.on_gap: Callable[[str], None] | None = None
+
+    @property
+    def tailers(self) -> Mapping[str, FeedTailer]:
+        return dict(self._tailers)
+
+    def follow(
+        self, config_name: str, source_path: str, spec: ReplicaSpec
+    ) -> FeedTailer:
+        """Start tailing ``source_path``'s changelog into ``config_name``."""
+        entry = self._routed.pool.get(config_name)
+        feed = Changefeed(source_path)
+
+        def _gap(_tailer: FeedTailer, _batch: Any) -> None:
+            hook = self.on_gap
+            if hook is not None:
+                hook(config_name)
+            return None  # stop the tailer; recovery is a fresh snapshot
+
+        tailer = FeedTailer(
+            feed,
+            entry.index,
+            start_after=entry.generation(),
+            consumer=f"{spec.name}:{config_name}",
+            poll_interval=spec.feed_poll_interval,
+            on_gap=_gap,
+        )
+        self._feeds.append(feed)
+        self._tailers[config_name] = tailer
+        tailer.start()
+        return tailer
+
+    def feed_stats(self) -> dict[str, Any]:
+        return {name: t.stats() for name, t in self._tailers.items()}
+
+    def handle(
+        self, method: str, path: str, params: Mapping[str, Any]
+    ) -> tuple[int, Any]:
+        status, payload = self._routed.handle(method, path, params)
+        normalized = path.rstrip("/") or path
+        if (
+            status == 200
+            and normalized in ("/healthz", "/metrics")
+            and isinstance(payload, dict)
+        ):
+            payload = dict(payload)
+            payload["feed"] = self.feed_stats()
+        return status, payload
+
+    def close(self, drain_timeout: float = DRAIN_TIMEOUT) -> None:
+        for tailer in self._tailers.values():
+            tailer.stop()
+        for feed in self._feeds:
+            feed.close()
+        self._routed.close(drain_timeout=drain_timeout)
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._routed, name)
+
+
+def build_replica_service(
+    spec: ReplicaSpec,
+) -> RoutedService | TailingReplicaService:
     """Assemble (and fully hydrate) one replica's serving stack."""
     service = ExpansionService(
         SessionPool(spec.effective_configs()),
@@ -76,7 +178,13 @@ def build_replica_service(spec: ReplicaSpec) -> RoutedService:
     )
     for name in service.pool.names():
         service.pool.get(name)  # build now: ready means warm
-    return RoutedService(service)
+    routed = RoutedService(service)
+    if not spec.feed_sources:
+        return routed
+    tailing = TailingReplicaService(routed)
+    for config_name, source_path in spec.feed_sources.items():
+        tailing.follow(config_name, source_path, spec)
+    return tailing
 
 
 def replica_main(spec: ReplicaSpec, ready: Any) -> None:
@@ -84,6 +192,15 @@ def replica_main(spec: ReplicaSpec, ready: Any) -> None:
     try:
         routed = build_replica_service(spec)
         transport = ReplicaTransport(routed.handle)
+        if isinstance(routed, TailingReplicaService):
+            # A gap means this replica's history is gone: exit the serve
+            # loop cleanly (off-thread — close() joins the accept loop)
+            # and let the supervisor re-hydrate us from a fresh snapshot.
+            routed.on_gap = lambda _config: threading.Thread(
+                target=transport.close,
+                name="repro-replica-gap-exit",
+                daemon=True,
+            ).start()
     except Exception as exc:  # noqa: BLE001 — report the failure, don't hang the parent
         try:
             ready.send(("error", f"{type(exc).__name__}: {exc}"))

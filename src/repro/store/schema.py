@@ -2,8 +2,11 @@
 
 One database file holds one corpus: a ``documents`` table (the durable
 corpus, tombstones included), a ``vocabulary`` table interning terms, a
-``postings`` table mirroring the inverted index, and a ``meta`` table
-carrying the schema version and the monotonic generation counter.
+``postings`` table mirroring the inverted index, a ``changelog`` table
+(the replication log tailed by :mod:`repro.feed`), a ``feed_claims``
+table (per-consumer applied bookmarks), and a ``meta`` table carrying
+the schema version, the monotonic generation counter, and the changelog
+floor (the truncated prefix boundary).
 
 Positions are permanent: a document's integer corpus position is
 assigned at first upsert and never reused or shifted — deletes set the
@@ -67,6 +70,30 @@ DDL = (
         PRIMARY KEY (term_id, pos)
     ) WITHOUT ROWID
     """,
+    # The replication log: one row per committed mutation batch, written
+    # in the same transaction as the batch itself, so the log and the
+    # data commit (or roll back) atomically. ``doc_ids`` and ``payload``
+    # are JSON; document payloads are NOT duplicated here — changefeed
+    # readers materialize them from ``documents`` at read time.
+    """
+    CREATE TABLE IF NOT EXISTS changelog (
+        generation INTEGER PRIMARY KEY,
+        kind       TEXT NOT NULL,
+        doc_ids    TEXT NOT NULL,
+        payload    TEXT NOT NULL DEFAULT '{}'
+    )
+    """,
+    # Consumer bookmarks: the newest generation each named changefeed
+    # consumer has durably applied. Compaction truncates the changelog
+    # only up to the slowest claim, so an attached tailer never sees a
+    # gap it didn't earn by falling behind a configured keep-window.
+    """
+    CREATE TABLE IF NOT EXISTS feed_claims (
+        consumer   TEXT PRIMARY KEY,
+        generation INTEGER NOT NULL,
+        updated    REAL NOT NULL
+    )
+    """,
 )
 
 
@@ -86,4 +113,14 @@ def create_tables(conn: sqlite3.Connection) -> None:
     )
     conn.execute(
         "INSERT OR IGNORE INTO meta (key, value) VALUES ('generation', '0')"
+    )
+    # ``changelog_floor`` = the newest generation NOT in the changelog
+    # (log rows cover floor+1 .. generation, contiguously). Seeding it
+    # from the *current* generation migrates pre-changelog stores
+    # transparently: their history is simply not replayable, and a
+    # tailer asking for it gets a gap signal (fall back to a snapshot).
+    # Fresh stores seed generation='0' above, so their floor is 0.
+    conn.execute(
+        "INSERT OR IGNORE INTO meta (key, value) "
+        "SELECT 'changelog_floor', value FROM meta WHERE key = 'generation'"
     )

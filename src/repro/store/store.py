@@ -20,6 +20,11 @@ the library lacks:
   mutation and persisted in ``meta``, feeding the serving layer's
   cache-invalidation keys exactly like
   :attr:`repro.index.dynamic.DynamicIndex.generation`;
+* **changelog** — a persisted replication log: one generation-stamped
+  record per committed mutation batch, written in the *same transaction*
+  as the batch, tailed by :mod:`repro.feed` for incremental replica
+  maintenance and truncated (behind consumer claims) by background
+  compaction;
 * **subscribe** — mutation listeners mirroring
   :meth:`DynamicIndex.subscribe <repro.index.dynamic.DynamicIndex.subscribe>`
   (notified once per batch, exceptions isolated, empty batches silent).
@@ -39,6 +44,7 @@ import json
 import os
 import sqlite3
 import threading
+import time
 from pathlib import Path
 from typing import Any, Callable, Iterable, Iterator
 
@@ -112,6 +118,7 @@ class DocumentStore:
     def _load_mirrors(self) -> None:
         """Rebuild the in-memory hot state from the committed database."""
         self._generation = int(self._meta("generation"))
+        self._changelog_floor = int(self._meta("changelog_floor"))
         self._doc_lengths: list[int] = []
         self._deleted: set[int] = set()
         self._pos_by_doc_id: dict[str, int] = {}
@@ -413,6 +420,7 @@ class DocumentStore:
             try:
                 positions = [self._upsert_one(doc) for doc in docs]
                 self._bump_generation()
+                self._log_change("upsert", [doc.doc_id for doc in docs])
                 self._writer.execute("COMMIT")
             except BaseException:
                 self._writer.execute("ROLLBACK")
@@ -451,6 +459,7 @@ class DocumentStore:
                 self._deleted.add(pos)
                 positions.append(pos)
             self._bump_generation()
+            self._log_change("delete", ids)
         self._notify()
         return positions
 
@@ -461,14 +470,51 @@ class DocumentStore:
             (str(self._generation),),
         )
 
+    def _log_change(
+        self,
+        kind: str,
+        doc_ids: Iterable[str],
+        payload: dict[str, Any] | None = None,
+    ) -> None:
+        """Append one replication-log record inside the open transaction.
+
+        Runs right after :meth:`_bump_generation`, so the record carries
+        the batch's generation and commits (or rolls back) atomically
+        with the data it describes. Document payloads are not copied
+        here — the changefeed materializes them from ``documents`` at
+        read time, so the log stays O(batch) small and replays always
+        converge on the latest stored payload.
+        """
+        self._writer.execute(
+            "INSERT INTO changelog (generation, kind, doc_ids, payload) "
+            "VALUES (?, ?, ?, ?)",
+            (
+                self._generation,
+                kind,
+                json.dumps(list(doc_ids)),
+                json.dumps(payload or {}, sort_keys=True),
+            ),
+        )
+
     # -- maintenance ---------------------------------------------------------
 
-    def compact(self) -> dict[str, int]:
+    def compact(self, vacuum: bool = True) -> dict[str, int]:
         """Rewrite postings without tombstones, prune vocabulary, VACUUM.
 
         Document rows (and their positions) survive — including
         tombstoned ones, which keep their payload so position-aligned
         corpora stay loadable. Returns counts of what was dropped.
+
+        ``vacuum=False`` skips the VACUUM + WAL checkpoint — the
+        background :class:`~repro.feed.CompactionScheduler` uses it so
+        its periodic compactions hold the write lock for microseconds
+        instead of a full file rewrite; reclaiming disk bytes is then an
+        explicit ``repro store compact`` decision.
+
+        Compaction is itself a logged mutation (``kind="compact"``):
+        changefeed tailers replay it against their private snapshot, so
+        a replica's postings stay as dense as the source's and its
+        generation counter stays aligned with the source's.
         """
         with self._transaction():  # analyze: ignore[LOCK001] - sqlite ops on the writer connection run under the write lock by design: one writer, mutators serialized
             dropped = self._writer.execute(
@@ -480,6 +526,11 @@ class DocumentStore:
                 "(SELECT 1 FROM postings p WHERE p.term_id = vocabulary.term_id)"
             ).rowcount
             self._bump_generation()
+            self._log_change(
+                "compact",
+                [],
+                {"postings_dropped": int(dropped), "terms_dropped": int(orphaned)},
+            )
         with self._write_lock:  # analyze: ignore[LOCK001] - sqlite ops on the writer connection run under the write lock by design: one writer, mutators serialized
             # The term-map rebuild uses the writer connection and replaces
             # a guarded mirror; outside the lock it would race a concurrent
@@ -490,12 +541,100 @@ class DocumentStore:
                     "SELECT term_id, term FROM vocabulary"
                 )
             }
-            self._writer.execute("VACUUM")
-            # Fold the WAL back into the main file so the VACUUM's space
-            # savings are visible on disk, not parked in the -wal file.
-            self._writer.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+            if vacuum:
+                self._writer.execute("VACUUM")
+                # Fold the WAL back into the main file so the VACUUM's
+                # space savings are visible on disk, not parked in the
+                # -wal file.
+                self._writer.execute("PRAGMA wal_checkpoint(TRUNCATE)")
         self._notify()
         return {"postings_dropped": int(dropped), "terms_dropped": int(orphaned)}
+
+    # -- replication log -----------------------------------------------------
+
+    @property
+    # analyze: ignore[GUARD001] - lock-free reader by design: mirror bindings are replaced atomically (GIL) and a slightly stale view is acceptable to concurrent readers
+    def changelog_floor(self) -> int:
+        """Newest generation *not* in the log (rows cover floor+1..generation)."""
+        return self._changelog_floor
+
+    def changelog_length(self) -> int:
+        """Count of replication-log records still retained."""
+        (count,) = self._read_conn().execute(
+            "SELECT COUNT(*) FROM changelog"
+        ).fetchone()
+        return int(count)
+
+    def truncate_changelog(self, upto: int) -> int:
+        """Drop log records with ``generation <= upto``; returns how many.
+
+        Raises the changelog floor (never lowers it, never past the
+        current generation). Truncation is maintenance, not mutation: it
+        does **not** bump the generation — the log must stay contiguous
+        from floor+1 to generation — and does not notify listeners.
+        """
+        with self._transaction():  # analyze: ignore[LOCK001] - sqlite ops on the writer connection run under the write lock by design: one writer, mutators serialized
+            floor = max(self._changelog_floor, min(int(upto), self._generation))
+            dropped = self._writer.execute(
+                "DELETE FROM changelog WHERE generation <= ?", (floor,)
+            ).rowcount
+            self._writer.execute(
+                "UPDATE meta SET value = ? WHERE key = 'changelog_floor'",
+                (str(floor),),
+            )
+            self._changelog_floor = floor
+        return int(dropped)
+
+    def claim(self, consumer: str, generation: int) -> None:
+        """Record that ``consumer`` has applied everything up to ``generation``.
+
+        Claims bound changelog truncation (:meth:`truncate_changelog`
+        callers take ``min`` over them) so an attached tailer is never
+        handed a gap while it is keeping up.
+        """
+        if not consumer:
+            raise StoreError("feed consumers need a non-empty name")
+        with self._write_lock:  # analyze: ignore[LOCK001] - sqlite ops on the writer connection run under the write lock by design: one writer, mutators serialized
+            self._writer.execute(
+                "INSERT INTO feed_claims (consumer, generation, updated) "
+                "VALUES (?, ?, ?) ON CONFLICT(consumer) DO UPDATE SET "
+                "generation = excluded.generation, updated = excluded.updated",
+                (consumer, int(generation), time.time()),
+            )
+
+    def claims(self) -> dict[str, int]:
+        """Per-consumer applied generations (see :meth:`claim`)."""
+        return {
+            consumer: int(generation)
+            for consumer, generation in self._read_conn().execute(
+                "SELECT consumer, generation FROM feed_claims"
+            )
+        }
+
+    def oldest_unclaimed_generation(self) -> int:
+        """First generation some registered consumer has yet to apply.
+
+        With no registered consumers every committed generation is
+        considered applied, so this is ``generation + 1`` — the
+        compaction trigger reads it as "the log prefix is free".
+        """
+        claims = self.claims()
+        if not claims:
+            return self.generation + 1
+        return min(claims.values()) + 1
+
+    def refresh(self) -> None:
+        """Reload the in-memory mirrors if another process moved the file.
+
+        The store assumes one writer *process*; tooling that hands the
+        file between processes sequentially (CLI ingest, then a serving
+        coordinator) calls this before writing so position allocation
+        starts from the committed state, not a stale mirror. Cheap when
+        nothing changed: a single meta read decides whether to reload.
+        """
+        with self._write_lock:
+            if int(self._meta("generation")) != self._generation:
+                self._load_mirrors()
 
     def snapshot(self, dest: str | Path) -> Path:
         """Write a consistent copy of the store to ``dest`` (backup API).
@@ -552,13 +691,22 @@ class DocumentStore:
                 size += os.path.getsize(str(self._path) + suffix)
             except OSError:
                 continue
+        documents = len(self._doc_lengths)
+        tombstones = len(self._deleted)
         return {
             "path": str(self._path),
             "schema_version": schema.SCHEMA_VERSION,
             "generation": self._generation,
-            "documents": len(self._doc_lengths),
+            "documents": documents,
             "live_documents": self.num_live,
-            "tombstones": len(self._deleted),
+            "tombstones": tombstones,
+            # The compaction trigger's inputs (see repro.feed): how much
+            # of the store is dead weight, how long the replication log
+            # has grown, and where the slowest feed consumer stands.
+            "tombstone_ratio": tombstones / documents if documents else 0.0,
+            "changelog_len": self.changelog_length(),
+            "changelog_floor": self._changelog_floor,
+            "oldest_unclaimed_generation": self.oldest_unclaimed_generation(),
             "terms": int(terms),
             "postings": int(postings),
             "file_bytes": int(size),

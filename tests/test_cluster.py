@@ -565,11 +565,17 @@ class TestCoordinatorWithFakes:
         )
         assert status == 200
 
-    def test_ingest_is_501_read_only_tier(self, fake_cluster):
+    def test_ingest_without_store_backed_config_is_400(self, fake_cluster):
+        # Config "c" has no store=<path>: nothing durable to write to.
         status, payload = fake_cluster.handle(
             "POST", "/ingest", {"config": "c", "documents": [{}]}
         )
-        assert status == 501
+        assert status == 400
+        assert "store" in payload["message"]
+
+    def test_changefeed_without_store_backed_config_is_400(self, fake_cluster):
+        status, payload = fake_cluster.handle("GET", "/changefeed", {})
+        assert status == 400
         assert "store" in payload["message"]
 
     def test_unknown_path_404_lists_cluster_routes(self, fake_cluster):
@@ -724,13 +730,45 @@ class TestProcessCluster:
             assert isinstance(info["pid"], int)
         assert topology["ring"]["nodes"] == ["r0", "r1"]
 
-    def test_ingest_rejected_at_cluster_tier(self, process_cluster):
-        server, _ = process_cluster
+    def test_ingest_writes_through_to_source_store(self, process_cluster):
+        # Live routed ingest (satellite of the feed PR): the write commits
+        # to the *source* store and answers 202 with the new generation.
+        # This fleet does not follow the changefeed, so the replicas keep
+        # serving their hydration snapshot — durable convergence arrives
+        # at their next restart (and incrementally with --follow).
+        server, store_path = process_cluster
         status, _, payload = _http(
             server, "POST", "/ingest",
-            body={"config": "db", "documents": [{"doc_id": "x", "text": "y"}]},
+            body={
+                "config": "db",
+                "documents": [{"doc_id": "ingested-1", "text": "java beans"}],
+            },
         )
-        assert status == 501
+        assert status == 202
+        assert payload["ingested"] == 1
+        assert payload["follow"] is False
+        with DocumentStore(store_path) as store:
+            assert store.generation == payload["generation"]
+            assert "ingested-1" in store
+
+    def test_changefeed_served_from_source_store(self, process_cluster):
+        server, _ = process_cluster
+        status, _, payload = _http(
+            server, "GET", "/changefeed", config="db", since=0
+        )
+        assert status == 200
+        assert payload["gap"] is False
+        assert payload["count"] >= 1
+        first = payload["entries"][0]
+        assert first["generation"] == 1
+        assert first["kind"] == "upsert"
+        assert [d["doc_id"] for d in first["documents"]] == first["doc_ids"]
+        # The cursor resumes past everything the first page returned.
+        status, _, page2 = _http(
+            server, "GET", "/changefeed", cursor=payload["next_cursor"]
+        )
+        assert status == 200
+        assert page2["since"] == payload["entries"][-1]["generation"]
 
     def test_kill_replica_failover_then_rehydrated_restart(
         self, process_cluster
