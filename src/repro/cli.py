@@ -209,6 +209,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             # and fail validation there, like every other bad option.
             cache_ttl=None if args.cache_ttl == 0 else args.cache_ttl,
             workers=args.workers,
+            tenants=args.tenants,
         )
     except OSError as exc:
         # Bind failures (port in use, privileged port) get the same
@@ -263,6 +264,7 @@ def _cmd_cluster_serve(args: argparse.Namespace) -> int:
             feed_poll_interval=args.feed_poll_interval,
             compaction_interval=args.compaction_interval,
             changelog_keep=args.changelog_keep,
+            tenants=args.tenants,
         )
         server = ClusterServer(coordinator, host=args.host, port=args.port)
     except OSError as exc:
@@ -294,6 +296,104 @@ def _cmd_cluster_serve(args: argparse.Namespace) -> int:
         print("shutting down", flush=True)
     finally:
         server.stop()
+    return 0
+
+
+def _cmd_tenant_create(args: argparse.Namespace) -> int:
+    from repro.tenancy import TenantRegistry, TenantSpec
+
+    stores = {}
+    for item in args.store or []:
+        config, sep, path = item.partition("=")
+        if not sep or not config or not path:
+            print(
+                f"error: --store expects CONFIG=PATH, got {item!r}",
+                file=sys.stderr,
+            )
+            return 2
+        stores[config] = path
+    registry = TenantRegistry(args.tenants)
+    spec = registry.create(
+        TenantSpec(
+            name=args.name,
+            configs=tuple(args.configs or ()),
+            stores=stores,
+            max_documents=args.max_documents,
+            max_ingest_batch=args.max_ingest_batch,
+            qps=args.qps,
+            burst=args.burst,
+            max_in_flight=args.max_in_flight,
+        )
+    )
+    configs = ", ".join(spec.configs) if spec.configs else "all configs"
+    print(f"created tenant {spec.name!r} ({configs}) in {registry.path}")
+    return 0
+
+
+def _cmd_tenant_list(args: argparse.Namespace) -> int:
+    from repro.tenancy import TenantRegistry
+
+    registry = TenantRegistry(args.tenants)
+    if args.json:
+        print(json.dumps(registry.describe(), indent=2, sort_keys=True))
+        return 0
+    rows = [
+        [
+            spec.name,
+            ", ".join(spec.configs) or "*",
+            spec.max_documents if spec.max_documents is not None else "-",
+            f"{spec.qps:g}" if spec.qps is not None else "-",
+            spec.max_in_flight if spec.max_in_flight is not None else "-",
+        ]
+        for spec in registry.specs()
+    ]
+    print(
+        format_table(
+            ["tenant", "configs", "max docs", "qps", "in-flight"],
+            rows,
+            title=f"{len(registry)} tenant(s) in {registry.path}",
+        )
+    )
+    return 0
+
+
+def _cmd_tenant_show(args: argparse.Namespace) -> int:
+    from repro.tenancy import TenantRegistry
+
+    spec = TenantRegistry(args.tenants).get(args.name)
+    print(json.dumps(spec.to_dict(), indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_tenant_set_quota(args: argparse.Namespace) -> int:
+    from repro.tenancy import QUOTA_FIELDS, TenantRegistry
+
+    changes = {
+        name: getattr(args, name)
+        for name in QUOTA_FIELDS
+        if getattr(args, name) is not None
+    }
+    if not changes:
+        print(
+            "error: pass at least one quota flag (e.g. --max-documents, --qps)",
+            file=sys.stderr,
+        )
+        return 2
+    registry = TenantRegistry(args.tenants)
+    spec = registry.update(args.name, **changes)
+    print(
+        f"updated tenant {spec.name!r}: "
+        + ", ".join(f"{k}={v}" for k, v in sorted(changes.items()))
+    )
+    return 0
+
+
+def _cmd_tenant_delete(args: argparse.Namespace) -> int:
+    from repro.tenancy import TenantRegistry
+
+    registry = TenantRegistry(args.tenants)
+    registry.delete(args.name)
+    print(f"deleted tenant {args.name!r} from {registry.path}")
     return 0
 
 
@@ -712,6 +812,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=4,
         help="max concurrently computed (cache-missing) requests",
     )
+    p.add_argument(
+        "--tenants", metavar="PATH", default=None,
+        help="tenants JSON file (see 'repro tenant'); switches the "
+             "service to multi-tenant mode — data routes then require "
+             "?tenant= or the X-Repro-Tenant header",
+    )
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
@@ -785,7 +891,87 @@ def build_parser() -> argparse.ArgumentParser:
         help="trailing changelog records always retained by background "
              "truncation with --follow (default: 64)",
     )
+    cp.add_argument(
+        "--tenants", metavar="PATH", default=None,
+        help="tenants JSON file (see 'repro tenant'); the coordinator "
+             "enforces per-tenant rate limits, quotas, and config "
+             "allow-lists at the cluster's edge",
+    )
     cp.set_defaults(func=_cmd_cluster_serve)
+
+    p = sub.add_parser(
+        "tenant",
+        help="manage the multi-tenant registry: create, list, show, "
+             "set-quota, delete",
+    )
+    tenant_sub = p.add_subparsers(dest="tenant_command", required=True)
+
+    def add_tenants_path(tp: argparse.ArgumentParser) -> None:
+        tp.add_argument(
+            "--tenants", metavar="PATH", required=True,
+            help="tenants JSON file (created if missing)",
+        )
+
+    def add_quota_flags(tp: argparse.ArgumentParser) -> None:
+        tp.add_argument(
+            "--max-documents", type=int, default=None, metavar="N",
+            help="storage quota: max live documents in the tenant's scope",
+        )
+        tp.add_argument(
+            "--max-ingest-batch", type=int, default=None, metavar="N",
+            help="max documents accepted in one /ingest batch",
+        )
+        tp.add_argument(
+            "--qps", type=float, default=None,
+            help="token-bucket refill rate (requests/second)",
+        )
+        tp.add_argument(
+            "--burst", type=int, default=None, metavar="N",
+            help="token-bucket capacity (default: ceil(qps))",
+        )
+        tp.add_argument(
+            "--max-in-flight", type=int, default=None, metavar="N",
+            help="bounded concurrent requests; beyond it requests are "
+                 "shed with 429 + Retry-After",
+        )
+
+    tp = tenant_sub.add_parser("create", help="register a new tenant")
+    add_tenants_path(tp)
+    tp.add_argument("name", help="tenant name ([a-z0-9][a-z0-9_-]*)")
+    tp.add_argument(
+        "--configs", nargs="*", default=None, metavar="NAME",
+        help="serving configs this tenant may address (default: all)",
+    )
+    tp.add_argument(
+        "--store", action="append", default=None, metavar="CONFIG=PATH",
+        help="private store path for one config (repeatable); gives the "
+             "tenant its own ingest/changefeed namespace",
+    )
+    add_quota_flags(tp)
+    tp.set_defaults(func=_cmd_tenant_create)
+
+    tp = tenant_sub.add_parser("list", help="list registered tenants")
+    add_tenants_path(tp)
+    tp.add_argument("--json", action="store_true", help="emit JSON")
+    tp.set_defaults(func=_cmd_tenant_list)
+
+    tp = tenant_sub.add_parser("show", help="show one tenant's spec as JSON")
+    add_tenants_path(tp)
+    tp.add_argument("name")
+    tp.set_defaults(func=_cmd_tenant_show)
+
+    tp = tenant_sub.add_parser(
+        "set-quota", help="replace quota/rate-limit fields of a tenant"
+    )
+    add_tenants_path(tp)
+    tp.add_argument("name")
+    add_quota_flags(tp)
+    tp.set_defaults(func=_cmd_tenant_set_quota)
+
+    tp = tenant_sub.add_parser("delete", help="remove a tenant")
+    add_tenants_path(tp)
+    tp.add_argument("name")
+    tp.set_defaults(func=_cmd_tenant_delete)
 
     p = sub.add_parser(
         "store", help="durable document store: init, ingest, delete, "

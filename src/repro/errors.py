@@ -85,5 +85,32 @@ class UnknownConfigError(ServeError):
     """
 
 
+class TenancyError(ServeError):
+    """A multi-tenancy operation failed (bad spec, missing tenant, ...)."""
+
+
+class UnknownTenantError(TenancyError):
+    """A request named a tenant that is not in the registry.
+
+    Its own type so the HTTP layer can map it to 404 while every other
+    :class:`TenancyError` stays 400 (bad request).
+    """
+
+
+class TenantAccessError(TenancyError):
+    """A tenant addressed a serving configuration it is not allowed to use.
+
+    Mapped to HTTP 403: the config may exist, but not for this tenant.
+    """
+
+
+class QuotaExceededError(TenancyError):
+    """A write would push a tenant past its storage quota.
+
+    Raised *before* any row is written, so a rejected batch leaves the
+    store's generation and document count untouched. Mapped to HTTP 413.
+    """
+
+
 # Public aliases with friendlier names.
 IndexingError = IndexError_

@@ -1,0 +1,75 @@
+"""Bounded in-flight admission control and the unified shed response.
+
+:class:`AdmissionController` started life inside the cluster coordinator
+as the per-replica load-shed gate; it now also backs per-*tenant*
+admission on both serve tiers, so it lives here and the coordinator
+re-exports it. A key is whatever the caller bounds — a replica name, a
+tenant name — and ``try_acquire`` optionally takes a per-key depth so
+one controller can enforce heterogeneous tenant limits.
+
+:func:`shed_payload` is the single source of truth for 429 bodies:
+rate-limit sheds and admission sheds — serve tier and cluster tier —
+all share one shape (``error``/``message``/``retry_after``, plus
+``tenant`` and/or ``replica`` tags), and the HTTP handlers emit the
+``Retry-After`` header from the payload's ``retry_after`` field.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from repro.errors import ClusterError
+
+
+class AdmissionController:
+    """Bounded per-key in-flight accounting (the load-shed gate)."""
+
+    def __init__(self, queue_depth: int) -> None:
+        if queue_depth < 1:
+            raise ClusterError(f"queue_depth must be >= 1, got {queue_depth}")
+        self.queue_depth = queue_depth
+        self._lock = threading.Lock()
+        self._in_flight: dict[str, int] = {}
+
+    def try_acquire(self, key: str, depth: int | None = None) -> bool:
+        """Claim one slot on ``key``; False = saturated, shed now.
+
+        ``depth`` overrides the controller default for this key (e.g. a
+        tenant's ``max_in_flight``); ``None`` uses ``queue_depth``.
+        """
+        bound = self.queue_depth if depth is None else depth
+        with self._lock:
+            current = self._in_flight.get(key, 0)
+            if current >= bound:
+                return False
+            self._in_flight[key] = current + 1
+            return True
+
+    def release(self, key: str) -> None:
+        with self._lock:
+            current = self._in_flight.get(key, 0)
+            self._in_flight[key] = max(0, current - 1)
+
+    def snapshot(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self._in_flight)
+
+
+def shed_payload(
+    message: str,
+    retry_after: float,
+    tenant: str | None = None,
+    replica: str | None = None,
+) -> dict[str, Any]:
+    """The one 429 body shape every shed path responds with."""
+    payload: dict[str, Any] = {
+        "error": "overloaded",
+        "message": message,
+        "retry_after": retry_after,
+    }
+    if replica is not None:
+        payload["replica"] = replica
+    if tenant is not None:
+        payload["tenant"] = tenant
+    return payload

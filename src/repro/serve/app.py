@@ -50,15 +50,47 @@ from typing import Any, Iterable, Mapping
 from urllib.parse import parse_qs, urlsplit
 
 from repro.api import schema
-from repro.errors import ReproError, ServeError, UnknownConfigError
+from repro.errors import (
+    QuotaExceededError,
+    ReproError,
+    ServeError,
+    TenancyError,
+    TenantAccessError,
+    UnknownConfigError,
+    UnknownTenantError,
+)
 from repro.feed import Changefeed, batch_to_payload
 from repro.feed.changefeed import resolve_read_args
+from repro.serve.admission import AdmissionController, shed_payload
 from repro.serve.cache import LRUTTLCache
 from repro.serve.metrics import ServerMetrics
-from repro.serve.pool import PooledSession, ServeConfig, SessionPool
+from repro.serve.pool import (
+    TENANT_KEY_SEP,
+    PooledSession,
+    ServeConfig,
+    SessionPool,
+)
+from repro.tenancy import (
+    TENANT_HEADER,
+    QuotaManager,
+    RateLimiter,
+    TenantRegistry,
+    TenantSpec,
+    resolve_tenant,
+)
 
 #: Default cap on concurrently *computed* (cache-missing) requests.
 DEFAULT_WORKERS = 4
+
+#: Seconds advertised in Retry-After on tenant-admission sheds (rate-limit
+#: sheds advertise the exact token-refill time instead).
+DEFAULT_TENANT_RETRY_AFTER = 1.0
+
+#: Data-plane routes: tenant resolution is mandatory there when a tenant
+#: registry is configured, and rate/admission limits apply.
+_TENANT_DATA_ROUTES = frozenset(
+    {"/expand", "/search", "/batch", "/ingest", "/changefeed"}
+)
 
 
 class ExpansionService:
@@ -82,6 +114,10 @@ class ExpansionService:
         cache_size: int = 1024,
         cache_ttl: float | None = None,
         workers: int = DEFAULT_WORKERS,
+        tenants: TenantRegistry | None = None,
+        enforce_limits: bool = True,
+        rate_limiter: RateLimiter | None = None,
+        tenant_retry_after: float = DEFAULT_TENANT_RETRY_AFTER,
     ) -> None:
         if not isinstance(pool, SessionPool):
             pool = SessionPool(pool)
@@ -101,9 +137,29 @@ class ExpansionService:
         self._closing = threading.Event()
         self._inflight = 0
         self._inflight_cv = threading.Condition()
-        # Lazily-built changefeed readers, one per store-backed config.
+        # Lazily-built changefeed readers, one per store-backed entry
+        # (keyed by entry key, so a tenant's private store gets its own).
         self._feeds: dict[str, Changefeed] = {}
         self._feeds_lock = threading.Lock()
+        # -- tenancy ----------------------------------------------------
+        # With a registry, every data-plane request resolves a tenant
+        # (X-Repro-Tenant header or ?tenant=) and gets tenant-scoped
+        # cache keys, metrics, quota, and — unless a fronting tier
+        # already enforces them (enforce_limits=False on cluster
+        # replicas) — rate limiting and bounded in-flight admission.
+        self._tenants = tenants
+        self._enforce_limits = bool(enforce_limits)
+        self._tenant_retry_after = tenant_retry_after
+        self._rate_limiter = (
+            rate_limiter if rate_limiter is not None else RateLimiter()
+        )
+        self._quota = QuotaManager()
+        self._tenant_admission = AdmissionController(
+            queue_depth=max(1, workers * 4)
+        )
+        self._tenant_metrics: dict[str, ServerMetrics] = {}
+        self._tenant_sheds: dict[str, int] = {}
+        self._tenant_lock = threading.Lock()
 
     @property
     def pool(self) -> SessionPool:
@@ -117,9 +173,87 @@ class ExpansionService:
     def metrics(self) -> ServerMetrics:
         return self._metrics
 
+    @property
+    def tenants(self) -> TenantRegistry | None:
+        return self._tenants
+
     def invalidate_config(self, name: str) -> int:
-        """Drop every cached response for configuration ``name``."""
+        """Drop cached responses for a pool-entry key.
+
+        ``name`` is either a config name (drops *every* scope of that
+        config — anonymous and all tenants, the right response to a
+        shared-store mutation) or ``tenant::config`` from a dedicated
+        per-tenant entry (drops only that tenant's cached responses, so
+        tenant A's ingest never touches tenant B's cache).
+        """
+        if TENANT_KEY_SEP in name:
+            tenant, _, config = name.partition(TENANT_KEY_SEP)
+            return self._cache.invalidate_prefix((config, tenant))
         return self._cache.invalidate_prefix((name,))
+
+    # -- tenancy plumbing ----------------------------------------------------
+
+    def tenant_metrics(self, name: str) -> ServerMetrics:
+        """The (lazily created) per-tenant request-metrics sink."""
+        with self._tenant_lock:
+            metrics = self._tenant_metrics.get(name)
+            if metrics is None:
+                metrics = self._tenant_metrics[name] = ServerMetrics()
+            return metrics
+
+    def _record(
+        self,
+        endpoint: str,
+        seconds: float | None,
+        tenant: TenantSpec | None,
+        **kwargs: Any,
+    ) -> None:
+        """Record into the global sink and the tenant's own partition."""
+        self._metrics.record(endpoint, seconds, **kwargs)
+        if tenant is not None:
+            self.tenant_metrics(tenant.name).record(
+                endpoint, seconds, **kwargs
+            )
+
+    def _record_shed(self, tenant: TenantSpec) -> None:
+        with self._tenant_lock:
+            self._tenant_sheds[tenant.name] = (
+                self._tenant_sheds.get(tenant.name, 0) + 1
+            )
+
+    def _admit(
+        self, path: str, tenant: TenantSpec
+    ) -> "tuple[int, dict[str, Any]] | None":
+        """Rate-limit + bounded-in-flight gate for one data-plane request.
+
+        Returns a ready 429 ``(status, payload)`` to shed, or ``None``
+        when admitted — in which case the caller owns one admission slot
+        iff ``tenant.max_in_flight`` is set and must release it.
+        """
+        ok, retry_after = self._rate_limiter.try_acquire(tenant)
+        if not ok:
+            self._record_shed(tenant)
+            self._record(path.strip("/"), None, tenant, error=True)
+            return 429, shed_payload(
+                f"tenant {tenant.name!r} is over its rate limit "
+                f"({tenant.qps:g} qps); retry shortly",
+                round(retry_after, 3),
+                tenant=tenant.name,
+            )
+        if tenant.max_in_flight is not None and not (
+            self._tenant_admission.try_acquire(
+                tenant.name, depth=tenant.max_in_flight
+            )
+        ):
+            self._record_shed(tenant)
+            self._record(path.strip("/"), None, tenant, error=True)
+            return 429, shed_payload(
+                f"tenant {tenant.name!r} is at its in-flight bound "
+                f"({tenant.max_in_flight}); retry shortly",
+                self._tenant_retry_after,
+                tenant=tenant.name,
+            )
+        return None
 
     # -- shutdown ------------------------------------------------------------
 
@@ -168,7 +302,9 @@ class ExpansionService:
             raise ServeError(f"missing required parameter {key!r}")
         return value
 
-    def _entry(self, params: Mapping[str, Any]) -> PooledSession:
+    def _entry(
+        self, params: Mapping[str, Any], tenant: TenantSpec | None = None
+    ) -> PooledSession:
         names = self._pool.names()
         name = self._param(params, "config")
         if name is None and len(names) == 1:
@@ -178,7 +314,7 @@ class ExpansionService:
                 f"parameter 'config' is required with multiple "
                 f"configurations; configured: {', '.join(names)}"
             )
-        return self._pool.get(str(name))
+        return self._pool.get(str(name), tenant)
 
     # -- cached per-query execution ------------------------------------------
 
@@ -188,6 +324,7 @@ class ExpansionService:
         query: str,
         algorithm: str | None,
         results: str = "full",
+        tenant: TenantSpec | None = None,
     ) -> tuple[dict[str, Any], str]:
         """``(schema-v2 report payload, "hit"|"miss")`` for one query.
 
@@ -195,6 +332,10 @@ class ExpansionService:
         report envelope stays schema-v2 valid (readers treat ``results``
         as optional), and responses shrink by orders of magnitude when
         the caller wants expansions, not the matching documents.
+
+        Cache keys lead with ``(config, tenant)`` so one tenant's hits,
+        misses, and invalidations never touch another tenant's entries
+        (anonymous requests key on tenant ``None``).
 
         Returned payloads are shared cache snapshots: direct
         :meth:`handle` callers must treat them as read-only (the HTTP
@@ -206,10 +347,12 @@ class ExpansionService:
         # the default's cache entry, not trigger a duplicate recompute.
         if isinstance(algorithm, str):
             algorithm = algorithm.strip().lower() or None
+        scope = None if tenant is None else tenant.name
 
         def variant_key(mode: str) -> tuple:
             return (
                 entry.config.name,
+                scope,
                 "expand",
                 query,
                 algorithm or entry.session.algorithm_name,
@@ -249,9 +392,11 @@ class ExpansionService:
         query: str,
         top_k: int | None,
         semantics: str,
+        tenant: TenantSpec | None = None,
     ) -> tuple[list[dict[str, Any]], str]:
         key = (
             entry.config.name,
+            None if tenant is None else tenant.name,
             "search",
             query,
             top_k,
@@ -274,19 +419,25 @@ class ExpansionService:
 
     # -- endpoints -----------------------------------------------------------
 
-    def expand(self, params: Mapping[str, Any]) -> tuple[int, dict[str, Any]]:
+    def expand(
+        self,
+        params: Mapping[str, Any],
+        tenant: TenantSpec | None = None,
+    ) -> tuple[int, dict[str, Any]]:
         t0 = time.perf_counter()
-        entry = self._entry(params)
+        entry = self._entry(params, tenant)
         query = str(self._require(params, "query"))
         algorithm = self._param(params, "algorithm")
         algorithm = str(algorithm) if algorithm is not None else None
         results = str(self._param(params, "results", "full")).lower()
         if results not in ("full", "none"):
             raise ServeError(f"results must be 'full' or 'none', got {results!r}")
-        payload, cache = self._expand_cached(entry, query, algorithm, results)
+        payload, cache = self._expand_cached(
+            entry, query, algorithm, results, tenant
+        )
         seconds = time.perf_counter() - t0
-        self._metrics.record("expand", seconds, cache=cache)
-        return 200, {
+        self._record("expand", seconds, tenant, cache=cache)
+        body = {
             "config": entry.config.name,
             "query": query,
             "algorithm": algorithm or entry.session.algorithm_name,
@@ -294,10 +445,17 @@ class ExpansionService:
             "seconds": seconds,
             "report": payload,
         }
+        if tenant is not None:
+            body["tenant"] = tenant.name
+        return 200, body
 
-    def search(self, params: Mapping[str, Any]) -> tuple[int, dict[str, Any]]:
+    def search(
+        self,
+        params: Mapping[str, Any],
+        tenant: TenantSpec | None = None,
+    ) -> tuple[int, dict[str, Any]]:
         t0 = time.perf_counter()
-        entry = self._entry(params)
+        entry = self._entry(params, tenant)
         query = str(self._require(params, "query"))
         top_k_raw = self._param(params, "top_k")
         try:
@@ -307,10 +465,12 @@ class ExpansionService:
         semantics = str(self._param(params, "semantics", "and")).lower()
         if semantics not in ("and", "or"):
             raise ServeError(f"semantics must be 'and' or 'or', got {semantics!r}")
-        payload, cache = self._search_cached(entry, query, top_k, semantics)
+        payload, cache = self._search_cached(
+            entry, query, top_k, semantics, tenant
+        )
         seconds = time.perf_counter() - t0
-        self._metrics.record("search", seconds, cache=cache)
-        return 200, {
+        self._record("search", seconds, tenant, cache=cache)
+        body = {
             "config": entry.config.name,
             "query": query,
             "top_k": top_k,
@@ -320,10 +480,17 @@ class ExpansionService:
             "n_results": len(payload),
             "results": payload,
         }
+        if tenant is not None:
+            body["tenant"] = tenant.name
+        return 200, body
 
-    def batch(self, params: Mapping[str, Any]) -> tuple[int, dict[str, Any]]:
+    def batch(
+        self,
+        params: Mapping[str, Any],
+        tenant: TenantSpec | None = None,
+    ) -> tuple[int, dict[str, Any]]:
         t0 = time.perf_counter()
-        entry = self._entry(params)
+        entry = self._entry(params, tenant)
         queries = params.get("queries")
         if not isinstance(queries, (list, tuple)) or not queries:
             raise ServeError("batch needs a non-empty 'queries' list")
@@ -341,7 +508,9 @@ class ExpansionService:
             # readers ignore it (schema v2 stays intact).
             q0 = time.perf_counter()
             try:
-                payload, cache = self._expand_cached(entry, query, algorithm)
+                payload, cache = self._expand_cached(
+                    entry, query, algorithm, tenant=tenant
+                )
                 return {
                     "query": query,
                     "ok": True,
@@ -370,9 +539,10 @@ class ExpansionService:
             ) as executor:
                 items = list(executor.map(run_one, queries))
         seconds = time.perf_counter() - t0
-        self._metrics.record(
+        self._record(
             "batch",
             seconds,
+            tenant,
             cache_hits=sum(1 for i in items if i["cache"] == "hit"),
             cache_misses=sum(1 for i in items if i["cache"] == "miss"),
         )
@@ -380,15 +550,22 @@ class ExpansionService:
             schema.KIND_BATCH,
             {"items": items, "workers": workers, "seconds": seconds},
         )
-        return 200, {
+        body = {
             "config": entry.config.name,
             "cache_hits": sum(1 for i in items if i["cache"] == "hit"),
             "n_ok": sum(1 for i in items if i["ok"]),
             "n_failed": sum(1 for i in items if not i["ok"]),
             "report": report,
         }
+        if tenant is not None:
+            body["tenant"] = tenant.name
+        return 200, body
 
-    def ingest(self, params: Mapping[str, Any]) -> tuple[int, dict[str, Any]]:
+    def ingest(
+        self,
+        params: Mapping[str, Any],
+        tenant: TenantSpec | None = None,
+    ) -> tuple[int, dict[str, Any]]:
         """Append documents to a mutable configuration's index.
 
         Each entry in ``documents`` is either a schema document payload
@@ -396,13 +573,16 @@ class ExpansionService:
         or the convenience form ``{"doc_id": ..., "text": ...}``, which
         is analyzed with the target session's analyzer. The whole batch
         is applied atomically per backend transaction semantics; the
-        response reports the post-ingest index generation.
+        response reports the post-ingest index generation. With a
+        tenant, the write lands in that tenant's scope (private store or
+        per-tenant dynamic index) and its quotas apply transactionally —
+        a rejected batch changes nothing.
         """
         from repro.data.documents import document_from_payload
         from repro.errors import DataError, SchemaError
 
         t0 = time.perf_counter()
-        entry = self._entry(params)
+        entry = self._entry(params, tenant)
         raw = params.get("documents")
         if not isinstance(raw, (list, tuple)) or not raw:
             raise ServeError("ingest needs a non-empty 'documents' list")
@@ -416,19 +596,28 @@ class ExpansionService:
                 )
             except (DataError, SchemaError) as exc:
                 raise ServeError(f"documents[{i}]: {exc}") from None
-        count = self._pool.ingest(entry.config.name, documents)
+        count = self._pool.ingest(
+            entry.config.name, documents, tenant=tenant, quota=self._quota
+        )
         seconds = time.perf_counter() - t0
-        self._metrics.record("ingest", seconds)
-        return 200, {
+        self._record("ingest", seconds, tenant)
+        body = {
             "config": entry.config.name,
             "ingested": count,
             "generation": entry.generation(),
             "persistent": entry.index.capabilities().persistent,
             "seconds": seconds,
         }
+        if tenant is not None:
+            body["tenant"] = tenant.name
+        return 200, body
 
     def _feed_for(self, entry: PooledSession) -> Changefeed:
-        """The (cached) changefeed reader for a store-backed config."""
+        """The (cached) changefeed reader for a store-backed entry.
+
+        Keyed by the entry key, so a tenant with a private store path
+        reads its *own* replication log, not the shared config's.
+        """
         store = getattr(entry.index, "store", None)
         if store is None:
             raise ServeError(
@@ -436,16 +625,18 @@ class ExpansionService:
                 f"store (backend={entry.config.backend}); /changefeed "
                 f"needs a store-backed configuration (store=<path>)"
             )
-        name = entry.config.name
+        key = entry.key
         with self._feeds_lock:
-            feed = self._feeds.get(name)
+            feed = self._feeds.get(key)
             if feed is None:
                 feed = Changefeed(store.path)
-                self._feeds[name] = feed
+                self._feeds[key] = feed
             return feed
 
     def changefeed(
-        self, params: Mapping[str, Any]
+        self,
+        params: Mapping[str, Any],
+        tenant: TenantSpec | None = None,
     ) -> tuple[int, dict[str, Any]]:
         """Replication-log records past a generation (see API.md).
 
@@ -457,7 +648,7 @@ class ExpansionService:
         back to a snapshot and resumes from its generation.
         """
         t0 = time.perf_counter()
-        entry = self._entry(params)
+        entry = self._entry(params, tenant)
         since, limit, consumer = resolve_read_args(
             self._param(params, "cursor"),
             self._param(params, "since"),
@@ -467,18 +658,50 @@ class ExpansionService:
         feed = self._feed_for(entry)
         batch = feed.read_since(since, limit=limit, consumer=consumer)
         payload = batch_to_payload(entry.config.name, batch, limit)
-        self._metrics.record("changefeed", time.perf_counter() - t0)
+        if tenant is not None:
+            payload["tenant"] = tenant.name
+        self._record("changefeed", time.perf_counter() - t0, tenant)
         return 200, payload
 
-    def configs(self, params: Mapping[str, Any]) -> tuple[int, dict[str, Any]]:
+    def configs(
+        self,
+        params: Mapping[str, Any],
+        tenant: TenantSpec | None = None,
+    ) -> tuple[int, dict[str, Any]]:
         t0 = time.perf_counter()
-        payload = {"configs": self._pool.describe()}
+        payload: dict[str, Any] = {"configs": self._pool.describe()}
+        if self._tenants is not None:
+            payload["tenants"] = self._tenants.names()
         self._metrics.record("configs", time.perf_counter() - t0)
         return 200, payload
 
-    def healthz(self, params: Mapping[str, Any]) -> tuple[int, dict[str, Any]]:
+    def _tenant_health(self) -> dict[str, Any]:
+        """Per-tenant health section: allowed configs + dedicated views."""
+        assert self._tenants is not None
+        built = self._pool.built_names()
+        names = self._pool.names()
+        out: dict[str, Any] = {}
+        for spec in self._tenants.specs():
+            prefix = f"{spec.name}{TENANT_KEY_SEP}"
+            out[spec.name] = {
+                "configs": [n for n in names if spec.allows(n)],
+                "dedicated_built": sorted(
+                    key[len(prefix):] for key in built
+                    if key.startswith(prefix)
+                ),
+            }
+        return out
+
+    def healthz(
+        self,
+        params: Mapping[str, Any],
+        tenant: TenantSpec | None = None,
+    ) -> tuple[int, dict[str, Any]]:
         t0 = time.perf_counter()
-        built = list(self._pool.built_names())
+        built = [
+            name for name in self._pool.built_names()
+            if TENANT_KEY_SEP not in name
+        ]
         payload = {
             "status": "ok",
             "uptime_seconds": self._metrics.uptime_seconds(),
@@ -492,11 +715,15 @@ class ExpansionService:
             },
             "schema_version": schema.SCHEMA_VERSION,
         }
+        if self._tenants is not None:
+            payload["tenants"] = self._tenant_health()
         self._metrics.record("healthz", time.perf_counter() - t0)
         return 200, payload
 
     def metrics_snapshot(
-        self, params: Mapping[str, Any] | None = None
+        self,
+        params: Mapping[str, Any] | None = None,
+        tenant: TenantSpec | None = None,
     ) -> tuple[int, dict[str, Any]]:
         t0 = time.perf_counter()
         requests = self._metrics.snapshot()
@@ -510,6 +737,22 @@ class ExpansionService:
             "stages": self._pool.stage_metrics(),
             "configs": self._pool.describe(),
         }
+        if self._tenants is not None:
+            with self._tenant_lock:
+                sinks = dict(self._tenant_metrics)
+                sheds = dict(self._tenant_sheds)
+            tenants: dict[str, Any] = {}
+            for name, sink in sinks.items():
+                snap = sink.snapshot()
+                tenants[name] = {
+                    "requests": snap["endpoints"],
+                    "sheds": sheds.get(name, 0),
+                }
+            # Tenants that were only ever shed still get a row.
+            for name, count in sheds.items():
+                tenants.setdefault(name, {"requests": {}, "sheds": count})
+            payload["tenants"] = tenants
+            payload["tenant_in_flight"] = self._tenant_admission.snapshot()
         # Count this scrape too (it appears from the *next* snapshot on;
         # the payload above was already assembled).
         self._metrics.record("metrics", time.perf_counter() - t0)
@@ -531,13 +774,22 @@ class ExpansionService:
     def handle(
         self, method: str, path: str, params: Mapping[str, Any]
     ) -> tuple[int, dict[str, Any]]:
-        """Dispatch one request; never raises (errors become payloads)."""
+        """Dispatch one request; never raises (errors become payloads).
+
+        With a tenant registry configured, every route resolves the
+        request's tenant first (``?tenant=`` / ``X-Repro-Tenant`` folded
+        into params by the HTTP layer). Data-plane routes *require* one
+        and pass its rate-limit / in-flight gate before running; admin
+        routes (``/configs`` ``/healthz`` ``/metrics``) accept an
+        optional tenant and always answer.
+        """
         if self._closing.is_set():
             return 503, {
                 "error": "shutting_down",
                 "message": "server is draining in-flight requests and shutting down",
             }
-        route = self._ROUTES.get(path.rstrip("/") or path)
+        normalized = path.rstrip("/") or path
+        route = self._ROUTES.get(normalized)
         if route is None:
             return 404, {
                 "error": "not_found",
@@ -550,26 +802,72 @@ class ExpansionService:
                 "error": "method_not_allowed",
                 "message": f"{path} accepts {', '.join(methods)}",
             }
+        endpoint = normalized.strip("/")
+        tenant: TenantSpec | None = None
+        if self._tenants is not None:
+            try:
+                tenant = resolve_tenant(
+                    self._tenants, params,
+                    required=normalized in _TENANT_DATA_ROUTES,
+                )
+            except UnknownTenantError as exc:
+                self._metrics.record(endpoint, None, error=True)
+                return 404, {"error": "unknown_tenant", "message": str(exc)}
+            except TenancyError as exc:
+                self._metrics.record(endpoint, None, error=True)
+                return 400, {"error": "tenant_required", "message": str(exc)}
+        admitted = False
+        if (
+            tenant is not None
+            and self._enforce_limits
+            and normalized in _TENANT_DATA_ROUTES
+        ):
+            shed = self._admit(normalized, tenant)
+            if shed is not None:
+                return shed
+            admitted = tenant.max_in_flight is not None
         with self._inflight_cv:
             self._inflight += 1
         try:
-            return getattr(self, handler_name)(params)
+            handler = getattr(self, handler_name)
+            if self._tenants is None:
+                # Single-tenant contract unchanged: endpoint overrides
+                # (tests monkeypatch these) keep their one-arg signature.
+                return handler(params)
+            return handler(params, tenant)
         except UnknownConfigError as exc:
-            self._metrics.record(path.strip("/"), None, error=True)
-            return 404, {"error": "unknown_config", "message": str(exc)}
+            self._record(endpoint, None, tenant, error=True)
+            return 404, self._error_body("unknown_config", exc, tenant)
+        except TenantAccessError as exc:
+            self._record(endpoint, None, tenant, error=True)
+            return 403, self._error_body("forbidden", exc, tenant)
+        except QuotaExceededError as exc:
+            self._record(endpoint, None, tenant, error=True)
+            return 413, self._error_body("quota_exceeded", exc, tenant)
         except ServeError as exc:
-            self._metrics.record(path.strip("/"), None, error=True)
-            return 400, {"error": "serve_error", "message": str(exc)}
+            self._record(endpoint, None, tenant, error=True)
+            return 400, self._error_body("serve_error", exc, tenant)
         except ReproError as exc:
-            self._metrics.record(path.strip("/"), None, error=True)
-            return 400, {"error": type(exc).__name__, "message": str(exc)}
+            self._record(endpoint, None, tenant, error=True)
+            return 400, self._error_body(type(exc).__name__, exc, tenant)
         except Exception as exc:  # noqa: BLE001 — a request must never kill the server
-            self._metrics.record(path.strip("/"), None, error=True)
-            return 500, {"error": "internal", "message": str(exc)}
+            self._record(endpoint, None, tenant, error=True)
+            return 500, self._error_body("internal", exc, tenant)
         finally:
+            if admitted:
+                self._tenant_admission.release(tenant.name)
             with self._inflight_cv:
                 self._inflight -= 1
                 self._inflight_cv.notify_all()
+
+    @staticmethod
+    def _error_body(
+        code: str, exc: BaseException, tenant: TenantSpec | None
+    ) -> dict[str, Any]:
+        body: dict[str, Any] = {"error": code, "message": str(exc)}
+        if tenant is not None:
+            body["tenant"] = tenant.name
+        return body
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -586,6 +884,13 @@ class _Handler(BaseHTTPRequestHandler):
         parts = urlsplit(self.path)
         return {k: v for k, v in parse_qs(parts.query).items()}
 
+    def _apply_tenant_header(self, params: dict[str, Any]) -> dict[str, Any]:
+        """Fold ``X-Repro-Tenant`` into params (explicit param wins)."""
+        tenant = self.headers.get(TENANT_HEADER)
+        if tenant and "tenant" not in params:
+            params["tenant"] = tenant
+        return params
+
     def _respond(self, status: int, payload: Mapping[str, Any]) -> None:
         # Compact separators: expansion reports carry full result
         # payloads, so serialization cost is visible in hit latency.
@@ -593,13 +898,21 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json; charset=utf-8")
         self.send_header("Content-Length", str(len(body)))
+        if status == 429:
+            # Every shed payload (rate limit or admission, either tier)
+            # carries retry_after — surface it as the standard header.
+            retry_after = payload.get("retry_after")
+            if retry_after is not None:
+                self.send_header(
+                    "Retry-After", str(max(1, round(float(retry_after))))
+                )
         self.end_headers()
         self.wfile.write(body)
 
     def do_GET(self) -> None:  # noqa: N802 — http.server API
         path = urlsplit(self.path).path
         status, payload = self.server.service.handle(
-            "GET", path, self._params_from_query()
+            "GET", path, self._apply_tenant_header(self._params_from_query())
         )
         self._respond(status, payload)
 
@@ -623,7 +936,9 @@ class _Handler(BaseHTTPRequestHandler):
                 )
                 return
             params.update(body)
-        status, payload = self.server.service.handle("POST", path, params)
+        status, payload = self.server.service.handle(
+            "POST", path, self._apply_tenant_header(params)
+        )
         self._respond(status, payload)
 
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
@@ -776,22 +1091,28 @@ def create_server(
     cache_size: int = 1024,
     cache_ttl: float | None = None,
     workers: int = DEFAULT_WORKERS,
+    tenants: TenantRegistry | str | None = None,
 ) -> ExpansionServer:
     """Assemble pool → service → HTTP server in one call.
 
     ``configs`` entries may be :class:`ServeConfig` objects or CLI spec
     strings (``name:key=value,...``). The pool's invalidation hook is
-    wired to the service's response cache.
+    wired to the service's response cache. ``tenants`` (a
+    :class:`~repro.tenancy.TenantRegistry` or a path to a tenants JSON
+    file) switches the service to multi-tenant mode.
     """
     parsed = [
         c if isinstance(c, ServeConfig) else ServeConfig.parse(c)
         for c in configs
     ]
+    if isinstance(tenants, str):
+        tenants = TenantRegistry(tenants)
     # ExpansionService wires the pool's invalidation hook to its cache.
     service = ExpansionService(
         SessionPool(parsed),
         cache_size=cache_size,
         cache_ttl=cache_ttl,
         workers=workers,
+        tenants=tenants,
     )
     return ExpansionServer(service, host=host, port=port)

@@ -48,9 +48,20 @@ from pathlib import Path
 from typing import Any, Callable, Iterable, Mapping
 
 from repro.api import schema
-from repro.errors import ClusterError, ConfigError, FeedError, ServeError
+from repro.errors import (
+    ClusterError,
+    ConfigError,
+    FeedError,
+    QuotaExceededError,
+    ServeError,
+    TenancyError,
+    TenantAccessError,
+    UnknownTenantError,
+)
 from repro.feed import Changefeed, CompactionScheduler, batch_to_payload
 from repro.feed.changefeed import resolve_read_args
+from repro.serve.admission import AdmissionController, shed_payload
+from repro.serve.app import _TENANT_DATA_ROUTES
 from repro.serve.cluster.hashring import DEFAULT_VNODES, HashRing
 from repro.serve.cluster.routes import (
     BATCH_CURSOR_KEYS,
@@ -64,6 +75,13 @@ from repro.serve.cluster.replica import ReplicaSpec, replica_main
 from repro.serve.cluster.transport import DEFAULT_REQUEST_TIMEOUT, ReplicaClient
 from repro.serve.metrics import LatencyHistogram
 from repro.serve.pool import ServeConfig
+from repro.tenancy import (
+    QuotaManager,
+    RateLimiter,
+    TenantRegistry,
+    TenantSpec,
+    resolve_tenant,
+)
 
 #: Default per-replica in-flight bound (admission control).
 DEFAULT_QUEUE_DEPTH = 16
@@ -219,35 +237,9 @@ class ProcessReplica:
 
 
 # -- admission control -------------------------------------------------------
-
-
-class AdmissionController:
-    """Bounded per-replica in-flight accounting (the load-shed gate)."""
-
-    def __init__(self, queue_depth: int) -> None:
-        if queue_depth < 1:
-            raise ClusterError(f"queue_depth must be >= 1, got {queue_depth}")
-        self.queue_depth = queue_depth
-        self._lock = threading.Lock()
-        self._in_flight: dict[str, int] = {}
-
-    def try_acquire(self, replica: str) -> bool:
-        """Claim one slot on ``replica``; False = saturated, shed now."""
-        with self._lock:
-            current = self._in_flight.get(replica, 0)
-            if current >= self.queue_depth:
-                return False
-            self._in_flight[replica] = current + 1
-            return True
-
-    def release(self, replica: str) -> None:
-        with self._lock:
-            current = self._in_flight.get(replica, 0)
-            self._in_flight[replica] = max(0, current - 1)
-
-    def snapshot(self) -> dict[str, int]:
-        with self._lock:
-            return dict(self._in_flight)
+# AdmissionController grew up here as the per-replica load-shed gate and
+# now lives in repro.serve.admission (the serve tier uses it for per-tenant
+# bounds too); it is re-exported above for existing importers.
 
 
 class CoordinatorMetrics:
@@ -327,6 +319,15 @@ class ClusterCoordinator:
     compaction_interval / changelog_keep:
         Scheduler tick period and the minimum trailing changelog records
         always retained (``follow`` only).
+    tenants:
+        A :class:`~repro.tenancy.TenantRegistry` (or path to a tenants
+        JSON file) switching the cluster to multi-tenant mode: the
+        coordinator — the fleet's edge — resolves, authorizes, rate
+        limits, and quota-checks every data-plane request exactly once,
+        and replicas receive the tenant specs (``enforce_limits=False``)
+        for cache scoping and response tagging only.
+    rate_limiter:
+        Injectable token-bucket (tests pass a fake-clock limiter).
     """
 
     def __init__(
@@ -346,6 +347,8 @@ class ClusterCoordinator:
         feed_poll_interval: float = 0.25,
         compaction_interval: float = 5.0,
         changelog_keep: int = 64,
+        tenants: "TenantRegistry | str | None" = None,
+        rate_limiter: RateLimiter | None = None,
     ) -> None:
         parsed = tuple(
             c if isinstance(c, ServeConfig) else ServeConfig.parse(c)
@@ -363,6 +366,24 @@ class ClusterCoordinator:
         self._request_timeout = request_timeout
         self._admission = AdmissionController(queue_depth)
         self._metrics = CoordinatorMetrics()
+        # -- tenancy (edge enforcement) ---------------------------------
+        # The coordinator is the cluster's front door, so tenant limits
+        # are enforced HERE, once; replicas get the registry (for cache
+        # scoping and tagging) with enforce_limits=False so a request is
+        # never double-counted against a tenant's rate budget.
+        if isinstance(tenants, (str, os.PathLike)):
+            tenants = TenantRegistry(tenants)
+        self._tenants = tenants
+        self._rate_limiter = (
+            rate_limiter if rate_limiter is not None else RateLimiter()
+        )
+        self._quota = QuotaManager()
+        self._tenant_admission = AdmissionController(
+            queue_depth=max(1, queue_depth * max(1, replicas))
+        )
+        self._tenant_lock = threading.Lock()
+        self._tenant_requests: dict[str, int] = {}
+        self._tenant_sheds: dict[str, int] = {}
         self._started = time.time()
         self._snapshot_dir: tempfile.TemporaryDirectory | None = None
         self._snapshot_seq = 0
@@ -421,6 +442,10 @@ class ClusterCoordinator:
     @property
     def admission(self) -> AdmissionController:
         return self._admission
+
+    @property
+    def tenants(self) -> TenantRegistry | None:
+        return self._tenants
 
     def start(self) -> "ClusterCoordinator":
         """Hydrate and start every replica, then begin supervising."""
@@ -520,6 +545,17 @@ class ClusterCoordinator:
             overrides[config.name] = str(dest)
             if self._follow:
                 feed_sources[config.name] = str(config.store)
+        # Replicas learn the tenants (cache scoping, response tagging)
+        # but not their store overrides: replica stores are coordinator
+        # snapshots, and per-tenant private stores are a serve-tier
+        # feature — the cluster keeps replicas shared-nothing copies of
+        # the *configured* stores only.
+        tenant_specs: tuple[dict, ...] = ()
+        if self._tenants is not None:
+            tenant_specs = tuple(
+                {k: v for k, v in spec.to_dict().items() if k != "stores"}
+                for spec in self._tenants.specs()
+            )
         return ReplicaSpec(
             name=name,
             configs=self._configs,
@@ -529,6 +565,7 @@ class ClusterCoordinator:
             workers=self._workers,
             feed_sources=feed_sources,
             feed_poll_interval=self._feed_poll_interval,
+            tenant_specs=tenant_specs,
         )
 
     # -- supervision ---------------------------------------------------------
@@ -597,21 +634,93 @@ class ClusterCoordinator:
             if self._replicas[name].alive()
         ]
 
-    def _shed(self, t0: float, replica: str) -> tuple[int, dict[str, Any]]:
-        payload = {
-            "error": "overloaded",
-            "message": (
-                f"replica {replica!r} is at its queue-depth bound "
-                f"({self._admission.queue_depth}); retry shortly"
-            ),
-            "replica": replica,
-            "retry_after": self._retry_after,
-        }
+    def _shed(
+        self, t0: float, replica: str, tenant: TenantSpec | None = None
+    ) -> tuple[int, dict[str, Any]]:
+        payload = shed_payload(
+            f"replica {replica!r} is at its queue-depth bound "
+            f"({self._admission.queue_depth}); retry shortly",
+            self._retry_after,
+            tenant=None if tenant is None else tenant.name,
+            replica=replica,
+        )
         self._metrics.record_shed(time.perf_counter() - t0)
+        if tenant is not None:
+            self._record_tenant_shed(tenant)
         return 429, payload
 
+    # -- tenancy gate --------------------------------------------------------
+
+    def _record_tenant(self, tenant: TenantSpec) -> None:
+        with self._tenant_lock:
+            self._tenant_requests[tenant.name] = (
+                self._tenant_requests.get(tenant.name, 0) + 1
+            )
+
+    def _record_tenant_shed(self, tenant: TenantSpec) -> None:
+        with self._tenant_lock:
+            self._tenant_sheds[tenant.name] = (
+                self._tenant_sheds.get(tenant.name, 0) + 1
+            )
+
+    def _tenant_forbidden(
+        self, tenant: TenantSpec, params: Mapping[str, Any]
+    ) -> tuple[int, dict[str, Any]] | None:
+        """403 when the addressed config is outside the tenant's allow-list."""
+        name = scalar(params, "config")
+        if name is None and len(self._configs) == 1:
+            name = self._configs[0].name
+        if name is not None and not tenant.allows(str(name)):
+            return 403, {
+                "error": "forbidden",
+                "message": (
+                    f"tenant {tenant.name!r} may not access "
+                    f"configuration {name!r}"
+                ),
+                "tenant": tenant.name,
+            }
+        return None
+
+    def _admit_tenant(
+        self, t0: float, tenant: TenantSpec
+    ) -> tuple[int, dict[str, Any]] | None:
+        """Edge rate-limit + in-flight gate; mirrors the serve tier's.
+
+        Returns a ready 429 pair to shed, or ``None`` when admitted — in
+        which case the caller owns one slot iff ``tenant.max_in_flight``
+        is set and must release it.
+        """
+        ok, retry_after = self._rate_limiter.try_acquire(tenant)
+        if not ok:
+            self._metrics.record_shed(time.perf_counter() - t0)
+            self._record_tenant_shed(tenant)
+            return 429, shed_payload(
+                f"tenant {tenant.name!r} is over its rate limit "
+                f"({tenant.qps:g} qps); retry shortly",
+                round(retry_after, 3),
+                tenant=tenant.name,
+            )
+        if tenant.max_in_flight is not None and not (
+            self._tenant_admission.try_acquire(
+                tenant.name, depth=tenant.max_in_flight
+            )
+        ):
+            self._metrics.record_shed(time.perf_counter() - t0)
+            self._record_tenant_shed(tenant)
+            return 429, shed_payload(
+                f"tenant {tenant.name!r} is at its in-flight bound "
+                f"({tenant.max_in_flight}); retry shortly",
+                self._retry_after,
+                tenant=tenant.name,
+            )
+        return None
+
     def _proxy(
-        self, method: str, path: str, params: Mapping[str, Any]
+        self,
+        method: str,
+        path: str,
+        params: Mapping[str, Any],
+        tenant: TenantSpec | None = None,
     ) -> tuple[int, Any]:
         t0 = time.perf_counter()
         try:
@@ -628,7 +737,7 @@ class ClusterCoordinator:
             if not self._admission.try_acquire(handle.name):
                 # Shed at the *routed* replica; spilling sideways would
                 # break affinity and merely relocate the queue.
-                return self._shed(t0, handle.name)
+                return self._shed(t0, handle.name, tenant)
             try:
                 status, body = handle.request(
                     method, path, params, timeout=self._request_timeout
@@ -650,32 +759,76 @@ class ClusterCoordinator:
     def handle(
         self, method: str, path: str, params: Mapping[str, Any]
     ) -> tuple[int, Any]:
-        """Dispatch one request; never raises (errors become payloads)."""
+        """Dispatch one request; never raises (errors become payloads).
+
+        With a tenant registry configured, data-plane routes resolve
+        the request's tenant and pass its rate-limit / in-flight /
+        allow-list gates *before* routing — the cluster's edge is where
+        tenant limits are enforced, exactly once.
+        """
         normalized = path.rstrip("/") or path
-        if normalized in PROXY_ROUTES:
-            if method not in PROXY_ROUTES[normalized]:
+        tenant: TenantSpec | None = None
+        if self._tenants is not None:
+            try:
+                tenant = resolve_tenant(
+                    self._tenants, params,
+                    required=normalized in _TENANT_DATA_ROUTES,
+                )
+            except UnknownTenantError as exc:
+                return 404, {"error": "unknown_tenant", "message": str(exc)}
+            except TenancyError as exc:
+                return 400, {"error": "tenant_required", "message": str(exc)}
+        admitted = False
+        if tenant is not None and normalized in _TENANT_DATA_ROUTES:
+            forbidden = self._tenant_forbidden(tenant, params)
+            if forbidden is not None:
+                return forbidden
+            shed = self._admit_tenant(time.perf_counter(), tenant)
+            if shed is not None:
+                return shed
+            admitted = tenant.max_in_flight is not None
+            self._record_tenant(tenant)
+        try:
+            if normalized in PROXY_ROUTES:
+                if method not in PROXY_ROUTES[normalized]:
+                    return 405, {
+                        "error": "method_not_allowed",
+                        "message": f"{normalized} accepts "
+                        f"{', '.join(PROXY_ROUTES[normalized])}",
+                    }
+                return self._proxy(method, normalized, params, tenant)
+            route = self._router.match(normalized)
+            if route is None:
+                return 404, {
+                    "error": "not_found",
+                    "message": f"unknown path {path!r}",
+                    "paths": sorted(self._router.paths() + list(PROXY_ROUTES)),
+                }
+            if method not in route.methods:
                 return 405, {
                     "error": "method_not_allowed",
-                    "message": f"{normalized} accepts "
-                    f"{', '.join(PROXY_ROUTES[normalized])}",
+                    "message": f"{route.path} accepts {', '.join(route.methods)}",
                 }
-            return self._proxy(method, normalized, params)
-        route = self._router.match(normalized)
-        if route is None:
-            return 404, {
-                "error": "not_found",
-                "message": f"unknown path {path!r}",
-                "paths": sorted(self._router.paths() + list(PROXY_ROUTES)),
-            }
-        if method not in route.methods:
-            return 405, {
-                "error": "method_not_allowed",
-                "message": f"{route.path} accepts {', '.join(route.methods)}",
-            }
-        try:
-            return route.handler(method, params)
-        except Exception as exc:  # noqa: BLE001 — a request must never kill the front
-            return 500, {"error": "internal", "message": str(exc)}
+            try:
+                return route.handler(method, params, tenant)
+            except TenantAccessError as exc:
+                return 403, self._tenant_error("forbidden", exc, tenant)
+            except QuotaExceededError as exc:
+                return 413, self._tenant_error("quota_exceeded", exc, tenant)
+            except Exception as exc:  # noqa: BLE001 — a request must never kill the front
+                return 500, {"error": "internal", "message": str(exc)}
+        finally:
+            if admitted:
+                self._tenant_admission.release(tenant.name)
+
+    @staticmethod
+    def _tenant_error(
+        code: str, exc: BaseException, tenant: TenantSpec | None
+    ) -> dict[str, Any]:
+        body: dict[str, Any] = {"error": code, "message": str(exc)}
+        if tenant is not None:
+            body["tenant"] = tenant.name
+        return body
 
     # -- fan-out helpers -----------------------------------------------------
 
@@ -703,7 +856,12 @@ class ClusterCoordinator:
             for name, handle in self._replicas.items()
         }
 
-    def _healthz(self, method: str, params: Mapping[str, Any]) -> tuple[int, Any]:
+    def _healthz(
+        self,
+        method: str,
+        params: Mapping[str, Any],
+        tenant: TenantSpec | None = None,
+    ) -> tuple[int, Any]:
         states = self._replica_states()
         live = [name for name, info in states.items() if info["alive"]]
         if len(live) == len(states):
@@ -755,10 +913,22 @@ class ClusterCoordinator:
         }
         if feeds:
             payload["feeds"] = feeds
+        if self._tenants is not None:
+            payload["tenants"] = {
+                spec.name: {
+                    "configs": [
+                        c.name for c in self._configs if spec.allows(c.name)
+                    ],
+                }
+                for spec in self._tenants.specs()
+            }
         return 200, payload
 
     def _metrics_route(
-        self, method: str, params: Mapping[str, Any]
+        self,
+        method: str,
+        params: Mapping[str, Any],
+        tenant: TenantSpec | None = None,
     ) -> tuple[int, Any]:
         per_replica: dict[str, Any] = {}
         aggregate: dict[str, dict[str, int]] = {}
@@ -791,6 +961,18 @@ class ClusterCoordinator:
                 for path, scheduler in self._schedulers.items()
             },
         }
+        if self._tenants is not None:
+            with self._tenant_lock:
+                requests = dict(self._tenant_requests)
+                sheds = dict(self._tenant_sheds)
+            cluster["tenants"] = {
+                name: {
+                    "requests": requests.get(name, 0),
+                    "sheds": sheds.get(name, 0),
+                }
+                for name in sorted(set(requests) | set(sheds))
+            }
+            cluster["tenant_in_flight"] = self._tenant_admission.snapshot()
         return 200, {
             "uptime_seconds": time.time() - self._started,
             "requests": aggregate,  # summed across replicas
@@ -799,7 +981,10 @@ class ClusterCoordinator:
         }
 
     def _configs_route(
-        self, method: str, params: Mapping[str, Any]
+        self,
+        method: str,
+        params: Mapping[str, Any],
+        tenant: TenantSpec | None = None,
     ) -> tuple[int, Any]:
         for handle in self._replicas.values():
             if not handle.alive():
@@ -807,6 +992,8 @@ class ClusterCoordinator:
             payload = self._ask_replica(handle, "/configs", timeout=30.0)
             if payload is not None:
                 payload["cluster"] = {"replicas": len(self._replicas)}
+                if self._tenants is not None:
+                    payload["tenants"] = self._tenants.names()
                 return 200, payload
         return 503, {
             "error": "unavailable",
@@ -814,9 +1001,12 @@ class ClusterCoordinator:
         }
 
     def _cluster_route(
-        self, method: str, params: Mapping[str, Any]
+        self,
+        method: str,
+        params: Mapping[str, Any],
+        tenant: TenantSpec | None = None,
     ) -> tuple[int, Any]:
-        return 200, {
+        payload: dict[str, Any] = {
             "replicas": self._replica_states(),
             "ring": self._ring.describe(),
             "queue_depth": self._admission.queue_depth,
@@ -827,6 +1017,10 @@ class ClusterCoordinator:
                 c.name: c.store for c in self._configs if c.store is not None
             },
         }
+        if self._tenants is not None:
+            payload["tenants"] = self._tenants.describe()
+            payload["tenant_in_flight"] = self._tenant_admission.snapshot()
+        return 200, payload
 
     def _store_config(
         self, params: Mapping[str, Any]
@@ -869,14 +1063,21 @@ class ClusterCoordinator:
             }
         return config
 
-    def _ingest(self, method: str, params: Mapping[str, Any]) -> tuple[int, Any]:
+    def _ingest(
+        self,
+        method: str,
+        params: Mapping[str, Any],
+        tenant: TenantSpec | None = None,
+    ) -> tuple[int, Any]:
         """Routed ingest: write the batch to the *source* store.
 
         The write commits (durably, changelog row included) before the
         response; replicas converge by tailing the changefeed when the
         cluster runs with ``follow=True``, or at their next re-hydration
         otherwise. Hence 202 Accepted, not 200: the fleet is eventually
-        consistent with the returned generation.
+        consistent with the returned generation. With a tenant, its
+        quotas apply transactionally against the source store — a
+        rejected over-quota batch changes nothing (413).
         """
         from repro.data.documents import document_from_payload
         from repro.errors import DataError, SchemaError
@@ -904,17 +1105,23 @@ class ClusterCoordinator:
                     "error": "serve_error",
                     "message": f"documents[{i}]: {exc}",
                 }
+        if tenant is not None:
+            self._quota.check_batch(tenant, len(documents))
         store = self._source_store(config.store)
         store.refresh()  # another process may have moved the file
-        store.upsert_all(documents)
+        guard = None if tenant is None else self._quota.store_guard(tenant)
+        store.upsert_all(documents, guard=guard)
         generation = store.generation
-        return 202, {
+        payload = {
             "config": config.name,
             "ingested": len(documents),
             "generation": generation,
             "follow": self._follow,
             "seconds": time.perf_counter() - t0,
         }
+        if tenant is not None:
+            payload["tenant"] = tenant.name
+        return 202, payload
 
     def _feed_for(self, config: ServeConfig) -> Changefeed:
         with self._feeds_lock:
@@ -925,7 +1132,10 @@ class ClusterCoordinator:
             return feed
 
     def _changefeed_route(
-        self, method: str, params: Mapping[str, Any]
+        self,
+        method: str,
+        params: Mapping[str, Any],
+        tenant: TenantSpec | None = None,
     ) -> tuple[int, Any]:
         """Serve the source store's replication log from the coordinator.
 
@@ -948,11 +1158,19 @@ class ClusterCoordinator:
             )
         except (FeedError, ServeError) as exc:
             return 400, {"error": "serve_error", "message": str(exc)}
-        return 200, batch_to_payload(config.name, batch, limit)
+        payload = batch_to_payload(config.name, batch, limit)
+        if tenant is not None:
+            payload["tenant"] = tenant.name
+        return 200, payload
 
     # -- scatter/gather batch ------------------------------------------------
 
-    def _batch(self, method: str, params: Mapping[str, Any]) -> tuple[int, Any]:
+    def _batch(
+        self,
+        method: str,
+        params: Mapping[str, Any],
+        tenant: TenantSpec | None = None,
+    ) -> tuple[int, Any]:
         t0 = time.perf_counter()
         try:
             page = resolve_page(params, "batch", BATCH_CURSOR_KEYS)
@@ -993,7 +1211,7 @@ class ClusterCoordinator:
             if not self._admission.try_acquire(name):
                 for done in claimed:
                     self._admission.release(done)
-                return self._shed(t0, name)
+                return self._shed(t0, name, tenant)
             claimed.append(name)
 
         def run_group(item: tuple[str, list[tuple[int, str]]]):
@@ -1054,6 +1272,8 @@ class ClusterCoordinator:
             "replicas": sorted(groups),
             "report": report,
         }
+        if tenant is not None:
+            payload["tenant"] = tenant.name
         if page.paginated:
             paged = apply_page({"items": items}, "items", page, "batch")
             report["items"] = paged["items"]

@@ -50,6 +50,7 @@ from repro.serve.app import ExpansionService
 from repro.serve.cluster.routes import RoutedService
 from repro.serve.cluster.transport import ReplicaTransport
 from repro.serve.pool import ServeConfig, SessionPool
+from repro.tenancy import TenantRegistry, TenantSpec
 
 #: Seconds a terminating replica waits for in-flight requests.
 DRAIN_TIMEOUT = 10.0
@@ -63,7 +64,12 @@ class ReplicaSpec:
     paths; matching configs are rebuilt with that path as their store.
     ``feed_sources`` maps configuration names to *source* store paths to
     tail (see module docstring); empty = snapshot-only replicas (the
-    pre-feed behavior, and the default).
+    pre-feed behavior, and the default). ``tenant_specs`` carries the
+    coordinator's tenant registry as plain dicts (picklable across the
+    spawn boundary); the replica rebuilds a registry from them so its
+    response caches and payloads are tenant-scoped, but with
+    ``enforce_limits=False`` — rate limits and quotas are enforced once,
+    at the coordinator.
     """
 
     name: str
@@ -74,6 +80,7 @@ class ReplicaSpec:
     workers: int = 4
     feed_sources: Mapping[str, str] = field(default_factory=dict)
     feed_poll_interval: float = 0.25
+    tenant_specs: tuple[Mapping[str, Any], ...] = ()
 
     def effective_configs(self) -> list[ServeConfig]:
         out = []
@@ -170,11 +177,18 @@ def build_replica_service(
     spec: ReplicaSpec,
 ) -> RoutedService | TailingReplicaService:
     """Assemble (and fully hydrate) one replica's serving stack."""
+    tenants = None
+    if spec.tenant_specs:
+        tenants = TenantRegistry(
+            specs=[TenantSpec.from_dict(d) for d in spec.tenant_specs]
+        )
     service = ExpansionService(
         SessionPool(spec.effective_configs()),
         cache_size=spec.cache_size,
         cache_ttl=spec.cache_ttl,
         workers=spec.workers,
+        tenants=tenants,
+        enforce_limits=False,  # the coordinator is the enforcement edge
     )
     for name in service.pool.names():
         service.pool.get(name)  # build now: ready means warm

@@ -17,9 +17,8 @@ two cluster-specific behaviors:
 
 from __future__ import annotations
 
-import json
 import threading
-from typing import Any, Iterable, Mapping
+from typing import Any, Iterable
 
 from repro.errors import ServeError
 from repro.serve.app import _Handler, _HTTPServer
@@ -33,15 +32,14 @@ class _ClusterHandler(_Handler):
     server_version = "repro-cluster/1.0"
 
     def _respond(self, status: int, payload: Any) -> None:
-        if isinstance(payload, bytes):
-            body = payload
-        else:
-            body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+        if not isinstance(payload, bytes):
+            # Coordinator-built payloads (sheds, errors, admin routes) go
+            # through the single-node handler so the 429 Retry-After
+            # behavior stays defined in exactly one place.
+            super()._respond(status, payload)
+            return
+        body = payload
         self.send_response(status)
-        if status == 429 and isinstance(payload, Mapping):
-            retry_after = payload.get("retry_after")
-            if retry_after is not None:
-                self.send_header("Retry-After", str(max(1, round(retry_after))))
         self.send_header("Content-Type", "application/json; charset=utf-8")
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()

@@ -30,14 +30,28 @@ index) additionally get a per-session execution lock, which
 from __future__ import annotations
 
 import contextlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from pathlib import Path
 from threading import Lock, RLock
-from typing import Any, Callable, Iterable, Iterator, Mapping
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Mapping
 
 from repro.api.session import Session
 from repro.data.documents import Document
-from repro.errors import ConfigError, ServeError, UnknownConfigError
+from repro.errors import (
+    ConfigError,
+    ServeError,
+    TenantAccessError,
+    UnknownConfigError,
+)
 from repro.serve.metrics import ServerMetricsMiddleware
+
+if TYPE_CHECKING:
+    from repro.store import DocumentStore
+    from repro.tenancy import QuotaManager, TenantSpec
+
+#: Separator between tenant and config in pool-entry keys; tenant names
+#: cannot contain ``:`` (enforced by TenantSpec), so the split is safe.
+TENANT_KEY_SEP = "::"
 
 #: Spec keys accepted by :meth:`ServeConfig.parse`, with their aliases.
 _SPEC_KEYS = {
@@ -160,8 +174,15 @@ class ServeConfig:
         middleware: Iterable[Any] = (),
         retrieval_cache_size: int | None = None,
         candidate_cache_size: int | None = None,
+        store: "DocumentStore | None" = None,
     ) -> Session:
-        """Construct the session (build-time validation applies)."""
+        """Construct the session (build-time validation applies).
+
+        ``store`` — when the config is store-backed — supplies an
+        already-open :class:`DocumentStore` handle so several configs
+        (or tenant views) sharing one path share one connection; without
+        it the store is opened here and owned by the session's backend.
+        """
         builder = (
             Session.builder()
             .retrieval(self.retrieval)
@@ -171,7 +192,8 @@ class ServeConfig:
         if self.store is not None:
             from repro.store import DocumentStore
 
-            store = DocumentStore(self.store)
+            if store is None:
+                store = DocumentStore(self.store)
             if len(store):
                 # Restart path: the store file is the durable truth —
                 # the dataset spec only seeds an *empty* store.
@@ -222,11 +244,22 @@ class ServeConfig:
 
 
 class PooledSession:
-    """A built session plus its serving plumbing (metrics, locking)."""
+    """A built session plus its serving plumbing (metrics, locking).
 
-    def __init__(self, config: ServeConfig, session: Session) -> None:
+    ``tenant`` is the owning tenant's name for dedicated per-tenant
+    entries (private store path or per-tenant dynamic index) and
+    ``None`` for entries shared by every caller of the config.
+    """
+
+    def __init__(
+        self,
+        config: ServeConfig,
+        session: Session,
+        tenant: str | None = None,
+    ) -> None:
         self.config = config
         self.session = session
+        self.tenant = tenant
         self.stage_metrics = _find_metrics_middleware(session)
         caps = session.engine.index.capabilities()
         self._exclusive = not caps.concurrent_reads
@@ -235,6 +268,13 @@ class PooledSession:
         # a bare `+= 1` would drop increments under concurrent ingests.
         self._meta_lock = Lock()
         self._invalidations = 0
+
+    @property
+    def key(self) -> str:
+        """Pool-entry key: ``config`` or ``tenant::config``."""
+        if self.tenant is None:
+            return self.config.name
+        return f"{self.tenant}{TENANT_KEY_SEP}{self.config.name}"
 
     @property
     def invalidations(self) -> int:
@@ -307,9 +347,18 @@ class SessionPool:
         self._on_invalidate = on_invalidate
         self._retrieval_cache_size = retrieval_cache_size
         self._candidate_cache_size = candidate_cache_size
+        # Keyed by entry key: "config" or "tenant::config" (dedicated
+        # per-tenant views). Build locks are created lazily for tenant
+        # keys, under _lock.
         self._entries: dict[str, PooledSession] = {}
         self._build_locks = {name: Lock() for name in self._configs}
         self._lock = Lock()
+        # Shared DocumentStore handles, keyed by resolved path: entries
+        # that name the same store file share one connection (two
+        # handles on one file would desync their in-memory mirrors and
+        # adopted corpora). close() closes each exactly once.
+        self._stores: dict[str, "DocumentStore"] = {}
+        self._stores_lock = Lock()
 
     # -- lookup --------------------------------------------------------------
 
@@ -327,38 +376,106 @@ class SessionPool:
     def __contains__(self, name: object) -> bool:
         return name in self._configs
 
-    def get(self, name: str) -> PooledSession:
-        """The pooled session for ``name``, building it on first use."""
+    @staticmethod
+    def _dedicated(config: ServeConfig, tenant: "TenantSpec") -> bool:
+        """Does ``tenant`` get its own session for ``config``?
+
+        Yes when the tenant overrides the store path (private durable
+        namespace) or the backend is the in-process mutable one
+        (``dynamic`` — per-tenant sessions make each tenant's ingest
+        invisible to the others). Store-backed configs without an
+        override and immutable backends share the base entry: one
+        backend per store handle keeps the adopted corpus consistent,
+        and response-cache keys stay tenant-scoped regardless.
+        """
+        if tenant.stores.get(config.name) is not None:
+            return True
+        return config.backend == "dynamic"
+
+    def get(
+        self, name: str, tenant: "TenantSpec | None" = None
+    ) -> PooledSession:
+        """The pooled session for ``name``, building it on first use.
+
+        With a ``tenant``, the allow-list is enforced and — when the
+        tenant warrants a dedicated view (see :meth:`_dedicated`) — a
+        per-tenant entry keyed ``tenant::name`` is built and shared by
+        that tenant's requests only.
+        """
         if name not in self._configs:
             raise UnknownConfigError(
                 f"unknown serve config {name!r}; "
                 f"configured: {', '.join(self._configs)}"
             )
+        if tenant is not None:
+            if not tenant.allows(name):
+                raise TenantAccessError(
+                    f"tenant {tenant.name!r} may not use config {name!r}; "
+                    f"allowed: {', '.join(tenant.configs)}"
+                )
+            if not self._dedicated(self._configs[name], tenant):
+                tenant = None
+        key = (
+            name if tenant is None
+            else f"{tenant.name}{TENANT_KEY_SEP}{name}"
+        )
         with self._lock:
-            entry = self._entries.get(name)
+            entry = self._entries.get(key)
+            build_lock = self._build_locks.get(key)
+            if build_lock is None:
+                build_lock = self._build_locks[key] = Lock()
         if entry is not None:
             return entry
-        # Per-config build lock: concurrent first requests for one config
-        # build once; different configs build in parallel.
-        # analyze: ignore[LOCK002] - one-way ordering: a build lock is always
-        # taken before _lock (never the reverse), so the nesting cannot cycle
-        with self._build_locks[name]:
+        # Per-entry build lock: concurrent first requests for one entry
+        # build once; different entries build in parallel. Ordering is
+        # one-way — a build lock is always taken before _lock, never the
+        # reverse — so the nesting cannot cycle.
+        with build_lock:
             with self._lock:
-                entry = self._entries.get(name)
+                entry = self._entries.get(key)
             if entry is not None:
                 return entry
-            entry = self._build(self._configs[name])
+            entry = self._build(self._configs[name], tenant)
             with self._lock:
-                self._entries[name] = entry
+                self._entries[key] = entry
             return entry
 
-    def _build(self, config: ServeConfig) -> PooledSession:
-        session = config.build_session(
+    def _store_handle(self, path: str) -> "DocumentStore":
+        """Open (or reuse) the shared store connection for ``path``."""
+        from repro.store import DocumentStore
+
+        key = str(Path(path).expanduser().resolve())
+        with self._stores_lock:
+            store = self._stores.get(key)
+            if store is None:
+                store = self._stores[key] = DocumentStore(path)
+        return store
+
+    def _build(
+        self, config: ServeConfig, tenant: "TenantSpec | None" = None
+    ) -> PooledSession:
+        effective = config
+        if tenant is not None:
+            override = tenant.stores.get(config.name)
+            if override is not None:
+                # replace() re-runs validation, so e.g. a store override
+                # on a dynamic-backend config fails loudly here.
+                effective = replace(config, store=str(override))
+        store = (
+            self._store_handle(effective.store)
+            if effective.store is not None
+            else None
+        )
+        session = effective.build_session(
             middleware=(ServerMetricsMiddleware(),),
             retrieval_cache_size=self._retrieval_cache_size,
             candidate_cache_size=self._candidate_cache_size,
+            store=store,
         )
-        entry = PooledSession(config, session)
+        entry = PooledSession(
+            effective, session,
+            tenant=None if tenant is None else tenant.name,
+        )
         subscribe = getattr(entry.index, "subscribe", None)
         if callable(subscribe):
             # The invalidation contract: ingestion -> session refresh
@@ -372,11 +489,20 @@ class SessionPool:
         entry.session.refresh()
         entry.record_invalidation()
         if self._on_invalidate is not None:
-            self._on_invalidate(entry.config.name)
+            # The entry key ("config" or "tenant::config") tells the
+            # service which cache scope to drop: a dedicated tenant
+            # entry invalidates only that tenant's responses.
+            self._on_invalidate(entry.key)
 
     # -- ingestion -----------------------------------------------------------
 
-    def ingest(self, name: str, documents: Iterable[Document]) -> int:
+    def ingest(
+        self,
+        name: str,
+        documents: Iterable[Document],
+        tenant: "TenantSpec | None" = None,
+        quota: "QuotaManager | None" = None,
+    ) -> int:
         """Append documents to ``name``'s index; returns how many landed.
 
         Only configurations on a mutable backend (``backend=dynamic``
@@ -384,8 +510,15 @@ class SessionPool:
         :class:`ServeError`. A sqlite backend writes through to its
         store, so the documents survive a restart. Invalidation
         listeners fire once, after the whole batch.
+
+        With a ``tenant`` and a ``quota``, the batch-size cap applies
+        up front and the document quota is enforced transactionally:
+        store-backed entries check it under the store's write lock
+        before the transaction begins (a rejected batch leaves
+        generation and document count untouched), dynamic entries check
+        under the session's exclusive lock.
         """
-        entry = self.get(name)
+        entry = self.get(name, tenant)
         add_all = getattr(entry.index, "add_all", None)
         if not callable(add_all) or not entry.index.capabilities().mutable:
             raise ServeError(
@@ -393,8 +526,20 @@ class SessionPool:
                 f"{entry.index.capabilities().name!r}; ingestion needs a "
                 f"mutable backend (backend=dynamic or backend=sqlite)"
             )
+        docs = list(documents)
+        guard = None
+        if tenant is not None and quota is not None:
+            quota.check_batch(tenant, len(docs))
+            if getattr(entry.index, "store", None) is not None:
+                guard = quota.store_guard(tenant)
         with entry.locked():
-            return len(add_all(list(documents)))
+            if guard is not None:
+                return len(add_all(docs, guard=guard))
+            if tenant is not None and quota is not None:
+                # Dynamic entries are exclusive (locked() serializes),
+                # so the count cannot move between check and apply.
+                quota.check_index_growth(tenant, entry.index, docs)
+            return len(add_all(docs))
 
     # -- shutdown ------------------------------------------------------------
 
@@ -410,7 +555,24 @@ class SessionPool:
         """
         with self._lock:
             entries, self._entries = dict(self._entries), {}
+        with self._stores_lock:
+            stores, self._stores = dict(self._stores), {}
+        # Pool-opened store handles close exactly once, however many
+        # entries (base + tenant views) share them. Entries whose index
+        # wraps a store the pool did NOT open (externally built) close
+        # through the same dedup set; storeless indexes close directly.
+        closed: set[int] = set()
+        for store in stores.values():
+            if id(store) not in closed:
+                closed.add(id(store))
+                store.close()
         for entry in entries.values():
+            store = getattr(entry.index, "store", None)
+            if store is not None:
+                if id(store) not in closed:
+                    closed.add(id(store))
+                    store.close()
+                continue
             closer = getattr(entry.index, "close", None)
             if callable(closer):
                 closer()
@@ -422,7 +584,13 @@ class SessionPool:
             return tuple(self._entries)
 
     def describe(self) -> dict[str, Any]:
-        """Spec + live state per configuration (JSON-ready)."""
+        """Spec + live state per configuration (JSON-ready).
+
+        Each config reports the tenants holding a dedicated built view
+        of it under ``"tenants"`` (tenants sharing the base entry appear
+        in the service's per-tenant request metrics instead — the pool
+        has no per-request knowledge of them).
+        """
         with self._lock:
             entries = dict(self._entries)
         out: dict[str, Any] = {}
@@ -434,6 +602,17 @@ class SessionPool:
                 info["generation"] = entry.generation()
                 info["invalidations"] = entry.invalidations
                 info["session"] = entry.session.describe()
+            tenants: dict[str, Any] = {}
+            for tentry in entries.values():
+                if tentry.tenant is None or tentry.config.name != name:
+                    continue
+                tenants[tentry.tenant] = {
+                    "built": True,
+                    "generation": tentry.generation(),
+                    "invalidations": tentry.invalidations,
+                    "store": tentry.config.store,
+                }
+            info["tenants"] = tenants
             out[name] = info
         return out
 

@@ -114,7 +114,11 @@ class SQLiteIndexBackend:
         positions = self.add_all([doc])
         return positions[0]
 
-    def add_all(self, documents: Iterable[Document]) -> list[int]:
+    def add_all(
+        self,
+        documents: Iterable[Document],
+        guard: Callable[[DocumentStore, list[Document]], None] | None = None,
+    ) -> list[int]:
         """Upsert a batch durably (one transaction, one notification).
 
         New ``doc_id`` values append to the adopted corpus; known ones
@@ -125,6 +129,10 @@ class SQLiteIndexBackend:
         so concurrent ingests cannot interleave corpus appends out of
         store-position order, and every mutation listener observes a
         consistent (store, corpus) pair.
+
+        ``guard`` is forwarded to :meth:`DocumentStore.upsert_all` and
+        runs under the write lock before the transaction begins — the
+        tenancy layer's transactional quota hook.
         """
         docs = list(documents)
         if not docs:
@@ -137,7 +145,7 @@ class SQLiteIndexBackend:
                 else:
                     self._corpus.add(doc)
 
-        return self._store.upsert_all(docs, on_committed=sync_corpus)
+        return self._store.upsert_all(docs, on_committed=sync_corpus, guard=guard)
 
     def remove(self, target: str | int) -> int:
         """Tombstone a document (by ``doc_id`` or integer position).

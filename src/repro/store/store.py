@@ -398,6 +398,7 @@ class DocumentStore:
         self,
         documents: Iterable[Document],
         on_committed: Callable[[list[int]], None] | None = None,
+        guard: Callable[["DocumentStore", list[Document]], None] | None = None,
     ) -> list[int]:
         """Upsert a batch in one transaction; listeners notified once.
 
@@ -405,6 +406,11 @@ class DocumentStore:
         nobody. On any error the whole batch rolls back (the in-memory
         mirrors are reloaded from the committed state), so a partially
         bad batch never becomes durable.
+
+        ``guard(store, docs)`` — if given — runs under the write lock
+        *before* the transaction begins; raising from it (e.g. a tenant
+        quota check) rejects the batch atomically: no row written, no
+        generation bump, mirrors untouched.
 
         ``on_committed(positions)`` runs after the COMMIT but *before*
         the write lock is released and before listeners fire — the hook
@@ -416,6 +422,8 @@ class DocumentStore:
         if not docs:
             return []
         with self._write_lock:  # analyze: ignore[LOCK001] - sqlite ops on the writer connection run under the write lock by design: one writer, mutators serialized
+            if guard is not None:
+                guard(self, docs)
             self._writer.execute("BEGIN IMMEDIATE")
             try:
                 positions = [self._upsert_one(doc) for doc in docs]

@@ -1,0 +1,79 @@
+"""Multi-tenant serving: tenant specs, quotas, and rate limits.
+
+The tenancy subsystem layers per-tenant isolation over the serving
+stack:
+
+- :class:`TenantSpec` / :class:`TenantRegistry` — declarative tenant
+  descriptions (allowed configs, private store paths, quota and
+  rate-limit parameters) persisted as JSON so tenants survive restarts.
+- :class:`QuotaManager` — storage quotas (max documents / max ingest
+  batch) enforced transactionally at the store write path.
+- :class:`RateLimiter` — per-tenant token buckets (qps + burst) with an
+  injectable monotonic clock.
+- :func:`resolve_tenant` — shared request-time resolution of the
+  ``tenant=`` param (both serve tiers inject the ``X-Repro-Tenant``
+  header into params before calling it).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.errors import TenancyError, UnknownTenantError
+from repro.tenancy.model import QUOTA_FIELDS, TenantSpec
+from repro.tenancy.quota import QuotaManager
+from repro.tenancy.ratelimit import RateLimiter
+from repro.tenancy.registry import TenantRegistry
+
+#: Header carrying the tenant name; the HTTP layers fold it into params.
+TENANT_HEADER = "X-Repro-Tenant"
+
+
+def tenant_name(params: Mapping[str, Any]) -> str | None:
+    """The ``tenant=`` value from a params mapping, or ``None``."""
+    value = params.get("tenant")
+    if isinstance(value, (list, tuple)):
+        value = value[0] if value else None
+    if value is None:
+        return None
+    value = str(value).strip()
+    return value or None
+
+
+def resolve_tenant(
+    registry: "TenantRegistry | None",
+    params: Mapping[str, Any],
+    *,
+    required: bool = False,
+) -> TenantSpec | None:
+    """Resolve the request's tenant against ``registry``.
+
+    Raises :class:`UnknownTenantError` for a name the registry does not
+    know, and :class:`TenancyError` when ``required`` and no tenant was
+    named. With no registry configured, tenancy is off and every request
+    resolves to ``None``.
+    """
+    if registry is None:
+        return None
+    name = tenant_name(params)
+    if name is None:
+        if required:
+            raise TenancyError(
+                "tenant required: pass ?tenant= or the "
+                f"{TENANT_HEADER} header")
+        return None
+    return registry.get(name)
+
+
+__all__ = [
+    "QUOTA_FIELDS",
+    "QuotaManager",
+    "RateLimiter",
+    "TENANT_HEADER",
+    "TenancyError",
+    "TenantRegistry",
+    "TenantSpec",
+    "UnknownTenantError",
+    "resolve_tenant",
+    "tenant_name",
+]

@@ -1,0 +1,133 @@
+"""Tenant specification model.
+
+A :class:`TenantSpec` is a declarative description of one tenant: which
+serving configurations it may address, optional per-config private store
+paths, and its quota / rate-limit envelope. Specs are immutable value
+objects; mutation happens by replacing a spec in the
+:class:`~repro.tenancy.registry.TenantRegistry`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+from repro.errors import TenancyError
+
+# Tenant names become cache-key prefixes, pool-entry keys ("tenant::config"),
+# routing-key components, and JSON file keys — keep them boring on purpose.
+_NAME_RE = re.compile(r"^[a-z0-9][a-z0-9_-]{0,63}$")
+
+# dataclasses.replace()-able knobs accepted by ``TenantRegistry.update``.
+QUOTA_FIELDS = (
+    "max_documents",
+    "max_ingest_batch",
+    "qps",
+    "burst",
+    "max_in_flight",
+)
+
+
+def _positive(value: Any, label: str, *, integral: bool) -> Any:
+    if value is None:
+        return None
+    try:
+        value = int(value) if integral else float(value)
+    except (TypeError, ValueError):
+        raise TenancyError(f"{label} must be a number, got {value!r}") from None
+    if value <= 0:
+        raise TenancyError(f"{label} must be positive, got {value!r}")
+    return value
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """Declarative description of one tenant.
+
+    ``configs`` is an allow-list of serving-configuration names; empty
+    means *every* configured name. ``stores`` maps a config name to a
+    private SQLite store path, giving that tenant its own namespace for
+    ingest and changefeed reads. ``None`` for any limit means unlimited.
+    """
+
+    name: str
+    configs: tuple[str, ...] = ()
+    stores: Mapping[str, str] = field(default_factory=dict)
+    max_documents: int | None = None
+    max_ingest_batch: int | None = None
+    qps: float | None = None
+    burst: int | None = None
+    max_in_flight: int | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not _NAME_RE.match(self.name):
+            raise TenancyError(
+                "tenant name must match [a-z0-9][a-z0-9_-]{0,63}, "
+                f"got {self.name!r}"
+            )
+        object.__setattr__(self, "configs", tuple(self.configs))
+        for cfg in self.configs:
+            if not cfg or not isinstance(cfg, str):
+                raise TenancyError(f"bad config name in allow-list: {cfg!r}")
+        stores = dict(self.stores)
+        for cfg, path in stores.items():
+            if not cfg or not isinstance(cfg, str) or not path:
+                raise TenancyError(f"bad store override: {cfg!r} -> {path!r}")
+            stores[cfg] = str(path)
+        object.__setattr__(self, "stores", stores)
+        object.__setattr__(
+            self, "max_documents",
+            _positive(self.max_documents, "max_documents", integral=True))
+        object.__setattr__(
+            self, "max_ingest_batch",
+            _positive(self.max_ingest_batch, "max_ingest_batch", integral=True))
+        object.__setattr__(
+            self, "qps", _positive(self.qps, "qps", integral=False))
+        object.__setattr__(
+            self, "burst", _positive(self.burst, "burst", integral=True))
+        object.__setattr__(
+            self, "max_in_flight",
+            _positive(self.max_in_flight, "max_in_flight", integral=True))
+
+    def allows(self, config_name: str) -> bool:
+        """True when this tenant may address ``config_name``."""
+        return not self.configs or config_name in self.configs
+
+    def store_for(self, config_name: str, default: str | None) -> str | None:
+        """The store path this tenant uses for ``config_name``."""
+        return self.stores.get(config_name, default)
+
+    def with_limits(self, **changes: Any) -> "TenantSpec":
+        """A copy with the given quota/rate-limit fields replaced."""
+        unknown = set(changes) - set(QUOTA_FIELDS)
+        if unknown:
+            raise TenancyError(f"unknown quota fields: {sorted(unknown)}")
+        return replace(self, **changes)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "configs": list(self.configs),
+            "stores": dict(self.stores),
+            "max_documents": self.max_documents,
+            "max_ingest_batch": self.max_ingest_batch,
+            "qps": self.qps,
+            "burst": self.burst,
+            "max_in_flight": self.max_in_flight,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "TenantSpec":
+        if not isinstance(payload, Mapping):
+            raise TenancyError(f"tenant spec must be a mapping, got {payload!r}")
+        return cls(
+            name=payload.get("name", ""),
+            configs=tuple(payload.get("configs", ())),
+            stores=dict(payload.get("stores", {})),
+            max_documents=payload.get("max_documents"),
+            max_ingest_batch=payload.get("max_ingest_batch"),
+            qps=payload.get("qps"),
+            burst=payload.get("burst"),
+            max_in_flight=payload.get("max_in_flight"),
+        )

@@ -1,0 +1,79 @@
+"""Per-tenant token-bucket rate limiting.
+
+A classic token bucket: each tenant's bucket holds up to ``burst``
+tokens and refills continuously at ``qps`` tokens per second. A request
+takes one token; when the bucket is dry the caller is told how long to
+wait until one token will be available (the ``Retry-After`` value).
+
+The clock is injectable (monotonic by default) so tests can drive time
+deterministically. A tenant with ``qps=None`` is unlimited and never
+touches a bucket.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from threading import Lock
+
+from repro.tenancy.model import TenantSpec
+
+
+class _Bucket:
+    __slots__ = ("rate", "burst", "tokens", "stamp")
+
+    def __init__(self, rate: float, burst: float, now: float) -> None:
+        self.rate = rate
+        self.burst = burst
+        self.tokens = burst
+        self.stamp = now
+
+
+class RateLimiter:
+    """Token buckets keyed by tenant name, created lazily from specs."""
+
+    def __init__(self, clock=time.monotonic) -> None:
+        self._clock = clock
+        self._lock = Lock()
+        self._buckets: dict[str, _Bucket] = {}
+
+    def _bucket_locked(self, spec: TenantSpec, now: float) -> _Bucket:
+        rate = float(spec.qps or 0.0)
+        burst = float(spec.burst if spec.burst is not None
+                      else max(1, math.ceil(rate)))
+        bucket = self._buckets.get(spec.name)
+        if bucket is None or bucket.rate != rate or bucket.burst != burst:
+            # New tenant, or its limits changed: start from a full bucket.
+            bucket = self._buckets[spec.name] = _Bucket(rate, burst, now)
+        return bucket
+
+    def try_acquire(self, spec: TenantSpec) -> tuple[bool, float]:
+        """Take one token; returns ``(admitted, retry_after_seconds)``."""
+        if spec.qps is None:
+            return True, 0.0
+        now = self._clock()
+        with self._lock:
+            bucket = self._bucket_locked(spec, now)
+            elapsed = max(0.0, now - bucket.stamp)
+            bucket.stamp = now
+            bucket.tokens = min(bucket.burst,
+                                bucket.tokens + elapsed * bucket.rate)
+            if bucket.tokens >= 1.0:
+                bucket.tokens -= 1.0
+                return True, 0.0
+            retry_after = (1.0 - bucket.tokens) / bucket.rate
+        return False, retry_after
+
+    def tokens(self, name: str) -> float | None:
+        """Current token count for a tenant, or ``None`` if no bucket yet."""
+        with self._lock:
+            bucket = self._buckets.get(name)
+            return None if bucket is None else bucket.tokens
+
+    def reset(self, name: str | None = None) -> None:
+        """Drop one bucket (or all) so the next request starts full."""
+        with self._lock:
+            if name is None:
+                self._buckets.clear()
+            else:
+                self._buckets.pop(name, None)

@@ -1,0 +1,128 @@
+"""Thread-safe, JSON-persisted registry of tenant specs.
+
+The registry is the control plane: ``repro tenant`` CLI commands mutate
+it, both serve tiers read it. When constructed with a ``path`` every
+mutation is flushed atomically (write-temp + rename) so tenants survive
+process restarts; without a path it is purely in-memory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro.errors import TenancyError, UnknownTenantError
+from repro.tenancy.model import TenantSpec
+
+_SCHEMA_VERSION = 1
+
+
+class TenantRegistry:
+    """All known tenants, keyed by name."""
+
+    def __init__(
+        self,
+        path: str | os.PathLike[str] | None = None,
+        specs: Iterable[TenantSpec] = (),
+    ) -> None:
+        self._path = Path(path) if path is not None else None
+        self._lock = threading.RLock()
+        self._specs: dict[str, TenantSpec] = {}
+        for spec in specs:
+            self._specs[spec.name] = spec
+        if self._path is not None and self._path.exists():
+            self._load()
+
+    # -- persistence ---------------------------------------------------
+
+    def _load(self) -> None:
+        assert self._path is not None
+        try:
+            payload = json.loads(self._path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            raise TenancyError(f"cannot read tenant file {self._path}: {exc}")
+        if not isinstance(payload, Mapping) or "tenants" not in payload:
+            raise TenancyError(
+                f"tenant file {self._path} must be an object with 'tenants'")
+        with self._lock:
+            for entry in payload["tenants"]:
+                spec = TenantSpec.from_dict(entry)
+                self._specs[spec.name] = spec
+
+    def _flush_locked(self) -> None:
+        """Persist under ``self._lock``; atomic via temp-file rename."""
+        if self._path is None:
+            return
+        payload = {
+            "version": _SCHEMA_VERSION,
+            "tenants": [
+                self._specs[name].to_dict() for name in sorted(self._specs)
+            ],
+        }
+        tmp = self._path.with_name(self._path.name + ".tmp")
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        tmp.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        os.replace(tmp, self._path)
+
+    @property
+    def path(self) -> Path | None:
+        return self._path
+
+    # -- mutation ------------------------------------------------------
+
+    def create(self, spec: TenantSpec) -> TenantSpec:
+        with self._lock:
+            if spec.name in self._specs:
+                raise TenancyError(f"tenant already exists: {spec.name!r}")
+            self._specs[spec.name] = spec
+            self._flush_locked()
+        return spec
+
+    def update(self, name: str, **limits: Any) -> TenantSpec:
+        """Replace quota/rate-limit fields of an existing tenant."""
+        with self._lock:
+            spec = self._specs.get(name)
+            if spec is None:
+                raise UnknownTenantError(f"unknown tenant: {name!r}")
+            spec = spec.with_limits(**limits)
+            self._specs[name] = spec
+            self._flush_locked()
+        return spec
+
+    def delete(self, name: str) -> None:
+        with self._lock:
+            if name not in self._specs:
+                raise UnknownTenantError(f"unknown tenant: {name!r}")
+            del self._specs[name]
+            self._flush_locked()
+
+    # -- lookup --------------------------------------------------------
+
+    def get(self, name: str) -> TenantSpec:
+        with self._lock:
+            spec = self._specs.get(name)
+        if spec is None:
+            raise UnknownTenantError(f"unknown tenant: {name!r}")
+        return spec
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._specs
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._specs)
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._specs)
+
+    def specs(self) -> list[TenantSpec]:
+        with self._lock:
+            return [self._specs[name] for name in sorted(self._specs)]
+
+    def describe(self) -> list[dict[str, Any]]:
+        return [spec.to_dict() for spec in self.specs()]
