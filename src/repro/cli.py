@@ -210,6 +210,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             cache_ttl=None if args.cache_ttl == 0 else args.cache_ttl,
             workers=args.workers,
             tenants=args.tenants,
+            tracing=args.tracing,
+            trace_capacity=args.trace_buffer,
+            slow_threshold=args.slow_threshold,
+            log_json=args.log_json,
         )
     except OSError as exc:
         # Bind failures (port in use, privileged port) get the same
@@ -265,6 +269,10 @@ def _cmd_cluster_serve(args: argparse.Namespace) -> int:
             compaction_interval=args.compaction_interval,
             changelog_keep=args.changelog_keep,
             tenants=args.tenants,
+            tracing=args.tracing,
+            trace_capacity=args.trace_buffer,
+            slow_threshold=args.slow_threshold,
+            log_json=args.log_json,
         )
         server = ClusterServer(coordinator, host=args.host, port=args.port)
     except OSError as exc:
@@ -296,6 +304,77 @@ def _cmd_cluster_serve(args: argparse.Namespace) -> int:
         print("shutting down", flush=True)
     finally:
         server.stop()
+    return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    """Fetch /debug/traces or /debug/slow from a running server."""
+    import json as _json
+    import urllib.error
+    import urllib.parse
+    import urllib.request
+
+    base = args.url.rstrip("/")
+    if args.obs_command == "slow":
+        path, query = "/debug/slow", {"limit": args.limit}
+    else:
+        path, query = "/debug/traces", {"limit": args.limit}
+        if args.min_duration is not None:
+            query["min_duration"] = args.min_duration
+        if args.status:
+            query["status"] = args.status
+        if args.tenant:
+            query["for_tenant"] = args.tenant
+    url = base + path + "?" + urllib.parse.urlencode(query)
+    try:
+        with urllib.request.urlopen(url, timeout=args.timeout) as resp:
+            payload = _json.loads(resp.read())
+    except (urllib.error.URLError, OSError, ValueError) as exc:
+        print(f"error: cannot fetch {url}: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(_json.dumps(payload, indent=2))
+        return 0
+    if args.obs_command == "slow":
+        entries = payload.get("slow", [])
+        print(
+            f"slow requests over {payload.get('threshold_seconds')}s: "
+            f"{len(entries)} shown, {payload.get('captured', 0)} captured "
+            f"of {payload.get('seen', 0)} seen"
+        )
+        for e in entries:
+            tenant = f"  tenant={e['tenant']}" if e.get("tenant") else ""
+            print(
+                f"  {e.get('trace_id', '?'):<18} "
+                f"{float(e.get('duration_seconds') or 0):8.3f}s  "
+                f"{e.get('status', '?'):>3}  "
+                f"{e.get('path') or e.get('name', '')}{tenant}"
+            )
+        return 0
+    traces = payload.get("traces", [])
+    tracing = "on" if payload.get("tracing") else "off"
+    print(
+        f"traces: {len(traces)} shown ({payload.get('held', 0)} held, "
+        f"capacity {payload.get('capacity', 0)}, tracing {tracing})"
+    )
+    for t in traces:
+        flag = "!" if t.get("status") == "error" else " "
+        print(
+            f"{flag} {t.get('trace_id', '?'):<18} "
+            f"{float(t.get('duration_seconds') or 0):8.3f}s  "
+            f"{t.get('name', ''):<14} spans={len(t.get('spans', []))}"
+        )
+        if args.spans:
+            for s in t.get("spans", []):
+                mark = "!" if s.get("status") == "error" else " "
+                attrs = {
+                    k: v for k, v in (s.get("attrs") or {}).items()
+                    if v is not None
+                }
+                print(
+                    f"    {mark} {s.get('name', ''):<20} "
+                    f"{float(s.get('duration_seconds') or 0):8.4f}s  {attrs}"
+                )
     return 0
 
 
@@ -818,6 +897,30 @@ def build_parser() -> argparse.ArgumentParser:
              "service to multi-tenant mode — data routes then require "
              "?tenant= or the X-Repro-Tenant header",
     )
+
+    def add_obs_flags(sp: argparse.ArgumentParser) -> None:
+        sp.add_argument(
+            "--tracing", action=argparse.BooleanOptionalAction, default=True,
+            help="per-request tracing: X-Repro-Trace propagation, "
+                 "/debug/traces, the slow-request log (--no-tracing "
+                 "turns the request root span off; see 'repro obs')",
+        )
+        sp.add_argument(
+            "--trace-buffer", type=int, default=256, metavar="N",
+            help="finished traces held for /debug/traces (default: 256)",
+        )
+        sp.add_argument(
+            "--slow-threshold", type=float, default=0.25, metavar="SECS",
+            help="requests at least this long enter the always-on slow "
+                 "log at /debug/slow (default: 0.25)",
+        )
+        sp.add_argument(
+            "--log-json", action="store_true",
+            help="emit one structured JSON line per request (and per "
+                 "shed decision) on stderr",
+        )
+
+    add_obs_flags(p)
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
@@ -897,7 +1000,60 @@ def build_parser() -> argparse.ArgumentParser:
              "enforces per-tenant rate limits, quotas, and config "
              "allow-lists at the cluster's edge",
     )
+    add_obs_flags(cp)
     cp.set_defaults(func=_cmd_cluster_serve)
+
+    p = sub.add_parser(
+        "obs",
+        help="inspect a running server's observability endpoints: "
+             "recent traces (/debug/traces) and the slow-request log "
+             "(/debug/slow)",
+    )
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+
+    def add_obs_common(op: argparse.ArgumentParser) -> None:
+        op.add_argument(
+            "--url", default="http://127.0.0.1:8080",
+            help="server base URL — serve or cluster tier "
+                 "(default: http://127.0.0.1:8080)",
+        )
+        op.add_argument(
+            "--limit", type=int, default=20,
+            help="max entries to show (default: 20)",
+        )
+        op.add_argument(
+            "--timeout", type=float, default=10.0, metavar="SECS",
+            help="HTTP timeout (default: 10)",
+        )
+        op.add_argument(
+            "--json", action="store_true",
+            help="print the raw JSON payload instead of the summary",
+        )
+
+    op = obs_sub.add_parser(
+        "traces", help="recent finished traces, newest first"
+    )
+    add_obs_common(op)
+    op.add_argument(
+        "--min-duration", type=float, default=None, metavar="SECS",
+        help="only traces at least this long",
+    )
+    op.add_argument(
+        "--status", default=None, choices=("ok", "error"),
+        help="filter by root span status",
+    )
+    op.add_argument("--tenant", default=None, help="filter by tenant name")
+    op.add_argument(
+        "--spans", action="store_true",
+        help="also print each trace's spans",
+    )
+    op.set_defaults(func=_cmd_obs)
+
+    op = obs_sub.add_parser(
+        "slow", help="the always-on slow-request log"
+    )
+    add_obs_common(op)
+    op.set_defaults(func=_cmd_obs)
 
     p = sub.add_parser(
         "tenant",

@@ -121,6 +121,11 @@ class FeedTailer:
         will not truncate records this tailer still needs.
     on_gap:
         ``callback(tailer, batch) -> int | None``; see module docstring.
+    tracer:
+        Optional :class:`repro.obs.Tracer`; each non-empty apply batch
+        becomes a ``feed.apply`` root trace (with per-entry counts), so
+        background maintenance shows up in ``/debug/traces`` and the
+        slow log alongside request traffic.
     """
 
     def __init__(
@@ -133,12 +138,14 @@ class FeedTailer:
         poll_interval: float = 0.2,
         batch_limit: int = DEFAULT_BATCH_LIMIT,
         on_gap: Callable[["FeedTailer", FeedBatch], int | None] | None = None,
+        tracer: Any = None,
     ) -> None:
         if poll_interval <= 0:
             raise FeedError(f"poll_interval must be > 0, got {poll_interval}")
         self._feed = feed
         self._backend = backend
         self._consumer = consumer
+        self._tracer = tracer
         self._poll_interval = float(poll_interval)
         self._batch_limit = int(batch_limit)
         self._on_gap = on_gap
@@ -202,6 +209,26 @@ class FeedTailer:
             self._handle_gap(batch)
             return batch
         applied_now = 0
+        if len(batch.entries) and self._tracer is not None:
+            # A root trace per non-empty batch: background maintenance
+            # is visible in /debug/traces next to request traffic.
+            with self._tracer.request(
+                "feed.apply",
+                consumer=self._consumer,
+                entries=len(batch.entries),
+                since=since,
+            ) as root:
+                applied_now = self._apply_entries(batch, since)
+                if root is not None:
+                    root.set_attr("applied", applied_now)
+        else:
+            applied_now = self._apply_entries(batch, since)
+        with self._lock:
+            self._batches += 1
+        return batch
+
+    def _apply_entries(self, batch: FeedBatch, since: int) -> int:
+        applied_now = 0
         for entry in batch:
             if entry.generation <= since:
                 continue  # exactly-once: never re-apply a generation
@@ -211,9 +238,7 @@ class FeedTailer:
             with self._lock:
                 self._applied = entry.generation
                 self._entries_applied += 1
-        with self._lock:
-            self._batches += 1
-        return batch
+        return applied_now
 
     # analyze: ignore[GUARD001] - _stop_event is a threading.Event (internally synchronized); signaling it outside the stats lock is deliberate
     def _handle_gap(self, batch: FeedBatch) -> None:

@@ -1,0 +1,272 @@
+"""Trace sinks: bounded buffer, slow-request ring, JSON line logger.
+
+All three are small, lock-protected, allocation-light containers — they
+sit on the warm path, so every operation under a lock is a dict/deque
+mutation, never I/O (the JSON logger formats outside its lock and only
+serializes the ``write`` call itself).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+from collections import OrderedDict, deque
+from typing import Any, Iterable, Mapping, TextIO
+
+__all__ = ["TraceBuffer", "SlowLog", "JsonLogger", "DEFAULT_SLOW_THRESHOLD"]
+
+#: Requests at or above this many seconds land in the slow log.
+DEFAULT_SLOW_THRESHOLD = 0.25
+
+#: Hard cap on spans kept per trace: a client replaying one trace id
+#: forever must not grow a single entry (and re-copy it) without bound.
+MAX_SPANS_PER_TRACE = 1024
+
+
+def _materialize(trace: dict[str, Any]) -> None:
+    """Convert any still-live Span objects in ``trace`` to dicts, in place.
+
+    Spans land in the sink as objects (see :meth:`repro.obs.Span.end`);
+    readers pay the dict construction, the warm path does not. Idempotent
+    — already-materialized entries (including spans absorbed from a
+    remote process, which arrive as dicts) pass through untouched.
+    """
+    spans = trace.get("spans")
+    if isinstance(spans, list):
+        for i, record in enumerate(spans):
+            if not isinstance(record, dict):
+                spans[i] = record.to_dict()
+
+
+def _trace_record(root: Any) -> dict[str, Any]:
+    """Build the canonical trace dict from a finished root span."""
+    return {
+        "trace_id": root.trace_id,
+        "name": root.name,
+        "start": root.start,
+        "duration_seconds": root.duration_seconds,
+        "status": root.status,
+        "error": root.error,
+        "attrs": dict(root.attrs),
+        "spans": [
+            s if isinstance(s, dict) else s.to_dict() for s in root._sink
+        ],
+    }
+
+
+class TraceBuffer:
+    """The last ``capacity`` finished traces, keyed by trace_id.
+
+    Two-stage: finishes append to a bounded intake deque (lock-free on
+    the warm path) and readers fold them into an
+    :class:`~collections.OrderedDict` used as an LRU-ish ring — inserts
+    evict the oldest entry once full, and the intake's ``maxlen``
+    enforces the same bound when nobody reads. A re-finished trace_id
+    (coordinator + replica sharing an id never hits this — only the
+    coordinator's tracer owns a buffer on the routed path, but a direct
+    replica request can) refreshes the existing entry by merging spans
+    rather than dropping either half.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        self.capacity = max(1, int(capacity))
+        self._lock = threading.Lock()
+        self._traces: "OrderedDict[str, dict[str, Any]]" = OrderedDict()
+        # Write-behind intake: finishing a request appends its root span
+        # here — a single lock-free deque.append (atomic under the GIL)
+        # — and readers fold pending entries into the keyed ring. The
+        # maxlen bound gives ring semantics even if nobody ever reads.
+        self._pending: "deque[Any]" = deque(maxlen=self.capacity)
+
+    def add(self, trace: Mapping[str, Any]) -> None:
+        """Queue a finished trace (a mapping, or a root span object).
+
+        A bare ``deque.append`` — atomic under the GIL; keeping the
+        warm path lock-free is this class's point.
+        """
+        self._pending.append(trace)
+
+    def add_root(self, root: Any) -> None:
+        """Queue a finished root :class:`~repro.obs.Span` (the hot path)."""
+        self._pending.append(root)
+
+    def _drain_locked(self) -> None:
+        """Fold pending finishes into the keyed ring (lock held)."""
+        while True:
+            try:
+                item = self._pending.popleft()
+            except IndexError:
+                break
+            if isinstance(item, Mapping):
+                record = dict(item)
+            else:
+                record = _trace_record(item)
+            trace_id = record.get("trace_id")
+            if not trace_id:
+                continue
+            _materialize(record)
+            existing = self._traces.pop(trace_id, None)
+            if existing is not None:
+                merged = list(existing.get("spans", ()))
+                merged.extend(record.get("spans", ()))
+                record["spans"] = merged[:MAX_SPANS_PER_TRACE]
+            self._traces[trace_id] = record
+            while len(self._traces) > self.capacity:
+                self._traces.popitem(last=False)
+
+    def get(self, trace_id: str) -> dict[str, Any] | None:
+        with self._lock:
+            self._drain_locked()
+            trace = self._traces.get(trace_id)
+            if trace is None:
+                return None
+            return dict(trace)
+
+    def list(
+        self,
+        min_duration: float | None = None,
+        status: str | None = None,
+        tenant: str | None = None,
+        limit: int = 50,
+    ) -> list[dict[str, Any]]:
+        """Newest-first traces matching the filters (see /debug/traces)."""
+        out: list[dict[str, Any]] = []
+        with self._lock:
+            self._drain_locked()
+            for trace in reversed(self._traces.values()):
+                if min_duration is not None:
+                    if (trace.get("duration_seconds") or 0.0) < min_duration:
+                        continue
+                if status is not None and trace.get("status") != status:
+                    continue
+                if tenant is not None:
+                    if trace.get("attrs", {}).get("tenant") != tenant:
+                        continue
+                out.append(dict(trace))
+                if len(out) >= limit:
+                    break
+        return out
+
+    def __len__(self) -> int:
+        with self._lock:
+            self._drain_locked()
+            return len(self._traces)
+
+
+class SlowLog:
+    """Always-on ring of requests slower than ``threshold`` seconds.
+
+    Stores a compact summary per trace (not the span tree) so a burst of
+    slow requests costs bounded memory; the trace_id links back to the
+    full tree in the :class:`TraceBuffer` while it survives there.
+    """
+
+    def __init__(
+        self,
+        threshold: float = DEFAULT_SLOW_THRESHOLD,
+        capacity: int = 128,
+    ) -> None:
+        self.threshold = float(threshold)
+        self._lock = threading.Lock()
+        self._entries: "deque[dict[str, Any]]" = deque(maxlen=max(1, int(capacity)))
+        self._seen = 0
+        self._captured = 0
+
+    def offer(self, trace: Mapping[str, Any]) -> bool:
+        """Record the trace if it crossed the threshold; return whether."""
+        duration = trace.get("duration_seconds") or 0.0
+        if duration < self.threshold:
+            self._note_fast()
+            return False
+        attrs = trace.get("attrs", {})
+        self._capture({
+            "trace_id": trace.get("trace_id"),
+            "name": trace.get("name"),
+            "duration_seconds": duration,
+            "status": trace.get("status"),
+            "tenant": attrs.get("tenant"),
+            "path": attrs.get("path"),
+            "ts": trace.get("start"),
+        })
+        return True
+
+    def offer_root(self, root: Any) -> bool:
+        """:meth:`offer`, reading a finished root span directly (hot path)."""
+        duration = root.duration_seconds or 0.0
+        if duration < self.threshold:
+            self._note_fast()
+            return False
+        attrs = root.attrs
+        self._capture({
+            "trace_id": root.trace_id,
+            "name": root.name,
+            "duration_seconds": duration,
+            "status": root.status,
+            "tenant": attrs.get("tenant"),
+            "path": attrs.get("path"),
+            "ts": root.start,
+        })
+        return True
+
+    def _note_fast(self) -> None:
+        # analyze: ignore[GUARD001] - deliberately lock-free: the seen
+        # counter is diagnostic telemetry and a lost increment under
+        # thread-switch races is acceptable; taking the lock on every
+        # fast request is not.
+        self._seen += 1
+
+    def _capture(self, entry: dict[str, Any]) -> None:
+        with self._lock:
+            self._seen += 1
+            self._captured += 1
+            self._entries.append(entry)
+
+    def entries(self, limit: int = 50) -> list[dict[str, Any]]:
+        """Newest-first slow entries, at most ``limit``."""
+        with self._lock:
+            items = list(self._entries)
+        items.reverse()
+        return items[: max(0, int(limit))]
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            seen, captured, held = self._seen, self._captured, len(self._entries)
+        return {
+            "threshold_seconds": self.threshold,
+            "seen": seen,
+            "captured": captured,
+            "held": held,
+        }
+
+
+class JsonLogger:
+    """One JSON object per line to a text stream (stderr by default).
+
+    The serialized line is built outside the lock; only the write+flush
+    is serialized so concurrent request threads never interleave bytes.
+    """
+
+    def __init__(self, stream: TextIO | None = None) -> None:
+        self._stream = stream if stream is not None else sys.stderr
+        self._lock = threading.Lock()
+
+    def emit(self, record: Mapping[str, Any]) -> None:
+        try:
+            line = json.dumps(record, separators=(",", ":"), default=str)
+        except (TypeError, ValueError):
+            line = json.dumps({"event": "log_error", "repr": repr(record)})
+        with self._lock:
+            try:
+                self._stream.write(line + "\n")
+                self._stream.flush()
+            except (OSError, ValueError):
+                pass  # a closed/broken log stream must never fail a request
+
+
+def iter_json_lines(text: str) -> Iterable[dict[str, Any]]:
+    """Parse captured JsonLogger output back into records (test helper)."""
+    for line in text.splitlines():
+        line = line.strip()
+        if line:
+            yield json.loads(line)

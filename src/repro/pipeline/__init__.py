@@ -28,6 +28,7 @@ from repro.pipeline.middleware import (
     Middleware,
     TimingMiddleware,
     TraceMiddleware,
+    TracingMiddleware,
 )
 from repro.pipeline.pipeline import Pipeline, Stage, default_pipeline
 from repro.pipeline.stages import (
@@ -57,6 +58,7 @@ __all__ = [
     "TimingMiddleware",
     "TraceEvent",
     "TraceMiddleware",
+    "TracingMiddleware",
     "UniverseStage",
     "default_pipeline",
     "default_stages",

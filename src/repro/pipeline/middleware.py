@@ -25,12 +25,16 @@ Built-ins:
   artifact summary (result/cluster/task counts), for ``--trace`` style
   debugging.
 * :class:`CallbackMiddleware` — adapts plain functions into hooks.
+* :class:`TracingMiddleware` — contributes one :mod:`repro.obs` span per
+  stage to the ambient request trace (a no-op outside one), which is how
+  pipeline stages appear inside a served request's span tree.
 """
 
 from __future__ import annotations
 
 from typing import Any, Callable, Protocol, runtime_checkable
 
+from repro.obs.tracing import end_stage_span, start_stage_span
 from repro.pipeline.context import ExecutionContext, StageTiming, TraceEvent
 
 
@@ -120,6 +124,38 @@ class TraceMiddleware:
                 detail=f"{type(exc).__name__}: {exc}",
             )
         )
+
+
+class TracingMiddleware:
+    """One :mod:`repro.obs` child span per stage of the ambient trace.
+
+    Stages run strictly sequentially on the request's own thread, so the
+    span opened by ``on_stage_start`` is still the current one when
+    ``on_stage_end``/``on_stage_error`` fires — :func:`end_stage_span`
+    verifies the name before closing, so unpaired hooks (or a pipeline
+    run outside any request trace) degrade to no-ops instead of
+    corrupting a sibling span. The middleware itself is stateless and
+    safe to share across pooled sessions.
+    """
+
+    @staticmethod
+    def _span_name(stage: Any) -> str:
+        return f"stage.{getattr(stage, 'name', stage)}"
+
+    def on_stage_start(self, ctx: ExecutionContext, stage: Any) -> None:
+        start_stage_span(self._span_name(stage))
+        return None
+
+    def on_stage_end(
+        self, ctx: ExecutionContext, stage: Any, seconds: float
+    ) -> None:
+        end_stage_span(self._span_name(stage))
+        return None
+
+    def on_stage_error(
+        self, ctx: ExecutionContext, stage: Any, exc: BaseException
+    ) -> None:
+        end_stage_span(self._span_name(stage), exc)
 
 
 class CallbackMiddleware:

@@ -61,6 +61,23 @@ from repro.errors import (
 )
 from repro.feed import Changefeed, batch_to_payload
 from repro.feed.changefeed import resolve_read_args
+from repro.obs import (
+    DEFAULT_SLOW_THRESHOLD,
+    TRACE_HEADER,
+    TRACE_PARAM,
+    TRACE_PARENT_PARAM,
+    JsonLogger,
+    PrometheusText,
+    SlowLog,
+    TraceBuffer,
+    Tracer,
+    leaf_span,
+    new_trace_id,
+    render_prometheus,
+    sanitize_trace_id,
+    span,
+)
+from repro.obs.prometheus import CONTENT_TYPE as _PROM_CONTENT_TYPE
 from repro.serve.admission import AdmissionController, shed_payload
 from repro.serve.cache import LRUTTLCache
 from repro.serve.metrics import ServerMetrics
@@ -92,6 +109,10 @@ _TENANT_DATA_ROUTES = frozenset(
     {"/expand", "/search", "/batch", "/ingest", "/changefeed"}
 )
 
+#: Lowercased header names matched by the handler's single header pass.
+_TENANT_KEY = TENANT_HEADER.lower()
+_TRACE_KEY = TRACE_HEADER.lower()
+
 
 class ExpansionService:
     """Routes expansion/search traffic onto a warm session pool.
@@ -106,6 +127,16 @@ class ExpansionService:
     workers:
         Maximum cache-missing requests computed concurrently; excess
         requests queue on the semaphore. Cache hits never queue.
+    tracing:
+        When True (default) every :meth:`handle` call runs under a root
+        span; finished traces land in the ``/debug/traces`` buffer and
+        slow ones in ``/debug/slow``. ``False`` makes the tracer a
+        no-op — the baseline ``bench_obs.py`` compares against.
+    trace_capacity / slow_threshold:
+        Trace-buffer size and the slow-log capture threshold (seconds).
+    log_json / log_stream:
+        Enable the structured JSON access log (one line per request and
+        shed event); ``log_stream`` overrides the destination (stderr).
     """
 
     def __init__(
@@ -118,6 +149,11 @@ class ExpansionService:
         enforce_limits: bool = True,
         rate_limiter: RateLimiter | None = None,
         tenant_retry_after: float = DEFAULT_TENANT_RETRY_AFTER,
+        tracing: bool = True,
+        trace_capacity: int = 256,
+        slow_threshold: float = DEFAULT_SLOW_THRESHOLD,
+        log_json: bool = False,
+        log_stream: Any = None,
     ) -> None:
         if not isinstance(pool, SessionPool):
             pool = SessionPool(pool)
@@ -160,10 +196,30 @@ class ExpansionService:
         self._tenant_metrics: dict[str, ServerMetrics] = {}
         self._tenant_sheds: dict[str, int] = {}
         self._tenant_lock = threading.Lock()
+        # -- observability ----------------------------------------------
+        self._tracer = Tracer(
+            buffer=TraceBuffer(trace_capacity),
+            slow_log=SlowLog(slow_threshold),
+            logger=(
+                JsonLogger(log_stream)
+                if (log_json or log_stream is not None)
+                else None
+            ),
+            enabled=tracing,
+            tags={"tier": "serve"},
+        )
 
     @property
     def pool(self) -> SessionPool:
         return self._pool
+
+    @property
+    def tracer(self) -> Tracer:
+        return self._tracer
+
+    def trace_export(self, trace_id: str) -> "list[dict[str, Any]] | None":
+        """Span records of a finished trace (the RPC stitching hook)."""
+        return self._tracer.export(trace_id)
 
     @property
     def cache(self) -> LRUTTLCache:
@@ -234,6 +290,14 @@ class ExpansionService:
         if not ok:
             self._record_shed(tenant)
             self._record(path.strip("/"), None, tenant, error=True)
+            self._tracer.event(
+                "shed",
+                error=True,
+                reason="rate_limit",
+                tenant=tenant.name,
+                path=path,
+                retry_after=round(retry_after, 3),
+            )
             return 429, shed_payload(
                 f"tenant {tenant.name!r} is over its rate limit "
                 f"({tenant.qps:g} qps); retry shortly",
@@ -247,6 +311,14 @@ class ExpansionService:
         ):
             self._record_shed(tenant)
             self._record(path.strip("/"), None, tenant, error=True)
+            self._tracer.event(
+                "shed",
+                error=True,
+                reason="in_flight",
+                tenant=tenant.name,
+                path=path,
+                retry_after=self._tenant_retry_after,
+            )
             return 429, shed_payload(
                 f"tenant {tenant.name!r} is at its in-flight bound "
                 f"({tenant.max_in_flight}); retry shortly",
@@ -361,7 +433,14 @@ class ExpansionService:
             )
 
         key = variant_key(results)
+        # leaf_span, not span(): the probe is a straight dict operation
+        # that never parents children, and this is the warmest line in
+        # the service — the ctxvar push/pop would be pure overhead.
+        lookup_span = leaf_span("cache.lookup", endpoint="expand")
         hit, payload = self._cache.lookup(key)
+        if lookup_span is not None:
+            lookup_span.attrs["result"] = "hit" if hit else "miss"
+            lookup_span.end()
         if hit:
             return payload, "hit"
         if results == "none":
@@ -403,16 +482,25 @@ class ExpansionService:
             semantics,
             entry.generation(),
         )
+        lookup_span = leaf_span("cache.lookup", endpoint="search")
         hit, payload = self._cache.lookup(key)
+        if lookup_span is not None:
+            lookup_span.attrs["result"] = "hit" if hit else "miss"
+            lookup_span.end()
         if hit:
             return payload, "hit"
-        with entry.locked():  # lock-then-slot, as in _expand_cached
-            # analyze: ignore[LOCK002] - same one-way entry-lock -> slot
-            # ordering as _expand_cached
-            with self._compute_slots:
-                results = entry.session.search(
-                    query, top_k=top_k, semantics=semantics
-                )
+        # /search bypasses the pipeline (retrieval only), so the compute
+        # gets an explicit stage.retrieve span — the search-path analogue
+        # of the per-stage spans TracingMiddleware emits under /expand.
+        # Opened before the entry lock, so lock-wait shows in the span.
+        with span("stage.retrieve", semantics=semantics):
+            with entry.locked():  # lock-then-slot, as in _expand_cached
+                # analyze: ignore[LOCK002] - same one-way entry-lock -> slot
+                # ordering as _expand_cached
+                with self._compute_slots:
+                    results = entry.session.search(
+                        query, top_k=top_k, semantics=semantics
+                    )
         payload = [schema.search_result_to_dict(r) for r in results]
         self._cache.put(key, payload)
         return payload, "miss"
@@ -724,7 +812,12 @@ class ExpansionService:
         self,
         params: Mapping[str, Any] | None = None,
         tenant: TenantSpec | None = None,
-    ) -> tuple[int, dict[str, Any]]:
+    ) -> tuple[int, Any]:
+        fmt = str(self._param(params or {}, "format", "json")).lower()
+        if fmt not in ("json", "prometheus"):
+            raise ServeError(
+                f"format must be 'json' or 'prometheus', got {fmt!r}"
+            )
         t0 = time.perf_counter()
         requests = self._metrics.snapshot()
         payload = {
@@ -756,6 +849,83 @@ class ExpansionService:
         # Count this scrape too (it appears from the *next* snapshot on;
         # the payload above was already assembled).
         self._metrics.record("metrics", time.perf_counter() - t0)
+        if fmt == "prometheus":
+            return 200, render_prometheus(payload)
+        return 200, payload
+
+    # -- debug endpoints -----------------------------------------------------
+
+    @staticmethod
+    def _float_param(params: Mapping[str, Any], key: str) -> float | None:
+        raw = ExpansionService._param(params, key)
+        if raw in (None, ""):
+            return None
+        try:
+            return float(raw)
+        except (TypeError, ValueError):
+            raise ServeError(f"{key} must be a number, got {raw!r}")
+
+    def debug_traces(
+        self,
+        params: Mapping[str, Any],
+        tenant: TenantSpec | None = None,
+    ) -> tuple[int, dict[str, Any]]:
+        """Recent finished traces (``min_duration``/``status``/``tenant``).
+
+        With a tenant registry, a tenant-scoped request sees only its own
+        traces; anonymous/admin requests may filter by ``?tenant=``... —
+        but the resolved tenant always wins over the query filter.
+        """
+        buffer = self._tracer.buffer
+        min_duration = self._float_param(params, "min_duration")
+        status = self._param(params, "status")
+        status = str(status) if status not in (None, "") else None
+        tenant_filter = (
+            tenant.name
+            if tenant is not None
+            else self._param(params, "for_tenant")
+        )
+        limit_raw = self._param(params, "limit", 50)
+        try:
+            limit = max(1, min(int(limit_raw), 500))
+        except (TypeError, ValueError):
+            raise ServeError(f"limit must be an integer, got {limit_raw!r}")
+        traces = (
+            buffer.list(
+                min_duration=min_duration,
+                status=status,
+                tenant=tenant_filter,
+                limit=limit,
+            )
+            if buffer is not None
+            else []
+        )
+        return 200, {
+            "tracing": self._tracer.enabled,
+            "held": 0 if buffer is None else len(buffer),
+            "capacity": 0 if buffer is None else buffer.capacity,
+            "traces": traces,
+        }
+
+    def debug_slow(
+        self,
+        params: Mapping[str, Any],
+        tenant: TenantSpec | None = None,
+    ) -> tuple[int, dict[str, Any]]:
+        """The slow-request ring: summaries of requests over threshold."""
+        slow = self._tracer.slow_log
+        limit_raw = self._param(params, "limit", 50)
+        try:
+            limit = max(1, min(int(limit_raw), 500))
+        except (TypeError, ValueError):
+            raise ServeError(f"limit must be an integer, got {limit_raw!r}")
+        if slow is None:
+            return 200, {"slow": [], "threshold_seconds": None}
+        entries = slow.entries(limit)
+        if tenant is not None:
+            entries = [e for e in entries if e.get("tenant") == tenant.name]
+        payload = slow.snapshot()
+        payload["slow"] = entries
         return 200, payload
 
     # -- routing -------------------------------------------------------------
@@ -769,12 +939,70 @@ class ExpansionService:
         "/configs": ("configs", ("GET",)),
         "/healthz": ("healthz", ("GET",)),
         "/metrics": ("metrics_snapshot", ("GET",)),
+        "/debug/traces": ("debug_traces", ("GET",)),
+        "/debug/slow": ("debug_slow", ("GET",)),
     }
 
     def handle(
+        self,
+        method: str,
+        path: str,
+        params: Mapping[str, Any],
+        trace_id: str | None = None,
+        parent_id: str | None = None,
+    ) -> tuple[int, Any]:
+        """Dispatch one request under a root span; never raises.
+
+        Trace context arrives either as the ``trace_id``/``parent_id``
+        keywords (the HTTP layer passes the ``X-Repro-Trace`` id it
+        chose directly — no params round-trip on the warm path) or in
+        the reserved ``_trace``/``_trace_parent`` params (the
+        coordinator's RPC into a replica, or direct callers); params
+        are stripped before the endpoint sees the request. Every error
+        payload gains the request's ``trace_id``; the finished trace
+        lands in the tracer's sinks.
+        """
+        if TRACE_PARAM in params or TRACE_PARENT_PARAM in params:
+            params = dict(params)
+            raw_trace = params.pop(TRACE_PARAM, None)
+            raw_parent = params.pop(TRACE_PARENT_PARAM, None)
+            if trace_id is None:
+                if isinstance(raw_trace, list):  # ?_trace=... via parse_qs
+                    raw_trace = raw_trace[0] if raw_trace else None
+                trace_id = raw_trace
+            if parent_id is None:
+                if isinstance(raw_parent, list):
+                    raw_parent = raw_parent[0] if raw_parent else None
+                parent_id = raw_parent
+        if not self._tracer.enabled:
+            return self._dispatch(method, path, params)
+        with self._tracer.request(
+            "http.request",
+            trace_id=trace_id,
+            parent_id=parent_id,
+            method=method,
+            path=path,
+        ) as root:
+            status, payload = self._dispatch(method, path, params)
+            if root is not None:
+                attrs = root.attrs  # direct writes: handle is the warm path
+                attrs["status"] = status
+                if isinstance(payload, dict):
+                    if "cache" in payload:
+                        attrs["cache"] = payload["cache"]
+                    if "tenant" in payload:
+                        attrs["tenant"] = payload["tenant"]
+                    if status >= 400:
+                        root.mark_error(
+                            str(payload.get("message") or payload.get("error"))
+                        )
+                        payload.setdefault("trace_id", root.trace_id)
+            return status, payload
+
+    def _dispatch(
         self, method: str, path: str, params: Mapping[str, Any]
-    ) -> tuple[int, dict[str, Any]]:
-        """Dispatch one request; never raises (errors become payloads).
+    ) -> tuple[int, Any]:
+        """Route + tenancy + error ladder (the pre-tracing ``handle``).
 
         With a tenant registry configured, every route resolves the
         request's tenant first (``?tenant=`` / ``X-Repro-Tenant`` folded
@@ -806,10 +1034,13 @@ class ExpansionService:
         tenant: TenantSpec | None = None
         if self._tenants is not None:
             try:
-                tenant = resolve_tenant(
-                    self._tenants, params,
-                    required=normalized in _TENANT_DATA_ROUTES,
-                )
+                with span("tenant.resolve") as resolve_span:
+                    tenant = resolve_tenant(
+                        self._tenants, params,
+                        required=normalized in _TENANT_DATA_ROUTES,
+                    )
+                    if resolve_span is not None and tenant is not None:
+                        resolve_span.set_attr("tenant", tenant.name)
             except UnknownTenantError as exc:
                 self._metrics.record(endpoint, None, error=True)
                 return 404, {"error": "unknown_tenant", "message": str(exc)}
@@ -884,21 +1115,52 @@ class _Handler(BaseHTTPRequestHandler):
         parts = urlsplit(self.path)
         return {k: v for k, v in parse_qs(parts.query).items()}
 
-    def _apply_tenant_header(self, params: dict[str, Any]) -> dict[str, Any]:
-        """Fold ``X-Repro-Tenant`` into params (explicit param wins)."""
-        tenant = self.headers.get(TENANT_HEADER)
+    def _fold_headers(self, params: dict[str, Any]) -> dict[str, Any]:
+        """Fold ``X-Repro-Tenant`` and ``X-Repro-Trace`` into params.
+
+        One pass over the raw headers — ``Message.get`` re-scans the
+        whole header list per call, and a second scan per request is
+        visible in the warm-path overhead gate. The tenant param is only
+        set when absent (explicit param wins). The trace id chosen here
+        (client-supplied or fresh) is what the service roots the trace
+        on, and what :meth:`_respond` echoes back — so the header
+        round-trips and a generated id still reaches the client for
+        ``/debug/traces`` lookup.
+        """
+        tenant = trace = None
+        for key, value in self.headers.items():
+            lowered = key.lower()
+            if tenant is None and lowered == _TENANT_KEY:
+                tenant = value
+            elif trace is None and lowered == _TRACE_KEY:
+                trace = value
         if tenant and "tenant" not in params:
             params["tenant"] = tenant
+        tracer = getattr(self.server.service, "tracer", None)
+        if tracer is None or not tracer.enabled:
+            self._trace_id = None
+            return params
+        # The chosen id rides self._trace_id into handle()'s trace_id
+        # keyword and the response echo — never through params.
+        self._trace_id = sanitize_trace_id(trace) or new_trace_id()
         return params
 
-    def _respond(self, status: int, payload: Mapping[str, Any]) -> None:
-        # Compact separators: expansion reports carry full result
-        # payloads, so serialization cost is visible in hit latency.
-        body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    def _respond(self, status: int, payload: Any) -> None:
+        if isinstance(payload, PrometheusText):
+            body = bytes(payload)
+            content_type = _PROM_CONTENT_TYPE
+        else:
+            # Compact separators: expansion reports carry full result
+            # payloads, so serialization cost is visible in hit latency.
+            body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+            content_type = "application/json; charset=utf-8"
         self.send_response(status)
-        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
-        if status == 429:
+        trace_id = getattr(self, "_trace_id", None)
+        if trace_id is not None:
+            self.send_header(TRACE_HEADER, trace_id)
+        if status == 429 and isinstance(payload, Mapping):
             # Every shed payload (rate limit or admission, either tier)
             # carries retry_after — surface it as the standard header.
             retry_after = payload.get("retry_after")
@@ -911,9 +1173,13 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 — http.server API
         path = urlsplit(self.path).path
-        status, payload = self.server.service.handle(
-            "GET", path, self._apply_tenant_header(self._params_from_query())
-        )
+        params = self._fold_headers(self._params_from_query())
+        if self._trace_id is None:  # untraced (or stub) service: legacy call
+            status, payload = self.server.service.handle("GET", path, params)
+        else:
+            status, payload = self.server.service.handle(
+                "GET", path, params, trace_id=self._trace_id
+            )
         self._respond(status, payload)
 
     def do_POST(self) -> None:  # noqa: N802 — http.server API
@@ -925,20 +1191,26 @@ class _Handler(BaseHTTPRequestHandler):
             try:
                 body = json.loads(raw.decode("utf-8"))
             except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                self._fold_headers(params)
                 self._respond(
                     400, {"error": "bad_json", "message": str(exc)}
                 )
                 return
             if not isinstance(body, dict):
+                self._fold_headers(params)
                 self._respond(
                     400,
                     {"error": "bad_json", "message": "body must be an object"},
                 )
                 return
             params.update(body)
-        status, payload = self.server.service.handle(
-            "POST", path, self._apply_tenant_header(params)
-        )
+        params = self._fold_headers(params)
+        if self._trace_id is None:
+            status, payload = self.server.service.handle("POST", path, params)
+        else:
+            status, payload = self.server.service.handle(
+                "POST", path, params, trace_id=self._trace_id
+            )
         self._respond(status, payload)
 
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
@@ -1092,6 +1364,10 @@ def create_server(
     cache_ttl: float | None = None,
     workers: int = DEFAULT_WORKERS,
     tenants: TenantRegistry | str | None = None,
+    tracing: bool = True,
+    trace_capacity: int = 256,
+    slow_threshold: float = DEFAULT_SLOW_THRESHOLD,
+    log_json: bool = False,
 ) -> ExpansionServer:
     """Assemble pool → service → HTTP server in one call.
 
@@ -1099,7 +1375,9 @@ def create_server(
     strings (``name:key=value,...``). The pool's invalidation hook is
     wired to the service's response cache. ``tenants`` (a
     :class:`~repro.tenancy.TenantRegistry` or a path to a tenants JSON
-    file) switches the service to multi-tenant mode.
+    file) switches the service to multi-tenant mode. The observability
+    knobs (``tracing``/``trace_capacity``/``slow_threshold``/
+    ``log_json``) pass straight to :class:`ExpansionService`.
     """
     parsed = [
         c if isinstance(c, ServeConfig) else ServeConfig.parse(c)
@@ -1114,5 +1392,9 @@ def create_server(
         cache_ttl=cache_ttl,
         workers=workers,
         tenants=tenants,
+        tracing=tracing,
+        trace_capacity=trace_capacity,
+        slow_threshold=slow_threshold,
+        log_json=log_json,
     )
     return ExpansionServer(service, host=host, port=port)

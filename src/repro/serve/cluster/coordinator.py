@@ -60,6 +60,19 @@ from repro.errors import (
 )
 from repro.feed import Changefeed, CompactionScheduler, batch_to_payload
 from repro.feed.changefeed import resolve_read_args
+from repro.obs import (
+    DEFAULT_SLOW_THRESHOLD,
+    TRACE_PARAM,
+    TRACE_PARENT_PARAM,
+    JsonLogger,
+    SlowLog,
+    TraceBuffer,
+    Tracer,
+    absorb_spans,
+    current_span,
+    render_prometheus,
+    span,
+)
 from repro.serve.admission import AdmissionController, shed_payload
 from repro.serve.app import _TENANT_DATA_ROUTES
 from repro.serve.cluster.hashring import DEFAULT_VNODES, HashRing
@@ -283,6 +296,21 @@ class CoordinatorMetrics:
 
 # -- the coordinator ---------------------------------------------------------
 
+
+def _unpack_reply(reply: Any) -> tuple[int, Any, dict[str, Any]]:
+    """A replica reply → ``(status, body, extras)``.
+
+    Process replicas answer the 3-tuple wire (see
+    :mod:`~repro.serve.cluster.transport`); in-process test fakes still
+    reply ``(status, body)`` and simply contribute no extras.
+    """
+    if len(reply) == 3:
+        status, body, extras = reply
+        return int(status), body, dict(extras or {})
+    status, body = reply
+    return int(status), body, {}
+
+
 #: Endpoints proxied verbatim to one replica chosen by the hash ring.
 PROXY_ROUTES = {"/expand": ("GET", "POST"), "/search": ("GET", "POST")}
 
@@ -349,6 +377,11 @@ class ClusterCoordinator:
         changelog_keep: int = 64,
         tenants: "TenantRegistry | str | None" = None,
         rate_limiter: RateLimiter | None = None,
+        tracing: bool = True,
+        trace_capacity: int = 256,
+        slow_threshold: float = DEFAULT_SLOW_THRESHOLD,
+        log_json: bool = False,
+        log_stream: Any = None,
     ) -> None:
         parsed = tuple(
             c if isinstance(c, ServeConfig) else ServeConfig.parse(c)
@@ -366,6 +399,25 @@ class ClusterCoordinator:
         self._request_timeout = request_timeout
         self._admission = AdmissionController(queue_depth)
         self._metrics = CoordinatorMetrics()
+        # -- observability ----------------------------------------------
+        # The coordinator roots every request's trace; replicas continue
+        # it (the RPC layer propagates _trace/_trace_parent) and ship
+        # their spans back for stitching, so one routed request is one
+        # cross-process tree in /debug/traces.
+        self._tracing = bool(tracing)
+        self._trace_capacity = int(trace_capacity)
+        self._slow_threshold = float(slow_threshold)
+        self._tracer = Tracer(
+            buffer=TraceBuffer(trace_capacity),
+            slow_log=SlowLog(slow_threshold),
+            logger=(
+                JsonLogger(log_stream)
+                if (log_json or log_stream is not None)
+                else None
+            ),
+            enabled=tracing,
+            tags={"tier": "coordinator"},
+        )
         # -- tenancy (edge enforcement) ---------------------------------
         # The coordinator is the cluster's front door, so tenant limits
         # are enforced HERE, once; replicas get the registry (for cache
@@ -424,6 +476,8 @@ class ClusterCoordinator:
         self._router.add("/batch", ("POST",), self._batch)
         self._router.add("/ingest", ("POST",), self._ingest)
         self._router.add("/changefeed", ("GET",), self._changefeed_route)
+        self._router.add("/debug/traces", ("GET",), self._debug_traces)
+        self._router.add("/debug/slow", ("GET",), self._debug_slow)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -446,6 +500,14 @@ class ClusterCoordinator:
     @property
     def tenants(self) -> TenantRegistry | None:
         return self._tenants
+
+    @property
+    def tracer(self) -> Tracer:
+        return self._tracer
+
+    def trace_export(self, trace_id: str) -> "list[dict[str, Any]] | None":
+        """A finished trace's span records (tests, tooling)."""
+        return self._tracer.export(trace_id)
 
     def start(self) -> "ClusterCoordinator":
         """Hydrate and start every replica, then begin supervising."""
@@ -566,6 +628,9 @@ class ClusterCoordinator:
             feed_sources=feed_sources,
             feed_poll_interval=self._feed_poll_interval,
             tenant_specs=tenant_specs,
+            tracing=self._tracing,
+            trace_capacity=self._trace_capacity,
+            slow_threshold=self._slow_threshold,
         )
 
     # -- supervision ---------------------------------------------------------
@@ -647,6 +712,14 @@ class ClusterCoordinator:
         self._metrics.record_shed(time.perf_counter() - t0)
         if tenant is not None:
             self._record_tenant_shed(tenant)
+        self._tracer.event(
+            "shed",
+            error=True,
+            reason="queue_depth",
+            replica=replica,
+            tenant=None if tenant is None else tenant.name,
+            retry_after=self._retry_after,
+        )
         return 429, payload
 
     # -- tenancy gate --------------------------------------------------------
@@ -694,6 +767,13 @@ class ClusterCoordinator:
         if not ok:
             self._metrics.record_shed(time.perf_counter() - t0)
             self._record_tenant_shed(tenant)
+            self._tracer.event(
+                "shed",
+                error=True,
+                reason="rate_limit",
+                tenant=tenant.name,
+                retry_after=round(retry_after, 3),
+            )
             return 429, shed_payload(
                 f"tenant {tenant.name!r} is over its rate limit "
                 f"({tenant.qps:g} qps); retry shortly",
@@ -707,6 +787,13 @@ class ClusterCoordinator:
         ):
             self._metrics.record_shed(time.perf_counter() - t0)
             self._record_tenant_shed(tenant)
+            self._tracer.event(
+                "shed",
+                error=True,
+                reason="in_flight",
+                tenant=tenant.name,
+                retry_after=self._retry_after,
+            )
             return 429, shed_payload(
                 f"tenant {tenant.name!r} is at its in-flight bound "
                 f"({tenant.max_in_flight}); retry shortly",
@@ -723,28 +810,56 @@ class ClusterCoordinator:
         tenant: TenantSpec | None = None,
     ) -> tuple[int, Any]:
         t0 = time.perf_counter()
-        try:
-            key = self.routing_key(path, params)
-        except Exception as exc:  # bad cursor — reject before routing
-            return 400, {"error": "serve_error", "message": str(exc)}
-        candidates = self._live_preference(key)
+        with span("cluster.route", path=path) as route_span:
+            try:
+                key = self.routing_key(path, params)
+            except Exception as exc:  # bad cursor — reject before routing
+                return 400, {"error": "serve_error", "message": str(exc)}
+            candidates = self._live_preference(key)
+            if route_span is not None:
+                route_span.set_attr(
+                    "candidates", [handle.name for handle in candidates]
+                )
         if not candidates:
             return 503, {
                 "error": "unavailable",
                 "message": "no live replicas (cluster is restarting or down)",
             }
+        cur = current_span()
+        rpc_params = params
+        if cur is not None:
+            # Continue this trace inside the replica process: the RPC
+            # carries the trace id + parent, the replica roots its span
+            # tree under ours and ships it back for stitching.
+            rpc_params = dict(params)
+            rpc_params[TRACE_PARAM] = cur.trace_id
         for position, handle in enumerate(candidates):
             if not self._admission.try_acquire(handle.name):
                 # Shed at the *routed* replica; spilling sideways would
                 # break affinity and merely relocate the queue.
                 return self._shed(t0, handle.name, tenant)
             try:
-                status, body = handle.request(
-                    method, path, params, timeout=self._request_timeout
-                )
-            except ClusterError:
-                self._metrics.record_failover(handle.name)
-                continue  # next live candidate on the ring walk
+                with span(
+                    "cluster.rpc", replica=handle.name, attempt=position
+                ) as rpc:
+                    if rpc is not None:
+                        rpc_params[TRACE_PARENT_PARAM] = rpc.span_id
+                    try:
+                        status, body, extras = _unpack_reply(
+                            handle.request(
+                                method, path, rpc_params,
+                                timeout=self._request_timeout,
+                            )
+                        )
+                    except ClusterError as exc:
+                        # A crashed/unreachable replica leaves an
+                        # error-tagged rpc span in the trace; the walk
+                        # fails over to the next candidate.
+                        if rpc is not None:
+                            rpc.mark_error(exc)
+                        self._metrics.record_failover(handle.name)
+                        continue  # next live candidate on the ring walk
+                    absorb_spans(extras.get("spans"))
             finally:
                 self._admission.release(handle.name)
             self._metrics.record_routed(handle.name, time.perf_counter() - t0)
@@ -757,9 +872,60 @@ class ClusterCoordinator:
     # -- request entry -------------------------------------------------------
 
     def handle(
+        self,
+        method: str,
+        path: str,
+        params: Mapping[str, Any],
+        trace_id: str | None = None,
+        parent_id: str | None = None,
+    ) -> tuple[int, Any]:
+        """Dispatch one request under a root span; never raises.
+
+        Trace context arrives as the ``trace_id``/``parent_id`` keywords
+        (the HTTP front passes the ``X-Repro-Trace`` id it chose) or in
+        the reserved ``_trace``/``_trace_parent`` params (direct
+        callers), stripped before routing. The root span plus the
+        routing/RPC child spans — and the replica's own spans, shipped
+        back over the RPC — land in the coordinator's trace buffer as
+        one stitched cross-process tree; error payloads gain the
+        ``trace_id``.
+        """
+        if TRACE_PARAM in params or TRACE_PARENT_PARAM in params:
+            params = dict(params)
+            raw_trace = scalar(params, TRACE_PARAM)
+            raw_parent = scalar(params, TRACE_PARENT_PARAM)
+            params.pop(TRACE_PARAM, None)
+            params.pop(TRACE_PARENT_PARAM, None)
+            if trace_id is None:
+                trace_id = raw_trace
+            if parent_id is None:
+                parent_id = raw_parent
+        if not self._tracer.enabled:
+            return self._dispatch(method, path, params)
+        with self._tracer.request(
+            "http.request",
+            trace_id=trace_id,
+            parent_id=parent_id,
+            method=method,
+            path=path,
+        ) as root:
+            status, payload = self._dispatch(method, path, params)
+            if root is not None:
+                root.set_attr("status", status)
+                if isinstance(payload, dict):
+                    if "tenant" in payload:
+                        root.set_attr("tenant", payload["tenant"])
+                    if status >= 400:
+                        root.mark_error(
+                            str(payload.get("message") or payload.get("error"))
+                        )
+                        payload.setdefault("trace_id", root.trace_id)
+            return status, payload
+
+    def _dispatch(
         self, method: str, path: str, params: Mapping[str, Any]
     ) -> tuple[int, Any]:
-        """Dispatch one request; never raises (errors become payloads).
+        """Route + tenancy + error ladder (the pre-tracing ``handle``).
 
         With a tenant registry configured, data-plane routes resolve
         the request's tenant and pass its rate-limit / in-flight /
@@ -770,10 +936,13 @@ class ClusterCoordinator:
         tenant: TenantSpec | None = None
         if self._tenants is not None:
             try:
-                tenant = resolve_tenant(
-                    self._tenants, params,
-                    required=normalized in _TENANT_DATA_ROUTES,
-                )
+                with span("tenant.resolve") as resolve_span:
+                    tenant = resolve_tenant(
+                        self._tenants, params,
+                        required=normalized in _TENANT_DATA_ROUTES,
+                    )
+                    if resolve_span is not None and tenant is not None:
+                        resolve_span.set_attr("tenant", tenant.name)
             except UnknownTenantError as exc:
                 return 404, {"error": "unknown_tenant", "message": str(exc)}
             except TenancyError as exc:
@@ -836,7 +1005,9 @@ class ClusterCoordinator:
         self, handle: Any, path: str, timeout: float = 10.0
     ) -> dict[str, Any] | None:
         try:
-            status, body = handle.request("GET", path, {}, timeout=timeout)
+            status, body, _extras = _unpack_reply(
+                handle.request("GET", path, {}, timeout=timeout)
+            )
             if status != 200:
                 return None
             return json.loads(body)
@@ -930,6 +1101,12 @@ class ClusterCoordinator:
         params: Mapping[str, Any],
         tenant: TenantSpec | None = None,
     ) -> tuple[int, Any]:
+        fmt = str(scalar(params, "format", "json") or "json").lower()
+        if fmt not in ("json", "prometheus"):
+            return 400, {
+                "error": "serve_error",
+                "message": f"format must be 'json' or 'prometheus', got {fmt!r}",
+            }
         per_replica: dict[str, Any] = {}
         aggregate: dict[str, dict[str, int]] = {}
         for name, handle in self._replicas.items():
@@ -973,12 +1150,92 @@ class ClusterCoordinator:
                 for name in sorted(set(requests) | set(sheds))
             }
             cluster["tenant_in_flight"] = self._tenant_admission.snapshot()
-        return 200, {
+        payload = {
             "uptime_seconds": time.time() - self._started,
             "requests": aggregate,  # summed across replicas
             "cluster": cluster,
             "replicas": per_replica,
         }
+        if fmt == "prometheus":
+            return 200, render_prometheus(payload)
+        return 200, payload
+
+    # -- debug endpoints -----------------------------------------------------
+
+    def _debug_traces(
+        self,
+        method: str,
+        params: Mapping[str, Any],
+        tenant: TenantSpec | None = None,
+    ) -> tuple[int, Any]:
+        """Recent stitched traces (``min_duration``/``status``/``tenant``).
+
+        Same contract as the serve tier's ``/debug/traces``; a resolved
+        tenant always overrides the ``for_tenant`` query filter.
+        """
+        buffer = self._tracer.buffer
+        raw = scalar(params, "min_duration")
+        try:
+            min_duration = None if raw in (None, "") else float(raw)
+        except (TypeError, ValueError):
+            return 400, {
+                "error": "serve_error",
+                "message": f"min_duration must be a number, got {raw!r}",
+            }
+        status = scalar(params, "status")
+        status = str(status) if status not in (None, "") else None
+        tenant_filter = (
+            tenant.name if tenant is not None else scalar(params, "for_tenant")
+        )
+        limit_raw = scalar(params, "limit", 50)
+        try:
+            limit = max(1, min(int(limit_raw), 500))
+        except (TypeError, ValueError):
+            return 400, {
+                "error": "serve_error",
+                "message": f"limit must be an integer, got {limit_raw!r}",
+            }
+        traces = (
+            buffer.list(
+                min_duration=min_duration,
+                status=status,
+                tenant=tenant_filter,
+                limit=limit,
+            )
+            if buffer is not None
+            else []
+        )
+        return 200, {
+            "tracing": self._tracer.enabled,
+            "held": 0 if buffer is None else len(buffer),
+            "capacity": 0 if buffer is None else buffer.capacity,
+            "traces": traces,
+        }
+
+    def _debug_slow(
+        self,
+        method: str,
+        params: Mapping[str, Any],
+        tenant: TenantSpec | None = None,
+    ) -> tuple[int, Any]:
+        """The slow-request ring: summaries of requests over threshold."""
+        slow = self._tracer.slow_log
+        limit_raw = scalar(params, "limit", 50)
+        try:
+            limit = max(1, min(int(limit_raw), 500))
+        except (TypeError, ValueError):
+            return 400, {
+                "error": "serve_error",
+                "message": f"limit must be an integer, got {limit_raw!r}",
+            }
+        if slow is None:
+            return 200, {"slow": [], "threshold_seconds": None}
+        entries = slow.entries(limit)
+        if tenant is not None:
+            entries = [e for e in entries if e.get("tenant") == tenant.name]
+        payload = slow.snapshot()
+        payload["slow"] = entries
+        return 200, payload
 
     def _configs_route(
         self,
@@ -1214,14 +1471,24 @@ class ClusterCoordinator:
                 return self._shed(t0, name, tenant)
             claimed.append(name)
 
+        # Scatter threads have no ambient span (contextvars stay with the
+        # request thread), so trace context is injected into the sub-batch
+        # params here and the replicas' spans absorbed after the gather.
+        cur = current_span()
+
         def run_group(item: tuple[str, list[tuple[int, str]]]):
             name, members = item
             sub = dict(run_params)
             sub["queries"] = [query for _, query in members]
-            status, body = self._replicas[name].request(
-                "POST", "/batch", sub, timeout=self._request_timeout
+            if cur is not None:
+                sub[TRACE_PARAM] = cur.trace_id
+                sub[TRACE_PARENT_PARAM] = cur.span_id
+            status, body, extras = _unpack_reply(
+                self._replicas[name].request(
+                    "POST", "/batch", sub, timeout=self._request_timeout
+                )
             )
-            return name, members, status, body
+            return name, members, status, body, extras
 
         try:
             with ThreadPoolExecutor(max_workers=len(groups)) as pool:
@@ -1234,7 +1501,8 @@ class ClusterCoordinator:
 
         items: list[Any] = [None] * len(queries)
         cache_hits = 0
-        for name, members, status, body in outcomes:
+        for name, members, status, body, extras in outcomes:
+            absorb_spans(extras.get("spans"))
             try:
                 payload = json.loads(body)
             except ValueError:

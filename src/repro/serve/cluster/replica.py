@@ -81,6 +81,9 @@ class ReplicaSpec:
     feed_sources: Mapping[str, str] = field(default_factory=dict)
     feed_poll_interval: float = 0.25
     tenant_specs: tuple[Mapping[str, Any], ...] = ()
+    tracing: bool = True
+    trace_capacity: int = 256
+    slow_threshold: float = 0.25
 
     def effective_configs(self) -> list[ServeConfig]:
         out = []
@@ -139,6 +142,7 @@ class TailingReplicaService:
             consumer=f"{spec.name}:{config_name}",
             poll_interval=spec.feed_poll_interval,
             on_gap=_gap,
+            tracer=self._routed.service.tracer,
         )
         self._feeds.append(feed)
         self._tailers[config_name] = tailer
@@ -189,7 +193,13 @@ def build_replica_service(
         workers=spec.workers,
         tenants=tenants,
         enforce_limits=False,  # the coordinator is the enforcement edge
+        tracing=spec.tracing,
+        trace_capacity=spec.trace_capacity,
+        slow_threshold=spec.slow_threshold,
     )
+    # Replica spans carry their process identity, so a stitched
+    # cross-process trace shows which replica served the hop.
+    service.tracer.tags.update({"tier": "replica", "replica": spec.name})
     for name in service.pool.names():
         service.pool.get(name)  # build now: ready means warm
     routed = RoutedService(service)
@@ -205,7 +215,11 @@ def replica_main(spec: ReplicaSpec, ready: Any) -> None:
     """Process entry point (see module docstring). ``ready`` is a Pipe end."""
     try:
         routed = build_replica_service(spec)
-        transport = ReplicaTransport(routed.handle)
+        # trace_export ships the finished trace's spans back in the RPC
+        # response so the coordinator stitches one cross-process trace.
+        transport = ReplicaTransport(
+            routed.handle, span_export=routed.service.trace_export
+        )
         if isinstance(routed, TailingReplicaService):
             # A gap means this replica's history is gone: exit the serve
             # loop cleanly (off-thread — close() joins the accept loop)

@@ -21,6 +21,7 @@ import threading
 from typing import Any, Iterable
 
 from repro.errors import ServeError
+from repro.obs import TRACE_HEADER, PrometheusText
 from repro.serve.app import _Handler, _HTTPServer
 from repro.serve.cluster.coordinator import ClusterCoordinator
 from repro.serve.pool import ServeConfig
@@ -32,16 +33,20 @@ class _ClusterHandler(_Handler):
     server_version = "repro-cluster/1.0"
 
     def _respond(self, status: int, payload: Any) -> None:
-        if not isinstance(payload, bytes):
-            # Coordinator-built payloads (sheds, errors, admin routes) go
-            # through the single-node handler so the 429 Retry-After
-            # behavior stays defined in exactly one place.
+        if not isinstance(payload, bytes) or isinstance(payload, PrometheusText):
+            # Coordinator-built payloads (sheds, errors, admin routes, the
+            # Prometheus exposition) go through the single-node handler so
+            # the 429 Retry-After and content-type behavior stay defined
+            # in exactly one place.
             super()._respond(status, payload)
             return
         body = payload
         self.send_response(status)
         self.send_header("Content-Type", "application/json; charset=utf-8")
         self.send_header("Content-Length", str(len(body)))
+        trace_id = getattr(self, "_trace_id", None)
+        if trace_id is not None:
+            self.send_header(TRACE_HEADER, trace_id)
         self.end_headers()
         self.wfile.write(body)
 

@@ -4,12 +4,18 @@
 — authenticated (HMAC challenge), length-prefixed message framing over a
 loopback socket — without HTTP parsing on the inter-process hop. One
 request is the tuple ``(method, path, params)``; one response is
-``(status, body_bytes)`` where ``body_bytes`` is the replica's already
-**serialized JSON payload**. Shipping bytes instead of objects is the
-cluster's hot-path trick: the coordinator forwards them to the client
-socket verbatim, so proxying a cache hit costs the coordinator an HTTP
-parse and two memcpys while the replica pays the (much larger) JSON
-serialization — which is what lets N replicas outrun one.
+``(status, body_bytes, extras)`` where ``body_bytes`` is the replica's
+already **serialized JSON payload** and ``extras`` is a small metadata
+dict — today carrying ``spans`` (the replica's finished trace spans,
+when the request propagated trace context, so the coordinator can
+stitch one cross-process trace). Older 2-tuple responses are still
+accepted on the read side: in-process test fakes and mid-upgrade
+replicas reply without extras and simply contribute no spans. Shipping
+bytes instead of objects is the cluster's hot-path trick: the
+coordinator forwards them to the client socket verbatim, so proxying a
+cache hit costs the coordinator an HTTP parse and two memcpys while the
+replica pays the (much larger) JSON serialization — which is what lets
+N replicas outrun one.
 
 * :class:`ReplicaTransport` — replica side: an ephemeral-port listener
   plus a thread per coordinator connection, each looping recv →
@@ -30,6 +36,7 @@ from multiprocessing.connection import Client, Connection, Listener
 from typing import Any, Callable, Mapping
 
 from repro.errors import ClusterError
+from repro.obs import TRACE_PARAM
 
 #: Seconds a coordinator waits on a replica reply before declaring it
 #: unreachable (expansion cold paths are slow; hydrated hits are not).
@@ -43,10 +50,22 @@ def _encode_body(payload: Any) -> bytes:
 
 
 class ReplicaTransport:
-    """Replica-side listener serving ``handle`` to coordinator clients."""
+    """Replica-side listener serving ``handle`` to coordinator clients.
 
-    def __init__(self, handle: Handle, host: str = "127.0.0.1") -> None:
+    ``span_export`` (optional) is called with the request's trace id
+    after the handler finishes; whatever span records it returns ride
+    back in the response's ``extras["spans"]`` for coordinator-side
+    trace stitching.
+    """
+
+    def __init__(
+        self,
+        handle: Handle,
+        host: str = "127.0.0.1",
+        span_export: "Callable[[str], list | None] | None" = None,
+    ) -> None:
         self._handle = handle
+        self._span_export = span_export
         self._authkey = os.urandom(16)
         self._listener = Listener((host, 0), authkey=self._authkey)
         self._closed = threading.Event()
@@ -88,17 +107,27 @@ class ReplicaTransport:
                     message = conn.recv()
                 except (EOFError, OSError):
                     break
+                extras: dict[str, Any] = {}
                 try:
                     method, path, params = message
+                    # The handler strips the trace params from its own
+                    # copy, so the id is captured here, before dispatch.
+                    trace_id = None
+                    if isinstance(params, Mapping):
+                        trace_id = params.get(TRACE_PARAM)
                     status, payload = self._handle(str(method), str(path), params)
                     body = payload if isinstance(payload, bytes) else _encode_body(payload)
+                    if trace_id is not None and self._span_export is not None:
+                        spans = self._span_export(str(trace_id))
+                        if spans:
+                            extras["spans"] = spans
                 except Exception as exc:  # noqa: BLE001 — a request must not kill the loop
                     status = 500
                     body = _encode_body(
                         {"error": "internal", "message": f"{type(exc).__name__}: {exc}"}
                     )
                 try:
-                    conn.send((int(status), body))
+                    conn.send((int(status), body, extras))
                 except (OSError, ValueError, BrokenPipeError):
                     break
         finally:
@@ -155,8 +184,12 @@ class ReplicaClient:
         path: str,
         params: Mapping[str, Any],
         timeout: float | None = None,
-    ) -> tuple[int, bytes]:
-        """One RPC round-trip; broken connections are discarded, not reused."""
+    ) -> tuple[int, bytes, dict[str, Any]]:
+        """One RPC round-trip; broken connections are discarded, not reused.
+
+        Returns ``(status, body, extras)``; a legacy 2-tuple reply (no
+        extras on the wire) comes back with empty extras.
+        """
         conn = self._checkout()
         try:
             conn.send((method, path, dict(params)))
@@ -164,7 +197,11 @@ class ReplicaClient:
                 raise ClusterError(
                     f"replica at {self._address} timed out on {path}"
                 )
-            status, body = conn.recv()
+            reply = conn.recv()
+            if len(reply) == 3:
+                status, body, extras = reply
+            else:
+                (status, body), extras = reply, {}
         except ClusterError:
             conn.close()
             raise
@@ -174,7 +211,7 @@ class ReplicaClient:
                 f"replica at {self._address} failed on {path}: {exc}"
             ) from None
         self._checkin(conn)
-        return int(status), bytes(body)
+        return int(status), bytes(body), dict(extras or {})
 
     def close(self) -> None:
         with self._lock:

@@ -69,6 +69,17 @@ class LatencyHistogram:
             return self._count
 
     def snapshot(self) -> dict[str, Any]:
+        """Counters, buckets, and percentile estimates as plain JSON types.
+
+        The ``p50/p95/p99_seconds`` values are **estimated from the
+        recent-sample reservoir** (the last :data:`RESERVOIR_SIZE`
+        observations), *not* from the full bucket counts: once ``count``
+        exceeds ``sample_count`` the percentiles describe recent traffic
+        while ``buckets``/``count``/``total_seconds`` describe the whole
+        serving lifetime. ``sample_count`` reports how many samples the
+        percentiles were computed over so dashboards can tell the two
+        populations apart.
+        """
         with self._lock:
             if not self._count:
                 return {"count": 0}
@@ -90,6 +101,7 @@ class LatencyHistogram:
             "p50_seconds": pct(0.50),
             "p95_seconds": pct(0.95),
             "p99_seconds": pct(0.99),
+            "sample_count": len(ordered),
             "buckets": buckets,
         }
 

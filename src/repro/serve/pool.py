@@ -43,6 +43,7 @@ from repro.errors import (
     TenantAccessError,
     UnknownConfigError,
 )
+from repro.pipeline.middleware import TracingMiddleware
 from repro.serve.metrics import ServerMetricsMiddleware
 
 if TYPE_CHECKING:
@@ -466,8 +467,11 @@ class SessionPool:
             if effective.store is not None
             else None
         )
+        # TracingMiddleware contributes per-stage spans to whatever
+        # request trace is ambient when the pipeline runs; outside a
+        # traced request it costs one contextvar read per stage.
         session = effective.build_session(
-            middleware=(ServerMetricsMiddleware(),),
+            middleware=(ServerMetricsMiddleware(), TracingMiddleware()),
             retrieval_cache_size=self._retrieval_cache_size,
             candidate_cache_size=self._candidate_cache_size,
             store=store,

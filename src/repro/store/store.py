@@ -50,6 +50,7 @@ from typing import Any, Callable, Iterable, Iterator
 
 from repro.data.corpus import Corpus
 from repro.data.documents import Document
+from repro.obs import span as _trace_span
 from repro.errors import StoreError
 from repro.store import schema
 
@@ -421,7 +422,10 @@ class DocumentStore:
         docs = list(documents)
         if not docs:
             return []
-        with self._write_lock:  # analyze: ignore[LOCK001] - sqlite ops on the writer connection run under the write lock by design: one writer, mutators serialized
+        # The span opens before the write lock, so lock-wait under
+        # contention is visible in the trace; no-op outside a request.
+        with _trace_span("store.transaction", op="upsert", docs=len(docs)), \
+                self._write_lock:  # analyze: ignore[LOCK001] - sqlite ops on the writer connection run under the write lock by design: one writer, mutators serialized
             if guard is not None:
                 guard(self, docs)
             self._writer.execute("BEGIN IMMEDIATE")
@@ -453,7 +457,8 @@ class DocumentStore:
         ids = list(doc_ids)
         if not ids:
             return []
-        with self._transaction():  # analyze: ignore[LOCK001] - sqlite ops on the writer connection run under the write lock by design: one writer, mutators serialized
+        with _trace_span("store.transaction", op="delete", docs=len(ids)), \
+                self._transaction():  # analyze: ignore[LOCK001] - sqlite ops on the writer connection run under the write lock by design: one writer, mutators serialized
             positions = []
             for doc_id in ids:
                 pos = self._pos_by_doc_id.get(doc_id)
@@ -524,7 +529,8 @@ class DocumentStore:
         a replica's postings stay as dense as the source's and its
         generation counter stays aligned with the source's.
         """
-        with self._transaction():  # analyze: ignore[LOCK001] - sqlite ops on the writer connection run under the write lock by design: one writer, mutators serialized
+        with _trace_span("store.transaction", op="compact"), \
+                self._transaction():  # analyze: ignore[LOCK001] - sqlite ops on the writer connection run under the write lock by design: one writer, mutators serialized
             dropped = self._writer.execute(
                 "DELETE FROM postings WHERE pos IN "
                 "(SELECT pos FROM documents WHERE deleted = 1)"

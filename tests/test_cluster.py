@@ -290,15 +290,17 @@ class TestTransport:
         server.start()
         try:
             client = ReplicaClient(transport.address, transport.authkey)
-            status, body = client.request("GET", "/echo", {"a": 1})
+            status, body, extras = client.request("GET", "/echo", {"a": 1})
             assert status == 200
+            assert extras == {}
             assert json.loads(body) == {
                 "method": "GET",
                 "path": "/echo",
                 "params": {"a": 1},
             }
-            status, body = client.request("GET", "/bytes", {})
+            status, body, extras = client.request("GET", "/bytes", {})
             assert body == b'{"raw":true}'
+            assert extras == {}
             client.close()
         finally:
             transport.close()
@@ -313,11 +315,11 @@ class TestTransport:
         server.start()
         try:
             client = ReplicaClient(transport.address, transport.authkey)
-            status, body = client.request("GET", "/x", {})
+            status, body, _ = client.request("GET", "/x", {})
             assert status == 500
             assert "boom" in json.loads(body)["message"]
             # The connection loop survived; a second request still works.
-            status, _ = client.request("GET", "/y", {})
+            status, _, _ = client.request("GET", "/y", {})
             assert status == 500
             client.close()
         finally:

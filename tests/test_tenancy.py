@@ -585,8 +585,11 @@ class TestClusterTenancy:
             assert status == 200
             status, payload = coordinator.handle("GET", "/expand", params)
             assert status == 429
-            # Identical shape to the serve tier's rate-limit shed.
-            assert set(payload) == {"error", "message", "retry_after", "tenant"}
+            # Identical shape to the serve tier's rate-limit shed (plus
+            # the trace_id every traced error payload carries).
+            assert set(payload) == {
+                "error", "message", "retry_after", "tenant", "trace_id",
+            }
             assert payload["error"] == "overloaded"
             assert payload["tenant"] == "agg"
 
